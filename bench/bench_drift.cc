@@ -1,0 +1,148 @@
+// E4 + E8 — Drift detection power (paper §2.2.3, §3.1).
+//
+// E4 (tabular): detection rate and false-alarm rate of the PSI/KS drift
+// detector across shift severities — "near real-time outlier and input
+// drift detection".
+//
+// E8 (embeddings): tabular-style metrics (NaN counts, norm PSI) are blind
+// to geometric embedding drift; embedding-native monitors (neighbor churn,
+// self-cosine) catch it — "standard tabular metrics are inadequate for
+// embeddings".
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "embedding/embedding_drift.h"
+#include "quality/drift.h"
+
+namespace mlfs {
+namespace {
+
+void RunTabularPower() {
+  std::printf("[E4] tabular drift detection power "
+              "(reference n=5000, current n=1000, 40 trials each)\n");
+  std::printf("%-28s %10s %10s %10s %12s\n", "shift", "mean KS",
+              "mean PSI", "mean JS", "detect rate");
+  Rng rng(1);
+  std::vector<double> reference;
+  for (int i = 0; i < 5000; ++i) reference.push_back(rng.Gaussian(0, 1));
+  auto detector = DriftDetector::Fit(reference).value();
+
+  struct Case {
+    const char* name;
+    double mean;
+    double stddev;
+  };
+  for (const Case& c :
+       {Case{"none (false-alarm rate)", 0.0, 1.0},
+        Case{"mean +0.1 sd", 0.1, 1.0}, Case{"mean +0.25 sd", 0.25, 1.0},
+        Case{"mean +0.5 sd", 0.5, 1.0}, Case{"mean +1.0 sd", 1.0, 1.0},
+        Case{"variance x2", 0.0, 1.414}, Case{"variance x4", 0.0, 2.0}}) {
+    double ks = 0, psi = 0, js = 0;
+    int detected = 0;
+    const int trials = 40;
+    for (int t = 0; t < trials; ++t) {
+      std::vector<double> current;
+      for (int i = 0; i < 1000; ++i) {
+        current.push_back(rng.Gaussian(c.mean, c.stddev));
+      }
+      auto report = detector.Check(current).value();
+      ks += report.ks;
+      psi += report.psi;
+      js += report.js;
+      detected += report.drifted;
+    }
+    std::printf("%-28s %10.4f %10.4f %10.4f %11.0f%%\n", c.name, ks / trials,
+                psi / trials, js / trials,
+                100.0 * detected / static_cast<double>(trials));
+  }
+  std::printf("\n");
+}
+
+EmbeddingTablePtr MakeTable(const std::string& name, size_t n, size_t dim,
+                            uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> keys;
+  std::vector<float> data;
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back("e" + std::to_string(i));
+    for (size_t j = 0; j < dim; ++j) {
+      data.push_back(static_cast<float>(rng.Gaussian()));
+    }
+  }
+  EmbeddingTableMetadata metadata;
+  metadata.name = name;
+  return EmbeddingTable::Create(metadata, keys, data, dim).value();
+}
+
+void RunEmbeddingBlindness() {
+  std::printf("[E8] embedding drift: tabular-style vs embedding-native "
+              "monitors (n=400, d=16)\n");
+  std::printf("%-26s %10s %10s | %10s %12s %10s\n", "injected change",
+              "nan_cells", "norm_psi", "self_cos", "nbr_churn", "verdict");
+  auto base = MakeTable("emb", 400, 16, 7);
+  const size_t d = base->dim();
+
+  auto report_line = [&](const char* name, const EmbeddingTablePtr& table) {
+    auto report = CheckEmbeddingDrift(*base, *table).value();
+    std::printf("%-26s %10llu %10.4f | %10.4f %12.4f %10s\n", name,
+                static_cast<unsigned long long>(report.null_or_nan_cells),
+                report.norm_psi, report.mean_self_cosine,
+                report.mean_neighbor_churn,
+                report.drifted ? "DRIFT" : "stable");
+  };
+
+  // 1. No change.
+  report_line("identical", base);
+
+  // 2. Orthogonal transform (dim reversal + sign flips): norms identical,
+  //    every dot product against a fixed consumer changes.
+  std::vector<float> rotated = base->raw();
+  for (size_t i = 0; i < base->size(); ++i) {
+    float* row = rotated.data() + i * d;
+    std::reverse(row, row + d);
+    for (size_t j = 0; j < d; j += 2) row[j] = -row[j];
+  }
+  EmbeddingTableMetadata metadata;
+  metadata.name = "emb";
+  report_line("orthogonal transform",
+              base->WithVectors(metadata, rotated, d).value());
+
+  // 3. Small additive noise (a benign retrain).
+  Rng rng(8);
+  std::vector<float> noisy = base->raw();
+  for (auto& x : noisy) x += static_cast<float>(rng.Gaussian(0, 0.05));
+  report_line("noise sd=0.05",
+              base->WithVectors(metadata, noisy, d).value());
+
+  // 4. Subpopulation corruption: 10% of vectors re-randomized.
+  std::vector<float> corrupted = base->raw();
+  for (size_t i = 0; i < base->size(); i += 10) {
+    for (size_t j = 0; j < d; ++j) {
+      corrupted[i * d + j] = static_cast<float>(rng.Gaussian());
+    }
+  }
+  report_line("10% vectors rerandomized",
+              base->WithVectors(metadata, corrupted, d).value());
+
+  // 5. Broken pipeline: NaNs.
+  std::vector<float> broken = base->raw();
+  broken[37] = std::nanf("");
+  report_line("one NaN cell",
+              base->WithVectors(metadata, broken, d).value());
+
+  std::printf("(the orthogonal transform row is the paper's point: "
+              "nan_cells=0 and norm_psi~0 — a tabular FS sees nothing — "
+              "while self-cosine collapses)\n");
+}
+
+}  // namespace
+}  // namespace mlfs
+
+int main() {
+  mlfs::RunTabularPower();
+  mlfs::RunEmbeddingBlindness();
+  return 0;
+}

@@ -1,0 +1,115 @@
+// E7 — Eigenspace overlap predicts downstream performance of compressed
+// embeddings (paper §3.1.2, citing May et al. [18]).
+//
+// Claim: when choosing among compressed embedding variants under a memory
+// budget, the eigenspace overlap score (EOS) with the uncompressed table
+// predicts downstream accuracy without training a model per variant.
+//
+// Reproduces: EOS, reconstruction MSE, and downstream accuracy across
+// quantization levels (1..16 bits), plus the rank correlation between EOS
+// and accuracy.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/kb.h"
+#include "embedding/compress.h"
+#include "embedding/embedding_table.h"
+#include "embedding/quality.h"
+#include "ml/metrics.h"
+#include "ml/sgns.h"
+
+namespace {
+
+double SpearmanRank(std::vector<double> a, std::vector<double> b) {
+  auto ranks = [](std::vector<double> v) {
+    std::vector<size_t> order(v.size());
+    for (size_t i = 0; i < v.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](size_t x, size_t y) { return v[x] < v[y]; });
+    std::vector<double> r(v.size());
+    for (size_t i = 0; i < order.size(); ++i) r[order[i]] = i;
+    return r;
+  };
+  auto ra = ranks(std::move(a));
+  auto rb = ranks(std::move(b));
+  double d2 = 0;
+  for (size_t i = 0; i < ra.size(); ++i) {
+    d2 += (ra[i] - rb[i]) * (ra[i] - rb[i]);
+  }
+  double n = static_cast<double>(ra.size());
+  return 1.0 - 6.0 * d2 / (n * (n * n - 1.0));
+}
+
+}  // namespace
+
+int main() {
+  using namespace mlfs;
+
+  // Hard-ish task (no type tokens) so accuracy varies across compression
+  // levels rather than saturating.
+  SyntheticKbConfig kb_config;
+  kb_config.num_entities = 1200;
+  kb_config.num_types = 8;
+  kb_config.homophily = 0.75;
+  SyntheticKb kb = BuildSyntheticKb(kb_config).value();
+  CorpusConfig corpus_config;
+  corpus_config.num_sentences = 6000;
+  auto corpus = GenerateCorpus(kb, corpus_config).value();
+
+  SgnsConfig sgns;
+  sgns.dim = 32;
+  sgns.epochs = 3;
+  auto embeddings = TrainSgns(corpus, kb.vocab_size(), sgns).value();
+  std::vector<std::string> keys;
+  std::vector<float> vectors;
+  for (size_t e = 0; e < kb.num_entities(); ++e) {
+    keys.push_back(kb.entity_key(e));
+    const float* row = embeddings.row(e);
+    vectors.insert(vectors.end(), row, row + sgns.dim);
+  }
+  EmbeddingTableMetadata metadata;
+  metadata.name = "full";
+  auto full =
+      EmbeddingTable::Create(metadata, keys, vectors, sgns.dim).value();
+
+  DownstreamTask task;
+  for (size_t e = 0; e < kb.num_entities(); ++e) {
+    task.keys.push_back(kb.entity_key(e));
+    task.labels.push_back(kb.entity_type[e]);
+  }
+
+  auto accuracy_of = [&](const EmbeddingTable& table) {
+    Dataset data = MaterializeTask(task, table).value();
+    auto [train, test] = TrainTestSplit(data, 0.3, 5);
+    SoftmaxClassifier model;
+    MLFS_CHECK_OK(model.Fit(train).status());
+    auto preds = model.PredictBatch(test).value();
+    return Accuracy(test.labels, preds).value();
+  };
+  const double full_accuracy = accuracy_of(*full);
+
+  std::printf("[E7] eigenspace overlap vs downstream accuracy under "
+              "compression (d=%zu, full-precision acc=%.3f)\n", sgns.dim,
+              full_accuracy);
+  std::printf("%6s %10s %12s %14s %12s\n", "bits", "ratio", "EOS",
+              "recon MSE", "accuracy");
+  std::vector<double> eos_series, accuracy_series;
+  for (int bits : {1, 2, 3, 4, 6, 8, 16}) {
+    auto compressed = QuantizeUniform(*full, bits).value();
+    double eos = EigenspaceOverlapScore(*full, *compressed).value();
+    double mse = ReconstructionMse(*full, *compressed).value();
+    double accuracy = accuracy_of(*compressed);
+    std::printf("%6d %9.0fx %12.4f %14.3e %12.3f\n", bits,
+                CompressionRatio(bits), eos, mse, accuracy);
+    eos_series.push_back(eos);
+    accuracy_series.push_back(accuracy);
+  }
+  std::printf("\nSpearman rank correlation(EOS, accuracy) = %.3f "
+              "(paper-cited shape: strongly positive — EOS ranks variants "
+              "without downstream training)\n",
+              SpearmanRank(eos_series, accuracy_series));
+  return 0;
+}

@@ -1,0 +1,95 @@
+// E12 — Feature-definition evaluation overhead (paper §2.2.1).
+//
+// Reproduces: per-row cost of the transformation DSL — interpreted AST vs
+// schema-bound compiled form — across expression complexities, including
+// embedding-valued expressions (embeddings as first-class citizens).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "expr/evaluator.h"
+#include "expr/parser.h"
+
+namespace mlfs {
+namespace {
+
+SchemaPtr BenchSchema() {
+  static SchemaPtr schema =
+      Schema::Create({{"a", FeatureType::kInt64, true},
+                      {"b", FeatureType::kInt64, true},
+                      {"c", FeatureType::kDouble, true},
+                      {"s", FeatureType::kString, true},
+                      {"e1", FeatureType::kEmbedding, true},
+                      {"e2", FeatureType::kEmbedding, true}})
+          .value();
+  return schema;
+}
+
+Row BenchRow() {
+  Rng rng(1);
+  std::vector<float> v1(64), v2(64);
+  for (size_t i = 0; i < 64; ++i) {
+    v1[i] = static_cast<float>(rng.Gaussian());
+    v2[i] = static_cast<float>(rng.Gaussian());
+  }
+  return Row::Create(BenchSchema(),
+                     {Value::Int64(6), Value::Int64(4), Value::Double(2.5),
+                      Value::String("hello"), Value::Embedding(v1),
+                      Value::Embedding(v2)})
+      .value();
+}
+
+const char* Expression(int complexity) {
+  switch (complexity) {
+    case 0:
+      return "a + b";
+    case 1:
+      return "a / (b + 1) + log(c + 10.0)";
+    case 2:
+      return "if(coalesce(a, 0) > 3 and c < 10.0, "
+             "clamp(a / (b + 1), 0, 1), sqrt(abs(c)))";
+    default:
+      return "cosine(e1, e2) * norm(e1) + dot(e1, e2)";
+  }
+}
+
+void BM_Interpreted(benchmark::State& state) {
+  auto expr = ParseExpr(Expression(static_cast<int>(state.range(0)))).value();
+  Row row = BenchRow();
+  for (auto _ : state) {
+    auto v = EvalExpr(*expr, row);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(Expression(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_Interpreted)->DenseRange(0, 3);
+
+void BM_Compiled(benchmark::State& state) {
+  auto compiled =
+      CompiledExpr::Compile(Expression(static_cast<int>(state.range(0))),
+                            BenchSchema())
+          .value();
+  Row row = BenchRow();
+  for (auto _ : state) {
+    auto v = compiled.Eval(row);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(Expression(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_Compiled)->DenseRange(0, 3);
+
+void BM_ParseAndCompile(benchmark::State& state) {
+  for (auto _ : state) {
+    auto compiled = CompiledExpr::Compile(Expression(2), BenchSchema());
+    benchmark::DoNotOptimize(compiled);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParseAndCompile);
+
+}  // namespace
+}  // namespace mlfs
+
+BENCHMARK_MAIN();

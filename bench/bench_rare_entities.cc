@@ -1,0 +1,151 @@
+// E5 — Structured data rescues the tail (paper §3.1.1, citing Orr et al.
+// [22], Bootleg).
+//
+// Claim: self-supervised embeddings under-serve rare entities; adding
+// structured signals (entity types, KG relations) to pretraining lifts
+// tail quality dramatically ("boost performance over rare entities by 40
+// F1 points") while barely moving the head.
+//
+// Reproduces: entity-typing F1 by popularity quintile for SGNS trained on
+// (a) raw mention co-occurrence, (b) + type tokens, (c) + type and
+// relation tokens.
+
+#include <cstdio>
+#include <set>
+
+#include "datagen/kb.h"
+#include "embedding/embedding_table.h"
+#include "embedding/quality.h"
+#include "ml/metrics.h"
+#include "ml/sgns.h"
+#include "ned/ned.h"
+
+namespace mlfs {
+namespace {
+
+struct Variant {
+  const char* name;
+  bool types;
+  bool relations;
+};
+
+EmbeddingTablePtr TrainVariant(const SyntheticKb& kb, const Variant& variant,
+                               uint64_t seed) {
+  CorpusConfig corpus_config;
+  corpus_config.num_sentences = 15000;
+  corpus_config.include_type_tokens = variant.types;
+  corpus_config.include_relation_tokens = variant.relations;
+  corpus_config.seed = seed;
+  auto corpus = GenerateCorpus(kb, corpus_config).value();
+  SgnsConfig sgns;
+  sgns.dim = 32;
+  sgns.epochs = 3;
+  sgns.seed = seed;
+  auto embeddings = TrainSgns(corpus, kb.vocab_size(), sgns).value();
+  std::vector<std::string> keys;
+  std::vector<float> vectors;
+  for (size_t e = 0; e < kb.num_entities(); ++e) {
+    keys.push_back(kb.entity_key(e));
+    const float* row = embeddings.row(e);
+    vectors.insert(vectors.end(), row, row + sgns.dim);
+  }
+  EmbeddingTableMetadata metadata;
+  metadata.name = std::string("emb_") + variant.name;
+  return EmbeddingTable::Create(metadata, keys, vectors, sgns.dim).value();
+}
+
+}  // namespace
+}  // namespace mlfs
+
+int main() {
+  using namespace mlfs;
+
+  SyntheticKbConfig kb_config;
+  kb_config.num_entities = 1500;
+  kb_config.num_types = 6;
+  kb_config.num_edges = 6000;
+  kb_config.zipf_exponent = 1.3;  // Harsh popularity skew: a long tail.
+  SyntheticKb kb = BuildSyntheticKb(kb_config).value();
+
+  // Mention counts from the *raw* corpus define popularity quintiles.
+  CorpusConfig count_config;
+  count_config.num_sentences = 15000;
+  auto raw_corpus = GenerateCorpus(kb, count_config).value();
+  auto mentions = CountMentions(kb, raw_corpus);
+  auto quintiles = PopularityDeciles(mentions, 5);
+
+  DownstreamTask task;
+  for (size_t e = 0; e < kb.num_entities(); ++e) {
+    task.keys.push_back(kb.entity_key(e));
+    task.labels.push_back(kb.entity_type[e]);
+  }
+
+  std::printf("[E5] entity-typing macro-F1 by popularity quintile "
+              "(%zu entities, %d types; q0=head, q4=rare tail)\n",
+              kb.num_entities(), kb_config.num_types);
+  std::printf("%-28s %8s %8s %8s %8s %8s %8s\n", "pretraining signal", "q0",
+              "q1", "q2", "q3", "q4", "all");
+
+  double tail_f1_raw = 0, tail_f1_structured = 0;
+  for (const Variant& variant :
+       {Variant{"co-occurrence only", false, false},
+        Variant{"+ type tokens", true, false},
+        Variant{"+ types + relations", true, true}}) {
+    auto table = TrainVariant(kb, variant, 21);
+    Dataset data = MaterializeTask(task, *table).value();
+    SoftmaxClassifier model;
+    MLFS_CHECK_OK(model.Fit(data).status());
+    auto preds = model.PredictBatch(data).value();
+
+    std::printf("%-28s", variant.name);
+    double tail_f1 = 0;
+    for (size_t q = 0; q < quintiles.size(); ++q) {
+      std::vector<int> truth_q, preds_q;
+      for (size_t e : quintiles[q]) {
+        truth_q.push_back(task.labels[e]);
+        preds_q.push_back(preds[e]);
+      }
+      double f1 = MacroF1(truth_q, preds_q).value();
+      std::printf(" %8.3f", f1);
+      if (q == quintiles.size() - 1) tail_f1 = f1;
+    }
+    std::printf(" %8.3f\n", MacroF1(task.labels, preds).value());
+    if (!variant.types && !variant.relations) tail_f1_raw = tail_f1;
+    if (variant.types && variant.relations) tail_f1_structured = tail_f1;
+  }
+  std::printf("\ntail (q4) macro-F1 lift from structured data: %+.1f points "
+              "(paper's cited lift on rare entities: ~40 F1 points)\n",
+              100.0 * (tail_f1_structured - tail_f1_raw));
+
+  // --- The actual Bootleg task: named entity disambiguation -----------------
+  // Mixed-type alias groups (the "Lincoln: car or president?" setting):
+  // type-bearing embeddings can resolve what raw co-occurrence cannot,
+  // especially for rare candidates whose co-occurrence statistics are thin.
+  auto aliases = BuildAliasTable(kb, 3.0, 5, /*confusable=*/false).value();
+  auto queries = GenerateMentionQueries(kb, aliases, 3000, 4, 9).value();
+  std::printf("\nnamed entity disambiguation accuracy by quintile "
+              "(mean ambiguity %.1f, baseline = random candidate)\n",
+              aliases.mean_ambiguity());
+  std::printf("%-28s %8s %8s %8s %8s %8s %8s %9s\n", "pretraining signal",
+              "q0", "q1", "q2", "q3", "q4", "all", "baseline");
+  for (const Variant& variant :
+       {Variant{"co-occurrence only", false, false},
+        Variant{"+ types + relations", true, true}}) {
+    auto table = TrainVariant(kb, variant, 21);
+    std::printf("%-28s", variant.name);
+    for (size_t q = 0; q < quintiles.size(); ++q) {
+      auto report = EvaluateDisambiguationOn(*table, kb, aliases, queries,
+                                             quintiles[q]);
+      if (report.ok()) {
+        std::printf(" %8.3f", report->accuracy);
+      } else {
+        std::printf(" %8s", "n/a");
+      }
+    }
+    auto all_report =
+        EvaluateDisambiguation(*table, kb, aliases, queries).value();
+    std::printf(" %8.3f %9.3f\n", all_report.accuracy,
+                all_report.random_baseline);
+  }
+  return 0;
+}

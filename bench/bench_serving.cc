@@ -1,0 +1,170 @@
+// E1 — Dual-datastore serving (paper §2.2.2).
+//
+// Claim: online feature serving needs an in-memory latest-value store; the
+// offline (historical, partitioned) store is orders of magnitude slower to
+// answer "features for entity X now".
+//
+// Reproduces: throughput + latency percentiles of (a) online-store gets,
+// (b) offline as-of reads, (c) the assembled FeatureServer path, under a
+// Zipf key distribution.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/feature_store.h"
+#include "datagen/tabular.h"
+
+namespace mlfs {
+namespace {
+
+constexpr size_t kEntities = 100000;
+constexpr int kSnapshotsPerEntity = 4;
+
+struct ServingFixture {
+  FeatureStore store;
+  std::vector<Value> keys;
+  ZipfDistribution zipf{kEntities, 1.1};
+
+  ServingFixture() {
+    auto schema =
+        Schema::Create({{"entity", FeatureType::kInt64, false},
+                        {"event_time", FeatureType::kTimestamp, false},
+                        {"a", FeatureType::kDouble, true},
+                        {"b", FeatureType::kDouble, true}})
+            .value();
+    OfflineTableOptions options;
+    options.name = "src";
+    options.schema = schema;
+    options.entity_column = "entity";
+    options.time_column = "event_time";
+    MLFS_CHECK_OK(store.CreateSourceTable(options));
+    Rng rng(1);
+    std::vector<Row> rows;
+    rows.reserve(kEntities * kSnapshotsPerEntity);
+    for (size_t e = 0; e < kEntities; ++e) {
+      for (int s = 0; s < kSnapshotsPerEntity; ++s) {
+        rows.push_back(Row::CreateUnsafe(
+            schema, {Value::Int64(static_cast<int64_t>(e)),
+                     Value::Time(Hours(1 + 6 * s)),
+                     Value::Double(rng.Gaussian()),
+                     Value::Double(rng.Gaussian())}));
+      }
+    }
+    MLFS_CHECK_OK(store.Ingest("src", rows));
+    FeatureDefinition def;
+    def.name = "f_ab";
+    def.entity = "e";
+    def.source_table = "src";
+    def.expression = "a + b";
+    def.cadence = Hours(1);
+    MLFS_CHECK_OK(store.PublishFeature(def).status());
+    MLFS_CHECK_OK(store.RunMaterialization().status());
+    keys.reserve(kEntities);
+    for (size_t e = 0; e < kEntities; ++e) {
+      keys.push_back(Value::Int64(static_cast<int64_t>(e)));
+    }
+  }
+};
+
+ServingFixture& Fixture() {
+  static auto* fixture = new ServingFixture();
+  return *fixture;
+}
+
+void BM_OnlineGet(benchmark::State& state) {
+  auto& fixture = Fixture();
+  Rng rng(2);
+  Timestamp now = fixture.store.clock().now();
+  for (auto _ : state) {
+    const Value& key = fixture.keys[fixture.zipf.Sample(&rng)];
+    auto row = fixture.store.online().Get("f_ab", key, now);
+    benchmark::DoNotOptimize(row);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OnlineGet);
+
+void BM_OfflineAsOf(benchmark::State& state) {
+  auto& fixture = Fixture();
+  Rng rng(3);
+  auto table = fixture.store.offline().GetTable("src").value();
+  Timestamp now = fixture.store.clock().now();
+  for (auto _ : state) {
+    const Value& key = fixture.keys[fixture.zipf.Sample(&rng)];
+    auto row = table->AsOf(key, now);
+    benchmark::DoNotOptimize(row);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OfflineAsOf);
+
+void BM_OfflineLatestPerEntityScan(benchmark::State& state) {
+  // The "no online store" strawman: answer a single lookup by scanning the
+  // latest snapshot of everything (what a naive warehouse query does).
+  auto& fixture = Fixture();
+  auto table = fixture.store.offline().GetTable("src").value();
+  Timestamp now = fixture.store.clock().now();
+  for (auto _ : state) {
+    auto rows = table->LatestPerEntityAsOf(now);
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OfflineLatestPerEntityScan)->Iterations(3);
+
+void BM_FeatureServerGet(benchmark::State& state) {
+  auto& fixture = Fixture();
+  Rng rng(4);
+  for (auto _ : state) {
+    const Value& key = fixture.keys[fixture.zipf.Sample(&rng)];
+    auto fv = fixture.store.ServeFeatures(key, {"f_ab"});
+    benchmark::DoNotOptimize(fv);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FeatureServerGet);
+
+void BM_FeatureServerBatch100(benchmark::State& state) {
+  auto& fixture = Fixture();
+  Rng rng(5);
+  Timestamp now = fixture.store.clock().now();
+  for (auto _ : state) {
+    std::vector<Value> batch;
+    batch.reserve(100);
+    for (int i = 0; i < 100; ++i) {
+      batch.push_back(fixture.keys[fixture.zipf.Sample(&rng)]);
+    }
+    auto result =
+        fixture.store.server().GetFeaturesBatch(batch, {"f_ab"}, now);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_FeatureServerBatch100);
+
+}  // namespace
+}  // namespace mlfs
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  // E1 summary table: latency percentiles of the assembled serving path.
+  auto& fixture = mlfs::Fixture();
+  auto histogram = fixture.store.server().latency_histogram();
+  std::printf("\n[E1] online serving latency (us): %s\n",
+              histogram.Summary().c_str());
+  std::printf("[E1] online store: %s\n",
+              [&] {
+                auto stats = fixture.store.online().stats();
+                char buf[160];
+                std::snprintf(buf, sizeof(buf),
+                              "cells=%zu bytes=%.1fMB hit_rate=%.3f",
+                              stats.num_cells,
+                              stats.approx_bytes / 1048576.0,
+                              stats.gets ? double(stats.hits) / stats.gets
+                                         : 0.0);
+                return std::string(buf);
+              }().c_str());
+  benchmark::Shutdown();
+  return 0;
+}

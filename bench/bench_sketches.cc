@@ -1,0 +1,105 @@
+// E4b — Production-scale feature statistics and near-real-time monitoring
+// (paper §2.2.2–2.2.3 machinery at volume).
+//
+// Reproduces: (a) HyperLogLog cardinality error and memory vs an exact
+// hash set, (b) Count-Min heavy-hitter accuracy under Zipfian skew,
+// (c) detection delay of the self-calibrating streaming drift monitor.
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "quality/sketch.h"
+#include "quality/streaming_monitor.h"
+
+namespace mlfs {
+namespace {
+
+void RunHllTable() {
+  std::printf("[E4b] HyperLogLog vs exact distinct counting "
+              "(precision 12 -> 4 KiB fixed)\n");
+  std::printf("%12s %14s %14s %12s %14s\n", "true count", "HLL estimate",
+              "rel. error", "HLL bytes", "exact-set MB");
+  for (size_t truth : {1000, 10000, 100000, 1000000}) {
+    auto hll = HyperLogLog::Create(12).value();
+    std::unordered_set<uint64_t> exact;
+    for (size_t i = 0; i < truth; ++i) {
+      Value v = Value::Int64(static_cast<int64_t>(i));
+      hll.Add(v);
+      exact.insert(HashValue(v));
+    }
+    double estimate = hll.Estimate();
+    std::printf("%12zu %14.0f %13.2f%% %12zu %14.1f\n", truth, estimate,
+                100.0 * std::abs(estimate - static_cast<double>(truth)) /
+                    static_cast<double>(truth),
+                hll.num_registers(),
+                static_cast<double>(exact.size() * 16) / 1048576.0);
+  }
+  std::printf("\n");
+}
+
+void RunCountMinTable() {
+  std::printf("[E4b] Count-Min heavy hitters over a Zipf(1.2) categorical "
+              "feature (1M events, 100k categories, 32 KiB sketch)\n");
+  auto sketch = CountMinSketch::Create(4096, 4).value();
+  Rng rng(1);
+  ZipfDistribution zipf(100000, 1.2);
+  std::vector<uint64_t> truth(100000, 0);
+  const size_t n = 1000000;
+  for (size_t i = 0; i < n; ++i) {
+    size_t key = zipf.Sample(&rng);
+    sketch.Add(Value::Int64(static_cast<int64_t>(key)));
+    ++truth[key];
+  }
+  std::printf("%8s %12s %12s %12s\n", "rank", "true count", "estimate",
+              "overcount");
+  for (size_t rank : {0, 1, 2, 9, 99, 999}) {
+    uint64_t estimate =
+        sketch.Estimate(Value::Int64(static_cast<int64_t>(rank)));
+    std::printf("%8zu %12llu %12llu %11.2f%%\n", rank,
+                static_cast<unsigned long long>(truth[rank]),
+                static_cast<unsigned long long>(estimate),
+                truth[rank]
+                    ? 100.0 * static_cast<double>(estimate - truth[rank]) /
+                          static_cast<double>(truth[rank])
+                    : 0.0);
+  }
+  std::printf("\n");
+}
+
+void RunStreamingMonitorTable() {
+  std::printf("[E4b] streaming drift monitor: detection delay vs shift size "
+              "(reference 2000, window 500, check every 250)\n");
+  std::printf("%-14s %18s %14s\n", "shift", "detected", "delay (obs)");
+  for (double shift : {0.25, 0.5, 1.0, 2.0}) {
+    StreamingMonitorOptions options;
+    auto monitor = StreamingDriftMonitor::Create(options).value();
+    Rng rng(static_cast<uint64_t>(shift * 100));
+    const int shift_at = 5000;
+    int detected_at = -1;
+    for (int i = 0; i < 12000 && detected_at < 0; ++i) {
+      double mean = (i >= shift_at) ? shift : 0.0;
+      auto finding =
+          monitor.Observe(rng.Gaussian(mean, 1.0), Seconds(i)).value();
+      if (finding.has_value() && i >= shift_at) detected_at = i;
+    }
+    if (detected_at >= 0) {
+      std::printf("%-13.2fsd %18s %14d\n", shift, "yes",
+                  detected_at - shift_at);
+    } else {
+      std::printf("%-13.2fsd %18s %14s\n", shift, "no (12k obs)", "-");
+    }
+  }
+  std::printf("(delay shrinks as the shift grows; sub-window delays mean "
+              "the alert fires before one full window of bad data ships)\n");
+}
+
+}  // namespace
+}  // namespace mlfs
+
+int main() {
+  mlfs::RunHllTable();
+  mlfs::RunCountMinTable();
+  mlfs::RunStreamingMonitorTable();
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Safe embedding rollout (paper §3.1.2 and §4): a retrained embedding
+// version arrives; before swapping it into serving, the store quantifies
+// what would change — geometry drift, eigenspace overlap, downstream
+// prediction churn — and flags every consumer whose pinned version would
+// go stale ("the dot product ... can lose meaning").
+//
+// Run: ./example_embedding_rollout
+
+#include <cstdio>
+
+#include "core/feature_store.h"
+#include "embedding/compress.h"
+#include "embedding/quality.h"
+#include "ml/sgns.h"
+
+using namespace mlfs;
+
+namespace {
+
+// Retrains embeddings over the same corpus with a different seed — the
+// everyday "embedding update" event.
+EmbeddingTablePtr TrainVersion(const std::vector<std::vector<int>>& corpus,
+                               size_t vocab, size_t num_entities,
+                               uint64_t seed) {
+  SgnsConfig config;
+  config.dim = 24;
+  config.epochs = 3;
+  config.seed = seed;
+  TokenEmbeddings emb = TrainSgns(corpus, vocab, config).value();
+  std::vector<std::string> keys;
+  std::vector<float> vectors;
+  for (size_t e = 0; e < num_entities; ++e) {
+    keys.push_back("item_" + std::to_string(e));
+    const float* row = emb.row(e);
+    vectors.insert(vectors.end(), row, row + config.dim);
+  }
+  EmbeddingTableMetadata metadata;
+  metadata.name = "item_emb";
+  metadata.training_source = "sgns seed=" + std::to_string(seed);
+  return EmbeddingTable::Create(metadata, keys, vectors, config.dim).value();
+}
+
+}  // namespace
+
+int main() {
+  FeatureStore store;
+
+  // A small co-occurrence corpus over 400 "items" in 8 latent groups.
+  Rng rng(5);
+  const size_t items = 400;
+  std::vector<std::vector<int>> corpus;
+  for (int s = 0; s < 6000; ++s) {
+    int group = static_cast<int>(rng.Uniform(8));
+    std::vector<int> sentence;
+    for (int t = 0; t < 6; ++t) {
+      sentence.push_back(group * 50 + static_cast<int>(rng.Uniform(50)));
+    }
+    corpus.push_back(std::move(sentence));
+  }
+
+  auto v1 = TrainVersion(corpus, items, items, /*seed=*/1);
+  MLFS_CHECK_OK(store.RegisterEmbedding(v1).status());
+
+  // A consumer trains against v1 and pins it.
+  ModelRecord consumer;
+  consumer.name = "recommender";
+  consumer.task = "item-group-prediction";
+  consumer.embedding_refs = {"item_emb@v1"};
+  MLFS_CHECK_OK(store.RegisterModel(consumer).status());
+
+  // --- The retrained candidate arrives --------------------------------------
+  auto v2 = TrainVersion(corpus, items, items, /*seed=*/2);
+  MLFS_CHECK_OK(store.RegisterEmbedding(v2).status());
+
+  // 1. Geometry drift between versions.
+  auto drift = store.CheckEmbeddingUpdateDrift("item_emb", 1, 2).value();
+  std::printf("v1 -> v2 drift: %s\n", drift.ToString().c_str());
+
+  // 2. Eigenspace overlap (does v2 span the same subspace?).
+  auto v1_table = store.embeddings().GetVersion("item_emb", 1).value();
+  auto v2_table = store.embeddings().GetVersion("item_emb", 2).value();
+  double eos = EigenspaceOverlapScore(*v1_table, *v2_table).value();
+  std::printf("eigenspace overlap score: %.3f\n", eos);
+
+  // 3. Downstream instability: how many predictions would flip?
+  DownstreamTask task;
+  for (size_t e = 0; e < items; ++e) {
+    task.keys.push_back("item_" + std::to_string(e));
+    task.labels.push_back(static_cast<int>(e / 50));  // Latent group.
+  }
+  auto instability = DownstreamInstability(*v1_table, *v2_table, task).value();
+  std::printf("downstream: acc v1=%.3f acc v2=%.3f churn=%.1f%%\n",
+              instability.accuracy_a, instability.accuracy_b,
+              100.0 * instability.prediction_churn);
+
+  // 4. Who breaks if we roll out without retraining?
+  auto skews = store.CheckEmbeddingVersionSkew().value();
+  for (const VersionSkew& skew : skews) {
+    std::printf("STALE CONSUMER: %s pins %s@v%d (latest v%d)\n",
+                skew.model.c_str(), skew.embedding.c_str(),
+                skew.pinned_version, skew.latest_version);
+  }
+
+  // 5. Bonus: a compressed serving variant, with lineage.
+  auto compressed = QuantizeUniform(*v2_table, 8).value();
+  MLFS_CHECK_OK(store.RegisterEmbedding(compressed).status());
+  double eos_compressed =
+      EigenspaceOverlapScore(*v2_table, *compressed).value();
+  std::printf("8-bit serving copy: EOS vs v2 = %.4f (ratio %.0fx)\n",
+              eos_compressed, CompressionRatio(8));
+  auto lineage = store.embeddings().Lineage("item_emb@v3").value();
+  std::printf("lineage of item_emb@v3:");
+  for (const auto& ref : lineage) std::printf(" %s", ref.c_str());
+  std::printf("\n");
+
+  std::printf("alerts:\n");
+  for (const Alert& alert : store.alerts().All()) {
+    std::printf("  %s\n", alert.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+#ifndef MLFS_COMMON_HASH_H_
+#define MLFS_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace mlfs {
+
+/// 64-bit FNV-1a over raw bytes. Stable across platforms and runs, which
+/// matters because store sharding and sketch bucketing must be
+/// deterministic.
+inline uint64_t Fnv1a64(const void* data, size_t len,
+                        uint64_t seed = 0xcbf29ce484222325ULL) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashBytes(std::string_view s, uint64_t seed = 0) {
+  return Fnv1a64(s.data(), s.size(), 0xcbf29ce484222325ULL ^ seed);
+}
+
+/// Final avalanche of MurmurHash3; good integer mixer.
+inline uint64_t MixHash(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Boost-style hash combiner.
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+}  // namespace mlfs
+
+#endif  // MLFS_COMMON_HASH_H_

@@ -1,0 +1,102 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace mlfs {
+namespace {
+
+// Buckets grow geometrically by 4% from 1e-3 up to ~1e12.
+constexpr double kFirstBound = 1e-3;
+constexpr double kGrowth = 1.04;
+constexpr size_t kNumBuckets = 900;
+
+}  // namespace
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0), bounds_(kNumBuckets) {
+  double b = kFirstBound;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    bounds_[i] = b;
+    b *= kGrowth;
+  }
+}
+
+size_t Histogram::BucketFor(double value) const {
+  if (value <= bounds_[0]) return 0;
+  // log_growth(value / first) — direct computation, then clamp.
+  double idx = std::log(value / kFirstBound) / std::log(kGrowth);
+  size_t i = static_cast<size_t>(std::max(0.0, idx));
+  if (i >= kNumBuckets) return kNumBuckets - 1;
+  // Guard rounding: ensure bounds_[i-1] < value <= bounds_[i].
+  while (i > 0 && bounds_[i - 1] >= value) --i;
+  while (i + 1 < kNumBuckets && bounds_[i] < value) ++i;
+  return i;
+}
+
+void Histogram::Record(double value) {
+  if (value < 0) value = 0;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[BucketFor(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count_);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const uint64_t prev = cum;
+    cum += buckets_[i];
+    if (static_cast<double>(cum) >= target) {
+      const double lo = (i == 0) ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double frac =
+          buckets_[i] ? (target - static_cast<double>(prev)) /
+                            static_cast<double>(buckets_[i])
+                      : 0.0;
+      double v = lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+      return std::clamp(v, min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f",
+                static_cast<unsigned long long>(count_), mean(),
+                Percentile(50), Percentile(95), Percentile(99), max());
+  return buf;
+}
+
+}  // namespace mlfs

@@ -1,0 +1,47 @@
+#ifndef MLFS_COMMON_HISTOGRAM_H_
+#define MLFS_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mlfs {
+
+/// Log-bucketed latency/value histogram (HdrHistogram-lite). Records
+/// non-negative values with ~4% relative bucket width; supports mean, count,
+/// min/max and percentile queries. Used for serving-latency metrics.
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(double value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Value at percentile `p` in [0, 100]; 0 when empty. Interpolates within
+  /// the containing bucket.
+  double Percentile(double p) const;
+
+  /// "count=... mean=... p50=... p95=... p99=... max=..."
+  std::string Summary() const;
+
+ private:
+  size_t BucketFor(double value) const;
+
+  std::vector<uint64_t> buckets_;
+  std::vector<double> bounds_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace mlfs
+
+#endif  // MLFS_COMMON_HISTOGRAM_H_

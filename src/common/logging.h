@@ -1,0 +1,94 @@
+#ifndef MLFS_COMMON_LOGGING_H_
+#define MLFS_COMMON_LOGGING_H_
+
+#include <sstream>
+
+namespace mlfs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+namespace internal_logging {
+
+/// Global minimum level; messages below it are dropped. Defaults to kInfo.
+LogLevel GetMinLogLevel();
+void SetMinLogLevel(LogLevel level);
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a log statement is compiled out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Converts a streamed LogMessage expression to void so it can appear on
+/// one arm of a ternary operator (the glog "voidify" idiom).
+struct Voidify {
+  template <typename T>
+  void operator&(T&&) {}
+};
+
+}  // namespace internal_logging
+
+/// Sets the global log threshold (messages below are suppressed).
+inline void SetMinLogLevel(LogLevel level) {
+  internal_logging::SetMinLogLevel(level);
+}
+
+#define MLFS_LOG(severity)                                             \
+  ::mlfs::internal_logging::LogMessage(::mlfs::LogLevel::k##severity,  \
+                                       __FILE__, __LINE__)
+
+/// Aborts the process with a message when `condition` is false. Supports
+/// trailing stream output: MLFS_CHECK(x > 0) << "x was " << x;
+#define MLFS_CHECK(condition)                                 \
+  (condition) ? (void)0                                       \
+              : ::mlfs::internal_logging::Voidify() &         \
+                    MLFS_LOG(Fatal) << "Check failed: " #condition " "
+
+#define MLFS_CHECK_OK(expr)                                          \
+  do {                                                               \
+    const auto& _mlfs_check_status = (expr);                         \
+    MLFS_CHECK(_mlfs_check_status.ok())                              \
+        << "Status not OK: " << _mlfs_check_status.ToString();       \
+  } while (false)
+
+#ifndef NDEBUG
+#define MLFS_DCHECK(condition) MLFS_CHECK(condition)
+#else
+#define MLFS_DCHECK(condition)                         \
+  true ? (void)0                                       \
+       : ::mlfs::internal_logging::Voidify() &         \
+             ::mlfs::internal_logging::NullStream()
+#endif
+
+}  // namespace mlfs
+
+#endif  // MLFS_COMMON_LOGGING_H_

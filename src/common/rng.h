@@ -1,0 +1,94 @@
+#ifndef MLFS_COMMON_RNG_H_
+#define MLFS_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace mlfs {
+
+/// Deterministic pseudo-random number generator (xoshiro256**) with the
+/// distribution helpers the synthetic workloads need.
+///
+/// All randomness in MLFS flows through explicitly seeded `Rng` instances so
+/// that every test, example, and benchmark is exactly reproducible.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield identical streams.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, n). `n` must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double Gaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// True with probability `p`.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Exponential with rate `lambda` (> 0).
+  double Exponential(double lambda);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) (reservoir sampling). If
+  /// k >= n, returns all of [0, n).
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf(n, s) sampler over {0, 1, ..., n-1}: rank r has probability
+/// proportional to 1 / (r+1)^s. Uses a precomputed CDF with binary search,
+/// which is exact and fast enough for the workload sizes used here.
+///
+/// Zipfian access patterns model both the popularity skew of entity mentions
+/// in self-supervised corpora (the paper's "rare things" problem, §3.1.1)
+/// and hot-key skew in online feature serving.
+class ZipfDistribution {
+ public:
+  /// `n` must be >= 1; `s` is the skew exponent (s=0 is uniform).
+  ZipfDistribution(size_t n, double s);
+
+  /// Draws a rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  /// Probability mass of rank `r`.
+  double Pmf(size_t r) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace mlfs
+
+#endif  // MLFS_COMMON_RNG_H_

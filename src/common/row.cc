@@ -1,0 +1,56 @@
+#include "common/row.h"
+
+namespace mlfs {
+
+StatusOr<Row> Row::Create(SchemaPtr schema, std::vector<Value> values) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("row schema is null");
+  }
+  if (values.size() != schema->num_fields()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(values.size()) +
+        " does not match schema arity " +
+        std::to_string(schema->num_fields()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!schema->Accepts(i, values[i])) {
+      return Status::InvalidArgument(
+          "value for field '" + schema->field(i).name + "' has type " +
+          std::string(FeatureTypeToString(values[i].type())) +
+          ", schema expects " +
+          std::string(FeatureTypeToString(schema->field(i).type)) +
+          (values[i].is_null() ? " (non-nullable column)" : ""));
+    }
+  }
+  return Row(std::move(schema), std::move(values));
+}
+
+StatusOr<Value> Row::ValueByName(std::string_view name) const {
+  int idx = schema_ ? schema_->FieldIndex(name) : -1;
+  if (idx < 0) {
+    return Status::NotFound("no column named '" + std::string(name) + "'");
+  }
+  return values_[static_cast<size_t>(idx)];
+}
+
+size_t Row::ByteSize() const {
+  size_t total = 0;
+  for (const auto& v : values_) total += v.ByteSize();
+  return total;
+}
+
+std::string Row::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i) out += ", ";
+    if (schema_) {
+      out += schema_->field(i).name;
+      out += "=";
+    }
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace mlfs

@@ -1,0 +1,69 @@
+#ifndef MLFS_COMMON_ROW_H_
+#define MLFS_COMMON_ROW_H_
+
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace mlfs {
+
+/// A tuple conforming to a Schema. Rows are the unit of ingestion and of
+/// offline-store scans; the online store flattens them into per-feature
+/// cells.
+class Row {
+ public:
+  Row() = default;
+
+  /// Builds a row after validating each value against the schema.
+  static StatusOr<Row> Create(SchemaPtr schema, std::vector<Value> values);
+
+  /// Builds without validation; DCHECKs the arity. Use on hot paths where
+  /// the producer guarantees conformance.
+  static Row CreateUnsafe(SchemaPtr schema, std::vector<Value> values) {
+    MLFS_DCHECK(schema != nullptr);
+    MLFS_DCHECK(values.size() == schema->num_fields());
+    return Row(std::move(schema), std::move(values));
+  }
+
+  const SchemaPtr& schema() const { return schema_; }
+  size_t num_values() const { return values_.size(); }
+
+  const Value& value(size_t i) const {
+    MLFS_DCHECK(i < values_.size());
+    return values_[i];
+  }
+
+  /// Value of the column named `name`; error if no such column.
+  StatusOr<Value> ValueByName(std::string_view name) const;
+
+  void set_value(size_t i, Value v) {
+    MLFS_DCHECK(i < values_.size());
+    values_[i] = std::move(v);
+  }
+
+  const std::vector<Value>& values() const { return values_; }
+
+  size_t ByteSize() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Row& a, const Row& b) {
+    return a.values_ == b.values_;
+  }
+
+ private:
+  Row(SchemaPtr schema, std::vector<Value> values)
+      : schema_(std::move(schema)), values_(std::move(values)) {}
+
+  SchemaPtr schema_;
+  std::vector<Value> values_;
+};
+
+}  // namespace mlfs
+
+#endif  // MLFS_COMMON_ROW_H_

@@ -1,0 +1,51 @@
+#include "common/schema.h"
+
+namespace mlfs {
+
+Schema::Schema(std::vector<FieldSpec> fields) : fields_(std::move(fields)) {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    index_.emplace(fields_[i].name, static_cast<int>(i));
+  }
+}
+
+StatusOr<SchemaPtr> Schema::Create(std::vector<FieldSpec> fields) {
+  std::unordered_map<std::string, int> seen;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].name.empty()) {
+      return Status::InvalidArgument("schema field " + std::to_string(i) +
+                                     " has empty name");
+    }
+    if (!seen.emplace(fields[i].name, 1).second) {
+      return Status::InvalidArgument("duplicate schema field: " +
+                                     fields[i].name);
+    }
+  }
+  return SchemaPtr(new Schema(std::move(fields)));
+}
+
+int Schema::FieldIndex(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) return -1;
+  return it->second;
+}
+
+bool Schema::Accepts(size_t i, const Value& v) const {
+  MLFS_DCHECK(i < fields_.size());
+  if (v.is_null()) return fields_[i].nullable;
+  return v.type() == fields_[i].type;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i) out += ", ";
+    out += fields_[i].name;
+    out += ": ";
+    out += FeatureTypeToString(fields_[i].type);
+    if (!fields_[i].nullable) out += " NOT NULL";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace mlfs

@@ -1,0 +1,73 @@
+#ifndef MLFS_COMMON_SERDE_H_
+#define MLFS_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/row.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace mlfs {
+
+/// Binary row/value codec used by the offline store's on-disk snapshots and
+/// by the wire format of the (in-process) feature server.
+///
+/// Encoding: little-endian fixed ints, LEB128 varints for lengths, a 1-byte
+/// type tag per value. The format is self-describing at the value level so
+/// a reader can skip unknown rows.
+class Encoder {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutFixed32(uint32_t v);
+  void PutFixed64(uint64_t v);
+  void PutVarint64(uint64_t v);
+  void PutDouble(double v);
+  void PutFloat(float v);
+  void PutString(std::string_view s);
+  void PutValue(const Value& v);
+  /// Encodes the row's values (not its schema).
+  void PutRow(const Row& row);
+  /// Encodes a schema (field names, types, nullability).
+  void PutSchema(const Schema& schema);
+
+  const std::string& buffer() const { return buf_; }
+  std::string Release() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Streaming reader over a byte buffer produced by Encoder. All Get*
+/// methods fail with Corruption on truncated input.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  StatusOr<uint8_t> GetU8();
+  StatusOr<uint32_t> GetFixed32();
+  StatusOr<uint64_t> GetFixed64();
+  StatusOr<uint64_t> GetVarint64();
+  StatusOr<double> GetDouble();
+  StatusOr<float> GetFloat();
+  StatusOr<std::string> GetString();
+  StatusOr<Value> GetValue();
+  /// Decodes values and validates them against `schema`.
+  StatusOr<Row> GetRow(SchemaPtr schema);
+  StatusOr<SchemaPtr> GetSchema();
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  Status Need(size_t n) const;
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace mlfs
+
+#endif  // MLFS_COMMON_SERDE_H_

@@ -1,0 +1,176 @@
+#ifndef MLFS_COMMON_STATUS_H_
+#define MLFS_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+
+namespace mlfs {
+
+/// Canonical error codes, modeled after the RocksDB / Abseil status sets.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kInvalidArgument = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kCorruption = 6,
+  kUnimplemented = 7,
+  kResourceExhausted = 8,
+  kInternal = 9,
+};
+
+/// Returns a human-readable name for `code` (e.g. "NotFound").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail. Cheap to copy in the OK case.
+///
+/// MLFS never throws exceptions across public API boundaries; fallible
+/// operations return `Status` (or `StatusOr<T>` when they also produce a
+/// value). Use the factory functions (`Status::NotFound(...)` etc.) to
+/// construct errors.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type `T` or an error `Status`. Never holds an OK
+/// status without a value.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit, mirroring absl::StatusOr).
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status. Aborts if `status.ok()`.
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT
+    MLFS_CHECK(!std::get<Status>(rep_).ok())
+        << "StatusOr constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(rep_);
+  }
+
+  /// Returns the contained value; aborts if not ok().
+  const T& value() const& {
+    MLFS_CHECK(ok()) << "StatusOr::value() on error: " << status().ToString();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    MLFS_CHECK(ok()) << "StatusOr::value() on error: " << status().ToString();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    MLFS_CHECK(ok()) << "StatusOr::value() on error: " << status().ToString();
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define MLFS_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::mlfs::Status _mlfs_status = (expr);           \
+    if (!_mlfs_status.ok()) return _mlfs_status;    \
+  } while (false)
+
+#define MLFS_STATUS_CONCAT_INNER_(a, b) a##b
+#define MLFS_STATUS_CONCAT_(a, b) MLFS_STATUS_CONCAT_INNER_(a, b)
+
+/// Evaluates `rexpr` (a StatusOr<T>), propagating errors; otherwise binds
+/// the value to `lhs`.
+#define MLFS_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  MLFS_ASSIGN_OR_RETURN_IMPL_(                                             \
+      MLFS_STATUS_CONCAT_(_mlfs_statusor_, __LINE__), lhs, rexpr)
+
+#define MLFS_ASSIGN_OR_RETURN_IMPL_(var, lhs, rexpr) \
+  auto var = (rexpr);                                \
+  if (!var.ok()) return var.status();                \
+  lhs = std::move(var).value()
+
+}  // namespace mlfs
+
+#endif  // MLFS_COMMON_STATUS_H_

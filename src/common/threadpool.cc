@@ -1,0 +1,92 @@
+#include "common/threadpool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mlfs {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  MLFS_CHECK(num_threads >= 1);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  task_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    MLFS_CHECK(!shutdown_) << "Submit after shutdown";
+    tasks_.push_back(std::move(task));
+  }
+  task_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --active_;
+      if (tasks_.empty() && active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  if (pool == nullptr || pool->num_threads() <= 1 || n < 2) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  const size_t num_chunks = std::min(n, pool->num_threads() * 4);
+  const size_t chunk = (n + num_chunks - 1) / num_chunks;
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t pending = 0;
+  for (size_t start = begin; start < end; start += chunk) {
+    const size_t stop = std::min(end, start + chunk);
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      ++pending;
+    }
+    pool->Submit([&, start, stop] {
+      for (size_t i = start; i < stop; ++i) fn(i);
+      std::unique_lock<std::mutex> lock(mu);
+      if (--pending == 0) cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return pending == 0; });
+}
+
+}  // namespace mlfs

@@ -1,0 +1,32 @@
+#include "common/timestamp.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace mlfs {
+
+std::string FormatTimestamp(Timestamp ts) {
+  if (ts == kMinTimestamp) return "-inf";
+  if (ts == kMaxTimestamp) return "+inf";
+  const char* sign = "";
+  if (ts < 0) {
+    sign = "-";
+    ts = -ts;
+  }
+  int64_t days = ts / kMicrosPerDay;
+  int64_t rem = ts % kMicrosPerDay;
+  int64_t hours = rem / kMicrosPerHour;
+  rem %= kMicrosPerHour;
+  int64_t minutes = rem / kMicrosPerMinute;
+  rem %= kMicrosPerMinute;
+  int64_t seconds = rem / kMicrosPerSecond;
+  int64_t millis = (rem % kMicrosPerSecond) / kMicrosPerMilli;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf),
+                "%sd%" PRId64 " %02" PRId64 ":%02" PRId64 ":%02" PRId64
+                ".%03" PRId64,
+                sign, days, hours, minutes, seconds, millis);
+  return buf;
+}
+
+}  // namespace mlfs

@@ -1,0 +1,62 @@
+#ifndef MLFS_COMMON_TIMESTAMP_H_
+#define MLFS_COMMON_TIMESTAMP_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mlfs {
+
+/// Logical time in microseconds since an arbitrary epoch.
+///
+/// MLFS is fully deterministic: all "time" flowing through the store (event
+/// times, feature timestamps, orchestrator cadences) is logical time managed
+/// by a `SimClock`, never the wall clock. Wall-clock is used only to
+/// *measure* latency in benchmarks.
+using Timestamp = int64_t;
+
+inline constexpr Timestamp kMicrosPerMilli = 1000;
+inline constexpr Timestamp kMicrosPerSecond = 1000 * kMicrosPerMilli;
+inline constexpr Timestamp kMicrosPerMinute = 60 * kMicrosPerSecond;
+inline constexpr Timestamp kMicrosPerHour = 60 * kMicrosPerMinute;
+inline constexpr Timestamp kMicrosPerDay = 24 * kMicrosPerHour;
+
+constexpr Timestamp Seconds(int64_t n) { return n * kMicrosPerSecond; }
+constexpr Timestamp Minutes(int64_t n) { return n * kMicrosPerMinute; }
+constexpr Timestamp Hours(int64_t n) { return n * kMicrosPerHour; }
+constexpr Timestamp Days(int64_t n) { return n * kMicrosPerDay; }
+
+/// Sentinel for "no timestamp" / "infinitely old".
+inline constexpr Timestamp kMinTimestamp = INT64_MIN;
+/// Sentinel for "infinitely recent" (end of time).
+inline constexpr Timestamp kMaxTimestamp = INT64_MAX;
+
+/// Renders `ts` as "d<days> hh:mm:ss.mmm" relative to the logical epoch.
+std::string FormatTimestamp(Timestamp ts);
+
+/// A monotonically advancing logical clock shared by a simulation.
+///
+/// The clock never goes backwards; `AdvanceTo` with an older time is a
+/// no-op. Not thread-safe; simulations drive it from a single thread.
+class SimClock {
+ public:
+  explicit SimClock(Timestamp start = 0) : now_(start) {}
+
+  Timestamp now() const { return now_; }
+
+  /// Moves time forward by `delta` microseconds (must be >= 0).
+  void Advance(Timestamp delta) {
+    if (delta > 0) now_ += delta;
+  }
+
+  /// Moves time forward to `t`; ignored if `t` is in the past.
+  void AdvanceTo(Timestamp t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  Timestamp now_;
+};
+
+}  // namespace mlfs
+
+#endif  // MLFS_COMMON_TIMESTAMP_H_

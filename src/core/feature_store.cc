@@ -1,0 +1,263 @@
+#include "core/feature_store.h"
+
+#include <algorithm>
+
+#include "common/serde.h"
+#include "registry/materializer.h"
+#include "storage/entity_key.h"
+#include "storage/persistence.h"
+
+namespace mlfs {
+
+FeatureStore::FeatureStore(FeatureStoreOptions options)
+    : options_(std::move(options)),
+      clock_(options_.start_time),
+      online_(options_.online),
+      registry_(&offline_),
+      materializer_(&online_, &offline_),
+      orchestrator_(&registry_, &materializer_),
+      server_(&online_, options_.serving) {}
+
+Status FeatureStore::CreateSourceTable(OfflineTableOptions options) {
+  return offline_.CreateTable(std::move(options));
+}
+
+Status FeatureStore::Ingest(const std::string& table,
+                            const std::vector<Row>& rows) {
+  MLFS_ASSIGN_OR_RETURN(OfflineTable* offline_table, offline_.GetTable(table));
+  MLFS_RETURN_IF_ERROR(offline_table->AppendBatch(rows));
+  clock_.AdvanceTo(offline_table->max_event_time());
+  return Status::OK();
+}
+
+StatusOr<int> FeatureStore::PublishFeature(const FeatureDefinition& def) {
+  return registry_.Publish(def, clock_.now());
+}
+
+StatusOr<int> FeatureStore::RunMaterialization() {
+  return orchestrator_.RunDue(clock_.now());
+}
+
+StatusOr<FeatureVector> FeatureStore::ServeFeatures(
+    const Value& entity_key, const std::vector<std::string>& features) {
+  return server_.GetFeatures(entity_key, features, clock_.now());
+}
+
+StatusOr<TrainingSet> FeatureStore::BuildTrainingSet(
+    const std::vector<Row>& spine, const std::string& spine_entity_column,
+    const std::string& spine_time_column,
+    const std::vector<std::string>& features, Timestamp max_age) {
+  std::vector<JoinSource> sources;
+  sources.reserve(features.size());
+  for (const std::string& feature : features) {
+    // Validate the feature exists (clearer error than a missing log table).
+    MLFS_RETURN_IF_ERROR(registry_.Get(feature).status());
+    MLFS_ASSIGN_OR_RETURN(
+        OfflineTable* log_table,
+        offline_.GetTable(Materializer::LogTableName(feature)));
+    JoinSource source;
+    source.table = log_table;
+    source.columns = {"value"};
+    source.output_columns = {feature};
+    source.max_age = max_age;
+    sources.push_back(std::move(source));
+  }
+  return PointInTimeJoin(spine, spine_entity_column, spine_time_column,
+                         sources);
+}
+
+StatusOr<StreamPipeline*> FeatureStore::CreateStreamPipeline(
+    StreamPipelineOptions options) {
+  MLFS_ASSIGN_OR_RETURN(auto pipeline,
+                        StreamPipeline::Create(std::move(options), &online_,
+                                               &offline_));
+  pipelines_.push_back(std::move(pipeline));
+  return pipelines_.back().get();
+}
+
+StatusOr<int> FeatureStore::RegisterEmbedding(const EmbeddingTablePtr& table) {
+  return embedding_store_.Register(table, clock_.now());
+}
+
+Status FeatureStore::MaterializeEmbedding(const std::string& name) {
+  MLFS_ASSIGN_OR_RETURN(EmbeddingTablePtr table,
+                        embedding_store_.GetLatest(name));
+  MLFS_ASSIGN_OR_RETURN(
+      SchemaPtr schema,
+      Schema::Create({{"entity", FeatureType::kString, false},
+                      {"event_time", FeatureType::kTimestamp, false},
+                      {"value", FeatureType::kEmbedding, true}}));
+  if (!online_.HasView(name)) {
+    MLFS_RETURN_IF_ERROR(online_.CreateView(name, schema));
+  }
+  const Timestamp now = clock_.now();
+  const Timestamp event_time =
+      table->metadata().created_at > 0 ? table->metadata().created_at : now;
+  for (size_t i = 0; i < table->size(); ++i) {
+    const float* row = table->row(i);
+    std::vector<float> vec(row, row + table->dim());
+    MLFS_ASSIGN_OR_RETURN(
+        Row out,
+        Row::Create(schema, {Value::String(table->key(i)),
+                             Value::Time(event_time),
+                             Value::Embedding(std::move(vec))}));
+    MLFS_RETURN_IF_ERROR(online_.Put(name, Value::String(table->key(i)),
+                                     out, event_time, now));
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<float>> FeatureStore::GetEmbedding(
+    const std::string& name, const std::string& key) const {
+  MLFS_ASSIGN_OR_RETURN(EmbeddingTablePtr table,
+                        embedding_store_.GetLatest(name));
+  return table->GetVector(key);
+}
+
+StatusOr<std::vector<std::pair<std::string, float>>>
+FeatureStore::NearestEntities(const std::string& name,
+                              const std::string& reference_key, size_t k) {
+  MLFS_ASSIGN_OR_RETURN(EmbeddingTablePtr table,
+                        embedding_store_.GetLatest(name));
+  const std::string cache_key = table->metadata().VersionedName();
+  AnnIndex* index = nullptr;
+  {
+    std::lock_guard lock(ann_mu_);
+    auto it = ann_cache_.find(cache_key);
+    if (it == ann_cache_.end()) {
+      CachedIndex cached;
+      cached.table = table;
+      cached.index = options_.ann_index == "brute"
+                         ? MakeBruteForceIndex()
+                         : MakeHnswIndex();
+      MLFS_RETURN_IF_ERROR(cached.index->Build(table->raw().data(),
+                                               table->size(), table->dim()));
+      it = ann_cache_.emplace(cache_key, std::move(cached)).first;
+    }
+    index = it->second.index.get();
+  }
+  MLFS_ASSIGN_OR_RETURN(const float* query, table->Get(reference_key));
+  // Ask for one extra hit since the reference itself is in the index.
+  MLFS_ASSIGN_OR_RETURN(std::vector<Neighbor> hits,
+                        index->Search(query, k + 1));
+  std::vector<std::pair<std::string, float>> out;
+  out.reserve(k);
+  for (const Neighbor& hit : hits) {
+    if (table->key(hit.id) == reference_key) continue;
+    out.emplace_back(table->key(hit.id), hit.distance);
+    if (out.size() == k) break;
+  }
+  return out;
+}
+
+StatusOr<int> FeatureStore::RegisterModel(ModelRecord record) {
+  return model_registry_.Register(std::move(record), clock_.now());
+}
+
+StatusOr<std::vector<VersionSkew>> FeatureStore::CheckEmbeddingVersionSkew() {
+  MLFS_ASSIGN_OR_RETURN(std::vector<VersionSkew> skews,
+                        model_registry_.CheckEmbeddingSkew(embedding_store_));
+  for (const VersionSkew& skew : skews) {
+    alerts_.Emit({clock_.now(), "version_skew:" + skew.model,
+                  AlertSeverity::kCritical,
+                  "model pins " + skew.embedding + "@v" +
+                      std::to_string(skew.pinned_version) +
+                      " but serving has v" +
+                      std::to_string(skew.latest_version) +
+                      " — dot products against the new space are "
+                      "meaningless; retrain or hold the rollout"});
+  }
+  return skews;
+}
+
+StatusOr<DriftReport> FeatureStore::CheckFeatureDrift(
+    const std::string& feature, Timestamp ref_lo, Timestamp ref_hi,
+    Timestamp cur_lo, Timestamp cur_hi) {
+  MLFS_ASSIGN_OR_RETURN(
+      OfflineTable* log_table,
+      offline_.GetTable(Materializer::LogTableName(feature)));
+  auto extract = [&](Timestamp lo, Timestamp hi) {
+    std::vector<double> values;
+    for (const Row& row : log_table->Scan(lo, hi)) {
+      auto v = row.ValueByName("value");
+      if (!v.ok() || v->is_null()) continue;
+      auto d = v->AsDouble();
+      if (d.ok()) values.push_back(*d);
+    }
+    return values;
+  };
+  std::vector<double> reference = extract(ref_lo, ref_hi);
+  std::vector<double> current = extract(cur_lo, cur_hi);
+  if (reference.size() < 10) {
+    return Status::FailedPrecondition(
+        "reference window has too few materialized values (" +
+        std::to_string(reference.size()) + ")");
+  }
+  if (current.empty()) {
+    return Status::FailedPrecondition("current window is empty");
+  }
+  MLFS_ASSIGN_OR_RETURN(DriftDetector detector,
+                        DriftDetector::Fit(std::move(reference)));
+  MLFS_ASSIGN_OR_RETURN(DriftReport report, detector.Check(current));
+  if (report.drifted) {
+    alerts_.Emit({clock_.now(), "drift:" + feature, AlertSeverity::kWarning,
+                  report.ToString()});
+  }
+  return report;
+}
+
+StatusOr<EmbeddingDriftReport> FeatureStore::CheckEmbeddingUpdateDrift(
+    const std::string& name, int from_version, int to_version) {
+  MLFS_ASSIGN_OR_RETURN(EmbeddingTablePtr from,
+                        embedding_store_.GetVersion(name, from_version));
+  MLFS_ASSIGN_OR_RETURN(EmbeddingTablePtr to,
+                        embedding_store_.GetVersion(name, to_version));
+  MLFS_ASSIGN_OR_RETURN(EmbeddingDriftReport report,
+                        CheckEmbeddingDrift(*from, *to));
+  if (report.drifted) {
+    alerts_.Emit({clock_.now(), "embedding_drift:" + name,
+                  AlertSeverity::kWarning, report.ToString()});
+  }
+  return report;
+}
+
+FreshnessReport FeatureStore::CheckFreshness(
+    const std::string& feature,
+    const std::vector<Value>& entity_keys) const {
+  return ComputeFreshness(online_, feature, entity_keys, clock_.now());
+}
+
+Status FeatureStore::Checkpoint(const std::string& dir) const {
+  MLFS_RETURN_IF_ERROR(CheckpointOfflineStore(offline_, dir).status());
+  MLFS_RETURN_IF_ERROR(CheckpointOnlineStore(online_, dir));
+  MLFS_RETURN_IF_ERROR(WriteFileAtomic(dir + "/registry.mlfs",
+                                       registry_.Snapshot()));
+  MLFS_RETURN_IF_ERROR(WriteFileAtomic(dir + "/embeddings.mlfs",
+                                       embedding_store_.Snapshot()));
+  MLFS_RETURN_IF_ERROR(WriteFileAtomic(dir + "/models.mlfs",
+                                       model_registry_.Snapshot()));
+  Encoder enc;
+  enc.PutFixed64(static_cast<uint64_t>(clock_.now()));
+  return WriteFileAtomic(dir + "/clock.mlfs", enc.buffer());
+}
+
+Status FeatureStore::RestoreCheckpoint(const std::string& dir) {
+  MLFS_RETURN_IF_ERROR(RestoreOfflineStore(&offline_, dir));
+  MLFS_RETURN_IF_ERROR(RestoreOnlineStore(&online_, dir));
+  MLFS_ASSIGN_OR_RETURN(std::string registry_data,
+                        ReadFile(dir + "/registry.mlfs"));
+  MLFS_RETURN_IF_ERROR(registry_.Restore(registry_data));
+  MLFS_ASSIGN_OR_RETURN(std::string embedding_data,
+                        ReadFile(dir + "/embeddings.mlfs"));
+  MLFS_RETURN_IF_ERROR(embedding_store_.Restore(embedding_data));
+  MLFS_ASSIGN_OR_RETURN(std::string model_data,
+                        ReadFile(dir + "/models.mlfs"));
+  MLFS_RETURN_IF_ERROR(model_registry_.Restore(model_data));
+  MLFS_ASSIGN_OR_RETURN(std::string clock_data, ReadFile(dir + "/clock.mlfs"));
+  Decoder dec(clock_data);
+  MLFS_ASSIGN_OR_RETURN(uint64_t now, dec.GetFixed64());
+  clock_.AdvanceTo(static_cast<Timestamp>(now));
+  return Status::OK();
+}
+
+}  // namespace mlfs

@@ -1,0 +1,173 @@
+#ifndef MLFS_CORE_FEATURE_STORE_H_
+#define MLFS_CORE_FEATURE_STORE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timestamp.h"
+#include "embedding/ann.h"
+#include "embedding/embedding_drift.h"
+#include "embedding/embedding_store.h"
+#include "modelstore/model_registry.h"
+#include "monitoring/alerting.h"
+#include "quality/drift.h"
+#include "quality/feature_stats.h"
+#include "registry/orchestrator.h"
+#include "registry/registry.h"
+#include "serving/feature_server.h"
+#include "serving/point_in_time.h"
+#include "storage/offline_store.h"
+#include "storage/online_store.h"
+#include "streaming/stream_pipeline.h"
+
+namespace mlfs {
+
+struct FeatureStoreOptions {
+  OnlineStoreOptions online;
+  FeatureServerOptions serving;
+  /// Logical start of time.
+  Timestamp start_time = 0;
+  /// ANN index used by NearestNeighbors: "hnsw" or "brute".
+  std::string ann_index = "hnsw";
+};
+
+/// The integrated system this repository reproduces: a feature store that
+/// manages *both* tabular features and embeddings as first-class citizens
+/// across the full ML pipeline — authoring, materialization, serving,
+/// training-set construction, model registration, and monitoring — per
+/// Orr et al., "Managing ML Pipelines: Feature Stores and the Coming Wave
+/// of Embedding Ecosystems" (VLDB 2021).
+///
+/// All time is logical (clock()); the store never reads the wall clock.
+class FeatureStore {
+ public:
+  explicit FeatureStore(FeatureStoreOptions options = {});
+
+  // --- Component access (power users / tests) ------------------------------
+  SimClock& clock() { return clock_; }
+  OfflineStore& offline() { return offline_; }
+  OnlineStore& online() { return online_; }
+  FeatureRegistry& registry() { return registry_; }
+  Orchestrator& orchestrator() { return orchestrator_; }
+  EmbeddingStore& embeddings() { return embedding_store_; }
+  ModelRegistry& models() { return model_registry_; }
+  AlertBus& alerts() { return alerts_; }
+  FeatureServer& server() { return server_; }
+
+  // --- Tabular feature workflow (paper §2.2) -------------------------------
+
+  /// Registers a raw source table in the offline store.
+  Status CreateSourceTable(OfflineTableOptions options);
+
+  /// Appends raw event rows and advances the clock to the newest event.
+  Status Ingest(const std::string& table, const std::vector<Row>& rows);
+
+  /// Publishes a feature definition (validated against its source).
+  StatusOr<int> PublishFeature(const FeatureDefinition& def);
+
+  /// Runs every due feature refresh at the current logical time.
+  StatusOr<int> RunMaterialization();
+
+  /// Serves a feature vector from the online store at logical now.
+  StatusOr<FeatureVector> ServeFeatures(
+      const Value& entity_key, const std::vector<std::string>& features);
+
+  /// Leakage-free training set: point-in-time joins each feature's
+  /// materialization log onto the spine; output columns carry the feature
+  /// names. `max_age` 0 disables age filtering.
+  StatusOr<TrainingSet> BuildTrainingSet(
+      const std::vector<Row>& spine, const std::string& spine_entity_column,
+      const std::string& spine_time_column,
+      const std::vector<std::string>& features, Timestamp max_age = 0);
+
+  /// Creates a streaming feature view materializing into both stores.
+  /// The returned pipeline is owned by the store.
+  StatusOr<StreamPipeline*> CreateStreamPipeline(
+      StreamPipelineOptions options);
+
+  // --- Embeddings as first-class citizens (paper §3) ------------------------
+
+  /// Registers an embedding table version.
+  StatusOr<int> RegisterEmbedding(const EmbeddingTablePtr& table);
+
+  /// Pushes the latest version's vectors into the online store as a
+  /// feature view "<name>" (schema {entity, event_time, value EMBEDDING}),
+  /// so ServeFeatures can return embeddings alongside tabular features.
+  Status MaterializeEmbedding(const std::string& name);
+
+  /// Latest vector for `key`.
+  StatusOr<std::vector<float>> GetEmbedding(const std::string& name,
+                                            const std::string& key) const;
+
+  /// k nearest entities of `reference_key` under the latest version (ANN
+  /// index built and cached per version).
+  StatusOr<std::vector<std::pair<std::string, float>>> NearestEntities(
+      const std::string& name, const std::string& reference_key, size_t k);
+
+  // --- Models & version skew (paper §2.2.2, §4) ------------------------------
+
+  /// Registers a trained model with pinned feature/embedding versions.
+  StatusOr<int> RegisterModel(ModelRecord record);
+
+  /// Latest models pinned to outdated embedding versions; emits a
+  /// CRITICAL alert per skewed consumer ("dot product loses meaning").
+  StatusOr<std::vector<VersionSkew>> CheckEmbeddingVersionSkew();
+
+  // --- Monitoring (paper §2.2.3, §3.1.3) ------------------------------------
+
+  /// Drift of `feature`'s materialized values: reference window
+  /// [ref_lo, ref_hi) vs current window [cur_lo, cur_hi) of its log table.
+  /// Emits a WARNING alert when drifted.
+  StatusOr<DriftReport> CheckFeatureDrift(const std::string& feature,
+                                          Timestamp ref_lo, Timestamp ref_hi,
+                                          Timestamp cur_lo, Timestamp cur_hi);
+
+  /// Geometry drift between two registered versions of an embedding;
+  /// emits a WARNING alert when drifted.
+  StatusOr<EmbeddingDriftReport> CheckEmbeddingUpdateDrift(
+      const std::string& name, int from_version, int to_version);
+
+  /// Online freshness of `feature` for the given entities at logical now.
+  FreshnessReport CheckFreshness(const std::string& feature,
+                                 const std::vector<Value>& entity_keys) const;
+
+  // --- Durability -------------------------------------------------------------
+
+  /// Writes a full checkpoint (offline tables, online cells, feature
+  /// registry, embedding store, model registry, logical clock) into `dir`.
+  Status Checkpoint(const std::string& dir) const;
+
+  /// Restores a Checkpoint() into this *fresh* store (no tables, views,
+  /// features, embeddings, or models may exist yet). Stream pipelines and
+  /// orchestrator refresh state are not persisted.
+  Status RestoreCheckpoint(const std::string& dir);
+
+ private:
+  FeatureStoreOptions options_;
+  SimClock clock_;
+  OfflineStore offline_;
+  OnlineStore online_;
+  FeatureRegistry registry_;
+  Materializer materializer_;
+  Orchestrator orchestrator_;
+  EmbeddingStore embedding_store_;
+  ModelRegistry model_registry_;
+  AlertBus alerts_;
+  FeatureServer server_;
+  std::vector<std::unique_ptr<StreamPipeline>> pipelines_;
+
+  struct CachedIndex {
+    EmbeddingTablePtr table;  // Keeps the indexed buffer alive.
+    std::unique_ptr<AnnIndex> index;
+  };
+  std::mutex ann_mu_;
+  std::map<std::string, CachedIndex> ann_cache_;  // Key: "name@vK".
+};
+
+}  // namespace mlfs
+
+#endif  // MLFS_CORE_FEATURE_STORE_H_

@@ -1,0 +1,121 @@
+#include "datagen/kb.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mlfs {
+
+StatusOr<SyntheticKb> BuildSyntheticKb(const SyntheticKbConfig& config) {
+  if (config.num_entities < 2 || config.num_types < 2 ||
+      config.num_relation_kinds < 1) {
+    return Status::InvalidArgument(
+        "KB needs >= 2 entities, >= 2 types, >= 1 relation kind");
+  }
+  if (config.homophily < 0 || config.homophily > 1) {
+    return Status::InvalidArgument("homophily must be in [0, 1]");
+  }
+  Rng rng(config.seed);
+  SyntheticKb kb{config,
+                 {},
+                 {},
+                 ZipfDistribution(config.num_entities, config.zipf_exponent)};
+  kb.entity_type.resize(config.num_entities);
+  for (auto& type : kb.entity_type) {
+    type = static_cast<int>(rng.Uniform(config.num_types));
+  }
+  // Entities of each type, for homophilous edge sampling.
+  std::vector<std::vector<uint32_t>> by_type(config.num_types);
+  for (size_t e = 0; e < config.num_entities; ++e) {
+    by_type[kb.entity_type[e]].push_back(static_cast<uint32_t>(e));
+  }
+  kb.neighbors.resize(config.num_entities);
+  for (size_t edge = 0; edge < config.num_edges; ++edge) {
+    uint32_t a = static_cast<uint32_t>(rng.Uniform(config.num_entities));
+    uint32_t b;
+    if (rng.Bernoulli(config.homophily) &&
+        by_type[kb.entity_type[a]].size() > 1) {
+      const auto& pool = by_type[kb.entity_type[a]];
+      do {
+        b = pool[rng.Uniform(pool.size())];
+      } while (b == a);
+    } else {
+      do {
+        b = static_cast<uint32_t>(rng.Uniform(config.num_entities));
+      } while (b == a);
+    }
+    int kind = static_cast<int>(rng.Uniform(config.num_relation_kinds));
+    kb.neighbors[a].emplace_back(b, kind);
+    kb.neighbors[b].emplace_back(a, kind);
+  }
+  return kb;
+}
+
+StatusOr<std::vector<std::vector<int>>> GenerateCorpus(
+    const SyntheticKb& kb, const CorpusConfig& config) {
+  if (config.num_sentences == 0 || config.sentence_length < 2) {
+    return Status::InvalidArgument("corpus needs sentences of length >= 2");
+  }
+  Rng rng(config.seed);
+  std::vector<std::vector<int>> corpus;
+  corpus.reserve(config.num_sentences);
+  for (size_t s = 0; s < config.num_sentences; ++s) {
+    std::vector<int> sentence;
+    size_t current = kb.popularity.Sample(&rng);
+    sentence.push_back(static_cast<int>(current));
+    if (config.include_type_tokens) {
+      sentence.push_back(
+          static_cast<int>(kb.type_token(kb.entity_type[current])));
+    }
+    while (static_cast<int>(sentence.size()) < config.sentence_length) {
+      const auto& adjacency = kb.neighbors[current];
+      if (adjacency.empty() || rng.Bernoulli(0.15)) {
+        // Restart the walk at a fresh popular anchor (topic change).
+        current = kb.popularity.Sample(&rng);
+        sentence.push_back(static_cast<int>(current));
+        continue;
+      }
+      const auto& [next, kind] = adjacency[rng.Uniform(adjacency.size())];
+      if (config.include_relation_tokens) {
+        sentence.push_back(static_cast<int>(kb.relation_token(kind)));
+      }
+      current = next;
+      sentence.push_back(static_cast<int>(current));
+      if (config.include_type_tokens) {
+        sentence.push_back(
+            static_cast<int>(kb.type_token(kb.entity_type[current])));
+      }
+    }
+    corpus.push_back(std::move(sentence));
+  }
+  return corpus;
+}
+
+std::vector<uint64_t> CountMentions(
+    const SyntheticKb& kb, const std::vector<std::vector<int>>& corpus) {
+  std::vector<uint64_t> counts(kb.num_entities(), 0);
+  for (const auto& sentence : corpus) {
+    for (int token : sentence) {
+      if (token >= 0 && static_cast<size_t>(token) < kb.num_entities()) {
+        ++counts[static_cast<size_t>(token)];
+      }
+    }
+  }
+  return counts;
+}
+
+std::vector<std::vector<size_t>> PopularityDeciles(
+    const std::vector<uint64_t>& mentions, size_t deciles) {
+  std::vector<size_t> order(mentions.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return mentions[a] > mentions[b];
+  });
+  std::vector<std::vector<size_t>> out(deciles);
+  for (size_t i = 0; i < order.size(); ++i) {
+    size_t bucket = i * deciles / order.size();
+    out[bucket].push_back(order[i]);
+  }
+  return out;
+}
+
+}  // namespace mlfs

@@ -1,0 +1,91 @@
+#ifndef MLFS_DATAGEN_KB_H_
+#define MLFS_DATAGEN_KB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace mlfs {
+
+/// Configuration of the synthetic knowledge base.
+///
+/// This substitutes for the Wikipedia-scale KB + self-supervised corpus of
+/// Bootleg (Orr et al. [22], paper §3.1.1): entities have types and KG
+/// relations; mention frequency is Zipfian, so most entities are *rare* —
+/// the "tail" whose embedding quality the paper worries about.
+struct SyntheticKbConfig {
+  size_t num_entities = 2000;
+  int num_types = 8;
+  /// Undirected relation edges; mostly intra-type (see `homophily`).
+  size_t num_edges = 6000;
+  /// Probability that an edge connects same-type entities. High homophily
+  /// is what makes type information recoverable from co-occurrence — for
+  /// entities with enough mentions.
+  double homophily = 0.85;
+  /// Number of distinct relation kinds (each edge gets one).
+  int num_relation_kinds = 6;
+  /// Zipf exponent of entity mention popularity.
+  double zipf_exponent = 1.05;
+  uint64_t seed = 7;
+};
+
+/// The generated knowledge base. Token-id layout for corpus generation:
+///   [0, E)                 entity tokens
+///   [E, E+T)               type tokens
+///   [E+T, E+T+R)           relation-kind tokens
+struct SyntheticKb {
+  SyntheticKbConfig config;
+  /// Type id of each entity.
+  std::vector<int> entity_type;
+  /// Adjacency: (neighbor entity, relation kind) per entity.
+  std::vector<std::vector<std::pair<uint32_t, int>>> neighbors;
+  /// Popularity rank: entities are id-ordered by rank (entity 0 = head).
+  ZipfDistribution popularity;
+
+  size_t num_entities() const { return entity_type.size(); }
+  size_t type_token(int type) const { return num_entities() + type; }
+  size_t relation_token(int kind) const {
+    return num_entities() + config.num_types + kind;
+  }
+  size_t vocab_size() const {
+    return num_entities() + config.num_types + config.num_relation_kinds;
+  }
+  std::string entity_key(size_t entity) const {
+    return "ent_" + std::to_string(entity);
+  }
+};
+
+/// Builds the KB (deterministic per config.seed).
+StatusOr<SyntheticKb> BuildSyntheticKb(const SyntheticKbConfig& config);
+
+/// Corpus generation: sentences of co-occurring entity mentions produced
+/// by short relation walks from a Zipf-sampled anchor.
+struct CorpusConfig {
+  size_t num_sentences = 20000;
+  int sentence_length = 8;
+  /// Structured-data augmentation (the [22] technique): interleave the
+  /// anchor's type token and traversed relation-kind tokens into the
+  /// sentence, injecting KB structure into self-supervised pretraining.
+  bool include_type_tokens = false;
+  bool include_relation_tokens = false;
+  uint64_t seed = 11;
+};
+
+StatusOr<std::vector<std::vector<int>>> GenerateCorpus(
+    const SyntheticKb& kb, const CorpusConfig& config);
+
+/// Mention count of each entity in `corpus` (entity tokens only).
+std::vector<uint64_t> CountMentions(const SyntheticKb& kb,
+                                    const std::vector<std::vector<int>>& corpus);
+
+/// Splits entity ids into `deciles` groups by mention count (descending:
+/// group 0 = most-mentioned head, last = rarest tail).
+std::vector<std::vector<size_t>> PopularityDeciles(
+    const std::vector<uint64_t>& mentions, size_t deciles = 10);
+
+}  // namespace mlfs
+
+#endif  // MLFS_DATAGEN_KB_H_

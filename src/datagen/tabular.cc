@@ -1,0 +1,92 @@
+#include "datagen/tabular.h"
+
+namespace mlfs {
+
+StatusOr<TabularGenerator> TabularGenerator::Create(TabularGenConfig config) {
+  if (config.num_entities == 0) {
+    return Status::InvalidArgument("generator needs entities");
+  }
+  std::vector<FieldSpec> fields = {
+      {"entity", FeatureType::kInt64, false},
+      {"event_time", FeatureType::kTimestamp, false}};
+  for (const auto& spec : config.numeric_columns) {
+    if (spec.name.empty()) {
+      return Status::InvalidArgument("numeric column needs a name");
+    }
+    fields.push_back({spec.name, FeatureType::kDouble, true});
+  }
+  for (const auto& spec : config.categorical_columns) {
+    if (spec.name.empty() || spec.values.empty()) {
+      return Status::InvalidArgument(
+          "categorical column needs a name and values");
+    }
+    if (!spec.weights.empty() && spec.weights.size() != spec.values.size()) {
+      return Status::InvalidArgument("categorical weights misaligned");
+    }
+    fields.push_back({spec.name, FeatureType::kString, true});
+  }
+  MLFS_ASSIGN_OR_RETURN(SchemaPtr schema, Schema::Create(std::move(fields)));
+  return TabularGenerator(std::move(config), std::move(schema));
+}
+
+Value TabularGenerator::SampleNumeric(const NumericColumnSpec& spec,
+                                      Timestamp t) {
+  if (spec.null_rate > 0 && rng_.Bernoulli(spec.null_rate)) {
+    return Value::Null();
+  }
+  double mean = spec.mean +
+                spec.drift_per_day * (static_cast<double>(t) /
+                                      static_cast<double>(kMicrosPerDay));
+  if (spec.shift_at != 0 && t >= spec.shift_at) mean += spec.shift_delta;
+  return Value::Double(rng_.Gaussian(mean, spec.stddev));
+}
+
+Value TabularGenerator::SampleCategorical(const CategoricalColumnSpec& spec) {
+  if (spec.null_rate > 0 && rng_.Bernoulli(spec.null_rate)) {
+    return Value::Null();
+  }
+  if (spec.weights.empty()) {
+    return Value::String(spec.values[rng_.Uniform(spec.values.size())]);
+  }
+  double total = 0;
+  for (double w : spec.weights) total += w;
+  double target = rng_.UniformDouble() * total;
+  double cumulative = 0;
+  for (size_t i = 0; i < spec.values.size(); ++i) {
+    cumulative += spec.weights[i];
+    if (cumulative >= target) return Value::String(spec.values[i]);
+  }
+  return Value::String(spec.values.back());
+}
+
+Row TabularGenerator::GenerateAt(int64_t entity, Timestamp t) {
+  std::vector<Value> values;
+  values.reserve(schema_->num_fields());
+  values.push_back(Value::Int64(entity));
+  values.push_back(Value::Time(t));
+  for (const auto& spec : config_.numeric_columns) {
+    values.push_back(SampleNumeric(spec, t));
+  }
+  for (const auto& spec : config_.categorical_columns) {
+    values.push_back(SampleCategorical(spec));
+  }
+  return Row::CreateUnsafe(schema_, std::move(values));
+}
+
+std::vector<Row> TabularGenerator::Generate(size_t count, Timestamp from,
+                                            Timestamp to) {
+  std::vector<Row> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    int64_t entity = static_cast<int64_t>(entity_dist_.Sample(&rng_));
+    Timestamp t = from;
+    if (to > from) {
+      t = from + static_cast<Timestamp>(
+                     rng_.Uniform(static_cast<uint64_t>(to - from)));
+    }
+    out.push_back(GenerateAt(entity, t));
+  }
+  return out;
+}
+
+}  // namespace mlfs

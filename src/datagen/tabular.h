@@ -1,0 +1,82 @@
+#ifndef MLFS_DATAGEN_TABULAR_H_
+#define MLFS_DATAGEN_TABULAR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/row.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/timestamp.h"
+
+namespace mlfs {
+
+/// How one generated numeric column behaves over time.
+struct NumericColumnSpec {
+  std::string name;
+  double mean = 0.0;
+  double stddev = 1.0;
+  /// Linear drift: effective mean at time t is
+  /// mean + drift_per_day * (t / day). Models gradual distribution shift.
+  double drift_per_day = 0.0;
+  /// A step change applied from `shift_at` onward (0 disables) — models a
+  /// sudden upstream change (schema fix, holiday, outage).
+  Timestamp shift_at = 0;
+  double shift_delta = 0.0;
+  /// Fraction of NULLs.
+  double null_rate = 0.0;
+};
+
+struct CategoricalColumnSpec {
+  std::string name;
+  std::vector<std::string> values;
+  /// Unnormalized sampling weights (uniform if empty).
+  std::vector<double> weights;
+  double null_rate = 0.0;
+};
+
+/// Generator of event-level tabular feature data: the synthetic substitute
+/// for production feature traces (DESIGN.md §5). Every event row is
+/// {entity INT64, event_time TIMESTAMP, <numeric columns>, <categorical
+/// columns>} with controllable drift/shift injection for the monitoring
+/// experiments.
+struct TabularGenConfig {
+  size_t num_entities = 1000;
+  /// Zipf skew of which entity each event belongs to.
+  double entity_zipf_exponent = 1.0;
+  std::vector<NumericColumnSpec> numeric_columns;
+  std::vector<CategoricalColumnSpec> categorical_columns;
+  uint64_t seed = 13;
+};
+
+class TabularGenerator {
+ public:
+  static StatusOr<TabularGenerator> Create(TabularGenConfig config);
+
+  const SchemaPtr& schema() const { return schema_; }
+
+  /// Generates `count` event rows with event times uniform in [from, to).
+  std::vector<Row> Generate(size_t count, Timestamp from, Timestamp to);
+
+  /// One row for a specific entity and time (used for spine construction).
+  Row GenerateAt(int64_t entity, Timestamp t);
+
+ private:
+  TabularGenerator(TabularGenConfig config, SchemaPtr schema)
+      : config_(std::move(config)),
+        schema_(std::move(schema)),
+        rng_(config_.seed),
+        entity_dist_(config_.num_entities, config_.entity_zipf_exponent) {}
+
+  Value SampleNumeric(const NumericColumnSpec& spec, Timestamp t);
+  Value SampleCategorical(const CategoricalColumnSpec& spec);
+
+  TabularGenConfig config_;
+  SchemaPtr schema_;
+  Rng rng_;
+  ZipfDistribution entity_dist_;
+};
+
+}  // namespace mlfs
+
+#endif  // MLFS_DATAGEN_TABULAR_H_

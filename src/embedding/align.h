@@ -1,0 +1,42 @@
+#ifndef MLFS_EMBEDDING_ALIGN_H_
+#define MLFS_EMBEDDING_ALIGN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "embedding/embedding_table.h"
+
+namespace mlfs {
+
+/// Embedding-version alignment (orthogonal Procrustes).
+///
+/// Two independent training runs of the same embedding produce private
+/// coordinate systems; a model trained against version A cannot consume
+/// version B's vectors (paper §4: "the dot product of the embedding with
+/// model parameters can lose meaning"). Because the two runs encode the
+/// same relational structure, they differ (to first order) by an
+/// orthogonal transform — solving min_R ||B R - A||_F over rotations R
+/// maps B into A's coordinates, letting stale consumers survive a rollout
+/// until they retrain. This addresses the paper's §4 open question of how
+/// to propagate an embedding update/patch downstream.
+
+struct AlignmentResult {
+  EmbeddingTablePtr aligned;
+  /// Mean per-key cosine between the aligned source and the reference
+  /// over the anchor keys (1.0 = perfect alignment).
+  double anchor_cosine = 0.0;
+  size_t anchors_used = 0;
+};
+
+/// Rotates `source` into `reference`'s coordinate system using their
+/// common keys as anchors (or `anchor_keys` if non-empty). Both tables
+/// must share the dimension and at least `dim` anchors. The result is an
+/// unregistered table with parent = source's versioned name.
+StatusOr<AlignmentResult> AlignToReference(
+    const EmbeddingTable& source, const EmbeddingTable& reference,
+    const std::vector<std::string>& anchor_keys = {});
+
+}  // namespace mlfs
+
+#endif  // MLFS_EMBEDDING_ALIGN_H_

@@ -1,0 +1,98 @@
+#include <algorithm>
+#include <queue>
+
+#include "embedding/ann.h"
+
+namespace mlfs {
+namespace {
+
+class BruteForceIndex final : public AnnIndex {
+ public:
+  explicit BruteForceIndex(Metric metric) : metric_(metric) {}
+
+  Status Build(const float* data, size_t n, size_t dim) override {
+    if (data == nullptr || n == 0 || dim == 0) {
+      return Status::InvalidArgument("brute-force index needs data");
+    }
+    if (data_ != nullptr) {
+      return Status::FailedPrecondition("index already built");
+    }
+    data_ = data;
+    n_ = n;
+    dim_ = dim;
+    return Status::OK();
+  }
+
+  StatusOr<std::vector<Neighbor>> Search(const float* query,
+                                         size_t k) const override {
+    if (data_ == nullptr) {
+      return Status::FailedPrecondition("index not built");
+    }
+    if (query == nullptr || k == 0) {
+      return Status::InvalidArgument("bad query");
+    }
+    k = std::min(k, n_);
+    // Max-heap of the current best k (largest distance on top).
+    std::priority_queue<std::pair<float, size_t>> heap;
+    for (size_t i = 0; i < n_; ++i) {
+      float d = Distance(metric_, query, data_ + i * dim_, dim_);
+      if (heap.size() < k) {
+        heap.emplace(d, i);
+      } else if (d < heap.top().first) {
+        heap.pop();
+        heap.emplace(d, i);
+      }
+    }
+    std::vector<Neighbor> out(heap.size());
+    for (size_t i = heap.size(); i-- > 0;) {
+      out[i] = {heap.top().first, heap.top().second};
+      heap.pop();
+    }
+    return out;
+  }
+
+  std::string name() const override { return "brute_force"; }
+  Metric metric() const override { return metric_; }
+
+ private:
+  Metric metric_;
+  const float* data_ = nullptr;
+  size_t n_ = 0;
+  size_t dim_ = 0;
+};
+
+}  // namespace
+
+std::string_view MetricToString(Metric metric) {
+  switch (metric) {
+    case Metric::kL2:
+      return "l2";
+    case Metric::kInnerProduct:
+      return "ip";
+    case Metric::kCosine:
+      return "cosine";
+  }
+  return "?";
+}
+
+std::unique_ptr<AnnIndex> MakeBruteForceIndex(Metric metric) {
+  return std::make_unique<BruteForceIndex>(metric);
+}
+
+double RecallAtK(const std::vector<Neighbor>& result,
+                 const std::vector<Neighbor>& ground_truth, size_t k) {
+  if (k == 0 || ground_truth.empty()) return 0.0;
+  size_t limit = std::min(k, ground_truth.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < limit; ++i) {
+    for (size_t j = 0; j < result.size() && j < k; ++j) {
+      if (result[j].id == ground_truth[i].id) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(limit);
+}
+
+}  // namespace mlfs

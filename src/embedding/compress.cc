@@ -1,0 +1,76 @@
+#include "embedding/compress.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mlfs {
+
+StatusOr<EmbeddingTablePtr> QuantizeUniform(const EmbeddingTable& table,
+                                            int bits) {
+  if (bits < 1 || bits > 16) {
+    return Status::InvalidArgument("bits must be in [1, 16]");
+  }
+  const size_t n = table.size();
+  const size_t d = table.dim();
+  if (n == 0) {
+    return Status::InvalidArgument("cannot quantize an empty table");
+  }
+  const int levels = 1 << bits;
+
+  // Per-dimension ranges.
+  std::vector<float> lo(d, 0.0f), hi(d, 0.0f);
+  for (size_t j = 0; j < d; ++j) {
+    lo[j] = hi[j] = table.row(0)[j];
+  }
+  for (size_t i = 1; i < n; ++i) {
+    const float* r = table.row(i);
+    for (size_t j = 0; j < d; ++j) {
+      lo[j] = std::min(lo[j], r[j]);
+      hi[j] = std::max(hi[j], r[j]);
+    }
+  }
+
+  std::vector<float> out(n * d);
+  for (size_t j = 0; j < d; ++j) {
+    const float range = hi[j] - lo[j];
+    if (range == 0.0f) {
+      for (size_t i = 0; i < n; ++i) out[i * d + j] = lo[j];
+      continue;
+    }
+    const float step = range / static_cast<float>(levels - 1);
+    for (size_t i = 0; i < n; ++i) {
+      float x = table.row(i)[j];
+      int q = static_cast<int>(std::lround((x - lo[j]) / step));
+      q = std::clamp(q, 0, levels - 1);
+      out[i * d + j] = lo[j] + static_cast<float>(q) * step;
+    }
+  }
+
+  EmbeddingTableMetadata metadata = table.metadata();
+  metadata.parent = table.metadata().VersionedName();
+  metadata.version = 0;  // Unregistered derivative.
+  metadata.notes = "uniform quantization to " + std::to_string(bits) +
+                   " bits (ratio " +
+                   std::to_string(CompressionRatio(bits)) + "x)";
+  return table.WithVectors(std::move(metadata), std::move(out), d);
+}
+
+StatusOr<double> ReconstructionMse(const EmbeddingTable& a,
+                                   const EmbeddingTable& b) {
+  if (a.size() != b.size() || a.dim() != b.dim()) {
+    return Status::InvalidArgument("tables have different shapes");
+  }
+  if (a.size() == 0) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const float* ra = a.row(i);
+    const float* rb = b.row(i);
+    for (size_t j = 0; j < a.dim(); ++j) {
+      double diff = static_cast<double>(ra[j]) - rb[j];
+      total += diff * diff;
+    }
+  }
+  return total / static_cast<double>(a.size() * a.dim());
+}
+
+}  // namespace mlfs

@@ -1,0 +1,27 @@
+#ifndef MLFS_EMBEDDING_COMPRESS_H_
+#define MLFS_EMBEDDING_COMPRESS_H_
+
+#include "common/status.h"
+#include "embedding/embedding_table.h"
+
+namespace mlfs {
+
+/// Uniform scalar quantization of an embedding table to `bits` per
+/// dimension (1..16), per-dimension min/max ranges — the compression family
+/// studied by May et al. [18], whose downstream effect the eigenspace
+/// overlap score predicts (paper §3.1.2). Returns a new (unregistered)
+/// table holding the *dequantized* float vectors, with parent lineage set
+/// to the source table.
+StatusOr<EmbeddingTablePtr> QuantizeUniform(const EmbeddingTable& table,
+                                            int bits);
+
+/// Compression ratio of `bits`-bit quantization vs float32.
+inline double CompressionRatio(int bits) { return 32.0 / bits; }
+
+/// Mean squared reconstruction error between two same-shape tables.
+StatusOr<double> ReconstructionMse(const EmbeddingTable& a,
+                                   const EmbeddingTable& b);
+
+}  // namespace mlfs
+
+#endif  // MLFS_EMBEDDING_COMPRESS_H_

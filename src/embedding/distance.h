@@ -1,0 +1,74 @@
+#ifndef MLFS_EMBEDDING_DISTANCE_H_
+#define MLFS_EMBEDDING_DISTANCE_H_
+
+#include <cmath>
+#include <cstddef>
+#include <string_view>
+
+namespace mlfs {
+
+/// Similarity/distance space for vector search.
+enum class Metric : uint8_t {
+  kL2,            // Squared Euclidean distance (smaller = closer).
+  kInnerProduct,  // Negated dot product as distance (smaller = closer).
+  kCosine,        // 1 - cosine similarity.
+};
+
+std::string_view MetricToString(Metric metric);
+
+inline float DotProduct(const float* a, const float* b, size_t dim) {
+  float s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  size_t j = 0;
+  for (; j + 4 <= dim; j += 4) {
+    s0 += a[j] * b[j];
+    s1 += a[j + 1] * b[j + 1];
+    s2 += a[j + 2] * b[j + 2];
+    s3 += a[j + 3] * b[j + 3];
+  }
+  for (; j < dim; ++j) s0 += a[j] * b[j];
+  return s0 + s1 + s2 + s3;
+}
+
+inline float L2Squared(const float* a, const float* b, size_t dim) {
+  float s0 = 0, s1 = 0;
+  size_t j = 0;
+  for (; j + 2 <= dim; j += 2) {
+    float d0 = a[j] - b[j];
+    float d1 = a[j + 1] - b[j + 1];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+  }
+  for (; j < dim; ++j) {
+    float d = a[j] - b[j];
+    s0 += d * d;
+  }
+  return s0 + s1;
+}
+
+inline float L2Norm(const float* a, size_t dim) {
+  return std::sqrt(DotProduct(a, a, dim));
+}
+
+inline float CosineSimilarity(const float* a, const float* b, size_t dim) {
+  float denom = L2Norm(a, dim) * L2Norm(b, dim);
+  if (denom == 0) return 0.0f;
+  return DotProduct(a, b, dim) / denom;
+}
+
+/// Distance under `metric` (always: smaller = closer).
+inline float Distance(Metric metric, const float* a, const float* b,
+                      size_t dim) {
+  switch (metric) {
+    case Metric::kL2:
+      return L2Squared(a, b, dim);
+    case Metric::kInnerProduct:
+      return -DotProduct(a, b, dim);
+    case Metric::kCosine:
+      return 1.0f - CosineSimilarity(a, b, dim);
+  }
+  return 0.0f;
+}
+
+}  // namespace mlfs
+
+#endif  // MLFS_EMBEDDING_DISTANCE_H_

@@ -1,0 +1,42 @@
+#ifndef MLFS_EMBEDDING_EMBEDDING_DRIFT_H_
+#define MLFS_EMBEDDING_EMBEDDING_DRIFT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "embedding/embedding_table.h"
+
+namespace mlfs {
+
+/// Drift verdict between two embedding versions. Captures the paper's
+/// §3.1 argument: *embeddings are derived data* — cell-level tabular
+/// metrics (null counts, value ranges) cannot see a rotation or a
+/// neighborhood change, so embedding-native monitors compare geometry.
+struct EmbeddingDriftReport {
+  /// Tabular-style signals (what a traditional FS would compute):
+  uint64_t null_or_nan_cells = 0;     // NaN/inf components in version B.
+  double norm_psi = 0.0;              // PSI over the vector-norm histogram.
+  /// Embedding-native signals:
+  double mean_neighbor_churn = 0.0;   // 1 - mean kNN overlap.
+  double centroid_cosine = 1.0;       // Cosine(mean_a, mean_b).
+  double mean_self_cosine = 1.0;      // Mean cos(v_a(key), v_b(key)).
+  bool drifted = false;
+  std::string ToString() const;
+};
+
+struct EmbeddingDriftThresholds {
+  double neighbor_churn_above = 0.5;
+  double self_cosine_below = 0.8;
+  double norm_psi_above = 0.25;
+};
+
+/// Compares embedding version `b` against reference `a` over their common
+/// keys. `k` is the neighborhood size for churn; `max_keys` caps the
+/// sampled centers.
+StatusOr<EmbeddingDriftReport> CheckEmbeddingDrift(
+    const EmbeddingTable& a, const EmbeddingTable& b, size_t k = 10,
+    size_t max_keys = 300, EmbeddingDriftThresholds thresholds = {});
+
+}  // namespace mlfs
+
+#endif  // MLFS_EMBEDDING_EMBEDDING_DRIFT_H_

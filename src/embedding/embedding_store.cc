@@ -1,0 +1,204 @@
+#include "embedding/embedding_store.h"
+
+#include <cstdlib>
+
+#include "common/serde.h"
+#include "common/string_util.h"
+
+namespace mlfs {
+
+StatusOr<int> EmbeddingStore::Register(const EmbeddingTablePtr& table,
+                                       Timestamp registered_at) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("cannot register null table");
+  }
+  const std::string& name = table->metadata().name;
+  std::lock_guard lock(mu_);
+  auto& versions = tables_[name];
+  int version = versions.empty()
+                    ? 1
+                    : versions.back()->metadata().version + 1;
+  if (!versions.empty() &&
+      versions.back()->dim() != table->dim()) {
+    // Allowed (e.g. re-train at a new dim) but it must be deliberate;
+    // record it in the notes so lineage explains the change.
+  }
+  // Tables are immutable: clone with stamped metadata.
+  EmbeddingTableMetadata metadata = table->metadata();
+  metadata.version = version;
+  if (metadata.created_at == 0) metadata.created_at = registered_at;
+  MLFS_ASSIGN_OR_RETURN(
+      EmbeddingTablePtr stamped,
+      EmbeddingTable::Create(std::move(metadata), table->keys(),
+                             table->raw(), table->dim()));
+  versions.push_back(std::move(stamped));
+  return version;
+}
+
+StatusOr<EmbeddingTablePtr> EmbeddingStore::GetLatest(
+    const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end() || it->second.empty()) {
+    return Status::NotFound("no embedding table named '" + name + "'");
+  }
+  return it->second.back();
+}
+
+StatusOr<EmbeddingTablePtr> EmbeddingStore::GetVersion(
+    const std::string& name, int version) const {
+  std::lock_guard lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no embedding table named '" + name + "'");
+  }
+  for (const auto& table : it->second) {
+    if (table->metadata().version == version) return table;
+  }
+  return Status::NotFound("embedding '" + name + "' has no version " +
+                          std::to_string(version));
+}
+
+StatusOr<EmbeddingTablePtr> EmbeddingStore::Resolve(
+    const std::string& reference) const {
+  size_t at = reference.rfind("@v");
+  if (at == std::string::npos) return GetLatest(reference);
+  std::string name = reference.substr(0, at);
+  std::string version_text = reference.substr(at + 2);
+  char* end = nullptr;
+  long version = std::strtol(version_text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || version_text.empty() || version <= 0) {
+    return Status::InvalidArgument("bad embedding reference '" + reference +
+                                   "'");
+  }
+  return GetVersion(name, static_cast<int>(version));
+}
+
+std::vector<std::string> EmbeddingStore::Names() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, versions] : tables_) out.push_back(name);
+  return out;
+}
+
+StatusOr<std::vector<EmbeddingTablePtr>> EmbeddingStore::Versions(
+    const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no embedding table named '" + name + "'");
+  }
+  return it->second;
+}
+
+StatusOr<std::vector<std::string>> EmbeddingStore::Lineage(
+    const std::string& reference) const {
+  std::vector<std::string> chain;
+  std::string current = reference;
+  for (int depth = 0; depth < 64; ++depth) {
+    MLFS_ASSIGN_OR_RETURN(EmbeddingTablePtr table, Resolve(current));
+    chain.push_back(table->metadata().VersionedName());
+    if (table->metadata().parent.empty()) return chain;
+    current = table->metadata().parent;
+  }
+  return Status::Internal("lineage chain too deep (cycle?)");
+}
+
+size_t EmbeddingStore::num_tables() const {
+  std::lock_guard lock(mu_);
+  return tables_.size();
+}
+
+namespace {
+constexpr uint32_t kEmbeddingSnapshotMagic = 0x4d4c4542;  // "MLEB"
+
+void PutMetadata(Encoder* enc, const EmbeddingTableMetadata& metadata) {
+  enc->PutString(metadata.name);
+  enc->PutVarint64(static_cast<uint64_t>(metadata.version));
+  enc->PutFixed64(static_cast<uint64_t>(metadata.created_at));
+  enc->PutString(metadata.training_source);
+  enc->PutString(metadata.parent);
+  enc->PutString(metadata.notes);
+}
+
+StatusOr<EmbeddingTableMetadata> GetMetadata(Decoder* dec) {
+  EmbeddingTableMetadata metadata;
+  MLFS_ASSIGN_OR_RETURN(metadata.name, dec->GetString());
+  MLFS_ASSIGN_OR_RETURN(uint64_t version, dec->GetVarint64());
+  metadata.version = static_cast<int>(version);
+  MLFS_ASSIGN_OR_RETURN(uint64_t created_at, dec->GetFixed64());
+  metadata.created_at = static_cast<Timestamp>(created_at);
+  MLFS_ASSIGN_OR_RETURN(metadata.training_source, dec->GetString());
+  MLFS_ASSIGN_OR_RETURN(metadata.parent, dec->GetString());
+  MLFS_ASSIGN_OR_RETURN(metadata.notes, dec->GetString());
+  return metadata;
+}
+
+}  // namespace
+
+std::string EmbeddingStore::Snapshot() const {
+  std::lock_guard lock(mu_);
+  Encoder enc;
+  enc.PutFixed32(kEmbeddingSnapshotMagic);
+  uint64_t total = 0;
+  for (const auto& [name, versions] : tables_) total += versions.size();
+  enc.PutVarint64(total);
+  for (const auto& [name, versions] : tables_) {
+    for (const auto& table : versions) {
+      PutMetadata(&enc, table->metadata());
+      enc.PutVarint64(table->size());
+      enc.PutVarint64(table->dim());
+      for (const auto& key : table->keys()) enc.PutString(key);
+      for (float x : table->raw()) enc.PutFloat(x);
+    }
+  }
+  return enc.Release();
+}
+
+Status EmbeddingStore::Restore(std::string_view snapshot) {
+  {
+    std::lock_guard lock(mu_);
+    if (!tables_.empty()) {
+      return Status::FailedPrecondition("Restore requires an empty store");
+    }
+  }
+  Decoder dec(snapshot);
+  MLFS_ASSIGN_OR_RETURN(uint32_t magic, dec.GetFixed32());
+  if (magic != kEmbeddingSnapshotMagic) {
+    return Status::Corruption("bad embedding snapshot magic");
+  }
+  MLFS_ASSIGN_OR_RETURN(uint64_t total, dec.GetVarint64());
+  std::lock_guard lock(mu_);
+  for (uint64_t t = 0; t < total; ++t) {
+    MLFS_ASSIGN_OR_RETURN(EmbeddingTableMetadata metadata, GetMetadata(&dec));
+    MLFS_ASSIGN_OR_RETURN(uint64_t n, dec.GetVarint64());
+    MLFS_ASSIGN_OR_RETURN(uint64_t dim, dec.GetVarint64());
+    if (dim == 0 || dim > (1ULL << 24) || n > (1ULL << 32)) {
+      return Status::Corruption("implausible embedding shape");
+    }
+    std::vector<std::string> keys;
+    keys.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      MLFS_ASSIGN_OR_RETURN(std::string key, dec.GetString());
+      keys.push_back(std::move(key));
+    }
+    std::vector<float> vectors(n * dim);
+    for (auto& x : vectors) {
+      MLFS_ASSIGN_OR_RETURN(x, dec.GetFloat());
+    }
+    MLFS_ASSIGN_OR_RETURN(
+        EmbeddingTablePtr table,
+        EmbeddingTable::Create(std::move(metadata), std::move(keys),
+                               std::move(vectors), dim));
+    auto& versions = tables_[table->metadata().name];
+    if (!versions.empty() &&
+        versions.back()->metadata().version >= table->metadata().version) {
+      return Status::Corruption("snapshot versions out of order");
+    }
+    versions.push_back(std::move(table));
+  }
+  return Status::OK();
+}
+
+}  // namespace mlfs

@@ -1,0 +1,65 @@
+#ifndef MLFS_EMBEDDING_EMBEDDING_STORE_H_
+#define MLFS_EMBEDDING_EMBEDDING_STORE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "embedding/embedding_table.h"
+
+namespace mlfs {
+
+/// Versioned catalog of embedding tables: registration, retrieval by
+/// version, and lineage — the embedding-native half of the feature store
+/// the paper calls for ("support for versioning, provenance, and
+/// downstream quality metrics", §4).
+///
+/// Tables are immutable; "updating" an embedding means registering a new
+/// version. Consumers pin versions (see ModelRegistry), which is what makes
+/// version skew detectable.
+class EmbeddingStore {
+ public:
+  /// Registers `table` under its metadata().name; assigns and returns the
+  /// new version number. `registered_at` stamps metadata().created_at if
+  /// unset.
+  StatusOr<int> Register(const EmbeddingTablePtr& table,
+                         Timestamp registered_at);
+
+  /// Latest version of `name`.
+  StatusOr<EmbeddingTablePtr> GetLatest(const std::string& name) const;
+
+  StatusOr<EmbeddingTablePtr> GetVersion(const std::string& name,
+                                         int version) const;
+
+  /// Parses "name@vK" (or bare "name" = latest).
+  StatusOr<EmbeddingTablePtr> Resolve(const std::string& reference) const;
+
+  std::vector<std::string> Names() const;
+  /// All versions of `name`, ascending.
+  StatusOr<std::vector<EmbeddingTablePtr>> Versions(
+      const std::string& name) const;
+
+  /// Chain of parents starting at "name@vK" (inclusive), following
+  /// metadata().parent until a root table.
+  StatusOr<std::vector<std::string>> Lineage(
+      const std::string& reference) const;
+
+  size_t num_tables() const;
+
+  /// Serializes every version of every table (metadata, keys, vectors).
+  std::string Snapshot() const;
+
+  /// Restores a Snapshot() into this (empty) store, preserving version
+  /// numbers.
+  Status Restore(std::string_view snapshot);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<EmbeddingTablePtr>> tables_;
+};
+
+}  // namespace mlfs
+
+#endif  // MLFS_EMBEDDING_EMBEDDING_STORE_H_

@@ -1,0 +1,78 @@
+#include "embedding/embedding_table.h"
+
+namespace mlfs {
+
+EmbeddingTable::EmbeddingTable(EmbeddingTableMetadata metadata,
+                               std::vector<std::string> keys,
+                               std::vector<float> vectors, size_t dim)
+    : metadata_(std::move(metadata)),
+      keys_(std::move(keys)),
+      vectors_(std::move(vectors)),
+      dim_(dim) {
+  index_.reserve(keys_.size());
+  for (size_t i = 0; i < keys_.size(); ++i) index_.emplace(keys_[i], i);
+}
+
+StatusOr<EmbeddingTablePtr> EmbeddingTable::Create(
+    EmbeddingTableMetadata metadata, std::vector<std::string> keys,
+    std::vector<float> vectors, size_t dim) {
+  if (metadata.name.empty()) {
+    return Status::InvalidArgument("embedding table needs a name");
+  }
+  if (dim == 0) {
+    return Status::InvalidArgument("embedding dim must be positive");
+  }
+  if (vectors.size() != keys.size() * dim) {
+    return Status::InvalidArgument(
+        "vector buffer size " + std::to_string(vectors.size()) +
+        " != keys * dim = " + std::to_string(keys.size() * dim));
+  }
+  std::unordered_map<std::string, int> seen;
+  for (const auto& key : keys) {
+    if (key.empty()) {
+      return Status::InvalidArgument("empty embedding key");
+    }
+    if (!seen.emplace(key, 1).second) {
+      return Status::InvalidArgument("duplicate embedding key '" + key + "'");
+    }
+  }
+  return EmbeddingTablePtr(new EmbeddingTable(
+      std::move(metadata), std::move(keys), std::move(vectors), dim));
+}
+
+StatusOr<EmbeddingTablePtr> EmbeddingTable::FromTokenEmbeddings(
+    EmbeddingTableMetadata metadata, const TokenEmbeddings& embeddings,
+    std::vector<std::string> keys) {
+  if (keys.size() != embeddings.vocab_size) {
+    return Status::InvalidArgument("key count != vocab size");
+  }
+  return Create(std::move(metadata), std::move(keys), embeddings.vectors,
+                embeddings.dim);
+}
+
+StatusOr<const float*> EmbeddingTable::Get(const std::string& key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return Status::NotFound("no embedding for key '" + key + "'");
+  }
+  return row(it->second);
+}
+
+StatusOr<std::vector<float>> EmbeddingTable::GetVector(
+    const std::string& key) const {
+  MLFS_ASSIGN_OR_RETURN(const float* r, Get(key));
+  return std::vector<float>(r, r + dim_);
+}
+
+int EmbeddingTable::IndexOf(const std::string& key) const {
+  auto it = index_.find(key);
+  return it == index_.end() ? -1 : static_cast<int>(it->second);
+}
+
+StatusOr<EmbeddingTablePtr> EmbeddingTable::WithVectors(
+    EmbeddingTableMetadata metadata, std::vector<float> vectors,
+    size_t dim) const {
+  return Create(std::move(metadata), keys_, std::move(vectors), dim);
+}
+
+}  // namespace mlfs

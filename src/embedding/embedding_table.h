@@ -1,0 +1,97 @@
+#ifndef MLFS_EMBEDDING_EMBEDDING_TABLE_H_
+#define MLFS_EMBEDDING_EMBEDDING_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timestamp.h"
+#include "ml/sgns.h"
+
+namespace mlfs {
+
+/// Provenance and identity of one embedding table version.
+struct EmbeddingTableMetadata {
+  /// Logical embedding name, e.g. "entity_emb".
+  std::string name;
+  /// Assigned by the EmbeddingStore on registration (0 = unregistered).
+  int version = 0;
+  Timestamp created_at = 0;
+  /// Free-form provenance: what corpus/config produced these vectors.
+  std::string training_source;
+  /// "name@vK" of the table this one was derived from (compression,
+  /// patching, retraining); empty for from-scratch tables.
+  std::string parent;
+  std::string notes;
+
+  std::string VersionedName() const {
+    return name + "@v" + std::to_string(version);
+  }
+};
+
+/// An immutable snapshot of entity embeddings: fixed dimension, one vector
+/// per entity key. This is the first-class "embedding feature" artifact the
+/// paper argues feature stores must manage (§3.1.2) — versioned, with
+/// provenance, and queryable like any other feature.
+class EmbeddingTable {
+ public:
+  /// `keys` and rows of `vectors` (n * dim, row-major) correspond 1:1.
+  /// Keys must be unique and non-empty; dim must be positive.
+  static StatusOr<std::shared_ptr<const EmbeddingTable>> Create(
+      EmbeddingTableMetadata metadata, std::vector<std::string> keys,
+      std::vector<float> vectors, size_t dim);
+
+  /// Wraps SGNS output, naming row i with `keys[i]`.
+  static StatusOr<std::shared_ptr<const EmbeddingTable>> FromTokenEmbeddings(
+      EmbeddingTableMetadata metadata, const TokenEmbeddings& embeddings,
+      std::vector<std::string> keys);
+
+  const EmbeddingTableMetadata& metadata() const { return metadata_; }
+  size_t size() const { return keys_.size(); }
+  size_t dim() const { return dim_; }
+
+  /// Pointer to the vector of `key`, or NotFound.
+  StatusOr<const float*> Get(const std::string& key) const;
+
+  /// Vector copy (convenience for Value::Embedding interop).
+  StatusOr<std::vector<float>> GetVector(const std::string& key) const;
+
+  const float* row(size_t i) const {
+    MLFS_DCHECK(i < size());
+    return vectors_.data() + i * dim_;
+  }
+  const std::string& key(size_t i) const {
+    MLFS_DCHECK(i < size());
+    return keys_[i];
+  }
+  /// Row index of `key`, or -1.
+  int IndexOf(const std::string& key) const;
+
+  const std::vector<std::string>& keys() const { return keys_; }
+  const std::vector<float>& raw() const { return vectors_; }
+
+  /// Derives a new (unregistered) table with the same keys and replaced
+  /// vectors — used by compression and patching.
+  StatusOr<std::shared_ptr<const EmbeddingTable>> WithVectors(
+      EmbeddingTableMetadata metadata, std::vector<float> vectors,
+      size_t dim) const;
+
+ private:
+  EmbeddingTable(EmbeddingTableMetadata metadata,
+                 std::vector<std::string> keys, std::vector<float> vectors,
+                 size_t dim);
+
+  EmbeddingTableMetadata metadata_;
+  std::vector<std::string> keys_;
+  std::vector<float> vectors_;
+  size_t dim_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+using EmbeddingTablePtr = std::shared_ptr<const EmbeddingTable>;
+
+}  // namespace mlfs
+
+#endif  // MLFS_EMBEDDING_EMBEDDING_TABLE_H_

@@ -1,0 +1,98 @@
+#include <algorithm>
+#include <queue>
+
+#include "embedding/ann.h"
+#include "embedding/kmeans.h"
+
+namespace mlfs {
+namespace {
+
+class IvfIndex final : public AnnIndex {
+ public:
+  explicit IvfIndex(IvfOptions options) : options_(options) {}
+
+  Status Build(const float* data, size_t n, size_t dim) override {
+    if (data == nullptr || n == 0 || dim == 0) {
+      return Status::InvalidArgument("IVF index needs data");
+    }
+    if (data_ != nullptr) {
+      return Status::FailedPrecondition("index already built");
+    }
+    if (options_.nlist == 0 || options_.nprobe == 0) {
+      return Status::InvalidArgument("IVF needs nlist > 0 and nprobe > 0");
+    }
+    MLFS_ASSIGN_OR_RETURN(
+        KMeansResult km,
+        KMeans(data, n, dim, options_.nlist, options_.kmeans_iterations,
+               options_.seed));
+    centroids_ = std::move(km.centroids);
+    nlist_ = km.k;
+    lists_.assign(nlist_, {});
+    for (size_t i = 0; i < n; ++i) {
+      lists_[km.assignment[i]].push_back(i);
+    }
+    data_ = data;
+    n_ = n;
+    dim_ = dim;
+    return Status::OK();
+  }
+
+  StatusOr<std::vector<Neighbor>> Search(const float* query,
+                                         size_t k) const override {
+    if (data_ == nullptr) {
+      return Status::FailedPrecondition("index not built");
+    }
+    if (query == nullptr || k == 0) {
+      return Status::InvalidArgument("bad query");
+    }
+    // Rank cells by centroid distance; probe the closest nprobe.
+    std::vector<std::pair<float, size_t>> cells(nlist_);
+    for (size_t c = 0; c < nlist_; ++c) {
+      cells[c] = {L2Squared(query, centroids_.data() + c * dim_, dim_), c};
+    }
+    size_t probes = std::min(options_.nprobe, nlist_);
+    std::partial_sort(cells.begin(), cells.begin() + probes, cells.end());
+
+    std::priority_queue<std::pair<float, size_t>> heap;
+    for (size_t p = 0; p < probes; ++p) {
+      for (size_t id : lists_[cells[p].second]) {
+        float d = L2Squared(query, data_ + id * dim_, dim_);
+        if (heap.size() < k) {
+          heap.emplace(d, id);
+        } else if (d < heap.top().first) {
+          heap.pop();
+          heap.emplace(d, id);
+        }
+      }
+    }
+    std::vector<Neighbor> out(heap.size());
+    for (size_t i = heap.size(); i-- > 0;) {
+      out[i] = {heap.top().first, heap.top().second};
+      heap.pop();
+    }
+    return out;
+  }
+
+  std::string name() const override {
+    return "ivf_flat(nlist=" + std::to_string(options_.nlist) +
+           ",nprobe=" + std::to_string(options_.nprobe) + ")";
+  }
+  Metric metric() const override { return Metric::kL2; }
+
+ private:
+  IvfOptions options_;
+  const float* data_ = nullptr;
+  size_t n_ = 0;
+  size_t dim_ = 0;
+  size_t nlist_ = 0;
+  std::vector<float> centroids_;
+  std::vector<std::vector<size_t>> lists_;
+};
+
+}  // namespace
+
+std::unique_ptr<AnnIndex> MakeIvfIndex(IvfOptions options) {
+  return std::make_unique<IvfIndex>(options);
+}
+
+}  // namespace mlfs

@@ -1,0 +1,105 @@
+#include "embedding/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "embedding/distance.h"
+
+namespace mlfs {
+
+StatusOr<KMeansResult> KMeans(const float* data, size_t n, size_t dim,
+                              size_t k, int max_iterations, uint64_t seed) {
+  if (data == nullptr || n == 0 || dim == 0 || k == 0) {
+    return Status::InvalidArgument("kmeans needs data, dim and k");
+  }
+  k = std::min(k, n);
+  KMeansResult result;
+  result.k = k;
+  result.dim = dim;
+  result.centroids.resize(k * dim);
+  result.assignment.assign(n, 0);
+
+  Rng rng(seed);
+  // k-means++ seeding.
+  std::vector<double> min_dist(n, std::numeric_limits<double>::max());
+  size_t first = rng.Uniform(n);
+  std::copy(data + first * dim, data + (first + 1) * dim,
+            result.centroids.begin());
+  for (size_t c = 1; c < k; ++c) {
+    const float* prev = result.centroids.data() + (c - 1) * dim;
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double d = L2Squared(data + i * dim, prev, dim);
+      min_dist[i] = std::min(min_dist[i], d);
+      total += min_dist[i];
+    }
+    double target = rng.UniformDouble() * total;
+    size_t chosen = n - 1;
+    double cumulative = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      cumulative += min_dist[i];
+      if (cumulative >= target) {
+        chosen = i;
+        break;
+      }
+    }
+    std::copy(data + chosen * dim, data + (chosen + 1) * dim,
+              result.centroids.begin() + c * dim);
+  }
+
+  std::vector<double> sums(k * dim);
+  std::vector<size_t> counts(k);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    // Assign.
+    bool changed = false;
+    result.inertia = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const float* x = data + i * dim;
+      uint32_t best = 0;
+      float best_dist = std::numeric_limits<float>::max();
+      for (size_t c = 0; c < k; ++c) {
+        float d = L2Squared(x, result.centroid(c), dim);
+        if (d < best_dist) {
+          best_dist = d;
+          best = static_cast<uint32_t>(c);
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+      result.inertia += best_dist;
+    }
+    result.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+    // Update.
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t c = result.assignment[i];
+      const float* x = data + i * dim;
+      double* s = sums.data() + static_cast<size_t>(c) * dim;
+      for (size_t j = 0; j < dim; ++j) s[j] += x[j];
+      ++counts[c];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed empty cluster at a random point.
+        size_t pick = rng.Uniform(n);
+        std::copy(data + pick * dim, data + (pick + 1) * dim,
+                  result.centroids.begin() + c * dim);
+        continue;
+      }
+      float* centroid = result.centroids.data() + c * dim;
+      for (size_t j = 0; j < dim; ++j) {
+        centroid[j] = static_cast<float>(sums[c * dim + j] /
+                                         static_cast<double>(counts[c]));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mlfs

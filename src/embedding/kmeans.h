@@ -1,0 +1,31 @@
+#ifndef MLFS_EMBEDDING_KMEANS_H_
+#define MLFS_EMBEDDING_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mlfs {
+
+struct KMeansResult {
+  size_t k = 0;
+  size_t dim = 0;
+  std::vector<float> centroids;     // k * dim.
+  std::vector<uint32_t> assignment; // One per input point.
+  double inertia = 0.0;             // Sum of squared distances to centroid.
+  int iterations = 0;
+
+  const float* centroid(size_t c) const { return centroids.data() + c * dim; }
+};
+
+/// Lloyd's k-means with k-means++ initialization over `n` points of
+/// dimension `dim` (L2). Deterministic given `seed`. `k` is clamped to n.
+/// Used as the coarse quantizer of the IVF index.
+StatusOr<KMeansResult> KMeans(const float* data, size_t n, size_t dim,
+                              size_t k, int max_iterations = 25,
+                              uint64_t seed = 1);
+
+}  // namespace mlfs
+
+#endif  // MLFS_EMBEDDING_KMEANS_H_

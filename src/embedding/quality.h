@@ -1,0 +1,65 @@
+#ifndef MLFS_EMBEDDING_QUALITY_H_
+#define MLFS_EMBEDDING_QUALITY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "embedding/embedding_table.h"
+#include "ml/dataset.h"
+#include "ml/linear_model.h"
+
+namespace mlfs {
+
+/// k-NN overlap between two embedding versions, per Wendlandt et al. [29] /
+/// Hellrich & Hahn [12] (paper §3.1.2): for each sampled key present in
+/// both tables, the fraction of its k nearest neighbors (cosine, within the
+/// common-key universe) that coincide across versions.
+struct NeighborStabilityReport {
+  double mean_overlap = 0.0;   // 1.0 = identical neighborhoods.
+  double min_overlap = 1.0;
+  size_t keys_compared = 0;
+};
+StatusOr<NeighborStabilityReport> NeighborStability(const EmbeddingTable& a,
+                                                    const EmbeddingTable& b,
+                                                    size_t k = 10,
+                                                    size_t max_keys = 500);
+
+/// Eigenspace overlap score of May et al. [18] (paper §3.1.2): with U, V
+/// the orthonormal column bases of the two n x d embedding matrices
+/// (restricted to common keys, same order),
+///     EOS = ||U^T V||_F^2 / max(rank_U, rank_V)  in [0, 1].
+/// 1.0 means the compressed/retrained embedding spans the same subspace —
+/// the paper's cited predictor of downstream performance.
+StatusOr<double> EigenspaceOverlapScore(const EmbeddingTable& a,
+                                        const EmbeddingTable& b);
+
+/// Downstream instability of Leszczynski et al. [17] (paper §3.1.2): train
+/// the same downstream model on features from embedding A and embedding B
+/// and measure the fraction of *test* predictions that change.
+struct InstabilityReport {
+  double prediction_churn = 0.0;  // Fraction of test predictions changed.
+  double accuracy_a = 0.0;
+  double accuracy_b = 0.0;
+};
+
+/// A downstream task over embedding keys: each example is (key, label);
+/// features are looked up in whichever embedding version is under test.
+struct DownstreamTask {
+  std::vector<std::string> keys;
+  std::vector<int> labels;
+};
+
+/// Builds a Dataset by replacing each task key with its vector from
+/// `table`; keys missing from the table are skipped (and *must* be skipped
+/// identically for comparability — prefer tables with identical key sets).
+StatusOr<Dataset> MaterializeTask(const DownstreamTask& task,
+                                  const EmbeddingTable& table);
+
+StatusOr<InstabilityReport> DownstreamInstability(
+    const EmbeddingTable& a, const EmbeddingTable& b,
+    const DownstreamTask& task, double test_fraction = 0.3,
+    const TrainConfig& config = {});
+
+}  // namespace mlfs
+
+#endif  // MLFS_EMBEDDING_QUALITY_H_

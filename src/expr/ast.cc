@@ -1,0 +1,89 @@
+#include "expr/ast.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mlfs {
+
+std::string_view BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "==";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "and";
+    case BinaryOp::kOr: return "or";
+  }
+  return "?";
+}
+
+std::string_view UnaryOpToString(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kNeg: return "-";
+    case UnaryOp::kNot: return "not";
+  }
+  return "?";
+}
+
+namespace {
+
+void CollectColumns(const Expr& e, std::vector<std::string>* out) {
+  if (e.kind() == Expr::Kind::kColumn) out->push_back(e.name());
+  for (const auto& arg : e.args()) CollectColumns(*arg, out);
+}
+
+}  // namespace
+
+std::vector<std::string> Expr::ReferencedColumns() const {
+  std::vector<std::string> out;
+  CollectColumns(*this, &out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case Kind::kLiteral:
+      if (literal_.type() == FeatureType::kDouble) {
+        // Round-trip-safe: keep a decimal marker so "1.0" does not
+        // re-parse as the INT64 literal 1.
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", literal_.double_value());
+        std::string text(buf);
+        if (text.find_first_of(".eE") == std::string::npos) text += ".0";
+        return text;
+      }
+      return literal_.ToString();
+    case Kind::kColumn:
+      return name_;
+    case Kind::kUnary: {
+      std::string op(UnaryOpToString(unary_op_));
+      std::string sep = (unary_op_ == UnaryOp::kNot) ? " " : "";
+      return "(" + op + sep + args_[0]->ToString() + ")";
+    }
+    case Kind::kBinary:
+      return "(" + args_[0]->ToString() + " " +
+             std::string(BinaryOpToString(binary_op_)) + " " +
+             args_[1]->ToString() + ")";
+    case Kind::kCall: {
+      std::string out = name_ + "(";
+      for (size_t i = 0; i < args_.size(); ++i) {
+        if (i) out += ", ";
+        out += args_[i]->ToString();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace mlfs

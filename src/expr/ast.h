@@ -1,0 +1,104 @@
+#ifndef MLFS_EXPR_AST_H_
+#define MLFS_EXPR_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace mlfs {
+
+/// Binary operators of the feature-definition expression language.
+enum class BinaryOp : uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+enum class UnaryOp : uint8_t {
+  kNeg,
+  kNot,
+};
+
+std::string_view BinaryOpToString(BinaryOp op);
+std::string_view UnaryOpToString(UnaryOp op);
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// One node of a parsed feature-definition expression. Feature stores let
+/// users author features as small transformation expressions over source
+/// columns ("definition SQL query", paper §2.2.1); this AST is MLFS's
+/// representation of those definitions.
+class Expr {
+ public:
+  enum class Kind : uint8_t { kLiteral, kColumn, kUnary, kBinary, kCall };
+
+  static ExprPtr Literal(Value v) {
+    ExprPtr e(new Expr(Kind::kLiteral));
+    e->literal_ = std::move(v);
+    return e;
+  }
+  static ExprPtr Column(std::string name) {
+    ExprPtr e(new Expr(Kind::kColumn));
+    e->name_ = std::move(name);
+    return e;
+  }
+  static ExprPtr Unary(UnaryOp op, ExprPtr operand) {
+    ExprPtr e(new Expr(Kind::kUnary));
+    e->unary_op_ = op;
+    e->args_.push_back(std::move(operand));
+    return e;
+  }
+  static ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+    ExprPtr e(new Expr(Kind::kBinary));
+    e->binary_op_ = op;
+    e->args_.push_back(std::move(lhs));
+    e->args_.push_back(std::move(rhs));
+    return e;
+  }
+  static ExprPtr Call(std::string name, std::vector<ExprPtr> args) {
+    ExprPtr e(new Expr(Kind::kCall));
+    e->name_ = std::move(name);
+    e->args_ = std::move(args);
+    return e;
+  }
+
+  Kind kind() const { return kind_; }
+  const Value& literal() const { return literal_; }
+  const std::string& name() const { return name_; }
+  UnaryOp unary_op() const { return unary_op_; }
+  BinaryOp binary_op() const { return binary_op_; }
+  const std::vector<ExprPtr>& args() const { return args_; }
+
+  /// Column names referenced anywhere in the tree (deduplicated).
+  std::vector<std::string> ReferencedColumns() const;
+
+  /// Parenthesized rendering that re-parses to an equivalent tree.
+  std::string ToString() const;
+
+ private:
+  explicit Expr(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  Value literal_;
+  std::string name_;
+  UnaryOp unary_op_ = UnaryOp::kNeg;
+  BinaryOp binary_op_ = BinaryOp::kAdd;
+  std::vector<ExprPtr> args_;
+};
+
+}  // namespace mlfs
+
+#endif  // MLFS_EXPR_AST_H_

@@ -1,0 +1,69 @@
+#ifndef MLFS_EXPR_EVALUATOR_H_
+#define MLFS_EXPR_EVALUATOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/row.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "expr/ast.h"
+
+namespace mlfs {
+
+/// Static type of `expr` when evaluated against rows of `schema`.
+/// Fails on unknown columns, unknown functions, arity errors, and type
+/// mismatches — this is how the registry validates a feature definition at
+/// publish time instead of at serving time.
+///
+/// Semantics summary:
+///  - NULLs propagate through arithmetic, comparisons and most functions
+///    (SQL-style); `and`/`or` use three-valued logic; `coalesce`, `if`
+///    and `is_null` handle NULL explicitly.
+///  - `+ - * %` on two INT64 yield INT64; any DOUBLE operand promotes the
+///    result to DOUBLE; `/` always yields DOUBLE. `%` by zero yields NULL.
+///  - Embeddings are first-class: `dot(a,b)`, `cosine(a,b)`, `norm(a)`,
+///    `dim(a)`, `at(a,i)` operate on EMBEDDING values.
+StatusOr<FeatureType> InferType(const Expr& expr, const Schema& schema);
+
+/// Interprets `expr` against `row`, resolving columns by name.
+/// Prefer CompiledExpr on hot paths.
+StatusOr<Value> EvalExpr(const Expr& expr, const Row& row);
+
+/// An expression type-checked and bound to a schema: column references are
+/// resolved to indices once, so per-row evaluation does no name lookups.
+class CompiledExpr {
+ public:
+  using EvalFn = std::function<StatusOr<Value>(const Row&)>;
+
+  /// Type-checks `expr` against `schema` and binds column indices.
+  static StatusOr<CompiledExpr> Compile(const Expr& expr, SchemaPtr schema);
+
+  /// Convenience: parse + compile.
+  static StatusOr<CompiledExpr> Compile(std::string_view source,
+                                        SchemaPtr schema);
+
+  /// Evaluates against a row of the bound schema.
+  StatusOr<Value> Eval(const Row& row) const { return fn_(row); }
+
+  FeatureType output_type() const { return output_type_; }
+  const SchemaPtr& schema() const { return schema_; }
+
+ private:
+  CompiledExpr(EvalFn fn, FeatureType output_type, SchemaPtr schema)
+      : fn_(std::move(fn)),
+        output_type_(output_type),
+        schema_(std::move(schema)) {}
+
+  EvalFn fn_;
+  FeatureType output_type_;
+  SchemaPtr schema_;
+};
+
+/// Names of all builtin functions (for documentation/introspection).
+std::vector<std::string> BuiltinFunctionNames();
+
+}  // namespace mlfs
+
+#endif  // MLFS_EXPR_EVALUATOR_H_

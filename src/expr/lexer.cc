@@ -1,0 +1,211 @@
+#include "expr/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace mlfs {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+Status LexError(std::string_view source, size_t pos, const std::string& msg) {
+  return Status::InvalidArgument("lex error at offset " + std::to_string(pos) +
+                                 " in '" + std::string(source) + "': " + msg);
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = source.size();
+  while (i < n) {
+    char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(source[i])) ++i;
+      tok.text = std::string(source.substr(start, i - start));
+      std::string lower = ToLower(tok.text);
+      if (lower == "and") {
+        tok.type = TokenType::kKeywordAnd;
+      } else if (lower == "or") {
+        tok.type = TokenType::kKeywordOr;
+      } else if (lower == "not") {
+        tok.type = TokenType::kKeywordNot;
+      } else if (lower == "true") {
+        tok.type = TokenType::kKeywordTrue;
+      } else if (lower == "false") {
+        tok.type = TokenType::kKeywordFalse;
+      } else if (lower == "null") {
+        tok.type = TokenType::kKeywordNull;
+      } else {
+        tok.type = TokenType::kIdentifier;
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) ++i;
+      if (i < n && source[i] == '.') {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(source[i])))
+          ++i;
+      }
+      if (i < n && (source[i] == 'e' || source[i] == 'E')) {
+        is_double = true;
+        ++i;
+        if (i < n && (source[i] == '+' || source[i] == '-')) ++i;
+        if (i >= n || !std::isdigit(static_cast<unsigned char>(source[i]))) {
+          return LexError(source, start, "malformed exponent");
+        }
+        while (i < n && std::isdigit(static_cast<unsigned char>(source[i])))
+          ++i;
+      }
+      tok.text = std::string(source.substr(start, i - start));
+      if (is_double) {
+        tok.type = TokenType::kDoubleLiteral;
+        tok.double_value = std::strtod(tok.text.c_str(), nullptr);
+      } else {
+        tok.type = TokenType::kIntLiteral;
+        errno = 0;
+        char* end = nullptr;
+        long long v = std::strtoll(tok.text.c_str(), &end, 10);
+        if (errno == ERANGE) {
+          return LexError(source, start, "integer literal out of range");
+        }
+        tok.int_value = v;
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (source[i] == '\\' && i + 1 < n) {
+          char esc = source[i + 1];
+          switch (esc) {
+            case 'n': text.push_back('\n'); break;
+            case 't': text.push_back('\t'); break;
+            case '\\': text.push_back('\\'); break;
+            case '\'': text.push_back('\''); break;
+            case '"': text.push_back('"'); break;
+            default:
+              return LexError(source, i, "unknown escape");
+          }
+          i += 2;
+          continue;
+        }
+        if (source[i] == quote) {
+          closed = true;
+          ++i;
+          break;
+        }
+        text.push_back(source[i]);
+        ++i;
+      }
+      if (!closed) return LexError(source, tok.position, "unterminated string");
+      tok.type = TokenType::kStringLiteral;
+      tok.text = std::move(text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    switch (c) {
+      case '(':
+        tok.type = TokenType::kLParen;
+        tok.text = "(";
+        ++i;
+        break;
+      case ')':
+        tok.type = TokenType::kRParen;
+        tok.text = ")";
+        ++i;
+        break;
+      case ',':
+        tok.type = TokenType::kComma;
+        tok.text = ",";
+        ++i;
+        break;
+      case '+':
+      case '-':
+      case '*':
+      case '/':
+      case '%':
+        tok.type = TokenType::kOperator;
+        tok.text = std::string(1, c);
+        ++i;
+        break;
+      case '=':
+        if (i + 1 < n && source[i + 1] == '=') {
+          tok.type = TokenType::kOperator;
+          tok.text = "==";
+          i += 2;
+        } else {
+          return LexError(source, i, "use '==' for equality");
+        }
+        break;
+      case '!':
+        if (i + 1 < n && source[i + 1] == '=') {
+          tok.type = TokenType::kOperator;
+          tok.text = "!=";
+          i += 2;
+        } else {
+          return LexError(source, i, "use 'not' for negation");
+        }
+        break;
+      case '<':
+        if (i + 1 < n && source[i + 1] == '=') {
+          tok.type = TokenType::kOperator;
+          tok.text = "<=";
+          i += 2;
+        } else {
+          tok.type = TokenType::kOperator;
+          tok.text = "<";
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && source[i + 1] == '=') {
+          tok.type = TokenType::kOperator;
+          tok.text = ">=";
+          i += 2;
+        } else {
+          tok.type = TokenType::kOperator;
+          tok.text = ">";
+          ++i;
+        }
+        break;
+      default:
+        return LexError(source, i, std::string("unexpected character '") +
+                                        c + "'");
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace mlfs

@@ -1,0 +1,45 @@
+#ifndef MLFS_EXPR_LEXER_H_
+#define MLFS_EXPR_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mlfs {
+
+enum class TokenType : uint8_t {
+  kIdentifier,   // foo, trips_7d
+  kIntLiteral,   // 42
+  kDoubleLiteral,  // 3.5, 1e-3
+  kStringLiteral,  // 'abc' or "abc"
+  kOperator,     // + - * / % == != < <= > >=
+  kLParen,
+  kRParen,
+  kComma,
+  kKeywordAnd,
+  kKeywordOr,
+  kKeywordNot,
+  kKeywordTrue,
+  kKeywordFalse,
+  kKeywordNull,
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;       // Raw text (unescaped for strings).
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t position = 0;    // Byte offset in the source, for error messages.
+};
+
+/// Tokenizes one feature-definition expression. Returns InvalidArgument on
+/// malformed input (bad number, unterminated string, unknown character).
+/// The token stream always ends with a kEnd token.
+StatusOr<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace mlfs
+
+#endif  // MLFS_EXPR_LEXER_H_

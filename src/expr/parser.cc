@@ -1,0 +1,190 @@
+#include "expr/parser.h"
+
+#include "expr/lexer.h"
+
+namespace mlfs {
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view source, std::vector<Token> tokens)
+      : source_(source), tokens_(std::move(tokens)) {}
+
+  StatusOr<ExprPtr> Parse() {
+    MLFS_ASSIGN_OR_RETURN(ExprPtr e, ParseOr());
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return e;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  Token Take() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument(
+        "parse error at offset " + std::to_string(Peek().position) + " in '" +
+        std::string(source_) + "': " + msg);
+  }
+
+  StatusOr<ExprPtr> ParseOr() {
+    MLFS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (Peek().type == TokenType::kKeywordOr) {
+      Take();
+      MLFS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::Binary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> ParseAnd() {
+    MLFS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (Peek().type == TokenType::kKeywordAnd) {
+      Take();
+      MLFS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = Expr::Binary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> ParseNot() {
+    if (Peek().type == TokenType::kKeywordNot) {
+      Take();
+      MLFS_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return Expr::Unary(UnaryOp::kNot, std::move(operand));
+    }
+    return ParseCmp();
+  }
+
+  StatusOr<ExprPtr> ParseCmp() {
+    MLFS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdd());
+    if (Peek().type == TokenType::kOperator) {
+      const std::string& op = Peek().text;
+      BinaryOp bop;
+      if (op == "==") {
+        bop = BinaryOp::kEq;
+      } else if (op == "!=") {
+        bop = BinaryOp::kNe;
+      } else if (op == "<") {
+        bop = BinaryOp::kLt;
+      } else if (op == "<=") {
+        bop = BinaryOp::kLe;
+      } else if (op == ">") {
+        bop = BinaryOp::kGt;
+      } else if (op == ">=") {
+        bop = BinaryOp::kGe;
+      } else {
+        return lhs;
+      }
+      Take();
+      MLFS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdd());
+      return Expr::Binary(bop, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> ParseAdd() {
+    MLFS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMul());
+    while (Peek().type == TokenType::kOperator &&
+           (Peek().text == "+" || Peek().text == "-")) {
+      BinaryOp op = Take().text == "+" ? BinaryOp::kAdd : BinaryOp::kSub;
+      MLFS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMul());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> ParseMul() {
+    MLFS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (Peek().type == TokenType::kOperator &&
+           (Peek().text == "*" || Peek().text == "/" || Peek().text == "%")) {
+      std::string op = Take().text;
+      MLFS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      BinaryOp bop = op == "*"   ? BinaryOp::kMul
+                     : op == "/" ? BinaryOp::kDiv
+                                 : BinaryOp::kMod;
+      lhs = Expr::Binary(bop, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> ParseUnary() {
+    if (Peek().type == TokenType::kOperator && Peek().text == "-") {
+      Take();
+      MLFS_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return Expr::Unary(UnaryOp::kNeg, std::move(operand));
+    }
+    return ParsePrimary();
+  }
+
+  StatusOr<ExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+    switch (tok.type) {
+      case TokenType::kIntLiteral:
+        return Expr::Literal(Value::Int64(Take().int_value));
+      case TokenType::kDoubleLiteral:
+        return Expr::Literal(Value::Double(Take().double_value));
+      case TokenType::kStringLiteral:
+        return Expr::Literal(Value::String(Take().text));
+      case TokenType::kKeywordTrue:
+        Take();
+        return Expr::Literal(Value::Bool(true));
+      case TokenType::kKeywordFalse:
+        Take();
+        return Expr::Literal(Value::Bool(false));
+      case TokenType::kKeywordNull:
+        Take();
+        return Expr::Literal(Value::Null());
+      case TokenType::kLParen: {
+        Take();
+        MLFS_ASSIGN_OR_RETURN(ExprPtr inner, ParseOr());
+        if (Peek().type != TokenType::kRParen) {
+          return Error("expected ')'");
+        }
+        Take();
+        return inner;
+      }
+      case TokenType::kIdentifier: {
+        Token ident = Take();
+        if (Peek().type == TokenType::kLParen) {
+          Take();
+          std::vector<ExprPtr> args;
+          if (Peek().type != TokenType::kRParen) {
+            for (;;) {
+              MLFS_ASSIGN_OR_RETURN(ExprPtr arg, ParseOr());
+              args.push_back(std::move(arg));
+              if (Peek().type == TokenType::kComma) {
+                Take();
+                continue;
+              }
+              break;
+            }
+          }
+          if (Peek().type != TokenType::kRParen) {
+            return Error("expected ')' after call arguments");
+          }
+          Take();
+          return Expr::Call(ident.text, std::move(args));
+        }
+        return Expr::Column(ident.text);
+      }
+      default:
+        return Error("expected expression");
+    }
+  }
+
+  std::string_view source_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<ExprPtr> ParseExpr(std::string_view source) {
+  MLFS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(source, std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace mlfs

@@ -1,0 +1,30 @@
+#ifndef MLFS_EXPR_PARSER_H_
+#define MLFS_EXPR_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "expr/ast.h"
+
+namespace mlfs {
+
+/// Parses a feature-definition expression into an AST.
+///
+/// Grammar (precedence climbing, loosest first):
+///   or_expr   := and_expr ( "or" and_expr )*
+///   and_expr  := not_expr ( "and" not_expr )*
+///   not_expr  := "not" not_expr | cmp_expr
+///   cmp_expr  := add_expr ( ("=="|"!="|"<"|"<="|">"|">=") add_expr )?
+///   add_expr  := mul_expr ( ("+"|"-") mul_expr )*
+///   mul_expr  := unary ( ("*"|"/"|"%") unary )*
+///   unary     := "-" unary | primary
+///   primary   := literal | identifier | identifier "(" args ")" |
+///                "(" or_expr ")"
+///
+/// Examples: "trips_7d / (trips_30d + 1)",
+///           "coalesce(rating, 4.0) >= 4.5 and not is_closed".
+StatusOr<ExprPtr> ParseExpr(std::string_view source);
+
+}  // namespace mlfs
+
+#endif  // MLFS_EXPR_PARSER_H_

@@ -1,0 +1,65 @@
+#ifndef MLFS_ML_DATASET_H_
+#define MLFS_ML_DATASET_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace mlfs {
+
+/// Dense classification dataset: `n` examples of dimension `dim` (flat
+/// row-major features) with integer labels in [0, num_classes).
+struct Dataset {
+  size_t dim = 0;
+  std::vector<float> features;  // n * dim.
+  std::vector<int> labels;
+
+  size_t size() const { return labels.size(); }
+  const float* example(size_t i) const {
+    MLFS_DCHECK(i < size());
+    return features.data() + i * dim;
+  }
+  void Add(const std::vector<float>& x, int label) {
+    MLFS_DCHECK(dim == 0 || x.size() == dim);
+    if (dim == 0) dim = x.size();
+    features.insert(features.end(), x.begin(), x.end());
+    labels.push_back(label);
+  }
+  int num_classes() const {
+    int max_label = -1;
+    for (int y : labels) max_label = y > max_label ? y : max_label;
+    return max_label + 1;
+  }
+};
+
+/// Deterministic shuffled split into (train, test) with `test_fraction` of
+/// examples in the test set.
+inline std::pair<Dataset, Dataset> TrainTestSplit(const Dataset& data,
+                                                  double test_fraction,
+                                                  uint64_t seed) {
+  std::vector<size_t> order(data.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng rng(seed);
+  rng.Shuffle(&order);
+  size_t test_count = static_cast<size_t>(
+      test_fraction * static_cast<double>(data.size()));
+  Dataset train, test;
+  train.dim = test.dim = data.dim;
+  for (size_t i = 0; i < order.size(); ++i) {
+    const float* x = data.example(order[i]);
+    std::vector<float> row(x, x + data.dim);
+    if (i < test_count) {
+      test.Add(row, data.labels[order[i]]);
+    } else {
+      train.Add(row, data.labels[order[i]]);
+    }
+  }
+  return {std::move(train), std::move(test)};
+}
+
+}  // namespace mlfs
+
+#endif  // MLFS_ML_DATASET_H_

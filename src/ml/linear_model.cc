@@ -1,0 +1,156 @@
+#include "ml/linear_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mlfs {
+
+Status SoftmaxClassifier::TrainEpochs(const Dataset& data,
+                                      const TrainConfig& config,
+                                      double* final_loss) {
+  const size_t n = data.size();
+  const size_t d = data.dim;
+  const int k = num_classes_;
+  if (!config.example_weights.empty() &&
+      config.example_weights.size() != n) {
+    return Status::InvalidArgument(
+        "example_weights size does not match dataset");
+  }
+  std::vector<double> velocity(w_.size(), 0.0);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  Rng rng(config.seed);
+  std::vector<double> probs(k);
+
+  double loss = 0.0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    loss = 0.0;
+    double weight_total = 0.0;
+    for (size_t idx : order) {
+      const float* x = data.example(idx);
+      const int y = data.labels[idx];
+      const double example_weight =
+          config.example_weights.empty() ? 1.0 : config.example_weights[idx];
+      if (example_weight == 0.0) continue;
+      Scores(x, &probs);
+      // Softmax with max-shift.
+      double max_score = *std::max_element(probs.begin(), probs.end());
+      double z = 0.0;
+      for (int c = 0; c < k; ++c) {
+        probs[c] = std::exp(probs[c] - max_score);
+        z += probs[c];
+      }
+      for (int c = 0; c < k; ++c) probs[c] /= z;
+      loss += -example_weight * std::log(std::max(probs[y], 1e-12));
+      weight_total += example_weight;
+      // Gradient step on every class row.
+      const double lr = config.learning_rate;
+      for (int c = 0; c < k; ++c) {
+        double grad_scale =
+            example_weight * (probs[c] - (c == y ? 1.0 : 0.0));
+        double* wc = w_.data() + static_cast<size_t>(c) * (d + 1);
+        double* vc = velocity.data() + static_cast<size_t>(c) * (d + 1);
+        for (size_t j = 0; j < d; ++j) {
+          double g = grad_scale * x[j] + config.l2 * wc[j];
+          vc[j] = config.momentum * vc[j] - lr * g;
+          wc[j] += vc[j];
+        }
+        double gb = grad_scale + config.l2 * wc[d];
+        vc[d] = config.momentum * vc[d] - lr * gb;
+        wc[d] += vc[d];
+      }
+    }
+    if (weight_total > 0) loss /= weight_total;
+  }
+  *final_loss = loss;
+  return Status::OK();
+}
+
+StatusOr<double> SoftmaxClassifier::Fit(const Dataset& data,
+                                        const TrainConfig& config) {
+  if (data.size() == 0 || data.dim == 0) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  int k = data.num_classes();
+  if (k < 2) {
+    return Status::InvalidArgument("need at least 2 classes");
+  }
+  for (int y : data.labels) {
+    if (y < 0) return Status::InvalidArgument("negative label");
+  }
+  dim_ = data.dim;
+  num_classes_ = k;
+  w_.assign(static_cast<size_t>(k) * (dim_ + 1), 0.0);
+  double loss = 0.0;
+  MLFS_RETURN_IF_ERROR(TrainEpochs(data, config, &loss));
+  return loss;
+}
+
+StatusOr<double> SoftmaxClassifier::FitMore(const Dataset& data,
+                                            const TrainConfig& config) {
+  if (!trained()) {
+    return Status::FailedPrecondition("FitMore before Fit");
+  }
+  if (data.dim != dim_) {
+    return Status::InvalidArgument("dimension mismatch in FitMore");
+  }
+  if (data.num_classes() > num_classes_) {
+    return Status::InvalidArgument("FitMore saw a new class");
+  }
+  double loss = 0.0;
+  MLFS_RETURN_IF_ERROR(TrainEpochs(data, config, &loss));
+  return loss;
+}
+
+void SoftmaxClassifier::Scores(const float* x,
+                               std::vector<double>* out) const {
+  out->resize(num_classes_);
+  for (int c = 0; c < num_classes_; ++c) {
+    const double* wc = w_.data() + static_cast<size_t>(c) * (dim_ + 1);
+    double s = wc[dim_];  // Bias.
+    for (size_t j = 0; j < dim_; ++j) s += wc[j] * x[j];
+    (*out)[c] = s;
+  }
+}
+
+StatusOr<int> SoftmaxClassifier::Predict(const float* x, size_t dim) const {
+  if (!trained()) return Status::FailedPrecondition("model not trained");
+  if (dim != dim_) {
+    return Status::InvalidArgument("dimension mismatch: model expects " +
+                                   std::to_string(dim_));
+  }
+  std::vector<double> scores;
+  Scores(x, &scores);
+  return static_cast<int>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+StatusOr<std::vector<int>> SoftmaxClassifier::PredictBatch(
+    const Dataset& data) const {
+  std::vector<int> out;
+  out.reserve(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    MLFS_ASSIGN_OR_RETURN(int y, Predict(data.example(i), data.dim));
+    out.push_back(y);
+  }
+  return out;
+}
+
+StatusOr<std::vector<double>> SoftmaxClassifier::PredictProba(
+    const float* x, size_t dim) const {
+  if (!trained()) return Status::FailedPrecondition("model not trained");
+  if (dim != dim_) return Status::InvalidArgument("dimension mismatch");
+  std::vector<double> scores;
+  Scores(x, &scores);
+  double max_score = *std::max_element(scores.begin(), scores.end());
+  double z = 0.0;
+  for (double& s : scores) {
+    s = std::exp(s - max_score);
+    z += s;
+  }
+  for (double& s : scores) s /= z;
+  return scores;
+}
+
+}  // namespace mlfs

@@ -1,0 +1,66 @@
+#ifndef MLFS_ML_LINEAR_MODEL_H_
+#define MLFS_ML_LINEAR_MODEL_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ml/dataset.h"
+
+namespace mlfs {
+
+/// Hyperparameters for SGD training.
+struct TrainConfig {
+  int epochs = 20;
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+  double momentum = 0.9;
+  uint64_t seed = 42;
+  /// Per-example weights (oversampling hook for slice patching); empty
+  /// means uniform.
+  std::vector<double> example_weights;
+};
+
+/// Multinomial logistic regression (softmax) trained with mini-batch-free
+/// SGD + momentum: the downstream-model workhorse used throughout the
+/// embedding-quality experiments. Deterministic given config.seed.
+class SoftmaxClassifier {
+ public:
+  /// Trains on `data` (labels in [0, k)). Returns final average
+  /// cross-entropy loss.
+  StatusOr<double> Fit(const Dataset& data, const TrainConfig& config = {});
+
+  /// Continues training from current weights (fine-tuning hook).
+  StatusOr<double> FitMore(const Dataset& data, const TrainConfig& config);
+
+  /// Argmax class for example `x` (dim must match training dim).
+  StatusOr<int> Predict(const float* x, size_t dim) const;
+
+  StatusOr<std::vector<int>> PredictBatch(const Dataset& data) const;
+
+  /// Class-probability vector for one example.
+  StatusOr<std::vector<double>> PredictProba(const float* x,
+                                             size_t dim) const;
+
+  bool trained() const { return num_classes_ > 0; }
+  size_t dim() const { return dim_; }
+  int num_classes() const { return num_classes_; }
+
+  /// Weight matrix (num_classes x (dim+1), last column = bias); exposed for
+  /// model-store checksumming and version-skew experiments.
+  const std::vector<double>& weights() const { return w_; }
+  std::vector<double>& mutable_weights() { return w_; }
+
+ private:
+  Status TrainEpochs(const Dataset& data, const TrainConfig& config,
+                     double* final_loss);
+  void Scores(const float* x, std::vector<double>* out) const;
+
+  size_t dim_ = 0;
+  int num_classes_ = 0;
+  std::vector<double> w_;  // (dim + 1) * num_classes, row-major by class.
+};
+
+}  // namespace mlfs
+
+#endif  // MLFS_ML_LINEAR_MODEL_H_

@@ -1,0 +1,226 @@
+#include "ml/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace mlfs {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  MLFS_CHECK(cols_ == other.rows_)
+      << "matmul shape mismatch: " << rows_ << "x" << cols_ << " * "
+      << other.rows_ << "x" << other.cols_;
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = at(i, k);
+      if (a == 0.0) continue;
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out.at(i, j) += a * other.at(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double x : data_) sum += x * x;
+  return std::sqrt(sum);
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  MLFS_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  double best = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    best = std::max(best, std::abs(data_[i] - other.data_[i]));
+  }
+  return best;
+}
+
+std::string Matrix::ToString() const {
+  std::string out = "[";
+  for (size_t r = 0; r < rows_; ++r) {
+    out += (r == 0) ? "[" : " [";
+    for (size_t c = 0; c < cols_; ++c) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%s%.4g", c ? ", " : "", at(r, c));
+      out += buf;
+    }
+    out += "]";
+    if (r + 1 < rows_) out += "\n";
+  }
+  out += "]";
+  return out;
+}
+
+StatusOr<EigenDecomposition> SymmetricEigen(const Matrix& m, int max_sweeps) {
+  const size_t n = m.rows();
+  if (n == 0 || m.cols() != n) {
+    return Status::InvalidArgument("eigendecomposition needs a square matrix");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (std::abs(m.at(i, j) - m.at(j, i)) >
+          1e-8 * (1.0 + std::abs(m.at(i, j)))) {
+        return Status::InvalidArgument("matrix is not symmetric");
+      }
+    }
+  }
+
+  Matrix a = m;  // Working copy.
+  Matrix v = Matrix::Identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) off += a.at(p, q) * a.at(p, q);
+    }
+    if (off < 1e-22) break;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        double apq = a.at(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        double app = a.at(p, p);
+        double aqq = a.at(q, q);
+        double theta = (aqq - app) / (2.0 * apq);
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+        // Rotate rows/cols p and q of A.
+        for (size_t k = 0; k < n; ++k) {
+          double akp = a.at(k, p);
+          double akq = a.at(k, q);
+          a.at(k, p) = c * akp - s * akq;
+          a.at(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          double apk = a.at(p, k);
+          double aqk = a.at(q, k);
+          a.at(p, k) = c * apk - s * aqk;
+          a.at(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate eigenvectors.
+        for (size_t k = 0; k < n; ++k) {
+          double vkp = v.at(k, p);
+          double vkq = v.at(k, q);
+          v.at(k, p) = c * vkp - s * vkq;
+          v.at(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return a.at(x, x) > a.at(y, y);
+  });
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (size_t k = 0; k < n; ++k) {
+    out.values[k] = a.at(order[k], order[k]);
+    for (size_t i = 0; i < n; ++i) out.vectors.at(i, k) = v.at(i, order[k]);
+  }
+  return out;
+}
+
+Matrix OrthonormalizeColumns(const Matrix& m, double tolerance) {
+  const size_t n = m.rows();
+  const size_t cols = m.cols();
+  std::vector<std::vector<double>> basis;
+  for (size_t c = 0; c < cols; ++c) {
+    std::vector<double> v(n);
+    for (size_t r = 0; r < n; ++r) v[r] = m.at(r, c);
+    // Modified Gram-Schmidt against the accepted basis (twice, for
+    // numerical stability).
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const auto& b : basis) {
+        double dot = 0.0;
+        for (size_t r = 0; r < n; ++r) dot += v[r] * b[r];
+        for (size_t r = 0; r < n; ++r) v[r] -= dot * b[r];
+      }
+    }
+    double norm = 0.0;
+    for (double x : v) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm <= tolerance) continue;  // Linearly dependent column.
+    for (double& x : v) x /= norm;
+    basis.push_back(std::move(v));
+  }
+  Matrix out(n, basis.size());
+  for (size_t c = 0; c < basis.size(); ++c) {
+    for (size_t r = 0; r < n; ++r) out.at(r, c) = basis[c][r];
+  }
+  return out;
+}
+
+StatusOr<Svd> ThinSvd(const Matrix& m) {
+  const size_t n = m.rows();
+  const size_t d = m.cols();
+  if (n == 0 || d == 0 || n < d) {
+    return Status::InvalidArgument("ThinSvd needs an n x d matrix, n >= d");
+  }
+  // Gram matrix G = m^T m = V S^2 V^T.
+  Matrix gram = m.Transpose().Multiply(m);
+  MLFS_ASSIGN_OR_RETURN(EigenDecomposition eigen, SymmetricEigen(gram));
+  Svd out;
+  out.v = eigen.vectors;
+  out.singular_values.resize(d);
+  for (size_t k = 0; k < d; ++k) {
+    out.singular_values[k] = std::sqrt(std::max(0.0, eigen.values[k]));
+  }
+  // U = m V S^{-1}; columns with (near-)zero singular value are left zero
+  // (the thin factorization is then rank-truncated).
+  out.u = Matrix(n, d);
+  const double tol =
+      (out.singular_values.empty() ? 0.0 : out.singular_values[0]) * 1e-12;
+  Matrix mv = m.Multiply(out.v);
+  for (size_t k = 0; k < d; ++k) {
+    double s = out.singular_values[k];
+    if (s <= tol) continue;
+    for (size_t i = 0; i < n; ++i) out.u.at(i, k) = mv.at(i, k) / s;
+  }
+  return out;
+}
+
+StatusOr<Matrix> OrthogonalProcrustes(const Matrix& x, const Matrix& y) {
+  if (x.rows() != y.rows() || x.cols() != y.cols() || x.cols() == 0) {
+    return Status::InvalidArgument(
+        "Procrustes needs same-shape non-empty matrices");
+  }
+  if (x.rows() < x.cols()) {
+    return Status::InvalidArgument(
+        "Procrustes needs at least d anchor rows for a d-dim rotation");
+  }
+  Matrix cross = x.Transpose().Multiply(y);  // d x d.
+  MLFS_ASSIGN_OR_RETURN(Svd svd, ThinSvd(cross));
+  const double tol = svd.singular_values[0] * 1e-9;
+  for (double s : svd.singular_values) {
+    if (s <= tol) {
+      return Status::FailedPrecondition(
+          "cross-covariance is rank deficient; rotation is not unique");
+    }
+  }
+  return svd.u.Multiply(svd.v.Transpose());
+}
+
+}  // namespace mlfs

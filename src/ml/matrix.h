@@ -1,0 +1,95 @@
+#ifndef MLFS_ML_MATRIX_H_
+#define MLFS_ML_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace mlfs {
+
+/// Dense row-major double matrix: the minimal linear-algebra substrate for
+/// embedding-quality math (Gram matrices, eigendecompositions, projections).
+/// Not optimized for large n — embedding quality metrics operate on
+/// d x d Gram matrices where d is the embedding dimension (<= a few
+/// hundred).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& at(size_t r, size_t c) {
+    MLFS_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double at(size_t r, size_t c) const {
+    MLFS_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+
+  Matrix Transpose() const;
+
+  /// this * other; dimension mismatch is a programming error (CHECK).
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Max |a_ij - b_ij|; matrices must be the same shape.
+  double MaxAbsDiff(const Matrix& other) const;
+
+  std::string ToString() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Eigendecomposition of a symmetric matrix.
+struct EigenDecomposition {
+  /// Descending eigenvalues.
+  std::vector<double> values;
+  /// Column k of `vectors` (i.e. vectors.at(i, k)) is the unit eigenvector
+  /// for values[k].
+  Matrix vectors;
+};
+
+/// Cyclic Jacobi eigendecomposition of symmetric `m` (validated). Accurate
+/// to ~1e-10 for the small matrices used here.
+StatusOr<EigenDecomposition> SymmetricEigen(const Matrix& m,
+                                            int max_sweeps = 100);
+
+/// Orthonormal basis of the column span of `m` via modified Gram-Schmidt;
+/// near-zero columns are dropped. Returns an n x r matrix, r <= cols.
+Matrix OrthonormalizeColumns(const Matrix& m, double tolerance = 1e-10);
+
+/// Thin singular value decomposition m = U diag(S) V^T for an n x d matrix
+/// with n >= d, computed via the eigendecomposition of m^T m (adequate for
+/// the small, well-conditioned Gram matrices used here). Singular values
+/// are returned descending; U is n x d, V is d x d.
+struct Svd {
+  Matrix u;
+  std::vector<double> singular_values;
+  Matrix v;
+};
+StatusOr<Svd> ThinSvd(const Matrix& m);
+
+/// Orthogonal Procrustes: the rotation (d x d orthogonal matrix) R
+/// minimizing ||X R - Y||_F over orthogonal R, given same-shape n x d
+/// matrices X and Y. R = U V^T where X^T Y = U S V^T.
+StatusOr<Matrix> OrthogonalProcrustes(const Matrix& x, const Matrix& y);
+
+}  // namespace mlfs
+
+#endif  // MLFS_ML_MATRIX_H_

@@ -1,0 +1,120 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <set>
+
+namespace mlfs {
+namespace {
+
+Status CheckAligned(size_t a, size_t b) {
+  if (a != b) {
+    return Status::InvalidArgument("metric inputs have different lengths");
+  }
+  if (a == 0) {
+    return Status::InvalidArgument("metric inputs are empty");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<double> Accuracy(const std::vector<int>& truth,
+                          const std::vector<int>& predicted) {
+  MLFS_RETURN_IF_ERROR(CheckAligned(truth.size(), predicted.size()));
+  size_t correct = 0;
+  for (size_t i = 0; i < truth.size(); ++i) correct += truth[i] == predicted[i];
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+StatusOr<Prf> PrecisionRecallF1(const std::vector<int>& truth,
+                                const std::vector<int>& predicted,
+                                int positive_class) {
+  MLFS_RETURN_IF_ERROR(CheckAligned(truth.size(), predicted.size()));
+  double tp = 0, fp = 0, fn = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    bool actual = truth[i] == positive_class;
+    bool guessed = predicted[i] == positive_class;
+    if (actual && guessed) ++tp;
+    if (!actual && guessed) ++fp;
+    if (actual && !guessed) ++fn;
+  }
+  Prf out;
+  out.precision = (tp + fp) > 0 ? tp / (tp + fp) : 0.0;
+  out.recall = (tp + fn) > 0 ? tp / (tp + fn) : 0.0;
+  out.f1 = (out.precision + out.recall) > 0
+               ? 2 * out.precision * out.recall /
+                     (out.precision + out.recall)
+               : 0.0;
+  return out;
+}
+
+StatusOr<double> MacroF1(const std::vector<int>& truth,
+                         const std::vector<int>& predicted) {
+  MLFS_RETURN_IF_ERROR(CheckAligned(truth.size(), predicted.size()));
+  std::set<int> classes(truth.begin(), truth.end());
+  double sum = 0.0;
+  for (int cls : classes) {
+    MLFS_ASSIGN_OR_RETURN(Prf prf, PrecisionRecallF1(truth, predicted, cls));
+    sum += prf.f1;
+  }
+  return sum / static_cast<double>(classes.size());
+}
+
+StatusOr<double> AucRoc(const std::vector<int>& truth,
+                        const std::vector<double>& scores) {
+  MLFS_RETURN_IF_ERROR(CheckAligned(truth.size(), scores.size()));
+  size_t positives = 0;
+  for (int y : truth) {
+    if (y != 0 && y != 1) {
+      return Status::InvalidArgument("AUC needs binary 0/1 labels");
+    }
+    positives += y;
+  }
+  size_t negatives = truth.size() - positives;
+  if (positives == 0 || negatives == 0) {
+    return Status::InvalidArgument("AUC needs both classes present");
+  }
+  // Rank-sum (Mann-Whitney) formulation with midranks for ties.
+  std::vector<size_t> order(truth.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+  std::vector<double> ranks(truth.size());
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() &&
+           scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    double midrank = 0.5 * (static_cast<double>(i) + static_cast<double>(j)) +
+                     1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = midrank;
+    i = j + 1;
+  }
+  double positive_rank_sum = 0.0;
+  for (size_t k = 0; k < truth.size(); ++k) {
+    if (truth[k] == 1) positive_rank_sum += ranks[k];
+  }
+  double auc = (positive_rank_sum -
+                static_cast<double>(positives) *
+                    (static_cast<double>(positives) + 1.0) / 2.0) /
+               (static_cast<double>(positives) *
+                static_cast<double>(negatives));
+  return auc;
+}
+
+StatusOr<double> PredictionChurn(const std::vector<int>& predictions_a,
+                                 const std::vector<int>& predictions_b) {
+  MLFS_RETURN_IF_ERROR(
+      CheckAligned(predictions_a.size(), predictions_b.size()));
+  size_t changed = 0;
+  for (size_t i = 0; i < predictions_a.size(); ++i) {
+    changed += predictions_a[i] != predictions_b[i];
+  }
+  return static_cast<double>(changed) /
+         static_cast<double>(predictions_a.size());
+}
+
+}  // namespace mlfs

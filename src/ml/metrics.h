@@ -1,0 +1,42 @@
+#ifndef MLFS_ML_METRICS_H_
+#define MLFS_ML_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mlfs {
+
+/// Classification accuracy; inputs must be equal-length and non-empty.
+StatusOr<double> Accuracy(const std::vector<int>& truth,
+                          const std::vector<int>& predicted);
+
+/// Precision / recall / F1 of one class (one-vs-rest).
+struct Prf {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+StatusOr<Prf> PrecisionRecallF1(const std::vector<int>& truth,
+                                const std::vector<int>& predicted,
+                                int positive_class);
+
+/// Unweighted mean of per-class F1 over classes present in `truth`.
+StatusOr<double> MacroF1(const std::vector<int>& truth,
+                         const std::vector<int>& predicted);
+
+/// Area under the ROC curve for binary labels (0/1) given positive-class
+/// scores. Ties handled by midrank.
+StatusOr<double> AucRoc(const std::vector<int>& truth,
+                        const std::vector<double>& scores);
+
+/// Fraction of examples whose prediction differs between two models — the
+/// *downstream instability / prediction churn* metric of Leszczynski et
+/// al. [17] (paper §3.1.2).
+StatusOr<double> PredictionChurn(const std::vector<int>& predictions_a,
+                                 const std::vector<int>& predictions_b);
+
+}  // namespace mlfs
+
+#endif  // MLFS_ML_METRICS_H_

@@ -1,0 +1,122 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mlfs {
+
+StatusOr<double> MlpClassifier::Fit(const Dataset& data,
+                                    const TrainConfig& config) {
+  if (data.size() == 0 || data.dim == 0) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  const int k = data.num_classes();
+  if (k < 2) return Status::InvalidArgument("need at least 2 classes");
+  if (!config.example_weights.empty() &&
+      config.example_weights.size() != data.size()) {
+    return Status::InvalidArgument("example_weights size mismatch");
+  }
+  dim_ = data.dim;
+  num_classes_ = k;
+  Rng rng(config.seed);
+  w1_.resize(hidden_ * (dim_ + 1));
+  w2_.resize(static_cast<size_t>(k) * (hidden_ + 1));
+  const double scale1 = std::sqrt(2.0 / static_cast<double>(dim_));
+  for (auto& w : w1_) w = rng.Gaussian() * scale1;
+  const double scale2 = std::sqrt(2.0 / static_cast<double>(hidden_));
+  for (auto& w : w2_) w = rng.Gaussian() * scale2;
+
+  std::vector<size_t> order(data.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<double> hidden_act(hidden_);
+  std::vector<double> probs(k);
+  std::vector<double> hidden_grad(hidden_);
+
+  double loss = 0.0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    loss = 0.0;
+    double weight_total = 0.0;
+    for (size_t idx : order) {
+      const float* x = data.example(idx);
+      const int y = data.labels[idx];
+      const double ew =
+          config.example_weights.empty() ? 1.0 : config.example_weights[idx];
+      if (ew == 0.0) continue;
+      Forward(x, &hidden_act, &probs);
+      loss += -ew * std::log(std::max(probs[y], 1e-12));
+      weight_total += ew;
+
+      const double lr = config.learning_rate;
+      std::fill(hidden_grad.begin(), hidden_grad.end(), 0.0);
+      for (int c = 0; c < k; ++c) {
+        const double delta = ew * (probs[c] - (c == y ? 1.0 : 0.0));
+        double* w2c = w2_.data() + static_cast<size_t>(c) * (hidden_ + 1);
+        for (size_t h = 0; h < hidden_; ++h) {
+          hidden_grad[h] += delta * w2c[h];
+          w2c[h] -= lr * (delta * hidden_act[h] + config.l2 * w2c[h]);
+        }
+        w2c[hidden_] -= lr * delta;
+      }
+      for (size_t h = 0; h < hidden_; ++h) {
+        if (hidden_act[h] <= 0.0) continue;  // ReLU gate.
+        double* w1h = w1_.data() + h * (dim_ + 1);
+        const double delta = hidden_grad[h];
+        for (size_t j = 0; j < dim_; ++j) {
+          w1h[j] -= lr * (delta * x[j] + config.l2 * w1h[j]);
+        }
+        w1h[dim_] -= lr * delta;
+      }
+    }
+    if (weight_total > 0) loss /= weight_total;
+  }
+  return loss;
+}
+
+void MlpClassifier::Forward(const float* x, std::vector<double>* hidden_out,
+                            std::vector<double>* probs) const {
+  hidden_out->resize(hidden_);
+  for (size_t h = 0; h < hidden_; ++h) {
+    const double* w1h = w1_.data() + h * (dim_ + 1);
+    double s = w1h[dim_];
+    for (size_t j = 0; j < dim_; ++j) s += w1h[j] * x[j];
+    (*hidden_out)[h] = s > 0 ? s : 0.0;
+  }
+  probs->resize(num_classes_);
+  double max_score = -1e300;
+  for (int c = 0; c < num_classes_; ++c) {
+    const double* w2c = w2_.data() + static_cast<size_t>(c) * (hidden_ + 1);
+    double s = w2c[hidden_];
+    for (size_t h = 0; h < hidden_; ++h) s += w2c[h] * (*hidden_out)[h];
+    (*probs)[c] = s;
+    max_score = std::max(max_score, s);
+  }
+  double z = 0.0;
+  for (double& p : *probs) {
+    p = std::exp(p - max_score);
+    z += p;
+  }
+  for (double& p : *probs) p /= z;
+}
+
+StatusOr<int> MlpClassifier::Predict(const float* x, size_t dim) const {
+  if (!trained()) return Status::FailedPrecondition("model not trained");
+  if (dim != dim_) return Status::InvalidArgument("dimension mismatch");
+  std::vector<double> hidden_act, probs;
+  Forward(x, &hidden_act, &probs);
+  return static_cast<int>(
+      std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+StatusOr<std::vector<int>> MlpClassifier::PredictBatch(
+    const Dataset& data) const {
+  std::vector<int> out;
+  out.reserve(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    MLFS_ASSIGN_OR_RETURN(int y, Predict(data.example(i), data.dim));
+    out.push_back(y);
+  }
+  return out;
+}
+
+}  // namespace mlfs

@@ -1,0 +1,43 @@
+#ifndef MLFS_ML_MLP_H_
+#define MLFS_ML_MLP_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ml/dataset.h"
+#include "ml/linear_model.h"
+
+namespace mlfs {
+
+/// One-hidden-layer ReLU network with a softmax head: a second downstream
+/// model family (beyond SoftmaxClassifier) so embedding-quality experiments
+/// can show effects that hold *across* consumers, which is the point of
+/// patching at the embedding layer (paper §3.1.3). Deterministic per seed.
+class MlpClassifier {
+ public:
+  explicit MlpClassifier(size_t hidden = 32) : hidden_(hidden) {}
+
+  /// Trains from scratch; returns final average cross-entropy.
+  StatusOr<double> Fit(const Dataset& data, const TrainConfig& config = {});
+
+  StatusOr<int> Predict(const float* x, size_t dim) const;
+  StatusOr<std::vector<int>> PredictBatch(const Dataset& data) const;
+
+  bool trained() const { return num_classes_ > 0; }
+  size_t dim() const { return dim_; }
+
+ private:
+  void Forward(const float* x, std::vector<double>* hidden_out,
+               std::vector<double>* probs) const;
+
+  size_t hidden_;
+  size_t dim_ = 0;
+  int num_classes_ = 0;
+  // Layer 1: hidden x (dim+1); layer 2: classes x (hidden+1).
+  std::vector<double> w1_;
+  std::vector<double> w2_;
+};
+
+}  // namespace mlfs
+
+#endif  // MLFS_ML_MLP_H_

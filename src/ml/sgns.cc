@@ -1,0 +1,172 @@
+#include "ml/sgns.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace mlfs {
+namespace {
+
+inline float Sigmoid(float x) {
+  if (x > 8.0f) return 1.0f;
+  if (x < -8.0f) return 0.0f;
+  return 1.0f / (1.0f + std::exp(-x));
+}
+
+// Alias-free sampler over unigram^(3/4) using a cumulative table.
+class NegativeSampler {
+ public:
+  NegativeSampler(const std::vector<double>& counts) {
+    cdf_.resize(counts.size());
+    double total = 0.0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+      total += std::pow(counts[i], 0.75);
+      cdf_[i] = total;
+    }
+    if (total <= 0) total = 1.0;
+    for (auto& c : cdf_) c /= total;
+    cdf_.back() = 1.0;
+  }
+
+  size_t Sample(Rng* rng) const {
+    double u = rng->UniformDouble();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end()) return cdf_.size() - 1;
+    return static_cast<size_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+StatusOr<TokenEmbeddings> TrainSgns(
+    const std::vector<std::vector<int>>& corpus, size_t vocab_size,
+    const SgnsConfig& config) {
+  if (vocab_size == 0) {
+    return Status::InvalidArgument("vocab_size must be positive");
+  }
+  if (config.dim == 0 || config.window <= 0 || config.negatives <= 0 ||
+      config.epochs <= 0 || config.learning_rate <= 0) {
+    return Status::InvalidArgument("bad SGNS config");
+  }
+  std::vector<double> counts(vocab_size, 0.0);
+  uint64_t total_tokens = 0;
+  for (const auto& sentence : corpus) {
+    for (int token : sentence) {
+      if (token < 0 || static_cast<size_t>(token) >= vocab_size) {
+        return Status::InvalidArgument("token id out of range: " +
+                                       std::to_string(token));
+      }
+      ++counts[static_cast<size_t>(token)];
+      ++total_tokens;
+    }
+  }
+  if (total_tokens == 0) {
+    return Status::InvalidArgument("empty corpus");
+  }
+
+  const size_t d = config.dim;
+  TokenEmbeddings emb;
+  emb.vocab_size = vocab_size;
+  emb.dim = d;
+  emb.vectors.resize(vocab_size * d);
+  std::vector<float> context(vocab_size * d, 0.0f);
+
+  Rng rng(config.seed);
+  for (auto& x : emb.vectors) {
+    x = static_cast<float>((rng.UniformDouble() - 0.5) /
+                           static_cast<double>(d));
+  }
+
+  NegativeSampler sampler(counts);
+  const uint64_t total_steps =
+      static_cast<uint64_t>(config.epochs) * total_tokens;
+  uint64_t step = 0;
+  std::vector<float> grad(d);
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    for (const auto& sentence : corpus) {
+      const int len = static_cast<int>(sentence.size());
+      for (int pos = 0; pos < len; ++pos) {
+        ++step;
+        const double progress =
+            static_cast<double>(step) / static_cast<double>(total_steps);
+        const float lr = static_cast<float>(
+            std::max(config.min_learning_rate,
+                     config.learning_rate * (1.0 - progress)));
+        // Dynamic window (word2vec idiom): uniform in [1, window].
+        const int b = 1 + static_cast<int>(rng.Uniform(
+                              static_cast<uint64_t>(config.window)));
+        const size_t center = static_cast<size_t>(sentence[pos]);
+        float* wc = emb.vectors.data() + center * d;
+        for (int off = -b; off <= b; ++off) {
+          if (off == 0) continue;
+          int cpos = pos + off;
+          if (cpos < 0 || cpos >= len) continue;
+          const size_t context_token = static_cast<size_t>(sentence[cpos]);
+          std::fill(grad.begin(), grad.end(), 0.0f);
+          // One positive + k negative updates on the context matrix.
+          for (int neg = 0; neg < config.negatives + 1; ++neg) {
+            size_t target;
+            float label;
+            if (neg == 0) {
+              target = context_token;
+              label = 1.0f;
+            } else {
+              target = sampler.Sample(&rng);
+              if (target == context_token) continue;
+              label = 0.0f;
+            }
+            float* ct = context.data() + target * d;
+            float dot = 0.0f;
+            for (size_t j = 0; j < d; ++j) dot += wc[j] * ct[j];
+            const float g = (label - Sigmoid(dot)) * lr;
+            for (size_t j = 0; j < d; ++j) {
+              grad[j] += g * ct[j];
+              ct[j] += g * wc[j];
+            }
+          }
+          for (size_t j = 0; j < d; ++j) wc[j] += grad[j];
+        }
+      }
+    }
+  }
+  return emb;
+}
+
+double EmbeddingCosine(const TokenEmbeddings& emb, size_t a, size_t b) {
+  const float* va = emb.row(a);
+  const float* vb = emb.row(b);
+  double dot = 0, na = 0, nb = 0;
+  for (size_t j = 0; j < emb.dim; ++j) {
+    dot += static_cast<double>(va[j]) * vb[j];
+    na += static_cast<double>(va[j]) * va[j];
+    nb += static_cast<double>(vb[j]) * vb[j];
+  }
+  double denom = std::sqrt(na) * std::sqrt(nb);
+  return denom > 0 ? dot / denom : 0.0;
+}
+
+std::vector<size_t> NearestTokens(const TokenEmbeddings& emb, size_t token,
+                                  size_t k) {
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(emb.vocab_size);
+  for (size_t other = 0; other < emb.vocab_size; ++other) {
+    if (other == token) continue;
+    scored.emplace_back(EmbeddingCosine(emb, token, other), other);
+  }
+  size_t take = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + take, scored.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first > b.first;
+                    });
+  std::vector<size_t> out;
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+}  // namespace mlfs

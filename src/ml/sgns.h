@@ -1,0 +1,58 @@
+#ifndef MLFS_ML_SGNS_H_
+#define MLFS_ML_SGNS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mlfs {
+
+/// Hyperparameters for skip-gram-with-negative-sampling training.
+struct SgnsConfig {
+  size_t dim = 32;
+  int window = 2;
+  int negatives = 5;
+  int epochs = 3;
+  double learning_rate = 0.025;
+  double min_learning_rate = 1e-4;
+  uint64_t seed = 1;
+};
+
+/// Trained token embeddings (row `i` = vector of token id `i`).
+struct TokenEmbeddings {
+  size_t vocab_size = 0;
+  size_t dim = 0;
+  std::vector<float> vectors;  // vocab_size * dim, row-major.
+
+  const float* row(size_t token) const { return vectors.data() + token * dim; }
+  std::vector<float> Vector(size_t token) const {
+    const float* r = row(token);
+    return std::vector<float>(r, r + dim);
+  }
+};
+
+/// Trains word2vec-style SGNS embeddings (Mikolov et al.) over a corpus of
+/// token-id sequences. This is MLFS's self-supervised pre-training
+/// substrate: the "embedding training data -> pretrained embeddings" stage
+/// of the paper's embedding ecosystem (§3.1). Structured side-information
+/// (entity types, KG relations, per Orr et al. [22]) enters by injecting
+/// extra tokens into the sequences — the trainer itself is source-agnostic.
+///
+/// Deterministic given config.seed. Negative sampling uses the unigram
+/// distribution raised to 3/4. Tokens must be in [0, vocab_size).
+StatusOr<TokenEmbeddings> TrainSgns(
+    const std::vector<std::vector<int>>& corpus, size_t vocab_size,
+    const SgnsConfig& config = {});
+
+/// Cosine similarity between two rows of `emb`.
+double EmbeddingCosine(const TokenEmbeddings& emb, size_t a, size_t b);
+
+/// Token ids of the `k` nearest rows to `token` by cosine (excluding
+/// itself).
+std::vector<size_t> NearestTokens(const TokenEmbeddings& emb, size_t token,
+                                  size_t k);
+
+}  // namespace mlfs
+
+#endif  // MLFS_ML_SGNS_H_

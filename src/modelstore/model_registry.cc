@@ -1,0 +1,206 @@
+#include "modelstore/model_registry.h"
+
+#include <cstdlib>
+
+#include "common/hash.h"
+#include "common/serde.h"
+
+namespace mlfs {
+
+std::pair<std::string, int> SplitVersionedRef(const std::string& reference) {
+  size_t at = reference.rfind("@v");
+  if (at == std::string::npos) return {reference, 0};
+  std::string name = reference.substr(0, at);
+  const char* digits = reference.c_str() + at + 2;
+  char* end = nullptr;
+  long version = std::strtol(digits, &end, 10);
+  if (end == digits || *end != '\0' || version <= 0) {
+    return {reference, 0};
+  }
+  return {name, static_cast<int>(version)};
+}
+
+StatusOr<int> ModelRegistry::Register(ModelRecord record, Timestamp now) {
+  if (record.name.empty()) {
+    return Status::InvalidArgument("model needs a name");
+  }
+  if (record.trained_at == 0) record.trained_at = now;
+  if (record.weights_checksum == 0 && !record.weights.empty()) {
+    record.weights_checksum =
+        Fnv1a64(record.weights.data(),
+                record.weights.size() * sizeof(double));
+  }
+  std::lock_guard lock(mu_);
+  auto& versions = models_[record.name];
+  record.version = versions.empty() ? 1 : versions.back().version + 1;
+  versions.push_back(std::move(record));
+  return versions.back().version;
+}
+
+StatusOr<ModelRecord> ModelRegistry::Get(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = models_.find(name);
+  if (it == models_.end()) {
+    return Status::NotFound("model '" + name + "' not registered");
+  }
+  return it->second.back();
+}
+
+StatusOr<ModelRecord> ModelRegistry::GetVersion(const std::string& name,
+                                                int version) const {
+  std::lock_guard lock(mu_);
+  auto it = models_.find(name);
+  if (it == models_.end()) {
+    return Status::NotFound("model '" + name + "' not registered");
+  }
+  for (const ModelRecord& record : it->second) {
+    if (record.version == version) return record;
+  }
+  return Status::NotFound("model '" + name + "' has no version " +
+                          std::to_string(version));
+}
+
+std::vector<ModelRecord> ModelRegistry::ListLatest() const {
+  std::lock_guard lock(mu_);
+  std::vector<ModelRecord> out;
+  out.reserve(models_.size());
+  for (const auto& [name, versions] : models_) {
+    out.push_back(versions.back());
+  }
+  return out;
+}
+
+StatusOr<std::vector<VersionSkew>> ModelRegistry::CheckEmbeddingSkew(
+    const EmbeddingStore& embeddings) const {
+  std::vector<VersionSkew> out;
+  for (const ModelRecord& record : ListLatest()) {
+    for (const std::string& ref : record.embedding_refs) {
+      auto [name, pinned] = SplitVersionedRef(ref);
+      if (pinned == 0) {
+        return Status::InvalidArgument(
+            "model '" + record.VersionedName() +
+            "' has unpinned embedding ref '" + ref + "'");
+      }
+      MLFS_ASSIGN_OR_RETURN(EmbeddingTablePtr latest,
+                            embeddings.GetLatest(name));
+      int latest_version = latest->metadata().version;
+      if (latest_version > pinned) {
+        out.push_back(VersionSkew{record.VersionedName(), name, pinned,
+                                  latest_version});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> ModelRegistry::ConsumersOfEmbedding(
+    const std::string& embedding_name) const {
+  std::vector<std::string> out;
+  for (const ModelRecord& record : ListLatest()) {
+    for (const std::string& ref : record.embedding_refs) {
+      if (SplitVersionedRef(ref).first == embedding_name) {
+        out.push_back(record.VersionedName());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+size_t ModelRegistry::num_models() const {
+  std::lock_guard lock(mu_);
+  return models_.size();
+}
+
+namespace {
+constexpr uint32_t kModelSnapshotMagic = 0x4d4c4d44;  // "MLMD"
+}  // namespace
+
+std::string ModelRegistry::Snapshot() const {
+  std::lock_guard lock(mu_);
+  Encoder enc;
+  enc.PutFixed32(kModelSnapshotMagic);
+  uint64_t total = 0;
+  for (const auto& [name, versions] : models_) total += versions.size();
+  enc.PutVarint64(total);
+  for (const auto& [name, versions] : models_) {
+    for (const ModelRecord& record : versions) {
+      enc.PutString(record.name);
+      enc.PutVarint64(static_cast<uint64_t>(record.version));
+      enc.PutString(record.task);
+      enc.PutVarint64(record.feature_refs.size());
+      for (const auto& ref : record.feature_refs) enc.PutString(ref);
+      enc.PutVarint64(record.embedding_refs.size());
+      for (const auto& ref : record.embedding_refs) enc.PutString(ref);
+      enc.PutVarint64(record.hyperparameters.size());
+      for (const auto& [key, value] : record.hyperparameters) {
+        enc.PutString(key);
+        enc.PutString(value);
+      }
+      enc.PutVarint64(record.metrics.size());
+      for (const auto& [key, value] : record.metrics) {
+        enc.PutString(key);
+        enc.PutDouble(value);
+      }
+      enc.PutFixed64(static_cast<uint64_t>(record.trained_at));
+      enc.PutFixed64(record.weights_checksum);
+      enc.PutVarint64(record.weights.size());
+      for (double w : record.weights) enc.PutDouble(w);
+    }
+  }
+  return enc.Release();
+}
+
+Status ModelRegistry::Restore(std::string_view snapshot) {
+  std::lock_guard lock(mu_);
+  if (!models_.empty()) {
+    return Status::FailedPrecondition("Restore requires an empty registry");
+  }
+  Decoder dec(snapshot);
+  MLFS_ASSIGN_OR_RETURN(uint32_t magic, dec.GetFixed32());
+  if (magic != kModelSnapshotMagic) {
+    return Status::Corruption("bad model snapshot magic");
+  }
+  MLFS_ASSIGN_OR_RETURN(uint64_t total, dec.GetVarint64());
+  for (uint64_t i = 0; i < total; ++i) {
+    ModelRecord record;
+    MLFS_ASSIGN_OR_RETURN(record.name, dec.GetString());
+    MLFS_ASSIGN_OR_RETURN(uint64_t version, dec.GetVarint64());
+    record.version = static_cast<int>(version);
+    MLFS_ASSIGN_OR_RETURN(record.task, dec.GetString());
+    MLFS_ASSIGN_OR_RETURN(uint64_t num_features, dec.GetVarint64());
+    for (uint64_t f = 0; f < num_features; ++f) {
+      MLFS_ASSIGN_OR_RETURN(std::string ref, dec.GetString());
+      record.feature_refs.push_back(std::move(ref));
+    }
+    MLFS_ASSIGN_OR_RETURN(uint64_t num_embeddings, dec.GetVarint64());
+    for (uint64_t e = 0; e < num_embeddings; ++e) {
+      MLFS_ASSIGN_OR_RETURN(std::string ref, dec.GetString());
+      record.embedding_refs.push_back(std::move(ref));
+    }
+    MLFS_ASSIGN_OR_RETURN(uint64_t num_hyper, dec.GetVarint64());
+    for (uint64_t h = 0; h < num_hyper; ++h) {
+      MLFS_ASSIGN_OR_RETURN(std::string key, dec.GetString());
+      MLFS_ASSIGN_OR_RETURN(std::string value, dec.GetString());
+      record.hyperparameters.emplace(std::move(key), std::move(value));
+    }
+    MLFS_ASSIGN_OR_RETURN(uint64_t num_metrics, dec.GetVarint64());
+    for (uint64_t m = 0; m < num_metrics; ++m) {
+      MLFS_ASSIGN_OR_RETURN(std::string key, dec.GetString());
+      MLFS_ASSIGN_OR_RETURN(double value, dec.GetDouble());
+      record.metrics.emplace(std::move(key), value);
+    }
+    MLFS_ASSIGN_OR_RETURN(uint64_t trained_at, dec.GetFixed64());
+    record.trained_at = static_cast<Timestamp>(trained_at);
+    MLFS_ASSIGN_OR_RETURN(record.weights_checksum, dec.GetFixed64());
+    MLFS_ASSIGN_OR_RETURN(uint64_t num_weights, dec.GetVarint64());
+    record.weights.resize(num_weights);
+    for (auto& w : record.weights) {
+      MLFS_ASSIGN_OR_RETURN(w, dec.GetDouble());
+    }
+    models_[record.name].push_back(std::move(record));
+  }
+  return Status::OK();
+}
+
+}  // namespace mlfs

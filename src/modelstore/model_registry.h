@@ -1,0 +1,92 @@
+#ifndef MLFS_MODELSTORE_MODEL_REGISTRY_H_
+#define MLFS_MODELSTORE_MODEL_REGISTRY_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timestamp.h"
+#include "embedding/embedding_store.h"
+
+namespace mlfs {
+
+/// A stored model artifact with everything reproducibility needs:
+/// hyperparameters, metrics, and — critically — *pinned versions* of every
+/// feature and embedding it was trained on (paper §2.2.2 "Model Storage",
+/// after ModelDB [28] / ModelKB [8]).
+struct ModelRecord {
+  std::string name;
+  int version = 0;  // Assigned by the registry.
+  std::string task;
+  /// Pinned inputs: "feature_name@vK" and "embedding_name@vK".
+  std::vector<std::string> feature_refs;
+  std::vector<std::string> embedding_refs;
+  std::map<std::string, std::string> hyperparameters;
+  std::map<std::string, double> metrics;  // e.g. {"accuracy", 0.93}.
+  Timestamp trained_at = 0;
+  /// FNV hash of the serialized weights (artifact integrity).
+  uint64_t weights_checksum = 0;
+  /// Optional inline artifact (small models only).
+  std::vector<double> weights;
+
+  std::string VersionedName() const {
+    return name + "@v" + std::to_string(version);
+  }
+};
+
+/// One consumer whose pinned embedding lags the store.
+struct VersionSkew {
+  std::string model;          // "name@vK".
+  std::string embedding;      // Embedding name.
+  int pinned_version = 0;
+  int latest_version = 0;
+
+  int lag() const { return latest_version - pinned_version; }
+};
+
+/// Versioned model catalog with embedding-skew detection: the mechanism
+/// behind the paper's §4 warning that "if an embedding gets updated but a
+/// model that uses it does not, the dot product ... can lose meaning".
+class ModelRegistry {
+ public:
+  /// Registers a model; assigns and returns the version. Computes
+  /// weights_checksum from `record.weights` when unset.
+  StatusOr<int> Register(ModelRecord record, Timestamp now);
+
+  StatusOr<ModelRecord> Get(const std::string& name) const;
+  StatusOr<ModelRecord> GetVersion(const std::string& name,
+                                   int version) const;
+  std::vector<ModelRecord> ListLatest() const;
+
+  /// Latest models whose pinned embedding versions are older than the
+  /// store's latest — the consumers that must be retrained (or the rollout
+  /// held) after an embedding update.
+  StatusOr<std::vector<VersionSkew>> CheckEmbeddingSkew(
+      const EmbeddingStore& embeddings) const;
+
+  /// Models (latest versions) consuming any version of `embedding_name` —
+  /// the blast radius of an embedding change.
+  std::vector<std::string> ConsumersOfEmbedding(
+      const std::string& embedding_name) const;
+
+  size_t num_models() const;
+
+  /// Serializes every version of every model record.
+  std::string Snapshot() const;
+
+  /// Restores a Snapshot() into this (empty) registry.
+  Status Restore(std::string_view snapshot);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<ModelRecord>> models_;
+};
+
+/// Parses "name@vK" into (name, K); version 0 when no suffix.
+std::pair<std::string, int> SplitVersionedRef(const std::string& reference);
+
+}  // namespace mlfs
+
+#endif  // MLFS_MODELSTORE_MODEL_REGISTRY_H_

@@ -1,0 +1,62 @@
+#include "monitoring/alerting.h"
+
+#include "common/string_util.h"
+
+namespace mlfs {
+
+std::string_view AlertSeverityToString(AlertSeverity severity) {
+  switch (severity) {
+    case AlertSeverity::kInfo:
+      return "INFO";
+    case AlertSeverity::kWarning:
+      return "WARNING";
+    case AlertSeverity::kCritical:
+      return "CRITICAL";
+  }
+  return "?";
+}
+
+std::string Alert::ToString() const {
+  return "[" + std::string(AlertSeverityToString(severity)) + " @ " +
+         FormatTimestamp(at) + "] " + monitor + ": " + message;
+}
+
+void AlertBus::Emit(Alert alert) {
+  std::lock_guard lock(mu_);
+  alerts_.push_back(std::move(alert));
+}
+
+std::vector<Alert> AlertBus::All() const {
+  std::lock_guard lock(mu_);
+  return alerts_;
+}
+
+std::vector<Alert> AlertBus::WithPrefix(const std::string& prefix) const {
+  std::lock_guard lock(mu_);
+  std::vector<Alert> out;
+  for (const Alert& alert : alerts_) {
+    if (StartsWith(alert.monitor, prefix)) out.push_back(alert);
+  }
+  return out;
+}
+
+size_t AlertBus::CountAtLeast(AlertSeverity severity) const {
+  std::lock_guard lock(mu_);
+  size_t n = 0;
+  for (const Alert& alert : alerts_) {
+    n += alert.severity >= severity;
+  }
+  return n;
+}
+
+size_t AlertBus::size() const {
+  std::lock_guard lock(mu_);
+  return alerts_.size();
+}
+
+void AlertBus::Clear() {
+  std::lock_guard lock(mu_);
+  alerts_.clear();
+}
+
+}  // namespace mlfs

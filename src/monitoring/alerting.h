@@ -1,0 +1,53 @@
+#ifndef MLFS_MONITORING_ALERTING_H_
+#define MLFS_MONITORING_ALERTING_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/timestamp.h"
+
+namespace mlfs {
+
+enum class AlertSeverity : uint8_t {
+  kInfo = 0,
+  kWarning = 1,
+  kCritical = 2,
+};
+
+std::string_view AlertSeverityToString(AlertSeverity severity);
+
+/// One monitoring finding — the "gremlins in the system" the feature store
+/// surfaces to engineers (paper §2.2.3).
+struct Alert {
+  Timestamp at = 0;
+  std::string monitor;   // e.g. "drift:user_trip_rate".
+  AlertSeverity severity = AlertSeverity::kInfo;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+/// Thread-safe in-memory alert sink shared by all monitors of a store.
+class AlertBus {
+ public:
+  void Emit(Alert alert);
+
+  /// All alerts, oldest first.
+  std::vector<Alert> All() const;
+
+  /// Alerts from monitors whose name starts with `prefix`.
+  std::vector<Alert> WithPrefix(const std::string& prefix) const;
+
+  size_t CountAtLeast(AlertSeverity severity) const;
+  size_t size() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Alert> alerts_;
+};
+
+}  // namespace mlfs
+
+#endif  // MLFS_MONITORING_ALERTING_H_

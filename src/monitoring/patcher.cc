@@ -1,0 +1,167 @@
+#include "monitoring/patcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "embedding/distance.h"
+#include "ml/metrics.h"
+
+namespace mlfs {
+
+StatusOr<std::vector<double>> OversampleWeights(
+    const DownstreamTask& task,
+    const std::unordered_set<std::string>& slice_keys, double factor) {
+  if (factor < 1.0) {
+    return Status::InvalidArgument("oversample factor must be >= 1");
+  }
+  if (task.keys.size() != task.labels.size()) {
+    return Status::InvalidArgument("task keys/labels misaligned");
+  }
+  std::vector<double> weights(task.keys.size(), 1.0);
+  for (size_t i = 0; i < task.keys.size(); ++i) {
+    if (slice_keys.count(task.keys[i])) weights[i] = factor;
+  }
+  return weights;
+}
+
+StatusOr<EmbeddingTablePtr> PatchEmbedding(
+    const EmbeddingTable& table, const DownstreamTask& task,
+    const std::unordered_set<std::string>& slice_keys,
+    EmbeddingPatchOptions options) {
+  if (options.alpha < 0 || options.alpha > 1 || options.repel < 0) {
+    return Status::InvalidArgument("bad patch options");
+  }
+  if (task.keys.size() != task.labels.size()) {
+    return Status::InvalidArgument("task keys/labels misaligned");
+  }
+  const size_t d = table.dim();
+
+  // Class centroids from *non-slice* examples: the healthy region of the
+  // space each class already occupies.
+  std::map<int, std::vector<double>> sums;
+  std::map<int, size_t> counts;
+  // Label of each slice key (a key may appear multiple times; labels must
+  // agree — entity-level tasks satisfy this).
+  std::map<std::string, int> slice_label;
+  for (size_t i = 0; i < task.keys.size(); ++i) {
+    const std::string& key = task.keys[i];
+    int row = table.IndexOf(key);
+    if (row < 0) continue;
+    if (slice_keys.count(key)) {
+      slice_label[key] = task.labels[i];
+      continue;
+    }
+    auto& sum = sums[task.labels[i]];
+    sum.resize(d, 0.0);
+    const float* v = table.row(static_cast<size_t>(row));
+    for (size_t j = 0; j < d; ++j) sum[j] += v[j];
+    ++counts[task.labels[i]];
+  }
+  if (sums.empty()) {
+    return Status::InvalidArgument(
+        "no non-slice examples to anchor class centroids");
+  }
+  std::map<int, std::vector<float>> centroids;
+  for (auto& [label, sum] : sums) {
+    std::vector<float> centroid(d);
+    for (size_t j = 0; j < d; ++j) {
+      centroid[j] =
+          static_cast<float>(sum[j] / static_cast<double>(counts[label]));
+    }
+    centroids[label] = std::move(centroid);
+  }
+
+  std::vector<float> patched = table.raw();
+  size_t patched_count = 0;
+  for (const auto& [key, label] : slice_label) {
+    auto cit = centroids.find(label);
+    if (cit == centroids.end()) continue;  // No healthy anchor for class.
+    int row = table.IndexOf(key);
+    float* v = patched.data() + static_cast<size_t>(row) * d;
+    const std::vector<float>& target = cit->second;
+    // Nearest wrong-class centroid (for the repel term).
+    const std::vector<float>* wrong = nullptr;
+    float wrong_dist = 0;
+    for (const auto& [other_label, centroid] : centroids) {
+      if (other_label == label) continue;
+      float dist = L2Squared(v, centroid.data(), d);
+      if (wrong == nullptr || dist < wrong_dist) {
+        wrong = &centroid;
+        wrong_dist = dist;
+      }
+    }
+    for (size_t j = 0; j < d; ++j) {
+      float step = static_cast<float>(options.alpha) * (target[j] - v[j]);
+      float repel = 0.0f;
+      if (wrong != nullptr) {
+        repel = static_cast<float>(options.repel) * (v[j] - (*wrong)[j]);
+      }
+      v[j] += step + repel;
+    }
+    ++patched_count;
+  }
+  if (patched_count == 0) {
+    return Status::InvalidArgument("no slice key found in the table");
+  }
+
+  EmbeddingTableMetadata metadata = table.metadata();
+  metadata.parent = table.metadata().VersionedName();
+  metadata.version = 0;
+  metadata.notes = "patched " + std::to_string(patched_count) +
+                   " slice keys (alpha=" + std::to_string(options.alpha) +
+                   ", repel=" + std::to_string(options.repel) + ")";
+  return table.WithVectors(std::move(metadata), std::move(patched), d);
+}
+
+StatusOr<PatchEvaluation> EvaluatePatch(
+    const EmbeddingTable& before, const EmbeddingTable& after,
+    const DownstreamTask& task,
+    const std::unordered_set<std::string>& slice_keys,
+    const TrainConfig& config) {
+  MLFS_ASSIGN_OR_RETURN(Dataset data_before, MaterializeTask(task, before));
+  MLFS_ASSIGN_OR_RETURN(Dataset data_after, MaterializeTask(task, after));
+  if (data_before.size() != data_after.size()) {
+    return Status::InvalidArgument(
+        "before/after tables cover different task keys");
+  }
+  SoftmaxClassifier model_before, model_after;
+  MLFS_RETURN_IF_ERROR(model_before.Fit(data_before, config).status());
+  MLFS_RETURN_IF_ERROR(model_after.Fit(data_after, config).status());
+  MLFS_ASSIGN_OR_RETURN(std::vector<int> pred_before,
+                        model_before.PredictBatch(data_before));
+  MLFS_ASSIGN_OR_RETURN(std::vector<int> pred_after,
+                        model_after.PredictBatch(data_after));
+
+  // MaterializeTask preserves task order for keys present in the table;
+  // recover slice membership per materialized example.
+  std::vector<bool> in_slice;
+  in_slice.reserve(data_before.size());
+  for (size_t i = 0; i < task.keys.size(); ++i) {
+    if (before.IndexOf(task.keys[i]) < 0) continue;
+    in_slice.push_back(slice_keys.count(task.keys[i]) > 0);
+  }
+  if (in_slice.size() != data_before.size()) {
+    return Status::Internal("slice alignment failed");
+  }
+
+  auto accuracy_of = [&](const std::vector<int>& preds, bool slice_part,
+                         const Dataset& data) {
+    size_t n = 0, correct = 0;
+    for (size_t i = 0; i < preds.size(); ++i) {
+      if (in_slice[i] != slice_part) continue;
+      ++n;
+      correct += preds[i] == data.labels[i];
+    }
+    return n ? static_cast<double>(correct) / static_cast<double>(n) : 0.0;
+  };
+
+  PatchEvaluation eval;
+  eval.slice_accuracy_before = accuracy_of(pred_before, true, data_before);
+  eval.slice_accuracy_after = accuracy_of(pred_after, true, data_after);
+  eval.rest_accuracy_before = accuracy_of(pred_before, false, data_before);
+  eval.rest_accuracy_after = accuracy_of(pred_after, false, data_after);
+  return eval;
+}
+
+}  // namespace mlfs

@@ -1,0 +1,65 @@
+#ifndef MLFS_MONITORING_PATCHER_H_
+#define MLFS_MONITORING_PATCHER_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "embedding/embedding_table.h"
+#include "embedding/quality.h"
+#include "ml/linear_model.h"
+
+namespace mlfs {
+
+/// Model patching through the data/embedding layer (paper §3.1.3 and [22]):
+/// once an underperforming slice is found, the error is corrected in the
+/// *embedding*, so every downstream consumer is patched consistently —
+/// versus per-model fixes (oversampling), which repair one model at a time.
+
+/// Strategy A — data augmentation at the model level: per-example weights
+/// that oversample the slice by `factor` (>= 1). Fixes only the model
+/// retrained with these weights.
+StatusOr<std::vector<double>> OversampleWeights(
+    const DownstreamTask& task,
+    const std::unordered_set<std::string>& slice_keys, double factor);
+
+struct EmbeddingPatchOptions {
+  /// Step size toward the class centroid, in [0, 1]. 0 = no-op, 1 = snap
+  /// to the centroid.
+  double alpha = 0.5;
+  /// Also nudge slightly away from the nearest *wrong*-class centroid.
+  double repel = 0.1;
+};
+
+/// Strategy B — patch the embedding itself: move each slice key's vector
+/// toward the centroid of its task class (computed from non-slice
+/// examples, i.e. the part of the space the consumers already handle
+/// well), optionally repelling from the nearest other-class centroid.
+/// Returns a new (unregistered) table with parent lineage set; keys outside
+/// the slice are untouched, so unaffected consumers see minimal churn.
+StatusOr<EmbeddingTablePtr> PatchEmbedding(
+    const EmbeddingTable& table, const DownstreamTask& task,
+    const std::unordered_set<std::string>& slice_keys,
+    EmbeddingPatchOptions options = {});
+
+/// Effect of a patch on one downstream consumer: accuracy on the slice and
+/// off the slice, before vs after.
+struct PatchEvaluation {
+  double slice_accuracy_before = 0.0;
+  double slice_accuracy_after = 0.0;
+  double rest_accuracy_before = 0.0;
+  double rest_accuracy_after = 0.0;
+};
+
+/// Trains one downstream model per table (same config/seed) and evaluates
+/// on the full task, split into slice vs rest.
+StatusOr<PatchEvaluation> EvaluatePatch(
+    const EmbeddingTable& before, const EmbeddingTable& after,
+    const DownstreamTask& task,
+    const std::unordered_set<std::string>& slice_keys,
+    const TrainConfig& config = {});
+
+}  // namespace mlfs
+
+#endif  // MLFS_MONITORING_PATCHER_H_

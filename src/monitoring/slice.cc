@@ -1,0 +1,78 @@
+#include "monitoring/slice.h"
+
+#include <cstdio>
+
+namespace mlfs {
+
+StatusOr<Slice> Slice::Create(const SliceSpec& spec, SchemaPtr schema) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("slice needs a name");
+  }
+  MLFS_ASSIGN_OR_RETURN(CompiledExpr predicate,
+                        CompiledExpr::Compile(spec.predicate, schema));
+  if (predicate.output_type() != FeatureType::kBool &&
+      predicate.output_type() != FeatureType::kNull) {
+    return Status::InvalidArgument("slice '" + spec.name +
+                                   "' predicate is not boolean");
+  }
+  return Slice(spec, std::move(predicate));
+}
+
+StatusOr<bool> Slice::Matches(const Row& metadata) const {
+  MLFS_ASSIGN_OR_RETURN(Value v, predicate_.Eval(metadata));
+  if (v.is_null()) return false;
+  return v.bool_value();
+}
+
+std::string SliceMetrics::ToString() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "%s: n=%zu acc=%.4f (population %.4f, gap %+.4f)",
+                slice.c_str(), size, accuracy, population_accuracy,
+                accuracy_gap);
+  return buf;
+}
+
+StatusOr<std::vector<SliceMetrics>> EvaluateSlices(
+    const std::vector<Slice>& slices, const std::vector<Row>& metadata,
+    const std::vector<int>& truth, const std::vector<int>& predictions) {
+  if (metadata.size() != truth.size() ||
+      truth.size() != predictions.size()) {
+    return Status::InvalidArgument("metadata/truth/predictions misaligned");
+  }
+  if (metadata.empty()) {
+    return Status::InvalidArgument("no examples to slice");
+  }
+  size_t population_correct = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    population_correct += truth[i] == predictions[i];
+  }
+  const double population_accuracy =
+      static_cast<double>(population_correct) /
+      static_cast<double>(truth.size());
+
+  std::vector<SliceMetrics> out;
+  out.reserve(slices.size());
+  for (const Slice& slice : slices) {
+    SliceMetrics metrics;
+    metrics.slice = slice.name();
+    metrics.population_accuracy = population_accuracy;
+    size_t correct = 0;
+    for (size_t i = 0; i < metadata.size(); ++i) {
+      MLFS_ASSIGN_OR_RETURN(bool in_slice, slice.Matches(metadata[i]));
+      if (!in_slice) continue;
+      ++metrics.size;
+      correct += truth[i] == predictions[i];
+    }
+    metrics.accuracy =
+        metrics.size ? static_cast<double>(correct) /
+                           static_cast<double>(metrics.size)
+                     : 0.0;
+    metrics.accuracy_gap =
+        metrics.size ? population_accuracy - metrics.accuracy : 0.0;
+    out.push_back(std::move(metrics));
+  }
+  return out;
+}
+
+}  // namespace mlfs

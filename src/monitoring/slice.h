@@ -1,0 +1,61 @@
+#ifndef MLFS_MONITORING_SLICE_H_
+#define MLFS_MONITORING_SLICE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/row.h"
+#include "common/status.h"
+#include "expr/evaluator.h"
+
+namespace mlfs {
+
+/// A named subpopulation defined by a boolean predicate over example
+/// metadata — the user-defined sub-population functions of Robustness Gym
+/// (Goel et al. [10], paper §3.1.3). Example: {"rare_entities",
+/// "mention_count < 5 and lang == 'en'"}.
+struct SliceSpec {
+  std::string name;
+  std::string predicate;
+};
+
+/// A compiled slice predicate bound to the metadata schema.
+class Slice {
+ public:
+  static StatusOr<Slice> Create(const SliceSpec& spec, SchemaPtr schema);
+
+  /// True when `metadata` belongs to the slice (NULL predicate = false).
+  StatusOr<bool> Matches(const Row& metadata) const;
+
+  const std::string& name() const { return spec_.name; }
+  const SliceSpec& spec() const { return spec_; }
+
+ private:
+  Slice(SliceSpec spec, CompiledExpr predicate)
+      : spec_(std::move(spec)), predicate_(std::move(predicate)) {}
+
+  SliceSpec spec_;
+  CompiledExpr predicate_;
+};
+
+/// Per-slice evaluation of a model: size, accuracy, and the gap to the
+/// population accuracy.
+struct SliceMetrics {
+  std::string slice;
+  size_t size = 0;
+  double accuracy = 0.0;
+  double population_accuracy = 0.0;
+  double accuracy_gap = 0.0;  // population - slice (positive = worse).
+  std::string ToString() const;
+};
+
+/// Evaluates `slices` over aligned (metadata row, truth, prediction)
+/// triples. Slices with no matching examples report size 0 / accuracy 0.
+StatusOr<std::vector<SliceMetrics>> EvaluateSlices(
+    const std::vector<Slice>& slices, const std::vector<Row>& metadata,
+    const std::vector<int>& truth, const std::vector<int>& predictions);
+
+}  // namespace mlfs
+
+#endif  // MLFS_MONITORING_SLICE_H_

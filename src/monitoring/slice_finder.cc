@@ -1,0 +1,185 @@
+#include "monitoring/slice_finder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "quality/drift.h"
+
+namespace mlfs {
+namespace {
+
+// One attribute cell: column index + discrete value label + member set.
+struct Cell {
+  std::string label;  // "col == value" rendering.
+  std::vector<size_t> members;
+};
+
+// Discretizes every column of the metadata into labeled cells.
+StatusOr<std::vector<std::vector<Cell>>> BuildCells(
+    const std::vector<Row>& metadata, size_t numeric_buckets) {
+  const SchemaPtr& schema = metadata.front().schema();
+  if (schema == nullptr) {
+    return Status::InvalidArgument("metadata rows have no schema");
+  }
+  std::vector<std::vector<Cell>> out;
+  for (size_t col = 0; col < schema->num_fields(); ++col) {
+    const FieldSpec& field = schema->field(col);
+    std::map<std::string, std::vector<size_t>> groups;
+    if (field.type == FeatureType::kDouble ||
+        field.type == FeatureType::kInt64) {
+      // Quantile-bucketize numerics.
+      std::vector<double> values;
+      values.reserve(metadata.size());
+      for (const Row& row : metadata) {
+        auto d = row.value(col).AsDouble();
+        if (d.ok()) values.push_back(*d);
+      }
+      if (values.size() < 2) continue;
+      MLFS_ASSIGN_OR_RETURN(std::vector<double> edges,
+                            QuantileBinEdges(values, numeric_buckets));
+      for (size_t i = 0; i < metadata.size(); ++i) {
+        auto d = metadata[i].value(col).AsDouble();
+        if (!d.ok()) continue;
+        auto it = std::upper_bound(edges.begin(), edges.end(), *d);
+        size_t bucket =
+            it == edges.begin()
+                ? 0
+                : std::min(numeric_buckets - 1,
+                           static_cast<size_t>(it - edges.begin()) - 1);
+        groups[field.name + " in q" + std::to_string(bucket)].push_back(i);
+      }
+    } else if (field.type == FeatureType::kString ||
+               field.type == FeatureType::kBool) {
+      for (size_t i = 0; i < metadata.size(); ++i) {
+        const Value& v = metadata[i].value(col);
+        if (v.is_null()) continue;
+        std::string label =
+            field.name + " == " +
+            (field.type == FeatureType::kString ? "'" + v.string_value() + "'"
+                                                : v.ToString());
+        groups[label].push_back(i);
+      }
+    } else {
+      continue;  // Timestamps/embeddings are not slicing attributes.
+    }
+    std::vector<Cell> cells;
+    cells.reserve(groups.size());
+    for (auto& [label, members] : groups) {
+      cells.push_back({label, std::move(members)});
+    }
+    out.push_back(std::move(cells));
+  }
+  return out;
+}
+
+DiscoveredSlice ScoreSlice(const std::string& label,
+                           std::vector<size_t> members,
+                           const std::vector<int>& truth,
+                           const std::vector<int>& predictions,
+                           double population_accuracy) {
+  DiscoveredSlice slice;
+  slice.predicate = label;
+  slice.size = members.size();
+  size_t correct = 0;
+  for (size_t i : members) correct += truth[i] == predictions[i];
+  slice.accuracy = slice.size ? static_cast<double>(correct) /
+                                    static_cast<double>(slice.size)
+                              : 0.0;
+  slice.accuracy_gap = population_accuracy - slice.accuracy;
+  // Binomial stderr of the slice accuracy under the population rate.
+  double p = population_accuracy;
+  double se = std::sqrt(std::max(1e-12, p * (1 - p) /
+                                            static_cast<double>(
+                                                std::max<size_t>(1,
+                                                                 slice.size))));
+  slice.z_score = slice.accuracy_gap / se;
+  slice.members = std::move(members);
+  return slice;
+}
+
+std::vector<size_t> Intersect(const std::vector<size_t>& a,
+                              const std::vector<size_t>& b) {
+  std::vector<size_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+StatusOr<std::vector<DiscoveredSlice>> FindUnderperformingSlices(
+    const std::vector<Row>& metadata, const std::vector<int>& truth,
+    const std::vector<int>& predictions, SliceFinderOptions options) {
+  if (metadata.size() != truth.size() ||
+      truth.size() != predictions.size() || metadata.empty()) {
+    return Status::InvalidArgument("metadata/truth/predictions misaligned");
+  }
+  size_t correct = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    correct += truth[i] == predictions[i];
+  }
+  const double population_accuracy =
+      static_cast<double>(correct) / static_cast<double>(truth.size());
+
+  MLFS_ASSIGN_OR_RETURN(std::vector<std::vector<Cell>> columns,
+                        BuildCells(metadata, options.numeric_buckets));
+
+  auto qualifies = [&](const DiscoveredSlice& slice) {
+    return slice.size >= options.min_support &&
+           slice.accuracy_gap >= options.min_gap &&
+           slice.z_score >= options.min_z;
+  };
+
+  std::vector<DiscoveredSlice> found;
+  for (const auto& cells : columns) {
+    for (const Cell& cell : cells) {
+      DiscoveredSlice slice =
+          ScoreSlice(cell.label, cell.members, truth, predictions,
+                     population_accuracy);
+      if (qualifies(slice)) found.push_back(std::move(slice));
+    }
+  }
+  if (options.pairs) {
+    for (size_t a = 0; a < columns.size(); ++a) {
+      for (size_t b = a + 1; b < columns.size(); ++b) {
+        for (const Cell& ca : columns[a]) {
+          if (ca.members.size() < options.min_support) continue;
+          for (const Cell& cb : columns[b]) {
+            if (cb.members.size() < options.min_support) continue;
+            std::vector<size_t> members = Intersect(ca.members, cb.members);
+            if (members.size() < options.min_support) continue;
+            DiscoveredSlice slice =
+                ScoreSlice(ca.label + " and " + cb.label, std::move(members),
+                           truth, predictions, population_accuracy);
+            if (!qualifies(slice)) continue;
+            // Dedup: a conjunction must beat any reported single-attribute
+            // parent by a real margin (min_gap), else the parent explains
+            // it and the pair is noise refinement.
+            bool dominated = false;
+            for (const DiscoveredSlice& single : found) {
+              if ((single.predicate == ca.label ||
+                   single.predicate == cb.label) &&
+                  slice.accuracy_gap <
+                      single.accuracy_gap + options.min_gap) {
+                dominated = true;
+                break;
+              }
+            }
+            if (!dominated) found.push_back(std::move(slice));
+          }
+        }
+      }
+    }
+  }
+  std::sort(found.begin(), found.end(),
+            [](const DiscoveredSlice& a, const DiscoveredSlice& b) {
+              return a.accuracy_gap > b.accuracy_gap;
+            });
+  if (found.size() > options.max_results) {
+    found.resize(options.max_results);
+  }
+  return found;
+}
+
+}  // namespace mlfs

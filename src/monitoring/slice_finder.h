@@ -1,0 +1,53 @@
+#ifndef MLFS_MONITORING_SLICE_FINDER_H_
+#define MLFS_MONITORING_SLICE_FINDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/row.h"
+#include "common/status.h"
+
+namespace mlfs {
+
+/// A discovered underperforming subpopulation.
+struct DiscoveredSlice {
+  /// Human-readable predicate, e.g. "country == 'de' and bucket == 3".
+  std::string predicate;
+  size_t size = 0;
+  double accuracy = 0.0;
+  double accuracy_gap = 0.0;  // Population accuracy minus slice accuracy.
+  double z_score = 0.0;       // Significance of the gap (binomial approx).
+  /// Indices of the member examples.
+  std::vector<size_t> members;
+};
+
+struct SliceFinderOptions {
+  /// Slices smaller than this are noise, not subpopulations.
+  size_t min_support = 30;
+  /// Minimum accuracy gap worth reporting.
+  double min_gap = 0.05;
+  /// Minimum z-score (gap / stderr) for statistical plausibility.
+  double min_z = 2.0;
+  /// Also search conjunctions of two attributes.
+  bool pairs = true;
+  /// Cap on returned slices (best gap first).
+  size_t max_results = 10;
+  /// Numeric columns are discretized into this many quantile buckets.
+  size_t numeric_buckets = 4;
+};
+
+/// Automatic lattice search for underperforming slices over categorical
+/// (and bucketized numeric) metadata attributes: the "find meaningful
+/// subpopulations of errors" step of the paper's monitoring story
+/// (§3.1.3). Examines every attribute=value cell (and optionally pairs),
+/// scores the accuracy gap, filters by support and significance, and
+/// returns the worst offenders with overlapping slices deduplicated
+/// (a pair is dropped when a reported single attribute already covers it
+/// with a gap at least as large).
+StatusOr<std::vector<DiscoveredSlice>> FindUnderperformingSlices(
+    const std::vector<Row>& metadata, const std::vector<int>& truth,
+    const std::vector<int>& predictions, SliceFinderOptions options = {});
+
+}  // namespace mlfs
+
+#endif  // MLFS_MONITORING_SLICE_FINDER_H_

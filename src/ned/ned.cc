@@ -1,0 +1,192 @@
+#include "ned/ned.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "embedding/distance.h"
+
+namespace mlfs {
+
+StatusOr<AliasTable> BuildAliasTable(const SyntheticKb& kb,
+                                     double mean_ambiguity, uint64_t seed,
+                                     bool confusable) {
+  if (mean_ambiguity < 1.0) {
+    return Status::InvalidArgument("mean_ambiguity must be >= 1");
+  }
+  Rng rng(seed);
+  const size_t n = kb.num_entities();
+  AliasTable table;
+  table.entity_alias.assign(n, 0);
+
+  // Pools to draw groups from: per type when confusable, global otherwise.
+  std::vector<std::vector<uint32_t>> pools;
+  if (confusable) {
+    pools.resize(kb.config.num_types);
+    for (size_t e = 0; e < n; ++e) {
+      pools[kb.entity_type[e]].push_back(static_cast<uint32_t>(e));
+    }
+  } else {
+    pools.resize(1);
+    for (size_t e = 0; e < n; ++e) {
+      pools[0].push_back(static_cast<uint32_t>(e));
+    }
+  }
+  for (auto& pool : pools) rng.Shuffle(&pool);
+
+  for (auto& pool : pools) {
+    size_t i = 0;
+    while (i < pool.size()) {
+      // Geometric-ish group size with the requested mean (min 1).
+      size_t group = 1;
+      while (group < 8 &&
+             rng.Bernoulli(1.0 - 1.0 / mean_ambiguity)) {
+        ++group;
+      }
+      group = std::min(group, pool.size() - i);
+      uint32_t alias = static_cast<uint32_t>(table.alias_candidates.size());
+      table.alias_candidates.emplace_back();
+      for (size_t g = 0; g < group; ++g, ++i) {
+        table.alias_candidates[alias].push_back(pool[i]);
+        table.entity_alias[pool[i]] = alias;
+      }
+    }
+  }
+  return table;
+}
+
+StatusOr<std::vector<MentionQuery>> GenerateMentionQueries(
+    const SyntheticKb& kb, const AliasTable& aliases, size_t n,
+    int context_size, uint64_t seed) {
+  if (n == 0 || context_size < 1) {
+    return Status::InvalidArgument("need queries with context");
+  }
+  if (aliases.entity_alias.size() != kb.num_entities()) {
+    return Status::InvalidArgument("alias table does not match KB");
+  }
+  Rng rng(seed);
+  std::vector<MentionQuery> queries;
+  queries.reserve(n);
+  while (queries.size() < n) {
+    MentionQuery query;
+    query.truth = static_cast<uint32_t>(kb.popularity.Sample(&rng));
+    query.alias = aliases.entity_alias[query.truth];
+    // Context: a relation walk from the gold entity (same process as the
+    // corpus generator's sentences).
+    uint32_t current = query.truth;
+    for (int step = 0; step < context_size * 3 &&
+                       static_cast<int>(query.context.size()) < context_size;
+         ++step) {
+      const auto& adjacency = kb.neighbors[current];
+      if (adjacency.empty()) break;
+      current = adjacency[rng.Uniform(adjacency.size())].first;
+      if (current != query.truth) query.context.push_back(current);
+    }
+    if (query.context.empty()) continue;  // Isolated entity: no signal.
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+namespace {
+
+StatusOr<NedReport> EvaluateImpl(const EmbeddingTable& table,
+                                 const SyntheticKb& kb,
+                                 const AliasTable& aliases,
+                                 const std::vector<MentionQuery>& queries,
+                                 const std::unordered_set<size_t>* subset,
+                                 const NedOptions& options) {
+  const size_t d = table.dim();
+  // Hubness prior: each entity's mean cosine to random probe entities.
+  std::vector<double> prior(kb.num_entities(), 0.0);
+  if (options.hubness_correction && table.size() > 0) {
+    Rng rng(options.seed);
+    std::vector<const float*> probe_vectors;
+    for (size_t p = 0; p < options.hubness_probes; ++p) {
+      probe_vectors.push_back(table.row(rng.Uniform(table.size())));
+    }
+    for (size_t e = 0; e < kb.num_entities(); ++e) {
+      auto vec = table.Get(kb.entity_key(e));
+      if (!vec.ok()) continue;
+      double sum = 0.0;
+      for (const float* probe : probe_vectors) {
+        sum += CosineSimilarity(*vec, probe, d);
+      }
+      prior[e] = sum / static_cast<double>(probe_vectors.size());
+    }
+  }
+  NedReport report;
+  double baseline_total = 0.0;
+  std::vector<float> context_mean(d);
+  for (const MentionQuery& query : queries) {
+    if (subset != nullptr && subset->count(query.truth) == 0) continue;
+    if (query.alias >= aliases.alias_candidates.size()) {
+      return Status::InvalidArgument("query alias out of range");
+    }
+    const auto& candidates = aliases.alias_candidates[query.alias];
+    // Mean context vector.
+    std::fill(context_mean.begin(), context_mean.end(), 0.0f);
+    size_t used = 0;
+    for (uint32_t entity : query.context) {
+      auto vec = table.Get(kb.entity_key(entity));
+      if (!vec.ok()) continue;
+      for (size_t j = 0; j < d; ++j) context_mean[j] += (*vec)[j];
+      ++used;
+    }
+    if (used == 0) continue;
+    for (auto& x : context_mean) x /= static_cast<float>(used);
+
+    // Rank candidates by cosine with the context.
+    std::vector<std::pair<float, uint32_t>> scored;
+    scored.reserve(candidates.size());
+    bool gold_present = false;
+    for (uint32_t candidate : candidates) {
+      auto vec = table.Get(kb.entity_key(candidate));
+      if (!vec.ok()) continue;
+      float score = CosineSimilarity(context_mean.data(), *vec, d) -
+                    static_cast<float>(prior[candidate]);
+      scored.emplace_back(-score, candidate);
+      gold_present |= candidate == query.truth;
+    }
+    if (!gold_present || scored.empty()) continue;
+    std::sort(scored.begin(), scored.end());
+    size_t rank = scored.size();
+    for (size_t r = 0; r < scored.size(); ++r) {
+      if (scored[r].second == query.truth) {
+        rank = r + 1;
+        break;
+      }
+    }
+    ++report.queries;
+    report.accuracy += (rank == 1) ? 1.0 : 0.0;
+    report.mrr += 1.0 / static_cast<double>(rank);
+    baseline_total += 1.0 / static_cast<double>(scored.size());
+  }
+  if (report.queries == 0) {
+    return Status::InvalidArgument("no evaluable queries");
+  }
+  report.accuracy /= static_cast<double>(report.queries);
+  report.mrr /= static_cast<double>(report.queries);
+  report.random_baseline =
+      baseline_total / static_cast<double>(report.queries);
+  return report;
+}
+
+}  // namespace
+
+StatusOr<NedReport> EvaluateDisambiguation(
+    const EmbeddingTable& table, const SyntheticKb& kb,
+    const AliasTable& aliases, const std::vector<MentionQuery>& queries,
+    NedOptions options) {
+  return EvaluateImpl(table, kb, aliases, queries, nullptr, options);
+}
+
+StatusOr<NedReport> EvaluateDisambiguationOn(
+    const EmbeddingTable& table, const SyntheticKb& kb,
+    const AliasTable& aliases, const std::vector<MentionQuery>& queries,
+    const std::vector<size_t>& entity_subset, NedOptions options) {
+  std::unordered_set<size_t> subset(entity_subset.begin(),
+                                    entity_subset.end());
+  return EvaluateImpl(table, kb, aliases, queries, &subset, options);
+}
+
+}  // namespace mlfs

@@ -1,0 +1,97 @@
+#ifndef MLFS_NED_NED_H_
+#define MLFS_NED_NED_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/kb.h"
+#include "embedding/embedding_table.h"
+
+namespace mlfs {
+
+/// Reference downstream application: embedding-based named entity
+/// disambiguation (NED) — the task of mapping an ambiguous mention string
+/// to the right knowledge-base entity. This is the system the paper's
+/// authors built (Bootleg, Orr et al. [22]) and the concrete consumer the
+/// embedding-ecosystem machinery exists to serve: candidates come from an
+/// alias table, and the winner is the candidate whose entity embedding is
+/// most similar to the mention's context.
+
+/// Alias -> candidate sets. Every entity carries exactly one alias; an
+/// alias may be shared by several entities (that sharing is what makes
+/// disambiguation non-trivial).
+struct AliasTable {
+  /// Per alias: the candidate entity ids.
+  std::vector<std::vector<uint32_t>> alias_candidates;
+  /// Per entity: its alias id.
+  std::vector<uint32_t> entity_alias;
+
+  size_t num_aliases() const { return alias_candidates.size(); }
+  /// Mean candidates per alias.
+  double mean_ambiguity() const {
+    return alias_candidates.empty()
+               ? 0.0
+               : static_cast<double>(entity_alias.size()) /
+                     static_cast<double>(alias_candidates.size());
+  }
+};
+
+/// Partitions the KB's entities into alias groups of mean size
+/// `mean_ambiguity` (>= 1). With `confusable` true, groups are drawn from
+/// same-type entities where possible — the harder, realistic setting where
+/// type information alone cannot disambiguate.
+StatusOr<AliasTable> BuildAliasTable(const SyntheticKb& kb,
+                                     double mean_ambiguity, uint64_t seed,
+                                     bool confusable = true);
+
+/// One mention to resolve: the gold entity plus the entities that co-occur
+/// in its sentence (the context available to the disambiguator).
+struct MentionQuery {
+  uint32_t alias = 0;
+  uint32_t truth = 0;
+  std::vector<uint32_t> context;
+};
+
+/// Samples `n` mention queries: the gold entity by popularity, the context
+/// by relation walks from it (mirroring the corpus generator, so the
+/// embedding has actually seen this kind of co-occurrence).
+StatusOr<std::vector<MentionQuery>> GenerateMentionQueries(
+    const SyntheticKb& kb, const AliasTable& aliases, size_t n,
+    int context_size, uint64_t seed);
+
+struct NedReport {
+  size_t queries = 0;
+  double accuracy = 0.0;          // Top-1 over candidates.
+  double mrr = 0.0;               // Mean reciprocal rank of the gold.
+  double random_baseline = 0.0;   // E[1/|candidates|].
+};
+
+struct NedOptions {
+  /// Correct cosine hubness: subtract each candidate's mean similarity to
+  /// random probe entities, so globally-central ("hub") candidates stop
+  /// swallowing every ambiguous mention. Matters most when alias-mates
+  /// share a type.
+  bool hubness_correction = true;
+  size_t hubness_probes = 50;
+  uint64_t seed = 97;
+};
+
+/// Resolves each query by scoring every candidate against the mean context
+/// vector (cosine, optionally hubness-corrected) and reports accuracy/MRR.
+/// Entities are looked up in `table` by kb.entity_key(id); queries whose
+/// gold or context vectors are missing are skipped.
+StatusOr<NedReport> EvaluateDisambiguation(
+    const EmbeddingTable& table, const SyntheticKb& kb,
+    const AliasTable& aliases, const std::vector<MentionQuery>& queries,
+    NedOptions options = {});
+
+/// Accuracy restricted to queries whose gold entity is in `entity_subset`
+/// (e.g. a popularity decile).
+StatusOr<NedReport> EvaluateDisambiguationOn(
+    const EmbeddingTable& table, const SyntheticKb& kb,
+    const AliasTable& aliases, const std::vector<MentionQuery>& queries,
+    const std::vector<size_t>& entity_subset, NedOptions options = {});
+
+}  // namespace mlfs
+
+#endif  // MLFS_NED_NED_H_

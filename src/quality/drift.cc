@@ -1,0 +1,207 @@
+#include "quality/drift.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "quality/stats_math.h"
+
+namespace mlfs {
+
+StatusOr<double> KsStatistic(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument("KS needs non-empty samples");
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  size_t i = 0, j = 0;
+  double d = 0.0;
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  while (i < a.size() && j < b.size()) {
+    double x = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] <= x) ++i;
+    while (j < b.size() && b[j] <= x) ++j;
+    d = std::max(d, std::abs(static_cast<double>(i) / na -
+                             static_cast<double>(j) / nb));
+  }
+  return d;
+}
+
+StatusOr<double> PopulationStabilityIndex(
+    const std::vector<double>& expected_counts,
+    const std::vector<double>& actual_counts) {
+  if (expected_counts.size() != actual_counts.size() ||
+      expected_counts.empty()) {
+    return Status::InvalidArgument("PSI needs equal, non-empty bin vectors");
+  }
+  double e_total = 0, a_total = 0;
+  for (double c : expected_counts) {
+    if (c < 0) return Status::InvalidArgument("negative bin count");
+    e_total += c;
+  }
+  for (double c : actual_counts) {
+    if (c < 0) return Status::InvalidArgument("negative bin count");
+    a_total += c;
+  }
+  if (e_total <= 0 || a_total <= 0) {
+    return Status::InvalidArgument("PSI needs positive totals");
+  }
+  // Laplace smoothing keeps empty bins finite.
+  const double n = static_cast<double>(expected_counts.size());
+  double psi = 0.0;
+  for (size_t i = 0; i < expected_counts.size(); ++i) {
+    double e = (expected_counts[i] + 0.5) / (e_total + 0.5 * n);
+    double a = (actual_counts[i] + 0.5) / (a_total + 0.5 * n);
+    psi += (a - e) * std::log(a / e);
+  }
+  return psi;
+}
+
+StatusOr<double> JensenShannonDivergence(const std::vector<double>& p,
+                                         const std::vector<double>& q) {
+  if (p.size() != q.size() || p.empty()) {
+    return Status::InvalidArgument("JS needs equal, non-empty vectors");
+  }
+  double pt = 0, qt = 0;
+  for (double x : p) {
+    if (x < 0) return Status::InvalidArgument("negative mass");
+    pt += x;
+  }
+  for (double x : q) {
+    if (x < 0) return Status::InvalidArgument("negative mass");
+    qt += x;
+  }
+  if (pt <= 0 || qt <= 0) {
+    return Status::InvalidArgument("JS needs positive totals");
+  }
+  double js = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    double pi = p[i] / pt;
+    double qi = q[i] / qt;
+    double mi = 0.5 * (pi + qi);
+    if (pi > 0) js += 0.5 * pi * std::log2(pi / mi);
+    if (qi > 0) js += 0.5 * qi * std::log2(qi / mi);
+  }
+  return std::max(0.0, js);
+}
+
+StatusOr<double> ChiSquareStatistic(const std::vector<double>& expected,
+                                    const std::vector<double>& actual) {
+  if (expected.size() != actual.size() || expected.empty()) {
+    return Status::InvalidArgument("chi-square needs equal bin vectors");
+  }
+  double e_total = 0, a_total = 0;
+  for (double c : expected) e_total += c;
+  for (double c : actual) a_total += c;
+  if (e_total <= 0 || a_total <= 0) {
+    return Status::InvalidArgument("chi-square needs positive totals");
+  }
+  double chi2 = 0.0;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    double e = expected[i] / e_total * a_total;
+    if (e <= 0) e = 0.5;  // Smooth empty expected bins.
+    double diff = actual[i] - e;
+    chi2 += diff * diff / e;
+  }
+  return chi2;
+}
+
+std::vector<double> BinCounts(const std::vector<double>& xs, double lo,
+                              double hi, size_t num_bins) {
+  std::vector<double> counts(num_bins, 0.0);
+  if (num_bins == 0 || hi <= lo) return counts;
+  const double width = (hi - lo) / static_cast<double>(num_bins);
+  for (double x : xs) {
+    double idx = (x - lo) / width;
+    size_t i =
+        idx < 0 ? 0
+                : std::min(num_bins - 1, static_cast<size_t>(idx));
+    ++counts[i];
+  }
+  return counts;
+}
+
+StatusOr<std::vector<double>> QuantileBinEdges(std::vector<double> xs,
+                                               size_t num_bins) {
+  if (xs.empty() || num_bins == 0) {
+    return Status::InvalidArgument("quantile edges need data and bins");
+  }
+  std::sort(xs.begin(), xs.end());
+  std::vector<double> edges(num_bins + 1);
+  for (size_t i = 0; i <= num_bins; ++i) {
+    double q = static_cast<double>(i) / static_cast<double>(num_bins);
+    size_t idx = std::min(xs.size() - 1,
+                          static_cast<size_t>(q * (xs.size() - 1)));
+    edges[i] = xs[idx];
+  }
+  return edges;
+}
+
+std::vector<double> BinByEdges(const std::vector<double>& xs,
+                               const std::vector<double>& edges) {
+  std::vector<double> counts(edges.size() > 1 ? edges.size() - 1 : 0, 0.0);
+  if (counts.empty()) return counts;
+  for (double x : xs) {
+    // Rightmost bin whose left edge is <= x.
+    auto it = std::upper_bound(edges.begin(), edges.end(), x);
+    size_t i;
+    if (it == edges.begin()) {
+      i = 0;
+    } else {
+      i = static_cast<size_t>(it - edges.begin()) - 1;
+      if (i >= counts.size()) i = counts.size() - 1;
+    }
+    ++counts[i];
+  }
+  return counts;
+}
+
+std::string DriftReport::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "ks=%.4f (p=%.4g) psi=%.4f js=%.4f -> %s", ks, ks_pvalue,
+                psi, js, drifted ? "DRIFT" : "stable");
+  return buf;
+}
+
+StatusOr<DriftDetector> DriftDetector::Fit(std::vector<double> reference,
+                                           size_t num_bins,
+                                           DriftThresholds thresholds) {
+  if (reference.size() < 10) {
+    return Status::InvalidArgument(
+        "drift detector needs >= 10 reference values");
+  }
+  if (num_bins < 2) {
+    return Status::InvalidArgument("drift detector needs >= 2 bins");
+  }
+  std::sort(reference.begin(), reference.end());
+  MLFS_ASSIGN_OR_RETURN(std::vector<double> edges,
+                        QuantileBinEdges(reference, num_bins));
+  std::vector<double> ref_counts = BinByEdges(reference, edges);
+  return DriftDetector(std::move(reference), std::move(edges),
+                       std::move(ref_counts), thresholds);
+}
+
+StatusOr<DriftReport> DriftDetector::Check(
+    const std::vector<double>& current) const {
+  if (current.empty()) {
+    return Status::InvalidArgument("drift check needs data");
+  }
+  DriftReport report;
+  MLFS_ASSIGN_OR_RETURN(report.ks, KsStatistic(reference_, current));
+  report.ks_pvalue = KsPValue(report.ks, reference_.size(), current.size());
+  std::vector<double> cur_counts = BinByEdges(current, edges_);
+  MLFS_ASSIGN_OR_RETURN(report.psi,
+                        PopulationStabilityIndex(reference_counts_,
+                                                 cur_counts));
+  MLFS_ASSIGN_OR_RETURN(report.js,
+                        JensenShannonDivergence(reference_counts_,
+                                                cur_counts));
+  report.drifted = report.ks_pvalue < thresholds_.ks_pvalue_below ||
+                   report.psi > thresholds_.psi_above ||
+                   report.js > thresholds_.js_above;
+  return report;
+}
+
+}  // namespace mlfs

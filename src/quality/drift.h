@@ -1,0 +1,97 @@
+#ifndef MLFS_QUALITY_DRIFT_H_
+#define MLFS_QUALITY_DRIFT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mlfs {
+
+/// Two-sample Kolmogorov-Smirnov statistic: sup_x |F_a(x) - F_b(x)|.
+/// Inputs need not be sorted. Both samples must be non-empty.
+StatusOr<double> KsStatistic(std::vector<double> a, std::vector<double> b);
+
+/// Population Stability Index between two binned distributions (same bin
+/// count). Zero counts are smoothed. PSI < 0.1: stable; 0.1-0.25: moderate
+/// shift; > 0.25: major shift (industry rule of thumb).
+StatusOr<double> PopulationStabilityIndex(
+    const std::vector<double>& expected_counts,
+    const std::vector<double>& actual_counts);
+
+/// Jensen-Shannon divergence (base-2 log, in [0, 1]) between two binned
+/// distributions of equal length. Counts are normalized internally.
+StatusOr<double> JensenShannonDivergence(const std::vector<double>& p,
+                                         const std::vector<double>& q);
+
+/// Pearson chi-square statistic comparing `actual` category counts against
+/// the distribution of `expected` counts (scaled to the actual total).
+StatusOr<double> ChiSquareStatistic(const std::vector<double>& expected,
+                                    const std::vector<double>& actual);
+
+/// Equal-width binning of `xs` over [lo, hi] into `num_bins` counts;
+/// values outside clamp to the edge bins.
+std::vector<double> BinCounts(const std::vector<double>& xs, double lo,
+                              double hi, size_t num_bins);
+
+/// Quantile bin edges of `xs` (len = num_bins + 1), suitable as PSI
+/// reference bins. Requires non-empty input.
+StatusOr<std::vector<double>> QuantileBinEdges(std::vector<double> xs,
+                                               size_t num_bins);
+
+/// Counts of `xs` falling into bins defined by `edges` (len edges - 1
+/// bins); outside values go to the first/last bin.
+std::vector<double> BinByEdges(const std::vector<double>& xs,
+                               const std::vector<double>& edges);
+
+/// Verdict of one drift check.
+struct DriftReport {
+  double ks = 0.0;
+  double ks_pvalue = 1.0;
+  double psi = 0.0;
+  double js = 0.0;
+  bool drifted = false;
+  std::string ToString() const;
+};
+
+/// Thresholds at which DriftDetector declares drift (any trigger fires).
+struct DriftThresholds {
+  double ks_pvalue_below = 0.01;
+  double psi_above = 0.25;
+  double js_above = 0.1;
+};
+
+/// Distribution-shift detector over a numeric feature: fit once on a
+/// reference (training-time) sample, then check serving-time samples — the
+/// feature store's near-real-time input-drift monitor (paper §2.2.3).
+class DriftDetector {
+ public:
+  /// `reference` must have at least 10 values. `num_bins` controls the
+  /// PSI/JS quantile binning.
+  static StatusOr<DriftDetector> Fit(std::vector<double> reference,
+                                     size_t num_bins = 10,
+                                     DriftThresholds thresholds = {});
+
+  /// Compares `current` (non-empty) against the reference.
+  StatusOr<DriftReport> Check(const std::vector<double>& current) const;
+
+  const std::vector<double>& reference() const { return reference_; }
+
+ private:
+  DriftDetector(std::vector<double> reference, std::vector<double> edges,
+                std::vector<double> reference_counts,
+                DriftThresholds thresholds)
+      : reference_(std::move(reference)),
+        edges_(std::move(edges)),
+        reference_counts_(std::move(reference_counts)),
+        thresholds_(thresholds) {}
+
+  std::vector<double> reference_;  // Sorted.
+  std::vector<double> edges_;
+  std::vector<double> reference_counts_;
+  DriftThresholds thresholds_;
+};
+
+}  // namespace mlfs
+
+#endif  // MLFS_QUALITY_DRIFT_H_

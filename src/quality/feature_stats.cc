@@ -1,0 +1,211 @@
+#include "quality/feature_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <unordered_set>
+
+#include "quality/drift.h"
+
+namespace mlfs {
+
+std::string ColumnStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s[%s]: n=%llu nulls=%llu (%.1f%%) distinct=%llu "
+                "mean=%.4g sd=%.4g range=[%.4g, %.4g]",
+                column.c_str(), std::string(FeatureTypeToString(type)).c_str(),
+                static_cast<unsigned long long>(count),
+                static_cast<unsigned long long>(null_count),
+                100.0 * null_fraction(),
+                static_cast<unsigned long long>(distinct_count), mean, stddev,
+                min, max);
+  return buf;
+}
+
+StatusOr<ColumnStats> ComputeColumnStats(const std::vector<Row>& rows,
+                                         const std::string& column) {
+  ColumnStats stats;
+  stats.column = column;
+  if (rows.empty()) return stats;
+  const SchemaPtr& schema = rows.front().schema();
+  int idx = schema ? schema->FieldIndex(column) : -1;
+  if (idx < 0) {
+    return Status::NotFound("no column named '" + column + "'");
+  }
+  stats.type = schema->field(idx).type;
+
+  std::unordered_set<uint64_t> distinct;
+  uint64_t n = 0;
+  double mean = 0, m2 = 0;
+  for (const Row& row : rows) {
+    ++stats.count;
+    const Value& v = row.value(static_cast<size_t>(idx));
+    if (v.is_null()) {
+      ++stats.null_count;
+      continue;
+    }
+    distinct.insert(HashValue(v));
+    auto d = v.AsDouble();
+    if (d.ok()) {
+      ++n;
+      double x = *d;
+      stats.min = (n == 1) ? x : std::min(stats.min, x);
+      stats.max = (n == 1) ? x : std::max(stats.max, x);
+      double delta = x - mean;
+      mean += delta / static_cast<double>(n);
+      m2 += delta * (x - mean);
+    }
+  }
+  stats.distinct_count = distinct.size();
+  if (n > 0) {
+    stats.mean = mean;
+    stats.stddev = std::sqrt(m2 / static_cast<double>(n));
+  }
+  return stats;
+}
+
+StatusOr<std::vector<ColumnStats>> ComputeAllColumnStats(
+    const std::vector<Row>& rows) {
+  std::vector<ColumnStats> out;
+  if (rows.empty()) return out;
+  const SchemaPtr& schema = rows.front().schema();
+  if (schema == nullptr) {
+    return Status::InvalidArgument("rows have no schema");
+  }
+  out.reserve(schema->num_fields());
+  for (const FieldSpec& field : schema->fields()) {
+    MLFS_ASSIGN_OR_RETURN(ColumnStats stats,
+                          ComputeColumnStats(rows, field.name));
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+FreshnessReport ComputeFreshness(const OnlineStore& store,
+                                 const std::string& view,
+                                 const std::vector<Value>& entity_keys,
+                                 Timestamp now) {
+  FreshnessReport report;
+  for (const Value& key : entity_keys) {
+    auto et = store.GetEventTime(view, key, now);
+    if (!et.ok()) {
+      ++report.missing;
+      continue;
+    }
+    double age_seconds =
+        static_cast<double>(now - *et) / static_cast<double>(kMicrosPerSecond);
+    report.age.Record(std::max(0.0, age_seconds));
+  }
+  return report;
+}
+
+namespace {
+
+// Maps each non-null value to a discrete symbol: quantile-bin index for
+// numerics, hash for everything else. Returns pairwise-complete symbol
+// sequences for (x, y).
+struct DiscretizedPair {
+  std::vector<int64_t> xs;
+  std::vector<int64_t> ys;
+};
+
+StatusOr<std::vector<int64_t>> Discretize(const std::vector<Row>& rows,
+                                          int idx, size_t num_bins,
+                                          const std::vector<bool>& keep) {
+  const FeatureType type = rows.front().schema()->field(idx).type;
+  std::vector<int64_t> out;
+  out.reserve(rows.size());
+  if (IsNumeric(type)) {
+    std::vector<double> values;
+    for (size_t r = 0; r < rows.size(); ++r) {
+      if (!keep[r]) continue;
+      values.push_back(rows[r].value(idx).AsDouble().value());
+    }
+    if (values.empty()) return out;
+    MLFS_ASSIGN_OR_RETURN(std::vector<double> edges,
+                          QuantileBinEdges(values, num_bins));
+    for (size_t r = 0; r < rows.size(); ++r) {
+      if (!keep[r]) continue;
+      double x = rows[r].value(idx).AsDouble().value();
+      auto it = std::upper_bound(edges.begin(), edges.end(), x);
+      int64_t bin = it == edges.begin()
+                        ? 0
+                        : static_cast<int64_t>(it - edges.begin()) - 1;
+      bin = std::min<int64_t>(bin, static_cast<int64_t>(num_bins) - 1);
+      out.push_back(bin);
+    }
+    return out;
+  }
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (!keep[r]) continue;
+    out.push_back(static_cast<int64_t>(HashValue(rows[r].value(idx))));
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<double> MutualInformation(const std::vector<Row>& rows,
+                                   const std::string& column_x,
+                                   const std::string& column_y,
+                                   size_t num_bins) {
+  if (rows.empty()) return 0.0;
+  const SchemaPtr& schema = rows.front().schema();
+  int xi = schema ? schema->FieldIndex(column_x) : -1;
+  int yi = schema ? schema->FieldIndex(column_y) : -1;
+  if (xi < 0 || yi < 0) {
+    return Status::NotFound("MI: unknown column");
+  }
+  std::vector<bool> keep(rows.size());
+  size_t kept = 0;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    keep[r] = !rows[r].value(xi).is_null() && !rows[r].value(yi).is_null();
+    kept += keep[r];
+  }
+  if (kept == 0) return 0.0;
+  MLFS_ASSIGN_OR_RETURN(std::vector<int64_t> xs,
+                        Discretize(rows, xi, num_bins, keep));
+  MLFS_ASSIGN_OR_RETURN(std::vector<int64_t> ys,
+                        Discretize(rows, yi, num_bins, keep));
+
+  std::map<int64_t, double> px, py;
+  std::map<std::pair<int64_t, int64_t>, double> pxy;
+  const double n = static_cast<double>(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    px[xs[i]] += 1.0 / n;
+    py[ys[i]] += 1.0 / n;
+    pxy[{xs[i], ys[i]}] += 1.0 / n;
+  }
+  double mi = 0.0;
+  for (const auto& [xy, p] : pxy) {
+    mi += p * std::log2(p / (px[xy.first] * py[xy.second]));
+  }
+  return std::max(0.0, mi);
+}
+
+StatusOr<double> ColumnEntropy(const std::vector<Row>& rows,
+                               const std::string& column, size_t num_bins) {
+  if (rows.empty()) return 0.0;
+  const SchemaPtr& schema = rows.front().schema();
+  int idx = schema ? schema->FieldIndex(column) : -1;
+  if (idx < 0) return Status::NotFound("entropy: unknown column");
+  std::vector<bool> keep(rows.size());
+  size_t kept = 0;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    keep[r] = !rows[r].value(idx).is_null();
+    kept += keep[r];
+  }
+  if (kept == 0) return 0.0;
+  MLFS_ASSIGN_OR_RETURN(std::vector<int64_t> xs,
+                        Discretize(rows, idx, num_bins, keep));
+  std::map<int64_t, double> px;
+  const double n = static_cast<double>(xs.size());
+  for (int64_t x : xs) px[x] += 1.0 / n;
+  double h = 0.0;
+  for (const auto& [x, p] : px) h -= p * std::log2(p);
+  return std::max(0.0, h);
+}
+
+}  // namespace mlfs

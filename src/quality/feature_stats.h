@@ -1,0 +1,74 @@
+#ifndef MLFS_QUALITY_FEATURE_STATS_H_
+#define MLFS_QUALITY_FEATURE_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/row.h"
+#include "common/status.h"
+#include "common/timestamp.h"
+#include "storage/online_store.h"
+
+namespace mlfs {
+
+/// Summary statistics of one column over a row batch: the tabular feature
+/// quality metrics feature stores expose — "FSs measure feature freshness,
+/// null counts, and mutual information across features" (paper §2.2.2).
+struct ColumnStats {
+  std::string column;
+  FeatureType type = FeatureType::kNull;
+  uint64_t count = 0;        // Rows examined.
+  uint64_t null_count = 0;
+  uint64_t distinct_count = 0;  // Exact (hash-set based).
+  // Numeric-only moments (0 when the column is not numeric).
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  double null_fraction() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(null_count) /
+                            static_cast<double>(count);
+  }
+  std::string ToString() const;
+};
+
+/// Computes ColumnStats for `column` over `rows` (all rows must share a
+/// schema containing the column).
+StatusOr<ColumnStats> ComputeColumnStats(const std::vector<Row>& rows,
+                                         const std::string& column);
+
+/// Stats for every column of `rows`.
+StatusOr<std::vector<ColumnStats>> ComputeAllColumnStats(
+    const std::vector<Row>& rows);
+
+/// Feature freshness: distribution of (now - event_time) over the online
+/// cells of `view` for `entity_keys`. Missing/expired entities are counted
+/// in `missing`.
+struct FreshnessReport {
+  Histogram age;       // Age in seconds.
+  uint64_t missing = 0;
+};
+FreshnessReport ComputeFreshness(const OnlineStore& store,
+                                 const std::string& view,
+                                 const std::vector<Value>& entity_keys,
+                                 Timestamp now);
+
+/// Mutual information I(X;Y) in bits between two columns, estimated by
+/// discretizing numeric columns into `num_bins` quantile bins and using
+/// value identity for categorical columns. NULL rows are dropped pairwise.
+StatusOr<double> MutualInformation(const std::vector<Row>& rows,
+                                   const std::string& column_x,
+                                   const std::string& column_y,
+                                   size_t num_bins = 10);
+
+/// Shannon entropy H(X) in bits of a column (same discretization).
+StatusOr<double> ColumnEntropy(const std::vector<Row>& rows,
+                               const std::string& column,
+                               size_t num_bins = 10);
+
+}  // namespace mlfs
+
+#endif  // MLFS_QUALITY_FEATURE_STATS_H_

@@ -1,0 +1,52 @@
+#include "quality/outlier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mlfs {
+namespace {
+
+double MedianOfSorted(const std::vector<double>& xs) {
+  size_t n = xs.size();
+  if (n % 2 == 1) return xs[n / 2];
+  return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+}  // namespace
+
+StatusOr<RobustOutlierDetector> RobustOutlierDetector::Fit(
+    std::vector<double> reference, double threshold) {
+  if (reference.size() < 3) {
+    return Status::InvalidArgument("outlier detector needs >= 3 values");
+  }
+  if (threshold <= 0) {
+    return Status::InvalidArgument("threshold must be positive");
+  }
+  std::sort(reference.begin(), reference.end());
+  double median = MedianOfSorted(reference);
+  std::vector<double> deviations;
+  deviations.reserve(reference.size());
+  for (double x : reference) deviations.push_back(std::abs(x - median));
+  std::sort(deviations.begin(), deviations.end());
+  double mad = MedianOfSorted(deviations);
+  return RobustOutlierDetector(median, mad, threshold);
+}
+
+double RobustOutlierDetector::Score(double x) const {
+  double dev = std::abs(x - median_);
+  if (mad_ == 0.0) {
+    return dev == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return 0.6745 * dev / mad_;
+}
+
+double RobustOutlierDetector::OutlierRate(
+    const std::vector<double>& sample) const {
+  if (sample.empty()) return 0.0;
+  size_t outliers = 0;
+  for (double x : sample) outliers += IsOutlier(x);
+  return static_cast<double>(outliers) / static_cast<double>(sample.size());
+}
+
+}  // namespace mlfs

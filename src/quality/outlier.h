@@ -1,0 +1,43 @@
+#ifndef MLFS_QUALITY_OUTLIER_H_
+#define MLFS_QUALITY_OUTLIER_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace mlfs {
+
+/// Robust (median/MAD-based) outlier detector for near-real-time scoring of
+/// serving-time feature values (paper §2.2.3: "near real-time outlier ...
+/// detection"). Fit once on a reference sample; Score() is O(1).
+class RobustOutlierDetector {
+ public:
+  /// `reference` needs >= 3 values. `threshold` is the robust z-score above
+  /// which IsOutlier() fires (3.5 is the standard Iglewicz-Hoaglin cut).
+  static StatusOr<RobustOutlierDetector> Fit(std::vector<double> reference,
+                                             double threshold = 3.5);
+
+  /// Robust z-score: 0.6745 * |x - median| / MAD. When MAD is zero
+  /// (constant reference), returns 0 for x == median and +inf otherwise.
+  double Score(double x) const;
+
+  bool IsOutlier(double x) const { return Score(x) > threshold_; }
+
+  /// Fraction of `sample` flagged as outliers.
+  double OutlierRate(const std::vector<double>& sample) const;
+
+  double median() const { return median_; }
+  double mad() const { return mad_; }
+
+ private:
+  RobustOutlierDetector(double median, double mad, double threshold)
+      : median_(median), mad_(mad), threshold_(threshold) {}
+
+  double median_;
+  double mad_;
+  double threshold_;
+};
+
+}  // namespace mlfs
+
+#endif  // MLFS_QUALITY_OUTLIER_H_

@@ -1,0 +1,97 @@
+#include "quality/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace mlfs {
+
+StatusOr<HyperLogLog> HyperLogLog::Create(int precision) {
+  if (precision < 4 || precision > 16) {
+    return Status::InvalidArgument("HLL precision must be in [4, 16]");
+  }
+  return HyperLogLog(precision);
+}
+
+void HyperLogLog::AddHash(uint64_t hash) {
+  // Full-avalanche finalizer: register indexing consumes the *top* bits,
+  // which FNV-style hashes leave poorly mixed.
+  hash = MixHash(hash);
+  const size_t index = hash >> (64 - precision_);
+  const uint64_t rest = hash << precision_;
+  // Rank = position of the leftmost 1 in the remaining bits (1-based).
+  uint8_t rank = rest == 0
+                     ? static_cast<uint8_t>(64 - precision_ + 1)
+                     : static_cast<uint8_t>(__builtin_clzll(rest) + 1);
+  registers_[index] = std::max(registers_[index], rank);
+}
+
+double HyperLogLog::Estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double alpha;
+  if (registers_.size() <= 16) {
+    alpha = 0.673;
+  } else if (registers_.size() <= 32) {
+    alpha = 0.697;
+  } else if (registers_.size() <= 64) {
+    alpha = 0.709;
+  } else {
+    alpha = 0.7213 / (1.0 + 1.079 / m);
+  }
+  double sum = 0.0;
+  size_t zeros = 0;
+  for (uint8_t reg : registers_) {
+    sum += std::ldexp(1.0, -static_cast<int>(reg));
+    zeros += reg == 0;
+  }
+  double estimate = alpha * m * m / sum;
+  // Small-range correction: linear counting.
+  if (estimate <= 2.5 * m && zeros > 0) {
+    return m * std::log(m / static_cast<double>(zeros));
+  }
+  // Large-range correction (2^64 hash space; practically inert here).
+  const double two64 = std::ldexp(1.0, 64);
+  if (estimate > two64 / 30.0) {
+    return -two64 * std::log(1.0 - estimate / two64);
+  }
+  return estimate;
+}
+
+Status HyperLogLog::Merge(const HyperLogLog& other) {
+  if (other.precision_ != precision_) {
+    return Status::InvalidArgument("HLL precision mismatch");
+  }
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+  return Status::OK();
+}
+
+StatusOr<CountMinSketch> CountMinSketch::Create(size_t width, size_t depth) {
+  if (width < 2 || depth < 1 || depth > 16) {
+    return Status::InvalidArgument("bad count-min shape");
+  }
+  return CountMinSketch(width, depth);
+}
+
+void CountMinSketch::Add(const Value& v, uint64_t count) {
+  const uint64_t base = HashValue(v);
+  for (size_t row = 0; row < depth_; ++row) {
+    uint64_t h = MixHash(base + 0x9e3779b97f4a7c15ULL * (row + 1));
+    counts_[row * width_ + (h % width_)] += count;
+  }
+  total_ += count;
+}
+
+uint64_t CountMinSketch::Estimate(const Value& v) const {
+  const uint64_t base = HashValue(v);
+  uint64_t best = UINT64_MAX;
+  for (size_t row = 0; row < depth_; ++row) {
+    uint64_t h = MixHash(base + 0x9e3779b97f4a7c15ULL * (row + 1));
+    best = std::min(best, counts_[row * width_ + (h % width_)]);
+  }
+  return best == UINT64_MAX ? 0 : best;
+}
+
+}  // namespace mlfs

@@ -1,0 +1,73 @@
+#ifndef MLFS_QUALITY_SKETCH_H_
+#define MLFS_QUALITY_SKETCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace mlfs {
+
+/// HyperLogLog distinct-count sketch (Flajolet et al., with the standard
+/// small/large-range corrections). Feature stores track feature
+/// cardinality continuously; exact hash sets do not survive production
+/// volumes, sketches do: this one uses 2^precision bytes regardless of
+/// stream length, with ~1.04/sqrt(2^precision) relative error.
+class HyperLogLog {
+ public:
+  /// `precision` in [4, 16]: 2^precision registers.
+  static StatusOr<HyperLogLog> Create(int precision = 12);
+
+  void Add(const Value& v) { AddHash(HashValue(v)); }
+  void AddHash(uint64_t hash);
+
+  /// Estimated number of distinct values.
+  double Estimate() const;
+
+  /// Merges another sketch with the same precision.
+  Status Merge(const HyperLogLog& other);
+
+  int precision() const { return precision_; }
+  size_t num_registers() const { return registers_.size(); }
+
+ private:
+  explicit HyperLogLog(int precision)
+      : precision_(precision),
+        registers_(static_cast<size_t>(1) << precision, 0) {}
+
+  int precision_;
+  std::vector<uint8_t> registers_;
+};
+
+/// Count-Min sketch for approximate per-value frequencies and heavy-hitter
+/// detection over categorical feature streams (which values dominate a
+/// feature — the skew the Zipfian world guarantees).
+class CountMinSketch {
+ public:
+  /// `width` counters per row, `depth` rows. Error is ~ stream_size/width
+  /// with probability 1 - 2^-depth.
+  static StatusOr<CountMinSketch> Create(size_t width = 2048,
+                                         size_t depth = 4);
+
+  void Add(const Value& v, uint64_t count = 1);
+
+  /// Upper-bound frequency estimate (never under-counts).
+  uint64_t Estimate(const Value& v) const;
+
+  uint64_t total() const { return total_; }
+
+ private:
+  CountMinSketch(size_t width, size_t depth)
+      : width_(width), depth_(depth), counts_(width * depth, 0) {}
+
+  size_t width_;
+  size_t depth_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace mlfs
+
+#endif  // MLFS_QUALITY_SKETCH_H_

@@ -1,0 +1,68 @@
+#include "quality/skew.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "quality/feature_stats.h"
+
+namespace mlfs {
+
+std::string SkewReport::ToString() const {
+  char buf[224];
+  std::snprintf(buf, sizeof(buf), "%s: %s null_delta=%+.3f -> %s",
+                column.c_str(), drift.ToString().c_str(),
+                null_fraction_delta, skewed ? "SKEW" : "ok");
+  return buf;
+}
+
+StatusOr<std::vector<double>> NumericColumn(const std::vector<Row>& rows,
+                                            const std::string& column) {
+  std::vector<double> out;
+  if (rows.empty()) return out;
+  const SchemaPtr& schema = rows.front().schema();
+  int idx = schema ? schema->FieldIndex(column) : -1;
+  if (idx < 0) return Status::NotFound("no column named '" + column + "'");
+  out.reserve(rows.size());
+  for (const Row& row : rows) {
+    const Value& v = row.value(static_cast<size_t>(idx));
+    if (v.is_null()) continue;
+    auto d = v.AsDouble();
+    if (!d.ok()) {
+      return Status::InvalidArgument("column '" + column +
+                                     "' is not numeric");
+    }
+    out.push_back(*d);
+  }
+  return out;
+}
+
+StatusOr<SkewReport> ComputeSkew(const std::vector<Row>& training,
+                                 const std::vector<Row>& serving,
+                                 const std::string& column,
+                                 DriftThresholds thresholds,
+                                 double null_delta_threshold) {
+  SkewReport report;
+  report.column = column;
+  MLFS_ASSIGN_OR_RETURN(std::vector<double> train_values,
+                        NumericColumn(training, column));
+  MLFS_ASSIGN_OR_RETURN(std::vector<double> serve_values,
+                        NumericColumn(serving, column));
+  MLFS_ASSIGN_OR_RETURN(ColumnStats train_stats,
+                        ComputeColumnStats(training, column));
+  MLFS_ASSIGN_OR_RETURN(ColumnStats serve_stats,
+                        ComputeColumnStats(serving, column));
+  report.null_fraction_delta =
+      serve_stats.null_fraction() - train_stats.null_fraction();
+
+  if (train_values.size() >= 10 && !serve_values.empty()) {
+    MLFS_ASSIGN_OR_RETURN(DriftDetector detector,
+                          DriftDetector::Fit(std::move(train_values), 10,
+                                             thresholds));
+    MLFS_ASSIGN_OR_RETURN(report.drift, detector.Check(serve_values));
+  }
+  report.skewed = report.drift.drifted ||
+                  std::abs(report.null_fraction_delta) > null_delta_threshold;
+  return report;
+}
+
+}  // namespace mlfs

@@ -1,0 +1,41 @@
+#ifndef MLFS_QUALITY_SKEW_H_
+#define MLFS_QUALITY_SKEW_H_
+
+#include <string>
+#include <vector>
+
+#include "common/row.h"
+#include "common/status.h"
+#include "quality/drift.h"
+
+namespace mlfs {
+
+/// Training–serving skew for one feature column: the distribution a model
+/// was trained on vs. what serving currently delivers — "critical model
+/// metrics such as training-deployment data skew" (paper §2.2.3).
+struct SkewReport {
+  std::string column;
+  DriftReport drift;
+  /// Difference in null fraction (serving - training).
+  double null_fraction_delta = 0.0;
+  bool skewed = false;
+  std::string ToString() const;
+};
+
+/// Compares numeric column `column` between `training` and `serving` rows
+/// (both sharing a schema with that column). NULLs are excluded from the
+/// distribution comparison but tracked via null_fraction_delta; skew fires
+/// on drift or on a null-rate change above `null_delta_threshold`.
+StatusOr<SkewReport> ComputeSkew(const std::vector<Row>& training,
+                                 const std::vector<Row>& serving,
+                                 const std::string& column,
+                                 DriftThresholds thresholds = {},
+                                 double null_delta_threshold = 0.05);
+
+/// Extracts the non-null numeric values of `column` from `rows`.
+StatusOr<std::vector<double>> NumericColumn(const std::vector<Row>& rows,
+                                            const std::string& column);
+
+}  // namespace mlfs
+
+#endif  // MLFS_QUALITY_SKEW_H_

@@ -1,0 +1,31 @@
+#ifndef MLFS_QUALITY_STATS_MATH_H_
+#define MLFS_QUALITY_STATS_MATH_H_
+
+#include <cstddef>
+
+namespace mlfs {
+
+/// ln Γ(x) for x > 0 (Lanczos approximation, ~1e-10 relative error).
+double LogGamma(double x);
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a,x)/Γ(a), a > 0, x >= 0.
+double RegularizedGammaP(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+/// Survival function of the chi-square distribution with `df` degrees of
+/// freedom: P(X >= x).
+double ChiSquareSf(double x, double df);
+
+/// Asymptotic Kolmogorov-Smirnov two-sample p-value for statistic `d` with
+/// sample sizes `n1`, `n2` (Numerical Recipes' Q_KS with the Stephens
+/// small-sample correction).
+double KsPValue(double d, size_t n1, size_t n2);
+
+/// Standard normal CDF.
+double NormalCdf(double x);
+
+}  // namespace mlfs
+
+#endif  // MLFS_QUALITY_STATS_MATH_H_

@@ -1,0 +1,89 @@
+#include "quality/streaming_monitor.h"
+
+#include <cstdio>
+
+namespace mlfs {
+
+std::string StreamingFinding::ToString() const {
+  char buf[224];
+  if (kind == Kind::kDrift) {
+    std::snprintf(buf, sizeof(buf), "[%s] drift: %s",
+                  FormatTimestamp(at).c_str(), drift.ToString().c_str());
+  } else {
+    std::snprintf(buf, sizeof(buf), "[%s] outlier burst: %.1f%% of window",
+                  FormatTimestamp(at).c_str(), 100.0 * outlier_rate);
+  }
+  return buf;
+}
+
+StatusOr<StreamingDriftMonitor> StreamingDriftMonitor::Create(
+    StreamingMonitorOptions options) {
+  if (options.reference_size < 10 || options.window_size < 10 ||
+      options.check_every == 0) {
+    return Status::InvalidArgument("bad streaming monitor options");
+  }
+  return StreamingDriftMonitor(options);
+}
+
+StatusOr<std::optional<StreamingFinding>> StreamingDriftMonitor::Observe(
+    double value, Timestamp at) {
+  ++observed_;
+  if (!detector_.has_value()) {
+    reference_buffer_.push_back(value);
+    if (reference_buffer_.size() >= options_.reference_size) {
+      MLFS_ASSIGN_OR_RETURN(
+          DriftDetector detector,
+          DriftDetector::Fit(reference_buffer_, 10, options_.thresholds));
+      detector_ = std::move(detector);
+      MLFS_ASSIGN_OR_RETURN(RobustOutlierDetector outlier,
+                            RobustOutlierDetector::Fit(
+                                std::move(reference_buffer_),
+                                options_.outlier_threshold));
+      outlier_ = std::move(outlier);
+      reference_buffer_.clear();
+    }
+    return std::optional<StreamingFinding>();
+  }
+
+  ++post_calibration_;
+  outliers_seen_ += outlier_->IsOutlier(value);
+  window_.push_back(value);
+  if (window_.size() > options_.window_size) window_.pop_front();
+  if (window_.size() < options_.window_size) {
+    return std::optional<StreamingFinding>();
+  }
+  if (++since_last_check_ < options_.check_every) {
+    return std::optional<StreamingFinding>();
+  }
+  since_last_check_ = 0;
+
+  std::vector<double> current(window_.begin(), window_.end());
+  // Outlier burst check first: a window whose outlier rate is far above
+  // the calibration false-positive rate (~0.1% at z=3.5 for Gaussians).
+  double rate = outlier_->OutlierRate(current);
+  if (rate > 0.05) {
+    StreamingFinding finding;
+    finding.kind = StreamingFinding::Kind::kOutlierBurst;
+    finding.at = at;
+    finding.outlier_rate = rate;
+    return std::optional<StreamingFinding>(std::move(finding));
+  }
+  MLFS_ASSIGN_OR_RETURN(DriftReport report, detector_->Check(current));
+  if (report.drifted) {
+    StreamingFinding finding;
+    finding.kind = StreamingFinding::Kind::kDrift;
+    finding.at = at;
+    finding.drift = report;
+    return std::optional<StreamingFinding>(std::move(finding));
+  }
+  return std::optional<StreamingFinding>();
+}
+
+double StreamingDriftMonitor::outlier_rate() const {
+  return post_calibration_
+             ? static_cast<double>(outliers_seen_) /
+                   static_cast<double>(post_calibration_)
+             : 0.0;
+}
+
+}  // namespace mlfs

@@ -1,0 +1,77 @@
+#ifndef MLFS_QUALITY_STREAMING_MONITOR_H_
+#define MLFS_QUALITY_STREAMING_MONITOR_H_
+
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "common/timestamp.h"
+#include "quality/drift.h"
+#include "quality/outlier.h"
+
+namespace mlfs {
+
+struct StreamingMonitorOptions {
+  /// Values accumulated before the reference distribution freezes.
+  size_t reference_size = 2000;
+  /// Sliding window of recent values compared against the reference.
+  size_t window_size = 500;
+  /// A drift check runs every `check_every` observations once the window
+  /// is full.
+  size_t check_every = 250;
+  DriftThresholds thresholds;
+  /// Robust z-score above which a single value counts as an outlier.
+  double outlier_threshold = 3.5;
+};
+
+/// One emitted finding.
+struct StreamingFinding {
+  enum class Kind : uint8_t { kDrift, kOutlierBurst };
+  Kind kind;
+  Timestamp at = 0;
+  DriftReport drift;          // For kDrift.
+  double outlier_rate = 0.0;  // For kOutlierBurst.
+  std::string ToString() const;
+};
+
+/// Near-real-time input monitor for one numeric feature (paper §2.2.3:
+/// "near real-time outlier and input drift detection"). Feed it every
+/// observed serving value; it self-calibrates a reference on the first
+/// `reference_size` observations, then continuously compares a sliding
+/// window against that reference and scores each value for outlierness.
+///
+/// Not thread-safe; wrap per-feature instances behind the store's locks.
+class StreamingDriftMonitor {
+ public:
+  static StatusOr<StreamingDriftMonitor> Create(
+      StreamingMonitorOptions options = {});
+
+  /// Observes one value; returns a finding when a scheduled check fires.
+  StatusOr<std::optional<StreamingFinding>> Observe(double value,
+                                                    Timestamp at);
+
+  bool calibrated() const { return detector_.has_value(); }
+  uint64_t observed() const { return observed_; }
+  uint64_t outliers_seen() const { return outliers_seen_; }
+  /// Fraction of post-calibration values flagged as outliers.
+  double outlier_rate() const;
+
+ private:
+  explicit StreamingDriftMonitor(StreamingMonitorOptions options)
+      : options_(options) {}
+
+  StreamingMonitorOptions options_;
+  std::vector<double> reference_buffer_;
+  std::optional<DriftDetector> detector_;
+  std::optional<RobustOutlierDetector> outlier_;
+  std::deque<double> window_;
+  uint64_t observed_ = 0;
+  uint64_t post_calibration_ = 0;
+  uint64_t outliers_seen_ = 0;
+  uint64_t since_last_check_ = 0;
+};
+
+}  // namespace mlfs
+
+#endif  // MLFS_QUALITY_STREAMING_MONITOR_H_

@@ -1,0 +1,53 @@
+#ifndef MLFS_REGISTRY_FEATURE_DEF_H_
+#define MLFS_REGISTRY_FEATURE_DEF_H_
+
+#include <string>
+#include <vector>
+
+#include "common/timestamp.h"
+#include "common/value.h"
+
+namespace mlfs {
+
+/// A user-authored feature definition (paper §2.2.1, "feature authoring and
+/// publishing"): definitional metadata plus a transformation expression over
+/// a source table.
+struct FeatureDefinition {
+  /// Globally unique feature name, e.g. "user_trip_rate_7d".
+  std::string name;
+  /// Entity type the feature describes, e.g. "user" or "driver".
+  std::string entity;
+  /// Offline table the definition reads from.
+  std::string source_table;
+  /// Transformation over the source table's columns, in the expression DSL
+  /// (e.g. "trips_7d / (trips_30d + 1)").
+  std::string expression;
+  /// How often the orchestrator refreshes the materialized value.
+  Timestamp cadence = kMicrosPerDay;
+  /// TTL of the materialized value in the online store (0 = store default).
+  Timestamp online_ttl = 0;
+  std::string description;
+  std::string owner;
+};
+
+/// A published feature: the definition plus registry-assigned metadata.
+struct RegisteredFeature {
+  FeatureDefinition def;
+  /// Monotonically increasing per name; re-publishing bumps it.
+  int version = 1;
+  Timestamp registered_at = 0;
+  /// Statically inferred output type of the expression.
+  FeatureType output_type = FeatureType::kNull;
+  /// Source columns the expression references (lineage).
+  std::vector<std::string> input_columns;
+  bool deprecated = false;
+
+  /// "name@vN".
+  std::string VersionedName() const {
+    return def.name + "@v" + std::to_string(version);
+  }
+};
+
+}  // namespace mlfs
+
+#endif  // MLFS_REGISTRY_FEATURE_DEF_H_

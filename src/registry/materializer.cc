@@ -1,0 +1,71 @@
+#include "registry/materializer.h"
+
+#include "expr/evaluator.h"
+#include "storage/entity_key.h"
+
+namespace mlfs {
+
+StatusOr<MaterializationResult> Materializer::Materialize(
+    const RegisteredFeature& feature, Timestamp now) {
+  MLFS_ASSIGN_OR_RETURN(OfflineTable* source,
+                        offline_->GetTable(feature.def.source_table));
+  const OfflineTableOptions& source_options = source->options();
+  int entity_idx = source_options.schema->FieldIndex(
+      source_options.entity_column);
+  int time_idx = source_options.schema->FieldIndex(source_options.time_column);
+  FeatureType entity_type =
+      source_options.schema->field(entity_idx).type;
+
+  MLFS_ASSIGN_OR_RETURN(
+      CompiledExpr compiled,
+      CompiledExpr::Compile(feature.def.expression, source_options.schema));
+
+  // Output layout shared by the online view and the offline log.
+  MLFS_ASSIGN_OR_RETURN(
+      SchemaPtr out_schema,
+      Schema::Create({{"entity", entity_type, false},
+                      {"event_time", FeatureType::kTimestamp, false},
+                      {"value", feature.output_type, true}}));
+  const std::string& view = feature.def.name;
+  if (!online_->HasView(view)) {
+    MLFS_RETURN_IF_ERROR(online_->CreateView(view, out_schema));
+  } else {
+    MLFS_ASSIGN_OR_RETURN(SchemaPtr existing, online_->ViewSchema(view));
+    if (!(*existing == *out_schema)) {
+      return Status::FailedPrecondition(
+          "online view '" + view +
+          "' has an incompatible schema (feature type changed between "
+          "versions; drop the view first)");
+    }
+  }
+  const std::string log_name = LogTableName(feature.def.name);
+  if (!offline_->HasTable(log_name)) {
+    OfflineTableOptions log_options;
+    log_options.name = log_name;
+    log_options.schema = out_schema;
+    log_options.entity_column = "entity";
+    log_options.time_column = "event_time";
+    MLFS_RETURN_IF_ERROR(offline_->CreateTable(std::move(log_options)));
+  }
+  MLFS_ASSIGN_OR_RETURN(OfflineTable* log_table, offline_->GetTable(log_name));
+
+  MaterializationResult result;
+  result.ran_at = now;
+  for (const Row& source_row : source->LatestPerEntityAsOf(now)) {
+    MLFS_ASSIGN_OR_RETURN(Value value, compiled.Eval(source_row));
+    if (value.is_null()) ++result.null_values;
+    Timestamp event_time = source_row.value(time_idx).time_value();
+    MLFS_ASSIGN_OR_RETURN(
+        Row out_row,
+        Row::Create(out_schema, {source_row.value(entity_idx),
+                                 Value::Time(event_time), std::move(value)}));
+    MLFS_RETURN_IF_ERROR(online_->Put(view, source_row.value(entity_idx),
+                                      out_row, event_time, now,
+                                      feature.def.online_ttl));
+    MLFS_RETURN_IF_ERROR(log_table->Append(out_row));
+    ++result.entities_updated;
+  }
+  return result;
+}
+
+}  // namespace mlfs

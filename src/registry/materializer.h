@@ -1,0 +1,51 @@
+#ifndef MLFS_REGISTRY_MATERIALIZER_H_
+#define MLFS_REGISTRY_MATERIALIZER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "registry/feature_def.h"
+#include "storage/offline_store.h"
+#include "storage/online_store.h"
+
+namespace mlfs {
+
+/// Outcome of one materialization run.
+struct MaterializationResult {
+  uint64_t entities_updated = 0;
+  /// Rows whose expression evaluated to NULL (still written; NULL is a
+  /// legal feature value the quality layer tracks).
+  uint64_t null_values = 0;
+  Timestamp ran_at = 0;
+};
+
+/// Computes a registered feature's current value for every entity from the
+/// source offline table and pushes the results to the online store
+/// (serving) and an offline log table "<feature>__log" (training &
+/// monitoring). The online view and log table are created on first use.
+///
+/// The materialized view schema is {entity, "event_time", "value"} where
+/// event_time is the *source row's* event time — freshness therefore
+/// reflects data age, not materialization age.
+class Materializer {
+ public:
+  Materializer(OnlineStore* online, OfflineStore* offline)
+      : online_(online), offline_(offline) {}
+
+  /// Materializes `feature` as of logical time `now`.
+  StatusOr<MaterializationResult> Materialize(const RegisteredFeature& feature,
+                                              Timestamp now);
+
+  /// Name of the offline log table for `feature_name`.
+  static std::string LogTableName(const std::string& feature_name) {
+    return feature_name + "__log";
+  }
+
+ private:
+  OnlineStore* online_;    // Not owned.
+  OfflineStore* offline_;  // Not owned.
+};
+
+}  // namespace mlfs
+
+#endif  // MLFS_REGISTRY_MATERIALIZER_H_

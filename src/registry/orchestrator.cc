@@ -1,0 +1,64 @@
+#include "registry/orchestrator.h"
+
+#include <algorithm>
+
+namespace mlfs {
+
+StatusOr<int> Orchestrator::RunDue(Timestamp now) {
+  int refreshed = 0;
+  for (const RegisteredFeature& feature : registry_->ListLatest()) {
+    if (feature.deprecated) continue;
+    RefreshState& state = states_[feature.def.name];
+    const bool never_ran = state.last_run == kMinTimestamp;
+    if (!never_ran && now < state.last_run + feature.def.cadence) continue;
+    if (never_ran && now < feature.registered_at) continue;
+    MLFS_ASSIGN_OR_RETURN(MaterializationResult result,
+                          materializer_->Materialize(feature, now));
+    state.last_run = now;
+    ++state.runs;
+    state.entities_updated_total += result.entities_updated;
+    ++refreshed;
+  }
+  return refreshed;
+}
+
+StatusOr<int> Orchestrator::RunInterval(Timestamp from, Timestamp to,
+                                        Timestamp tick) {
+  if (tick <= 0) return Status::InvalidArgument("tick must be positive");
+  int total = 0;
+  for (Timestamp now = from; now <= to; now += tick) {
+    MLFS_ASSIGN_OR_RETURN(int n, RunDue(now));
+    total += n;
+  }
+  return total;
+}
+
+Timestamp Orchestrator::NextDue() const {
+  Timestamp next = kMaxTimestamp;
+  for (const RegisteredFeature& feature : registry_->ListLatest()) {
+    if (feature.deprecated) continue;
+    auto it = states_.find(feature.def.name);
+    Timestamp due = (it == states_.end() ||
+                     it->second.last_run == kMinTimestamp)
+                        ? feature.registered_at
+                        : it->second.last_run + feature.def.cadence;
+    next = std::min(next, due);
+  }
+  return next;
+}
+
+Timestamp Orchestrator::RefreshStaleness(const std::string& feature,
+                                         Timestamp now) const {
+  auto it = states_.find(feature);
+  if (it == states_.end() || it->second.last_run == kMinTimestamp) {
+    return kMaxTimestamp;
+  }
+  return std::max<Timestamp>(0, now - it->second.last_run);
+}
+
+const RefreshState* Orchestrator::GetState(const std::string& feature) const {
+  auto it = states_.find(feature);
+  return it == states_.end() ? nullptr : &it->second;
+}
+
+}  // namespace mlfs

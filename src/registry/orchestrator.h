@@ -1,0 +1,60 @@
+#ifndef MLFS_REGISTRY_ORCHESTRATOR_H_
+#define MLFS_REGISTRY_ORCHESTRATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timestamp.h"
+#include "registry/materializer.h"
+#include "registry/registry.h"
+
+namespace mlfs {
+
+/// Per-feature refresh bookkeeping.
+struct RefreshState {
+  Timestamp last_run = kMinTimestamp;
+  uint64_t runs = 0;
+  uint64_t entities_updated_total = 0;
+};
+
+/// Drives feature refreshes on their declared cadences against a logical
+/// clock: "when the underlying data changes, the FS orchestrates the
+/// updates to the features based on the user-defined cadence" (§2.2.1).
+///
+/// A feature is due when `now >= last_run + cadence` (and immediately after
+/// publication). Deprecated features are skipped.
+class Orchestrator {
+ public:
+  Orchestrator(const FeatureRegistry* registry, Materializer* materializer)
+      : registry_(registry), materializer_(materializer) {}
+
+  /// Materializes every due feature at logical time `now`. Returns the
+  /// number of features refreshed.
+  StatusOr<int> RunDue(Timestamp now);
+
+  /// Steps the clock from `from` to `to` in `tick` increments, running due
+  /// features at each step (inclusive of `to`). Returns total refreshes.
+  StatusOr<int> RunInterval(Timestamp from, Timestamp to, Timestamp tick);
+
+  /// Time of the next scheduled refresh across all features, or
+  /// kMaxTimestamp if nothing is registered.
+  Timestamp NextDue() const;
+
+  /// now - last successful refresh (kMaxTimestamp when never refreshed).
+  /// This is *materialization staleness*; data freshness lives in the
+  /// quality module.
+  Timestamp RefreshStaleness(const std::string& feature, Timestamp now) const;
+
+  const RefreshState* GetState(const std::string& feature) const;
+
+ private:
+  const FeatureRegistry* registry_;  // Not owned.
+  Materializer* materializer_;       // Not owned.
+  std::map<std::string, RefreshState> states_;
+};
+
+}  // namespace mlfs
+
+#endif  // MLFS_REGISTRY_ORCHESTRATOR_H_

@@ -1,0 +1,194 @@
+#include "registry/registry.h"
+
+#include <algorithm>
+
+#include "common/serde.h"
+#include "expr/evaluator.h"
+#include "expr/parser.h"
+
+namespace mlfs {
+
+StatusOr<int> FeatureRegistry::Publish(const FeatureDefinition& def,
+                                       Timestamp now) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("feature needs a name");
+  }
+  if (def.entity.empty()) {
+    return Status::InvalidArgument("feature '" + def.name +
+                                   "' needs an entity");
+  }
+  if (def.cadence <= 0) {
+    return Status::InvalidArgument("feature '" + def.name +
+                                   "' needs a positive cadence");
+  }
+  MLFS_ASSIGN_OR_RETURN(OfflineTable* table,
+                        offline_->GetTable(def.source_table));
+  MLFS_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr(def.expression));
+  MLFS_ASSIGN_OR_RETURN(FeatureType output_type,
+                        InferType(*expr, *table->options().schema));
+  if (output_type == FeatureType::kNull) {
+    return Status::InvalidArgument("feature '" + def.name +
+                                   "' expression is always NULL");
+  }
+
+  RegisteredFeature reg;
+  reg.def = def;
+  reg.registered_at = now;
+  reg.output_type = output_type;
+  reg.input_columns = expr->ReferencedColumns();
+
+  std::lock_guard lock(mu_);
+  auto& versions = features_[def.name];
+  reg.version = versions.empty() ? 1 : versions.back().version + 1;
+  versions.push_back(std::move(reg));
+  return versions.back().version;
+}
+
+StatusOr<RegisteredFeature> FeatureRegistry::Get(
+    const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = features_.find(name);
+  if (it == features_.end()) {
+    return Status::NotFound("feature '" + name + "' not registered");
+  }
+  return it->second.back();
+}
+
+StatusOr<RegisteredFeature> FeatureRegistry::GetVersion(
+    const std::string& name, int version) const {
+  std::lock_guard lock(mu_);
+  auto it = features_.find(name);
+  if (it == features_.end()) {
+    return Status::NotFound("feature '" + name + "' not registered");
+  }
+  for (const auto& reg : it->second) {
+    if (reg.version == version) return reg;
+  }
+  return Status::NotFound("feature '" + name + "' has no version " +
+                          std::to_string(version));
+}
+
+std::vector<RegisteredFeature> FeatureRegistry::ListLatest() const {
+  std::lock_guard lock(mu_);
+  std::vector<RegisteredFeature> out;
+  out.reserve(features_.size());
+  for (const auto& [name, versions] : features_) {
+    out.push_back(versions.back());
+  }
+  return out;
+}
+
+std::vector<RegisteredFeature> FeatureRegistry::ListByEntity(
+    const std::string& entity) const {
+  std::vector<RegisteredFeature> out;
+  for (auto& reg : ListLatest()) {
+    if (reg.def.entity == entity) out.push_back(std::move(reg));
+  }
+  return out;
+}
+
+Status FeatureRegistry::Deprecate(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto it = features_.find(name);
+  if (it == features_.end()) {
+    return Status::NotFound("feature '" + name + "' not registered");
+  }
+  it->second.back().deprecated = true;
+  return Status::OK();
+}
+
+std::vector<std::string> FeatureRegistry::FeaturesReadingColumn(
+    const std::string& source_table, const std::string& column) const {
+  std::vector<std::string> out;
+  for (const auto& reg : ListLatest()) {
+    if (reg.def.source_table != source_table) continue;
+    if (std::find(reg.input_columns.begin(), reg.input_columns.end(),
+                  column) != reg.input_columns.end()) {
+      out.push_back(reg.def.name);
+    }
+  }
+  return out;
+}
+
+size_t FeatureRegistry::num_features() const {
+  std::lock_guard lock(mu_);
+  return features_.size();
+}
+
+namespace {
+constexpr uint32_t kRegistrySnapshotMagic = 0x4d4c4647;  // "MLFG"
+}  // namespace
+
+std::string FeatureRegistry::Snapshot() const {
+  std::lock_guard lock(mu_);
+  Encoder enc;
+  enc.PutFixed32(kRegistrySnapshotMagic);
+  uint64_t total = 0;
+  for (const auto& [name, versions] : features_) total += versions.size();
+  enc.PutVarint64(total);
+  for (const auto& [name, versions] : features_) {
+    for (const RegisteredFeature& reg : versions) {
+      enc.PutString(reg.def.name);
+      enc.PutString(reg.def.entity);
+      enc.PutString(reg.def.source_table);
+      enc.PutString(reg.def.expression);
+      enc.PutFixed64(static_cast<uint64_t>(reg.def.cadence));
+      enc.PutFixed64(static_cast<uint64_t>(reg.def.online_ttl));
+      enc.PutString(reg.def.description);
+      enc.PutString(reg.def.owner);
+      enc.PutVarint64(static_cast<uint64_t>(reg.version));
+      enc.PutFixed64(static_cast<uint64_t>(reg.registered_at));
+      enc.PutU8(static_cast<uint8_t>(reg.output_type));
+      enc.PutVarint64(reg.input_columns.size());
+      for (const auto& column : reg.input_columns) enc.PutString(column);
+      enc.PutU8(reg.deprecated ? 1 : 0);
+    }
+  }
+  return enc.Release();
+}
+
+Status FeatureRegistry::Restore(std::string_view snapshot) {
+  std::lock_guard lock(mu_);
+  if (!features_.empty()) {
+    return Status::FailedPrecondition("Restore requires an empty registry");
+  }
+  Decoder dec(snapshot);
+  MLFS_ASSIGN_OR_RETURN(uint32_t magic, dec.GetFixed32());
+  if (magic != kRegistrySnapshotMagic) {
+    return Status::Corruption("bad registry snapshot magic");
+  }
+  MLFS_ASSIGN_OR_RETURN(uint64_t total, dec.GetVarint64());
+  for (uint64_t i = 0; i < total; ++i) {
+    RegisteredFeature reg;
+    MLFS_ASSIGN_OR_RETURN(reg.def.name, dec.GetString());
+    MLFS_ASSIGN_OR_RETURN(reg.def.entity, dec.GetString());
+    MLFS_ASSIGN_OR_RETURN(reg.def.source_table, dec.GetString());
+    MLFS_ASSIGN_OR_RETURN(reg.def.expression, dec.GetString());
+    MLFS_ASSIGN_OR_RETURN(uint64_t cadence, dec.GetFixed64());
+    reg.def.cadence = static_cast<Timestamp>(cadence);
+    MLFS_ASSIGN_OR_RETURN(uint64_t ttl, dec.GetFixed64());
+    reg.def.online_ttl = static_cast<Timestamp>(ttl);
+    MLFS_ASSIGN_OR_RETURN(reg.def.description, dec.GetString());
+    MLFS_ASSIGN_OR_RETURN(reg.def.owner, dec.GetString());
+    MLFS_ASSIGN_OR_RETURN(uint64_t version, dec.GetVarint64());
+    reg.version = static_cast<int>(version);
+    MLFS_ASSIGN_OR_RETURN(uint64_t registered_at, dec.GetFixed64());
+    reg.registered_at = static_cast<Timestamp>(registered_at);
+    MLFS_ASSIGN_OR_RETURN(uint8_t type, dec.GetU8());
+    if (type > static_cast<uint8_t>(FeatureType::kEmbedding)) {
+      return Status::Corruption("bad output type tag");
+    }
+    reg.output_type = static_cast<FeatureType>(type);
+    MLFS_ASSIGN_OR_RETURN(uint64_t num_columns, dec.GetVarint64());
+    for (uint64_t c = 0; c < num_columns; ++c) {
+      MLFS_ASSIGN_OR_RETURN(std::string column, dec.GetString());
+      reg.input_columns.push_back(std::move(column));
+    }
+    MLFS_ASSIGN_OR_RETURN(uint8_t deprecated, dec.GetU8());
+    reg.deprecated = deprecated != 0;
+    features_[reg.def.name].push_back(std::move(reg));
+  }
+  return Status::OK();
+}
+
+}  // namespace mlfs

@@ -1,0 +1,72 @@
+#ifndef MLFS_REGISTRY_REGISTRY_H_
+#define MLFS_REGISTRY_REGISTRY_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "registry/feature_def.h"
+#include "storage/offline_store.h"
+
+namespace mlfs {
+
+/// Central catalog of published feature definitions: the component that
+/// gives an organization *definitional consistency* — one shared, versioned
+/// definition per feature instead of per-team copies (paper §2.1 challenge
+/// (1), §2.2.1).
+///
+/// Publishing validates the definition against the source table's schema
+/// (unknown columns and type errors are rejected at publish time, not at
+/// serving time). Re-publishing an existing name creates a new version;
+/// old versions remain queryable for reproducibility.
+class FeatureRegistry {
+ public:
+  /// `offline` is used to resolve and validate source tables; not owned.
+  explicit FeatureRegistry(const OfflineStore* offline) : offline_(offline) {}
+
+  /// Publishes a definition; returns the assigned version.
+  StatusOr<int> Publish(const FeatureDefinition& def, Timestamp now);
+
+  /// Latest version of `name` (including deprecated ones).
+  StatusOr<RegisteredFeature> Get(const std::string& name) const;
+
+  /// A specific version of `name`.
+  StatusOr<RegisteredFeature> GetVersion(const std::string& name,
+                                         int version) const;
+
+  /// Latest versions of all features, sorted by name.
+  std::vector<RegisteredFeature> ListLatest() const;
+
+  /// All features (latest version) describing `entity`.
+  std::vector<RegisteredFeature> ListByEntity(const std::string& entity) const;
+
+  /// Marks the latest version of `name` deprecated.
+  Status Deprecate(const std::string& name);
+
+  /// Names of features whose lineage includes `source_table`.`column` —
+  /// "which features break if this column changes?".
+  std::vector<std::string> FeaturesReadingColumn(
+      const std::string& source_table, const std::string& column) const;
+
+  size_t num_features() const;
+
+  /// Serializes every version of every definition.
+  std::string Snapshot() const;
+
+  /// Restores a Snapshot() into this (empty) registry. Source tables are
+  /// *not* revalidated (they may be restored separately); version numbers
+  /// are preserved.
+  Status Restore(std::string_view snapshot);
+
+ private:
+  const OfflineStore* offline_;  // Not owned.
+  mutable std::mutex mu_;
+  // name -> all versions, ascending.
+  std::map<std::string, std::vector<RegisteredFeature>> features_;
+};
+
+}  // namespace mlfs
+
+#endif  // MLFS_REGISTRY_REGISTRY_H_

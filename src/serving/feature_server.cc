@@ -1,0 +1,75 @@
+#include "serving/feature_server.h"
+
+#include <chrono>
+
+namespace mlfs {
+namespace {
+
+double NowMicros() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+StatusOr<FeatureVector> FeatureServer::GetFeatures(
+    const Value& entity_key, const std::vector<std::string>& features,
+    Timestamp now) const {
+  const double start = NowMicros();
+  FeatureVector out;
+  out.names = features;
+  out.values.reserve(features.size());
+  for (const std::string& feature : features) {
+    StatusOr<Row> row = store_->Get(feature, entity_key, now);
+    if (!row.ok()) {
+      if (options_.missing_policy == MissingFeaturePolicy::kError) {
+        return Status::NotFound("feature '" + feature +
+                                "' unavailable: " + row.status().message());
+      }
+      out.values.push_back(Value::Null());
+      ++out.missing;
+      continue;
+    }
+    // Materialized views have layout {entity, event_time, value}.
+    int value_idx = row->schema()->FieldIndex("value");
+    int time_idx = row->schema()->FieldIndex("event_time");
+    if (value_idx < 0 || time_idx < 0) {
+      return Status::FailedPrecondition(
+          "view '" + feature + "' is not a materialized feature view");
+    }
+    out.values.push_back(row->value(value_idx));
+    out.oldest_event_time =
+        std::min(out.oldest_event_time, row->value(time_idx).time_value());
+  }
+  {
+    std::lock_guard lock(mu_);
+    latency_us_.Record(NowMicros() - start);
+    ++requests_;
+  }
+  return out;
+}
+
+StatusOr<std::vector<FeatureVector>> FeatureServer::GetFeaturesBatch(
+    const std::vector<Value>& entity_keys,
+    const std::vector<std::string>& features, Timestamp now) const {
+  std::vector<FeatureVector> out;
+  out.reserve(entity_keys.size());
+  for (const Value& key : entity_keys) {
+    MLFS_ASSIGN_OR_RETURN(FeatureVector fv, GetFeatures(key, features, now));
+    out.push_back(std::move(fv));
+  }
+  return out;
+}
+
+Histogram FeatureServer::latency_histogram() const {
+  std::lock_guard lock(mu_);
+  return latency_us_;
+}
+
+uint64_t FeatureServer::requests() const {
+  std::lock_guard lock(mu_);
+  return requests_;
+}
+
+}  // namespace mlfs

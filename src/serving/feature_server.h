@@ -1,0 +1,75 @@
+#ifndef MLFS_SERVING_FEATURE_SERVER_H_
+#define MLFS_SERVING_FEATURE_SERVER_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/row.h"
+#include "common/status.h"
+#include "storage/online_store.h"
+
+namespace mlfs {
+
+/// What Get does when a requested feature has no live online value.
+enum class MissingFeaturePolicy : uint8_t {
+  kNull,   // Fill with NULL (model handles imputation).
+  kError,  // Fail the whole request.
+};
+
+struct FeatureServerOptions {
+  MissingFeaturePolicy missing_policy = MissingFeaturePolicy::kNull;
+};
+
+/// An assembled feature vector for one entity.
+struct FeatureVector {
+  std::vector<std::string> names;
+  std::vector<Value> values;
+  /// Event time of the oldest contributing feature (staleness signal);
+  /// kMaxTimestamp when every feature was missing.
+  Timestamp oldest_event_time = kMaxTimestamp;
+  uint64_t missing = 0;
+};
+
+/// Low-latency online feature serving: assembles per-entity feature
+/// vectors from materialized online views ("features need to be
+/// continuously provided to deployed models", paper §2.2.2). Each
+/// requested feature name must be an online view produced by the
+/// materializer (schema {entity, event_time, value}).
+///
+/// Thread-safe. Latency of every request is recorded (wall-clock
+/// microseconds) in latency_histogram() — the one place MLFS uses real
+/// time, because serving latency is a measurement, not simulation state.
+class FeatureServer {
+ public:
+  explicit FeatureServer(const OnlineStore* store,
+                         FeatureServerOptions options = {})
+      : store_(store), options_(options) {}
+
+  /// Fetches `features` for `entity_key` at logical time `now`.
+  StatusOr<FeatureVector> GetFeatures(const Value& entity_key,
+                                      const std::vector<std::string>& features,
+                                      Timestamp now) const;
+
+  /// Batched variant; each entity gets its own FeatureVector.
+  StatusOr<std::vector<FeatureVector>> GetFeaturesBatch(
+      const std::vector<Value>& entity_keys,
+      const std::vector<std::string>& features, Timestamp now) const;
+
+  /// Copy of the request-latency histogram (microseconds).
+  Histogram latency_histogram() const;
+
+  uint64_t requests() const;
+
+ private:
+  const OnlineStore* store_;  // Not owned.
+  FeatureServerOptions options_;
+  mutable std::mutex mu_;
+  mutable Histogram latency_us_;
+  mutable uint64_t requests_ = 0;
+};
+
+}  // namespace mlfs
+
+#endif  // MLFS_SERVING_FEATURE_SERVER_H_

@@ -1,0 +1,179 @@
+#include "serving/point_in_time.h"
+
+#include <algorithm>
+
+#include "storage/entity_key.h"
+
+namespace mlfs {
+namespace {
+
+struct ResolvedSource {
+  const OfflineTable* table;
+  std::vector<int> column_indices;  // Into the source schema.
+  int time_idx;
+  Timestamp max_age;
+};
+
+// Validates sources and computes the output schema.
+StatusOr<std::pair<SchemaPtr, std::vector<ResolvedSource>>> PrepareJoin(
+    const std::vector<Row>& spine, const std::string& spine_entity_column,
+    const std::string& spine_time_column,
+    const std::vector<JoinSource>& sources) {
+  if (spine.empty()) {
+    return Status::InvalidArgument("spine is empty");
+  }
+  const SchemaPtr& spine_schema = spine.front().schema();
+  if (spine_schema == nullptr) {
+    return Status::InvalidArgument("spine rows have no schema");
+  }
+  int spine_entity_idx = spine_schema->FieldIndex(spine_entity_column);
+  int spine_time_idx = spine_schema->FieldIndex(spine_time_column);
+  if (spine_entity_idx < 0 || spine_time_idx < 0) {
+    return Status::InvalidArgument("spine is missing entity/time column");
+  }
+  if (spine_schema->field(spine_time_idx).type != FeatureType::kTimestamp) {
+    return Status::InvalidArgument("spine time column is not a TIMESTAMP");
+  }
+
+  std::vector<FieldSpec> out_fields = spine_schema->fields();
+  std::vector<ResolvedSource> resolved;
+  resolved.reserve(sources.size());
+  for (const JoinSource& source : sources) {
+    if (source.table == nullptr) {
+      return Status::InvalidArgument("join source has no table");
+    }
+    const OfflineTableOptions& options = source.table->options();
+    const SchemaPtr& schema = options.schema;
+    ResolvedSource rs;
+    rs.table = source.table;
+    rs.time_idx = schema->FieldIndex(options.time_column);
+    rs.max_age = source.max_age;
+    std::vector<std::string> columns = source.columns;
+    if (columns.empty()) {
+      for (const FieldSpec& field : schema->fields()) {
+        if (field.name != options.entity_column &&
+            field.name != options.time_column) {
+          columns.push_back(field.name);
+        }
+      }
+    }
+    if (!source.output_columns.empty() &&
+        source.output_columns.size() != columns.size()) {
+      return Status::InvalidArgument(
+          "output_columns must match projected column count");
+    }
+    for (size_t ci = 0; ci < columns.size(); ++ci) {
+      const std::string& column = columns[ci];
+      int idx = schema->FieldIndex(column);
+      if (idx < 0) {
+        return Status::InvalidArgument("source '" + options.name +
+                                       "' has no column '" + column + "'");
+      }
+      rs.column_indices.push_back(idx);
+      std::string out_name = source.output_columns.empty()
+                                 ? source.prefix + column
+                                 : source.output_columns[ci];
+      // Joined columns are always nullable (history may be missing).
+      out_fields.push_back({std::move(out_name), schema->field(idx).type,
+                            true});
+    }
+    resolved.push_back(std::move(rs));
+  }
+  MLFS_ASSIGN_OR_RETURN(SchemaPtr out_schema,
+                        Schema::Create(std::move(out_fields)));
+  return std::make_pair(std::move(out_schema), std::move(resolved));
+}
+
+using AsOfFn = StatusOr<Row> (*)(const ResolvedSource&, const Value&,
+                                 Timestamp);
+
+StatusOr<TrainingSet> JoinImpl(const std::vector<Row>& spine,
+                               const std::string& spine_entity_column,
+                               const std::string& spine_time_column,
+                               const std::vector<JoinSource>& sources,
+                               bool point_in_time) {
+  MLFS_ASSIGN_OR_RETURN(auto prepared,
+                        PrepareJoin(spine, spine_entity_column,
+                                    spine_time_column, sources));
+  SchemaPtr out_schema = std::move(prepared.first);
+  std::vector<ResolvedSource> resolved = std::move(prepared.second);
+  const SchemaPtr& spine_schema = spine.front().schema();
+  int spine_entity_idx = spine_schema->FieldIndex(spine_entity_column);
+  int spine_time_idx = spine_schema->FieldIndex(spine_time_column);
+
+  TrainingSet out;
+  out.schema = out_schema;
+  out.rows.reserve(spine.size());
+  for (const Row& spine_row : spine) {
+    if (spine_row.schema() == nullptr ||
+        !(*spine_row.schema() == *spine_schema)) {
+      return Status::InvalidArgument("spine rows have mixed schemas");
+    }
+    const Value& entity = spine_row.value(spine_entity_idx);
+    Timestamp t = spine_row.value(spine_time_idx).time_value();
+
+    std::vector<Value> values = spine_row.values();
+    for (const ResolvedSource& rs : resolved) {
+      StatusOr<Row> source_row =
+          rs.table->AsOf(entity, point_in_time ? t : kMaxTimestamp);
+      bool usable = source_row.ok();
+      if (usable && point_in_time && rs.max_age > 0) {
+        Timestamp event_time =
+            source_row->value(rs.time_idx).time_value();
+        usable = event_time >= t - rs.max_age;
+      }
+      for (int idx : rs.column_indices) {
+        if (usable) {
+          values.push_back(source_row->value(idx));
+        } else {
+          values.push_back(Value::Null());
+          ++out.missing_cells;
+        }
+      }
+    }
+    MLFS_ASSIGN_OR_RETURN(Row row,
+                          Row::Create(out_schema, std::move(values)));
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<TrainingSet> PointInTimeJoin(const std::vector<Row>& spine,
+                                      const std::string& spine_entity_column,
+                                      const std::string& spine_time_column,
+                                      const std::vector<JoinSource>& sources) {
+  return JoinImpl(spine, spine_entity_column, spine_time_column, sources,
+                  /*point_in_time=*/true);
+}
+
+StatusOr<TrainingSet> NaiveLatestJoin(const std::vector<Row>& spine,
+                                      const std::string& spine_entity_column,
+                                      const std::string& spine_time_column,
+                                      const std::vector<JoinSource>& sources) {
+  return JoinImpl(spine, spine_entity_column, spine_time_column, sources,
+                  /*point_in_time=*/false);
+}
+
+StatusOr<uint64_t> CountDivergentCells(const TrainingSet& reference,
+                                       const TrainingSet& candidate) {
+  if (reference.rows.size() != candidate.rows.size()) {
+    return Status::InvalidArgument("training sets have different row counts");
+  }
+  if (reference.schema == nullptr || candidate.schema == nullptr ||
+      !(*reference.schema == *candidate.schema)) {
+    return Status::InvalidArgument("training sets have different schemas");
+  }
+  uint64_t divergent = 0;
+  for (size_t r = 0; r < reference.rows.size(); ++r) {
+    const Row& a = reference.rows[r];
+    const Row& b = candidate.rows[r];
+    for (size_t c = 0; c < a.num_values(); ++c) {
+      if (!(a.value(c) == b.value(c))) ++divergent;
+    }
+  }
+  return divergent;
+}
+
+}  // namespace mlfs

@@ -1,0 +1,72 @@
+#ifndef MLFS_SERVING_POINT_IN_TIME_H_
+#define MLFS_SERVING_POINT_IN_TIME_H_
+
+#include <string>
+#include <vector>
+
+#include "common/row.h"
+#include "common/status.h"
+#include "storage/offline_store.h"
+
+namespace mlfs {
+
+/// One feature source to join onto the spine.
+struct JoinSource {
+  /// Historical table to read from (not owned; must outlive the join).
+  const OfflineTable* table = nullptr;
+  /// Columns to project; empty means "all except the entity/time columns".
+  std::vector<std::string> columns;
+  /// Prefix applied to projected column names (avoids collisions), e.g.
+  /// "user_stats__".
+  std::string prefix;
+  /// Maximum allowed feature age: a value only joins when its event time is
+  /// within [spine_ts - max_age, spine_ts]. 0 disables the check.
+  Timestamp max_age = 0;
+  /// Optional explicit output names, parallel to `columns` (overrides
+  /// prefix+column). Used to surface a feature log's "value" column under
+  /// the feature's own name.
+  std::vector<std::string> output_columns;
+};
+
+/// A joined training set: schema plus rows.
+struct TrainingSet {
+  SchemaPtr schema;
+  std::vector<Row> rows;
+  /// Joined cells that came back NULL because the source had no history at
+  /// (or within max_age of) the spine timestamp.
+  uint64_t missing_cells = 0;
+};
+
+/// Point-in-time (as-of) join: for each spine row (entity, t, labels...),
+/// attaches each source's latest values with event time <= t. This is the
+/// feature-store primitive that makes training sets *leakage-free* — a
+/// model never sees feature values from after the moment of prediction
+/// (paper §2.2.2: "FSs support this workflow by partitioning features on
+/// date and providing APIs to allow for time based joins").
+///
+/// `spine` rows must share a schema containing `spine_entity_column`
+/// (INT64/STRING) and `spine_time_column` (TIMESTAMP). Output columns are
+/// the spine columns followed by each source's projected columns (all
+/// nullable, NULL when no history qualifies).
+StatusOr<TrainingSet> PointInTimeJoin(const std::vector<Row>& spine,
+                                      const std::string& spine_entity_column,
+                                      const std::string& spine_time_column,
+                                      const std::vector<JoinSource>& sources);
+
+/// Deliberately *incorrect* baseline: joins each source's globally latest
+/// value per entity, ignoring the spine timestamp. This is what ad-hoc
+/// training pipelines without a feature store typically do; benchmarks use
+/// it to count leaked cells (feature values from the future).
+StatusOr<TrainingSet> NaiveLatestJoin(const std::vector<Row>& spine,
+                                      const std::string& spine_entity_column,
+                                      const std::string& spine_time_column,
+                                      const std::vector<JoinSource>& sources);
+
+/// Counts cells in `candidate` whose value differs from the leakage-free
+/// reference join (same shape required): a measure of silent training bias.
+StatusOr<uint64_t> CountDivergentCells(const TrainingSet& reference,
+                                       const TrainingSet& candidate);
+
+}  // namespace mlfs
+
+#endif  // MLFS_SERVING_POINT_IN_TIME_H_

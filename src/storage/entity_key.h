@@ -1,0 +1,29 @@
+#ifndef MLFS_STORAGE_ENTITY_KEY_H_
+#define MLFS_STORAGE_ENTITY_KEY_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace mlfs {
+
+/// Canonical string form of an entity key value. Entity keys may be INT64
+/// or STRING columns; both stores index by this canonical form so that the
+/// same entity resolves identically online and offline.
+inline StatusOr<std::string> EntityKeyToString(const Value& v) {
+  switch (v.type()) {
+    case FeatureType::kInt64:
+      return std::to_string(v.int64_value());
+    case FeatureType::kString:
+      return v.string_value();
+    default:
+      return Status::InvalidArgument(
+          "entity key must be INT64 or STRING, got " +
+          std::string(FeatureTypeToString(v.type())));
+  }
+}
+
+}  // namespace mlfs
+
+#endif  // MLFS_STORAGE_ENTITY_KEY_H_

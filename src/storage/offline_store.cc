@@ -1,0 +1,330 @@
+#include "storage/offline_store.h"
+
+#include <algorithm>
+
+#include "common/serde.h"
+#include "storage/entity_key.h"
+
+namespace mlfs {
+
+OfflineTable::OfflineTable(OfflineTableOptions options)
+    : options_(std::move(options)) {
+  entity_idx_ = options_.schema->FieldIndex(options_.entity_column);
+  time_idx_ = options_.schema->FieldIndex(options_.time_column);
+}
+
+StatusOr<std::unique_ptr<OfflineTable>> OfflineTable::Create(
+    OfflineTableOptions options) {
+  if (options.name.empty()) {
+    return Status::InvalidArgument("offline table needs a name");
+  }
+  if (options.schema == nullptr) {
+    return Status::InvalidArgument("offline table needs a schema");
+  }
+  if (options.partition_granularity <= 0) {
+    return Status::InvalidArgument("partition granularity must be positive");
+  }
+  int eidx = options.schema->FieldIndex(options.entity_column);
+  if (eidx < 0) {
+    return Status::InvalidArgument("entity column '" + options.entity_column +
+                                   "' not in schema");
+  }
+  const FieldSpec& efield = options.schema->field(eidx);
+  if (efield.type != FeatureType::kInt64 &&
+      efield.type != FeatureType::kString) {
+    return Status::InvalidArgument("entity column must be INT64 or STRING");
+  }
+  if (efield.nullable) {
+    return Status::InvalidArgument("entity column must be NOT NULL");
+  }
+  int tidx = options.schema->FieldIndex(options.time_column);
+  if (tidx < 0) {
+    return Status::InvalidArgument("time column '" + options.time_column +
+                                   "' not in schema");
+  }
+  const FieldSpec& tfield = options.schema->field(tidx);
+  if (tfield.type != FeatureType::kTimestamp || tfield.nullable) {
+    return Status::InvalidArgument(
+        "time column must be TIMESTAMP NOT NULL");
+  }
+  return std::unique_ptr<OfflineTable>(new OfflineTable(std::move(options)));
+}
+
+int64_t OfflineTable::PartitionIdFor(Timestamp ts) const {
+  // Floor division so negative timestamps partition correctly.
+  int64_t g = options_.partition_granularity;
+  int64_t q = ts / g;
+  if (ts % g != 0 && ts < 0) --q;
+  return q;
+}
+
+Status OfflineTable::AppendLocked(const Row& row) {
+  if (row.schema() == nullptr || !(*row.schema() == *options_.schema)) {
+    return Status::InvalidArgument("row schema does not match table '" +
+                                   options_.name + "'");
+  }
+  const Value& evalue = row.value(entity_idx_);
+  MLFS_ASSIGN_OR_RETURN(std::string key, EntityKeyToString(evalue));
+  const Value& tvalue = row.value(time_idx_);
+  if (tvalue.is_null()) {
+    return Status::InvalidArgument("event time is null");
+  }
+  Timestamp ts = tvalue.time_value();
+  Partition& part = partitions_[PartitionIdFor(ts)];
+  size_t idx = part.rows.size();
+  part.rows.push_back(row);
+  auto& postings = part.index[key];
+  // Insert in ts order (stable for equal timestamps: later insert wins by
+  // being placed after, so as-of picks the most recently appended row).
+  auto pos = std::upper_bound(
+      postings.begin(), postings.end(), ts,
+      [](Timestamp t, const IndexEntry& e) { return t < e.ts; });
+  postings.insert(pos, IndexEntry{ts, idx});
+  ++num_rows_;
+  max_event_time_ = std::max(max_event_time_, ts);
+  return Status::OK();
+}
+
+Status OfflineTable::Append(const Row& row) {
+  std::unique_lock lock(mu_);
+  return AppendLocked(row);
+}
+
+Status OfflineTable::AppendBatch(const std::vector<Row>& rows) {
+  std::unique_lock lock(mu_);
+  for (const Row& row : rows) {
+    MLFS_RETURN_IF_ERROR(AppendLocked(row));
+  }
+  return Status::OK();
+}
+
+std::vector<Row> OfflineTable::Scan(Timestamp lo, Timestamp hi) const {
+  return ScanIf(lo, hi, nullptr);
+}
+
+std::vector<Row> OfflineTable::ScanIf(
+    Timestamp lo, Timestamp hi,
+    const std::function<bool(const Row&)>& pred) const {
+  std::shared_lock lock(mu_);
+  std::vector<Row> out;
+  if (lo >= hi) return out;
+  // Partitions wholly outside [lo, hi) are skipped without touching rows.
+  int64_t lo_part = (lo == kMinTimestamp) ? INT64_MIN : PartitionIdFor(lo);
+  for (auto it = partitions_.lower_bound(lo_part); it != partitions_.end();
+       ++it) {
+    if (hi != kMaxTimestamp &&
+        it->first > PartitionIdFor(hi)) {
+      break;
+    }
+    for (const Row& row : it->second.rows) {
+      Timestamp ts = row.value(time_idx_).time_value();
+      if (ts < lo || ts >= hi) continue;
+      if (pred && !pred(row)) continue;
+      out.push_back(row);
+    }
+  }
+  return out;
+}
+
+StatusOr<Row> OfflineTable::AsOf(const Value& entity_key, Timestamp ts) const {
+  MLFS_ASSIGN_OR_RETURN(std::string key, EntityKeyToString(entity_key));
+  std::shared_lock lock(mu_);
+  // Walk partitions from the one containing ts backwards in time.
+  auto it = partitions_.upper_bound(
+      ts == kMaxTimestamp ? INT64_MAX : PartitionIdFor(ts));
+  while (it != partitions_.begin()) {
+    --it;
+    const Partition& part = it->second;
+    auto pit = part.index.find(key);
+    if (pit == part.index.end()) continue;
+    const auto& postings = pit->second;
+    // Rightmost posting with posting.ts <= ts.
+    auto bit = std::upper_bound(
+        postings.begin(), postings.end(), ts,
+        [](Timestamp t, const IndexEntry& e) { return t < e.ts; });
+    if (bit == postings.begin()) continue;
+    --bit;
+    return part.rows[bit->row_index];
+  }
+  return Status::NotFound("no row for entity '" + key + "' as of " +
+                          FormatTimestamp(ts));
+}
+
+std::vector<Row> OfflineTable::LatestPerEntityAsOf(Timestamp ts) const {
+  std::shared_lock lock(mu_);
+  std::unordered_map<std::string, std::pair<Timestamp, const Row*>> best;
+  for (auto it = partitions_.begin(); it != partitions_.end(); ++it) {
+    if (ts != kMaxTimestamp && it->first > PartitionIdFor(ts)) break;
+    const Partition& part = it->second;
+    for (const auto& [key, postings] : part.index) {
+      auto bit = std::upper_bound(
+          postings.begin(), postings.end(), ts,
+          [](Timestamp t, const IndexEntry& e) { return t < e.ts; });
+      if (bit == postings.begin()) continue;
+      --bit;
+      auto [bestit, inserted] =
+          best.try_emplace(key, bit->ts, &part.rows[bit->row_index]);
+      if (!inserted && bit->ts > bestit->second.first) {
+        bestit->second = {bit->ts, &part.rows[bit->row_index]};
+      }
+    }
+  }
+  std::vector<Row> out;
+  out.reserve(best.size());
+  for (auto& [key, entry] : best) out.push_back(*entry.second);
+  return out;
+}
+
+std::vector<std::string> OfflineTable::EntityKeys() const {
+  std::shared_lock lock(mu_);
+  std::unordered_map<std::string, bool> seen;
+  for (const auto& [pid, part] : partitions_) {
+    for (const auto& [key, postings] : part.index) seen.emplace(key, true);
+  }
+  std::vector<std::string> out;
+  out.reserve(seen.size());
+  for (auto& [key, unused] : seen) out.push_back(key);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t OfflineTable::num_rows() const {
+  std::shared_lock lock(mu_);
+  return num_rows_;
+}
+
+size_t OfflineTable::num_partitions() const {
+  std::shared_lock lock(mu_);
+  return partitions_.size();
+}
+
+Timestamp OfflineTable::max_event_time() const {
+  std::shared_lock lock(mu_);
+  return max_event_time_;
+}
+
+namespace {
+constexpr uint32_t kSnapshotMagic = 0x4d4c4653;  // "MLFS"
+}  // namespace
+
+std::string OfflineTable::Snapshot() const {
+  std::shared_lock lock(mu_);
+  Encoder enc;
+  enc.PutFixed32(kSnapshotMagic);
+  enc.PutString(options_.name);
+  enc.PutString(options_.entity_column);
+  enc.PutString(options_.time_column);
+  enc.PutFixed64(static_cast<uint64_t>(options_.partition_granularity));
+  enc.PutSchema(*options_.schema);
+  enc.PutVarint64(num_rows_);
+  for (const auto& [pid, part] : partitions_) {
+    for (const Row& row : part.rows) enc.PutRow(row);
+  }
+  return enc.Release();
+}
+
+namespace {
+
+struct SnapshotHeader {
+  OfflineTableOptions options;
+};
+
+StatusOr<SnapshotHeader> ReadSnapshotHeader(Decoder* dec) {
+  MLFS_ASSIGN_OR_RETURN(uint32_t magic, dec->GetFixed32());
+  if (magic != kSnapshotMagic) {
+    return Status::Corruption("bad snapshot magic");
+  }
+  SnapshotHeader header;
+  MLFS_ASSIGN_OR_RETURN(header.options.name, dec->GetString());
+  MLFS_ASSIGN_OR_RETURN(header.options.entity_column, dec->GetString());
+  MLFS_ASSIGN_OR_RETURN(header.options.time_column, dec->GetString());
+  MLFS_ASSIGN_OR_RETURN(uint64_t granularity, dec->GetFixed64());
+  header.options.partition_granularity =
+      static_cast<Timestamp>(granularity);
+  MLFS_ASSIGN_OR_RETURN(header.options.schema, dec->GetSchema());
+  return header;
+}
+
+}  // namespace
+
+Status OfflineTable::Restore(std::string_view snapshot) {
+  {
+    std::shared_lock lock(mu_);
+    if (num_rows_ != 0) {
+      return Status::FailedPrecondition("Restore requires an empty table");
+    }
+  }
+  Decoder dec(snapshot);
+  MLFS_ASSIGN_OR_RETURN(SnapshotHeader header, ReadSnapshotHeader(&dec));
+  if (header.options.name != options_.name) {
+    return Status::InvalidArgument("snapshot is for table '" +
+                                   header.options.name + "'");
+  }
+  if (!(*header.options.schema == *options_.schema)) {
+    return Status::InvalidArgument("snapshot schema does not match table");
+  }
+  MLFS_ASSIGN_OR_RETURN(uint64_t n, dec.GetVarint64());
+  std::unique_lock lock(mu_);
+  for (uint64_t i = 0; i < n; ++i) {
+    MLFS_ASSIGN_OR_RETURN(Row row, dec.GetRow(options_.schema));
+    MLFS_RETURN_IF_ERROR(AppendLocked(row));
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<OfflineTable>> OfflineTable::FromSnapshot(
+    std::string_view snapshot) {
+  Decoder dec(snapshot);
+  MLFS_ASSIGN_OR_RETURN(SnapshotHeader header, ReadSnapshotHeader(&dec));
+  MLFS_ASSIGN_OR_RETURN(auto table, Create(std::move(header.options)));
+  MLFS_ASSIGN_OR_RETURN(uint64_t n, dec.GetVarint64());
+  std::unique_lock lock(table->mu_);
+  for (uint64_t i = 0; i < n; ++i) {
+    MLFS_ASSIGN_OR_RETURN(Row row, dec.GetRow(table->options_.schema));
+    MLFS_RETURN_IF_ERROR(table->AppendLocked(row));
+  }
+  lock.unlock();
+  return table;
+}
+
+Status OfflineStore::CreateTable(OfflineTableOptions options) {
+  MLFS_ASSIGN_OR_RETURN(auto table, OfflineTable::Create(std::move(options)));
+  return AdoptTable(std::move(table));
+}
+
+Status OfflineStore::AdoptTable(std::unique_ptr<OfflineTable> table) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("cannot adopt a null table");
+  }
+  std::lock_guard lock(mu_);
+  auto [it, inserted] = tables_.emplace(table->name(), std::move(table));
+  if (!inserted) {
+    return Status::AlreadyExists("offline table '" + it->first +
+                                 "' already exists");
+  }
+  return Status::OK();
+}
+
+StatusOr<OfflineTable*> OfflineStore::GetTable(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("offline table '" + name + "' not found");
+  }
+  return it->second.get();
+}
+
+bool OfflineStore::HasTable(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  return tables_.count(name) > 0;
+}
+
+std::vector<std::string> OfflineStore::TableNames() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) out.push_back(name);
+  return out;
+}
+
+}  // namespace mlfs

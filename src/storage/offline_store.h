@@ -1,0 +1,140 @@
+#ifndef MLFS_STORAGE_OFFLINE_STORE_H_
+#define MLFS_STORAGE_OFFLINE_STORE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/row.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/timestamp.h"
+
+namespace mlfs {
+
+/// Configuration for one offline (historical) table.
+struct OfflineTableOptions {
+  std::string name;
+  SchemaPtr schema;
+  /// Column holding the entity key (INT64 or STRING; non-nullable).
+  std::string entity_column;
+  /// Column holding the event timestamp (TIMESTAMP; non-nullable).
+  std::string time_column;
+  /// Rows are grouped into partitions of this width (default: daily), the
+  /// standard feature-store layout for time-based joins.
+  Timestamp partition_granularity = kMicrosPerDay;
+};
+
+/// Append-only, time-partitioned table of historical feature rows: the
+/// "offline store" half of the feature store's dual datastore (paper
+/// §2.2.2, e.g. a SQL warehouse). Serves full scans for training-set
+/// construction and per-entity *as-of* (point-in-time) reads.
+///
+/// Thread-safe: appends take an exclusive lock; reads take a shared lock.
+class OfflineTable {
+ public:
+  /// Validates options (columns exist with the required types).
+  static StatusOr<std::unique_ptr<OfflineTable>> Create(
+      OfflineTableOptions options);
+
+  /// Appends one row; rows may arrive in any time order (late data is
+  /// supported and lands in the partition of its event time).
+  Status Append(const Row& row);
+
+  Status AppendBatch(const std::vector<Row>& rows);
+
+  /// All rows with event time in [lo, hi), in no particular order.
+  std::vector<Row> Scan(Timestamp lo = kMinTimestamp,
+                        Timestamp hi = kMaxTimestamp) const;
+
+  /// Scans with a row predicate.
+  std::vector<Row> ScanIf(Timestamp lo, Timestamp hi,
+                          const std::function<bool(const Row&)>& pred) const;
+
+  /// The most recent row for `entity_key` with event_time <= ts
+  /// (point-in-time read). NotFound if the entity has no history at ts.
+  StatusOr<Row> AsOf(const Value& entity_key, Timestamp ts) const;
+
+  /// Latest row per entity as of `ts` — the materialization query that
+  /// loads the online store.
+  std::vector<Row> LatestPerEntityAsOf(Timestamp ts) const;
+
+  /// All distinct entity keys (canonical string form).
+  std::vector<std::string> EntityKeys() const;
+
+  const OfflineTableOptions& options() const { return options_; }
+  const std::string& name() const { return options_.name; }
+  size_t num_rows() const;
+  size_t num_partitions() const;
+  /// Event time of the newest row, or kMinTimestamp when empty.
+  Timestamp max_event_time() const;
+
+  /// Serializes the table: options (name, key/time columns, granularity),
+  /// schema, and all rows. Self-contained: FromSnapshot() reconstructs the
+  /// table without external metadata.
+  std::string Snapshot() const;
+
+  /// Restores rows from `Snapshot()` output into this (empty) table; the
+  /// snapshot's name and schema must match.
+  Status Restore(std::string_view snapshot);
+
+  /// Reconstructs a table (options + data) from `Snapshot()` output.
+  static StatusOr<std::unique_ptr<OfflineTable>> FromSnapshot(
+      std::string_view snapshot);
+
+ private:
+  struct IndexEntry {
+    Timestamp ts;
+    size_t row_index;
+  };
+  struct Partition {
+    std::vector<Row> rows;
+    // Per-entity (ts, row) postings, kept sorted by ts at insert time so
+    // concurrent readers never need to mutate the index.
+    std::unordered_map<std::string, std::vector<IndexEntry>> index;
+  };
+
+  explicit OfflineTable(OfflineTableOptions options);
+
+  Status AppendLocked(const Row& row);
+  int64_t PartitionIdFor(Timestamp ts) const;
+
+  OfflineTableOptions options_;
+  int entity_idx_ = -1;
+  int time_idx_ = -1;
+
+  mutable std::shared_mutex mu_;
+  // Ordered so as-of reads can walk partitions newest-first.
+  std::map<int64_t, Partition> partitions_;
+  size_t num_rows_ = 0;
+  Timestamp max_event_time_ = kMinTimestamp;
+};
+
+/// Named collection of offline tables.
+class OfflineStore {
+ public:
+  /// Creates a table; AlreadyExists if the name is taken.
+  Status CreateTable(OfflineTableOptions options);
+
+  /// Adopts an already-constructed table (e.g. OfflineTable::FromSnapshot).
+  Status AdoptTable(std::unique_ptr<OfflineTable> table);
+
+  /// Borrowed pointer valid for the store's lifetime; NotFound if absent.
+  StatusOr<OfflineTable*> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<OfflineTable>> tables_;
+};
+
+}  // namespace mlfs
+
+#endif  // MLFS_STORAGE_OFFLINE_STORE_H_

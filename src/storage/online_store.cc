@@ -1,0 +1,273 @@
+#include "storage/online_store.h"
+
+#include "common/hash.h"
+#include "common/serde.h"
+#include "storage/entity_key.h"
+
+namespace mlfs {
+
+OnlineStore::OnlineStore(OnlineStoreOptions options)
+    : options_(options) {
+  if (options_.num_shards == 0) options_.num_shards = 1;
+  shards_.reserve(options_.num_shards);
+  for (size_t i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::string OnlineStore::FullKey(const std::string& view,
+                                 const std::string& key) {
+  std::string full;
+  full.reserve(view.size() + 1 + key.size());
+  full += view;
+  full += '\x1f';  // Unit separator; views cannot contain it.
+  full += key;
+  return full;
+}
+
+OnlineStore::Shard& OnlineStore::ShardFor(const std::string& full_key) const {
+  uint64_t h = HashBytes(full_key);
+  return *shards_[h % shards_.size()];
+}
+
+Status OnlineStore::CreateView(const std::string& view, SchemaPtr schema) {
+  if (view.empty() || view.find('\x1f') != std::string::npos) {
+    return Status::InvalidArgument("bad view name");
+  }
+  if (schema == nullptr) {
+    return Status::InvalidArgument("view schema is null");
+  }
+  std::lock_guard lock(views_mu_);
+  auto [it, inserted] = views_.emplace(view, std::move(schema));
+  if (!inserted) {
+    return Status::AlreadyExists("view '" + view + "' already exists");
+  }
+  return Status::OK();
+}
+
+bool OnlineStore::HasView(const std::string& view) const {
+  std::lock_guard lock(views_mu_);
+  return views_.count(view) > 0;
+}
+
+StatusOr<SchemaPtr> OnlineStore::ViewSchema(const std::string& view) const {
+  std::lock_guard lock(views_mu_);
+  auto it = views_.find(view);
+  if (it == views_.end()) {
+    return Status::NotFound("view '" + view + "' not found");
+  }
+  return it->second;
+}
+
+Status OnlineStore::Put(const std::string& view, const Value& entity_key,
+                        Row row, Timestamp event_time, Timestamp write_time,
+                        Timestamp ttl) {
+  MLFS_ASSIGN_OR_RETURN(SchemaPtr schema, ViewSchema(view));
+  if (row.schema() == nullptr || !(*row.schema() == *schema)) {
+    return Status::InvalidArgument("row schema does not match view '" + view +
+                                   "'");
+  }
+  MLFS_ASSIGN_OR_RETURN(std::string key, EntityKeyToString(entity_key));
+  if (ttl <= 0) ttl = options_.default_ttl;
+  Timestamp expires_at =
+      (ttl <= 0) ? kMaxTimestamp
+                 : (write_time > kMaxTimestamp - ttl ? kMaxTimestamp
+                                                     : write_time + ttl);
+  std::string full_key = FullKey(view, key);
+  Shard& shard = ShardFor(full_key);
+  puts_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.cells.find(full_key);
+  if (it != shard.cells.end()) {
+    if (it->second.event_time > event_time) {
+      stale_writes_.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();  // Keep the fresher cell.
+    }
+    shard.approx_bytes -= it->second.row.ByteSize();
+    shard.approx_bytes += row.ByteSize();
+    it->second =
+        Cell{std::move(row), event_time, write_time, expires_at};
+    return Status::OK();
+  }
+  shard.approx_bytes += row.ByteSize();
+  shard.cells.emplace(std::move(full_key),
+                      Cell{std::move(row), event_time, write_time,
+                           expires_at});
+  return Status::OK();
+}
+
+StatusOr<Row> OnlineStore::Get(const std::string& view,
+                               const Value& entity_key, Timestamp now) const {
+  gets_.fetch_add(1, std::memory_order_relaxed);
+  auto keyor = EntityKeyToString(entity_key);
+  if (!keyor.ok()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return keyor.status();
+  }
+  std::string full_key = FullKey(view, *keyor);
+  Shard& shard = ShardFor(full_key);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.cells.find(full_key);
+  if (it == shard.cells.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return Status::NotFound("no online value for '" + *keyor + "' in view '" +
+                            view + "'");
+  }
+  if (it->second.expires_at <= now) {
+    expired_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return Status::NotFound("online value for '" + *keyor + "' expired");
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.row;
+}
+
+std::vector<StatusOr<Row>> OnlineStore::MultiGet(
+    const std::string& view, const std::vector<Value>& entity_keys,
+    Timestamp now) const {
+  std::vector<StatusOr<Row>> out;
+  out.reserve(entity_keys.size());
+  for (const Value& key : entity_keys) {
+    out.push_back(Get(view, key, now));
+  }
+  return out;
+}
+
+StatusOr<Timestamp> OnlineStore::GetEventTime(const std::string& view,
+                                              const Value& entity_key,
+                                              Timestamp now) const {
+  MLFS_ASSIGN_OR_RETURN(std::string key, EntityKeyToString(entity_key));
+  std::string full_key = FullKey(view, key);
+  Shard& shard = ShardFor(full_key);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.cells.find(full_key);
+  if (it == shard.cells.end() || it->second.expires_at <= now) {
+    return Status::NotFound("no live online value for '" + key + "'");
+  }
+  return it->second.event_time;
+}
+
+size_t OnlineStore::EvictExpired(Timestamp now) {
+  size_t evicted = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    for (auto it = shard->cells.begin(); it != shard->cells.end();) {
+      if (it->second.expires_at <= now) {
+        shard->approx_bytes -= it->second.row.ByteSize();
+        it = shard->cells.erase(it);
+        ++evicted;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return evicted;
+}
+
+size_t OnlineStore::DropView(const std::string& view) {
+  std::string prefix = view + '\x1f';
+  size_t dropped = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    for (auto it = shard->cells.begin(); it != shard->cells.end();) {
+      if (it->first.compare(0, prefix.size(), prefix) == 0) {
+        shard->approx_bytes -= it->second.row.ByteSize();
+        it = shard->cells.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return dropped;
+}
+
+OnlineStoreStats OnlineStore::stats() const {
+  OnlineStoreStats s;
+  s.puts = puts_.load(std::memory_order_relaxed);
+  s.gets = gets_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.expired = expired_.load(std::memory_order_relaxed);
+  s.stale_writes = stale_writes_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    s.num_cells += shard->cells.size();
+    s.approx_bytes += shard->approx_bytes;
+  }
+  return s;
+}
+
+namespace {
+constexpr uint32_t kOnlineSnapshotMagic = 0x4d4c4f4e;  // "MLON"
+}  // namespace
+
+std::string OnlineStore::Snapshot() const {
+  Encoder enc;
+  enc.PutFixed32(kOnlineSnapshotMagic);
+  {
+    std::lock_guard lock(views_mu_);
+    enc.PutVarint64(views_.size());
+    for (const auto& [view, schema] : views_) {
+      enc.PutString(view);
+      enc.PutSchema(*schema);
+    }
+  }
+  // Cells: count first requires a pass; encode per shard with counts.
+  enc.PutVarint64(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    enc.PutVarint64(shard->cells.size());
+    for (const auto& [full_key, cell] : shard->cells) {
+      enc.PutString(full_key);
+      enc.PutFixed64(static_cast<uint64_t>(cell.event_time));
+      enc.PutFixed64(static_cast<uint64_t>(cell.write_time));
+      enc.PutFixed64(static_cast<uint64_t>(cell.expires_at));
+      enc.PutRow(cell.row);
+    }
+  }
+  return enc.Release();
+}
+
+Status OnlineStore::Restore(std::string_view snapshot) {
+  Decoder dec(snapshot);
+  MLFS_ASSIGN_OR_RETURN(uint32_t magic, dec.GetFixed32());
+  if (magic != kOnlineSnapshotMagic) {
+    return Status::Corruption("bad online-store snapshot magic");
+  }
+  MLFS_ASSIGN_OR_RETURN(uint64_t num_views, dec.GetVarint64());
+  for (uint64_t i = 0; i < num_views; ++i) {
+    MLFS_ASSIGN_OR_RETURN(std::string view, dec.GetString());
+    MLFS_ASSIGN_OR_RETURN(SchemaPtr schema, dec.GetSchema());
+    MLFS_RETURN_IF_ERROR(CreateView(view, std::move(schema)));
+  }
+  MLFS_ASSIGN_OR_RETURN(uint64_t num_shards, dec.GetVarint64());
+  for (uint64_t s = 0; s < num_shards; ++s) {
+    MLFS_ASSIGN_OR_RETURN(uint64_t num_cells, dec.GetVarint64());
+    for (uint64_t c = 0; c < num_cells; ++c) {
+      MLFS_ASSIGN_OR_RETURN(std::string full_key, dec.GetString());
+      size_t sep = full_key.find('\x1f');
+      if (sep == std::string::npos) {
+        return Status::Corruption("cell key without view separator");
+      }
+      std::string view = full_key.substr(0, sep);
+      MLFS_ASSIGN_OR_RETURN(uint64_t event_time, dec.GetFixed64());
+      MLFS_ASSIGN_OR_RETURN(uint64_t write_time, dec.GetFixed64());
+      MLFS_ASSIGN_OR_RETURN(uint64_t expires_at, dec.GetFixed64());
+      MLFS_ASSIGN_OR_RETURN(SchemaPtr schema, ViewSchema(view));
+      MLFS_ASSIGN_OR_RETURN(Row row, dec.GetRow(schema));
+      // Re-shard on restore (shard count may differ).
+      Shard& shard = ShardFor(full_key);
+      std::lock_guard lock(shard.mu);
+      shard.approx_bytes += row.ByteSize();
+      shard.cells.emplace(
+          std::move(full_key),
+          Cell{std::move(row), static_cast<Timestamp>(event_time),
+               static_cast<Timestamp>(write_time),
+               static_cast<Timestamp>(expires_at)});
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mlfs

@@ -1,0 +1,127 @@
+#ifndef MLFS_STORAGE_ONLINE_STORE_H_
+#define MLFS_STORAGE_ONLINE_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/row.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/timestamp.h"
+
+namespace mlfs {
+
+/// Counters describing online-store traffic.
+struct OnlineStoreStats {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t expired = 0;       // Gets that found only an expired cell.
+  uint64_t stale_writes = 0;  // Puts dropped because a newer cell existed.
+  size_t num_cells = 0;
+  size_t approx_bytes = 0;
+};
+
+struct OnlineStoreOptions {
+  /// Shards (each with its own lock) for concurrent serving.
+  size_t num_shards = 16;
+  /// Default TTL applied when a Put passes ttl == 0. 0 here means
+  /// "never expire".
+  Timestamp default_ttl = 0;
+};
+
+/// Low-latency, in-memory, latest-value store: the "online" half of the
+/// dual datastore (paper §2.2.2, e.g. an in-memory DBMS). Keyed by
+/// (view, entity); each cell holds the most recent feature row for that
+/// entity with its event time and an optional TTL.
+///
+/// Last-writer-wins is by *event time*, not write time, so replayed or
+/// out-of-order materializations can never clobber fresher data.
+/// Thread-safe; sharded by key hash.
+class OnlineStore {
+ public:
+  explicit OnlineStore(OnlineStoreOptions options = {});
+
+  /// Registers a view (a named feature row layout). Writes and reads
+  /// validate against the view's schema.
+  Status CreateView(const std::string& view, SchemaPtr schema);
+
+  bool HasView(const std::string& view) const;
+  StatusOr<SchemaPtr> ViewSchema(const std::string& view) const;
+
+  /// Upserts the row for (view, entity_key). Drops the write (counted in
+  /// stats().stale_writes) when an existing cell has a newer event time.
+  /// `ttl` <= 0 selects options.default_ttl.
+  Status Put(const std::string& view, const Value& entity_key, Row row,
+             Timestamp event_time, Timestamp write_time, Timestamp ttl = 0);
+
+  /// Latest row for (view, entity_key); NotFound on miss or when the cell
+  /// has expired at `now`.
+  StatusOr<Row> Get(const std::string& view, const Value& entity_key,
+                    Timestamp now) const;
+
+  /// Batched get preserving input order; individual entries may fail.
+  std::vector<StatusOr<Row>> MultiGet(const std::string& view,
+                                      const std::vector<Value>& entity_keys,
+                                      Timestamp now) const;
+
+  /// Event time of the cell (freshness probes); NotFound semantics as Get.
+  StatusOr<Timestamp> GetEventTime(const std::string& view,
+                                   const Value& entity_key,
+                                   Timestamp now) const;
+
+  /// Removes expired cells; returns how many were evicted.
+  size_t EvictExpired(Timestamp now);
+
+  /// Removes every cell of `view`.
+  size_t DropView(const std::string& view);
+
+  OnlineStoreStats stats() const;
+
+  /// Serializes views (name + schema) and all cells. Traffic counters are
+  /// not persisted.
+  std::string Snapshot() const;
+
+  /// Restores a Snapshot() into this store; existing views with the same
+  /// name must not exist.
+  Status Restore(std::string_view snapshot);
+
+ private:
+  struct Cell {
+    Row row;
+    Timestamp event_time;
+    Timestamp write_time;
+    Timestamp expires_at;  // kMaxTimestamp when no TTL.
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Cell> cells;
+    size_t approx_bytes = 0;
+  };
+
+  Shard& ShardFor(const std::string& full_key) const;
+  static std::string FullKey(const std::string& view, const std::string& key);
+
+  OnlineStoreOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::mutex views_mu_;
+  std::unordered_map<std::string, SchemaPtr> views_;
+
+  mutable std::atomic<uint64_t> puts_{0};
+  mutable std::atomic<uint64_t> gets_{0};
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  mutable std::atomic<uint64_t> expired_{0};
+  mutable std::atomic<uint64_t> stale_writes_{0};
+};
+
+}  // namespace mlfs
+
+#endif  // MLFS_STORAGE_ONLINE_STORE_H_

@@ -1,0 +1,105 @@
+#include "storage/persistence.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+namespace mlfs {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kOfflineSuffix[] = ".offline.mlfs";
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path, std::string_view data) {
+  std::error_code ec;
+  fs::path target(path);
+  if (target.has_parent_path()) {
+    fs::create_directories(target.parent_path(), ec);
+    if (ec) {
+      return Status::Internal("create_directories failed: " + ec.message());
+    }
+  }
+  fs::path temp = target;
+  temp += ".tmp";
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot open '" + temp.string() +
+                              "' for writing");
+    }
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    if (!out) {
+      return Status::Internal("short write to '" + temp.string() + "'");
+    }
+  }
+  fs::rename(temp, target, ec);
+  if (ec) {
+    return Status::Internal("rename failed: " + ec.message());
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return Status::Internal("read failed for '" + path + "'");
+  }
+  return data;
+}
+
+StatusOr<std::vector<std::string>> CheckpointOfflineStore(
+    const OfflineStore& store, const std::string& dir) {
+  std::vector<std::string> written;
+  for (const std::string& name : store.TableNames()) {
+    MLFS_ASSIGN_OR_RETURN(OfflineTable * table, store.GetTable(name));
+    std::string file = name + kOfflineSuffix;
+    MLFS_RETURN_IF_ERROR(
+        WriteFileAtomic((fs::path(dir) / file).string(), table->Snapshot()));
+    written.push_back(std::move(file));
+  }
+  return written;
+}
+
+Status RestoreOfflineStore(OfflineStore* store, const std::string& dir) {
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::NotFound("cannot list '" + dir + "': " + ec.message());
+  }
+  for (const auto& entry : it) {
+    const std::string file = entry.path().filename().string();
+    if (file.size() < sizeof(kOfflineSuffix) ||
+        file.compare(file.size() - (sizeof(kOfflineSuffix) - 1),
+                     std::string::npos, kOfflineSuffix) != 0) {
+      continue;
+    }
+    MLFS_ASSIGN_OR_RETURN(std::string data, ReadFile(entry.path().string()));
+    MLFS_ASSIGN_OR_RETURN(auto table, OfflineTable::FromSnapshot(data));
+    MLFS_RETURN_IF_ERROR(store->AdoptTable(std::move(table)));
+  }
+  return Status::OK();
+}
+
+Status CheckpointOnlineStore(const OnlineStore& store,
+                             const std::string& dir) {
+  return WriteFileAtomic((fs::path(dir) / "online.mlfs").string(),
+                         store.Snapshot());
+}
+
+Status RestoreOnlineStore(OnlineStore* store, const std::string& dir) {
+  MLFS_ASSIGN_OR_RETURN(std::string data,
+                        ReadFile((fs::path(dir) / "online.mlfs").string()));
+  return store->Restore(data);
+}
+
+}  // namespace mlfs

@@ -1,0 +1,258 @@
+#include "streaming/aggregator.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mlfs {
+
+std::string_view AggregateFnToString(AggregateFn fn) {
+  switch (fn) {
+    case AggregateFn::kCount: return "count";
+    case AggregateFn::kSum: return "sum";
+    case AggregateFn::kMean: return "mean";
+    case AggregateFn::kMin: return "min";
+    case AggregateFn::kMax: return "max";
+    case AggregateFn::kVariance: return "variance";
+    case AggregateFn::kStddev: return "stddev";
+    case AggregateFn::kP50: return "p50";
+    case AggregateFn::kP90: return "p90";
+    case AggregateFn::kP99: return "p99";
+    case AggregateFn::kCountDistinct: return "count_distinct";
+  }
+  return "?";
+}
+
+StatusOr<AggregateFn> AggregateFnFromString(std::string_view name) {
+  std::string lower = ToLower(name);
+  for (auto fn :
+       {AggregateFn::kCount, AggregateFn::kSum, AggregateFn::kMean,
+        AggregateFn::kMin, AggregateFn::kMax, AggregateFn::kVariance,
+        AggregateFn::kStddev, AggregateFn::kP50, AggregateFn::kP90,
+        AggregateFn::kP99, AggregateFn::kCountDistinct}) {
+    if (lower == AggregateFnToString(fn)) return fn;
+  }
+  return Status::InvalidArgument("unknown aggregate function '" +
+                                 std::string(name) + "'");
+}
+
+FeatureType AggregateOutputType(AggregateFn fn) {
+  switch (fn) {
+    case AggregateFn::kCount:
+    case AggregateFn::kCountDistinct:
+      return FeatureType::kInt64;
+    default:
+      return FeatureType::kDouble;
+  }
+}
+
+namespace {
+
+class CountState final : public AggregatorState {
+ public:
+  void Add(const Value& v) override {
+    if (v.is_null()) {
+      ++skipped_;
+      return;
+    }
+    ++count_;
+  }
+  Value Result() const override {
+    return Value::Int64(static_cast<int64_t>(count_));
+  }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+class CountDistinctState final : public AggregatorState {
+ public:
+  void Add(const Value& v) override {
+    if (v.is_null()) {
+      ++skipped_;
+      return;
+    }
+    seen_.insert(HashValue(v));
+  }
+  Value Result() const override {
+    return Value::Int64(static_cast<int64_t>(seen_.size()));
+  }
+
+ private:
+  std::unordered_set<uint64_t> seen_;
+};
+
+// Welford accumulator shared by sum/mean/min/max/variance/stddev.
+class MomentsState final : public AggregatorState {
+ public:
+  explicit MomentsState(AggregateFn fn) : fn_(fn) {}
+
+  void Add(const Value& v) override {
+    auto d = v.AsDouble();
+    if (!d.ok()) {
+      ++skipped_;
+      return;
+    }
+    double x = *d;
+    ++n_;
+    sum_ += x;
+    min_ = (n_ == 1) ? x : std::min(min_, x);
+    max_ = (n_ == 1) ? x : std::max(max_, x);
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  Value Result() const override {
+    if (n_ == 0) return Value::Null();
+    switch (fn_) {
+      case AggregateFn::kSum: return Value::Double(sum_);
+      case AggregateFn::kMean: return Value::Double(mean_);
+      case AggregateFn::kMin: return Value::Double(min_);
+      case AggregateFn::kMax: return Value::Double(max_);
+      case AggregateFn::kVariance:
+        return Value::Double(m2_ / static_cast<double>(n_));
+      case AggregateFn::kStddev:
+        return Value::Double(std::sqrt(m2_ / static_cast<double>(n_)));
+      default:
+        break;
+    }
+    return Value::Null();
+  }
+
+ private:
+  AggregateFn fn_;
+  uint64_t n_ = 0;
+  double sum_ = 0, mean_ = 0, m2_ = 0, min_ = 0, max_ = 0;
+};
+
+// P² single-pass quantile estimator (Jain & Chlamtac, 1985). Maintains
+// five markers; O(1) memory and update. Exact for the first five samples.
+class P2QuantileState final : public AggregatorState {
+ public:
+  explicit P2QuantileState(double q) : q_(q) {}
+
+  void Add(const Value& v) override {
+    auto d = v.AsDouble();
+    if (!d.ok()) {
+      ++skipped_;
+      return;
+    }
+    AddSample(*d);
+  }
+
+  Value Result() const override {
+    if (count_ == 0) return Value::Null();
+    if (count_ <= 5) {
+      std::vector<double> sorted(heights_.begin(),
+                                 heights_.begin() + count_);
+      std::sort(sorted.begin(), sorted.end());
+      // Nearest-rank quantile: smallest value with cum. freq >= q.
+      size_t rank = static_cast<size_t>(
+          std::ceil(q_ * static_cast<double>(count_)));
+      size_t idx = std::clamp<size_t>(rank, 1, count_) - 1;
+      return Value::Double(sorted[idx]);
+    }
+    return Value::Double(heights_[2]);
+  }
+
+ private:
+  void AddSample(double x) {
+    if (count_ < 5) {
+      heights_[count_++] = x;
+      if (count_ == 5) {
+        std::sort(heights_.begin(), heights_.end());
+        for (int i = 0; i < 5; ++i) positions_[i] = i + 1;
+        desired_[0] = 1;
+        desired_[1] = 1 + 2 * q_;
+        desired_[2] = 1 + 4 * q_;
+        desired_[3] = 3 + 2 * q_;
+        desired_[4] = 5;
+        increments_[0] = 0;
+        increments_[1] = q_ / 2;
+        increments_[2] = q_;
+        increments_[3] = (1 + q_) / 2;
+        increments_[4] = 1;
+      }
+      return;
+    }
+    ++count_;
+    int k;
+    if (x < heights_[0]) {
+      heights_[0] = x;
+      k = 0;
+    } else if (x >= heights_[4]) {
+      heights_[4] = x;
+      k = 3;
+    } else {
+      k = 0;
+      while (k < 3 && x >= heights_[k + 1]) ++k;
+    }
+    for (int i = k + 1; i < 5; ++i) positions_[i] += 1;
+    for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+    // Adjust the three middle markers.
+    for (int i = 1; i <= 3; ++i) {
+      double d = desired_[i] - positions_[i];
+      if ((d >= 1 && positions_[i + 1] - positions_[i] > 1) ||
+          (d <= -1 && positions_[i - 1] - positions_[i] < -1)) {
+        int sign = d >= 0 ? 1 : -1;
+        double candidate = Parabolic(i, sign);
+        if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+          heights_[i] = candidate;
+        } else {
+          heights_[i] = Linear(i, sign);
+        }
+        positions_[i] += sign;
+      }
+    }
+  }
+
+  double Parabolic(int i, int d) const {
+    double qi = heights_[i];
+    double np = positions_[i + 1] - positions_[i];
+    double nm = positions_[i] - positions_[i - 1];
+    double nd = positions_[i + 1] - positions_[i - 1];
+    return qi + d / nd *
+                    ((nm + d) * (heights_[i + 1] - qi) / np +
+                     (np - d) * (qi - heights_[i - 1]) / nm);
+  }
+
+  double Linear(int i, int d) const {
+    return heights_[i] + d * (heights_[i + d] - heights_[i]) /
+                             (positions_[i + d] - positions_[i]);
+  }
+
+  double q_;
+  size_t count_ = 0;
+  std::array<double, 5> heights_{};
+  std::array<double, 5> positions_{};
+  std::array<double, 5> desired_{};
+  std::array<double, 5> increments_{};
+};
+
+}  // namespace
+
+std::unique_ptr<AggregatorState> MakeAggregator(AggregateFn fn) {
+  switch (fn) {
+    case AggregateFn::kCount:
+      return std::make_unique<CountState>();
+    case AggregateFn::kCountDistinct:
+      return std::make_unique<CountDistinctState>();
+    case AggregateFn::kP50:
+      return std::make_unique<P2QuantileState>(0.50);
+    case AggregateFn::kP90:
+      return std::make_unique<P2QuantileState>(0.90);
+    case AggregateFn::kP99:
+      return std::make_unique<P2QuantileState>(0.99);
+    default:
+      return std::make_unique<MomentsState>(fn);
+  }
+}
+
+}  // namespace mlfs

@@ -1,0 +1,60 @@
+#ifndef MLFS_STREAMING_AGGREGATOR_H_
+#define MLFS_STREAMING_AGGREGATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace mlfs {
+
+/// Aggregate functions available for streaming feature definitions
+/// (paper §2.2.1: "users provide aggregation functions that are applied on
+/// the raw streaming features").
+enum class AggregateFn : uint8_t {
+  kCount,
+  kSum,
+  kMean,
+  kMin,
+  kMax,
+  kVariance,   // Population variance (Welford).
+  kStddev,
+  kP50,        // Streaming quantiles via the P² estimator.
+  kP90,
+  kP99,
+  kCountDistinct,
+};
+
+std::string_view AggregateFnToString(AggregateFn fn);
+StatusOr<AggregateFn> AggregateFnFromString(std::string_view name);
+
+/// Output type of `fn`: INT64 for counts, DOUBLE otherwise.
+FeatureType AggregateOutputType(AggregateFn fn);
+
+/// Incremental, single-pass aggregation state. Add() accepts any value for
+/// kCount/kCountDistinct; numeric values otherwise (non-numeric or NULL
+/// inputs are skipped and counted in skipped()).
+class AggregatorState {
+ public:
+  virtual ~AggregatorState() = default;
+
+  /// Folds one value into the state.
+  virtual void Add(const Value& v) = 0;
+
+  /// Current aggregate; NULL when no valid input has been seen (except
+  /// counts, which yield 0).
+  virtual Value Result() const = 0;
+
+  uint64_t skipped() const { return skipped_; }
+
+ protected:
+  uint64_t skipped_ = 0;
+};
+
+/// Creates fresh state for `fn`.
+std::unique_ptr<AggregatorState> MakeAggregator(AggregateFn fn);
+
+}  // namespace mlfs
+
+#endif  // MLFS_STREAMING_AGGREGATOR_H_

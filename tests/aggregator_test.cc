@@ -1,0 +1,147 @@
+#include "streaming/aggregator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mlfs {
+namespace {
+
+Value AggregateAll(AggregateFn fn, const std::vector<double>& xs) {
+  auto state = MakeAggregator(fn);
+  for (double x : xs) state->Add(Value::Double(x));
+  return state->Result();
+}
+
+TEST(AggregatorTest, EmptyStates) {
+  EXPECT_EQ(MakeAggregator(AggregateFn::kCount)->Result(), Value::Int64(0));
+  EXPECT_EQ(MakeAggregator(AggregateFn::kCountDistinct)->Result(),
+            Value::Int64(0));
+  for (auto fn : {AggregateFn::kSum, AggregateFn::kMean, AggregateFn::kMin,
+                  AggregateFn::kMax, AggregateFn::kVariance,
+                  AggregateFn::kStddev, AggregateFn::kP50, AggregateFn::kP99}) {
+    EXPECT_TRUE(MakeAggregator(fn)->Result().is_null())
+        << AggregateFnToString(fn);
+  }
+}
+
+TEST(AggregatorTest, BasicMoments) {
+  std::vector<double> xs = {4, 1, 3, 2, 5};
+  EXPECT_EQ(AggregateAll(AggregateFn::kSum, xs), Value::Double(15));
+  EXPECT_EQ(AggregateAll(AggregateFn::kMean, xs), Value::Double(3));
+  EXPECT_EQ(AggregateAll(AggregateFn::kMin, xs), Value::Double(1));
+  EXPECT_EQ(AggregateAll(AggregateFn::kMax, xs), Value::Double(5));
+  EXPECT_DOUBLE_EQ(AggregateAll(AggregateFn::kVariance, xs).double_value(),
+                   2.0);
+  EXPECT_DOUBLE_EQ(AggregateAll(AggregateFn::kStddev, xs).double_value(),
+                   std::sqrt(2.0));
+}
+
+TEST(AggregatorTest, CountCountsNonNull) {
+  auto state = MakeAggregator(AggregateFn::kCount);
+  state->Add(Value::Int64(1));
+  state->Add(Value::String("any type counts"));
+  state->Add(Value::Null());
+  EXPECT_EQ(state->Result(), Value::Int64(2));
+  EXPECT_EQ(state->skipped(), 1u);
+}
+
+TEST(AggregatorTest, CountDistinct) {
+  auto state = MakeAggregator(AggregateFn::kCountDistinct);
+  for (int i = 0; i < 100; ++i) state->Add(Value::Int64(i % 7));
+  state->Add(Value::String("x"));
+  state->Add(Value::Null());
+  EXPECT_EQ(state->Result(), Value::Int64(8));
+}
+
+TEST(AggregatorTest, NullAndNonNumericSkipped) {
+  auto state = MakeAggregator(AggregateFn::kMean);
+  state->Add(Value::Double(10));
+  state->Add(Value::Null());
+  state->Add(Value::String("oops"));
+  state->Add(Value::Double(20));
+  EXPECT_EQ(state->Result(), Value::Double(15));
+  EXPECT_EQ(state->skipped(), 2u);
+}
+
+TEST(AggregatorTest, MixedNumericTypesCoerce) {
+  auto state = MakeAggregator(AggregateFn::kSum);
+  state->Add(Value::Int64(3));
+  state->Add(Value::Double(1.5));
+  state->Add(Value::Bool(true));
+  EXPECT_EQ(state->Result(), Value::Double(5.5));
+}
+
+TEST(AggregatorTest, WelfordMatchesTwoPassVariance) {
+  Rng rng(31);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.Gaussian(10, 3));
+  double mean = 0;
+  for (double x : xs) mean += x;
+  mean /= xs.size();
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= xs.size();
+  EXPECT_NEAR(AggregateAll(AggregateFn::kVariance, xs).double_value(), var,
+              1e-9 * var);
+}
+
+TEST(AggregatorTest, P2QuantileExactForFewSamples) {
+  EXPECT_EQ(AggregateAll(AggregateFn::kP50, {5}), Value::Double(5));
+  EXPECT_EQ(AggregateAll(AggregateFn::kP50, {1, 2, 3}), Value::Double(2));
+  EXPECT_EQ(AggregateAll(AggregateFn::kP99, {1, 2, 3, 4}), Value::Double(4));
+}
+
+class P2AccuracyTest
+    : public ::testing::TestWithParam<std::tuple<AggregateFn, double>> {};
+
+TEST_P(P2AccuracyTest, ApproximatesTrueQuantileOnGaussian) {
+  auto [fn, q] = GetParam();
+  Rng rng(101);
+  std::vector<double> xs;
+  auto state = MakeAggregator(fn);
+  for (int i = 0; i < 20000; ++i) {
+    double x = rng.Gaussian(100, 15);
+    xs.push_back(x);
+    state->Add(Value::Double(x));
+  }
+  std::sort(xs.begin(), xs.end());
+  double truth = xs[static_cast<size_t>(q * (xs.size() - 1))];
+  double est = state->Result().double_value();
+  // P2 is approximate: allow 2% relative error on a smooth distribution.
+  EXPECT_NEAR(est, truth, std::abs(truth) * 0.02)
+      << AggregateFnToString(fn);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Quantiles, P2AccuracyTest,
+    ::testing::Values(std::make_tuple(AggregateFn::kP50, 0.50),
+                      std::make_tuple(AggregateFn::kP90, 0.90),
+                      std::make_tuple(AggregateFn::kP99, 0.99)));
+
+TEST(AggregatorTest, NameRoundTrip) {
+  for (auto fn : {AggregateFn::kCount, AggregateFn::kSum, AggregateFn::kMean,
+                  AggregateFn::kMin, AggregateFn::kMax, AggregateFn::kVariance,
+                  AggregateFn::kStddev, AggregateFn::kP50, AggregateFn::kP90,
+                  AggregateFn::kP99, AggregateFn::kCountDistinct}) {
+    auto parsed = AggregateFnFromString(AggregateFnToString(fn));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, fn);
+  }
+  EXPECT_FALSE(AggregateFnFromString("nope").ok());
+  EXPECT_EQ(AggregateFnFromString("SUM").value(), AggregateFn::kSum);
+}
+
+TEST(AggregatorTest, OutputTypes) {
+  EXPECT_EQ(AggregateOutputType(AggregateFn::kCount), FeatureType::kInt64);
+  EXPECT_EQ(AggregateOutputType(AggregateFn::kCountDistinct),
+            FeatureType::kInt64);
+  EXPECT_EQ(AggregateOutputType(AggregateFn::kMean), FeatureType::kDouble);
+}
+
+}  // namespace
+}  // namespace mlfs

@@ -1,0 +1,200 @@
+#include "embedding/align.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "embedding/quality.h"
+#include "ml/matrix.h"
+#include "ml/metrics.h"
+
+namespace mlfs {
+namespace {
+
+TEST(SvdTest, ReconstructsMatrix) {
+  Rng rng(1);
+  Matrix m(10, 4);
+  for (size_t i = 0; i < 10; ++i) {
+    for (size_t j = 0; j < 4; ++j) m.at(i, j) = rng.Gaussian();
+  }
+  auto svd = ThinSvd(m).value();
+  ASSERT_EQ(svd.singular_values.size(), 4u);
+  // Descending, non-negative.
+  for (size_t k = 1; k < 4; ++k) {
+    EXPECT_LE(svd.singular_values[k], svd.singular_values[k - 1]);
+    EXPECT_GE(svd.singular_values[k], 0.0);
+  }
+  // m == U S V^T.
+  Matrix s(4, 4);
+  for (size_t k = 0; k < 4; ++k) s.at(k, k) = svd.singular_values[k];
+  Matrix rebuilt = svd.u.Multiply(s).Multiply(svd.v.Transpose());
+  EXPECT_LT(rebuilt.MaxAbsDiff(m), 1e-8);
+  // U, V orthonormal.
+  EXPECT_LT(svd.u.Transpose().Multiply(svd.u)
+                .MaxAbsDiff(Matrix::Identity(4)), 1e-8);
+  EXPECT_LT(svd.v.Transpose().Multiply(svd.v)
+                .MaxAbsDiff(Matrix::Identity(4)), 1e-8);
+}
+
+TEST(SvdTest, Validation) {
+  EXPECT_FALSE(ThinSvd(Matrix(2, 4)).ok());  // n < d.
+  EXPECT_FALSE(ThinSvd(Matrix(0, 0)).ok());
+}
+
+TEST(ProcrustesTest, RecoversKnownRotation) {
+  Rng rng(2);
+  const size_t n = 50, d = 6;
+  Matrix x(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) x.at(i, j) = rng.Gaussian();
+  }
+  // Build a random orthogonal R via QR of a Gaussian matrix.
+  Matrix g(d, d);
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < d; ++j) g.at(i, j) = rng.Gaussian();
+  }
+  Matrix r_true = OrthonormalizeColumns(g);
+  ASSERT_EQ(r_true.cols(), d);
+  Matrix y = x.Multiply(r_true);
+
+  Matrix r_est = OrthogonalProcrustes(x, y).value();
+  EXPECT_LT(r_est.MaxAbsDiff(r_true), 1e-8);
+  // Orthogonality of the estimate.
+  EXPECT_LT(r_est.Transpose().Multiply(r_est)
+                .MaxAbsDiff(Matrix::Identity(d)), 1e-9);
+}
+
+TEST(ProcrustesTest, Validation) {
+  EXPECT_FALSE(OrthogonalProcrustes(Matrix(3, 2), Matrix(3, 3)).ok());
+  EXPECT_FALSE(OrthogonalProcrustes(Matrix(2, 3), Matrix(2, 3)).ok());
+  // Rank-deficient: all-zero matrices.
+  EXPECT_FALSE(OrthogonalProcrustes(Matrix(4, 2), Matrix(4, 2)).ok());
+}
+
+EmbeddingTablePtr RandomTable(size_t n, size_t dim, uint64_t seed,
+                              int version = 1) {
+  Rng rng(seed);
+  std::vector<std::string> keys;
+  std::vector<float> data;
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back("e" + std::to_string(i));
+    for (size_t j = 0; j < dim; ++j) {
+      data.push_back(static_cast<float>(rng.Gaussian()));
+    }
+  }
+  EmbeddingTableMetadata metadata;
+  metadata.name = "emb";
+  metadata.version = version;
+  return EmbeddingTable::Create(metadata, keys, data, dim).value();
+}
+
+TEST(AlignTest, UndoesPureRotation) {
+  auto base = RandomTable(100, 6, 3);
+  // Rotate all vectors by a fixed orthogonal transform (dim reversal +
+  // sign flips): a pure coordinate change.
+  std::vector<float> rotated = base->raw();
+  const size_t d = base->dim();
+  for (size_t i = 0; i < base->size(); ++i) {
+    float* row = rotated.data() + i * d;
+    std::reverse(row, row + d);
+    for (size_t j = 0; j < d; j += 2) row[j] = -row[j];
+  }
+  EmbeddingTableMetadata metadata;
+  metadata.name = "emb";
+  metadata.version = 2;
+  auto moved = base->WithVectors(metadata, rotated, d).value();
+
+  auto result = AlignToReference(*moved, *base).value();
+  EXPECT_GT(result.anchor_cosine, 0.9999);
+  EXPECT_EQ(result.anchors_used, 100u);
+  EXPECT_EQ(result.aligned->metadata().parent, "emb@v2");
+  // Vectors essentially restored.
+  for (size_t i = 0; i < base->size(); ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      EXPECT_NEAR(result.aligned->row(i)[j], base->row(i)[j], 1e-4);
+    }
+  }
+}
+
+TEST(AlignTest, IndependentSpacesAlignPoorly) {
+  auto a = RandomTable(100, 6, 4);
+  auto b = RandomTable(100, 6, 5);  // Unrelated geometry.
+  auto result = AlignToReference(*b, *a).value();
+  // A rotation cannot reconcile unrelated random clouds.
+  EXPECT_LT(result.anchor_cosine, 0.5);
+}
+
+TEST(AlignTest, Validation) {
+  auto a = RandomTable(10, 4, 6);
+  auto b = RandomTable(10, 8, 7);
+  EXPECT_FALSE(AlignToReference(*a, *b).ok());  // Dim mismatch.
+  auto tiny = RandomTable(2, 4, 8);
+  EXPECT_FALSE(AlignToReference(*tiny, *tiny).ok());  // Too few anchors.
+  // Explicit anchors must exist in both tables.
+  EXPECT_FALSE(AlignToReference(*a, *a, {"e0", "e1", "e2", "missing"}).ok());
+}
+
+TEST(AlignTest, RescuesStaleDownstreamModel) {
+  // The E11 mechanism as a unit test: clustered geometry, two "versions"
+  // related by rotation + noise; a model trained on v1 collapses on raw v2
+  // but survives on aligned v2.
+  Rng rng(9);
+  const size_t n = 600, d = 8;
+  const int classes = 3;
+  std::vector<std::vector<float>> centers(classes, std::vector<float>(d));
+  for (auto& center : centers) {
+    for (auto& x : center) x = static_cast<float>(rng.Gaussian(0, 3));
+  }
+  std::vector<std::string> keys;
+  std::vector<float> v1_data;
+  DownstreamTask task;
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back("e" + std::to_string(i));
+    int label = static_cast<int>(i % classes);
+    for (size_t j = 0; j < d; ++j) {
+      v1_data.push_back(centers[label][j] +
+                        static_cast<float>(rng.Gaussian(0, 0.4)));
+    }
+    task.keys.push_back(keys.back());
+    task.labels.push_back(label);
+  }
+  EmbeddingTableMetadata metadata;
+  metadata.name = "emb";
+  metadata.version = 1;
+  auto v1 = EmbeddingTable::Create(metadata, keys, v1_data, d).value();
+
+  // v2: rotated + small noise (a benign retrain).
+  std::vector<float> v2_data = v1->raw();
+  for (size_t i = 0; i < n; ++i) {
+    float* row = v2_data.data() + i * d;
+    std::reverse(row, row + d);
+    for (size_t j = 0; j < d; j += 2) row[j] = -row[j];
+    for (size_t j = 0; j < d; ++j) {
+      row[j] += static_cast<float>(rng.Gaussian(0, 0.05));
+    }
+  }
+  metadata.version = 2;
+  auto v2 = v1->WithVectors(metadata, v2_data, d).value();
+
+  SoftmaxClassifier model;
+  Dataset data_v1 = MaterializeTask(task, *v1).value();
+  ASSERT_TRUE(model.Fit(data_v1).ok());
+  auto accuracy_on = [&](const EmbeddingTable& table) {
+    Dataset data = MaterializeTask(task, table).value();
+    auto preds = model.PredictBatch(data).value();
+    return Accuracy(data.labels, preds).value();
+  };
+  double acc_v1 = accuracy_on(*v1);
+  double acc_v2_raw = accuracy_on(*v2);
+  auto aligned = AlignToReference(*v2, *v1).value();
+  double acc_v2_aligned = accuracy_on(*aligned.aligned);
+
+  EXPECT_GT(acc_v1, 0.95);
+  EXPECT_LT(acc_v2_raw, 0.7);              // Stale model collapses.
+  EXPECT_GT(acc_v2_aligned, 0.95);         // Alignment rescues it.
+  EXPECT_GT(aligned.anchor_cosine, 0.98);
+}
+
+}  // namespace
+}  // namespace mlfs

@@ -1,0 +1,66 @@
+// Metric-parameterized consistency: HNSW must agree with the exact scan
+// under every supported metric, not just L2.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "embedding/ann.h"
+
+namespace mlfs {
+namespace {
+
+class MetricSweepTest : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(MetricSweepTest, HnswMatchesBruteForceTop1) {
+  const Metric metric = GetParam();
+  const size_t n = 800, dim = 12;
+  Rng rng(21);
+  std::vector<float> data(n * dim);
+  for (auto& x : data) x = static_cast<float>(rng.Gaussian());
+
+  auto exact = MakeBruteForceIndex(metric);
+  ASSERT_TRUE(exact->Build(data.data(), n, dim).ok());
+  HnswOptions options;
+  options.metric = metric;
+  options.ef_search = 128;
+  options.ef_construction = 160;
+  auto hnsw = MakeHnswIndex(options);
+  ASSERT_TRUE(hnsw->Build(data.data(), n, dim).ok());
+  EXPECT_EQ(hnsw->metric(), metric);
+
+  int top1_matches = 0;
+  double recall10 = 0.0;
+  const int queries = 40;
+  for (int q = 0; q < queries; ++q) {
+    std::vector<float> query(dim);
+    for (auto& x : query) x = static_cast<float>(rng.Gaussian());
+    auto truth = exact->Search(query.data(), 10).value();
+    auto approx = hnsw->Search(query.data(), 10).value();
+    top1_matches += !approx.empty() && approx[0].id == truth[0].id;
+    recall10 += RecallAtK(approx, truth, 10);
+  }
+  EXPECT_GE(top1_matches, 34) << MetricToString(metric);
+  EXPECT_GT(recall10 / queries, 0.8) << MetricToString(metric);
+}
+
+TEST_P(MetricSweepTest, DistanceOrderingSemantics) {
+  const Metric metric = GetParam();
+  const size_t dim = 4;
+  float a[dim] = {1, 0, 0, 0};
+  float near_a[dim] = {0.9f, 0.1f, 0, 0};
+  float far[dim] = {-1, 0, 0, 0};
+  // In every metric, near_a must be closer to a than far is.
+  EXPECT_LT(Distance(metric, a, near_a, dim), Distance(metric, a, far, dim))
+      << MetricToString(metric);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, MetricSweepTest,
+                         ::testing::Values(Metric::kL2,
+                                           Metric::kInnerProduct,
+                                           Metric::kCosine),
+                         [](const auto& info) {
+                           return std::string(MetricToString(info.param));
+                         });
+
+}  // namespace
+}  // namespace mlfs

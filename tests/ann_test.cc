@@ -1,0 +1,186 @@
+#include "embedding/ann.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "embedding/kmeans.h"
+
+namespace mlfs {
+namespace {
+
+std::vector<float> RandomVectors(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> out(n * dim);
+  for (auto& x : out) x = static_cast<float>(rng.Gaussian());
+  return out;
+}
+
+TEST(KMeansTest, SeparatesObviousClusters) {
+  // Two tight clusters around (0,0) and (10,10).
+  Rng rng(1);
+  std::vector<float> data;
+  for (int i = 0; i < 100; ++i) {
+    float base = (i % 2 == 0) ? 0.0f : 10.0f;
+    data.push_back(base + static_cast<float>(rng.Gaussian(0, 0.2)));
+    data.push_back(base + static_cast<float>(rng.Gaussian(0, 0.2)));
+  }
+  auto km = KMeans(data.data(), 100, 2, 2).value();
+  EXPECT_EQ(km.k, 2u);
+  // All even points share a cluster; all odd points share the other.
+  for (int i = 2; i < 100; i += 2) {
+    EXPECT_EQ(km.assignment[i], km.assignment[0]);
+  }
+  for (int i = 3; i < 100; i += 2) {
+    EXPECT_EQ(km.assignment[i], km.assignment[1]);
+  }
+  EXPECT_NE(km.assignment[0], km.assignment[1]);
+  EXPECT_LT(km.inertia, 20.0);
+}
+
+TEST(KMeansTest, ClampsKAndValidates) {
+  std::vector<float> data = {0, 1, 2, 3};
+  auto km = KMeans(data.data(), 4, 1, 10).value();
+  EXPECT_EQ(km.k, 4u);
+  EXPECT_FALSE(KMeans(nullptr, 4, 1, 2).ok());
+  EXPECT_FALSE(KMeans(data.data(), 0, 1, 2).ok());
+  EXPECT_FALSE(KMeans(data.data(), 4, 1, 0).ok());
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  auto data = RandomVectors(500, 4, 2);
+  double last = 1e300;
+  for (size_t k : {1, 4, 16, 64}) {
+    auto km = KMeans(data.data(), 500, 4, k).value();
+    EXPECT_LT(km.inertia, last + 1e-9) << k;
+    last = km.inertia;
+  }
+}
+
+TEST(BruteForceTest, ExactNearest) {
+  std::vector<float> data = {0, 0, 1, 0, 5, 5, 0.5f, 0};
+  auto index = MakeBruteForceIndex();
+  ASSERT_TRUE(index->Build(data.data(), 4, 2).ok());
+  float query[2] = {0.4f, 0};
+  auto result = index->Search(query, 2).value();
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].id, 3u);  // (0.5, 0) closest.
+  EXPECT_EQ(result[1].id, 0u);
+  EXPECT_LE(result[0].distance, result[1].distance);
+}
+
+TEST(BruteForceTest, MetricsBehave) {
+  std::vector<float> data = {1, 0, 0, 1, 10, 0};
+  auto ip = MakeBruteForceIndex(Metric::kInnerProduct);
+  ASSERT_TRUE(ip->Build(data.data(), 3, 2).ok());
+  float query[2] = {1, 0};
+  // Inner product favors the large vector.
+  EXPECT_EQ(ip->Search(query, 1).value()[0].id, 2u);
+  // Cosine ignores magnitude: (1,0) and (10,0) tie; nearest is one of them.
+  auto cosine = MakeBruteForceIndex(Metric::kCosine);
+  ASSERT_TRUE(cosine->Build(data.data(), 3, 2).ok());
+  auto top = cosine->Search(query, 2).value();
+  EXPECT_TRUE((top[0].id == 0 && top[1].id == 2) ||
+              (top[0].id == 2 && top[1].id == 0));
+}
+
+TEST(BruteForceTest, Validation) {
+  auto index = MakeBruteForceIndex();
+  float query[2] = {0, 0};
+  EXPECT_TRUE(index->Search(query, 1).status().IsFailedPrecondition());
+  EXPECT_FALSE(index->Build(nullptr, 1, 2).ok());
+  std::vector<float> data = {0, 0};
+  ASSERT_TRUE(index->Build(data.data(), 1, 2).ok());
+  EXPECT_TRUE(index->Build(data.data(), 1, 2).IsFailedPrecondition());
+  EXPECT_FALSE(index->Search(query, 0).ok());
+  // k larger than n clamps.
+  EXPECT_EQ(index->Search(query, 10).value().size(), 1u);
+}
+
+class AnnRecallTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnnRecallTest, ApproximateIndexesReachRecallFloor) {
+  const size_t n = 2000, dim = 16, k = 10;
+  auto data = RandomVectors(n, dim, 7);
+  auto exact = MakeBruteForceIndex();
+  ASSERT_TRUE(exact->Build(data.data(), n, dim).ok());
+
+  std::unique_ptr<AnnIndex> index;
+  if (GetParam() == 0) {
+    IvfOptions options;
+    options.nlist = 32;
+    options.nprobe = 12;  // Gaussian data is unclustered; probe generously.
+    index = MakeIvfIndex(options);
+  } else {
+    HnswOptions options;
+    options.m = 16;
+    options.ef_construction = 120;
+    options.ef_search = 80;
+    index = MakeHnswIndex(options);
+  }
+  ASSERT_TRUE(index->Build(data.data(), n, dim).ok());
+
+  Rng rng(8);
+  double total_recall = 0.0;
+  const int queries = 50;
+  for (int q = 0; q < queries; ++q) {
+    std::vector<float> query(dim);
+    for (auto& x : query) x = static_cast<float>(rng.Gaussian());
+    auto truth = exact->Search(query.data(), k).value();
+    auto approx = index->Search(query.data(), k).value();
+    total_recall += RecallAtK(approx, truth, k);
+  }
+  double recall = total_recall / queries;
+  EXPECT_GT(recall, 0.85) << index->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Indexes, AnnRecallTest, ::testing::Values(0, 1));
+
+TEST(AnnTest, ResultsSortedByDistance) {
+  const size_t n = 500, dim = 8;
+  auto data = RandomVectors(n, dim, 9);
+  for (auto make : {+[] { return MakeBruteForceIndex(); },
+                    +[] { return MakeIvfIndex({16, 4, 10, 1}); },
+                    +[] { return MakeHnswIndex(); }}) {
+    auto index = make();
+    ASSERT_TRUE(index->Build(data.data(), n, dim).ok()) << index->name();
+    float query[8] = {0};
+    auto result = index->Search(query, 20).value();
+    for (size_t i = 1; i < result.size(); ++i) {
+      EXPECT_LE(result[i - 1].distance, result[i].distance) << index->name();
+    }
+  }
+}
+
+TEST(AnnTest, HnswSelfQueryFindsSelf) {
+  const size_t n = 300, dim = 8;
+  auto data = RandomVectors(n, dim, 10);
+  auto index = MakeHnswIndex();
+  ASSERT_TRUE(index->Build(data.data(), n, dim).ok());
+  int found = 0;
+  for (size_t i = 0; i < 50; ++i) {
+    auto result = index->Search(data.data() + i * dim, 1).value();
+    found += (!result.empty() && result[0].id == i);
+  }
+  EXPECT_GE(found, 48);  // Near-perfect self-retrieval.
+}
+
+TEST(AnnTest, HnswValidation) {
+  HnswOptions bad;
+  bad.m = 1;
+  auto index = MakeHnswIndex(bad);
+  std::vector<float> data = {0, 0};
+  EXPECT_FALSE(index->Build(data.data(), 1, 2).ok());
+}
+
+TEST(RecallAtKTest, Basics) {
+  std::vector<Neighbor> truth = {{0, 1}, {0, 2}, {0, 3}};
+  std::vector<Neighbor> perfect = truth;
+  std::vector<Neighbor> half = {{0, 1}, {0, 9}, {0, 3}};
+  EXPECT_DOUBLE_EQ(RecallAtK(perfect, truth, 3), 1.0);
+  EXPECT_NEAR(RecallAtK(half, truth, 3), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(RecallAtK({}, truth, 3), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(perfect, {}, 3), 0.0);
+}
+
+}  // namespace
+}  // namespace mlfs

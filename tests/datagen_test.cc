@@ -1,0 +1,201 @@
+#include "datagen/kb.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "datagen/tabular.h"
+#include "quality/drift.h"
+#include "quality/skew.h"
+
+namespace mlfs {
+namespace {
+
+TEST(SyntheticKbTest, BuildShapesAndDeterminism) {
+  SyntheticKbConfig config;
+  config.num_entities = 500;
+  config.num_types = 5;
+  config.num_edges = 2000;
+  auto kb = BuildSyntheticKb(config).value();
+  EXPECT_EQ(kb.num_entities(), 500u);
+  EXPECT_EQ(kb.vocab_size(), 500u + 5 + 6);
+  EXPECT_EQ(kb.neighbors.size(), 500u);
+  for (int type : kb.entity_type) {
+    EXPECT_GE(type, 0);
+    EXPECT_LT(type, 5);
+  }
+  size_t total_degree = 0;
+  for (const auto& adjacency : kb.neighbors) total_degree += adjacency.size();
+  EXPECT_EQ(total_degree, 2 * config.num_edges);
+
+  auto kb2 = BuildSyntheticKb(config).value();
+  EXPECT_EQ(kb.entity_type, kb2.entity_type);
+}
+
+TEST(SyntheticKbTest, HomophilyControlsIntraTypeEdges) {
+  SyntheticKbConfig config;
+  config.num_entities = 500;
+  config.homophily = 0.9;
+  auto homophilous = BuildSyntheticKb(config).value();
+  config.homophily = 0.0;
+  config.seed = 8;
+  auto random = BuildSyntheticKb(config).value();
+  auto intra_rate = [](const SyntheticKb& kb) {
+    size_t intra = 0, total = 0;
+    for (size_t e = 0; e < kb.num_entities(); ++e) {
+      for (const auto& [neighbor, kind] : kb.neighbors[e]) {
+        ++total;
+        intra += kb.entity_type[e] == kb.entity_type[neighbor];
+      }
+    }
+    return static_cast<double>(intra) / static_cast<double>(total);
+  };
+  EXPECT_GT(intra_rate(homophilous), 0.85);
+  EXPECT_LT(intra_rate(random), 0.4);
+}
+
+TEST(SyntheticKbTest, Validation) {
+  SyntheticKbConfig config;
+  config.num_entities = 1;
+  EXPECT_FALSE(BuildSyntheticKb(config).ok());
+  config = {};
+  config.homophily = 1.5;
+  EXPECT_FALSE(BuildSyntheticKb(config).ok());
+}
+
+TEST(CorpusTest, TokensInRangeAndZipfian) {
+  auto kb = BuildSyntheticKb({}).value();
+  CorpusConfig config;
+  config.num_sentences = 3000;
+  auto corpus = GenerateCorpus(kb, config).value();
+  EXPECT_EQ(corpus.size(), 3000u);
+  for (const auto& sentence : corpus) {
+    EXPECT_GE(sentence.size(), 8u);
+    for (int token : sentence) {
+      EXPECT_GE(token, 0);
+      // Without structured tokens, only entity ids appear.
+      EXPECT_LT(static_cast<size_t>(token), kb.num_entities());
+    }
+  }
+  auto mentions = CountMentions(kb, corpus);
+  // Popularity skew: head entity far more frequent than median.
+  std::vector<uint64_t> sorted = mentions;
+  std::sort(sorted.rbegin(), sorted.rend());
+  EXPECT_GT(sorted[0], 20 * std::max<uint64_t>(1, sorted[sorted.size() / 2]));
+}
+
+TEST(CorpusTest, StructuredTokensAppearWhenEnabled) {
+  auto kb = BuildSyntheticKb({}).value();
+  CorpusConfig config;
+  config.num_sentences = 200;
+  config.include_type_tokens = true;
+  config.include_relation_tokens = true;
+  auto corpus = GenerateCorpus(kb, config).value();
+  bool saw_type = false, saw_relation = false;
+  for (const auto& sentence : corpus) {
+    for (int token : sentence) {
+      size_t id = static_cast<size_t>(token);
+      if (id >= kb.num_entities() &&
+          id < kb.num_entities() + kb.config.num_types) {
+        saw_type = true;
+      }
+      if (id >= kb.num_entities() + kb.config.num_types) saw_relation = true;
+      EXPECT_LT(id, kb.vocab_size());
+    }
+  }
+  EXPECT_TRUE(saw_type);
+  EXPECT_TRUE(saw_relation);
+}
+
+TEST(CorpusTest, Validation) {
+  auto kb = BuildSyntheticKb({}).value();
+  CorpusConfig config;
+  config.num_sentences = 0;
+  EXPECT_FALSE(GenerateCorpus(kb, config).ok());
+}
+
+TEST(PopularityDecilesTest, PartitionsByMentions) {
+  std::vector<uint64_t> mentions = {100, 1, 50, 2, 80, 3, 60, 4, 70, 5};
+  auto deciles = PopularityDeciles(mentions, 5);
+  ASSERT_EQ(deciles.size(), 5u);
+  size_t total = 0;
+  for (const auto& decile : deciles) total += decile.size();
+  EXPECT_EQ(total, 10u);
+  // First decile holds the two most-mentioned entities (ids 0 and 4).
+  EXPECT_EQ(deciles[0].size(), 2u);
+  EXPECT_TRUE((deciles[0][0] == 0 && deciles[0][1] == 4) ||
+              (deciles[0][0] == 4 && deciles[0][1] == 0));
+  // Last decile holds the rarest.
+  for (size_t id : deciles[4]) EXPECT_LE(mentions[id], 2u);
+}
+
+TEST(TabularGeneratorTest, SchemaAndRanges) {
+  TabularGenConfig config;
+  config.num_entities = 100;
+  config.numeric_columns = {{"fare", 20.0, 5.0, 0, 0, 0, 0.1}};
+  config.categorical_columns = {{"city", {"sf", "nyc"}, {3, 1}, 0.0}};
+  auto generator = TabularGenerator::Create(config).value();
+  EXPECT_EQ(generator.schema()->num_fields(), 4u);
+  auto rows = generator.Generate(5000, 0, Days(1));
+  EXPECT_EQ(rows.size(), 5000u);
+  size_t nulls = 0, sf = 0, named = 0;
+  for (const Row& row : rows) {
+    Timestamp t = row.ValueByName("event_time").value().time_value();
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, Days(1));
+    const Value& fare = row.ValueByName("fare").value();
+    nulls += fare.is_null();
+    const Value& city = row.ValueByName("city").value();
+    if (!city.is_null()) {
+      ++named;
+      sf += city.string_value() == "sf";
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(nulls) / rows.size(), 0.1, 0.02);
+  EXPECT_NEAR(static_cast<double>(sf) / named, 0.75, 0.03);
+}
+
+TEST(TabularGeneratorTest, DriftAndShiftInjection) {
+  TabularGenConfig config;
+  config.numeric_columns = {
+      {"drifting", 0.0, 1.0, /*drift_per_day=*/1.0, 0, 0, 0},
+      {"stepping", 0.0, 1.0, 0.0, /*shift_at=*/Days(5),
+       /*shift_delta=*/3.0, 0}};
+  auto generator = TabularGenerator::Create(config).value();
+  auto early = generator.Generate(3000, 0, Days(1));
+  auto late = generator.Generate(3000, Days(9), Days(10));
+
+  auto mean_of = [](const std::vector<Row>& rows, const char* col) {
+    double sum = 0;
+    for (const Row& row : rows) {
+      sum += row.ValueByName(col).value().double_value();
+    }
+    return sum / static_cast<double>(rows.size());
+  };
+  // Linear drift: ~+9 mean after 9 days.
+  EXPECT_NEAR(mean_of(late, "drifting") - mean_of(early, "drifting"), 9.0,
+              0.5);
+  // Step: +3 after day 5.
+  EXPECT_NEAR(mean_of(late, "stepping") - mean_of(early, "stepping"), 3.0,
+              0.2);
+  // And the drift detector sees it.
+  auto skew = ComputeSkew(early, late, "stepping").value();
+  EXPECT_TRUE(skew.skewed);
+}
+
+TEST(TabularGeneratorTest, Validation) {
+  TabularGenConfig config;
+  config.num_entities = 0;
+  EXPECT_FALSE(TabularGenerator::Create(config).ok());
+  config = {};
+  config.numeric_columns = {{"", 0, 1, 0, 0, 0, 0}};
+  EXPECT_FALSE(TabularGenerator::Create(config).ok());
+  config = {};
+  config.categorical_columns = {{"c", {}, {}, 0}};
+  EXPECT_FALSE(TabularGenerator::Create(config).ok());
+  config.categorical_columns = {{"c", {"a"}, {1, 2}, 0}};
+  EXPECT_FALSE(TabularGenerator::Create(config).ok());
+}
+
+}  // namespace
+}  // namespace mlfs

@@ -1,0 +1,158 @@
+#include "quality/drift.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mlfs {
+namespace {
+
+std::vector<double> GaussianSample(Rng* rng, size_t n, double mean,
+                                   double sd) {
+  std::vector<double> out(n);
+  for (auto& x : out) x = rng->Gaussian(mean, sd);
+  return out;
+}
+
+TEST(KsTest, IdenticalSamplesHaveZeroStatistic) {
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(KsStatistic(a, a).value(), 0.0);
+}
+
+TEST(KsTest, DisjointSamplesHaveStatisticOne) {
+  EXPECT_DOUBLE_EQ(KsStatistic({1, 2, 3}, {10, 11, 12}).value(), 1.0);
+}
+
+TEST(KsTest, KnownSmallCase) {
+  // F_a jumps at 1,3; F_b jumps at 2,4. Max gap = 0.5.
+  EXPECT_DOUBLE_EQ(KsStatistic({1, 3}, {2, 4}).value(), 0.5);
+}
+
+TEST(KsTest, RejectsEmpty) {
+  EXPECT_FALSE(KsStatistic({}, {1.0}).ok());
+  EXPECT_FALSE(KsStatistic({1.0}, {}).ok());
+}
+
+TEST(PsiTest, IdenticalDistributionsNearZero) {
+  std::vector<double> counts = {10, 20, 30, 20, 10};
+  EXPECT_NEAR(PopulationStabilityIndex(counts, counts).value(), 0.0, 1e-12);
+}
+
+TEST(PsiTest, ShiftedDistributionLarge) {
+  std::vector<double> a = {50, 30, 15, 4, 1};
+  std::vector<double> b = {1, 4, 15, 30, 50};
+  EXPECT_GT(PopulationStabilityIndex(a, b).value(), 1.0);
+}
+
+TEST(PsiTest, HandlesEmptyBinsViaSmoothing) {
+  std::vector<double> a = {100, 0, 0};
+  std::vector<double> b = {0, 0, 100};
+  auto psi = PopulationStabilityIndex(a, b);
+  ASSERT_TRUE(psi.ok());
+  EXPECT_TRUE(std::isfinite(*psi));
+  EXPECT_GT(*psi, 1.0);
+}
+
+TEST(PsiTest, Validation) {
+  EXPECT_FALSE(PopulationStabilityIndex({1, 2}, {1}).ok());
+  EXPECT_FALSE(PopulationStabilityIndex({}, {}).ok());
+  EXPECT_FALSE(PopulationStabilityIndex({-1, 2}, {1, 2}).ok());
+  EXPECT_FALSE(PopulationStabilityIndex({0, 0}, {1, 2}).ok());
+}
+
+TEST(JsTest, BoundsAndSymmetry) {
+  std::vector<double> p = {0.5, 0.5, 0.0};
+  std::vector<double> q = {0.0, 0.5, 0.5};
+  double js_pq = JensenShannonDivergence(p, q).value();
+  double js_qp = JensenShannonDivergence(q, p).value();
+  EXPECT_DOUBLE_EQ(js_pq, js_qp);
+  EXPECT_GT(js_pq, 0.0);
+  EXPECT_LE(js_pq, 1.0);
+  EXPECT_NEAR(JensenShannonDivergence(p, p).value(), 0.0, 1e-12);
+  // Disjoint supports: JS = 1 bit.
+  EXPECT_NEAR(
+      JensenShannonDivergence({1, 0}, {0, 1}).value(), 1.0, 1e-12);
+}
+
+TEST(ChiSquareTest, IdenticalIsZero) {
+  std::vector<double> counts = {30, 40, 30};
+  EXPECT_NEAR(ChiSquareStatistic(counts, counts).value(), 0.0, 1e-12);
+}
+
+TEST(ChiSquareTest, ScalesExpectedToActualTotal) {
+  // Expected proportions 50/50 scaled to 200 actual: chi2 = 2*(50²/100)=50.
+  EXPECT_NEAR(ChiSquareStatistic({50, 50}, {150, 50}).value(), 50.0, 1e-9);
+}
+
+TEST(BinningTest, BinCountsClampToEdges) {
+  auto counts = BinCounts({-10, 0.5, 1.5, 2.5, 99}, 0, 3, 3);
+  EXPECT_EQ(counts, (std::vector<double>{2, 1, 2}));
+}
+
+TEST(BinningTest, QuantileEdgesMonotone) {
+  Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.Gaussian());
+  auto edges = QuantileBinEdges(xs, 10).value();
+  ASSERT_EQ(edges.size(), 11u);
+  for (size_t i = 1; i < edges.size(); ++i) EXPECT_LE(edges[i - 1], edges[i]);
+  // Roughly equal mass per bin.
+  auto counts = BinByEdges(xs, edges);
+  for (double c : counts) EXPECT_NEAR(c, 100.0, 35.0);
+}
+
+TEST(DriftDetectorTest, NoFalseAlarmOnSameDistribution) {
+  Rng rng(11);
+  auto detector =
+      DriftDetector::Fit(GaussianSample(&rng, 5000, 0, 1)).value();
+  int alarms = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    auto report = detector.Check(GaussianSample(&rng, 1000, 0, 1)).value();
+    alarms += report.drifted;
+  }
+  // With ks p<0.01 threshold we expect ~0-1 false alarms in 20 trials.
+  EXPECT_LE(alarms, 2);
+}
+
+TEST(DriftDetectorTest, DetectsMeanShift) {
+  Rng rng(12);
+  auto detector =
+      DriftDetector::Fit(GaussianSample(&rng, 5000, 0, 1)).value();
+  auto report = detector.Check(GaussianSample(&rng, 1000, 1.0, 1)).value();
+  EXPECT_TRUE(report.drifted) << report.ToString();
+  EXPECT_GT(report.psi, 0.25);
+  EXPECT_LT(report.ks_pvalue, 0.01);
+}
+
+TEST(DriftDetectorTest, DetectsVarianceShift) {
+  Rng rng(13);
+  auto detector =
+      DriftDetector::Fit(GaussianSample(&rng, 5000, 0, 1)).value();
+  auto report = detector.Check(GaussianSample(&rng, 1000, 0, 3)).value();
+  EXPECT_TRUE(report.drifted) << report.ToString();
+}
+
+TEST(DriftDetectorTest, SeverityMonotoneInShift) {
+  Rng rng(14);
+  auto detector =
+      DriftDetector::Fit(GaussianSample(&rng, 5000, 0, 1)).value();
+  double last_psi = -1;
+  for (double shift : {0.0, 0.5, 1.0, 2.0}) {
+    auto report =
+        detector.Check(GaussianSample(&rng, 2000, shift, 1)).value();
+    EXPECT_GT(report.psi, last_psi) << "shift=" << shift;
+    last_psi = report.psi;
+  }
+}
+
+TEST(DriftDetectorTest, Validation) {
+  EXPECT_FALSE(DriftDetector::Fit({1, 2, 3}).ok());  // Too few.
+  std::vector<double> ref(100, 0.0);
+  for (size_t i = 0; i < ref.size(); ++i) ref[i] = static_cast<double>(i);
+  EXPECT_FALSE(DriftDetector::Fit(ref, 1).ok());  // Too few bins.
+  auto detector = DriftDetector::Fit(ref).value();
+  EXPECT_FALSE(detector.Check({}).ok());
+}
+
+}  // namespace
+}  // namespace mlfs

@@ -1,0 +1,134 @@
+#include "embedding/embedding_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "embedding/compress.h"
+#include "embedding/embedding_store.h"
+
+namespace mlfs {
+namespace {
+
+EmbeddingTablePtr SmallTable(const std::string& name = "emb") {
+  EmbeddingTableMetadata metadata;
+  metadata.name = name;
+  return EmbeddingTable::Create(metadata, {"a", "b", "c"},
+                                {1, 0, 0, 1, 2, 0}, 2)
+      .value();
+}
+
+TEST(EmbeddingTableTest, CreateAndLookup) {
+  auto table = SmallTable();
+  EXPECT_EQ(table->size(), 3u);
+  EXPECT_EQ(table->dim(), 2u);
+  auto vec = table->GetVector("b").value();
+  EXPECT_EQ(vec, (std::vector<float>{0, 1}));
+  EXPECT_TRUE(table->Get("z").status().IsNotFound());
+  EXPECT_EQ(table->IndexOf("c"), 2);
+  EXPECT_EQ(table->IndexOf("z"), -1);
+  EXPECT_EQ(table->key(0), "a");
+}
+
+TEST(EmbeddingTableTest, CreateValidation) {
+  EmbeddingTableMetadata metadata;
+  metadata.name = "x";
+  EXPECT_FALSE(EmbeddingTable::Create({}, {"a"}, {1.0f}, 1).ok());  // No name.
+  EXPECT_FALSE(EmbeddingTable::Create(metadata, {"a"}, {1.0f}, 0).ok());
+  EXPECT_FALSE(EmbeddingTable::Create(metadata, {"a"}, {1, 2, 3}, 2).ok());
+  EXPECT_FALSE(
+      EmbeddingTable::Create(metadata, {"a", "a"}, {1, 2}, 1).ok());
+  EXPECT_FALSE(EmbeddingTable::Create(metadata, {""}, {1.0f}, 1).ok());
+}
+
+TEST(EmbeddingTableTest, FromTokenEmbeddings) {
+  TokenEmbeddings emb;
+  emb.vocab_size = 2;
+  emb.dim = 3;
+  emb.vectors = {1, 2, 3, 4, 5, 6};
+  EmbeddingTableMetadata metadata;
+  metadata.name = "tok";
+  auto table =
+      EmbeddingTable::FromTokenEmbeddings(metadata, emb, {"x", "y"}).value();
+  EXPECT_EQ(table->GetVector("y").value(), (std::vector<float>{4, 5, 6}));
+  EXPECT_FALSE(
+      EmbeddingTable::FromTokenEmbeddings(metadata, emb, {"x"}).ok());
+}
+
+TEST(EmbeddingStoreTest, VersioningAndResolve) {
+  EmbeddingStore store;
+  EXPECT_EQ(store.Register(SmallTable(), Hours(1)).value(), 1);
+  EXPECT_EQ(store.Register(SmallTable(), Hours(2)).value(), 2);
+  EXPECT_EQ(store.GetLatest("emb").value()->metadata().version, 2);
+  EXPECT_EQ(store.GetVersion("emb", 1).value()->metadata().version, 1);
+  EXPECT_TRUE(store.GetVersion("emb", 9).status().IsNotFound());
+  EXPECT_TRUE(store.GetLatest("other").status().IsNotFound());
+
+  EXPECT_EQ(store.Resolve("emb").value()->metadata().version, 2);
+  EXPECT_EQ(store.Resolve("emb@v1").value()->metadata().version, 1);
+  EXPECT_FALSE(store.Resolve("emb@vx").ok());
+  EXPECT_FALSE(store.Register(nullptr, 0).ok());
+  EXPECT_EQ(store.Names(), (std::vector<std::string>{"emb"}));
+  EXPECT_EQ(store.Versions("emb").value().size(), 2u);
+  EXPECT_EQ(store.num_tables(), 1u);
+}
+
+TEST(EmbeddingStoreTest, LineageChain) {
+  EmbeddingStore store;
+  ASSERT_TRUE(store.Register(SmallTable(), Hours(1)).ok());
+  auto v1 = store.GetVersion("emb", 1).value();
+  auto compressed = QuantizeUniform(*v1, 4).value();
+  EXPECT_EQ(compressed->metadata().parent, "emb@v1");
+  ASSERT_TRUE(store.Register(compressed, Hours(2)).ok());
+  auto lineage = store.Lineage("emb@v2").value();
+  EXPECT_EQ(lineage, (std::vector<std::string>{"emb@v2", "emb@v1"}));
+}
+
+TEST(QuantizeTest, LowBitsIncreaseError) {
+  // A bigger random-ish table for quantization.
+  std::vector<std::string> keys;
+  std::vector<float> data;
+  for (int i = 0; i < 50; ++i) {
+    keys.push_back("k" + std::to_string(i));
+    for (int j = 0; j < 8; ++j) {
+      data.push_back(std::sin(static_cast<float>(i * 8 + j)));
+    }
+  }
+  EmbeddingTableMetadata metadata;
+  metadata.name = "q";
+  auto table = EmbeddingTable::Create(metadata, keys, data, 8).value();
+
+  double last_mse = -1;
+  for (int bits : {8, 4, 2, 1}) {
+    auto compressed = QuantizeUniform(*table, bits).value();
+    double mse = ReconstructionMse(*table, *compressed).value();
+    EXPECT_GT(mse, last_mse) << bits;
+    last_mse = mse;
+  }
+  // 16-bit is near-lossless.
+  auto fine = QuantizeUniform(*table, 16).value();
+  EXPECT_LT(ReconstructionMse(*table, *fine).value(), 1e-8);
+  EXPECT_FALSE(QuantizeUniform(*table, 0).ok());
+  EXPECT_FALSE(QuantizeUniform(*table, 17).ok());
+  EXPECT_DOUBLE_EQ(CompressionRatio(4), 8.0);
+}
+
+TEST(QuantizeTest, PreservesKeysAndShape) {
+  auto table = SmallTable();
+  auto compressed = QuantizeUniform(*table, 8).value();
+  EXPECT_EQ(compressed->keys(), table->keys());
+  EXPECT_EQ(compressed->dim(), table->dim());
+}
+
+TEST(ReconstructionMseTest, Validation) {
+  auto table = SmallTable();
+  EmbeddingTableMetadata metadata;
+  metadata.name = "other";
+  auto other =
+      EmbeddingTable::Create(metadata, {"a"}, {1.0f, 2.0f}, 2).value();
+  EXPECT_FALSE(ReconstructionMse(*table, *other).ok());
+  EXPECT_DOUBLE_EQ(ReconstructionMse(*table, *table).value(), 0.0);
+}
+
+}  // namespace
+}  // namespace mlfs

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "expr/evaluator.h"
+#include "expr/parser.h"
+
+namespace mlfs {
+namespace {
+
+SchemaPtr EvalSchema() {
+  return Schema::Create({{"i", FeatureType::kInt64, true},
+                         {"j", FeatureType::kInt64, true},
+                         {"d", FeatureType::kDouble, true},
+                         {"s", FeatureType::kString, true},
+                         {"b", FeatureType::kBool, true},
+                         {"ts", FeatureType::kTimestamp, true},
+                         {"e", FeatureType::kEmbedding, true},
+                         {"e2", FeatureType::kEmbedding, true}})
+      .value();
+}
+
+Row EvalRow() {
+  return Row::Create(EvalSchema(),
+                     {Value::Int64(6), Value::Int64(4), Value::Double(2.5),
+                      Value::String("Hello"), Value::Bool(true),
+                      Value::Time(Days(3) + Hours(7)),
+                      Value::Embedding({3.0f, 4.0f}),
+                      Value::Embedding({1.0f, 0.0f})})
+      .value();
+}
+
+Value EvalOn(const std::string& src, const Row& row) {
+  auto expr = ParseExpr(src);
+  EXPECT_TRUE(expr.ok()) << src << ": " << expr.status();
+  auto v = EvalExpr(**expr, row);
+  EXPECT_TRUE(v.ok()) << src << ": " << v.status();
+  return *v;
+}
+
+Value EvalDefault(const std::string& src) { return EvalOn(src, EvalRow()); }
+
+TEST(EvalTest, Arithmetic) {
+  EXPECT_EQ(EvalDefault("i + j"), Value::Int64(10));
+  EXPECT_EQ(EvalDefault("i - j"), Value::Int64(2));
+  EXPECT_EQ(EvalDefault("i * j"), Value::Int64(24));
+  EXPECT_EQ(EvalDefault("i / j"), Value::Double(1.5));
+  EXPECT_EQ(EvalDefault("i % j"), Value::Int64(2));
+  EXPECT_EQ(EvalDefault("i + d"), Value::Double(8.5));
+  EXPECT_EQ(EvalDefault("-i"), Value::Int64(-6));
+  EXPECT_EQ(EvalDefault("-d"), Value::Double(-2.5));
+}
+
+TEST(EvalTest, DivModByZeroYieldNull) {
+  EXPECT_TRUE(EvalDefault("i / 0").is_null());
+  EXPECT_TRUE(EvalDefault("i % 0").is_null());
+  EXPECT_TRUE(EvalDefault("i / 0.0").is_null());
+}
+
+TEST(EvalTest, StringConcatViaPlus) {
+  EXPECT_EQ(EvalDefault("s + '!'"), Value::String("Hello!"));
+}
+
+TEST(EvalTest, Comparisons) {
+  EXPECT_EQ(EvalDefault("i > j"), Value::Bool(true));
+  EXPECT_EQ(EvalDefault("i <= 6"), Value::Bool(true));
+  EXPECT_EQ(EvalDefault("i == 6"), Value::Bool(true));
+  EXPECT_EQ(EvalDefault("i != 6"), Value::Bool(false));
+  EXPECT_EQ(EvalDefault("d < i"), Value::Bool(true));  // Mixed numeric.
+  EXPECT_EQ(EvalDefault("s == 'Hello'"), Value::Bool(true));
+  EXPECT_EQ(EvalDefault("s < 'World'"), Value::Bool(true));
+  EXPECT_EQ(EvalDefault("ts > ts - 1"), Value::Bool(true));
+  // Heterogeneous equality is false, not an error.
+  EXPECT_EQ(EvalDefault("s == 5"), Value::Bool(false));
+  EXPECT_EQ(EvalDefault("s != 5"), Value::Bool(true));
+}
+
+TEST(EvalTest, ThreeValuedLogic) {
+  EXPECT_EQ(EvalDefault("true and false"), Value::Bool(false));
+  EXPECT_EQ(EvalDefault("true or false"), Value::Bool(true));
+  EXPECT_TRUE(EvalDefault("null and true").is_null());
+  EXPECT_EQ(EvalDefault("null and false"), Value::Bool(false));
+  EXPECT_EQ(EvalDefault("null or true"), Value::Bool(true));
+  EXPECT_TRUE(EvalDefault("null or false").is_null());
+  EXPECT_TRUE(EvalDefault("not null").is_null());
+  EXPECT_EQ(EvalDefault("not b"), Value::Bool(false));
+}
+
+TEST(EvalTest, NullPropagation) {
+  EXPECT_TRUE(EvalDefault("i + null").is_null());
+  EXPECT_TRUE(EvalDefault("null * 2").is_null());
+  EXPECT_TRUE(EvalDefault("null == null").is_null());  // SQL semantics.
+  EXPECT_TRUE(EvalDefault("abs(null)").is_null());
+  EXPECT_TRUE(EvalDefault("-(null)").is_null());
+}
+
+TEST(EvalTest, NullFunctions) {
+  EXPECT_EQ(EvalDefault("coalesce(null, null, 7)"), Value::Int64(7));
+  EXPECT_TRUE(EvalDefault("coalesce(null, null)").is_null());
+  EXPECT_EQ(EvalDefault("coalesce(i, 0)"), Value::Int64(6));
+  EXPECT_EQ(EvalDefault("is_null(null)"), Value::Bool(true));
+  EXPECT_EQ(EvalDefault("is_null(i)"), Value::Bool(false));
+  EXPECT_EQ(EvalDefault("if(i > j, 'big', 'small')"), Value::String("big"));
+  EXPECT_TRUE(EvalDefault("if(null, 1, 2)").is_null());
+}
+
+TEST(EvalTest, MathFunctions) {
+  EXPECT_EQ(EvalDefault("abs(-3)"), Value::Int64(3));
+  EXPECT_EQ(EvalDefault("abs(-2.5)"), Value::Double(2.5));
+  EXPECT_DOUBLE_EQ(EvalDefault("log(exp(2.0))").double_value(), 2.0);
+  EXPECT_DOUBLE_EQ(EvalDefault("sqrt(16)").double_value(), 4.0);
+  EXPECT_DOUBLE_EQ(EvalDefault("pow(2, 10)").double_value(), 1024.0);
+  EXPECT_EQ(EvalDefault("floor(2.7)"), Value::Double(2.0));
+  EXPECT_EQ(EvalDefault("ceil(2.2)"), Value::Double(3.0));
+  EXPECT_EQ(EvalDefault("round(2.5)"), Value::Double(3.0));
+  EXPECT_EQ(EvalDefault("min(i, j)"), Value::Int64(4));
+  EXPECT_EQ(EvalDefault("max(i, d)"), Value::Double(6.0));
+  EXPECT_EQ(EvalDefault("clamp(10, 0, 5)"), Value::Double(5.0));
+  EXPECT_FALSE(ParseExpr("clamp(1, 5, 0)")
+                   .ok()
+               ? EvalExpr(*ParseExpr("clamp(1, 5, 0)").value(), EvalRow()).ok()
+               : false);  // lo > hi is an error.
+}
+
+TEST(EvalTest, StringFunctions) {
+  EXPECT_EQ(EvalDefault("len(s)"), Value::Int64(5));
+  EXPECT_EQ(EvalDefault("lower(s)"), Value::String("hello"));
+  EXPECT_EQ(EvalDefault("upper(s)"), Value::String("HELLO"));
+  EXPECT_EQ(EvalDefault("concat(s, ' ', 'World')"),
+            Value::String("Hello World"));
+}
+
+TEST(EvalTest, TimestampFunctions) {
+  EXPECT_EQ(EvalDefault("day(ts)"), Value::Int64(3));
+  EXPECT_EQ(EvalDefault("hour(ts)"), Value::Int64(7));
+}
+
+TEST(EvalTest, EmbeddingFunctions) {
+  EXPECT_EQ(EvalDefault("dim(e)"), Value::Int64(2));
+  EXPECT_DOUBLE_EQ(EvalDefault("norm(e)").double_value(), 5.0);
+  EXPECT_DOUBLE_EQ(EvalDefault("dot(e, e2)").double_value(), 3.0);
+  EXPECT_DOUBLE_EQ(EvalDefault("cosine(e, e2)").double_value(), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(EvalDefault("at(e, 1)").double_value(), 4.0);
+  auto bad = EvalExpr(*ParseExpr("at(e, 5)").value(), EvalRow());
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(EvalTest, CaseInsensitiveFunctionNames) {
+  EXPECT_EQ(EvalDefault("ABS(-1)"), Value::Int64(1));
+  EXPECT_EQ(EvalDefault("Coalesce(null, 2)"), Value::Int64(2));
+}
+
+TEST(EvalTest, RuntimeErrors) {
+  Row row = EvalRow();
+  EXPECT_FALSE(EvalExpr(*ParseExpr("missing_col + 1").value(), row).ok());
+  EXPECT_FALSE(EvalExpr(*ParseExpr("no_such_fn(1)").value(), row).ok());
+  EXPECT_FALSE(EvalExpr(*ParseExpr("abs(1, 2)").value(), row).ok());
+  EXPECT_FALSE(EvalExpr(*ParseExpr("s * 2").value(), row).ok());
+  EXPECT_FALSE(EvalExpr(*ParseExpr("dot(e, s)").value(), row).ok());
+}
+
+TEST(InferTypeTest, BasicTypes) {
+  auto schema = EvalSchema();
+  auto infer = [&](const std::string& src) {
+    return InferType(*ParseExpr(src).value(), *schema);
+  };
+  EXPECT_EQ(infer("i + j").value(), FeatureType::kInt64);
+  EXPECT_EQ(infer("i + d").value(), FeatureType::kDouble);
+  EXPECT_EQ(infer("i / j").value(), FeatureType::kDouble);
+  EXPECT_EQ(infer("i % j").value(), FeatureType::kInt64);
+  EXPECT_EQ(infer("i > j").value(), FeatureType::kBool);
+  EXPECT_EQ(infer("b and true").value(), FeatureType::kBool);
+  EXPECT_EQ(infer("s + s").value(), FeatureType::kString);
+  EXPECT_EQ(infer("coalesce(i, j)").value(), FeatureType::kInt64);
+  EXPECT_EQ(infer("coalesce(i, d)").value(), FeatureType::kDouble);
+  EXPECT_EQ(infer("if(b, i, j)").value(), FeatureType::kInt64);
+  EXPECT_EQ(infer("dot(e, e2)").value(), FeatureType::kDouble);
+  EXPECT_EQ(infer("dim(e)").value(), FeatureType::kInt64);
+}
+
+TEST(InferTypeTest, Errors) {
+  auto schema = EvalSchema();
+  auto infer = [&](const std::string& src) {
+    return InferType(*ParseExpr(src).value(), *schema).status();
+  };
+  EXPECT_FALSE(infer("nope + 1").ok());
+  EXPECT_FALSE(infer("s - 1").ok());
+  EXPECT_FALSE(infer("i and b").ok());
+  EXPECT_FALSE(infer("e < e2").ok());
+  EXPECT_FALSE(infer("if(i, 1, 2)").ok());
+  EXPECT_FALSE(infer("coalesce(s, i)").ok());
+  EXPECT_FALSE(infer("unknown_fn(i)").ok());
+  EXPECT_FALSE(infer("abs(s)").ok());
+  EXPECT_FALSE(infer("abs()").ok());
+}
+
+TEST(CompiledExprTest, MatchesInterpreter) {
+  auto schema = EvalSchema();
+  Row row = EvalRow();
+  const char* cases[] = {
+      "i + j * 2", "coalesce(null, d) / i", "if(i > j, len(s), -1)",
+      "dot(e, e2) + norm(e)", "not (b and i > 100)",
+      "clamp(i / j, 0, 1)",
+  };
+  for (const char* src : cases) {
+    auto compiled = CompiledExpr::Compile(src, schema);
+    ASSERT_TRUE(compiled.ok()) << src << ": " << compiled.status();
+    auto interp = EvalExpr(*ParseExpr(src).value(), row);
+    auto fast = compiled->Eval(row);
+    ASSERT_TRUE(interp.ok() && fast.ok()) << src;
+    EXPECT_EQ(*interp, *fast) << src;
+  }
+}
+
+TEST(CompiledExprTest, CompileRejectsBadExpressions) {
+  auto schema = EvalSchema();
+  EXPECT_FALSE(CompiledExpr::Compile("missing + 1", schema).ok());
+  EXPECT_FALSE(CompiledExpr::Compile("s * 2", schema).ok());
+  EXPECT_FALSE(CompiledExpr::Compile("i +", schema).ok());
+  EXPECT_FALSE(CompiledExpr::Compile("i", nullptr).ok());
+}
+
+TEST(CompiledExprTest, OutputTypeExposed) {
+  auto schema = EvalSchema();
+  EXPECT_EQ(CompiledExpr::Compile("i / j", schema)->output_type(),
+            FeatureType::kDouble);
+  EXPECT_EQ(CompiledExpr::Compile("i > j", schema)->output_type(),
+            FeatureType::kBool);
+}
+
+TEST(BuiltinsTest, TableNonEmptyAndSorted) {
+  auto names = BuiltinFunctionNames();
+  EXPECT_GE(names.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+}  // namespace
+}  // namespace mlfs

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "expr/lexer.h"
+#include "expr/parser.h"
+
+namespace mlfs {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto toks = Tokenize("a + 42 * 3.5 >= 'x'").value();
+  ASSERT_EQ(toks.size(), 8u);  // Incl. kEnd.
+  EXPECT_EQ(toks[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "+");
+  EXPECT_EQ(toks[2].type, TokenType::kIntLiteral);
+  EXPECT_EQ(toks[2].int_value, 42);
+  EXPECT_EQ(toks[4].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(toks[4].double_value, 3.5);
+  EXPECT_EQ(toks[5].text, ">=");
+  EXPECT_EQ(toks[6].type, TokenType::kStringLiteral);
+  EXPECT_EQ(toks[6].text, "x");
+  EXPECT_EQ(toks[7].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto toks = Tokenize("AND or Not TRUE false NULL").value();
+  EXPECT_EQ(toks[0].type, TokenType::kKeywordAnd);
+  EXPECT_EQ(toks[1].type, TokenType::kKeywordOr);
+  EXPECT_EQ(toks[2].type, TokenType::kKeywordNot);
+  EXPECT_EQ(toks[3].type, TokenType::kKeywordTrue);
+  EXPECT_EQ(toks[4].type, TokenType::kKeywordFalse);
+  EXPECT_EQ(toks[5].type, TokenType::kKeywordNull);
+}
+
+TEST(LexerTest, ScientificNotation) {
+  auto toks = Tokenize("1e3 2.5E-2").value();
+  EXPECT_DOUBLE_EQ(toks[0].double_value, 1000.0);
+  EXPECT_DOUBLE_EQ(toks[1].double_value, 0.025);
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto toks = Tokenize(R"('a\'b\n' "c\"d")").value();
+  EXPECT_EQ(toks[0].text, "a'b\n");
+  EXPECT_EQ(toks[1].text, "c\"d");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("a = b").ok());   // Single '='.
+  EXPECT_FALSE(Tokenize("a ! b").ok());   // Bare '!'.
+  EXPECT_FALSE(Tokenize("a # b").ok());   // Unknown char.
+  EXPECT_FALSE(Tokenize("1e").ok());      // Bad exponent.
+  EXPECT_FALSE(Tokenize("'bad\\q'").ok());  // Unknown escape.
+}
+
+TEST(ParserTest, Precedence) {
+  // * binds tighter than +; comparison loosest before logic.
+  auto e = ParseExpr("a + b * c").value();
+  EXPECT_EQ(e->ToString(), "(a + (b * c))");
+
+  e = ParseExpr("a * b + c").value();
+  EXPECT_EQ(e->ToString(), "((a * b) + c)");
+
+  e = ParseExpr("a + b > c - d").value();
+  EXPECT_EQ(e->ToString(), "((a + b) > (c - d))");
+
+  e = ParseExpr("a > 1 and b < 2 or c == 3").value();
+  EXPECT_EQ(e->ToString(), "(((a > 1) and (b < 2)) or (c == 3))");
+
+  e = ParseExpr("not a and b").value();
+  EXPECT_EQ(e->ToString(), "((not a) and b)");
+}
+
+TEST(ParserTest, Associativity) {
+  EXPECT_EQ(ParseExpr("a - b - c").value()->ToString(), "((a - b) - c)");
+  EXPECT_EQ(ParseExpr("a / b / c").value()->ToString(), "((a / b) / c)");
+}
+
+TEST(ParserTest, Parentheses) {
+  EXPECT_EQ(ParseExpr("(a + b) * c").value()->ToString(), "((a + b) * c)");
+  EXPECT_EQ(ParseExpr("((a))").value()->ToString(), "a");
+}
+
+TEST(ParserTest, UnaryMinus) {
+  EXPECT_EQ(ParseExpr("-a * b").value()->ToString(), "((-a) * b)");
+  EXPECT_EQ(ParseExpr("a - -b").value()->ToString(), "(a - (-b))");
+}
+
+TEST(ParserTest, FunctionCalls) {
+  auto e = ParseExpr("coalesce(rating, 4.0, avg_rating)").value();
+  EXPECT_EQ(e->kind(), Expr::Kind::kCall);
+  EXPECT_EQ(e->name(), "coalesce");
+  EXPECT_EQ(e->args().size(), 3u);
+
+  e = ParseExpr("f()").value();
+  EXPECT_EQ(e->args().size(), 0u);
+
+  e = ParseExpr("min(a, max(b, c))").value();
+  EXPECT_EQ(e->ToString(), "min(a, max(b, c))");
+}
+
+TEST(ParserTest, Literals) {
+  EXPECT_EQ(ParseExpr("true").value()->literal(), Value::Bool(true));
+  EXPECT_EQ(ParseExpr("null").value()->literal(), Value::Null());
+  EXPECT_EQ(ParseExpr("'hi'").value()->literal(), Value::String("hi"));
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseExpr("").ok());
+  EXPECT_FALSE(ParseExpr("a +").ok());
+  EXPECT_FALSE(ParseExpr("(a + b").ok());
+  EXPECT_FALSE(ParseExpr("a b").ok());
+  EXPECT_FALSE(ParseExpr("f(a,").ok());
+  EXPECT_FALSE(ParseExpr("and a").ok());
+}
+
+TEST(ParserTest, ReferencedColumns) {
+  auto e = ParseExpr("a + b * coalesce(a, c) - 4").value();
+  EXPECT_EQ(e->ReferencedColumns(),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  const char* cases[] = {
+      "((a + b) * c)", "coalesce(x, 1, 2)", "((not p) or (q and r))",
+      "(trips_7d / (trips_30d + 1))",
+  };
+  for (const char* src : cases) {
+    auto e1 = ParseExpr(src).value();
+    auto e2 = ParseExpr(e1->ToString()).value();
+    EXPECT_EQ(e1->ToString(), e2->ToString()) << src;
+  }
+}
+
+}  // namespace
+}  // namespace mlfs

@@ -1,0 +1,88 @@
+#include "serving/feature_server.h"
+
+#include <gtest/gtest.h>
+
+namespace mlfs {
+namespace {
+
+class FeatureServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    view_schema_ = Schema::Create({{"entity", FeatureType::kInt64, false},
+                                   {"event_time", FeatureType::kTimestamp,
+                                    false},
+                                   {"value", FeatureType::kDouble, true}})
+                       .value();
+    ASSERT_TRUE(store_.CreateView("f1", view_schema_).ok());
+    ASSERT_TRUE(store_.CreateView("f2", view_schema_).ok());
+    Put("f1", 1, Hours(1), 0.5);
+    Put("f2", 1, Hours(2), 0.7);
+    Put("f1", 2, Hours(3), 0.9);
+  }
+
+  void Put(const std::string& view, int64_t entity, Timestamp et, double v) {
+    Row row = Row::Create(view_schema_,
+                          {Value::Int64(entity), Value::Time(et),
+                           Value::Double(v)})
+                  .value();
+    ASSERT_TRUE(store_.Put(view, Value::Int64(entity), row, et, et).ok());
+  }
+
+  OnlineStore store_;
+  SchemaPtr view_schema_;
+};
+
+TEST_F(FeatureServerTest, AssemblesVectorInOrder) {
+  FeatureServer server(&store_);
+  auto fv = server.GetFeatures(Value::Int64(1), {"f2", "f1"}, Hours(4));
+  ASSERT_TRUE(fv.ok()) << fv.status();
+  EXPECT_EQ(fv->names, (std::vector<std::string>{"f2", "f1"}));
+  EXPECT_EQ(fv->values[0], Value::Double(0.7));
+  EXPECT_EQ(fv->values[1], Value::Double(0.5));
+  EXPECT_EQ(fv->oldest_event_time, Hours(1));
+  EXPECT_EQ(fv->missing, 0u);
+  EXPECT_EQ(server.requests(), 1u);
+}
+
+TEST_F(FeatureServerTest, NullPolicyFillsMissing) {
+  FeatureServer server(&store_);
+  auto fv = server.GetFeatures(Value::Int64(2), {"f1", "f2"}, Hours(4));
+  ASSERT_TRUE(fv.ok());
+  EXPECT_EQ(fv->values[0], Value::Double(0.9));
+  EXPECT_TRUE(fv->values[1].is_null());
+  EXPECT_EQ(fv->missing, 1u);
+}
+
+TEST_F(FeatureServerTest, ErrorPolicyFailsRequest) {
+  FeatureServerOptions options;
+  options.missing_policy = MissingFeaturePolicy::kError;
+  FeatureServer server(&store_, options);
+  auto fv = server.GetFeatures(Value::Int64(2), {"f1", "f2"}, Hours(4));
+  EXPECT_TRUE(fv.status().IsNotFound());
+}
+
+TEST_F(FeatureServerTest, RejectsNonFeatureViews) {
+  auto raw_schema =
+      Schema::Create({{"x", FeatureType::kInt64, true}}).value();
+  ASSERT_TRUE(store_.CreateView("raw", raw_schema).ok());
+  Row row = Row::Create(raw_schema, {Value::Int64(5)}).value();
+  ASSERT_TRUE(store_.Put("raw", Value::Int64(1), row, 0, 0).ok());
+  FeatureServer server(&store_);
+  EXPECT_TRUE(server.GetFeatures(Value::Int64(1), {"raw"}, Hours(1))
+                  .status().IsFailedPrecondition());
+}
+
+TEST_F(FeatureServerTest, BatchPreservesOrderAndRecordsLatency) {
+  FeatureServer server(&store_);
+  auto batch = server.GetFeaturesBatch(
+      {Value::Int64(1), Value::Int64(2)}, {"f1"}, Hours(4));
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 2u);
+  EXPECT_EQ((*batch)[0].values[0], Value::Double(0.5));
+  EXPECT_EQ((*batch)[1].values[0], Value::Double(0.9));
+  EXPECT_EQ(server.latency_histogram().count(), 2u);
+  EXPECT_GT(server.latency_histogram().mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace mlfs

@@ -1,0 +1,202 @@
+#include "quality/feature_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "quality/outlier.h"
+#include "quality/skew.h"
+
+namespace mlfs {
+namespace {
+
+SchemaPtr StatsSchema() {
+  return Schema::Create({{"id", FeatureType::kInt64, false},
+                         {"x", FeatureType::kDouble, true},
+                         {"cat", FeatureType::kString, true}})
+      .value();
+}
+
+Row MakeRow(const SchemaPtr& schema, int64_t id, Value x, Value cat) {
+  return Row::Create(schema, {Value::Int64(id), std::move(x), std::move(cat)})
+      .value();
+}
+
+TEST(ColumnStatsTest, CountsNullsAndMoments) {
+  auto schema = StatsSchema();
+  std::vector<Row> rows;
+  rows.push_back(MakeRow(schema, 1, Value::Double(1.0), Value::String("a")));
+  rows.push_back(MakeRow(schema, 2, Value::Double(3.0), Value::String("b")));
+  rows.push_back(MakeRow(schema, 3, Value::Null(), Value::String("a")));
+
+  auto stats = ComputeColumnStats(rows, "x").value();
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_EQ(stats.null_count, 1u);
+  EXPECT_NEAR(stats.null_fraction(), 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(stats.distinct_count, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean, 2.0);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 3.0);
+  EXPECT_DOUBLE_EQ(stats.stddev, 1.0);
+
+  auto cat_stats = ComputeColumnStats(rows, "cat").value();
+  EXPECT_EQ(cat_stats.distinct_count, 2u);
+  EXPECT_EQ(cat_stats.null_count, 0u);
+  EXPECT_EQ(cat_stats.mean, 0.0);  // Non-numeric.
+
+  EXPECT_TRUE(ComputeColumnStats(rows, "nope").status().IsNotFound());
+  EXPECT_EQ(ComputeColumnStats({}, "x").value().count, 0u);
+}
+
+TEST(ColumnStatsTest, AllColumns) {
+  auto schema = StatsSchema();
+  std::vector<Row> rows = {
+      MakeRow(schema, 1, Value::Double(1.0), Value::Null())};
+  auto all = ComputeAllColumnStats(rows).value();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].column, "id");
+  EXPECT_EQ(all[2].null_count, 1u);
+  EXPECT_FALSE(all[0].ToString().empty());
+}
+
+TEST(FreshnessTest, MeasuresAgeAndMissing) {
+  OnlineStore store;
+  auto schema = Schema::Create({{"v", FeatureType::kInt64, true}}).value();
+  ASSERT_TRUE(store.CreateView("f", schema).ok());
+  Row row = Row::Create(schema, {Value::Int64(1)}).value();
+  ASSERT_TRUE(store.Put("f", Value::Int64(1), row, Hours(1), Hours(1)).ok());
+  ASSERT_TRUE(store.Put("f", Value::Int64(2), row, Hours(3), Hours(3)).ok());
+
+  auto report = ComputeFreshness(
+      store, "f", {Value::Int64(1), Value::Int64(2), Value::Int64(3)},
+      Hours(4));
+  EXPECT_EQ(report.missing, 1u);
+  EXPECT_EQ(report.age.count(), 2u);
+  // Ages: 3h and 1h in seconds.
+  EXPECT_NEAR(report.age.max(), 3 * 3600.0, 1.0);
+  EXPECT_NEAR(report.age.min(), 3600.0, 1.0);
+}
+
+TEST(MutualInformationTest, IndependentNearZeroDependentHigh) {
+  auto schema = Schema::Create({{"x", FeatureType::kDouble, true},
+                                {"y", FeatureType::kDouble, true},
+                                {"z", FeatureType::kDouble, true}})
+                    .value();
+  Rng rng(21);
+  std::vector<Row> rows;
+  for (int i = 0; i < 3000; ++i) {
+    double x = rng.Gaussian();
+    double y = rng.Gaussian();     // Independent of x.
+    double z = x + 0.01 * rng.Gaussian();  // Nearly a copy of x.
+    rows.push_back(Row::Create(schema, {Value::Double(x), Value::Double(y),
+                                        Value::Double(z)})
+                       .value());
+  }
+  double mi_xy = MutualInformation(rows, "x", "y").value();
+  double mi_xz = MutualInformation(rows, "x", "z").value();
+  EXPECT_LT(mi_xy, 0.15);
+  EXPECT_GT(mi_xz, 1.5);
+  EXPECT_GT(mi_xz, 10 * mi_xy);
+}
+
+TEST(MutualInformationTest, CategoricalDependence) {
+  auto schema = Schema::Create({{"cat", FeatureType::kString, true},
+                                {"val", FeatureType::kDouble, true}})
+                    .value();
+  Rng rng(22);
+  std::vector<Row> rows;
+  for (int i = 0; i < 2000; ++i) {
+    bool heads = rng.Bernoulli(0.5);
+    // val is strongly determined by cat.
+    double val = heads ? rng.Gaussian(10, 0.5) : rng.Gaussian(-10, 0.5);
+    rows.push_back(Row::Create(schema,
+                               {Value::String(heads ? "h" : "t"),
+                                Value::Double(val)})
+                       .value());
+  }
+  EXPECT_GT(MutualInformation(rows, "cat", "val").value(), 0.9);
+}
+
+TEST(MutualInformationTest, NullsDroppedPairwise) {
+  auto schema = Schema::Create({{"x", FeatureType::kDouble, true},
+                                {"y", FeatureType::kDouble, true}})
+                    .value();
+  std::vector<Row> rows;
+  rows.push_back(
+      Row::Create(schema, {Value::Null(), Value::Double(1)}).value());
+  rows.push_back(
+      Row::Create(schema, {Value::Double(1), Value::Null()}).value());
+  EXPECT_DOUBLE_EQ(MutualInformation(rows, "x", "y").value(), 0.0);
+  EXPECT_FALSE(MutualInformation(rows, "x", "nope").ok());
+}
+
+TEST(EntropyTest, UniformCategoriesMaxEntropy) {
+  auto schema = Schema::Create({{"c", FeatureType::kString, true}}).value();
+  std::vector<Row> rows;
+  for (int i = 0; i < 400; ++i) {
+    rows.push_back(Row::Create(schema,
+                               {Value::String(std::to_string(i % 4))})
+                       .value());
+  }
+  EXPECT_NEAR(ColumnEntropy(rows, "c").value(), 2.0, 1e-9);  // log2(4).
+  // Constant column: zero entropy.
+  std::vector<Row> constant;
+  for (int i = 0; i < 10; ++i) {
+    constant.push_back(Row::Create(schema, {Value::String("k")}).value());
+  }
+  EXPECT_NEAR(ColumnEntropy(constant, "c").value(), 0.0, 1e-12);
+}
+
+TEST(OutlierTest, FlagsFarPoints) {
+  Rng rng(30);
+  std::vector<double> ref;
+  for (int i = 0; i < 1000; ++i) ref.push_back(rng.Gaussian(50, 5));
+  auto detector = RobustOutlierDetector::Fit(ref).value();
+  EXPECT_NEAR(detector.median(), 50, 1.0);
+  EXPECT_FALSE(detector.IsOutlier(52));
+  EXPECT_TRUE(detector.IsOutlier(100));
+  EXPECT_TRUE(detector.IsOutlier(0));
+  EXPECT_LT(detector.OutlierRate(ref), 0.01);
+}
+
+TEST(OutlierTest, ConstantReference) {
+  auto detector = RobustOutlierDetector::Fit({5, 5, 5, 5}).value();
+  EXPECT_EQ(detector.Score(5), 0.0);
+  EXPECT_TRUE(detector.IsOutlier(5.1));
+}
+
+TEST(OutlierTest, Validation) {
+  EXPECT_FALSE(RobustOutlierDetector::Fit({1, 2}).ok());
+  EXPECT_FALSE(RobustOutlierDetector::Fit({1, 2, 3}, -1).ok());
+}
+
+TEST(SkewTest, DetectsServingShiftAndNullDelta) {
+  auto schema = Schema::Create({{"f", FeatureType::kDouble, true}}).value();
+  Rng rng(44);
+  std::vector<Row> training, serving_ok, serving_shifted, serving_nully;
+  for (int i = 0; i < 2000; ++i) {
+    training.push_back(
+        Row::Create(schema, {Value::Double(rng.Gaussian(0, 1))}).value());
+    serving_ok.push_back(
+        Row::Create(schema, {Value::Double(rng.Gaussian(0, 1))}).value());
+    serving_shifted.push_back(
+        Row::Create(schema, {Value::Double(rng.Gaussian(2, 1))}).value());
+    serving_nully.push_back(
+        Row::Create(schema, {rng.Bernoulli(0.3)
+                                 ? Value::Null()
+                                 : Value::Double(rng.Gaussian(0, 1))})
+            .value());
+  }
+  EXPECT_FALSE(ComputeSkew(training, serving_ok, "f")->skewed);
+  auto shifted = ComputeSkew(training, serving_shifted, "f").value();
+  EXPECT_TRUE(shifted.skewed);
+  EXPECT_TRUE(shifted.drift.drifted);
+  auto nully = ComputeSkew(training, serving_nully, "f").value();
+  EXPECT_TRUE(nully.skewed);
+  EXPECT_GT(nully.null_fraction_delta, 0.2);
+  EXPECT_FALSE(nully.ToString().empty());
+}
+
+}  // namespace
+}  // namespace mlfs

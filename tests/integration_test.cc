@@ -1,0 +1,208 @@
+// Cross-module property tests: invariants that hold across the storage,
+// expression, registry, and serving layers together.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/rng.h"
+#include "core/feature_store.h"
+#include "expr/evaluator.h"
+#include "expr/parser.h"
+
+namespace mlfs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property: after materialization, the online value equals the feature
+// expression applied to the offline as-of row — the dual stores agree.
+// ---------------------------------------------------------------------------
+
+TEST(ConsistencyTest, OnlineEqualsExpressionOverOfflineAsOf) {
+  FeatureStore store;
+  auto schema = Schema::Create({{"e", FeatureType::kInt64, false},
+                                {"t", FeatureType::kTimestamp, false},
+                                {"a", FeatureType::kInt64, true},
+                                {"b", FeatureType::kDouble, true}})
+                    .value();
+  OfflineTableOptions options;
+  options.name = "src";
+  options.schema = schema;
+  options.entity_column = "e";
+  options.time_column = "t";
+  ASSERT_TRUE(store.CreateSourceTable(options).ok());
+
+  Rng rng(1);
+  std::vector<Row> rows;
+  for (int i = 0; i < 800; ++i) {
+    rows.push_back(
+        Row::Create(schema,
+                    {Value::Int64(rng.UniformInt(0, 40)),
+                     Value::Time(rng.Uniform(Days(4))),
+                     rng.Bernoulli(0.1) ? Value::Null()
+                                        : Value::Int64(rng.UniformInt(0, 100)),
+                     Value::Double(rng.Gaussian(5, 2))})
+            .value());
+  }
+  ASSERT_TRUE(store.Ingest("src", rows).ok());
+
+  FeatureDefinition def;
+  def.name = "combo";
+  def.entity = "x";
+  def.source_table = "src";
+  def.expression = "coalesce(a, 0) + clamp(b, 0.0, 10.0)";
+  def.cadence = Hours(1);
+  ASSERT_TRUE(store.PublishFeature(def).ok());
+  ASSERT_TRUE(store.RunMaterialization().ok());
+
+  auto compiled = CompiledExpr::Compile(def.expression, schema).value();
+  auto source = store.offline().GetTable("src").value();
+  const Timestamp now = store.clock().now();
+  size_t verified = 0;
+  for (int64_t entity = 0; entity < 40; ++entity) {
+    auto offline_row = source->AsOf(Value::Int64(entity), now);
+    auto online_row = store.online().Get("combo", Value::Int64(entity), now);
+    ASSERT_EQ(offline_row.ok(), online_row.ok()) << entity;
+    if (!offline_row.ok()) continue;
+    Value expected = compiled.Eval(*offline_row).value();
+    EXPECT_EQ(online_row->ValueByName("value").value(), expected) << entity;
+    EXPECT_EQ(online_row->ValueByName("event_time").value().time_value(),
+              offline_row->ValueByName("t").value().time_value());
+    ++verified;
+  }
+  EXPECT_GT(verified, 30u);
+}
+
+// ---------------------------------------------------------------------------
+// Property: ToString() of a random expression re-parses and evaluates to
+// the same value (printer/parser round trip).
+// ---------------------------------------------------------------------------
+
+// Random numeric expression generator (declared here, defined below).
+ExprPtr RandomNumeric(Rng* rng, int depth);
+
+TEST(ExprPropertyTest, PrintParseEvalRoundTrip) {
+  auto schema = Schema::Create({{"x", FeatureType::kInt64, true},
+                                {"y", FeatureType::kDouble, true}})
+                    .value();
+  Rng rng(7);
+  Row row = Row::Create(schema, {Value::Int64(4), Value::Double(2.5)})
+                .value();
+  int compared = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    ExprPtr expr = RandomNumeric(&rng, 4);
+    std::string text = expr->ToString();
+    auto reparsed = ParseExpr(text);
+    ASSERT_TRUE(reparsed.ok()) << text;
+    auto v1 = EvalExpr(*expr, row);
+    auto v2 = EvalExpr(**reparsed, row);
+    ASSERT_EQ(v1.ok(), v2.ok()) << text;
+    if (v1.ok()) {
+      EXPECT_EQ(*v1, *v2) << text;
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 250);
+}
+
+ExprPtr RandomNumeric(Rng* rng, int depth) {
+  if (depth <= 0 || rng->Bernoulli(0.35)) {
+    switch (rng->Uniform(3)) {
+      case 0:
+        return Expr::Literal(Value::Int64(rng->UniformInt(-9, 9)));
+      case 1:
+        return Expr::Literal(
+            Value::Double(std::round(rng->UniformDouble(-9, 9) * 4) / 4));
+      default:
+        return Expr::Column(rng->Bernoulli(0.5) ? "x" : "y");
+    }
+  }
+  switch (rng->Uniform(5)) {
+    case 0:
+    case 1: {
+      BinaryOp ops[] = {BinaryOp::kAdd, BinaryOp::kSub, BinaryOp::kMul,
+                        BinaryOp::kDiv};
+      return Expr::Binary(ops[rng->Uniform(4)], RandomNumeric(rng, depth - 1),
+                          RandomNumeric(rng, depth - 1));
+    }
+    case 2:
+      return Expr::Unary(UnaryOp::kNeg, RandomNumeric(rng, depth - 1));
+    case 3: {
+      std::vector<ExprPtr> args;
+      args.push_back(RandomNumeric(rng, depth - 1));
+      return Expr::Call("abs", std::move(args));
+    }
+    default: {
+      std::vector<ExprPtr> args;
+      args.push_back(RandomNumeric(rng, depth - 1));
+      args.push_back(RandomNumeric(rng, depth - 1));
+      return Expr::Call(rng->Bernoulli(0.5) ? "min" : "max", std::move(args));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: parallel appends and as-of reads on one offline table keep
+// the table consistent (no torn index, every appended row retrievable).
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrencyTest, ParallelOfflineAppendsAndReads) {
+  auto schema = Schema::Create({{"e", FeatureType::kInt64, false},
+                                {"t", FeatureType::kTimestamp, false},
+                                {"v", FeatureType::kInt64, true}})
+                    .value();
+  OfflineTableOptions options;
+  options.name = "concurrent";
+  options.schema = schema;
+  options.entity_column = "e";
+  options.time_column = "t";
+  auto table = OfflineTable::Create(options).value();
+
+  constexpr int kWriters = 4;
+  constexpr int kRowsPerWriter = 2000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kRowsPerWriter; ++i) {
+        int64_t value = w * kRowsPerWriter + i;
+        Row row = Row::Create(schema,
+                              {Value::Int64(value % 50),
+                               Value::Time(Hours(value % 97)),
+                               Value::Int64(value)})
+                      .value();
+        ASSERT_TRUE(table->Append(row).ok());
+      }
+    });
+  }
+  // Concurrent readers hammer as-of lookups while writes happen.
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(100 + r);
+      while (!stop.load()) {
+        int64_t entity = rng.UniformInt(0, 49);
+        auto row = table->AsOf(Value::Int64(entity),
+                               Hours(rng.UniformInt(0, 100)));
+        if (row.ok()) {
+          ASSERT_EQ(row->value(0).int64_value(), entity);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  stop.store(true);
+  for (auto& r : readers) r.join();
+
+  EXPECT_EQ(table->num_rows(),
+            static_cast<size_t>(kWriters) * kRowsPerWriter);
+  // Every entity's as-of at +inf returns its max-time row deterministically.
+  for (int64_t entity = 0; entity < 50; ++entity) {
+    auto row = table->AsOf(Value::Int64(entity), kMaxTimestamp);
+    ASSERT_TRUE(row.ok()) << entity;
+  }
+}
+
+}  // namespace
+}  // namespace mlfs

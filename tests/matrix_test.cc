@@ -1,0 +1,126 @@
+#include "ml/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace mlfs {
+namespace {
+
+TEST(MatrixTest, BasicOps) {
+  Matrix m(2, 3);
+  m.at(0, 0) = 1;
+  m.at(0, 2) = 2;
+  m.at(1, 1) = 3;
+  Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t.at(2, 0), 2);
+  EXPECT_EQ(t.at(1, 1), 3);
+
+  Matrix id = Matrix::Identity(3);
+  Matrix prod = m.Multiply(id);
+  EXPECT_EQ(prod.MaxAbsDiff(m), 0.0);
+  EXPECT_NEAR(m.FrobeniusNorm(), std::sqrt(1 + 4 + 9), 1e-12);
+}
+
+TEST(MatrixTest, MultiplyKnownValues) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1; a.at(0, 1) = 2;
+  a.at(1, 0) = 3; a.at(1, 1) = 4;
+  Matrix b(2, 2);
+  b.at(0, 0) = 5; b.at(0, 1) = 6;
+  b.at(1, 0) = 7; b.at(1, 1) = 8;
+  Matrix c = a.Multiply(b);
+  EXPECT_EQ(c.at(0, 0), 19);
+  EXPECT_EQ(c.at(0, 1), 22);
+  EXPECT_EQ(c.at(1, 0), 43);
+  EXPECT_EQ(c.at(1, 1), 50);
+}
+
+TEST(EigenTest, DiagonalMatrix) {
+  Matrix m(3, 3);
+  m.at(0, 0) = 1;
+  m.at(1, 1) = 5;
+  m.at(2, 2) = 3;
+  auto eig = SymmetricEigen(m).value();
+  EXPECT_NEAR(eig.values[0], 5, 1e-10);
+  EXPECT_NEAR(eig.values[1], 3, 1e-10);
+  EXPECT_NEAR(eig.values[2], 1, 1e-10);
+  // Top eigenvector is e_1.
+  EXPECT_NEAR(std::abs(eig.vectors.at(1, 0)), 1.0, 1e-10);
+}
+
+TEST(EigenTest, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix m(2, 2);
+  m.at(0, 0) = 2; m.at(0, 1) = 1;
+  m.at(1, 0) = 1; m.at(1, 1) = 2;
+  auto eig = SymmetricEigen(m).value();
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1,1)/sqrt(2).
+  EXPECT_NEAR(std::abs(eig.vectors.at(0, 0)), 1 / std::sqrt(2), 1e-9);
+  EXPECT_NEAR(std::abs(eig.vectors.at(1, 0)), 1 / std::sqrt(2), 1e-9);
+}
+
+TEST(EigenTest, ReconstructsRandomSymmetricMatrix) {
+  Rng rng(9);
+  const size_t n = 8;
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      double v = rng.Gaussian();
+      m.at(i, j) = v;
+      m.at(j, i) = v;
+    }
+  }
+  auto eig = SymmetricEigen(m).value();
+  // Rebuild V diag(L) V^T.
+  Matrix lam(n, n);
+  for (size_t i = 0; i < n; ++i) lam.at(i, i) = eig.values[i];
+  Matrix rebuilt =
+      eig.vectors.Multiply(lam).Multiply(eig.vectors.Transpose());
+  EXPECT_LT(rebuilt.MaxAbsDiff(m), 1e-8);
+  // Eigenvalues descending.
+  for (size_t i = 1; i < n; ++i) EXPECT_GE(eig.values[i - 1], eig.values[i]);
+  // Eigenvectors orthonormal.
+  Matrix vtv = eig.vectors.Transpose().Multiply(eig.vectors);
+  EXPECT_LT(vtv.MaxAbsDiff(Matrix::Identity(n)), 1e-9);
+}
+
+TEST(EigenTest, Validation) {
+  EXPECT_FALSE(SymmetricEigen(Matrix(2, 3)).ok());
+  EXPECT_FALSE(SymmetricEigen(Matrix(0, 0)).ok());
+  Matrix asym(2, 2);
+  asym.at(0, 1) = 1.0;
+  asym.at(1, 0) = 2.0;
+  EXPECT_FALSE(SymmetricEigen(asym).ok());
+}
+
+TEST(OrthonormalizeTest, ProducesOrthonormalBasis) {
+  Rng rng(10);
+  Matrix m(10, 4);
+  for (size_t i = 0; i < 10; ++i) {
+    for (size_t j = 0; j < 4; ++j) m.at(i, j) = rng.Gaussian();
+  }
+  Matrix q = OrthonormalizeColumns(m);
+  ASSERT_EQ(q.cols(), 4u);
+  Matrix qtq = q.Transpose().Multiply(q);
+  EXPECT_LT(qtq.MaxAbsDiff(Matrix::Identity(4)), 1e-10);
+}
+
+TEST(OrthonormalizeTest, DropsDependentColumns) {
+  Matrix m(3, 3);
+  // Col 2 = 2 * col 0.
+  m.at(0, 0) = 1; m.at(1, 0) = 1;
+  m.at(0, 1) = 0; m.at(1, 1) = 1; m.at(2, 1) = 1;
+  m.at(0, 2) = 2; m.at(1, 2) = 2;
+  Matrix q = OrthonormalizeColumns(m);
+  EXPECT_EQ(q.cols(), 2u);
+}
+
+}  // namespace
+}  // namespace mlfs

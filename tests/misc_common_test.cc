@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/histogram.h"
+#include "common/string_util.h"
+#include "common/threadpool.h"
+#include "common/timestamp.h"
+
+namespace mlfs {
+namespace {
+
+TEST(TimestampTest, UnitConversions) {
+  EXPECT_EQ(Seconds(1), 1000000);
+  EXPECT_EQ(Minutes(1), 60 * Seconds(1));
+  EXPECT_EQ(Hours(1), 60 * Minutes(1));
+  EXPECT_EQ(Days(1), 24 * Hours(1));
+}
+
+TEST(TimestampTest, Format) {
+  EXPECT_EQ(FormatTimestamp(0), "d0 00:00:00.000");
+  EXPECT_EQ(FormatTimestamp(Days(2) + Hours(3) + Minutes(4) + Seconds(5) +
+                            6 * kMicrosPerMilli),
+            "d2 03:04:05.006");
+  EXPECT_EQ(FormatTimestamp(kMinTimestamp), "-inf");
+  EXPECT_EQ(FormatTimestamp(kMaxTimestamp), "+inf");
+}
+
+TEST(SimClockTest, MonotoneAdvance) {
+  SimClock clock(Hours(1));
+  EXPECT_EQ(clock.now(), Hours(1));
+  clock.Advance(Minutes(30));
+  EXPECT_EQ(clock.now(), Hours(1) + Minutes(30));
+  clock.AdvanceTo(Hours(1));  // In the past: no-op.
+  EXPECT_EQ(clock.now(), Hours(1) + Minutes(30));
+  clock.AdvanceTo(Hours(2));
+  EXPECT_EQ(clock.now(), Hours(2));
+  clock.Advance(-5);  // Negative: no-op.
+  EXPECT_EQ(clock.now(), Hours(2));
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.mean(), 50.5, 1e-9);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 100.0);
+  EXPECT_NEAR(h.Percentile(50), 50, 3);
+  EXPECT_NEAR(h.Percentile(95), 95, 5);
+  EXPECT_NEAR(h.Percentile(100), 100, 0.01);
+}
+
+TEST(HistogramTest, PercentileWithinRelativeError) {
+  Histogram h;
+  for (int i = 0; i < 10000; ++i) h.Record(123.0);
+  // All mass at one value: every percentile must be near it.
+  EXPECT_NEAR(h.Percentile(1), 123.0, 123.0 * 0.05);
+  EXPECT_NEAR(h.Percentile(99), 123.0, 123.0 * 0.05);
+}
+
+TEST(HistogramTest, Merge) {
+  Histogram a, b;
+  a.Record(1.0);
+  a.Record(2.0);
+  b.Record(100.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.max(), 100.0);
+  EXPECT_EQ(a.min(), 1.0);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(StrSplit("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(StrSplit(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+}
+
+TEST(StringUtilTest, JoinLowerStrip) {
+  EXPECT_EQ(StrJoin({"x", "y"}, "::"), "x::y");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(ToLower("AbC_9"), "abc_9");
+  EXPECT_EQ(StripWhitespace("  hi\t\n"), "hi");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_TRUE(StartsWith("feature_x", "feature"));
+  EXPECT_FALSE(StartsWith("fe", "feature"));
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(&pool, 0, hits.size(),
+              [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForInlineWithoutPool) {
+  int sum = 0;
+  ParallelFor(nullptr, 5, 10, [&sum](size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 5 + 6 + 7 + 8 + 9);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // Must not deadlock.
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace mlfs

@@ -1,0 +1,60 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace mlfs {
+namespace {
+
+TEST(AccuracyTest, Basic) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 0, 1, 0}, {1, 0, 0, 0}).value(), 0.75);
+  EXPECT_DOUBLE_EQ(Accuracy({1}, {1}).value(), 1.0);
+  EXPECT_FALSE(Accuracy({}, {}).ok());
+  EXPECT_FALSE(Accuracy({1}, {1, 2}).ok());
+}
+
+TEST(PrfTest, KnownValues) {
+  // truth:    1 1 1 0 0
+  // predict:  1 0 1 1 0   -> tp=2 fp=1 fn=1
+  auto prf = PrecisionRecallF1({1, 1, 1, 0, 0}, {1, 0, 1, 1, 0}, 1).value();
+  EXPECT_DOUBLE_EQ(prf.precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(prf.recall, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(prf.f1, 2.0 / 3.0);
+}
+
+TEST(PrfTest, DegenerateCases) {
+  // Never predicts the class: precision 0 by convention.
+  auto prf = PrecisionRecallF1({1, 1}, {0, 0}, 1).value();
+  EXPECT_EQ(prf.precision, 0.0);
+  EXPECT_EQ(prf.recall, 0.0);
+  EXPECT_EQ(prf.f1, 0.0);
+}
+
+TEST(MacroF1Test, AveragesOverTruthClasses) {
+  // Perfect on class 0, zero on class 1.
+  double f1 = MacroF1({0, 0, 1, 1}, {0, 0, 0, 0}).value();
+  // class0: p=0.5 r=1 f1=2/3; class1: 0. Macro = 1/3.
+  EXPECT_NEAR(f1, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(MacroF1({0, 1}, {0, 1}).value(), 1.0);
+}
+
+TEST(AucTest, PerfectAndRandomAndInverted) {
+  std::vector<int> y = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(AucRoc(y, {0.1, 0.2, 0.8, 0.9}).value(), 1.0);
+  EXPECT_DOUBLE_EQ(AucRoc(y, {0.9, 0.8, 0.2, 0.1}).value(), 0.0);
+  EXPECT_DOUBLE_EQ(AucRoc(y, {0.5, 0.5, 0.5, 0.5}).value(), 0.5);  // Ties.
+}
+
+TEST(AucTest, Validation) {
+  EXPECT_FALSE(AucRoc({0, 0}, {0.1, 0.2}).ok());   // One class only.
+  EXPECT_FALSE(AucRoc({0, 2}, {0.1, 0.2}).ok());   // Non-binary.
+  EXPECT_FALSE(AucRoc({0, 1}, {0.1}).ok());
+}
+
+TEST(ChurnTest, CountsDisagreements) {
+  EXPECT_DOUBLE_EQ(PredictionChurn({1, 2, 3, 4}, {1, 2, 3, 4}).value(), 0.0);
+  EXPECT_DOUBLE_EQ(PredictionChurn({1, 2, 3, 4}, {1, 0, 3, 0}).value(), 0.5);
+  EXPECT_FALSE(PredictionChurn({}, {}).ok());
+}
+
+}  // namespace
+}  // namespace mlfs

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/linear_model.h"
+#include "ml/metrics.h"
+#include "ml/mlp.h"
+
+namespace mlfs {
+namespace {
+
+// Two well-separated Gaussian blobs.
+Dataset TwoBlobs(size_t n_per_class, uint64_t seed, double separation = 4.0) {
+  Rng rng(seed);
+  Dataset data;
+  for (size_t i = 0; i < n_per_class; ++i) {
+    data.Add({static_cast<float>(rng.Gaussian(-separation / 2, 1)),
+              static_cast<float>(rng.Gaussian(0, 1))}, 0);
+    data.Add({static_cast<float>(rng.Gaussian(separation / 2, 1)),
+              static_cast<float>(rng.Gaussian(0, 1))}, 1);
+  }
+  return data;
+}
+
+Dataset ThreeBlobs(size_t n_per_class, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  const double centers[3][2] = {{0, 4}, {-4, -2}, {4, -2}};
+  for (size_t i = 0; i < n_per_class; ++i) {
+    for (int c = 0; c < 3; ++c) {
+      data.Add({static_cast<float>(rng.Gaussian(centers[c][0], 1)),
+                static_cast<float>(rng.Gaussian(centers[c][1], 1))}, c);
+    }
+  }
+  return data;
+}
+
+TEST(SoftmaxTest, LearnsLinearlySeparableData) {
+  Dataset data = TwoBlobs(300, 1);
+  auto [train, test] = TrainTestSplit(data, 0.3, 7);
+  SoftmaxClassifier model;
+  auto loss = model.Fit(train);
+  ASSERT_TRUE(loss.ok()) << loss.status();
+  auto preds = model.PredictBatch(test).value();
+  EXPECT_GT(Accuracy(test.labels, preds).value(), 0.95);
+  EXPECT_LT(*loss, 0.2);
+}
+
+TEST(SoftmaxTest, Multiclass) {
+  Dataset data = ThreeBlobs(200, 2);
+  SoftmaxClassifier model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_EQ(model.num_classes(), 3);
+  auto preds = model.PredictBatch(data).value();
+  EXPECT_GT(Accuracy(data.labels, preds).value(), 0.95);
+}
+
+TEST(SoftmaxTest, DeterministicGivenSeed) {
+  Dataset data = TwoBlobs(100, 3);
+  SoftmaxClassifier a, b;
+  TrainConfig config;
+  config.seed = 99;
+  ASSERT_TRUE(a.Fit(data, config).ok());
+  ASSERT_TRUE(b.Fit(data, config).ok());
+  EXPECT_EQ(a.weights(), b.weights());
+}
+
+TEST(SoftmaxTest, ProbabilitiesSumToOne) {
+  Dataset data = ThreeBlobs(100, 4);
+  SoftmaxClassifier model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  auto probs = model.PredictProba(data.example(0), data.dim).value();
+  double total = 0;
+  for (double p : probs) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(SoftmaxTest, ExampleWeightsChangeDecisions) {
+  // Class 1 is 10x rarer; upweighting it should raise its recall.
+  Rng rng(5);
+  Dataset data;
+  for (int i = 0; i < 500; ++i) {
+    data.Add({static_cast<float>(rng.Gaussian(-1, 1.5))}, 0);
+    if (i % 10 == 0) {
+      data.Add({static_cast<float>(rng.Gaussian(1, 1.5))}, 1);
+    }
+  }
+  SoftmaxClassifier plain, weighted;
+  ASSERT_TRUE(plain.Fit(data).ok());
+  TrainConfig config;
+  config.example_weights.assign(data.size(), 1.0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (data.labels[i] == 1) config.example_weights[i] = 10.0;
+  }
+  ASSERT_TRUE(weighted.Fit(data, config).ok());
+  double recall_plain =
+      PrecisionRecallF1(data.labels, plain.PredictBatch(data).value(), 1)
+          .value().recall;
+  double recall_weighted =
+      PrecisionRecallF1(data.labels, weighted.PredictBatch(data).value(), 1)
+          .value().recall;
+  EXPECT_GT(recall_weighted, recall_plain);
+}
+
+TEST(SoftmaxTest, FitMoreImprovesFit) {
+  Dataset data = TwoBlobs(200, 6);
+  SoftmaxClassifier model;
+  TrainConfig short_run;
+  short_run.epochs = 1;
+  short_run.learning_rate = 0.0005;  // Barely moves off initialization.
+  double loss1 = model.Fit(data, short_run).value();
+  TrainConfig more;
+  more.epochs = 20;
+  double loss2 = model.FitMore(data, more).value();
+  EXPECT_LT(loss2, loss1);
+}
+
+TEST(SoftmaxTest, Validation) {
+  SoftmaxClassifier model;
+  EXPECT_FALSE(model.Fit(Dataset{}).ok());
+  EXPECT_TRUE(model.Predict(nullptr, 0).status().IsFailedPrecondition());
+  EXPECT_FALSE(model.FitMore(TwoBlobs(10, 1), {}).ok());
+
+  Dataset one_class;
+  one_class.Add({1.0f}, 0);
+  one_class.Add({2.0f}, 0);
+  EXPECT_FALSE(model.Fit(one_class).ok());
+
+  Dataset data = TwoBlobs(10, 1);
+  ASSERT_TRUE(model.Fit(data).ok());
+  float x[5] = {0};
+  EXPECT_FALSE(model.Predict(x, 5).ok());  // Wrong dim.
+
+  TrainConfig bad_weights;
+  bad_weights.example_weights = {1.0};
+  EXPECT_FALSE(model.Fit(data, bad_weights).ok());
+}
+
+TEST(MlpTest, LearnsNonlinearXor) {
+  Rng rng(8);
+  Dataset data;
+  for (int i = 0; i < 1200; ++i) {
+    double x = rng.UniformDouble(-1, 1);
+    double y = rng.UniformDouble(-1, 1);
+    int label = (x * y > 0) ? 1 : 0;  // XOR-style quadrants.
+    data.Add({static_cast<float>(x), static_cast<float>(y)}, label);
+  }
+  // Linear model cannot beat chance by much; MLP can.
+  SoftmaxClassifier linear;
+  ASSERT_TRUE(linear.Fit(data).ok());
+  double linear_acc =
+      Accuracy(data.labels, linear.PredictBatch(data).value()).value();
+  MlpClassifier mlp(16);
+  TrainConfig config;
+  config.epochs = 60;
+  config.learning_rate = 0.05;
+  ASSERT_TRUE(mlp.Fit(data, config).ok());
+  double mlp_acc =
+      Accuracy(data.labels, mlp.PredictBatch(data).value()).value();
+  EXPECT_LT(linear_acc, 0.75);
+  EXPECT_GT(mlp_acc, 0.9);
+}
+
+TEST(MlpTest, Validation) {
+  MlpClassifier mlp;
+  EXPECT_FALSE(mlp.Fit(Dataset{}).ok());
+  EXPECT_TRUE(mlp.Predict(nullptr, 0).status().IsFailedPrecondition());
+}
+
+TEST(TrainTestSplitTest, PartitionsDeterministically) {
+  Dataset data = TwoBlobs(50, 1);
+  auto [train1, test1] = TrainTestSplit(data, 0.2, 11);
+  auto [train2, test2] = TrainTestSplit(data, 0.2, 11);
+  EXPECT_EQ(train1.labels, train2.labels);
+  EXPECT_EQ(test1.size(), 20u);   // 20% of 100.
+  EXPECT_EQ(train1.size(), 80u);
+  EXPECT_EQ(train1.size() + test1.size(), data.size());
+}
+
+}  // namespace
+}  // namespace mlfs

@@ -1,0 +1,115 @@
+#include "modelstore/model_registry.h"
+
+#include <gtest/gtest.h>
+
+#include "monitoring/alerting.h"
+
+namespace mlfs {
+namespace {
+
+EmbeddingTablePtr TinyTable(const std::string& name) {
+  EmbeddingTableMetadata metadata;
+  metadata.name = name;
+  return EmbeddingTable::Create(metadata, {"a", "b"}, {1, 2, 3, 4}, 2)
+      .value();
+}
+
+ModelRecord BasicModel(const std::string& name,
+                       const std::string& embedding_ref) {
+  ModelRecord record;
+  record.name = name;
+  record.task = "classification";
+  record.embedding_refs = {embedding_ref};
+  record.feature_refs = {"user_trip_rate@v1"};
+  record.metrics["accuracy"] = 0.9;
+  record.weights = {0.1, 0.2, 0.3};
+  return record;
+}
+
+TEST(ModelRegistryTest, RegisterVersionsAndChecksum) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.Register(BasicModel("ranker", "emb@v1"), Hours(1))
+                .value(), 1);
+  EXPECT_EQ(registry.Register(BasicModel("ranker", "emb@v2"), Hours(2))
+                .value(), 2);
+  auto latest = registry.Get("ranker").value();
+  EXPECT_EQ(latest.version, 2);
+  EXPECT_EQ(latest.trained_at, Hours(2));
+  EXPECT_NE(latest.weights_checksum, 0u);
+  EXPECT_EQ(latest.VersionedName(), "ranker@v2");
+  EXPECT_EQ(registry.GetVersion("ranker", 1).value().embedding_refs[0],
+            "emb@v1");
+  EXPECT_TRUE(registry.Get("nope").status().IsNotFound());
+  EXPECT_TRUE(registry.GetVersion("ranker", 5).status().IsNotFound());
+  EXPECT_FALSE(registry.Register(ModelRecord{}, 0).ok());
+  EXPECT_EQ(registry.num_models(), 1u);
+}
+
+TEST(ModelRegistryTest, SplitVersionedRef) {
+  EXPECT_EQ(SplitVersionedRef("emb@v3"), (std::pair<std::string, int>{"emb", 3}));
+  EXPECT_EQ(SplitVersionedRef("emb"), (std::pair<std::string, int>{"emb", 0}));
+  EXPECT_EQ(SplitVersionedRef("emb@vx"),
+            (std::pair<std::string, int>{"emb@vx", 0}));
+}
+
+TEST(ModelRegistryTest, DetectsEmbeddingVersionSkew) {
+  EmbeddingStore embeddings;
+  ASSERT_TRUE(embeddings.Register(TinyTable("emb"), Hours(1)).ok());
+
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Register(BasicModel("ranker", "emb@v1"), Hours(1))
+                  .ok());
+  // No skew yet.
+  EXPECT_TRUE(registry.CheckEmbeddingSkew(embeddings).value().empty());
+
+  // Embedding updated; model still pinned to v1.
+  ASSERT_TRUE(embeddings.Register(TinyTable("emb"), Hours(2)).ok());
+  auto skew = registry.CheckEmbeddingSkew(embeddings).value();
+  ASSERT_EQ(skew.size(), 1u);
+  EXPECT_EQ(skew[0].model, "ranker@v1");
+  EXPECT_EQ(skew[0].embedding, "emb");
+  EXPECT_EQ(skew[0].pinned_version, 1);
+  EXPECT_EQ(skew[0].latest_version, 2);
+  EXPECT_EQ(skew[0].lag(), 1);
+
+  // Retraining against v2 clears the skew.
+  ASSERT_TRUE(registry.Register(BasicModel("ranker", "emb@v2"), Hours(3))
+                  .ok());
+  EXPECT_TRUE(registry.CheckEmbeddingSkew(embeddings).value().empty());
+}
+
+TEST(ModelRegistryTest, SkewRejectsUnpinnedRefs) {
+  EmbeddingStore embeddings;
+  ASSERT_TRUE(embeddings.Register(TinyTable("emb"), Hours(1)).ok());
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Register(BasicModel("ranker", "emb"), Hours(1)).ok());
+  EXPECT_FALSE(registry.CheckEmbeddingSkew(embeddings).ok());
+}
+
+TEST(ModelRegistryTest, ConsumersOfEmbedding) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Register(BasicModel("ranker", "emb@v1"), 0).ok());
+  ASSERT_TRUE(registry.Register(BasicModel("fraud", "emb@v1"), 0).ok());
+  ASSERT_TRUE(registry.Register(BasicModel("eta", "other@v1"), 0).ok());
+  auto consumers = registry.ConsumersOfEmbedding("emb");
+  EXPECT_EQ(consumers.size(), 2u);
+  EXPECT_EQ(registry.ConsumersOfEmbedding("unused").size(), 0u);
+  EXPECT_EQ(registry.ListLatest().size(), 3u);
+}
+
+TEST(AlertBusTest, EmitAndQuery) {
+  AlertBus bus;
+  bus.Emit({Hours(1), "drift:f1", AlertSeverity::kWarning, "psi high"});
+  bus.Emit({Hours(2), "skew:m1", AlertSeverity::kCritical, "version lag"});
+  bus.Emit({Hours(3), "drift:f2", AlertSeverity::kInfo, "checked"});
+  EXPECT_EQ(bus.size(), 3u);
+  EXPECT_EQ(bus.WithPrefix("drift:").size(), 2u);
+  EXPECT_EQ(bus.CountAtLeast(AlertSeverity::kWarning), 2u);
+  EXPECT_EQ(bus.CountAtLeast(AlertSeverity::kCritical), 1u);
+  EXPECT_NE(bus.All()[1].ToString().find("CRITICAL"), std::string::npos);
+  bus.Clear();
+  EXPECT_EQ(bus.size(), 0u);
+}
+
+}  // namespace
+}  // namespace mlfs

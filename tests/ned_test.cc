@@ -1,0 +1,171 @@
+#include "ned/ned.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/sgns.h"
+
+namespace mlfs {
+namespace {
+
+SyntheticKb TestKb() {
+  SyntheticKbConfig config;
+  config.num_entities = 600;
+  config.num_types = 5;
+  config.num_edges = 3000;
+  return BuildSyntheticKb(config).value();
+}
+
+TEST(AliasTableTest, PartitionsAllEntities) {
+  auto kb = TestKb();
+  auto aliases = BuildAliasTable(kb, 3.0, 1).value();
+  EXPECT_EQ(aliases.entity_alias.size(), kb.num_entities());
+  // Every entity appears in exactly the candidate set of its alias.
+  std::vector<int> seen(kb.num_entities(), 0);
+  for (size_t a = 0; a < aliases.num_aliases(); ++a) {
+    for (uint32_t entity : aliases.alias_candidates[a]) {
+      EXPECT_EQ(aliases.entity_alias[entity], a);
+      ++seen[entity];
+    }
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+  // Mean ambiguity roughly as requested.
+  EXPECT_GT(aliases.mean_ambiguity(), 1.8);
+  EXPECT_LT(aliases.mean_ambiguity(), 4.5);
+}
+
+TEST(AliasTableTest, ConfusableGroupsShareType) {
+  auto kb = TestKb();
+  auto aliases = BuildAliasTable(kb, 3.0, 2, /*confusable=*/true).value();
+  for (const auto& candidates : aliases.alias_candidates) {
+    for (size_t i = 1; i < candidates.size(); ++i) {
+      EXPECT_EQ(kb.entity_type[candidates[i]],
+                kb.entity_type[candidates[0]]);
+    }
+  }
+}
+
+TEST(AliasTableTest, Validation) {
+  auto kb = TestKb();
+  EXPECT_FALSE(BuildAliasTable(kb, 0.5, 1).ok());
+}
+
+TEST(MentionQueriesTest, ShapesAndDeterminism) {
+  auto kb = TestKb();
+  auto aliases = BuildAliasTable(kb, 3.0, 1).value();
+  auto queries = GenerateMentionQueries(kb, aliases, 500, 4, 3).value();
+  EXPECT_EQ(queries.size(), 500u);
+  for (const auto& query : queries) {
+    EXPECT_LT(query.truth, kb.num_entities());
+    EXPECT_EQ(query.alias, aliases.entity_alias[query.truth]);
+    EXPECT_GE(query.context.size(), 1u);
+    EXPECT_LE(query.context.size(), 4u);
+    for (uint32_t entity : query.context) EXPECT_NE(entity, query.truth);
+  }
+  auto again = GenerateMentionQueries(kb, aliases, 500, 4, 3).value();
+  EXPECT_EQ(again[0].truth, queries[0].truth);
+  EXPECT_FALSE(GenerateMentionQueries(kb, aliases, 0, 4, 3).ok());
+}
+
+EmbeddingTablePtr TrainEmbedding(const SyntheticKb& kb, bool structured,
+                                 uint64_t seed) {
+  CorpusConfig corpus_config;
+  corpus_config.num_sentences = 8000;
+  corpus_config.include_type_tokens = structured;
+  corpus_config.include_relation_tokens = structured;
+  corpus_config.seed = seed;
+  auto corpus = GenerateCorpus(kb, corpus_config).value();
+  SgnsConfig sgns;
+  sgns.dim = 24;
+  sgns.epochs = 3;
+  sgns.seed = seed;
+  auto embeddings = TrainSgns(corpus, kb.vocab_size(), sgns).value();
+  std::vector<std::string> keys;
+  std::vector<float> vectors;
+  for (size_t e = 0; e < kb.num_entities(); ++e) {
+    keys.push_back(kb.entity_key(e));
+    const float* row = embeddings.row(e);
+    vectors.insert(vectors.end(), row, row + sgns.dim);
+  }
+  EmbeddingTableMetadata metadata;
+  metadata.name = "ned_emb";
+  return EmbeddingTable::Create(metadata, keys, vectors, sgns.dim).value();
+}
+
+EmbeddingTablePtr RandomEmbedding(const SyntheticKb& kb, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> keys;
+  std::vector<float> vectors;
+  for (size_t e = 0; e < kb.num_entities(); ++e) {
+    keys.push_back(kb.entity_key(e));
+    for (int j = 0; j < 24; ++j) {
+      vectors.push_back(static_cast<float>(rng.Gaussian()));
+    }
+  }
+  EmbeddingTableMetadata metadata;
+  metadata.name = "random_emb";
+  return EmbeddingTable::Create(metadata, keys, vectors, 24).value();
+}
+
+TEST(DisambiguationTest, TrainedEmbeddingsBeatRandomAndBaseline) {
+  auto kb = TestKb();
+  // Mixed-type alias groups: the embedding's type structure is usable.
+  auto aliases = BuildAliasTable(kb, 3.0, 1, /*confusable=*/false).value();
+  auto queries = GenerateMentionQueries(kb, aliases, 800, 4, 7).value();
+
+  auto trained = TrainEmbedding(kb, /*structured=*/false, 1);
+  auto random = RandomEmbedding(kb, 2);
+
+  auto trained_report =
+      EvaluateDisambiguation(*trained, kb, aliases, queries).value();
+  auto random_report =
+      EvaluateDisambiguation(*random, kb, aliases, queries).value();
+
+  // Random embeddings resolve at ~the random-candidate baseline.
+  EXPECT_NEAR(random_report.accuracy, random_report.random_baseline, 0.08);
+  // Trained embeddings are far better.
+  EXPECT_GT(trained_report.accuracy, random_report.accuracy + 0.1);
+  EXPECT_GT(trained_report.mrr, trained_report.accuracy);  // MRR >= top-1.
+  EXPECT_GT(trained_report.queries, 700u);
+}
+
+TEST(DisambiguationTest, HubnessCorrectionHelpsConfusableAliases) {
+  auto kb = TestKb();
+  // Same-type alias groups: cosine hubness makes central candidates
+  // swallow ambiguous mentions; the correction restores the signal.
+  auto aliases = BuildAliasTable(kb, 3.0, 1, /*confusable=*/true).value();
+  auto queries = GenerateMentionQueries(kb, aliases, 800, 4, 7).value();
+  auto trained = TrainEmbedding(kb, false, 1);
+
+  NedOptions raw;
+  raw.hubness_correction = false;
+  auto uncorrected =
+      EvaluateDisambiguation(*trained, kb, aliases, queries, raw).value();
+  auto corrected =
+      EvaluateDisambiguation(*trained, kb, aliases, queries).value();
+  EXPECT_GT(corrected.accuracy, uncorrected.accuracy + 0.05);
+  EXPECT_GT(corrected.accuracy, corrected.random_baseline);
+}
+
+TEST(DisambiguationTest, SubsetEvaluation) {
+  auto kb = TestKb();
+  auto aliases = BuildAliasTable(kb, 3.0, 1).value();
+  auto queries = GenerateMentionQueries(kb, aliases, 600, 4, 7).value();
+  auto trained = TrainEmbedding(kb, false, 1);
+
+  // Head entities (popular half) vs all: both evaluable.
+  std::vector<size_t> head;
+  for (size_t e = 0; e < kb.num_entities() / 2; ++e) head.push_back(e);
+  auto head_report =
+      EvaluateDisambiguationOn(*trained, kb, aliases, queries, head).value();
+  EXPECT_GT(head_report.queries, 0u);
+  EXPECT_LE(head_report.queries,
+            EvaluateDisambiguation(*trained, kb, aliases, queries)
+                .value().queries);
+  // Empty subset fails cleanly.
+  EXPECT_FALSE(
+      EvaluateDisambiguationOn(*trained, kb, aliases, queries, {}).ok());
+}
+
+}  // namespace
+}  // namespace mlfs

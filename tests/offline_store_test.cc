@@ -1,0 +1,245 @@
+#include "storage/offline_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "storage/entity_key.h"
+
+namespace mlfs {
+namespace {
+
+SchemaPtr TestSchema() {
+  return Schema::Create({{"user_id", FeatureType::kInt64, false},
+                         {"event_time", FeatureType::kTimestamp, false},
+                         {"trips", FeatureType::kInt64, true},
+                         {"rating", FeatureType::kDouble, true}})
+      .value();
+}
+
+OfflineTableOptions TestOptions() {
+  OfflineTableOptions opt;
+  opt.name = "user_stats";
+  opt.schema = TestSchema();
+  opt.entity_column = "user_id";
+  opt.time_column = "event_time";
+  return opt;
+}
+
+Row MakeRow(const SchemaPtr& schema, int64_t user, Timestamp ts, int64_t trips,
+            double rating) {
+  return Row::Create(schema, {Value::Int64(user), Value::Time(ts),
+                              Value::Int64(trips), Value::Double(rating)})
+      .value();
+}
+
+TEST(OfflineTableTest, CreateValidatesColumns) {
+  auto opt = TestOptions();
+  EXPECT_TRUE(OfflineTable::Create(opt).ok());
+
+  opt.entity_column = "missing";
+  EXPECT_FALSE(OfflineTable::Create(opt).ok());
+
+  opt = TestOptions();
+  opt.entity_column = "rating";  // Wrong type.
+  EXPECT_FALSE(OfflineTable::Create(opt).ok());
+
+  opt = TestOptions();
+  opt.time_column = "trips";  // Wrong type.
+  EXPECT_FALSE(OfflineTable::Create(opt).ok());
+
+  opt = TestOptions();
+  opt.name = "";
+  EXPECT_FALSE(OfflineTable::Create(opt).ok());
+
+  opt = TestOptions();
+  opt.partition_granularity = 0;
+  EXPECT_FALSE(OfflineTable::Create(opt).ok());
+}
+
+TEST(OfflineTableTest, AppendAndScan) {
+  auto table = OfflineTable::Create(TestOptions()).value();
+  auto schema = TestSchema();
+  ASSERT_TRUE(table->Append(MakeRow(schema, 1, Hours(1), 3, 4.5)).ok());
+  ASSERT_TRUE(table->Append(MakeRow(schema, 2, Hours(2), 1, 3.0)).ok());
+  ASSERT_TRUE(table->Append(MakeRow(schema, 1, Days(2), 5, 4.8)).ok());
+  EXPECT_EQ(table->num_rows(), 3u);
+  EXPECT_EQ(table->num_partitions(), 2u);  // Day 0 and day 2.
+  EXPECT_EQ(table->max_event_time(), Days(2));
+
+  EXPECT_EQ(table->Scan().size(), 3u);
+  EXPECT_EQ(table->Scan(Hours(1), Hours(2)).size(), 1u);   // [1h, 2h).
+  EXPECT_EQ(table->Scan(Hours(1), Hours(2) + 1).size(), 2u);
+  EXPECT_EQ(table->Scan(Days(1), Days(3)).size(), 1u);
+  EXPECT_TRUE(table->Scan(Days(3), Days(4)).empty());
+  EXPECT_TRUE(table->Scan(Hours(2), Hours(1)).empty());  // Empty range.
+}
+
+TEST(OfflineTableTest, ScanIfAppliesPredicate) {
+  auto table = OfflineTable::Create(TestOptions()).value();
+  auto schema = TestSchema();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(table->Append(MakeRow(schema, i, Hours(i), i, 0.0)).ok());
+  }
+  auto rows = table->ScanIf(kMinTimestamp, kMaxTimestamp, [](const Row& r) {
+    return r.value(2).int64_value() % 2 == 0;
+  });
+  EXPECT_EQ(rows.size(), 5u);
+}
+
+TEST(OfflineTableTest, RejectsBadRows) {
+  auto table = OfflineTable::Create(TestOptions()).value();
+  auto other_schema =
+      Schema::Create({{"x", FeatureType::kInt64, false}}).value();
+  Row bad = Row::Create(other_schema, {Value::Int64(1)}).value();
+  EXPECT_FALSE(table->Append(bad).ok());
+}
+
+TEST(OfflineTableTest, AsOfPicksLatestNotAfter) {
+  auto table = OfflineTable::Create(TestOptions()).value();
+  auto schema = TestSchema();
+  // Insert out of order, across partitions.
+  ASSERT_TRUE(table->Append(MakeRow(schema, 7, Days(3), 30, 3.0)).ok());
+  ASSERT_TRUE(table->Append(MakeRow(schema, 7, Days(1), 10, 1.0)).ok());
+  ASSERT_TRUE(table->Append(MakeRow(schema, 7, Days(2), 20, 2.0)).ok());
+
+  EXPECT_TRUE(table->AsOf(Value::Int64(7), Days(1) - 1).status().IsNotFound());
+  EXPECT_EQ(table->AsOf(Value::Int64(7), Days(1)).value()
+                .value(2).int64_value(), 10);
+  EXPECT_EQ(table->AsOf(Value::Int64(7), Days(2) + Hours(5)).value()
+                .value(2).int64_value(), 20);
+  EXPECT_EQ(table->AsOf(Value::Int64(7), kMaxTimestamp).value()
+                .value(2).int64_value(), 30);
+  EXPECT_TRUE(table->AsOf(Value::Int64(8), Days(9)).status().IsNotFound());
+}
+
+TEST(OfflineTableTest, AsOfTieBreaksByInsertionOrder) {
+  auto table = OfflineTable::Create(TestOptions()).value();
+  auto schema = TestSchema();
+  ASSERT_TRUE(table->Append(MakeRow(schema, 1, Hours(5), 100, 0.0)).ok());
+  ASSERT_TRUE(table->Append(MakeRow(schema, 1, Hours(5), 200, 0.0)).ok());
+  // Same event time: the most recently appended row wins.
+  EXPECT_EQ(table->AsOf(Value::Int64(1), Hours(5)).value()
+                .value(2).int64_value(), 200);
+}
+
+TEST(OfflineTableTest, AsOfRandomizedAgainstOracle) {
+  auto table = OfflineTable::Create(TestOptions()).value();
+  auto schema = TestSchema();
+  Rng rng(99);
+  struct Ev { int64_t user; Timestamp ts; int64_t val; };
+  std::vector<Ev> events;
+  for (int i = 0; i < 500; ++i) {
+    Ev e{static_cast<int64_t>(rng.Uniform(20)),
+         static_cast<Timestamp>(rng.Uniform(Days(10))), i};
+    events.push_back(e);
+    ASSERT_TRUE(table->Append(MakeRow(schema, e.user, e.ts, e.val, 0.0)).ok());
+  }
+  for (int probe = 0; probe < 200; ++probe) {
+    int64_t user = static_cast<int64_t>(rng.Uniform(20));
+    Timestamp ts = static_cast<Timestamp>(rng.Uniform(Days(10)));
+    // Oracle: latest event (by ts, then insertion order) with ts' <= ts.
+    const Ev* best = nullptr;
+    for (const auto& e : events) {
+      if (e.user != user || e.ts > ts) continue;
+      if (best == nullptr || e.ts > best->ts ||
+          (e.ts == best->ts && e.val > best->val)) {
+        best = &e;
+      }
+    }
+    auto got = table->AsOf(Value::Int64(user), ts);
+    if (best == nullptr) {
+      EXPECT_TRUE(got.status().IsNotFound());
+    } else {
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(got->value(2).int64_value(), best->val);
+    }
+  }
+}
+
+TEST(OfflineTableTest, LatestPerEntityAsOf) {
+  auto table = OfflineTable::Create(TestOptions()).value();
+  auto schema = TestSchema();
+  ASSERT_TRUE(table->Append(MakeRow(schema, 1, Hours(1), 11, 0.0)).ok());
+  ASSERT_TRUE(table->Append(MakeRow(schema, 1, Hours(9), 19, 0.0)).ok());
+  ASSERT_TRUE(table->Append(MakeRow(schema, 2, Hours(5), 25, 0.0)).ok());
+  ASSERT_TRUE(table->Append(MakeRow(schema, 3, Days(2), 32, 0.0)).ok());
+
+  auto rows = table->LatestPerEntityAsOf(Hours(10));
+  ASSERT_EQ(rows.size(), 2u);  // Entity 3 has no data yet.
+  int64_t sum = 0;
+  for (const auto& r : rows) sum += r.value(2).int64_value();
+  EXPECT_EQ(sum, 19 + 25);
+
+  EXPECT_EQ(table->LatestPerEntityAsOf(kMaxTimestamp).size(), 3u);
+  EXPECT_TRUE(table->LatestPerEntityAsOf(0).empty());
+}
+
+TEST(OfflineTableTest, EntityKeysSorted) {
+  auto table = OfflineTable::Create(TestOptions()).value();
+  auto schema = TestSchema();
+  for (int64_t u : {5, 3, 9, 3, 5}) {
+    ASSERT_TRUE(table->Append(MakeRow(schema, u, Hours(u), u, 0.0)).ok());
+  }
+  auto keys = table->EntityKeys();
+  EXPECT_EQ(keys, (std::vector<std::string>{"3", "5", "9"}));
+}
+
+TEST(OfflineTableTest, SnapshotRestoreRoundTrip) {
+  auto table = OfflineTable::Create(TestOptions()).value();
+  auto schema = TestSchema();
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(table
+                    ->Append(MakeRow(schema, rng.Uniform(10),
+                                     rng.Uniform(Days(5)), i, rng.Gaussian()))
+                    .ok());
+  }
+  std::string snap = table->Snapshot();
+
+  auto restored = OfflineTable::Create(TestOptions()).value();
+  ASSERT_TRUE(restored->Restore(snap).ok());
+  EXPECT_EQ(restored->num_rows(), 100u);
+  EXPECT_EQ(restored->max_event_time(), table->max_event_time());
+  // As-of results must match on all probes.
+  for (int u = 0; u < 10; ++u) {
+    auto a = table->AsOf(Value::Int64(u), Days(3));
+    auto b = restored->AsOf(Value::Int64(u), Days(3));
+    ASSERT_EQ(a.ok(), b.ok());
+    if (a.ok()) {
+      EXPECT_EQ(*a, *b);
+    }
+  }
+}
+
+TEST(OfflineTableTest, RestoreRejectsBadInput) {
+  auto table = OfflineTable::Create(TestOptions()).value();
+  EXPECT_FALSE(table->Restore("garbage").ok());
+
+  auto schema = TestSchema();
+  ASSERT_TRUE(table->Append(MakeRow(schema, 1, 0, 1, 1.0)).ok());
+  std::string snap = table->Snapshot();
+  EXPECT_TRUE(table->Restore(snap).IsFailedPrecondition());
+}
+
+TEST(OfflineStoreTest, TableRegistry) {
+  OfflineStore store;
+  ASSERT_TRUE(store.CreateTable(TestOptions()).ok());
+  EXPECT_TRUE(store.CreateTable(TestOptions()).IsAlreadyExists());
+  EXPECT_TRUE(store.HasTable("user_stats"));
+  EXPECT_FALSE(store.HasTable("nope"));
+  EXPECT_TRUE(store.GetTable("user_stats").ok());
+  EXPECT_TRUE(store.GetTable("nope").status().IsNotFound());
+  EXPECT_EQ(store.TableNames(), (std::vector<std::string>{"user_stats"}));
+}
+
+TEST(EntityKeyTest, Canonicalization) {
+  EXPECT_EQ(EntityKeyToString(Value::Int64(42)).value(), "42");
+  EXPECT_EQ(EntityKeyToString(Value::String("user_a")).value(), "user_a");
+  EXPECT_FALSE(EntityKeyToString(Value::Double(1.0)).ok());
+  EXPECT_FALSE(EntityKeyToString(Value::Null()).ok());
+}
+
+}  // namespace
+}  // namespace mlfs

@@ -1,0 +1,197 @@
+#include "storage/online_store.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace mlfs {
+namespace {
+
+SchemaPtr ViewSchema() {
+  return Schema::Create({{"trips", FeatureType::kInt64, true},
+                         {"rating", FeatureType::kDouble, true}})
+      .value();
+}
+
+Row MakeRow(const SchemaPtr& schema, int64_t trips, double rating) {
+  return Row::Create(schema, {Value::Int64(trips), Value::Double(rating)})
+      .value();
+}
+
+class OnlineStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = ViewSchema();
+    ASSERT_TRUE(store_.CreateView("user_stats", schema_).ok());
+  }
+
+  OnlineStore store_;
+  SchemaPtr schema_;
+};
+
+TEST_F(OnlineStoreTest, ViewRegistry) {
+  EXPECT_TRUE(store_.HasView("user_stats"));
+  EXPECT_FALSE(store_.HasView("other"));
+  EXPECT_TRUE(store_.CreateView("user_stats", schema_).IsAlreadyExists());
+  EXPECT_FALSE(store_.CreateView("", schema_).ok());
+  EXPECT_FALSE(store_.CreateView("x", nullptr).ok());
+  EXPECT_TRUE(store_.ViewSchema("user_stats").ok());
+  EXPECT_TRUE(store_.ViewSchema("other").status().IsNotFound());
+}
+
+TEST_F(OnlineStoreTest, PutGetRoundTrip) {
+  Row row = MakeRow(schema_, 5, 4.9);
+  ASSERT_TRUE(
+      store_.Put("user_stats", Value::Int64(1), row, Hours(1), Hours(1)).ok());
+  auto got = store_.Get("user_stats", Value::Int64(1), Hours(2));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, row);
+  EXPECT_TRUE(
+      store_.Get("user_stats", Value::Int64(2), Hours(2)).status().IsNotFound());
+}
+
+TEST_F(OnlineStoreTest, PutValidatesViewAndSchema) {
+  Row row = MakeRow(schema_, 1, 1.0);
+  EXPECT_TRUE(store_.Put("missing", Value::Int64(1), row, 0, 0)
+                  .IsNotFound());
+  auto other = Schema::Create({{"z", FeatureType::kInt64, true}}).value();
+  Row bad = Row::Create(other, {Value::Int64(1)}).value();
+  EXPECT_TRUE(store_.Put("user_stats", Value::Int64(1), bad, 0, 0)
+                  .IsInvalidArgument());
+}
+
+TEST_F(OnlineStoreTest, EventTimeLastWriterWins) {
+  ASSERT_TRUE(store_.Put("user_stats", Value::Int64(1),
+                         MakeRow(schema_, 10, 1.0), Hours(10), Hours(10))
+                  .ok());
+  // Older event time: dropped.
+  ASSERT_TRUE(store_.Put("user_stats", Value::Int64(1),
+                         MakeRow(schema_, 5, 1.0), Hours(5), Hours(11))
+                  .ok());
+  EXPECT_EQ(store_.Get("user_stats", Value::Int64(1), Hours(12))
+                ->value(0).int64_value(), 10);
+  EXPECT_EQ(store_.stats().stale_writes, 1u);
+  // Newer event time: replaces.
+  ASSERT_TRUE(store_.Put("user_stats", Value::Int64(1),
+                         MakeRow(schema_, 20, 1.0), Hours(20), Hours(21))
+                  .ok());
+  EXPECT_EQ(store_.Get("user_stats", Value::Int64(1), Hours(22))
+                ->value(0).int64_value(), 20);
+}
+
+TEST_F(OnlineStoreTest, TtlExpiryAndEviction) {
+  ASSERT_TRUE(store_.Put("user_stats", Value::Int64(1),
+                         MakeRow(schema_, 1, 1.0), Hours(1), Hours(1),
+                         Hours(2))
+                  .ok());
+  EXPECT_TRUE(store_.Get("user_stats", Value::Int64(1), Hours(2)).ok());
+  // Expired at write_time + ttl = 3h.
+  EXPECT_TRUE(store_.Get("user_stats", Value::Int64(1), Hours(3))
+                  .status().IsNotFound());
+  EXPECT_EQ(store_.stats().expired, 1u);
+  EXPECT_EQ(store_.stats().num_cells, 1u);
+  EXPECT_EQ(store_.EvictExpired(Hours(3)), 1u);
+  EXPECT_EQ(store_.stats().num_cells, 0u);
+}
+
+TEST_F(OnlineStoreTest, DefaultTtlFromOptions) {
+  OnlineStoreOptions opt;
+  opt.default_ttl = Hours(1);
+  OnlineStore store(opt);
+  ASSERT_TRUE(store.CreateView("v", schema_).ok());
+  ASSERT_TRUE(
+      store.Put("v", Value::Int64(1), MakeRow(schema_, 1, 1.0), 0, 0).ok());
+  EXPECT_TRUE(store.Get("v", Value::Int64(1), Minutes(59)).ok());
+  EXPECT_FALSE(store.Get("v", Value::Int64(1), Hours(1)).ok());
+}
+
+TEST_F(OnlineStoreTest, NoTtlNeverExpires) {
+  ASSERT_TRUE(store_.Put("user_stats", Value::Int64(1),
+                         MakeRow(schema_, 1, 1.0), 0, 0)
+                  .ok());
+  EXPECT_TRUE(
+      store_.Get("user_stats", Value::Int64(1), kMaxTimestamp - 1).ok());
+}
+
+TEST_F(OnlineStoreTest, MultiGetPreservesOrder) {
+  for (int64_t u = 0; u < 5; ++u) {
+    ASSERT_TRUE(store_.Put("user_stats", Value::Int64(u),
+                           MakeRow(schema_, u * 100, 0.0), Hours(1), Hours(1))
+                    .ok());
+  }
+  auto got = store_.MultiGet(
+      "user_stats",
+      {Value::Int64(3), Value::Int64(99), Value::Int64(0)}, Hours(2));
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0]->value(0).int64_value(), 300);
+  EXPECT_TRUE(got[1].status().IsNotFound());
+  EXPECT_EQ(got[2]->value(0).int64_value(), 0);
+}
+
+TEST_F(OnlineStoreTest, GetEventTimeForFreshness) {
+  ASSERT_TRUE(store_.Put("user_stats", Value::Int64(1),
+                         MakeRow(schema_, 1, 1.0), Hours(7), Hours(8))
+                  .ok());
+  EXPECT_EQ(store_.GetEventTime("user_stats", Value::Int64(1), Hours(9))
+                .value(), Hours(7));
+  EXPECT_TRUE(store_.GetEventTime("user_stats", Value::Int64(2), Hours(9))
+                  .status().IsNotFound());
+}
+
+TEST_F(OnlineStoreTest, DropView) {
+  ASSERT_TRUE(store_.CreateView("other", schema_).ok());
+  for (int64_t u = 0; u < 10; ++u) {
+    ASSERT_TRUE(store_.Put("user_stats", Value::Int64(u),
+                           MakeRow(schema_, u, 0.0), 0, 0).ok());
+    ASSERT_TRUE(store_.Put("other", Value::Int64(u),
+                           MakeRow(schema_, u, 0.0), 0, 0).ok());
+  }
+  EXPECT_EQ(store_.DropView("user_stats"), 10u);
+  EXPECT_EQ(store_.stats().num_cells, 10u);
+  EXPECT_TRUE(store_.Get("other", Value::Int64(3), 1).ok());
+}
+
+TEST_F(OnlineStoreTest, StatsCounters) {
+  ASSERT_TRUE(store_.Put("user_stats", Value::Int64(1),
+                         MakeRow(schema_, 1, 1.0), 0, 0).ok());
+  (void)store_.Get("user_stats", Value::Int64(1), 1);
+  (void)store_.Get("user_stats", Value::Int64(2), 1);
+  auto s = store_.stats();
+  EXPECT_EQ(s.puts, 1u);
+  EXPECT_EQ(s.gets, 2u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_GT(s.approx_bytes, 0u);
+}
+
+TEST_F(OnlineStoreTest, StringEntityKeys) {
+  ASSERT_TRUE(store_.CreateView("drivers", schema_).ok());
+  ASSERT_TRUE(store_.Put("drivers", Value::String("d-77"),
+                         MakeRow(schema_, 7, 4.2), 0, 0).ok());
+  EXPECT_TRUE(store_.Get("drivers", Value::String("d-77"), 1).ok());
+  EXPECT_FALSE(store_.Get("drivers", Value::Double(1.5), 1).ok());
+}
+
+TEST_F(OnlineStoreTest, ConcurrentPutsAndGets) {
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        int64_t key = (t * kOpsPerThread + i) % 100;
+        ASSERT_TRUE(store_.Put("user_stats", Value::Int64(key),
+                               MakeRow(schema_, i, 0.0), i, i).ok());
+        (void)store_.Get("user_stats", Value::Int64(key), i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  auto s = store_.stats();
+  EXPECT_EQ(s.puts, static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(s.gets, static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(s.num_cells, 100u);
+}
+
+}  // namespace
+}  // namespace mlfs

@@ -1,0 +1,179 @@
+#include "monitoring/patcher.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "embedding/embedding_drift.h"
+#include "ml/metrics.h"
+#include "ml/mlp.h"
+
+namespace mlfs {
+namespace {
+
+// A world where a subpopulation of entities ("slice") got bad embeddings:
+// their vectors sit near the wrong class region.
+struct BrokenWorld {
+  EmbeddingTablePtr table;
+  DownstreamTask task;
+  std::unordered_set<std::string> slice;
+};
+
+BrokenWorld MakeBrokenWorld(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> center_a(dim), center_b(dim);
+  for (size_t j = 0; j < dim; ++j) {
+    center_a[j] = static_cast<float>(rng.Gaussian(0, 3));
+    center_b[j] = static_cast<float>(rng.Gaussian(0, 3));
+  }
+  BrokenWorld world;
+  std::vector<std::string> keys;
+  std::vector<float> data;
+  for (size_t i = 0; i < n; ++i) {
+    std::string key = "e" + std::to_string(i);
+    keys.push_back(key);
+    int label = static_cast<int>(i % 2);
+    bool broken = (label == 1) && (i % 10 < 3);  // 30% of class 1 broken.
+    const auto& center = (label == 0) ? center_a
+                          : broken ? center_a  // Wrong side of the space.
+                                   : center_b;
+    for (size_t j = 0; j < dim; ++j) {
+      data.push_back(center[j] + static_cast<float>(rng.Gaussian(0, 0.4)));
+    }
+    world.task.keys.push_back(key);
+    world.task.labels.push_back(label);
+    if (broken) world.slice.insert(key);
+  }
+  EmbeddingTableMetadata metadata;
+  metadata.name = "world";
+  metadata.version = 1;
+  world.table = EmbeddingTable::Create(metadata, keys, data, dim).value();
+  return world;
+}
+
+TEST(OversampleWeightsTest, WeightsSliceOnly) {
+  DownstreamTask task;
+  task.keys = {"a", "b", "c"};
+  task.labels = {0, 1, 0};
+  auto weights = OversampleWeights(task, {"b"}, 5.0).value();
+  EXPECT_EQ(weights, (std::vector<double>{1.0, 5.0, 1.0}));
+  EXPECT_FALSE(OversampleWeights(task, {"b"}, 0.5).ok());
+}
+
+TEST(PatchEmbeddingTest, Validation) {
+  auto world = MakeBrokenWorld(100, 8, 1);
+  EXPECT_FALSE(PatchEmbedding(*world.table, world.task, world.slice,
+                              {.alpha = 2.0}).ok());
+  EXPECT_FALSE(PatchEmbedding(*world.table, world.task, {"missing"}, {}).ok());
+  DownstreamTask misaligned;
+  misaligned.keys = {"a"};
+  EXPECT_FALSE(PatchEmbedding(*world.table, misaligned, world.slice, {}).ok());
+}
+
+TEST(PatchEmbeddingTest, OnlySliceVectorsChange) {
+  auto world = MakeBrokenWorld(200, 8, 2);
+  auto patched = PatchEmbedding(*world.table, world.task, world.slice).value();
+  EXPECT_EQ(patched->metadata().parent, "world@v1");
+  for (size_t i = 0; i < world.table->size(); ++i) {
+    const std::string& key = world.table->key(i);
+    bool changed = false;
+    for (size_t j = 0; j < world.table->dim(); ++j) {
+      changed |= world.table->row(i)[j] != patched->row(i)[j];
+    }
+    if (world.slice.count(key)) {
+      EXPECT_TRUE(changed) << key;
+    } else {
+      EXPECT_FALSE(changed) << key;
+    }
+  }
+}
+
+TEST(PatchEmbeddingTest, PatchFixesSliceWithoutHurtingRest) {
+  auto world = MakeBrokenWorld(600, 8, 3);
+  auto patched = PatchEmbedding(*world.table, world.task, world.slice,
+                                {.alpha = 0.8, .repel = 0.1})
+                     .value();
+  auto eval =
+      EvaluatePatch(*world.table, *patched, world.task, world.slice).value();
+  EXPECT_LT(eval.slice_accuracy_before, 0.4);  // Broken slice misclassified.
+  EXPECT_GT(eval.slice_accuracy_after, 0.8);   // Patched.
+  EXPECT_GT(eval.rest_accuracy_before, 0.9);
+  EXPECT_GT(eval.rest_accuracy_after, 0.9);    // Rest unharmed.
+}
+
+TEST(PatchEmbeddingTest, PatchHelpsEveryDownstreamConsumer) {
+  // The paper's §3.1.3 point: fixing the embedding fixes *all* consumers.
+  auto world = MakeBrokenWorld(600, 8, 4);
+  auto patched = PatchEmbedding(*world.table, world.task, world.slice,
+                                {.alpha = 0.8, .repel = 0.1})
+                     .value();
+
+  auto slice_accuracy = [&](const EmbeddingTable& table, auto& model) {
+    Dataset data = MaterializeTask(world.task, table).value();
+    EXPECT_TRUE(model.Fit(data).ok());
+    auto preds = model.PredictBatch(data).value();
+    size_t n = 0, correct = 0;
+    for (size_t i = 0; i < world.task.keys.size(); ++i) {
+      if (!world.slice.count(world.task.keys[i])) continue;
+      ++n;
+      correct += preds[i] == world.task.labels[i];
+    }
+    return static_cast<double>(correct) / static_cast<double>(n);
+  };
+
+  // Consumer 1: linear model. Consumer 2: MLP.
+  SoftmaxClassifier linear_before, linear_after;
+  MlpClassifier mlp_before(16), mlp_after(16);
+  double linear_gain = slice_accuracy(*patched, linear_after) -
+                       slice_accuracy(*world.table, linear_before);
+  double mlp_gain = slice_accuracy(*patched, mlp_after) -
+                    slice_accuracy(*world.table, mlp_before);
+  EXPECT_GT(linear_gain, 0.3);
+  EXPECT_GT(mlp_gain, 0.2);
+}
+
+TEST(PatchEmbeddingTest, OversamplingAloneCannotFixBrokenGeometry) {
+  // The slice vectors sit in the wrong region: upweighting them trades off
+  // against the healthy class-0 examples living in the same region, so the
+  // model-level patch is far less effective than the embedding-level one.
+  auto world = MakeBrokenWorld(600, 8, 5);
+  Dataset data = MaterializeTask(world.task, *world.table).value();
+
+  TrainConfig weighted;
+  weighted.example_weights =
+      OversampleWeights(world.task, world.slice, 8.0).value();
+  SoftmaxClassifier oversampled;
+  ASSERT_TRUE(oversampled.Fit(data, weighted).ok());
+  auto preds = oversampled.PredictBatch(data).value();
+  size_t slice_n = 0, slice_correct = 0, rest_n = 0, rest_correct = 0;
+  for (size_t i = 0; i < world.task.keys.size(); ++i) {
+    bool in_slice = world.slice.count(world.task.keys[i]) > 0;
+    bool correct = preds[i] == world.task.labels[i];
+    (in_slice ? slice_n : rest_n) += 1;
+    (in_slice ? slice_correct : rest_correct) += correct;
+  }
+  double slice_acc = static_cast<double>(slice_correct) / slice_n;
+  double rest_acc = static_cast<double>(rest_correct) / rest_n;
+
+  auto patched = PatchEmbedding(*world.table, world.task, world.slice,
+                                {.alpha = 0.8, .repel = 0.1})
+                     .value();
+  auto eval =
+      EvaluatePatch(*world.table, *patched, world.task, world.slice).value();
+  // Embedding patch dominates: better on the slice without wrecking rest.
+  EXPECT_GT(eval.slice_accuracy_after + eval.rest_accuracy_after,
+            slice_acc + rest_acc);
+}
+
+TEST(PatchEmbeddingTest, PatchProducesBoundedDrift) {
+  // A patch is a *version change*; drift monitors should see a small,
+  // localized change, not an alarm-level global rewrite.
+  auto world = MakeBrokenWorld(400, 8, 6);
+  auto patched = PatchEmbedding(*world.table, world.task, world.slice).value();
+  auto report = CheckEmbeddingDrift(*world.table, *patched).value();
+  EXPECT_EQ(report.null_or_nan_cells, 0u);
+  // Most keys untouched: mean self-cosine stays high.
+  EXPECT_GT(report.mean_self_cosine, 0.8);
+}
+
+}  // namespace
+}  // namespace mlfs

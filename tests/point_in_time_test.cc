@@ -1,0 +1,210 @@
+#include "serving/point_in_time.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mlfs {
+namespace {
+
+class PitTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    feature_schema_ =
+        Schema::Create({{"user_id", FeatureType::kInt64, false},
+                        {"event_time", FeatureType::kTimestamp, false},
+                        {"trips", FeatureType::kInt64, true},
+                        {"rating", FeatureType::kDouble, true}})
+            .value();
+    OfflineTableOptions opt;
+    opt.name = "user_stats";
+    opt.schema = feature_schema_;
+    opt.entity_column = "user_id";
+    opt.time_column = "event_time";
+    ASSERT_TRUE(store_.CreateTable(opt).ok());
+    table_ = store_.GetTable("user_stats").value();
+
+    spine_schema_ =
+        Schema::Create({{"user_id", FeatureType::kInt64, false},
+                        {"ts", FeatureType::kTimestamp, false},
+                        {"label", FeatureType::kBool, false}})
+            .value();
+  }
+
+  void AddFeature(int64_t user, Timestamp ts, int64_t trips, double rating) {
+    ASSERT_TRUE(
+        table_
+            ->Append(Row::Create(feature_schema_,
+                                 {Value::Int64(user), Value::Time(ts),
+                                  Value::Int64(trips), Value::Double(rating)})
+                         .value())
+            .ok());
+  }
+
+  Row SpineRow(int64_t user, Timestamp ts, bool label) {
+    return Row::Create(spine_schema_, {Value::Int64(user), Value::Time(ts),
+                                       Value::Bool(label)})
+        .value();
+  }
+
+  OfflineStore store_;
+  OfflineTable* table_ = nullptr;
+  SchemaPtr feature_schema_;
+  SchemaPtr spine_schema_;
+};
+
+TEST_F(PitTest, JoinsLatestValueNotAfterSpineTime) {
+  AddFeature(1, Hours(1), 10, 4.0);
+  AddFeature(1, Hours(5), 20, 4.5);
+  AddFeature(2, Hours(2), 5, 3.0);
+
+  std::vector<Row> spine = {SpineRow(1, Hours(3), true),
+                            SpineRow(1, Hours(6), false),
+                            SpineRow(2, Hours(1), true)};
+  auto ts = PointInTimeJoin(spine, "user_id", "ts", {{table_, {}, "", 0, {}}});
+  ASSERT_TRUE(ts.ok()) << ts.status();
+  ASSERT_EQ(ts->rows.size(), 3u);
+  // Spine row at 3h sees the 1h snapshot (trips=10), not the 5h one.
+  EXPECT_EQ(ts->rows[0].ValueByName("trips").value(), Value::Int64(10));
+  EXPECT_EQ(ts->rows[1].ValueByName("trips").value(), Value::Int64(20));
+  // User 2 at 1h: feature arrives at 2h -> NULL (no leakage).
+  EXPECT_TRUE(ts->rows[2].ValueByName("trips").value().is_null());
+  EXPECT_EQ(ts->missing_cells, 2u);  // trips + rating for user 2.
+  // Spine columns preserved.
+  EXPECT_EQ(ts->rows[0].ValueByName("label").value(), Value::Bool(true));
+}
+
+TEST_F(PitTest, NaiveJoinLeaksFutureValues) {
+  AddFeature(1, Hours(1), 10, 4.0);
+  AddFeature(1, Hours(5), 20, 4.5);
+
+  std::vector<Row> spine = {SpineRow(1, Hours(3), true)};
+  auto naive =
+      NaiveLatestJoin(spine, "user_id", "ts", {{table_, {}, "", 0, {}}});
+  ASSERT_TRUE(naive.ok());
+  // Naive join sees the future 5h value at spine time 3h: leakage.
+  EXPECT_EQ(naive->rows[0].ValueByName("trips").value(), Value::Int64(20));
+
+  auto correct =
+      PointInTimeJoin(spine, "user_id", "ts", {{table_, {}, "", 0, {}}});
+  auto divergent = CountDivergentCells(*correct, *naive);
+  ASSERT_TRUE(divergent.ok());
+  EXPECT_EQ(*divergent, 2u);  // Both feature cells differ.
+}
+
+TEST_F(PitTest, MaxAgeExpiresStaleFeatures) {
+  AddFeature(1, Hours(1), 10, 4.0);
+  std::vector<Row> spine = {SpineRow(1, Hours(30), true)};
+  // Feature is 29h old at spine time; max_age 24h rejects it.
+  auto ts = PointInTimeJoin(spine, "user_id", "ts",
+                            {{table_, {"trips"}, "", Hours(24), {}}});
+  ASSERT_TRUE(ts.ok());
+  EXPECT_TRUE(ts->rows[0].ValueByName("trips").value().is_null());
+  // Without max_age it joins.
+  ts = PointInTimeJoin(spine, "user_id", "ts", {{table_, {"trips"}, "", 0, {}}});
+  EXPECT_EQ(ts->rows[0].ValueByName("trips").value(), Value::Int64(10));
+}
+
+TEST_F(PitTest, ColumnSelectionAndPrefix) {
+  AddFeature(1, Hours(1), 10, 4.0);
+  std::vector<Row> spine = {SpineRow(1, Hours(2), true)};
+  auto ts = PointInTimeJoin(spine, "user_id", "ts",
+                            {{table_, {"rating"}, "f__", 0, {}}});
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(ts->schema->num_fields(), 4u);  // 3 spine + 1 feature.
+  EXPECT_EQ(ts->rows[0].ValueByName("f__rating").value(),
+            Value::Double(4.0));
+  EXPECT_TRUE(ts->rows[0].ValueByName("rating").status().IsNotFound());
+}
+
+TEST_F(PitTest, MultipleSources) {
+  AddFeature(1, Hours(1), 10, 4.0);
+  // Second table with a different grain.
+  auto schema2 = Schema::Create({{"user_id", FeatureType::kInt64, false},
+                                 {"event_time", FeatureType::kTimestamp,
+                                  false},
+                                 {"score", FeatureType::kDouble, true}})
+                     .value();
+  OfflineTableOptions opt;
+  opt.name = "scores";
+  opt.schema = schema2;
+  opt.entity_column = "user_id";
+  opt.time_column = "event_time";
+  ASSERT_TRUE(store_.CreateTable(opt).ok());
+  auto scores = store_.GetTable("scores").value();
+  ASSERT_TRUE(scores
+                  ->Append(Row::Create(schema2, {Value::Int64(1),
+                                                 Value::Time(Hours(2)),
+                                                 Value::Double(0.9)})
+                               .value())
+                  .ok());
+
+  std::vector<Row> spine = {SpineRow(1, Hours(3), true)};
+  auto ts = PointInTimeJoin(
+      spine, "user_id", "ts",
+      {{table_, {"trips"}, "a__", 0, {}},
+       {scores, {"score"}, "b__", 0, {}}});
+  ASSERT_TRUE(ts.ok()) << ts.status();
+  EXPECT_EQ(ts->rows[0].ValueByName("a__trips").value(), Value::Int64(10));
+  EXPECT_EQ(ts->rows[0].ValueByName("b__score").value(), Value::Double(0.9));
+}
+
+TEST_F(PitTest, Validation) {
+  EXPECT_FALSE(PointInTimeJoin({}, "user_id", "ts", {}).ok());
+  std::vector<Row> spine = {SpineRow(1, Hours(1), true)};
+  EXPECT_FALSE(PointInTimeJoin(spine, "nope", "ts", {}).ok());
+  EXPECT_FALSE(PointInTimeJoin(spine, "user_id", "label", {}).ok());
+  EXPECT_FALSE(
+      PointInTimeJoin(spine, "user_id", "ts", {{nullptr, {}, "", 0, {}}}).ok());
+  EXPECT_FALSE(PointInTimeJoin(spine, "user_id", "ts",
+                               {{table_, {"nope"}, "", 0, {}}})
+                   .ok());
+  // Column collision between spine and unprefixed source columns.
+  auto collide = PointInTimeJoin(
+      spine, "user_id", "ts", {{table_, {"trips"}, "label", 0, {}}});
+  EXPECT_TRUE(collide.ok());  // "labeltrips" is fine.
+}
+
+TEST_F(PitTest, RandomizedNoLeakageProperty) {
+  Rng rng(55);
+  for (int i = 0; i < 400; ++i) {
+    AddFeature(static_cast<int64_t>(rng.Uniform(10)),
+               static_cast<Timestamp>(rng.Uniform(Days(5))),
+               static_cast<int64_t>(i), rng.UniformDouble(0, 5));
+  }
+  std::vector<Row> spine;
+  for (int i = 0; i < 100; ++i) {
+    spine.push_back(SpineRow(static_cast<int64_t>(rng.Uniform(10)),
+                             static_cast<Timestamp>(rng.Uniform(Days(5))),
+                             rng.Bernoulli(0.5)));
+  }
+  auto ts = PointInTimeJoin(spine, "user_id", "ts", {{table_, {}, "", 0, {}}});
+  ASSERT_TRUE(ts.ok());
+  // Property: every joined trips value must identify a source row whose
+  // event time is <= the spine time (verified through the oracle AsOf).
+  for (size_t r = 0; r < spine.size(); ++r) {
+    Timestamp t = spine[r].ValueByName("ts").value().time_value();
+    Value entity = spine[r].ValueByName("user_id").value();
+    auto oracle = table_->AsOf(entity, t);
+    const Value& joined = ts->rows[r].ValueByName("trips").value();
+    if (oracle.ok()) {
+      EXPECT_EQ(joined, oracle->ValueByName("trips").value());
+    } else {
+      EXPECT_TRUE(joined.is_null());
+    }
+  }
+}
+
+TEST_F(PitTest, CountDivergentValidation) {
+  AddFeature(1, Hours(1), 1, 1.0);
+  std::vector<Row> spine = {SpineRow(1, Hours(2), true)};
+  auto a = PointInTimeJoin(spine, "user_id", "ts", {{table_, {}, "", 0, {}}});
+  std::vector<Row> spine2 = {SpineRow(1, Hours(2), true),
+                             SpineRow(1, Hours(3), true)};
+  auto b = PointInTimeJoin(spine2, "user_id", "ts", {{table_, {}, "", 0, {}}});
+  EXPECT_FALSE(CountDivergentCells(*a, *b).ok());
+  EXPECT_EQ(CountDivergentCells(*a, *a).value(), 0u);
+}
+
+}  // namespace
+}  // namespace mlfs

@@ -1,0 +1,240 @@
+#include "registry/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "registry/materializer.h"
+#include "registry/orchestrator.h"
+#include "storage/online_store.h"
+
+namespace mlfs {
+namespace {
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = Schema::Create({{"user_id", FeatureType::kInt64, false},
+                              {"event_time", FeatureType::kTimestamp, false},
+                              {"trips_7d", FeatureType::kInt64, true},
+                              {"trips_30d", FeatureType::kInt64, true},
+                              {"rating", FeatureType::kDouble, true}})
+                  .value();
+    OfflineTableOptions opt;
+    opt.name = "user_activity";
+    opt.schema = schema_;
+    opt.entity_column = "user_id";
+    opt.time_column = "event_time";
+    ASSERT_TRUE(offline_.CreateTable(opt).ok());
+  }
+
+  void AddSource(int64_t user, Timestamp ts, int64_t t7, int64_t t30,
+                 double rating) {
+    auto table = offline_.GetTable("user_activity").value();
+    ASSERT_TRUE(table
+                    ->Append(Row::Create(schema_,
+                                         {Value::Int64(user), Value::Time(ts),
+                                          Value::Int64(t7), Value::Int64(t30),
+                                          Value::Double(rating)})
+                                 .value())
+                    .ok());
+  }
+
+  FeatureDefinition TripRateDef() {
+    FeatureDefinition def;
+    def.name = "user_trip_rate";
+    def.entity = "user";
+    def.source_table = "user_activity";
+    def.expression = "trips_7d / (trips_30d + 1)";
+    def.cadence = Hours(6);
+    return def;
+  }
+
+  SchemaPtr schema_;
+  OfflineStore offline_;
+  OnlineStore online_;
+};
+
+TEST_F(RegistryTest, PublishAssignsVersionsAndInfersTypes) {
+  FeatureRegistry registry(&offline_);
+  auto v1 = registry.Publish(TripRateDef(), Hours(1));
+  ASSERT_TRUE(v1.ok()) << v1.status();
+  EXPECT_EQ(*v1, 1);
+
+  auto reg = registry.Get("user_trip_rate").value();
+  EXPECT_EQ(reg.output_type, FeatureType::kDouble);
+  EXPECT_EQ(reg.input_columns,
+            (std::vector<std::string>{"trips_30d", "trips_7d"}));
+  EXPECT_EQ(reg.VersionedName(), "user_trip_rate@v1");
+
+  // Re-publish bumps the version.
+  auto def2 = TripRateDef();
+  def2.expression = "trips_7d / (trips_30d + 2)";
+  EXPECT_EQ(registry.Publish(def2, Hours(2)).value(), 2);
+  EXPECT_EQ(registry.Get("user_trip_rate").value().version, 2);
+  EXPECT_EQ(registry.GetVersion("user_trip_rate", 1).value().def.expression,
+            TripRateDef().expression);
+  EXPECT_TRUE(registry.GetVersion("user_trip_rate", 3).status().IsNotFound());
+  EXPECT_EQ(registry.num_features(), 1u);
+}
+
+TEST_F(RegistryTest, PublishValidatesDefinitions) {
+  FeatureRegistry registry(&offline_);
+  auto def = TripRateDef();
+
+  def.name = "";
+  EXPECT_FALSE(registry.Publish(def, 0).ok());
+
+  def = TripRateDef();
+  def.entity = "";
+  EXPECT_FALSE(registry.Publish(def, 0).ok());
+
+  def = TripRateDef();
+  def.cadence = 0;
+  EXPECT_FALSE(registry.Publish(def, 0).ok());
+
+  def = TripRateDef();
+  def.source_table = "missing_table";
+  EXPECT_TRUE(registry.Publish(def, 0).status().IsNotFound());
+
+  def = TripRateDef();
+  def.expression = "no_such_column + 1";
+  EXPECT_FALSE(registry.Publish(def, 0).ok());
+
+  def = TripRateDef();
+  def.expression = "rating +";  // Syntax error.
+  EXPECT_FALSE(registry.Publish(def, 0).ok());
+
+  def = TripRateDef();
+  def.expression = "rating and true";  // Type error.
+  EXPECT_FALSE(registry.Publish(def, 0).ok());
+
+  def = TripRateDef();
+  def.expression = "null";  // Useless definition.
+  EXPECT_FALSE(registry.Publish(def, 0).ok());
+}
+
+TEST_F(RegistryTest, ListAndLineageQueries) {
+  FeatureRegistry registry(&offline_);
+  ASSERT_TRUE(registry.Publish(TripRateDef(), 0).ok());
+  auto def2 = TripRateDef();
+  def2.name = "user_rating_clamped";
+  def2.expression = "clamp(rating, 1.0, 5.0)";
+  ASSERT_TRUE(registry.Publish(def2, 0).ok());
+  auto def3 = TripRateDef();
+  def3.name = "driver_dummy";
+  def3.entity = "driver";
+  def3.expression = "rating * 2";
+  ASSERT_TRUE(registry.Publish(def3, 0).ok());
+
+  EXPECT_EQ(registry.ListLatest().size(), 3u);
+  EXPECT_EQ(registry.ListByEntity("user").size(), 2u);
+  EXPECT_EQ(registry.ListByEntity("driver").size(), 1u);
+
+  auto readers = registry.FeaturesReadingColumn("user_activity", "rating");
+  EXPECT_EQ(readers.size(), 2u);
+  readers = registry.FeaturesReadingColumn("user_activity", "trips_7d");
+  EXPECT_EQ(readers, (std::vector<std::string>{"user_trip_rate"}));
+  EXPECT_TRUE(registry.FeaturesReadingColumn("other", "rating").empty());
+}
+
+TEST_F(RegistryTest, DeprecateStopsOrchestration) {
+  FeatureRegistry registry(&offline_);
+  ASSERT_TRUE(registry.Publish(TripRateDef(), 0).ok());
+  ASSERT_TRUE(registry.Deprecate("user_trip_rate").ok());
+  EXPECT_TRUE(registry.Get("user_trip_rate").value().deprecated);
+  EXPECT_TRUE(registry.Deprecate("missing").IsNotFound());
+
+  Materializer materializer(&online_, &offline_);
+  Orchestrator orchestrator(&registry, &materializer);
+  EXPECT_EQ(orchestrator.RunDue(Hours(1)).value(), 0);
+}
+
+TEST_F(RegistryTest, MaterializeWritesOnlineAndLog) {
+  AddSource(1, Hours(1), 7, 30, 4.5);
+  AddSource(2, Hours(2), 0, 10, 3.0);
+  AddSource(1, Hours(3), 9, 32, 4.6);  // Newer row for user 1.
+
+  FeatureRegistry registry(&offline_);
+  ASSERT_TRUE(registry.Publish(TripRateDef(), 0).ok());
+  auto feature = registry.Get("user_trip_rate").value();
+
+  Materializer materializer(&online_, &offline_);
+  auto result = materializer.Materialize(feature, Hours(4));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->entities_updated, 2u);
+  EXPECT_EQ(result->null_values, 0u);
+
+  auto got = online_.Get("user_trip_rate", Value::Int64(1), Hours(4));
+  ASSERT_TRUE(got.ok());
+  EXPECT_DOUBLE_EQ(got->ValueByName("value").value().double_value(),
+                   9.0 / 33.0);
+  // Freshness reflects the source event time.
+  EXPECT_EQ(online_.GetEventTime("user_trip_rate", Value::Int64(1), Hours(4))
+                .value(), Hours(3));
+
+  auto log = offline_.GetTable("user_trip_rate__log").value();
+  EXPECT_EQ(log->num_rows(), 2u);
+}
+
+TEST_F(RegistryTest, MaterializeAsOfIgnoresFutureRows) {
+  AddSource(1, Hours(1), 7, 30, 4.5);
+  AddSource(1, Hours(10), 9, 32, 4.6);
+
+  FeatureRegistry registry(&offline_);
+  ASSERT_TRUE(registry.Publish(TripRateDef(), 0).ok());
+  Materializer materializer(&online_, &offline_);
+  ASSERT_TRUE(
+      materializer.Materialize(registry.Get("user_trip_rate").value(),
+                               Hours(5))
+          .ok());
+  auto got = online_.Get("user_trip_rate", Value::Int64(1), Hours(5));
+  ASSERT_TRUE(got.ok());
+  EXPECT_DOUBLE_EQ(got->ValueByName("value").value().double_value(),
+                   7.0 / 31.0);
+}
+
+TEST_F(RegistryTest, OrchestratorRunsOnCadence) {
+  AddSource(1, Hours(0), 1, 1, 1.0);
+  FeatureRegistry registry(&offline_);
+  auto def = TripRateDef();
+  def.cadence = Hours(6);
+  ASSERT_TRUE(registry.Publish(def, Hours(0)).ok());
+
+  Materializer materializer(&online_, &offline_);
+  Orchestrator orchestrator(&registry, &materializer);
+
+  EXPECT_EQ(orchestrator.RunDue(Hours(0)).value(), 1);  // First run.
+  EXPECT_EQ(orchestrator.RunDue(Hours(3)).value(), 0);  // Not due yet.
+  EXPECT_EQ(orchestrator.RunDue(Hours(6)).value(), 1);  // Due again.
+  const RefreshState* state = orchestrator.GetState("user_trip_rate");
+  ASSERT_NE(state, nullptr);
+  EXPECT_EQ(state->runs, 2u);
+  EXPECT_EQ(orchestrator.RefreshStaleness("user_trip_rate", Hours(8)),
+            Hours(2));
+  EXPECT_EQ(orchestrator.NextDue(), Hours(12));
+  EXPECT_EQ(orchestrator.RefreshStaleness("never_ran", Hours(8)),
+            kMaxTimestamp);
+}
+
+TEST_F(RegistryTest, RunIntervalHonorsDifferentCadences) {
+  AddSource(1, Hours(0), 1, 1, 1.0);
+  FeatureRegistry registry(&offline_);
+  auto fast = TripRateDef();
+  fast.name = "fast_feature";
+  fast.cadence = Hours(1);
+  auto slow = TripRateDef();
+  slow.name = "slow_feature";
+  slow.cadence = Hours(24);
+  ASSERT_TRUE(registry.Publish(fast, 0).ok());
+  ASSERT_TRUE(registry.Publish(slow, 0).ok());
+
+  Materializer materializer(&online_, &offline_);
+  Orchestrator orchestrator(&registry, &materializer);
+  // 49 hourly ticks over two days: fast runs 49x, slow runs 3x (0, 24, 48).
+  EXPECT_EQ(orchestrator.RunInterval(0, Hours(48), Hours(1)).value(), 49 + 3);
+  EXPECT_EQ(orchestrator.GetState("fast_feature")->runs, 49u);
+  EXPECT_EQ(orchestrator.GetState("slow_feature")->runs, 3u);
+  EXPECT_FALSE(orchestrator.RunInterval(0, 1, 0).ok());
+}
+
+}  // namespace
+}  // namespace mlfs

@@ -1,0 +1,126 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace mlfs {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123), c(124);
+  bool all_equal = true;
+  bool any_diff_seed = false;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next();
+    all_equal &= (va == b.Next());
+    any_diff_seed |= (va != c.Next());
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_seed);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanCloseToCenter) {
+  Rng rng(7);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.UniformDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(42);
+  const int n = 100000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(9);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto orig = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, orig);  // Astronomically unlikely to be identity.
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SampleWithoutReplacement) {
+  Rng rng(3);
+  auto s = rng.SampleWithoutReplacement(100, 10);
+  ASSERT_EQ(s.size(), 10u);
+  for (size_t i = 1; i < s.size(); ++i) {
+    EXPECT_LT(s[i - 1], s[i]);  // Sorted and distinct.
+    EXPECT_LT(s[i], 100u);
+  }
+  auto all = rng.SampleWithoutReplacement(5, 10);
+  EXPECT_EQ(all.size(), 5u);
+}
+
+TEST(ZipfTest, PmfSumsToOneAndDecreases) {
+  ZipfDistribution z(100, 1.1);
+  double total = 0;
+  for (size_t r = 0; r < z.n(); ++r) total += z.Pmf(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(z.Pmf(0), z.Pmf(1));
+  EXPECT_GT(z.Pmf(1), z.Pmf(50));
+}
+
+TEST(ZipfTest, SampleMatchesPmfOnHead) {
+  Rng rng(17);
+  ZipfDistribution z(1000, 1.0);
+  const int n = 200000;
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < n; ++i) ++counts[z.Sample(&rng)];
+  for (size_t r = 0; r < 5; ++r) {
+    double observed = static_cast<double>(counts[r]) / n;
+    EXPECT_NEAR(observed, z.Pmf(r), 0.01) << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, ZeroSkewIsUniform) {
+  ZipfDistribution z(10, 0.0);
+  for (size_t r = 0; r < 10; ++r) EXPECT_NEAR(z.Pmf(r), 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace mlfs

@@ -1,0 +1,103 @@
+#include "ml/sgns.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace mlfs {
+namespace {
+
+// Corpus with two "topics": tokens 0-4 co-occur, tokens 5-9 co-occur.
+std::vector<std::vector<int>> TwoTopicCorpus(size_t sentences,
+                                             uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<int>> corpus;
+  for (size_t s = 0; s < sentences; ++s) {
+    bool topic_a = rng.Bernoulli(0.5);
+    std::vector<int> sentence;
+    for (int t = 0; t < 8; ++t) {
+      int base = topic_a ? 0 : 5;
+      sentence.push_back(base + static_cast<int>(rng.Uniform(5)));
+    }
+    corpus.push_back(std::move(sentence));
+  }
+  return corpus;
+}
+
+TEST(SgnsTest, Validation) {
+  EXPECT_FALSE(TrainSgns({}, 0).ok());
+  EXPECT_FALSE(TrainSgns({{0, 1}}, 2, {.dim = 0}).ok());
+  EXPECT_FALSE(TrainSgns({{0, 5}}, 2).ok());  // Token out of range.
+  EXPECT_FALSE(TrainSgns({{}}, 2).ok());      // Empty corpus.
+}
+
+TEST(SgnsTest, ShapesAndDeterminism) {
+  auto corpus = TwoTopicCorpus(50, 1);
+  SgnsConfig config;
+  config.dim = 16;
+  config.epochs = 2;
+  auto a = TrainSgns(corpus, 10, config).value();
+  auto b = TrainSgns(corpus, 10, config).value();
+  EXPECT_EQ(a.vocab_size, 10u);
+  EXPECT_EQ(a.dim, 16u);
+  EXPECT_EQ(a.vectors.size(), 160u);
+  EXPECT_EQ(a.vectors, b.vectors);  // Same seed, same result.
+
+  config.seed = 2;
+  auto c = TrainSgns(corpus, 10, config).value();
+  EXPECT_NE(a.vectors, c.vectors);
+}
+
+TEST(SgnsTest, CooccurringTokensAreCloserThanCrossTopic) {
+  auto corpus = TwoTopicCorpus(800, 3);
+  SgnsConfig config;
+  config.dim = 16;
+  config.epochs = 5;
+  auto emb = TrainSgns(corpus, 10, config).value();
+  // Mean within-topic vs cross-topic cosine.
+  double within = 0, cross = 0;
+  int nw = 0, nc = 0;
+  for (size_t a = 0; a < 10; ++a) {
+    for (size_t b = a + 1; b < 10; ++b) {
+      double cos = EmbeddingCosine(emb, a, b);
+      if ((a < 5) == (b < 5)) {
+        within += cos;
+        ++nw;
+      } else {
+        cross += cos;
+        ++nc;
+      }
+    }
+  }
+  within /= nw;
+  cross /= nc;
+  EXPECT_GT(within, cross + 0.3)
+      << "within=" << within << " cross=" << cross;
+}
+
+TEST(SgnsTest, NearestTokensRespectTopics) {
+  auto corpus = TwoTopicCorpus(800, 4);
+  SgnsConfig config;
+  config.dim = 16;
+  config.epochs = 5;
+  auto emb = TrainSgns(corpus, 10, config).value();
+  auto neighbors = NearestTokens(emb, 0, 4);
+  ASSERT_EQ(neighbors.size(), 4u);
+  // All 4 nearest neighbors of token 0 should be in topic A (tokens 1-4).
+  int in_topic = 0;
+  for (size_t n : neighbors) in_topic += (n < 5);
+  EXPECT_GE(in_topic, 3);
+}
+
+TEST(SgnsTest, NearestExcludesSelfAndCapsK) {
+  auto corpus = TwoTopicCorpus(50, 5);
+  auto emb = TrainSgns(corpus, 10, {.dim = 8, .epochs = 1}).value();
+  auto neighbors = NearestTokens(emb, 3, 100);
+  EXPECT_EQ(neighbors.size(), 9u);  // Vocab minus self.
+  EXPECT_EQ(std::count(neighbors.begin(), neighbors.end(), 3u), 0);
+}
+
+}  // namespace
+}  // namespace mlfs

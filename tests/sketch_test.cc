@@ -1,0 +1,173 @@
+#include "quality/sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "quality/streaming_monitor.h"
+
+namespace mlfs {
+namespace {
+
+TEST(HllTest, Validation) {
+  EXPECT_FALSE(HyperLogLog::Create(3).ok());
+  EXPECT_FALSE(HyperLogLog::Create(17).ok());
+  EXPECT_TRUE(HyperLogLog::Create(4).ok());
+}
+
+TEST(HllTest, EmptyIsZero) {
+  auto hll = HyperLogLog::Create().value();
+  EXPECT_NEAR(hll.Estimate(), 0.0, 1e-9);
+}
+
+TEST(HllTest, SmallCardinalityIsNearExact) {
+  auto hll = HyperLogLog::Create(12).value();
+  for (int i = 0; i < 100; ++i) hll.Add(Value::Int64(i));
+  // Duplicates change nothing.
+  for (int i = 0; i < 100; ++i) hll.Add(Value::Int64(i));
+  EXPECT_NEAR(hll.Estimate(), 100.0, 3.0);
+}
+
+class HllAccuracyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(HllAccuracyTest, WithinTheoreticalError) {
+  const size_t truth = GetParam();
+  auto hll = HyperLogLog::Create(12).value();
+  for (size_t i = 0; i < truth; ++i) {
+    hll.Add(Value::String("item_" + std::to_string(i)));
+  }
+  // 1.04/sqrt(4096) ~ 1.6% standard error; allow 5 sigma.
+  double tolerance = 5 * 1.04 / std::sqrt(4096.0) * truth;
+  EXPECT_NEAR(hll.Estimate(), static_cast<double>(truth),
+              std::max(tolerance, 10.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, HllAccuracyTest,
+                         ::testing::Values(1000, 10000, 100000, 500000));
+
+TEST(HllTest, MergeEqualsUnion) {
+  auto a = HyperLogLog::Create(12).value();
+  auto b = HyperLogLog::Create(12).value();
+  for (int i = 0; i < 5000; ++i) a.Add(Value::Int64(i));
+  for (int i = 2500; i < 7500; ++i) b.Add(Value::Int64(i));
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_NEAR(a.Estimate(), 7500.0, 7500 * 0.08);
+
+  auto mismatched = HyperLogLog::Create(10).value();
+  EXPECT_FALSE(a.Merge(mismatched).ok());
+}
+
+TEST(CountMinTest, Validation) {
+  EXPECT_FALSE(CountMinSketch::Create(1, 4).ok());
+  EXPECT_FALSE(CountMinSketch::Create(128, 0).ok());
+  EXPECT_TRUE(CountMinSketch::Create(128, 4).ok());
+}
+
+TEST(CountMinTest, NeverUndercounts) {
+  auto sketch = CountMinSketch::Create(256, 4).value();
+  Rng rng(1);
+  std::map<int64_t, uint64_t> truth;
+  for (int i = 0; i < 20000; ++i) {
+    int64_t key = static_cast<int64_t>(rng.Uniform(1000));
+    sketch.Add(Value::Int64(key));
+    ++truth[key];
+  }
+  EXPECT_EQ(sketch.total(), 20000u);
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(sketch.Estimate(Value::Int64(key)), count);
+  }
+}
+
+TEST(CountMinTest, HeavyHittersAccurate) {
+  auto sketch = CountMinSketch::Create(2048, 4).value();
+  Rng rng(2);
+  ZipfDistribution zipf(10000, 1.2);
+  std::vector<uint64_t> truth(10000, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    size_t key = zipf.Sample(&rng);
+    sketch.Add(Value::Int64(static_cast<int64_t>(key)));
+    ++truth[key];
+  }
+  // Top keys: estimate within eps*total of truth (eps ~ 2/width).
+  for (size_t key = 0; key < 10; ++key) {
+    uint64_t estimate = sketch.Estimate(Value::Int64(static_cast<int64_t>(key)));
+    EXPECT_GE(estimate, truth[key]);
+    EXPECT_LE(estimate, truth[key] + 2 * n / 2048);
+  }
+  EXPECT_EQ(sketch.Estimate(Value::String("never seen")), 0u);
+}
+
+TEST(StreamingMonitorTest, Validation) {
+  StreamingMonitorOptions options;
+  options.reference_size = 5;
+  EXPECT_FALSE(StreamingDriftMonitor::Create(options).ok());
+}
+
+TEST(StreamingMonitorTest, CalibratesThenStaysQuietOnStableStream) {
+  StreamingMonitorOptions options;
+  options.reference_size = 500;
+  options.window_size = 200;
+  options.check_every = 100;
+  auto monitor = StreamingDriftMonitor::Create(options).value();
+  Rng rng(3);
+  int findings = 0;
+  for (int i = 0; i < 5000; ++i) {
+    auto finding = monitor.Observe(rng.Gaussian(10, 2), Seconds(i)).value();
+    findings += finding.has_value();
+  }
+  EXPECT_TRUE(monitor.calibrated());
+  EXPECT_LE(findings, 1);  // At most a rare false alarm.
+  EXPECT_LT(monitor.outlier_rate(), 0.01);
+}
+
+TEST(StreamingMonitorTest, DetectsMidStreamShift) {
+  StreamingMonitorOptions options;
+  options.reference_size = 500;
+  options.window_size = 200;
+  options.check_every = 50;
+  auto monitor = StreamingDriftMonitor::Create(options).value();
+  Rng rng(4);
+  std::optional<Timestamp> first_detection;
+  const Timestamp shift_at = Seconds(2000);
+  for (int i = 0; i < 4000; ++i) {
+    double mean = (Seconds(i) >= shift_at) ? 13.0 : 10.0;
+    auto finding = monitor.Observe(rng.Gaussian(mean, 2), Seconds(i)).value();
+    if (finding.has_value() && !first_detection) {
+      EXPECT_EQ(finding->kind, StreamingFinding::Kind::kDrift);
+      first_detection = finding->at;
+    }
+  }
+  ASSERT_TRUE(first_detection.has_value());
+  EXPECT_GE(*first_detection, shift_at);
+  // Detected within ~1.5 windows of the shift.
+  EXPECT_LE(*first_detection, shift_at + Seconds(400));
+}
+
+TEST(StreamingMonitorTest, DetectsOutlierBurst) {
+  StreamingMonitorOptions options;
+  options.reference_size = 500;
+  options.window_size = 100;
+  options.check_every = 50;
+  auto monitor = StreamingDriftMonitor::Create(options).value();
+  Rng rng(5);
+  bool burst_found = false;
+  for (int i = 0; i < 3000; ++i) {
+    // After t=2000, 20% of values are corrupted sentinels.
+    double value = rng.Gaussian(10, 1);
+    if (i >= 2000 && rng.Bernoulli(0.2)) value = 9999.0;
+    auto finding = monitor.Observe(value, Seconds(i)).value();
+    if (finding.has_value() &&
+        finding->kind == StreamingFinding::Kind::kOutlierBurst) {
+      burst_found = true;
+      EXPECT_GT(finding->outlier_rate, 0.05);
+      EXPECT_FALSE(finding->ToString().empty());
+      break;
+    }
+  }
+  EXPECT_TRUE(burst_found);
+}
+
+}  // namespace
+}  // namespace mlfs

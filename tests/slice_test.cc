@@ -1,0 +1,206 @@
+#include "monitoring/slice.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "monitoring/slice_finder.h"
+
+namespace mlfs {
+namespace {
+
+SchemaPtr MetaSchema() {
+  return Schema::Create({{"country", FeatureType::kString, true},
+                         {"mentions", FeatureType::kInt64, true},
+                         {"premium", FeatureType::kBool, true}})
+      .value();
+}
+
+Row Meta(const SchemaPtr& schema, const std::string& country,
+         int64_t mentions, bool premium) {
+  return Row::Create(schema, {Value::String(country), Value::Int64(mentions),
+                              Value::Bool(premium)})
+      .value();
+}
+
+TEST(SliceTest, CreateAndMatch) {
+  auto schema = MetaSchema();
+  auto slice =
+      Slice::Create({"rare", "mentions < 5 and country == 'de'"}, schema)
+          .value();
+  EXPECT_EQ(slice.name(), "rare");
+  EXPECT_TRUE(slice.Matches(Meta(schema, "de", 2, false)).value());
+  EXPECT_FALSE(slice.Matches(Meta(schema, "de", 10, false)).value());
+  EXPECT_FALSE(slice.Matches(Meta(schema, "us", 2, false)).value());
+}
+
+TEST(SliceTest, NullPredicateIsFalse) {
+  auto schema = MetaSchema();
+  auto slice = Slice::Create({"s", "mentions < 5"}, schema).value();
+  Row with_null =
+      Row::Create(schema, {Value::String("de"), Value::Null(),
+                           Value::Bool(false)})
+          .value();
+  EXPECT_FALSE(slice.Matches(with_null).value());
+}
+
+TEST(SliceTest, CreateValidation) {
+  auto schema = MetaSchema();
+  EXPECT_FALSE(Slice::Create({"", "premium"}, schema).ok());
+  EXPECT_FALSE(Slice::Create({"s", "mentions + 1"}, schema).ok());  // Not bool.
+  EXPECT_FALSE(Slice::Create({"s", "nope == 1"}, schema).ok());
+}
+
+TEST(EvaluateSlicesTest, ComputesPerSliceAccuracy) {
+  auto schema = MetaSchema();
+  std::vector<Row> metadata;
+  std::vector<int> truth, preds;
+  // 10 German rows (model always wrong), 30 US rows (always right).
+  for (int i = 0; i < 40; ++i) {
+    bool german = i < 10;
+    metadata.push_back(Meta(schema, german ? "de" : "us", i, false));
+    truth.push_back(1);
+    preds.push_back(german ? 0 : 1);
+  }
+  std::vector<Slice> slices = {
+      Slice::Create({"german", "country == 'de'"}, schema).value(),
+      Slice::Create({"american", "country == 'us'"}, schema).value(),
+      Slice::Create({"empty", "mentions > 1000"}, schema).value()};
+  auto metrics = EvaluateSlices(slices, metadata, truth, preds).value();
+  ASSERT_EQ(metrics.size(), 3u);
+  EXPECT_EQ(metrics[0].size, 10u);
+  EXPECT_DOUBLE_EQ(metrics[0].accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(metrics[0].population_accuracy, 0.75);
+  EXPECT_DOUBLE_EQ(metrics[0].accuracy_gap, 0.75);
+  EXPECT_DOUBLE_EQ(metrics[1].accuracy, 1.0);
+  EXPECT_EQ(metrics[2].size, 0u);
+  EXPECT_FALSE(metrics[0].ToString().empty());
+}
+
+TEST(EvaluateSlicesTest, Validation) {
+  auto schema = MetaSchema();
+  std::vector<Slice> slices;
+  EXPECT_FALSE(EvaluateSlices(slices, {}, {}, {}).ok());
+  EXPECT_FALSE(EvaluateSlices(slices, {Meta(schema, "de", 1, false)}, {1},
+                              {1, 2})
+                   .ok());
+}
+
+// ---------------------------------------------------------------------------
+// Slice finder.
+// ---------------------------------------------------------------------------
+
+struct PlantedWorld {
+  std::vector<Row> metadata;
+  std::vector<int> truth;
+  std::vector<int> preds;
+};
+
+// Model fails on (country == 'de'); everything else ~95% accurate.
+PlantedWorld PlantCountrySlice(size_t n, uint64_t seed) {
+  auto schema = MetaSchema();
+  Rng rng(seed);
+  PlantedWorld world;
+  const char* countries[] = {"us", "uk", "de", "fr"};
+  for (size_t i = 0; i < n; ++i) {
+    std::string country = countries[rng.Uniform(4)];
+    int64_t mentions = static_cast<int64_t>(rng.Uniform(100));
+    world.metadata.push_back(Meta(schema, country, mentions,
+                                  rng.Bernoulli(0.5)));
+    world.truth.push_back(1);
+    bool wrong = (country == "de") ? rng.Bernoulli(0.7)
+                                   : rng.Bernoulli(0.05);
+    world.preds.push_back(wrong ? 0 : 1);
+  }
+  return world;
+}
+
+TEST(SliceFinderTest, RecoversPlantedSlice) {
+  auto world = PlantCountrySlice(2000, 1);
+  auto slices =
+      FindUnderperformingSlices(world.metadata, world.truth, world.preds)
+          .value();
+  ASSERT_FALSE(slices.empty());
+  EXPECT_EQ(slices[0].predicate, "country == 'de'");
+  EXPECT_GT(slices[0].accuracy_gap, 0.3);
+  EXPECT_GT(slices[0].z_score, 5.0);
+  EXPECT_GT(slices[0].size, 300u);
+  EXPECT_EQ(slices[0].members.size(), slices[0].size);
+}
+
+TEST(SliceFinderTest, NoFalsePositivesOnUniformErrors) {
+  auto schema = MetaSchema();
+  Rng rng(2);
+  std::vector<Row> metadata;
+  std::vector<int> truth, preds;
+  const char* countries[] = {"us", "uk", "de", "fr"};
+  for (int i = 0; i < 2000; ++i) {
+    metadata.push_back(Meta(schema, countries[rng.Uniform(4)],
+                            static_cast<int64_t>(rng.Uniform(100)),
+                            rng.Bernoulli(0.5)));
+    truth.push_back(1);
+    preds.push_back(rng.Bernoulli(0.1) ? 0 : 1);  // Uniform 10% error.
+  }
+  auto slices = FindUnderperformingSlices(metadata, truth, preds).value();
+  EXPECT_TRUE(slices.empty());
+}
+
+TEST(SliceFinderTest, FindsConjunctionWhenNeitherAttributeAloneExplains) {
+  auto schema = MetaSchema();
+  Rng rng(3);
+  std::vector<Row> metadata;
+  std::vector<int> truth, preds;
+  const char* countries[] = {"us", "de"};
+  for (int i = 0; i < 4000; ++i) {
+    std::string country = countries[rng.Uniform(2)];
+    bool premium = rng.Bernoulli(0.5);
+    metadata.push_back(Meta(schema, country,
+                            static_cast<int64_t>(rng.Uniform(100)), premium));
+    truth.push_back(1);
+    // Only (de AND premium) fails hard.
+    bool wrong = (country == "de" && premium) ? rng.Bernoulli(0.8)
+                                              : rng.Bernoulli(0.05);
+    preds.push_back(wrong ? 0 : 1);
+  }
+  auto slices = FindUnderperformingSlices(metadata, truth, preds).value();
+  ASSERT_FALSE(slices.empty());
+  EXPECT_NE(slices[0].predicate.find("and"), std::string::npos)
+      << slices[0].predicate;
+  EXPECT_NE(slices[0].predicate.find("de"), std::string::npos);
+  EXPECT_NE(slices[0].predicate.find("premium"), std::string::npos);
+}
+
+TEST(SliceFinderTest, BucketizesNumericColumns) {
+  auto schema = MetaSchema();
+  Rng rng(4);
+  std::vector<Row> metadata;
+  std::vector<int> truth, preds;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t mentions = static_cast<int64_t>(rng.Uniform(100));
+    metadata.push_back(Meta(schema, "us", mentions, false));
+    truth.push_back(1);
+    // Fails on low-mention examples (the rare-things problem, §3.1.1).
+    bool wrong = (mentions < 25) ? rng.Bernoulli(0.6) : rng.Bernoulli(0.05);
+    preds.push_back(wrong ? 0 : 1);
+  }
+  auto slices = FindUnderperformingSlices(metadata, truth, preds).value();
+  ASSERT_FALSE(slices.empty());
+  EXPECT_NE(slices[0].predicate.find("mentions in q0"), std::string::npos)
+      << slices[0].predicate;
+}
+
+TEST(SliceFinderTest, RespectsMinSupport) {
+  auto world = PlantCountrySlice(2000, 5);
+  SliceFinderOptions options;
+  options.min_support = 10000;  // Impossible.
+  auto slices = FindUnderperformingSlices(world.metadata, world.truth,
+                                          world.preds, options)
+                    .value();
+  EXPECT_TRUE(slices.empty());
+}
+
+TEST(SliceFinderTest, Validation) {
+  EXPECT_FALSE(FindUnderperformingSlices({}, {}, {}).ok());
+}
+
+}  // namespace
+}  // namespace mlfs

@@ -1,0 +1,74 @@
+#include "quality/stats_math.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mlfs {
+namespace {
+
+TEST(StatsMathTest, LogGammaKnownValues) {
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-10);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-10);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-9);       // Γ(5)=4!
+  EXPECT_NEAR(LogGamma(0.5), std::log(std::sqrt(M_PI)), 1e-9);
+  // ln Γ(10.5) = ln(9.5 * 8.5 * ... * 0.5 * sqrt(pi)).
+  double expected = 0.5 * std::log(M_PI);
+  for (double k = 0.5; k <= 9.5; k += 1.0) expected += std::log(k);
+  EXPECT_NEAR(LogGamma(10.5), expected, 1e-9);
+}
+
+TEST(StatsMathTest, RegularizedGammaComplementarity) {
+  for (double a : {0.5, 1.0, 3.0, 10.0}) {
+    for (double x : {0.1, 1.0, 5.0, 20.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x) + RegularizedGammaQ(a, x), 1.0,
+                  1e-10)
+          << "a=" << a << " x=" << x;
+    }
+  }
+  EXPECT_EQ(RegularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_EQ(RegularizedGammaQ(2.0, 0.0), 1.0);
+}
+
+TEST(StatsMathTest, GammaPForExponential) {
+  // P(1, x) = 1 - e^-x.
+  for (double x : {0.5, 1.0, 2.0, 4.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-10);
+  }
+}
+
+TEST(StatsMathTest, ChiSquareSfKnownValues) {
+  // Chi-square with 1 df: P(X >= 3.841) ~ 0.05.
+  EXPECT_NEAR(ChiSquareSf(3.841, 1), 0.05, 0.001);
+  // 2 df: sf(x) = e^{-x/2}.
+  EXPECT_NEAR(ChiSquareSf(4.0, 2), std::exp(-2.0), 1e-10);
+  // 10 df: P(X >= 18.307) ~ 0.05.
+  EXPECT_NEAR(ChiSquareSf(18.307, 10), 0.05, 0.001);
+  EXPECT_EQ(ChiSquareSf(-1.0, 3), 1.0);
+}
+
+TEST(StatsMathTest, KsPValueBounds) {
+  EXPECT_EQ(KsPValue(0.0, 100, 100), 1.0);
+  EXPECT_LT(KsPValue(0.5, 1000, 1000), 1e-6);
+  double p1 = KsPValue(0.1, 100, 100);
+  double p2 = KsPValue(0.2, 100, 100);
+  EXPECT_GT(p1, p2);  // Larger statistic, smaller p.
+  EXPECT_GE(p1, 0.0);
+  EXPECT_LE(p1, 1.0);
+}
+
+TEST(StatsMathTest, KsPValueMatchesTable) {
+  // For large equal samples, critical D at alpha=0.05 is 1.358*sqrt(2/n).
+  size_t n = 500;
+  double d_crit = 1.358 * std::sqrt(2.0 / static_cast<double>(n));
+  EXPECT_NEAR(KsPValue(d_crit, n, n), 0.05, 0.01);
+}
+
+TEST(StatsMathTest, NormalCdf) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+}
+
+}  // namespace
+}  // namespace mlfs

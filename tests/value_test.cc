@@ -1,0 +1,119 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+#include "common/row.h"
+#include "common/schema.h"
+
+namespace mlfs {
+namespace {
+
+TEST(ValueTest, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), FeatureType::kNull);
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, TypedFactories) {
+  EXPECT_EQ(Value::Bool(true).bool_value(), true);
+  EXPECT_EQ(Value::Int64(-5).int64_value(), -5);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::String("hi").string_value(), "hi");
+  EXPECT_EQ(Value::Time(Hours(3)).time_value(), Hours(3));
+  Value e = Value::Embedding({1.0f, 2.0f});
+  ASSERT_EQ(e.embedding_value().size(), 2u);
+  EXPECT_FLOAT_EQ(e.embedding_value()[1], 2.0f);
+}
+
+TEST(ValueTest, AsDoubleCoercion) {
+  EXPECT_DOUBLE_EQ(Value::Bool(true).AsDouble().value(), 1.0);
+  EXPECT_DOUBLE_EQ(Value::Int64(7).AsDouble().value(), 7.0);
+  EXPECT_DOUBLE_EQ(Value::Double(1.5).AsDouble().value(), 1.5);
+  EXPECT_FALSE(Value::String("x").AsDouble().ok());
+  EXPECT_FALSE(Value::Null().AsDouble().ok());
+  EXPECT_FALSE(Value::Embedding({1.0f}).AsDouble().ok());
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value::Int64(3), Value::Int64(3));
+  EXPECT_FALSE(Value::Int64(3) == Value::Int64(4));
+  EXPECT_FALSE(Value::Int64(3) == Value::Double(3.0));
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_EQ(Value::Embedding({1.0f, 2.0f}), Value::Embedding({1.0f, 2.0f}));
+  EXPECT_FALSE(Value::Embedding({1.0f}) == Value::Embedding({1.0f, 2.0f}));
+}
+
+TEST(ValueTest, HashDistinguishesTypesAndValues) {
+  EXPECT_NE(HashValue(Value::Int64(1)), HashValue(Value::Int64(2)));
+  EXPECT_NE(HashValue(Value::Int64(1)), HashValue(Value::Double(1.0)));
+  EXPECT_NE(HashValue(Value::Null()), HashValue(Value::Bool(false)));
+  EXPECT_EQ(HashValue(Value::String("ab")), HashValue(Value::String("ab")));
+  // +0.0 and -0.0 hash the same since they compare equal as doubles.
+  EXPECT_EQ(HashValue(Value::Double(0.0)), HashValue(Value::Double(-0.0)));
+}
+
+TEST(ValueTest, ByteSizeTracksPayload) {
+  EXPECT_GT(Value::String("hello world").ByteSize(),
+            Value::String("x").ByteSize());
+  EXPECT_GT(Value::Embedding(std::vector<float>(128)).ByteSize(),
+            Value::Embedding(std::vector<float>(4)).ByteSize());
+}
+
+TEST(ValueTest, ToStringRendersEmbeddingsCompactly) {
+  Value e = Value::Embedding({1.0f, 2.0f, 3.0f, 4.0f});
+  std::string s = e.ToString();
+  EXPECT_NE(s.find("emb[4]"), std::string::npos);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+TEST(SchemaTest, CreateAndLookup) {
+  auto schema = Schema::Create({{"id", FeatureType::kInt64, false},
+                                {"score", FeatureType::kDouble, true}});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ((*schema)->num_fields(), 2u);
+  EXPECT_EQ((*schema)->FieldIndex("score"), 1);
+  EXPECT_EQ((*schema)->FieldIndex("missing"), -1);
+}
+
+TEST(SchemaTest, RejectsDuplicatesAndEmptyNames) {
+  EXPECT_FALSE(Schema::Create({{"a", FeatureType::kInt64, false},
+                               {"a", FeatureType::kDouble, true}})
+                   .ok());
+  EXPECT_FALSE(Schema::Create({{"", FeatureType::kInt64, false}}).ok());
+}
+
+TEST(SchemaTest, AcceptsRespectsNullability) {
+  auto schema = Schema::Create({{"id", FeatureType::kInt64, false},
+                                {"score", FeatureType::kDouble, true}})
+                    .value();
+  EXPECT_TRUE(schema->Accepts(0, Value::Int64(1)));
+  EXPECT_FALSE(schema->Accepts(0, Value::Null()));
+  EXPECT_TRUE(schema->Accepts(1, Value::Null()));
+  EXPECT_FALSE(schema->Accepts(1, Value::String("no")));
+}
+
+TEST(RowTest, CreateValidates) {
+  auto schema = Schema::Create({{"id", FeatureType::kInt64, false},
+                                {"name", FeatureType::kString, true}})
+                    .value();
+  auto row = Row::Create(schema, {Value::Int64(1), Value::String("a")});
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->value(0).int64_value(), 1);
+
+  EXPECT_FALSE(Row::Create(schema, {Value::Int64(1)}).ok());  // Arity.
+  EXPECT_FALSE(
+      Row::Create(schema, {Value::Null(), Value::Null()}).ok());  // Non-null.
+  EXPECT_FALSE(
+      Row::Create(schema, {Value::Double(1.0), Value::Null()}).ok());  // Type.
+}
+
+TEST(RowTest, ValueByName) {
+  auto schema = Schema::Create({{"id", FeatureType::kInt64, false}}).value();
+  auto row = Row::Create(schema, {Value::Int64(9)}).value();
+  EXPECT_EQ(row.ValueByName("id").value().int64_value(), 9);
+  EXPECT_TRUE(row.ValueByName("nope").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace mlfs
