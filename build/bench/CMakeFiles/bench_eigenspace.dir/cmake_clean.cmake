@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eigenspace.dir/bench_eigenspace.cc.o"
+  "CMakeFiles/bench_eigenspace.dir/bench_eigenspace.cc.o.d"
+  "bench_eigenspace"
+  "bench_eigenspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eigenspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_instability.dir/bench_instability.cc.o"
+  "CMakeFiles/bench_instability.dir/bench_instability.cc.o.d"
+  "bench_instability"
+  "bench_instability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_instability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pit_join.dir/bench_pit_join.cc.o"
+  "CMakeFiles/bench_pit_join.dir/bench_pit_join.cc.o.d"
+  "bench_pit_join"
+  "bench_pit_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pit_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rare_entities.dir/bench_rare_entities.cc.o"
+  "CMakeFiles/bench_rare_entities.dir/bench_rare_entities.cc.o.d"
+  "bench_rare_entities"
+  "bench_rare_entities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rare_entities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

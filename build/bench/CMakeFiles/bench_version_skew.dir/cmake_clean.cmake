@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_version_skew.dir/bench_version_skew.cc.o"
+  "CMakeFiles/bench_version_skew.dir/bench_version_skew.cc.o.d"
+  "bench_version_skew"
+  "bench_version_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_version_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

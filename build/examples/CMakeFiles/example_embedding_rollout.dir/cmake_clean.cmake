@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_embedding_rollout.dir/embedding_rollout.cpp.o"
+  "CMakeFiles/example_embedding_rollout.dir/embedding_rollout.cpp.o.d"
+  "example_embedding_rollout"
+  "example_embedding_rollout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_embedding_rollout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_entity_disambiguation.dir/entity_disambiguation.cpp.o"
+  "CMakeFiles/example_entity_disambiguation.dir/entity_disambiguation.cpp.o.d"
+  "example_entity_disambiguation"
+  "example_entity_disambiguation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_entity_disambiguation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ride_sharing.dir/ride_sharing.cpp.o"
+  "CMakeFiles/example_ride_sharing.dir/ride_sharing.cpp.o.d"
+  "example_ride_sharing"
+  "example_ride_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ride_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/mlfs.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/mlfs.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/mlfs.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/row.cc" "src/CMakeFiles/mlfs.dir/common/row.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/common/row.cc.o.d"
+  "/root/repo/src/common/schema.cc" "src/CMakeFiles/mlfs.dir/common/schema.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/common/schema.cc.o.d"
+  "/root/repo/src/common/serde.cc" "src/CMakeFiles/mlfs.dir/common/serde.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/common/serde.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/mlfs.dir/common/status.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/mlfs.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/threadpool.cc" "src/CMakeFiles/mlfs.dir/common/threadpool.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/common/threadpool.cc.o.d"
+  "/root/repo/src/common/timestamp.cc" "src/CMakeFiles/mlfs.dir/common/timestamp.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/common/timestamp.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/mlfs.dir/common/value.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/common/value.cc.o.d"
+  "/root/repo/src/core/feature_store.cc" "src/CMakeFiles/mlfs.dir/core/feature_store.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/core/feature_store.cc.o.d"
+  "/root/repo/src/datagen/kb.cc" "src/CMakeFiles/mlfs.dir/datagen/kb.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/datagen/kb.cc.o.d"
+  "/root/repo/src/datagen/tabular.cc" "src/CMakeFiles/mlfs.dir/datagen/tabular.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/datagen/tabular.cc.o.d"
+  "/root/repo/src/embedding/align.cc" "src/CMakeFiles/mlfs.dir/embedding/align.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/embedding/align.cc.o.d"
+  "/root/repo/src/embedding/brute_force.cc" "src/CMakeFiles/mlfs.dir/embedding/brute_force.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/embedding/brute_force.cc.o.d"
+  "/root/repo/src/embedding/compress.cc" "src/CMakeFiles/mlfs.dir/embedding/compress.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/embedding/compress.cc.o.d"
+  "/root/repo/src/embedding/embedding_drift.cc" "src/CMakeFiles/mlfs.dir/embedding/embedding_drift.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/embedding/embedding_drift.cc.o.d"
+  "/root/repo/src/embedding/embedding_store.cc" "src/CMakeFiles/mlfs.dir/embedding/embedding_store.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/embedding/embedding_store.cc.o.d"
+  "/root/repo/src/embedding/embedding_table.cc" "src/CMakeFiles/mlfs.dir/embedding/embedding_table.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/embedding/embedding_table.cc.o.d"
+  "/root/repo/src/embedding/hnsw.cc" "src/CMakeFiles/mlfs.dir/embedding/hnsw.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/embedding/hnsw.cc.o.d"
+  "/root/repo/src/embedding/ivf.cc" "src/CMakeFiles/mlfs.dir/embedding/ivf.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/embedding/ivf.cc.o.d"
+  "/root/repo/src/embedding/kmeans.cc" "src/CMakeFiles/mlfs.dir/embedding/kmeans.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/embedding/kmeans.cc.o.d"
+  "/root/repo/src/embedding/quality.cc" "src/CMakeFiles/mlfs.dir/embedding/quality.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/embedding/quality.cc.o.d"
+  "/root/repo/src/expr/ast.cc" "src/CMakeFiles/mlfs.dir/expr/ast.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/expr/ast.cc.o.d"
+  "/root/repo/src/expr/evaluator.cc" "src/CMakeFiles/mlfs.dir/expr/evaluator.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/expr/evaluator.cc.o.d"
+  "/root/repo/src/expr/lexer.cc" "src/CMakeFiles/mlfs.dir/expr/lexer.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/expr/lexer.cc.o.d"
+  "/root/repo/src/expr/parser.cc" "src/CMakeFiles/mlfs.dir/expr/parser.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/expr/parser.cc.o.d"
+  "/root/repo/src/ml/linear_model.cc" "src/CMakeFiles/mlfs.dir/ml/linear_model.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/ml/linear_model.cc.o.d"
+  "/root/repo/src/ml/matrix.cc" "src/CMakeFiles/mlfs.dir/ml/matrix.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/ml/matrix.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/CMakeFiles/mlfs.dir/ml/metrics.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/ml/metrics.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/CMakeFiles/mlfs.dir/ml/mlp.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/ml/mlp.cc.o.d"
+  "/root/repo/src/ml/sgns.cc" "src/CMakeFiles/mlfs.dir/ml/sgns.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/ml/sgns.cc.o.d"
+  "/root/repo/src/modelstore/model_registry.cc" "src/CMakeFiles/mlfs.dir/modelstore/model_registry.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/modelstore/model_registry.cc.o.d"
+  "/root/repo/src/monitoring/alerting.cc" "src/CMakeFiles/mlfs.dir/monitoring/alerting.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/monitoring/alerting.cc.o.d"
+  "/root/repo/src/monitoring/patcher.cc" "src/CMakeFiles/mlfs.dir/monitoring/patcher.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/monitoring/patcher.cc.o.d"
+  "/root/repo/src/monitoring/slice.cc" "src/CMakeFiles/mlfs.dir/monitoring/slice.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/monitoring/slice.cc.o.d"
+  "/root/repo/src/monitoring/slice_finder.cc" "src/CMakeFiles/mlfs.dir/monitoring/slice_finder.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/monitoring/slice_finder.cc.o.d"
+  "/root/repo/src/ned/ned.cc" "src/CMakeFiles/mlfs.dir/ned/ned.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/ned/ned.cc.o.d"
+  "/root/repo/src/quality/drift.cc" "src/CMakeFiles/mlfs.dir/quality/drift.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/quality/drift.cc.o.d"
+  "/root/repo/src/quality/feature_stats.cc" "src/CMakeFiles/mlfs.dir/quality/feature_stats.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/quality/feature_stats.cc.o.d"
+  "/root/repo/src/quality/outlier.cc" "src/CMakeFiles/mlfs.dir/quality/outlier.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/quality/outlier.cc.o.d"
+  "/root/repo/src/quality/sketch.cc" "src/CMakeFiles/mlfs.dir/quality/sketch.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/quality/sketch.cc.o.d"
+  "/root/repo/src/quality/skew.cc" "src/CMakeFiles/mlfs.dir/quality/skew.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/quality/skew.cc.o.d"
+  "/root/repo/src/quality/stats_math.cc" "src/CMakeFiles/mlfs.dir/quality/stats_math.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/quality/stats_math.cc.o.d"
+  "/root/repo/src/quality/streaming_monitor.cc" "src/CMakeFiles/mlfs.dir/quality/streaming_monitor.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/quality/streaming_monitor.cc.o.d"
+  "/root/repo/src/registry/materializer.cc" "src/CMakeFiles/mlfs.dir/registry/materializer.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/registry/materializer.cc.o.d"
+  "/root/repo/src/registry/orchestrator.cc" "src/CMakeFiles/mlfs.dir/registry/orchestrator.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/registry/orchestrator.cc.o.d"
+  "/root/repo/src/registry/registry.cc" "src/CMakeFiles/mlfs.dir/registry/registry.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/registry/registry.cc.o.d"
+  "/root/repo/src/serving/feature_server.cc" "src/CMakeFiles/mlfs.dir/serving/feature_server.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/serving/feature_server.cc.o.d"
+  "/root/repo/src/serving/point_in_time.cc" "src/CMakeFiles/mlfs.dir/serving/point_in_time.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/serving/point_in_time.cc.o.d"
+  "/root/repo/src/storage/offline_store.cc" "src/CMakeFiles/mlfs.dir/storage/offline_store.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/storage/offline_store.cc.o.d"
+  "/root/repo/src/storage/online_store.cc" "src/CMakeFiles/mlfs.dir/storage/online_store.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/storage/online_store.cc.o.d"
+  "/root/repo/src/storage/persistence.cc" "src/CMakeFiles/mlfs.dir/storage/persistence.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/storage/persistence.cc.o.d"
+  "/root/repo/src/streaming/aggregator.cc" "src/CMakeFiles/mlfs.dir/streaming/aggregator.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/streaming/aggregator.cc.o.d"
+  "/root/repo/src/streaming/stream_pipeline.cc" "src/CMakeFiles/mlfs.dir/streaming/stream_pipeline.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/streaming/stream_pipeline.cc.o.d"
+  "/root/repo/src/streaming/window.cc" "src/CMakeFiles/mlfs.dir/streaming/window.cc.o" "gcc" "src/CMakeFiles/mlfs.dir/streaming/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aggregator_test.cc" "tests/CMakeFiles/mlfs_tests.dir/aggregator_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/aggregator_test.cc.o.d"
+  "/root/repo/tests/align_test.cc" "tests/CMakeFiles/mlfs_tests.dir/align_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/align_test.cc.o.d"
+  "/root/repo/tests/ann_metric_test.cc" "tests/CMakeFiles/mlfs_tests.dir/ann_metric_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/ann_metric_test.cc.o.d"
+  "/root/repo/tests/ann_test.cc" "tests/CMakeFiles/mlfs_tests.dir/ann_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/ann_test.cc.o.d"
+  "/root/repo/tests/checkpoint_test.cc" "tests/CMakeFiles/mlfs_tests.dir/checkpoint_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/checkpoint_test.cc.o.d"
+  "/root/repo/tests/datagen_test.cc" "tests/CMakeFiles/mlfs_tests.dir/datagen_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/datagen_test.cc.o.d"
+  "/root/repo/tests/drift_test.cc" "tests/CMakeFiles/mlfs_tests.dir/drift_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/drift_test.cc.o.d"
+  "/root/repo/tests/embedding_feature_path_test.cc" "tests/CMakeFiles/mlfs_tests.dir/embedding_feature_path_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/embedding_feature_path_test.cc.o.d"
+  "/root/repo/tests/embedding_quality_test.cc" "tests/CMakeFiles/mlfs_tests.dir/embedding_quality_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/embedding_quality_test.cc.o.d"
+  "/root/repo/tests/embedding_table_test.cc" "tests/CMakeFiles/mlfs_tests.dir/embedding_table_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/embedding_table_test.cc.o.d"
+  "/root/repo/tests/expr_eval_test.cc" "tests/CMakeFiles/mlfs_tests.dir/expr_eval_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/expr_eval_test.cc.o.d"
+  "/root/repo/tests/expr_parser_test.cc" "tests/CMakeFiles/mlfs_tests.dir/expr_parser_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/expr_parser_test.cc.o.d"
+  "/root/repo/tests/feature_server_test.cc" "tests/CMakeFiles/mlfs_tests.dir/feature_server_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/feature_server_test.cc.o.d"
+  "/root/repo/tests/feature_stats_test.cc" "tests/CMakeFiles/mlfs_tests.dir/feature_stats_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/feature_stats_test.cc.o.d"
+  "/root/repo/tests/feature_store_test.cc" "tests/CMakeFiles/mlfs_tests.dir/feature_store_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/feature_store_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/mlfs_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/matrix_test.cc" "tests/CMakeFiles/mlfs_tests.dir/matrix_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/matrix_test.cc.o.d"
+  "/root/repo/tests/misc_common_test.cc" "tests/CMakeFiles/mlfs_tests.dir/misc_common_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/misc_common_test.cc.o.d"
+  "/root/repo/tests/ml_metrics_test.cc" "tests/CMakeFiles/mlfs_tests.dir/ml_metrics_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/ml_metrics_test.cc.o.d"
+  "/root/repo/tests/models_test.cc" "tests/CMakeFiles/mlfs_tests.dir/models_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/models_test.cc.o.d"
+  "/root/repo/tests/modelstore_test.cc" "tests/CMakeFiles/mlfs_tests.dir/modelstore_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/modelstore_test.cc.o.d"
+  "/root/repo/tests/ned_test.cc" "tests/CMakeFiles/mlfs_tests.dir/ned_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/ned_test.cc.o.d"
+  "/root/repo/tests/offline_store_test.cc" "tests/CMakeFiles/mlfs_tests.dir/offline_store_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/offline_store_test.cc.o.d"
+  "/root/repo/tests/online_store_test.cc" "tests/CMakeFiles/mlfs_tests.dir/online_store_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/online_store_test.cc.o.d"
+  "/root/repo/tests/patcher_test.cc" "tests/CMakeFiles/mlfs_tests.dir/patcher_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/patcher_test.cc.o.d"
+  "/root/repo/tests/persistence_test.cc" "tests/CMakeFiles/mlfs_tests.dir/persistence_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/persistence_test.cc.o.d"
+  "/root/repo/tests/point_in_time_test.cc" "tests/CMakeFiles/mlfs_tests.dir/point_in_time_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/point_in_time_test.cc.o.d"
+  "/root/repo/tests/registry_test.cc" "tests/CMakeFiles/mlfs_tests.dir/registry_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/registry_test.cc.o.d"
+  "/root/repo/tests/rng_test.cc" "tests/CMakeFiles/mlfs_tests.dir/rng_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/rng_test.cc.o.d"
+  "/root/repo/tests/serde_test.cc" "tests/CMakeFiles/mlfs_tests.dir/serde_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/serde_test.cc.o.d"
+  "/root/repo/tests/sgns_test.cc" "tests/CMakeFiles/mlfs_tests.dir/sgns_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/sgns_test.cc.o.d"
+  "/root/repo/tests/sketch_test.cc" "tests/CMakeFiles/mlfs_tests.dir/sketch_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/sketch_test.cc.o.d"
+  "/root/repo/tests/slice_test.cc" "tests/CMakeFiles/mlfs_tests.dir/slice_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/slice_test.cc.o.d"
+  "/root/repo/tests/stats_math_test.cc" "tests/CMakeFiles/mlfs_tests.dir/stats_math_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/stats_math_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/mlfs_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/value_test.cc" "tests/CMakeFiles/mlfs_tests.dir/value_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/value_test.cc.o.d"
+  "/root/repo/tests/window_test.cc" "tests/CMakeFiles/mlfs_tests.dir/window_test.cc.o" "gcc" "tests/CMakeFiles/mlfs_tests.dir/window_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mlfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
