@@ -1,6 +1,9 @@
 #include "serving/feature_server.h"
 
 #include <chrono>
+#include <thread>
+
+#include "common/failpoint.h"
 
 namespace mlfs {
 namespace {
@@ -11,36 +14,71 @@ double NowMicros() {
       .count();
 }
 
+/// Errors worth retrying: the store (or an injected fault standing in for a
+/// flaky backend) failed to answer, as opposed to answering "no such value".
+bool IsTransient(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kInternal:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kCorruption:
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace
 
 StatusOr<FeatureVector> FeatureServer::GetFeatures(
     const Value& entity_key, const std::vector<std::string>& features,
     Timestamp now) const {
+  MLFS_FAILPOINT("feature_server.get");
   const double start = NowMicros();
+  const uint32_t max_attempts = std::max<uint32_t>(1, options_.max_attempts);
+  uint64_t retries = 0;
   FeatureVector out;
   out.names = features;
   out.values.reserve(features.size());
   for (const std::string& feature : features) {
     StatusOr<Row> row = store_->Get(feature, entity_key, now);
+    for (uint32_t attempt = 1;
+         !row.ok() && IsTransient(row.status()) && attempt < max_attempts;
+         ++attempt) {
+      if (options_.initial_backoff_micros > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            options_.initial_backoff_micros << (attempt - 1)));
+      }
+      ++retries;
+      row = store_->Get(feature, entity_key, now);
+    }
     if (!row.ok()) {
+      const bool transient = IsTransient(row.status());
       if (options_.missing_policy == MissingFeaturePolicy::kError) {
+        retries_.fetch_add(retries, std::memory_order_relaxed);
         return Status::NotFound("feature '" + feature +
                                 "' unavailable: " + row.status().message());
       }
       out.values.push_back(Value::Null());
       ++out.missing;
+      if (transient) ++out.degraded;  // Retries exhausted, not a miss.
       continue;
     }
     // Materialized views have layout {entity, event_time, value}.
     int value_idx = row->schema()->FieldIndex("value");
     int time_idx = row->schema()->FieldIndex("event_time");
     if (value_idx < 0 || time_idx < 0) {
+      retries_.fetch_add(retries, std::memory_order_relaxed);
       return Status::FailedPrecondition(
           "view '" + feature + "' is not a materialized feature view");
     }
     out.values.push_back(row->value(value_idx));
     out.oldest_event_time =
         std::min(out.oldest_event_time, row->value(time_idx).time_value());
+  }
+  retries_.fetch_add(retries, std::memory_order_relaxed);
+  if (out.degraded > 0) {
+    degraded_features_.fetch_add(out.degraded, std::memory_order_relaxed);
+    degraded_responses_.fetch_add(1, std::memory_order_relaxed);
   }
   {
     std::lock_guard lock(mu_);
@@ -65,6 +103,18 @@ StatusOr<std::vector<FeatureVector>> FeatureServer::GetFeaturesBatch(
 Histogram FeatureServer::latency_histogram() const {
   std::lock_guard lock(mu_);
   return latency_us_;
+}
+
+FeatureServerStats FeatureServer::stats() const {
+  FeatureServerStats s;
+  {
+    std::lock_guard lock(mu_);
+    s.requests = requests_;
+  }
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.degraded_features = degraded_features_.load(std::memory_order_relaxed);
+  s.degraded_responses = degraded_responses_.load(std::memory_order_relaxed);
+  return s;
 }
 
 uint64_t FeatureServer::requests() const {

@@ -1,6 +1,7 @@
 #ifndef MLFS_SERVING_FEATURE_SERVER_H_
 #define MLFS_SERVING_FEATURE_SERVER_H_
 
+#include <atomic>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -20,6 +21,24 @@ enum class MissingFeaturePolicy : uint8_t {
 
 struct FeatureServerOptions {
   MissingFeaturePolicy missing_policy = MissingFeaturePolicy::kNull;
+  /// Store reads per feature before giving up on a *transient* error
+  /// (Internal / ResourceExhausted / Corruption): 1 means no retries.
+  /// Non-transient errors (NotFound, InvalidArgument, ...) never retry.
+  uint32_t max_attempts = 1;
+  /// Real-time backoff before retry k: initial_backoff_micros << (k-1).
+  /// 0 disables sleeping (retries stay back-to-back; keep 0 in unit tests).
+  uint64_t initial_backoff_micros = 0;
+};
+
+/// Traffic and resilience counters for one FeatureServer.
+struct FeatureServerStats {
+  uint64_t requests = 0;
+  /// Store reads re-issued after a transient error.
+  uint64_t retries = 0;
+  /// Features NULL-filled because retries were exhausted (kNull policy).
+  uint64_t degraded_features = 0;
+  /// Responses containing at least one degraded feature.
+  uint64_t degraded_responses = 0;
 };
 
 /// An assembled feature vector for one entity.
@@ -30,6 +49,9 @@ struct FeatureVector {
   /// kMaxTimestamp when every feature was missing.
   Timestamp oldest_event_time = kMaxTimestamp;
   uint64_t missing = 0;
+  /// Subset of `missing` that was NULL-filled after exhausting retries on
+  /// a transient store error (graceful degradation), rather than a miss.
+  uint64_t degraded = 0;
 };
 
 /// Low-latency online feature serving: assembles per-entity feature
@@ -37,6 +59,13 @@ struct FeatureVector {
 /// continuously provided to deployed models", paper §2.2.2). Each
 /// requested feature name must be an online view produced by the
 /// materializer (schema {entity, event_time, value}).
+///
+/// Transient store errors (as injected by failpoints, or surfaced by a
+/// future disk/remote backend) are retried up to options.max_attempts with
+/// exponential backoff; when retries are exhausted the server degrades
+/// gracefully per MissingFeaturePolicy instead of failing the request
+/// (kNull fills NULL so the model can impute). stats() exposes
+/// retry/degradation counters for alerting.
 ///
 /// Thread-safe. Latency of every request is recorded (wall-clock
 /// microseconds) in latency_histogram() — the one place MLFS uses real
@@ -60,6 +89,8 @@ class FeatureServer {
   /// Copy of the request-latency histogram (microseconds).
   Histogram latency_histogram() const;
 
+  FeatureServerStats stats() const;
+
   uint64_t requests() const;
 
  private:
@@ -68,6 +99,9 @@ class FeatureServer {
   mutable std::mutex mu_;
   mutable Histogram latency_us_;
   mutable uint64_t requests_ = 0;
+  mutable std::atomic<uint64_t> retries_{0};
+  mutable std::atomic<uint64_t> degraded_features_{0};
+  mutable std::atomic<uint64_t> degraded_responses_{0};
 };
 
 }  // namespace mlfs

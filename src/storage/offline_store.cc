@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
 #include "common/serde.h"
 #include "storage/entity_key.h"
 
@@ -86,11 +87,13 @@ Status OfflineTable::AppendLocked(const Row& row) {
 }
 
 Status OfflineTable::Append(const Row& row) {
+  MLFS_FAILPOINT("offline_store.append");
   std::unique_lock lock(mu_);
   return AppendLocked(row);
 }
 
 Status OfflineTable::AppendBatch(const std::vector<Row>& rows) {
+  MLFS_FAILPOINT("offline_store.append");
   std::unique_lock lock(mu_);
   for (const Row& row : rows) {
     MLFS_RETURN_IF_ERROR(AppendLocked(row));
@@ -127,6 +130,7 @@ std::vector<Row> OfflineTable::ScanIf(
 }
 
 StatusOr<Row> OfflineTable::AsOf(const Value& entity_key, Timestamp ts) const {
+  MLFS_FAILPOINT("offline_store.as_of");
   MLFS_ASSIGN_OR_RETURN(std::string key, EntityKeyToString(entity_key));
   std::shared_lock lock(mu_);
   // Walk partitions from the one containing ts backwards in time.

@@ -1,5 +1,6 @@
 #include "storage/online_store.h"
 
+#include "common/failpoint.h"
 #include "common/hash.h"
 #include "common/serde.h"
 #include "storage/entity_key.h"
@@ -62,6 +63,9 @@ StatusOr<SchemaPtr> OnlineStore::ViewSchema(const std::string& view) const {
 Status OnlineStore::Put(const std::string& view, const Value& entity_key,
                         Row row, Timestamp event_time, Timestamp write_time,
                         Timestamp ttl) {
+  // Injected before any counter/state mutation so stats invariants hold
+  // under fault injection.
+  MLFS_FAILPOINT("online_store.put");
   MLFS_ASSIGN_OR_RETURN(SchemaPtr schema, ViewSchema(view));
   if (row.schema() == nullptr || !(*row.schema() == *schema)) {
     return Status::InvalidArgument("row schema does not match view '" + view +
@@ -98,6 +102,7 @@ Status OnlineStore::Put(const std::string& view, const Value& entity_key,
 
 StatusOr<Row> OnlineStore::Get(const std::string& view,
                                const Value& entity_key, Timestamp now) const {
+  MLFS_FAILPOINT("online_store.get");
   gets_.fetch_add(1, std::memory_order_relaxed);
   auto keyor = EntityKeyToString(entity_key);
   if (!keyor.ok()) {

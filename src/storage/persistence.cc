@@ -6,6 +6,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/failpoint.h"
+
 namespace mlfs {
 namespace {
 
@@ -16,6 +18,7 @@ constexpr char kOfflineSuffix[] = ".offline.mlfs";
 }  // namespace
 
 Status WriteFileAtomic(const std::string& path, std::string_view data) {
+  MLFS_FAILPOINT("persistence.write");
   std::error_code ec;
   fs::path target(path);
   if (target.has_parent_path()) {
@@ -45,6 +48,7 @@ Status WriteFileAtomic(const std::string& path, std::string_view data) {
 }
 
 StatusOr<std::string> ReadFile(const std::string& path) {
+  MLFS_FAILPOINT("persistence.read");
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::NotFound("cannot open '" + path + "'");

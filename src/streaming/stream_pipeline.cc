@@ -1,5 +1,7 @@
 #include "streaming/stream_pipeline.h"
 
+#include "common/failpoint.h"
+
 namespace mlfs {
 
 StreamPipeline::StreamPipeline(StreamPipelineOptions options,
@@ -69,6 +71,7 @@ Status StreamPipeline::Flush(Timestamp watermark) {
 }
 
 Status StreamPipeline::MaterializeReady() {
+  MLFS_FAILPOINT("stream_pipeline.materialize");
   MLFS_ASSIGN_OR_RETURN(OfflineTable* table,
                         offline_->GetTable(options_.name));
   for (WindowResult& result : aggregator_->PollResults()) {

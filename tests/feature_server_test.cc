@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
+
 namespace mlfs {
 namespace {
 
@@ -70,6 +72,118 @@ TEST_F(FeatureServerTest, RejectsNonFeatureViews) {
   FeatureServer server(&store_);
   EXPECT_TRUE(server.GetFeatures(Value::Int64(1), {"raw"}, Hours(1))
                   .status().IsFailedPrecondition());
+}
+
+TEST_F(FeatureServerTest, ErrorPolicyFailsOnMissingView) {
+  FeatureServerOptions options;
+  options.missing_policy = MissingFeaturePolicy::kError;
+  FeatureServer server(&store_, options);
+  // "no_such_view" was never created: under kError the whole request fails.
+  auto fv = server.GetFeatures(Value::Int64(1), {"f1", "no_such_view"},
+                               Hours(4));
+  EXPECT_TRUE(fv.status().IsNotFound());
+  EXPECT_EQ(server.stats().degraded_features, 0u);
+}
+
+TEST_F(FeatureServerTest, TtlExpiredCellCountsExpiredAndFillsNull) {
+  Row row = Row::Create(view_schema_,
+                        {Value::Int64(9), Value::Time(Hours(1)),
+                         Value::Double(0.1)})
+                .value();
+  // TTL of 1h starting at write time 1h: expired from 2h onward.
+  ASSERT_TRUE(store_.Put("f1", Value::Int64(9), row, Hours(1), Hours(1),
+                         Hours(1)).ok());
+  FeatureServer server(&store_);
+  auto fv = server.GetFeatures(Value::Int64(9), {"f1"}, Hours(3));
+  ASSERT_TRUE(fv.ok()) << fv.status();
+  EXPECT_TRUE(fv->values[0].is_null());
+  EXPECT_EQ(fv->missing, 1u);
+  EXPECT_EQ(fv->degraded, 0u);  // An expired cell is a miss, not a fault.
+  EXPECT_EQ(store_.stats().expired, 1u);
+  EXPECT_EQ(fv->oldest_event_time, kMaxTimestamp);
+}
+
+class FeatureServerFailpointTest : public FeatureServerTest {
+ protected:
+  void SetUp() override {
+    FeatureServerTest::SetUp();
+    FailpointRegistry::Instance().DisarmAll();
+    FailpointRegistry::Instance().Reseed(7);
+  }
+  void TearDown() override { FailpointRegistry::Instance().DisarmAll(); }
+};
+
+// Acceptance scenario: with the online store failing every read, the server
+// retries each feature max_attempts times, then degrades the response to
+// NULLs under kNull — the request still succeeds and the counters show it.
+TEST_F(FeatureServerFailpointTest, RetriesThenDegradesToNullVector) {
+  FeatureServerOptions options;
+  options.max_attempts = 3;
+  FeatureServer server(&store_, options);
+  FailpointConfig config;
+  config.status = Status::Internal("injected store outage");
+  ScopedFailpoint fp("online_store.get", config);  // p=1.0: every read fails.
+
+  auto fv = server.GetFeatures(Value::Int64(1), {"f1", "f2"}, Hours(4));
+  ASSERT_TRUE(fv.ok()) << fv.status();
+  ASSERT_EQ(fv->values.size(), 2u);
+  EXPECT_TRUE(fv->values[0].is_null());
+  EXPECT_TRUE(fv->values[1].is_null());
+  EXPECT_EQ(fv->missing, 2u);
+  EXPECT_EQ(fv->degraded, 2u);
+
+  auto stats = server.stats();
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.retries, 4u);  // 2 features x (3 attempts - 1).
+  EXPECT_EQ(stats.degraded_features, 2u);
+  EXPECT_EQ(stats.degraded_responses, 1u);
+  EXPECT_EQ(fp.stats().fires, 6u);  // 2 features x 3 attempts.
+}
+
+TEST_F(FeatureServerFailpointTest, RecoversWithinRetryBudget) {
+  FeatureServerOptions options;
+  options.max_attempts = 3;
+  FeatureServer server(&store_, options);
+  FailpointConfig config;
+  config.status = Status::ResourceExhausted("transient overload");
+  config.max_fires = 2;  // First two reads fail, then the store heals.
+  ScopedFailpoint fp("online_store.get", config);
+
+  auto fv = server.GetFeatures(Value::Int64(1), {"f1"}, Hours(4));
+  ASSERT_TRUE(fv.ok()) << fv.status();
+  EXPECT_EQ(fv->values[0], Value::Double(0.5));
+  EXPECT_EQ(fv->missing, 0u);
+  auto stats = server.stats();
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.degraded_features, 0u);
+  EXPECT_EQ(stats.degraded_responses, 0u);
+}
+
+TEST_F(FeatureServerFailpointTest, ErrorPolicyPropagatesAfterExhaustion) {
+  FeatureServerOptions options;
+  options.missing_policy = MissingFeaturePolicy::kError;
+  options.max_attempts = 2;
+  FeatureServer server(&store_, options);
+  FailpointConfig config;
+  config.status = Status::Internal("injected store outage");
+  ScopedFailpoint fp("online_store.get", config);
+
+  auto fv = server.GetFeatures(Value::Int64(1), {"f1"}, Hours(4));
+  EXPECT_TRUE(fv.status().IsNotFound());
+  EXPECT_EQ(server.stats().retries, 1u);
+}
+
+TEST_F(FeatureServerFailpointTest, NonTransientErrorsAreNotRetried) {
+  FeatureServerOptions options;
+  options.max_attempts = 5;
+  FeatureServer server(&store_, options);
+  // A plain miss (NotFound) must not burn the retry budget.
+  auto fv = server.GetFeatures(Value::Int64(999), {"f1"}, Hours(4));
+  ASSERT_TRUE(fv.ok());
+  EXPECT_TRUE(fv->values[0].is_null());
+  EXPECT_EQ(fv->missing, 1u);
+  EXPECT_EQ(fv->degraded, 0u);
+  EXPECT_EQ(server.stats().retries, 0u);
 }
 
 TEST_F(FeatureServerTest, BatchPreservesOrderAndRecordsLatency) {

@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
 
 namespace mlfs {
 namespace {
@@ -191,6 +195,84 @@ TEST_F(OnlineStoreTest, ConcurrentPutsAndGets) {
   EXPECT_EQ(s.puts, static_cast<uint64_t>(kThreads) * kOpsPerThread);
   EXPECT_EQ(s.gets, static_cast<uint64_t>(kThreads) * kOpsPerThread);
   EXPECT_EQ(s.num_cells, 100u);
+}
+
+// Regression: event-time last-writer-wins must hold across shards under
+// concurrent out-of-order Puts — newest event time survives, older writes
+// land in stale_writes, and no update is lost.
+TEST_F(OnlineStoreTest, ConcurrentOutOfOrderPutsPreserveEventTimeLww) {
+  constexpr int kThreads = 8;
+  constexpr int64_t kKeys = 32;
+  constexpr int64_t kVersionsPerKey = 64;  // Event times 1..64 per key.
+
+  // Each (key, version) write carries trips == event_time hours, so the
+  // surviving cell identifies exactly which write won.
+  // Pre-shuffle all (key, version) pairs and deal them round-robin to
+  // threads: every key's versions arrive out of order from many threads.
+  std::vector<std::pair<int64_t, int64_t>> writes;
+  for (int64_t k = 0; k < kKeys; ++k) {
+    for (int64_t v = 1; v <= kVersionsPerKey; ++v) writes.push_back({k, v});
+  }
+  Rng rng(2024);
+  rng.Shuffle(&writes);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t, &writes] {
+      for (size_t i = t; i < writes.size(); i += kThreads) {
+        auto [key, version] = writes[i];
+        ASSERT_TRUE(store_.Put("user_stats", Value::Int64(key),
+                               MakeRow(schema_, version, 0.0),
+                               Hours(version), Hours(version))
+                        .ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Newest version survives for every key.
+  for (int64_t k = 0; k < kKeys; ++k) {
+    auto got = store_.Get("user_stats", Value::Int64(k), Hours(100));
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(got->value(0).int64_value(), kVersionsPerKey) << "key " << k;
+    EXPECT_EQ(store_.GetEventTime("user_stats", Value::Int64(k), Hours(100))
+                  .value(),
+              Hours(kVersionsPerKey));
+  }
+  auto s = store_.stats();
+  EXPECT_EQ(s.puts, static_cast<uint64_t>(kKeys) * kVersionsPerKey);
+  EXPECT_EQ(s.num_cells, static_cast<size_t>(kKeys));
+  // Any write observed out of order was dropped as stale, never applied.
+  EXPECT_LE(s.stale_writes, s.puts - static_cast<uint64_t>(kKeys));
+}
+
+TEST_F(OnlineStoreTest, ConcurrentOlderWritesAgainstSeededNewestAllStale) {
+  constexpr int kThreads = 8;
+  constexpr int kWritesPerThread = 100;
+  // Seed every key with the newest possible event time first...
+  ASSERT_TRUE(store_.Put("user_stats", Value::Int64(0),
+                         MakeRow(schema_, 999, 0.0), Hours(999), Hours(999))
+                  .ok());
+  // ...then hammer it with strictly older event times from all threads.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t] {
+      for (int i = 0; i < kWritesPerThread; ++i) {
+        int64_t version = 1 + ((t * kWritesPerThread + i) % 900);
+        ASSERT_TRUE(store_.Put("user_stats", Value::Int64(0),
+                               MakeRow(schema_, version, 0.0),
+                               Hours(version), Hours(version))
+                        .ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(store_.Get("user_stats", Value::Int64(0), Hours(1000))
+                ->value(0).int64_value(),
+            999);
+  auto s = store_.stats();
+  EXPECT_EQ(s.stale_writes,
+            static_cast<uint64_t>(kThreads) * kWritesPerThread);
 }
 
 }  // namespace

@@ -1,0 +1,318 @@
+// Concurrency stress/soak suite (CTest label: stress).
+//
+// Hammers the shared OnlineStore + FeatureServer from concurrent writer and
+// reader threads while failpoints inject deterministic faults, then asserts
+// the stats invariants that every later scaling PR must preserve:
+//   - hits + misses == gets (no get is double- or un-counted)
+//   - event-time last-writer-wins loses no update (survivor == newest
+//     successful write per key)
+//   - counters are monotone while traffic is in flight
+// Run clean under ThreadSanitizer via: cmake -DMLFS_SANITIZE=thread ...
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/rng.h"
+#include "common/threadpool.h"
+#include "serving/feature_server.h"
+#include "storage/offline_store.h"
+#include "storage/online_store.h"
+#include "streaming/stream_pipeline.h"
+
+namespace mlfs {
+namespace {
+
+constexpr int kWriters = 4;
+constexpr int kReaders = 4;
+constexpr int kOpsPerWriter = 20000;
+constexpr int kOpsPerReader = 10000;
+constexpr int64_t kKeys = 64;
+
+SchemaPtr FeatureViewSchema() {
+  return Schema::Create({{"entity", FeatureType::kInt64, false},
+                         {"event_time", FeatureType::kTimestamp, false},
+                         {"value", FeatureType::kDouble, true}})
+      .value();
+}
+
+class StressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FailpointRegistry::Instance().DisarmAll();
+    FailpointRegistry::Instance().Reseed(0x57e55ULL);
+  }
+  void TearDown() override { FailpointRegistry::Instance().DisarmAll(); }
+};
+
+// One writer thread: distinct event times per op, spread over kKeys keys.
+// Returns per-key newest *successful* event time via out-param.
+void WriterLoop(OnlineStore* store, const SchemaPtr& schema, int writer_id,
+                std::vector<Timestamp>* newest_ok,
+                std::atomic<uint64_t>* injected_put_failures) {
+  for (int i = 0; i < kOpsPerWriter; ++i) {
+    // Globally unique event time per (writer, op).
+    Timestamp et = Seconds(1 + i * kWriters + writer_id);
+    int64_t key = (i * kWriters + writer_id) % kKeys;
+    Row row = Row::CreateUnsafe(
+        schema, {Value::Int64(key), Value::Time(et),
+                 Value::Double(static_cast<double>(et))});
+    // Occasional TTL'd write so readers exercise the expiry path too.
+    Timestamp ttl = (i % 7 == 0) ? Seconds(1) : 0;
+    Status s = store->Put("feat_a", Value::Int64(key), row, et, et, ttl);
+    if (s.ok()) {
+      (*newest_ok)[key] = std::max((*newest_ok)[key], et);
+    } else {
+      ASSERT_EQ(s.code(), StatusCode::kInternal) << s;
+      injected_put_failures->fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+TEST_F(StressTest, ConcurrentServingUnderFaultInjection) {
+  OnlineStoreOptions store_options;
+  store_options.num_shards = 4;  // Few shards: force lock contention.
+  OnlineStore store(store_options);
+  SchemaPtr schema = FeatureViewSchema();
+  ASSERT_TRUE(store.CreateView("feat_a", schema).ok());
+
+  FeatureServerOptions server_options;
+  server_options.max_attempts = 4;
+  FeatureServer server(&store, server_options);
+
+  {
+    FailpointConfig put_faults;
+    put_faults.status = Status::Internal("injected put fault");
+    put_faults.probability = 0.02;
+    FailpointRegistry::Instance().Arm("online_store.put", put_faults);
+    FailpointConfig get_faults;
+    get_faults.status = Status::Internal("injected get fault");
+    get_faults.probability = 0.05;
+    FailpointRegistry::Instance().Arm("online_store.get", get_faults);
+  }
+
+  // Monitor thread: every counter must be monotone while traffic runs, and
+  // hits + misses can never exceed gets.
+  std::atomic<bool> done{false};
+  std::thread monitor([&store, &server, &done] {
+    OnlineStoreStats prev_store;
+    FeatureServerStats prev_server;
+    while (!done.load(std::memory_order_acquire)) {
+      OnlineStoreStats s = store.stats();
+      EXPECT_GE(s.puts, prev_store.puts);
+      EXPECT_GE(s.gets, prev_store.gets);
+      EXPECT_GE(s.hits, prev_store.hits);
+      EXPECT_GE(s.misses, prev_store.misses);
+      EXPECT_GE(s.expired, prev_store.expired);
+      EXPECT_GE(s.stale_writes, prev_store.stale_writes);
+      // Note: hits + misses == gets is only checked after the join below —
+      // counters are relaxed atomics, so a mid-flight sample may observe a
+      // hit before the get that produced it.
+      prev_store = s;
+      FeatureServerStats f = server.stats();
+      EXPECT_GE(f.requests, prev_server.requests);
+      EXPECT_GE(f.retries, prev_server.retries);
+      EXPECT_GE(f.degraded_features, prev_server.degraded_features);
+      EXPECT_GE(f.degraded_responses, prev_server.degraded_responses);
+      prev_server = f;
+      std::this_thread::yield();
+    }
+  });
+
+  ThreadPool pool(kWriters + kReaders);
+  std::vector<std::vector<Timestamp>> newest_ok(
+      kWriters, std::vector<Timestamp>(kKeys, kMinTimestamp));
+  std::atomic<uint64_t> injected_put_failures{0};
+  std::atomic<uint64_t> reader_requests{0};
+  std::atomic<uint64_t> reader_nulls{0};
+
+  for (int w = 0; w < kWriters; ++w) {
+    pool.Submit([&store, &schema, w, &newest_ok, &injected_put_failures] {
+      WriterLoop(&store, schema, w, &newest_ok[w], &injected_put_failures);
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    pool.Submit([&server, r, &reader_requests, &reader_nulls] {
+      Rng rng(1000 + r);
+      for (int i = 0; i < kOpsPerReader; ++i) {
+        int64_t key = static_cast<int64_t>(rng.Uniform(kKeys));
+        Timestamp now = Seconds(1 + rng.Uniform(kWriters * kOpsPerWriter));
+        auto fv = server.GetFeatures(Value::Int64(key), {"feat_a"}, now);
+        // Under kNull the request itself always succeeds: faults degrade.
+        ASSERT_TRUE(fv.ok()) << fv.status();
+        reader_requests.fetch_add(1, std::memory_order_relaxed);
+        reader_nulls.fetch_add(fv->missing, std::memory_order_relaxed);
+      }
+    });
+  }
+  pool.Wait();
+  done.store(true, std::memory_order_release);
+  monitor.join();
+  FailpointRegistry::Instance().DisarmAll();
+
+  // --- Invariants after the dust settles. ---
+  OnlineStoreStats s = store.stats();
+  EXPECT_EQ(s.hits + s.misses, s.gets);
+  const uint64_t attempted_puts =
+      static_cast<uint64_t>(kWriters) * kOpsPerWriter;
+  EXPECT_EQ(s.puts + injected_put_failures.load(), attempted_puts);
+  EXPECT_GT(injected_put_failures.load(), 0u);  // p=0.02 over 12k ops.
+
+  FeatureServerStats f = server.stats();
+  EXPECT_EQ(f.requests, reader_requests.load());
+  EXPECT_EQ(f.requests, static_cast<uint64_t>(kReaders) * kOpsPerReader);
+  EXPECT_GT(f.retries, 0u);  // p=0.05 get faults with 4 attempts.
+  EXPECT_GE(f.degraded_features, f.degraded_responses);
+
+  // No lost updates: each key's survivor is the newest successful write.
+  for (int64_t key = 0; key < kKeys; ++key) {
+    Timestamp newest = kMinTimestamp;
+    for (int w = 0; w < kWriters; ++w) {
+      newest = std::max(newest, newest_ok[w][key]);
+    }
+    ASSERT_GT(newest, kMinTimestamp) << "key " << key << " never written";
+    auto et = store.GetEventTime("feat_a", Value::Int64(key), newest);
+    ASSERT_TRUE(et.ok()) << et.status();
+    EXPECT_EQ(*et, newest) << "lost update on key " << key;
+    auto row = store.Get("feat_a", Value::Int64(key), newest);
+    ASSERT_TRUE(row.ok());
+    EXPECT_EQ(row->value(2).double_value(), static_cast<double>(newest));
+  }
+}
+
+// Snapshots, eviction, and stats scans racing live write traffic: the
+// shard-by-shard walkers must never observe torn state or deadlock.
+TEST_F(StressTest, SnapshotAndEvictionRaceWriters) {
+  OnlineStoreOptions store_options;
+  store_options.num_shards = 4;
+  OnlineStore store(store_options);
+  SchemaPtr schema = FeatureViewSchema();
+  ASSERT_TRUE(store.CreateView("feat_a", schema).ok());
+
+  constexpr int kSnapshotWriters = 2;
+  constexpr int kPutsPerSnapshotWriter = 20000;
+  std::atomic<bool> done{false};
+  ThreadPool pool(4);
+  for (int w = 0; w < kSnapshotWriters; ++w) {
+    pool.Submit([&store, &schema, w] {
+      for (int i = 0; i < kPutsPerSnapshotWriter; ++i) {
+        Timestamp et = Seconds(1 + i * 2 + w);
+        int64_t key = (i * 2 + w) % kKeys;
+        Row row = Row::CreateUnsafe(
+            schema, {Value::Int64(key), Value::Time(et),
+                     Value::Double(static_cast<double>(et))});
+        // Half the writes carry a short TTL for the evictor to reap.
+        ASSERT_TRUE(store.Put("feat_a", Value::Int64(key), row, et, et,
+                              (i % 2 == 0) ? Seconds(5) : 0)
+                        .ok());
+      }
+    });
+  }
+  pool.Submit([&store, &done] {
+    size_t snapshots = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      std::string snap = store.Snapshot();
+      ASSERT_FALSE(snap.empty());
+      // Every concurrent snapshot must be restorable into a fresh store.
+      if (++snapshots % 16 == 0) {
+        OnlineStore restored;
+        ASSERT_TRUE(restored.Restore(snap).ok());
+        auto rs = restored.stats();
+        EXPECT_LE(rs.num_cells, static_cast<size_t>(kKeys));
+      }
+      std::this_thread::yield();
+    }
+  });
+  pool.Submit([&store, &done] {
+    while (!done.load(std::memory_order_acquire)) {
+      store.EvictExpired(Seconds(2500));
+      (void)store.stats();
+      std::this_thread::yield();
+    }
+  });
+
+  // Writers are the first two tasks; poll until both finish by watching the
+  // put counter, then stop the background scanners.
+  constexpr uint64_t kTotalPuts =
+      static_cast<uint64_t>(kSnapshotWriters) * kPutsPerSnapshotWriter;
+  while (store.stats().puts < kTotalPuts) std::this_thread::yield();
+  done.store(true, std::memory_order_release);
+  pool.Wait();
+
+  OnlineStoreStats s = store.stats();
+  EXPECT_EQ(s.puts, kTotalPuts);
+  EXPECT_LE(s.num_cells, static_cast<size_t>(kKeys));
+  std::string final_snap = store.Snapshot();
+  OnlineStore restored;
+  ASSERT_TRUE(restored.Restore(final_snap).ok());
+  EXPECT_EQ(restored.stats().num_cells, s.num_cells);
+}
+
+// Soak the streaming materialization path against injected faults: a fired
+// "stream_pipeline.materialize" failpoint fails the Ingest, but finalized
+// windows stay queued in the aggregator and are materialized by the next
+// successful call — faults delay, but never lose, window results.
+TEST_F(StressTest, StreamPipelineMaterializationSurvivesFaults) {
+  OnlineStore online;
+  OfflineStore offline;
+  StreamPipelineOptions opt;
+  opt.name = "clicks_1h";
+  opt.event_schema =
+      Schema::Create({{"user", FeatureType::kInt64, false},
+                      {"ts", FeatureType::kTimestamp, false},
+                      {"amount", FeatureType::kDouble, true}})
+          .value();
+  opt.entity_column = "user";
+  opt.time_column = "ts";
+  opt.window = {Hours(1), Hours(1)};
+  opt.aggs = {{"click_count", AggregateFn::kCount, ""}};
+  auto pipeline = StreamPipeline::Create(opt, &online, &offline);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status();
+
+  constexpr int kEvents = 8000;
+  constexpr int64_t kUsers = 16;
+  uint64_t injected = 0;
+  {
+    FailpointConfig config;
+    config.status = Status::Internal("injected materialize fault");
+    config.probability = 0.2;
+    ScopedFailpoint fp("stream_pipeline.materialize", config);
+    Rng rng(99);
+    for (int i = 0; i < kEvents; ++i) {
+      Timestamp ts = Minutes(1 + i);  // Steadily advancing event time.
+      Row event = Row::CreateUnsafe(
+          opt.event_schema,
+          {Value::Int64(static_cast<int64_t>(rng.Uniform(kUsers))),
+           Value::Time(ts), Value::Double(1.0)});
+      Status s = (*pipeline)->Ingest(event);
+      if (!s.ok()) {
+        ASSERT_EQ(s.code(), StatusCode::kInternal) << s;
+        ++injected;
+      }
+    }
+    EXPECT_GT(fp.stats().fires, 0u);
+    injected = fp.stats().fires;
+  }
+  // Failpoint disarmed: the final flush must drain everything still queued.
+  ASSERT_TRUE((*pipeline)->Flush(kMaxTimestamp).ok());
+  EXPECT_GT(injected, 0u);
+  EXPECT_EQ((*pipeline)->events_ingested(), static_cast<uint64_t>(kEvents));
+
+  // Every user clicked in (nearly) every hour; with faults only delaying
+  // materialization, the offline log must hold every emitted window row and
+  // the online store the latest window per user.
+  auto table = offline.GetTable("clicks_1h").value();
+  EXPECT_EQ(table->num_rows(), (*pipeline)->rows_emitted());
+  uint64_t online_rows = 0;
+  for (int64_t u = 0; u < kUsers; ++u) {
+    if (online.Get("clicks_1h", Value::Int64(u), kMaxTimestamp - 1).ok()) {
+      ++online_rows;
+    }
+  }
+  EXPECT_EQ(online_rows, static_cast<uint64_t>(kUsers));
+}
+
+}  // namespace
+}  // namespace mlfs
