@@ -6,13 +6,24 @@
 //
 // Reproduces: throughput + latency percentiles of (a) online-store gets,
 // (b) offline as-of reads, (c) the assembled FeatureServer path, under a
-// Zipf key distribution.
+// Zipf key distribution — plus the batched/multi-threaded variants that
+// certify the shard-grouped MultiGet hot path (shared shard locks taken
+// once per batch, no per-key composed-key allocation, striped server
+// metrics). Regenerate the committed results with:
+//   cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release
+//   cmake --build build-rel -j --target bench_serving
+//   ./build-rel/bench/bench_serving --benchmark_out=bench/BENCH_serving.json
+//       --benchmark_out_format=json   (one command line)
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
 
 #include "common/rng.h"
 #include "core/feature_store.h"
 #include "datagen/tabular.h"
+#include "serving/feature_server.h"
+#include "storage/online_store.h"
 
 namespace mlfs {
 namespace {
@@ -71,6 +82,185 @@ ServingFixture& Fixture() {
   return *fixture;
 }
 
+
+
+// Pre-sampled Zipf key batches so key sampling stays out of the timed
+// loop. The pool is sized so the timed loop does not recycle a small key
+// subset (which would let the cache warm to a working set production
+// traffic never has): enough batches to cover ~2M draws before repeating.
+std::vector<std::vector<Value>> SampleBatches(const std::vector<Value>& keys,
+                                              const ZipfDistribution& zipf,
+                                              size_t batch_size,
+                                              uint64_t seed) {
+  constexpr size_t kTargetDraws = 2000000;
+  constexpr size_t kMinBatches = 64, kMaxBatches = 8192;
+  const size_t pooled = std::min(
+      kMaxBatches, std::max(kMinBatches, kTargetDraws / batch_size));
+  Rng rng(seed);
+  std::vector<std::vector<Value>> batches(pooled);
+  for (auto& batch : batches) {
+    batch.reserve(batch_size);
+    for (size_t i = 0; i < batch_size; ++i) {
+      batch.push_back(keys[zipf.Sample(&rng)]);
+    }
+  }
+  return batches;
+}
+
+// Embedding-scale online store for the MultiGet pair: 8M entities in one
+// view, written directly (materialization machinery is not what these
+// benchmarks measure). At this size the cell table far exceeds the
+// last-level cache — the regime embedding-ecosystem serving lives in
+// (paper §3) and the one batched lookups target: a per-key loop pays each
+// key's dependent cache-miss chain serially, while the shard-grouped path
+// overlaps them with staged prefetching.
+constexpr size_t kMultiGetEntities = 8000000;
+
+struct OnlineMultiGetFixture {
+  OnlineStore store;
+  std::vector<Value> keys;
+  ZipfDistribution zipf{kMultiGetEntities, 1.1};
+
+  OnlineMultiGetFixture() {
+    auto schema =
+        Schema::Create({{"entity", FeatureType::kInt64, false},
+                        {"event_time", FeatureType::kTimestamp, false},
+                        {"value", FeatureType::kDouble, true}})
+            .value();
+    MLFS_CHECK_OK(store.CreateView("f_ab", schema));
+    Rng rng(7);
+    keys.reserve(kMultiGetEntities);
+    for (size_t e = 0; e < kMultiGetEntities; ++e) {
+      Value key = Value::Int64(static_cast<int64_t>(e));
+      Row row = Row::CreateUnsafe(
+          schema, {key, Value::Time(Hours(1)), Value::Double(rng.Gaussian())});
+      MLFS_CHECK_OK(
+          store.Put("f_ab", key, std::move(row), Hours(1), Hours(1)));
+      keys.push_back(std::move(key));
+    }
+  }
+};
+
+OnlineMultiGetFixture& MultiGetFixture() {
+  static auto* fixture = new OnlineMultiGetFixture();
+  return *fixture;
+}
+
+// The per-key baseline the shard-grouped MultiGet is measured against: one
+// Get (one shard lock, one composed key) per entity.
+void BM_OnlineMultiGetLoop(benchmark::State& state) {
+  auto& fixture = MultiGetFixture();
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  auto batches = SampleBatches(fixture.keys, fixture.zipf, batch_size,
+                               20 + state.thread_index());
+  const Timestamp now = Hours(2);
+  size_t next = 0;
+  for (auto _ : state) {
+    std::vector<StatusOr<Row>> rows;
+    rows.reserve(batch_size);
+    for (const Value& key : batches[next]) {
+      rows.push_back(fixture.store.Get("f_ab", key, now));
+    }
+    benchmark::DoNotOptimize(rows);
+    next = (next + 1) % batches.size();
+  }
+  state.SetItemsProcessed(state.iterations() * batch_size);
+}
+// MinTime widens each measurement window so a transient scheduler or
+// kernel-compaction burst is averaged out instead of owning a whole
+// repetition; the MultiGet/Loop pair is the headline before/after
+// comparison, so its windows get the extra care.
+BENCHMARK(BM_OnlineMultiGetLoop)
+    ->ArgName("batch")->Arg(1)->Arg(16)->Arg(256)
+    ->Threads(1)->Threads(4)->Threads(8)->MinTime(1.5);
+
+// Shard-grouped batched lookup: hash all keys up front, lock each shard
+// once, serve the shard's keys in one shared critical section with staged
+// prefetching.
+void BM_OnlineMultiGet(benchmark::State& state) {
+  auto& fixture = MultiGetFixture();
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  auto batches = SampleBatches(fixture.keys, fixture.zipf, batch_size,
+                               20 + state.thread_index());
+  const Timestamp now = Hours(2);
+  size_t next = 0;
+  for (auto _ : state) {
+    auto rows = fixture.store.MultiGet("f_ab", batches[next], now);
+    benchmark::DoNotOptimize(rows);
+    next = (next + 1) % batches.size();
+  }
+  state.SetItemsProcessed(state.iterations() * batch_size);
+}
+BENCHMARK(BM_OnlineMultiGet)
+    ->ArgName("batch")->Arg(1)->Arg(16)->Arg(256)
+    ->Threads(1)->Threads(4)->Threads(8)->MinTime(1.5);
+
+// Uniform-key variants of the same pair: the cold-access regime. Zipf(1.1)
+// concentrates most draws on a cache-resident hot head, so the blended
+// Zipf numbers mix a CPU-bound warm path with the memory-bound tail.
+// Embedding-ecosystem traffic is much flatter — ANN candidate lists and
+// batch scoring touch entities near-uniformly — and uniform draws over an
+// 8M-entity store make every lookup pay the cache-miss chain the staged
+// prefetch pipeline exists to overlap.
+std::vector<std::vector<Value>> SampleUniformBatches(
+    const std::vector<Value>& keys, size_t batch_size, uint64_t seed) {
+  constexpr size_t kTargetDraws = 2000000;
+  constexpr size_t kMinBatches = 64, kMaxBatches = 8192;
+  const size_t pooled = std::min(
+      kMaxBatches, std::max(kMinBatches, kTargetDraws / batch_size));
+  Rng rng(seed);
+  std::vector<std::vector<Value>> batches(pooled);
+  for (auto& batch : batches) {
+    batch.reserve(batch_size);
+    for (size_t i = 0; i < batch_size; ++i) {
+      batch.push_back(keys[rng.Uniform(keys.size())]);
+    }
+  }
+  return batches;
+}
+
+void BM_OnlineMultiGetLoopUniform(benchmark::State& state) {
+  auto& fixture = MultiGetFixture();
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  auto batches = SampleUniformBatches(fixture.keys, batch_size,
+                                      40 + state.thread_index());
+  const Timestamp now = Hours(2);
+  size_t next = 0;
+  for (auto _ : state) {
+    std::vector<StatusOr<Row>> rows;
+    rows.reserve(batch_size);
+    for (const Value& key : batches[next]) {
+      rows.push_back(fixture.store.Get("f_ab", key, now));
+    }
+    benchmark::DoNotOptimize(rows);
+    next = (next + 1) % batches.size();
+  }
+  state.SetItemsProcessed(state.iterations() * batch_size);
+}
+BENCHMARK(BM_OnlineMultiGetLoopUniform)
+    ->ArgName("batch")->Arg(256)->MinTime(1.5);
+
+void BM_OnlineMultiGetUniform(benchmark::State& state) {
+  auto& fixture = MultiGetFixture();
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  auto batches = SampleUniformBatches(fixture.keys, batch_size,
+                                      40 + state.thread_index());
+  const Timestamp now = Hours(2);
+  size_t next = 0;
+  for (auto _ : state) {
+    auto rows = fixture.store.MultiGet("f_ab", batches[next], now);
+    benchmark::DoNotOptimize(rows);
+    next = (next + 1) % batches.size();
+  }
+  state.SetItemsProcessed(state.iterations() * batch_size);
+}
+BENCHMARK(BM_OnlineMultiGetUniform)
+    ->ArgName("batch")->Arg(256)->MinTime(1.5);
+
+// The scalar E1 benchmarks run AFTER the MultiGet pair on purpose: the 8M
+// fixture's row payloads are then laid out in a pristine heap, and the
+// batched path is measured before other fixtures fragment it. These
+// single-lookup latency benchmarks are far less sensitive to ordering.
 void BM_OnlineGet(benchmark::State& state) {
   auto& fixture = Fixture();
   Rng rng(2);
@@ -124,23 +314,110 @@ void BM_FeatureServerGet(benchmark::State& state) {
 }
 BENCHMARK(BM_FeatureServerGet);
 
-void BM_FeatureServerBatch100(benchmark::State& state) {
+// Assembled serving path, batched: one shard-grouped MultiGet per view.
+void BM_FeatureServerBatch(benchmark::State& state) {
   auto& fixture = Fixture();
-  Rng rng(5);
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  auto batches = SampleBatches(fixture.keys, fixture.zipf, batch_size,
+                               30 + state.thread_index());
   Timestamp now = fixture.store.clock().now();
+  size_t next = 0;
   for (auto _ : state) {
-    std::vector<Value> batch;
-    batch.reserve(100);
-    for (int i = 0; i < 100; ++i) {
-      batch.push_back(fixture.keys[fixture.zipf.Sample(&rng)]);
-    }
     auto result =
-        fixture.store.server().GetFeaturesBatch(batch, {"f_ab"}, now);
+        fixture.store.server().GetFeaturesBatch(batches[next], {"f_ab"}, now);
     benchmark::DoNotOptimize(result);
+    next = (next + 1) % batches.size();
   }
-  state.SetItemsProcessed(state.iterations() * 100);
+  state.SetItemsProcessed(state.iterations() * batch_size);
 }
-BENCHMARK(BM_FeatureServerBatch100);
+BENCHMARK(BM_FeatureServerBatch)
+    ->ArgName("batch")->Arg(1)->Arg(16)->Arg(256)
+    ->Threads(1)->Threads(4)->Threads(8);
+
+// Wide-request fixture: 100k entities x 32 materialized feature views,
+// written straight into an OnlineStore (materialization machinery is not
+// what this benchmark measures).
+constexpr size_t kWideViews = 32;
+
+struct WideServingFixture {
+  OnlineStore store{[] {
+    OnlineStoreOptions options;
+    options.num_shards = 16;
+    return options;
+  }()};
+  FeatureServer server{&store};
+  std::vector<Value> keys;
+  std::vector<std::string> views;
+  ZipfDistribution zipf{kEntities, 1.1};
+
+  WideServingFixture() {
+    auto schema =
+        Schema::Create({{"entity", FeatureType::kInt64, false},
+                        {"event_time", FeatureType::kTimestamp, false},
+                        {"value", FeatureType::kDouble, true}})
+            .value();
+    Rng rng(11);
+    for (size_t v = 0; v < kWideViews; ++v) {
+      views.push_back("wide_f" + std::to_string(v));
+      MLFS_CHECK_OK(store.CreateView(views.back(), schema));
+    }
+    for (size_t e = 0; e < kEntities; ++e) {
+      Value key = Value::Int64(static_cast<int64_t>(e));
+      for (const std::string& view : views) {
+        Row row = Row::CreateUnsafe(
+            schema, {key, Value::Time(Hours(1)), Value::Double(rng.Gaussian())});
+        MLFS_CHECK_OK(store.Put(view, key, std::move(row), Hours(1), Hours(1)));
+      }
+      keys.push_back(std::move(key));
+    }
+  }
+};
+
+WideServingFixture& WideFixture() {
+  static auto* fixture = new WideServingFixture();
+  return *fixture;
+}
+
+// 32-feature assembly per entity: views x one MultiGet per batch, instead
+// of entities x 32 point Gets.
+void BM_FeatureServerBatchWide(benchmark::State& state) {
+  auto& fixture = WideFixture();
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  auto batches = SampleBatches(fixture.keys, fixture.zipf, batch_size,
+                               40 + state.thread_index());
+  size_t next = 0;
+  for (auto _ : state) {
+    auto result =
+        fixture.server.GetFeaturesBatch(batches[next], fixture.views, Hours(2));
+    benchmark::DoNotOptimize(result);
+    next = (next + 1) % batches.size();
+  }
+  state.SetItemsProcessed(state.iterations() * batch_size);
+}
+BENCHMARK(BM_FeatureServerBatchWide)
+    ->ArgName("batch")->Arg(1)->Arg(16)->Arg(256)
+    ->Threads(1)->Threads(4);
+
+// The same wide request served entity-by-entity (the old batch path).
+void BM_FeatureServerWideLoop(benchmark::State& state) {
+  auto& fixture = WideFixture();
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  auto batches = SampleBatches(fixture.keys, fixture.zipf, batch_size,
+                               40 + state.thread_index());
+  size_t next = 0;
+  for (auto _ : state) {
+    std::vector<StatusOr<FeatureVector>> result;
+    result.reserve(batch_size);
+    for (const Value& key : batches[next]) {
+      result.push_back(
+          fixture.server.GetFeatures(key, fixture.views, Hours(2)));
+    }
+    benchmark::DoNotOptimize(result);
+    next = (next + 1) % batches.size();
+  }
+  state.SetItemsProcessed(state.iterations() * batch_size);
+}
+BENCHMARK(BM_FeatureServerWideLoop)->ArgName("batch")->Arg(16)->Arg(256);
 
 }  // namespace
 }  // namespace mlfs

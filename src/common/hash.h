@@ -35,6 +35,28 @@ inline uint64_t MixHash(uint64_t x) {
   return x;
 }
 
+/// Fast 64-bit hash over short byte strings: 8-byte blocks folded through
+/// a multiplicative mixer, so a dozen-byte key costs a handful of
+/// multiplies instead of a dependent multiply per byte (FNV-1a). Used on
+/// the serving hot path where key hashing is per-request work.
+/// Deterministic for a given platform byte order, which is all store
+/// sharding needs.
+inline uint64_t FastHash64(const void* data, size_t len, uint64_t seed = 0) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed ^ (0x9e3779b97f4a7c15ULL * (len + 1));
+  for (; len >= 8; p += 8, len -= 8) {
+    uint64_t k;
+    std::memcpy(&k, p, 8);
+    h = MixHash(h ^ k);
+  }
+  if (len > 0) {
+    uint64_t k = 0;
+    std::memcpy(&k, p, len);
+    h = MixHash(h ^ k);
+  }
+  return h;
+}
+
 /// Boost-style hash combiner.
 inline uint64_t HashCombine(uint64_t a, uint64_t b) {
   return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));

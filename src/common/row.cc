@@ -30,24 +30,25 @@ StatusOr<Value> Row::ValueByName(std::string_view name) const {
   if (idx < 0) {
     return Status::NotFound("no column named '" + std::string(name) + "'");
   }
-  return values_[static_cast<size_t>(idx)];
+  return (*values_)[static_cast<size_t>(idx)];
 }
 
 size_t Row::ByteSize() const {
   size_t total = 0;
-  for (const auto& v : values_) total += v.ByteSize();
+  for (const auto& v : values()) total += v.ByteSize();
   return total;
 }
 
 std::string Row::ToString() const {
   std::string out = "(";
-  for (size_t i = 0; i < values_.size(); ++i) {
+  const std::vector<Value>& vals = values();
+  for (size_t i = 0; i < vals.size(); ++i) {
     if (i) out += ", ";
     if (schema_) {
       out += schema_->field(i).name;
       out += "=";
     }
-    out += values_[i].ToString();
+    out += vals[i].ToString();
   }
   out += ")";
   return out;

@@ -2,6 +2,7 @@
 #define MLFS_COMMON_ROW_H_
 
 #include <initializer_list>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -15,6 +16,13 @@ namespace mlfs {
 /// A tuple conforming to a Schema. Rows are the unit of ingestion and of
 /// offline-store scans; the online store flattens them into per-feature
 /// cells.
+///
+/// The values are held behind a shared, copy-on-write buffer: copying a
+/// Row is two reference-count bumps (no heap allocation, no per-value
+/// copy), which keeps the serving hot path — every online Get/MultiGet
+/// returns a Row by value — allocation-free. set_value() clones the
+/// buffer first when it is shared, so copies still behave as independent
+/// tuples.
 class Row {
  public:
   Row() = default;
@@ -31,37 +39,51 @@ class Row {
   }
 
   const SchemaPtr& schema() const { return schema_; }
-  size_t num_values() const { return values_.size(); }
+  size_t num_values() const { return values_ ? values_->size() : 0; }
 
   const Value& value(size_t i) const {
-    MLFS_DCHECK(i < values_.size());
-    return values_[i];
+    MLFS_DCHECK(values_ != nullptr && i < values_->size());
+    return (*values_)[i];
   }
 
   /// Value of the column named `name`; error if no such column.
   StatusOr<Value> ValueByName(std::string_view name) const;
 
+  /// Mutates column `i`. Detaches (clones) the value buffer first when it
+  /// is shared with other Row copies.
   void set_value(size_t i, Value v) {
-    MLFS_DCHECK(i < values_.size());
-    values_[i] = std::move(v);
+    MLFS_DCHECK(values_ != nullptr && i < values_->size());
+    if (values_.use_count() > 1) {
+      values_ = std::make_shared<std::vector<Value>>(*values_);
+    }
+    (*values_)[i] = std::move(v);
   }
 
-  const std::vector<Value>& values() const { return values_; }
+  const std::vector<Value>& values() const {
+    static const std::vector<Value> kEmpty;
+    return values_ ? *values_ : kEmpty;
+  }
+
+  /// Address of the shared value buffer (control block + vector header
+  /// line), for software prefetching only — copying a Row bumps the
+  /// reference count that lives there. May be null; never dereference.
+  const void* payload_address() const { return values_.get(); }
 
   size_t ByteSize() const;
 
   std::string ToString() const;
 
   friend bool operator==(const Row& a, const Row& b) {
-    return a.values_ == b.values_;
+    return a.values() == b.values();
   }
 
  private:
   Row(SchemaPtr schema, std::vector<Value> values)
-      : schema_(std::move(schema)), values_(std::move(values)) {}
+      : schema_(std::move(schema)),
+        values_(std::make_shared<std::vector<Value>>(std::move(values))) {}
 
   SchemaPtr schema_;
-  std::vector<Value> values_;
+  std::shared_ptr<std::vector<Value>> values_;
 };
 
 }  // namespace mlfs

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/failpoint.h"
+#include "common/threadpool.h"
 
 namespace mlfs {
 namespace {
@@ -27,7 +28,35 @@ bool IsTransient(const Status& s) {
   }
 }
 
+/// Stable per-thread stripe assignment: threads round-robin onto stripes at
+/// first use, so steady-state recording from a fixed reader pool is
+/// contention-free.
+size_t ThreadStripeSeed() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t seed =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return seed;
+}
+
 }  // namespace
+
+FeatureServer::FeatureServer(const OnlineStore* store,
+                             FeatureServerOptions options)
+    : store_(store), options_(options), metrics_(kMetricsStripes) {
+  if (options_.batch_parallelism > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.batch_parallelism);
+  }
+}
+
+FeatureServer::~FeatureServer() = default;
+
+void FeatureServer::RecordLatency(double micros,
+                                  uint64_t num_requests) const {
+  MetricsStripe& stripe = metrics_[ThreadStripeSeed() % kMetricsStripes];
+  std::lock_guard lock(stripe.mu);
+  for (uint64_t i = 0; i < num_requests; ++i) stripe.latency_us.Record(micros);
+  stripe.requests += num_requests;
+}
 
 StatusOr<FeatureVector> FeatureServer::GetFeatures(
     const Value& entity_key, const std::vector<std::string>& features,
@@ -80,37 +109,137 @@ StatusOr<FeatureVector> FeatureServer::GetFeatures(
     degraded_features_.fetch_add(out.degraded, std::memory_order_relaxed);
     degraded_responses_.fetch_add(1, std::memory_order_relaxed);
   }
-  {
-    std::lock_guard lock(mu_);
-    latency_us_.Record(NowMicros() - start);
-    ++requests_;
-  }
+  RecordLatency(NowMicros() - start, 1);
   return out;
 }
 
-StatusOr<std::vector<FeatureVector>> FeatureServer::GetFeaturesBatch(
+std::vector<StatusOr<FeatureVector>> FeatureServer::GetFeaturesBatch(
     const std::vector<Value>& entity_keys,
     const std::vector<std::string>& features, Timestamp now) const {
-  std::vector<FeatureVector> out;
-  out.reserve(entity_keys.size());
-  for (const Value& key : entity_keys) {
-    MLFS_ASSIGN_OR_RETURN(FeatureVector fv, GetFeatures(key, features, now));
-    out.push_back(std::move(fv));
+  const double start = NowMicros();
+  const size_t n = entity_keys.size();
+  const size_t num_views = features.size();
+  std::vector<StatusOr<FeatureVector>> out(
+      n, StatusOr<FeatureVector>(
+             Status::Internal("GetFeaturesBatch: slot not filled")));
+  if (n == 0) return out;
+  const uint32_t max_attempts = std::max<uint32_t>(1, options_.max_attempts);
+
+  // Stage 1 — fetch: one shard-grouped MultiGet per requested view, then
+  // per-(entity, feature)-cell retry with backoff for transient errors.
+  // Views are independent, so with batch_parallelism > 1 they fan out over
+  // the pool; each task writes only its own column.
+  std::vector<std::vector<StatusOr<Row>>> columns(num_views);
+  // {value, event_time} field indices per view, from its first live row;
+  // {-1, -1} when the view never produced a row in this batch.
+  std::vector<std::pair<int, int>> layout(num_views, {-1, -1});
+  auto fetch_view = [&](size_t j) {
+    std::vector<StatusOr<Row>>& column = columns[j];
+    column = store_->MultiGet(features[j], entity_keys, now);
+    uint64_t retries = 0;
+    for (size_t i = 0; i < n; ++i) {
+      StatusOr<Row>& cell = column[i];
+      for (uint32_t attempt = 1;
+           !cell.ok() && IsTransient(cell.status()) && attempt < max_attempts;
+           ++attempt) {
+        if (options_.initial_backoff_micros > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              options_.initial_backoff_micros << (attempt - 1)));
+        }
+        ++retries;
+        cell = store_->Get(features[j], entity_keys[i], now);
+      }
+      if (cell.ok() && layout[j].first < 0) {
+        layout[j] = {cell->schema()->FieldIndex("value"),
+                     cell->schema()->FieldIndex("event_time")};
+      }
+    }
+    if (retries) retries_.fetch_add(retries, std::memory_order_relaxed);
+  };
+  if (pool_ != nullptr && num_views > 1) {
+    ParallelFor(pool_.get(), 0, num_views,
+                [&fetch_view](size_t j) { fetch_view(j); });
+  } else {
+    for (size_t j = 0; j < num_views; ++j) fetch_view(j);
   }
+
+  // Stage 2 — assemble one FeatureVector per entity from the fetched
+  // columns. Entities fail independently: kError fails only the entity
+  // whose feature is unavailable.
+  const bool any_failpoint = FailpointRegistry::Instance().AnyArmed();
+  uint64_t degraded_features = 0, degraded_responses = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (any_failpoint) {
+      // Per-request failpoint, one evaluation per entity, as in the
+      // per-entity GetFeatures path.
+      Status injected =
+          FailpointRegistry::Instance().Evaluate("feature_server.get");
+      if (!injected.ok()) {
+        out[i] = std::move(injected);
+        continue;
+      }
+    }
+    FeatureVector fv;
+    fv.names = features;
+    fv.values.reserve(num_views);
+    Status entity_error;
+    for (size_t j = 0; j < num_views; ++j) {
+      const StatusOr<Row>& cell = columns[j][i];
+      if (!cell.ok()) {
+        const bool transient = IsTransient(cell.status());
+        if (options_.missing_policy == MissingFeaturePolicy::kError) {
+          entity_error =
+              Status::NotFound("feature '" + features[j] +
+                               "' unavailable: " + cell.status().message());
+          break;
+        }
+        fv.values.push_back(Value::Null());
+        ++fv.missing;
+        if (transient) ++fv.degraded;
+        continue;
+      }
+      const auto [value_idx, time_idx] = layout[j];
+      if (value_idx < 0 || time_idx < 0) {
+        entity_error = Status::FailedPrecondition(
+            "view '" + features[j] + "' is not a materialized feature view");
+        break;
+      }
+      fv.values.push_back(cell->value(value_idx));
+      fv.oldest_event_time =
+          std::min(fv.oldest_event_time, cell->value(time_idx).time_value());
+    }
+    if (!entity_error.ok()) {
+      out[i] = std::move(entity_error);
+      continue;
+    }
+    if (fv.degraded > 0) {
+      degraded_features += fv.degraded;
+      ++degraded_responses;
+    }
+    out[i] = std::move(fv);
+  }
+  if (degraded_features > 0) {
+    degraded_features_.fetch_add(degraded_features, std::memory_order_relaxed);
+    degraded_responses_.fetch_add(degraded_responses,
+                                  std::memory_order_relaxed);
+  }
+  // Each entity counts as one request at the batch's amortized latency.
+  RecordLatency((NowMicros() - start) / static_cast<double>(n), n);
   return out;
 }
 
 Histogram FeatureServer::latency_histogram() const {
-  std::lock_guard lock(mu_);
-  return latency_us_;
+  Histogram merged;
+  for (const MetricsStripe& stripe : metrics_) {
+    std::lock_guard lock(stripe.mu);
+    merged.Merge(stripe.latency_us);
+  }
+  return merged;
 }
 
 FeatureServerStats FeatureServer::stats() const {
   FeatureServerStats s;
-  {
-    std::lock_guard lock(mu_);
-    s.requests = requests_;
-  }
+  s.requests = requests();
   s.retries = retries_.load(std::memory_order_relaxed);
   s.degraded_features = degraded_features_.load(std::memory_order_relaxed);
   s.degraded_responses = degraded_responses_.load(std::memory_order_relaxed);
@@ -118,8 +247,12 @@ FeatureServerStats FeatureServer::stats() const {
 }
 
 uint64_t FeatureServer::requests() const {
-  std::lock_guard lock(mu_);
-  return requests_;
+  uint64_t total = 0;
+  for (const MetricsStripe& stripe : metrics_) {
+    std::lock_guard lock(stripe.mu);
+    total += stripe.requests;
+  }
+  return total;
 }
 
 }  // namespace mlfs

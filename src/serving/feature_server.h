@@ -2,6 +2,7 @@
 #define MLFS_SERVING_FEATURE_SERVER_H_
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -12,6 +13,8 @@
 #include "storage/online_store.h"
 
 namespace mlfs {
+
+class ThreadPool;
 
 /// What Get does when a requested feature has no live online value.
 enum class MissingFeaturePolicy : uint8_t {
@@ -28,6 +31,9 @@ struct FeatureServerOptions {
   /// Real-time backoff before retry k: initial_backoff_micros << (k-1).
   /// 0 disables sleeping (retries stay back-to-back; keep 0 in unit tests).
   uint64_t initial_backoff_micros = 0;
+  /// When > 1, GetFeaturesBatch fans its per-view MultiGets out over an
+  /// internal thread pool of this many workers; 1 keeps assembly serial.
+  uint32_t batch_parallelism = 1;
 };
 
 /// Traffic and resilience counters for one FeatureServer.
@@ -67,26 +73,42 @@ struct FeatureVector {
 /// (kNull fills NULL so the model can impute). stats() exposes
 /// retry/degradation counters for alerting.
 ///
+/// GetFeaturesBatch is batch-aware: it issues one shard-grouped
+/// OnlineStore::MultiGet per requested view (views × one store call,
+/// instead of entities × features point Gets), retries transient errors
+/// per (entity, feature) cell, and — with batch_parallelism > 1 — fans
+/// view fetches out over an internal thread pool. Results are per-entity:
+/// one entity failing under kError does not fail its batch-mates.
+///
 /// Thread-safe. Latency of every request is recorded (wall-clock
 /// microseconds) in latency_histogram() — the one place MLFS uses real
 /// time, because serving latency is a measurement, not simulation state.
+/// Metrics are striped across per-thread-affine histogram shards merged
+/// on read, so latency recording never serializes concurrent requests.
 class FeatureServer {
  public:
   explicit FeatureServer(const OnlineStore* store,
-                         FeatureServerOptions options = {})
-      : store_(store), options_(options) {}
+                         FeatureServerOptions options = {});
+  ~FeatureServer();
+
+  FeatureServer(const FeatureServer&) = delete;
+  FeatureServer& operator=(const FeatureServer&) = delete;
 
   /// Fetches `features` for `entity_key` at logical time `now`.
   StatusOr<FeatureVector> GetFeatures(const Value& entity_key,
                                       const std::vector<std::string>& features,
                                       Timestamp now) const;
 
-  /// Batched variant; each entity gets its own FeatureVector.
-  StatusOr<std::vector<FeatureVector>> GetFeaturesBatch(
+  /// Batched variant; entry i is entity_keys[i]'s result. Entries fail
+  /// independently (under kError a missing feature fails only that
+  /// entity's entry; a non-feature view fails every entry with
+  /// FailedPrecondition). Each entity counts as one request and records
+  /// one latency sample (the batch's amortized per-entity latency).
+  std::vector<StatusOr<FeatureVector>> GetFeaturesBatch(
       const std::vector<Value>& entity_keys,
       const std::vector<std::string>& features, Timestamp now) const;
 
-  /// Copy of the request-latency histogram (microseconds).
+  /// Merged copy of the striped request-latency histograms (microseconds).
   Histogram latency_histogram() const;
 
   FeatureServerStats stats() const;
@@ -94,11 +116,24 @@ class FeatureServer {
   uint64_t requests() const;
 
  private:
+  /// One stripe of the request metrics; requests pick a stripe by thread
+  /// affinity so concurrent recordings hit disjoint locks. Padded to a
+  /// cache line to avoid false sharing between stripes.
+  struct alignas(64) MetricsStripe {
+    mutable std::mutex mu;
+    Histogram latency_us;
+    uint64_t requests = 0;
+  };
+  static constexpr size_t kMetricsStripes = 8;
+
+  void RecordLatency(double micros, uint64_t num_requests) const;
+
   const OnlineStore* store_;  // Not owned.
   FeatureServerOptions options_;
-  mutable std::mutex mu_;
-  mutable Histogram latency_us_;
-  mutable uint64_t requests_ = 0;
+  /// Workers for parallel per-view batch assembly; null when
+  /// options_.batch_parallelism <= 1.
+  std::unique_ptr<ThreadPool> pool_;
+  mutable std::vector<MetricsStripe> metrics_;
   mutable std::atomic<uint64_t> retries_{0};
   mutable std::atomic<uint64_t> degraded_features_{0};
   mutable std::atomic<uint64_t> degraded_responses_{0};

@@ -5,14 +5,18 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/row.h"
 #include "common/schema.h"
 #include "common/status.h"
 #include "common/timestamp.h"
+#include "storage/cell_map.h"
 
 namespace mlfs {
 
@@ -43,7 +47,14 @@ struct OnlineStoreOptions {
 ///
 /// Last-writer-wins is by *event time*, not write time, so replayed or
 /// out-of-order materializations can never clobber fresher data.
-/// Thread-safe; sharded by key hash.
+///
+/// Thread-safe; sharded by key hash. Each shard is guarded by a
+/// std::shared_mutex: readers (Get / MultiGet / GetEventTime / stats /
+/// Snapshot) take shared locks and never serialize against each other,
+/// writers (Put / EvictExpired / DropView / Restore) take exclusive locks.
+/// MultiGet is shard-aware: it hashes every key up front (no per-key
+/// composed-key heap allocation), groups keys by shard, and serves each
+/// shard's keys under a single shared critical section.
 class OnlineStore {
  public:
   explicit OnlineStore(OnlineStoreOptions options = {});
@@ -67,6 +78,9 @@ class OnlineStore {
                     Timestamp now) const;
 
   /// Batched get preserving input order; individual entries may fail.
+  /// Equivalent to a loop of Get (same per-key results, counters, and
+  /// failpoint evaluations) but takes each shard lock once per batch
+  /// instead of once per key.
   std::vector<StatusOr<Row>> MultiGet(const std::string& view,
                                       const std::vector<Value>& entity_keys,
                                       Timestamp now) const;
@@ -93,26 +107,29 @@ class OnlineStore {
   Status Restore(std::string_view snapshot);
 
  private:
-  struct Cell {
-    Row row;
-    Timestamp event_time;
-    Timestamp write_time;
-    Timestamp expires_at;  // kMaxTimestamp when no TTL.
-  };
+  /// Cells live in a prefetch-friendly open-addressing table (CellMap)
+  /// keyed by the composed "view\x1fentity" string; every store operation
+  /// computes the key hash exactly once and passes it through.
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::string, Cell> cells;
+    mutable std::shared_mutex mu;
+    CellMap cells;
     size_t approx_bytes = 0;
   };
 
-  Shard& ShardFor(const std::string& full_key) const;
+  Shard& ShardFor(uint64_t full_key_hash) const {
+    return *shards_[full_key_hash % shards_.size()];
+  }
   static std::string FullKey(const std::string& view, const std::string& key);
 
   OnlineStoreOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  mutable std::mutex views_mu_;
+  mutable std::shared_mutex views_mu_;
   std::unordered_map<std::string, SchemaPtr> views_;
+
+  /// False until any cell is written with a real TTL; lets batched reads
+  /// skip the expiry branch entirely for the common no-TTL deployment.
+  mutable std::atomic<bool> may_have_ttl_{false};
 
   mutable std::atomic<uint64_t> puts_{0};
   mutable std::atomic<uint64_t> gets_{0};

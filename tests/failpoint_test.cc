@@ -156,6 +156,43 @@ TEST_F(FailpointTest, OnlineStorePutAndGetHonorFailpoints) {
   EXPECT_EQ(s.hits + s.misses, s.gets);
 }
 
+// Regression for the shard-grouped MultiGet: the "online_store.get"
+// failpoint must be evaluated exactly once per key (not once per shard
+// group), injected entries must not advance traffic counters, and the
+// hits + misses == gets invariant must hold for the keys actually served.
+TEST_F(FailpointTest, MultiGetEvaluatesFailpointOncePerKey) {
+  OnlineStore store;
+  SchemaPtr schema =
+      Schema::Create({{"x", FeatureType::kInt64, true}}).value();
+  ASSERT_TRUE(store.CreateView("v", schema).ok());
+  Row row = Row::Create(schema, {Value::Int64(7)}).value();
+  for (int64_t k = 0; k < 4; ++k) {
+    ASSERT_TRUE(store.Put("v", Value::Int64(k), row, 1, 1).ok());
+  }
+
+  FailpointConfig config;
+  config.status = Status::Internal("injected get fault");
+  config.every_nth = 2;  // Fires on evaluations 1, 3, 5, ...
+  ScopedFailpoint fp("online_store.get", config);
+  auto got = store.MultiGet(
+      "v",
+      {Value::Int64(0), Value::Int64(1), Value::Int64(2), Value::Int64(3)},
+      2);
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(fp.stats().evaluations, 4u);  // One per key, not per shard.
+  EXPECT_EQ(fp.stats().fires, 2u);
+  EXPECT_EQ(got[0].status().code(), StatusCode::kInternal);
+  EXPECT_TRUE(got[1].ok());
+  EXPECT_EQ(got[2].status().code(), StatusCode::kInternal);
+  EXPECT_TRUE(got[3].ok());
+  // Injected keys advance no counters; served keys keep the invariant.
+  auto s = store.stats();
+  EXPECT_EQ(s.gets, 2u);
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.misses, 0u);
+  EXPECT_EQ(s.hits + s.misses, s.gets);
+}
+
 TEST_F(FailpointTest, PersistenceWriteFailpointBlocksCheckpoint) {
   OnlineStore store;
   FailpointConfig config;

@@ -186,16 +186,145 @@ TEST_F(FeatureServerFailpointTest, NonTransientErrorsAreNotRetried) {
   EXPECT_EQ(server.stats().retries, 0u);
 }
 
+// Batched path under a transient outage that heals after two reads: the
+// per-(entity, feature)-cell retry budget recovers every value.
+TEST_F(FeatureServerFailpointTest, BatchRetriesTransientCellsWithinBudget) {
+  FeatureServerOptions options;
+  options.max_attempts = 3;
+  FeatureServer server(&store_, options);
+  FailpointConfig config;
+  config.status = Status::ResourceExhausted("transient overload");
+  config.max_fires = 2;  // First two store reads fail, then it heals.
+  ScopedFailpoint fp("online_store.get", config);
+
+  auto batch = server.GetFeaturesBatch(
+      {Value::Int64(1), Value::Int64(2)}, {"f1"}, Hours(4));
+  ASSERT_EQ(batch.size(), 2u);
+  ASSERT_TRUE(batch[0].ok()) << batch[0].status();
+  ASSERT_TRUE(batch[1].ok()) << batch[1].status();
+  EXPECT_EQ(batch[0]->values[0], Value::Double(0.5));
+  EXPECT_EQ(batch[1]->values[0], Value::Double(0.9));
+  EXPECT_EQ(batch[0]->missing + batch[1]->missing, 0u);
+  auto stats = server.stats();
+  EXPECT_EQ(stats.retries, 2u);  // One per faulted cell.
+  EXPECT_EQ(stats.degraded_features, 0u);
+}
+
+// Batched path with the store hard-down: every cell exhausts its retries
+// and degrades to NULL under kNull; per-entity degradation is counted.
+TEST_F(FeatureServerFailpointTest, BatchDegradesToNullAfterExhaustion) {
+  FeatureServerOptions options;
+  options.max_attempts = 2;
+  FeatureServer server(&store_, options);
+  FailpointConfig config;
+  config.status = Status::Internal("injected store outage");
+  ScopedFailpoint fp("online_store.get", config);  // p=1.0.
+
+  auto batch = server.GetFeaturesBatch(
+      {Value::Int64(1), Value::Int64(2)}, {"f1", "f2"}, Hours(4));
+  ASSERT_EQ(batch.size(), 2u);
+  for (const auto& entry : batch) {
+    ASSERT_TRUE(entry.ok()) << entry.status();
+    EXPECT_TRUE(entry->values[0].is_null());
+    EXPECT_TRUE(entry->values[1].is_null());
+    EXPECT_EQ(entry->missing, 2u);
+    EXPECT_EQ(entry->degraded, 2u);
+  }
+  auto stats = server.stats();
+  EXPECT_EQ(stats.retries, 4u);  // 2 entities x 2 features x 1 retry.
+  EXPECT_EQ(stats.degraded_features, 4u);
+  EXPECT_EQ(stats.degraded_responses, 2u);
+  // 4 cell evaluations inside the two MultiGets + 4 individual retry Gets.
+  EXPECT_EQ(fp.stats().fires, 8u);
+}
+
 TEST_F(FeatureServerTest, BatchPreservesOrderAndRecordsLatency) {
   FeatureServer server(&store_);
   auto batch = server.GetFeaturesBatch(
       {Value::Int64(1), Value::Int64(2)}, {"f1"}, Hours(4));
-  ASSERT_TRUE(batch.ok());
-  ASSERT_EQ(batch->size(), 2u);
-  EXPECT_EQ((*batch)[0].values[0], Value::Double(0.5));
-  EXPECT_EQ((*batch)[1].values[0], Value::Double(0.9));
+  ASSERT_EQ(batch.size(), 2u);
+  ASSERT_TRUE(batch[0].ok());
+  ASSERT_TRUE(batch[1].ok());
+  EXPECT_EQ(batch[0]->values[0], Value::Double(0.5));
+  EXPECT_EQ(batch[1]->values[0], Value::Double(0.9));
+  // Each entity counts as one request and one latency sample.
+  EXPECT_EQ(server.requests(), 2u);
   EXPECT_EQ(server.latency_histogram().count(), 2u);
   EXPECT_GT(server.latency_histogram().mean(), 0.0);
+}
+
+TEST_F(FeatureServerTest, BatchMatchesPerEntityGetFeatures) {
+  FeatureServer server(&store_);
+  std::vector<Value> keys = {Value::Int64(2), Value::Int64(1),
+                             Value::Int64(777), Value::Int64(1)};
+  std::vector<std::string> features = {"f2", "f1"};
+  auto batch = server.GetFeaturesBatch(keys, features, Hours(4));
+  ASSERT_EQ(batch.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto single = server.GetFeatures(keys[i], features, Hours(4));
+    ASSERT_TRUE(single.ok());
+    ASSERT_TRUE(batch[i].ok()) << batch[i].status();
+    EXPECT_EQ(batch[i]->names, single->names);
+    EXPECT_EQ(batch[i]->values, single->values);
+    EXPECT_EQ(batch[i]->oldest_event_time, single->oldest_event_time);
+    EXPECT_EQ(batch[i]->missing, single->missing);
+  }
+}
+
+TEST_F(FeatureServerTest, BatchErrorPolicyFailsOnlyTheMissingEntity) {
+  FeatureServerOptions options;
+  options.missing_policy = MissingFeaturePolicy::kError;
+  FeatureServer server(&store_, options);
+  // Entity 1 has f1 and f2; entity 2 has only f1: under kError, only
+  // entity 2's entry fails — its batch-mates are unaffected.
+  auto batch = server.GetFeaturesBatch(
+      {Value::Int64(1), Value::Int64(2)}, {"f1", "f2"}, Hours(4));
+  ASSERT_EQ(batch.size(), 2u);
+  ASSERT_TRUE(batch[0].ok()) << batch[0].status();
+  EXPECT_EQ(batch[0]->values[0], Value::Double(0.5));
+  EXPECT_EQ(batch[0]->values[1], Value::Double(0.7));
+  EXPECT_TRUE(batch[1].status().IsNotFound());
+}
+
+TEST_F(FeatureServerTest, BatchRejectsNonFeatureViewsPerEntity) {
+  auto raw_schema =
+      Schema::Create({{"x", FeatureType::kInt64, true}}).value();
+  ASSERT_TRUE(store_.CreateView("raw", raw_schema).ok());
+  Row row = Row::Create(raw_schema, {Value::Int64(5)}).value();
+  ASSERT_TRUE(store_.Put("raw", Value::Int64(1), row, 0, 0).ok());
+  FeatureServer server(&store_);
+  auto batch = server.GetFeaturesBatch(
+      {Value::Int64(1), Value::Int64(1)}, {"raw"}, Hours(1));
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_TRUE(batch[0].status().IsFailedPrecondition());
+  EXPECT_TRUE(batch[1].status().IsFailedPrecondition());
+}
+
+TEST_F(FeatureServerTest, BatchParallelAssemblyMatchesSerial) {
+  FeatureServerOptions parallel_options;
+  parallel_options.batch_parallelism = 4;
+  FeatureServer parallel_server(&store_, parallel_options);
+  FeatureServer serial_server(&store_);
+  std::vector<Value> keys;
+  for (int64_t e = 0; e < 16; ++e) keys.push_back(Value::Int64(e % 3));
+  std::vector<std::string> features = {"f1", "f2", "f1"};
+  auto parallel = parallel_server.GetFeaturesBatch(keys, features, Hours(4));
+  auto serial = serial_server.GetFeaturesBatch(keys, features, Hours(4));
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (size_t i = 0; i < parallel.size(); ++i) {
+    ASSERT_EQ(parallel[i].ok(), serial[i].ok());
+    if (!parallel[i].ok()) continue;
+    EXPECT_EQ(parallel[i]->values, serial[i]->values);
+    EXPECT_EQ(parallel[i]->missing, serial[i]->missing);
+    EXPECT_EQ(parallel[i]->oldest_event_time, serial[i]->oldest_event_time);
+  }
+  EXPECT_EQ(parallel_server.requests(), keys.size());
+}
+
+TEST_F(FeatureServerTest, EmptyBatchIsEmpty) {
+  FeatureServer server(&store_);
+  EXPECT_TRUE(server.GetFeaturesBatch({}, {"f1"}, Hours(4)).empty());
+  EXPECT_EQ(server.requests(), 0u);
 }
 
 }  // namespace

@@ -75,6 +75,41 @@ TEST(HistogramTest, Merge) {
   EXPECT_EQ(a.count(), 3u);
   EXPECT_EQ(a.max(), 100.0);
   EXPECT_EQ(a.min(), 1.0);
+  EXPECT_NEAR(a.sum(), 103.0, 1e-9);
+}
+
+TEST(HistogramTest, MergeWithEmptyOnEitherSide) {
+  Histogram a, empty;
+  a.Record(7.0);
+  a.Merge(empty);  // Merging an empty histogram changes nothing.
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 7.0);
+  EXPECT_EQ(a.max(), 7.0);
+  Histogram into_empty;
+  into_empty.Merge(a);  // Merging into empty copies min/max/mass.
+  EXPECT_EQ(into_empty.count(), 1u);
+  EXPECT_EQ(into_empty.min(), 7.0);
+  EXPECT_EQ(into_empty.max(), 7.0);
+}
+
+// The striped-metrics use case: recording N samples across K histograms
+// then merging must be distribution-equivalent to recording all N into one.
+TEST(HistogramTest, MergedStripesMatchSingleHistogram) {
+  Histogram single;
+  Histogram stripes[4];
+  for (int i = 1; i <= 1000; ++i) {
+    single.Record(static_cast<double>(i));
+    stripes[i % 4].Record(static_cast<double>(i));
+  }
+  Histogram merged;
+  for (const Histogram& s : stripes) merged.Merge(s);
+  EXPECT_EQ(merged.count(), single.count());
+  EXPECT_EQ(merged.min(), single.min());
+  EXPECT_EQ(merged.max(), single.max());
+  EXPECT_NEAR(merged.mean(), single.mean(), 1e-9);
+  for (double p : {10.0, 50.0, 95.0, 99.0}) {
+    EXPECT_NEAR(merged.Percentile(p), single.Percentile(p), 1e-9) << p;
+  }
 }
 
 TEST(HistogramTest, ResetClears) {

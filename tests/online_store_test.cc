@@ -132,6 +132,159 @@ TEST_F(OnlineStoreTest, MultiGetPreservesOrder) {
   EXPECT_EQ(got[2]->value(0).int64_value(), 0);
 }
 
+TEST_F(OnlineStoreTest, MultiGetDuplicateKeysEachAnswered) {
+  ASSERT_TRUE(store_.Put("user_stats", Value::Int64(7),
+                         MakeRow(schema_, 70, 0.0), Hours(1), Hours(1))
+                  .ok());
+  auto got = store_.MultiGet(
+      "user_stats",
+      {Value::Int64(7), Value::Int64(7), Value::Int64(8), Value::Int64(7)},
+      Hours(2));
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0]->value(0).int64_value(), 70);
+  EXPECT_EQ(got[1]->value(0).int64_value(), 70);
+  EXPECT_TRUE(got[2].status().IsNotFound());
+  EXPECT_EQ(got[3]->value(0).int64_value(), 70);
+  auto s = store_.stats();
+  EXPECT_EQ(s.gets, 4u);
+  EXPECT_EQ(s.hits, 3u);
+  EXPECT_EQ(s.misses, 1u);
+}
+
+TEST_F(OnlineStoreTest, MultiGetMixedHitMissExpiredCountsLikeGet) {
+  // Live cell, expired cell (ttl 1h from write at 1h => dead at 2h), miss.
+  ASSERT_TRUE(store_.Put("user_stats", Value::Int64(1),
+                         MakeRow(schema_, 1, 0.0), Hours(1), Hours(1))
+                  .ok());
+  ASSERT_TRUE(store_.Put("user_stats", Value::Int64(2),
+                         MakeRow(schema_, 2, 0.0), Hours(1), Hours(1),
+                         Hours(1))
+                  .ok());
+  auto got = store_.MultiGet(
+      "user_stats",
+      {Value::Int64(1), Value::Int64(2), Value::Int64(3), Value::Double(0.5)},
+      Hours(3));
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_TRUE(got[0].ok());
+  EXPECT_TRUE(got[1].status().IsNotFound());  // Expired.
+  EXPECT_TRUE(got[2].status().IsNotFound());  // Never written.
+  EXPECT_TRUE(got[3].status().IsInvalidArgument());  // Bad key type.
+  auto s = store_.stats();
+  EXPECT_EQ(s.gets, 4u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 3u);
+  EXPECT_EQ(s.expired, 1u);
+  EXPECT_EQ(s.hits + s.misses, s.gets);
+}
+
+TEST_F(OnlineStoreTest, MultiGetUnknownViewMissesEveryKey) {
+  auto got = store_.MultiGet("no_such_view",
+                             {Value::Int64(1), Value::Int64(2)}, Hours(1));
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_TRUE(got[0].status().IsNotFound());
+  EXPECT_TRUE(got[1].status().IsNotFound());
+  EXPECT_EQ(store_.stats().misses, 2u);
+}
+
+TEST_F(OnlineStoreTest, MultiGetEmptyBatch) {
+  EXPECT_TRUE(store_.MultiGet("user_stats", {}, Hours(1)).empty());
+  EXPECT_EQ(store_.stats().gets, 0u);
+}
+
+TEST_F(OnlineStoreTest, MultiGetSpansManyShards) {
+  OnlineStoreOptions opt;
+  opt.num_shards = 64;
+  OnlineStore store(opt);
+  ASSERT_TRUE(store.CreateView("v", schema_).ok());
+  constexpr int64_t kN = 512;  // Batch much larger than the shard count.
+  for (int64_t u = 0; u < kN; u += 2) {  // Odd keys stay missing.
+    ASSERT_TRUE(store.Put("v", Value::Int64(u), MakeRow(schema_, u, 0.0),
+                          Hours(1), Hours(1))
+                    .ok());
+  }
+  std::vector<Value> keys;
+  for (int64_t u = 0; u < kN; ++u) keys.push_back(Value::Int64(u));
+  auto got = store.MultiGet("v", keys, Hours(2));
+  ASSERT_EQ(got.size(), static_cast<size_t>(kN));
+  for (int64_t u = 0; u < kN; ++u) {
+    if (u % 2 == 0) {
+      ASSERT_TRUE(got[u].ok()) << "key " << u << ": " << got[u].status();
+      EXPECT_EQ(got[u]->value(0).int64_value(), u);
+    } else {
+      EXPECT_TRUE(got[u].status().IsNotFound()) << "key " << u;
+    }
+  }
+  auto s = store.stats();
+  EXPECT_EQ(s.gets, static_cast<uint64_t>(kN));
+  EXPECT_EQ(s.hits, static_cast<uint64_t>(kN) / 2);
+}
+
+// Property test: on random workloads (random keys, TTLs, and string/int
+// key mixes), MultiGet must be observationally identical to a loop of Get
+// — same per-key results *and* the same counter deltas.
+TEST_F(OnlineStoreTest, MultiGetMatchesGetLoopOnRandomWorkloads) {
+  Rng rng(777);
+  for (int round = 0; round < 20; ++round) {
+    OnlineStoreOptions opt;
+    opt.num_shards = 1 + rng.Uniform(32);
+    OnlineStore store(opt);
+    ASSERT_TRUE(store.CreateView("v", schema_).ok());
+    const int64_t key_space = 1 + static_cast<int64_t>(rng.Uniform(40));
+    const int num_puts = static_cast<int>(rng.Uniform(60));
+    for (int p = 0; p < num_puts; ++p) {
+      int64_t k = static_cast<int64_t>(rng.Uniform(key_space));
+      Timestamp et = Hours(1 + rng.Uniform(10));
+      Timestamp ttl = (rng.Uniform(3) == 0) ? Hours(1 + rng.Uniform(4)) : 0;
+      ASSERT_TRUE(store.Put("v", Value::Int64(k), MakeRow(schema_, k, 0.0),
+                            et, et, ttl)
+                      .ok());
+    }
+    std::vector<Value> batch;
+    const int batch_size = 1 + static_cast<int>(rng.Uniform(50));
+    for (int i = 0; i < batch_size; ++i) {
+      switch (rng.Uniform(8)) {
+        case 0:
+          batch.push_back(Value::String("str-" +
+                                        std::to_string(rng.Uniform(4))));
+          break;
+        case 1:
+          batch.push_back(Value::Double(1.5));  // Invalid key type.
+          break;
+        default:
+          batch.push_back(
+              Value::Int64(static_cast<int64_t>(rng.Uniform(key_space + 4))));
+      }
+    }
+    Timestamp now = Hours(1 + rng.Uniform(12));
+
+    OnlineStoreStats before = store.stats();
+    auto multi = store.MultiGet("v", batch, now);
+    OnlineStoreStats mid = store.stats();
+    std::vector<StatusOr<Row>> loop;
+    for (const Value& key : batch) loop.push_back(store.Get("v", key, now));
+    OnlineStoreStats after = store.stats();
+
+    ASSERT_EQ(multi.size(), loop.size());
+    for (size_t i = 0; i < multi.size(); ++i) {
+      EXPECT_EQ(multi[i].ok(), loop[i].ok())
+          << "round " << round << " entry " << i << ": "
+          << multi[i].status() << " vs " << loop[i].status();
+      if (multi[i].ok()) {
+        EXPECT_EQ(*multi[i], *loop[i]) << "round " << round << " entry " << i;
+      } else {
+        EXPECT_EQ(multi[i].status().code(), loop[i].status().code());
+        EXPECT_EQ(multi[i].status().message(), loop[i].status().message());
+      }
+    }
+    // Identical counter deltas for the batched and per-key paths.
+    EXPECT_EQ(mid.gets - before.gets, after.gets - mid.gets);
+    EXPECT_EQ(mid.hits - before.hits, after.hits - mid.hits);
+    EXPECT_EQ(mid.misses - before.misses, after.misses - mid.misses);
+    EXPECT_EQ(mid.expired - before.expired, after.expired - mid.expired);
+    EXPECT_EQ(mid.hits + mid.misses, mid.gets);
+  }
+}
+
 TEST_F(OnlineStoreTest, GetEventTimeForFreshness) {
   ASSERT_TRUE(store_.Put("user_stats", Value::Int64(1),
                          MakeRow(schema_, 1, 1.0), Hours(7), Hours(8))

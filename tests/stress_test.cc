@@ -182,6 +182,123 @@ TEST_F(StressTest, ConcurrentServingUnderFaultInjection) {
   }
 }
 
+// Shard-grouped MultiGet and batched serving racing writers, an evictor,
+// and injected faults: batched readers take shared shard locks in groups,
+// writers take exclusive locks, and the striped server metrics record from
+// every thread. Asserts the MultiGet stats invariant hits + misses (which
+// includes expired) == gets, per-entry result shape, and that the striped
+// histogram loses no request. Run under TSan to certify the
+// shared_mutex/striped-metrics locking.
+TEST_F(StressTest, ConcurrentBatchedMultiGetUnderFaultInjection) {
+  constexpr int kBatchWriters = 2;
+  constexpr int kBatchReaders = 4;
+  constexpr int kBatchesPerReader = 250;
+  constexpr size_t kBatchSize = 32;
+
+  OnlineStoreOptions store_options;
+  store_options.num_shards = 4;  // Few shards: batches always collide.
+  OnlineStore store(store_options);
+  SchemaPtr schema = FeatureViewSchema();
+  ASSERT_TRUE(store.CreateView("feat_a", schema).ok());
+
+  FeatureServerOptions server_options;
+  server_options.max_attempts = 3;
+  server_options.batch_parallelism = 2;  // Exercise the pooled fan-out.
+  FeatureServer server(&store, server_options);
+
+  {
+    FailpointConfig put_faults;
+    put_faults.status = Status::Internal("injected put fault");
+    put_faults.probability = 0.02;
+    FailpointRegistry::Instance().Arm("online_store.put", put_faults);
+    FailpointConfig get_faults;
+    get_faults.status = Status::Internal("injected get fault");
+    get_faults.probability = 0.05;
+    FailpointRegistry::Instance().Arm("online_store.get", get_faults);
+  }
+
+  ThreadPool pool(kBatchWriters + kBatchReaders + 1);
+  std::vector<std::vector<Timestamp>> newest_ok(
+      kBatchWriters, std::vector<Timestamp>(kKeys, kMinTimestamp));
+  std::atomic<uint64_t> injected_put_failures{0};
+  std::atomic<bool> done{false};
+  for (int w = 0; w < kBatchWriters; ++w) {
+    pool.Submit([&store, &schema, w, &newest_ok, &injected_put_failures] {
+      WriterLoop(&store, schema, w, &newest_ok[w], &injected_put_failures);
+    });
+  }
+  pool.Submit([&store, &done] {  // Evictor: exclusive locks vs batch reads.
+    while (!done.load(std::memory_order_acquire)) {
+      store.EvictExpired(Seconds(2500));
+      std::this_thread::yield();
+    }
+  });
+  std::atomic<uint64_t> server_entities{0};
+  for (int r = 0; r < kBatchReaders; ++r) {
+    pool.Submit([&store, &server, r, &server_entities] {
+      Rng rng(5000 + r);
+      for (int b = 0; b < kBatchesPerReader; ++b) {
+        std::vector<Value> batch;
+        batch.reserve(kBatchSize);
+        for (size_t i = 0; i < kBatchSize; ++i) {
+          batch.push_back(
+              Value::Int64(static_cast<int64_t>(rng.Uniform(kKeys))));
+        }
+        Timestamp now =
+            Seconds(1 + rng.Uniform(kBatchWriters * kOpsPerWriter));
+        if (r % 2 == 0) {
+          // Raw store path: every key gets an answer, in order.
+          auto rows = store.MultiGet("feat_a", batch, now);
+          ASSERT_EQ(rows.size(), batch.size());
+          for (const auto& row : rows) {
+            if (!row.ok()) {
+              ASSERT_TRUE(row.status().IsNotFound() ||
+                          row.status().code() == StatusCode::kInternal)
+                  << row.status();
+            }
+          }
+        } else {
+          // Serving path: kNull degrades injected faults, so every
+          // per-entity entry succeeds.
+          auto fvs = server.GetFeaturesBatch(batch, {"feat_a"}, now);
+          ASSERT_EQ(fvs.size(), batch.size());
+          for (const auto& fv : fvs) {
+            ASSERT_TRUE(fv.ok()) << fv.status();
+          }
+          server_entities.fetch_add(batch.size(),
+                                    std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // Writers/readers are the finite tasks; the evictor spins until stopped.
+  while (store.stats().puts + injected_put_failures.load() <
+         static_cast<uint64_t>(kBatchWriters) * kOpsPerWriter) {
+    std::this_thread::yield();
+  }
+  while (server.requests() <
+         static_cast<uint64_t>((kBatchReaders + 1) / 2) * kBatchesPerReader *
+             kBatchSize) {
+    std::this_thread::yield();
+  }
+  done.store(true, std::memory_order_release);
+  pool.Wait();
+  FailpointRegistry::Instance().DisarmAll();
+
+  // MultiGet preserves the store invariant under concurrency + faults.
+  OnlineStoreStats s = store.stats();
+  EXPECT_EQ(s.hits + s.misses, s.gets);
+  EXPECT_GE(s.misses, s.expired);
+
+  // Striped metrics: every batched entity was counted exactly once, and
+  // the merged histogram carries exactly one sample per request.
+  FeatureServerStats f = server.stats();
+  EXPECT_EQ(f.requests, server_entities.load());
+  EXPECT_EQ(server.latency_histogram().count(), f.requests);
+  EXPECT_GT(f.retries, 0u);  // p=0.05 faults with 3 attempts.
+  EXPECT_GE(f.degraded_features, f.degraded_responses);
+}
+
 // Snapshots, eviction, and stats scans racing live write traffic: the
 // shard-by-shard walkers must never observe torn state or deadlock.
 TEST_F(StressTest, SnapshotAndEvictionRaceWriters) {
