@@ -1,24 +1,127 @@
 // E9 — Embedding search at scale (paper §4: "performing these operations
 // at industrial scale will be non-trivial").
 //
-// Reproduces: recall@10 vs throughput for brute-force, IVF-Flat, and HNSW
-// over 100k x 64d vectors — the classic ANN tradeoff curve that makes
-// approximate indexes mandatory for embedding-native serving.
+// Two experiments:
+//   1. Batched retrieval (BM_*): throughput of AnnIndex::BatchSearch at
+//      batch sizes 1/16/256 over 64d and 300d vectors, brute-force vs
+//      HNSW. The brute-force batched scan amortizes each row block across
+//      a tile of queries, turning a memory-bound per-query scan into a
+//      compute-bound pass; HNSW batches reuse the epoch-stamped visited
+//      pool instead of allocating per query.
+//   2. The classic recall@10 vs QPS tradeoff table for brute/IVF/HNSW
+//      over 100k x 64d vectors (run with --tradeoff).
+//
+// Regenerate the committed results with:
+//   cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release
+//   cmake --build build-rel -j --target bench_ann
+//   ./build-rel/bench/bench_ann --benchmark_repetitions=3
+//       --benchmark_report_aggregates_only=true
+//       --benchmark_out=bench/BENCH_ann.json
+//       --benchmark_out_format=json   (one command line)
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 
 #include "common/rng.h"
 #include "embedding/ann.h"
+#include "embedding/distance.h"
 
 namespace mlfs {
 namespace {
 
+constexpr size_t kK = 10;
+constexpr size_t kQueryPool = 256;  // Max batch size; pool of queries.
+
+std::vector<float> ClusteredVectors(size_t n, size_t dim, Rng* rng) {
+  // Mixture of 64 Gaussian clusters: realistic embedding geometry.
+  std::vector<float> centers(64 * dim);
+  for (auto& c : centers) c = static_cast<float>(rng->Gaussian(0, 2));
+  std::vector<float> out(n * dim);
+  for (size_t i = 0; i < n; ++i) {
+    const float* center = centers.data() + (i % 64) * dim;
+    for (size_t j = 0; j < dim; ++j) {
+      out[i * dim + j] = center[j] + static_cast<float>(rng->Gaussian(0, 0.6));
+    }
+  }
+  return out;
+}
+
+// --- Batched retrieval fixtures (one per dimension, built lazily). --------
+
+struct BatchFixture {
+  size_t n, dim;
+  std::vector<float> data;
+  std::vector<float> queries;  // kQueryPool contiguous queries.
+  std::unique_ptr<AnnIndex> brute;
+  std::unique_ptr<AnnIndex> hnsw;
+
+  BatchFixture(size_t n, size_t dim) : n(n), dim(dim) {
+    Rng rng(1 + dim);
+    data = ClusteredVectors(n, dim, &rng);
+    queries = ClusteredVectors(kQueryPool, dim, &rng);
+    brute = MakeBruteForceIndex(Metric::kL2);
+    MLFS_CHECK_OK(brute->Build(data.data(), n, dim));
+    HnswOptions options;
+    options.m = 16;
+    options.ef_construction = 128;
+    options.ef_search = 64;
+    hnsw = MakeHnswIndex(options);
+    MLFS_CHECK_OK(hnsw->Build(data.data(), n, dim));
+  }
+};
+
+const BatchFixture& BatchFixtureFor(size_t dim) {
+  // Sized so a full scan far exceeds L2: batch wins must come from block
+  // reuse, not from the whole table fitting in cache.
+  if (dim == 64) {
+    static auto* fixture = new BatchFixture(50000, 64);
+    return *fixture;
+  }
+  static auto* fixture = new BatchFixture(20000, 300);
+  return *fixture;
+}
+
+void RunBatched(benchmark::State& state, const AnnIndex& index,
+                const BatchFixture& fixture) {
+  const size_t batch = static_cast<size_t>(state.range(1));
+  size_t next = 0;  // kQueryPool % batch == 0 for all registered sizes.
+  for (auto _ : state) {
+    auto result =
+        index.BatchSearch(fixture.queries.data() + next * fixture.dim,
+                          batch, kK);
+    benchmark::DoNotOptimize(result);
+    next = (next + batch) % kQueryPool;
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+  state.counters["simd"] =
+      benchmark::Counter(simd::LevelName() == "scalar" ? 0 : 1);
+}
+
+void BM_BruteBatchSearch(benchmark::State& state) {
+  const auto& fixture = BatchFixtureFor(static_cast<size_t>(state.range(0)));
+  RunBatched(state, *fixture.brute, fixture);
+}
+BENCHMARK(BM_BruteBatchSearch)
+    ->ArgNames({"dim", "batch"})
+    ->Args({64, 1})->Args({64, 16})->Args({64, 256})
+    ->Args({300, 1})->Args({300, 16})->Args({300, 256});
+
+void BM_HnswBatchSearch(benchmark::State& state) {
+  const auto& fixture = BatchFixtureFor(static_cast<size_t>(state.range(0)));
+  RunBatched(state, *fixture.hnsw, fixture);
+}
+BENCHMARK(BM_HnswBatchSearch)
+    ->ArgNames({"dim", "batch"})
+    ->Args({64, 1})->Args({64, 16})->Args({64, 256})
+    ->Args({300, 1})->Args({300, 16})->Args({300, 256});
+
+// --- Recall/QPS tradeoff table (--tradeoff) -------------------------------
+
 constexpr size_t kN = 100000;
 constexpr size_t kDim = 64;
-constexpr size_t kK = 10;
 constexpr int kQueries = 200;
 
 struct AnnFixture {
@@ -29,25 +132,14 @@ struct AnnFixture {
 
   AnnFixture() {
     Rng rng(1);
-    data.resize(kN * kDim);
-    // Mixture of 64 Gaussian clusters: realistic embedding geometry.
-    std::vector<float> centers(64 * kDim);
-    for (auto& c : centers) c = static_cast<float>(rng.Gaussian(0, 2));
-    for (size_t i = 0; i < kN; ++i) {
-      const float* center = centers.data() + (i % 64) * kDim;
-      for (size_t j = 0; j < kDim; ++j) {
-        data[i * kDim + j] =
-            center[j] + static_cast<float>(rng.Gaussian(0, 0.6));
-      }
-    }
+    data = ClusteredVectors(kN, kDim, &rng);
     brute = MakeBruteForceIndex();
     MLFS_CHECK_OK(brute->Build(data.data(), kN, kDim));
+    Rng query_rng(2);
+    auto pool = ClusteredVectors(kQueries, kDim, &query_rng);
     for (int q = 0; q < kQueries; ++q) {
-      std::vector<float> query(kDim);
-      const float* center = centers.data() + (q % 64) * kDim;
-      for (size_t j = 0; j < kDim; ++j) {
-        query[j] = center[j] + static_cast<float>(rng.Gaussian(0, 0.6));
-      }
+      std::vector<float> query(pool.begin() + q * kDim,
+                               pool.begin() + (q + 1) * kDim);
       ground_truth.push_back(brute->Search(query.data(), kK).value());
       queries.push_back(std::move(query));
     }
@@ -76,7 +168,8 @@ void Evaluate(const char* name, AnnIndex* index, double build_seconds) {
 
 void PrintTradeoffTable() {
   std::printf("\n[E9] ANN tradeoff over %zu x %zud vectors, recall@%zu "
-              "(%d queries)\n", kN, kDim, kK, kQueries);
+              "(%d queries, simd=%s)\n", kN, kDim, kK, kQueries,
+              std::string(simd::LevelName()).c_str());
   std::printf("%-34s %9s %12s %12s\n", "index", "recall", "QPS",
               "build (s)");
   auto& fixture = Fixture();
@@ -114,7 +207,22 @@ void PrintTradeoffTable() {
 }  // namespace
 }  // namespace mlfs
 
-int main() {
-  mlfs::PrintTradeoffTable();
+int main(int argc, char** argv) {
+  bool tradeoff = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tradeoff") == 0) {
+      tradeoff = true;
+      // Hide the flag from the benchmark library's argument parsing.
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  if (tradeoff) {
+    mlfs::PrintTradeoffTable();
+    return 0;
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

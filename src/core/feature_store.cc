@@ -16,7 +16,7 @@ FeatureStore::FeatureStore(FeatureStoreOptions options)
       registry_(&offline_),
       materializer_(&online_, &offline_),
       orchestrator_(&registry_, &materializer_),
-      server_(&online_, options_.serving) {}
+      server_(&online_, options_.serving, &embedding_store_) {}
 
 Status FeatureStore::CreateSourceTable(OfflineTableOptions options) {
   return offline_.CreateTable(std::move(options));
@@ -114,40 +114,147 @@ StatusOr<std::vector<float>> FeatureStore::GetEmbedding(
   return table->GetVector(key);
 }
 
+StatusOr<std::shared_ptr<FeatureStore::CachedIndex>>
+FeatureStore::GetOrBuildAnnIndex(const EmbeddingTablePtr& table) {
+  const std::string cache_key = table->metadata().VersionedName();
+  std::shared_ptr<CachedIndex> entry;
+  {
+    std::shared_lock lock(ann_mu_);
+    auto it = ann_cache_.find(cache_key);
+    if (it != ann_cache_.end()) entry = it->second;
+  }
+  if (entry == nullptr) {
+    std::unique_lock lock(ann_mu_);
+    auto it = ann_cache_.find(cache_key);
+    if (it == ann_cache_.end()) {
+      entry = std::make_shared<CachedIndex>();
+      entry->table = table;
+      ann_cache_.emplace(cache_key, entry);
+      EvictSupersededAnnLocked(table->metadata().name,
+                               table->metadata().version);
+    } else {
+      entry = it->second;
+    }
+  }
+  // The build runs outside ann_mu_: one slow HNSW build stalls only
+  // callers of this same version (who share its result via the once flag),
+  // never lookups on other embeddings or versions.
+  std::call_once(entry->built, [&] {
+    entry->index = options_.ann_index == "brute" ? MakeBruteForceIndex()
+                                                 : MakeHnswIndex();
+    entry->build_status = entry->index->Build(
+        entry->table->raw().data(), entry->table->size(),
+        entry->table->dim());
+    if (!entry->build_status.ok()) entry->index.reset();
+  });
+  if (!entry->build_status.ok()) return entry->build_status;
+  return entry;
+}
+
+void FeatureStore::EvictSupersededAnnLocked(const std::string& name,
+                                            int version) {
+  // Versions pinned by the latest registered models stay cached: a skewed
+  // consumer still being served must not lose its index to an eviction.
+  std::vector<std::string> pinned;
+  for (const ModelRecord& model : model_registry_.ListLatest()) {
+    for (const std::string& ref : model.embedding_refs) {
+      pinned.push_back(ref);
+    }
+  }
+  for (auto it = ann_cache_.begin(); it != ann_cache_.end();) {
+    const EmbeddingTableMetadata& metadata = it->second->table->metadata();
+    const bool superseded =
+        metadata.name == name && metadata.version < version;
+    if (superseded && std::find(pinned.begin(), pinned.end(), it->first) ==
+                          pinned.end()) {
+      it = ann_cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+namespace {
+
+/// Drops the reference key from its own neighbor list and truncates to k.
+std::vector<std::pair<std::string, float>> FilterSelf(
+    const EmbeddingTable& table, const std::string& reference_key,
+    const std::vector<Neighbor>& hits, size_t k) {
+  std::vector<std::pair<std::string, float>> out;
+  out.reserve(k);
+  for (const Neighbor& hit : hits) {
+    if (table.key(hit.id) == reference_key) continue;
+    out.emplace_back(table.key(hit.id), hit.distance);
+    if (out.size() == k) break;
+  }
+  return out;
+}
+
+}  // namespace
+
 StatusOr<std::vector<std::pair<std::string, float>>>
 FeatureStore::NearestEntities(const std::string& name,
                               const std::string& reference_key, size_t k) {
   MLFS_ASSIGN_OR_RETURN(EmbeddingTablePtr table,
                         embedding_store_.GetLatest(name));
-  const std::string cache_key = table->metadata().VersionedName();
-  AnnIndex* index = nullptr;
-  {
-    std::lock_guard lock(ann_mu_);
-    auto it = ann_cache_.find(cache_key);
-    if (it == ann_cache_.end()) {
-      CachedIndex cached;
-      cached.table = table;
-      cached.index = options_.ann_index == "brute"
-                         ? MakeBruteForceIndex()
-                         : MakeHnswIndex();
-      MLFS_RETURN_IF_ERROR(cached.index->Build(table->raw().data(),
-                                               table->size(), table->dim()));
-      it = ann_cache_.emplace(cache_key, std::move(cached)).first;
-    }
-    index = it->second.index.get();
-  }
+  MLFS_ASSIGN_OR_RETURN(std::shared_ptr<CachedIndex> entry,
+                        GetOrBuildAnnIndex(table));
   MLFS_ASSIGN_OR_RETURN(const float* query, table->Get(reference_key));
   // Ask for one extra hit since the reference itself is in the index.
   MLFS_ASSIGN_OR_RETURN(std::vector<Neighbor> hits,
-                        index->Search(query, k + 1));
-  std::vector<std::pair<std::string, float>> out;
-  out.reserve(k);
-  for (const Neighbor& hit : hits) {
-    if (table->key(hit.id) == reference_key) continue;
-    out.emplace_back(table->key(hit.id), hit.distance);
-    if (out.size() == k) break;
+                        entry->index->Search(query, k + 1));
+  return FilterSelf(*table, reference_key, hits, k);
+}
+
+std::vector<StatusOr<std::vector<std::pair<std::string, float>>>>
+FeatureStore::NearestEntitiesBatch(
+    const std::string& name, const std::vector<std::string>& reference_keys,
+    size_t k) {
+  using Result = StatusOr<std::vector<std::pair<std::string, float>>>;
+  const size_t n = reference_keys.size();
+  StatusOr<EmbeddingTablePtr> table = embedding_store_.GetLatest(name);
+  if (!table.ok()) {
+    return std::vector<Result>(n, Result(table.status()));
+  }
+  StatusOr<std::shared_ptr<CachedIndex>> entry = GetOrBuildAnnIndex(*table);
+  if (!entry.ok()) {
+    return std::vector<Result>(n, Result(entry.status()));
+  }
+  // Gather the resolved reference vectors into one contiguous query
+  // buffer; unknown keys fail only their own slot.
+  std::vector<Result> out(n, Result(Status::Internal("slot not filled")));
+  const size_t dim = (*table)->dim();
+  std::vector<const float*> rows = (*table)->MultiGet(reference_keys);
+  std::vector<float> queries;
+  queries.reserve(n * dim);
+  std::vector<size_t> query_slot;  // queries row -> out slot.
+  query_slot.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rows[i] == nullptr) {
+      out[i] = Status::NotFound("no embedding for key '" + reference_keys[i] +
+                                "'");
+      continue;
+    }
+    queries.insert(queries.end(), rows[i], rows[i] + dim);
+    query_slot.push_back(i);
+  }
+  if (query_slot.empty()) return out;
+  StatusOr<std::vector<std::vector<Neighbor>>> hits =
+      (*entry)->index->BatchSearch(queries.data(), query_slot.size(), k + 1);
+  if (!hits.ok()) {
+    for (size_t slot : query_slot) out[slot] = hits.status();
+    return out;
+  }
+  for (size_t q = 0; q < query_slot.size(); ++q) {
+    const size_t slot = query_slot[q];
+    out[slot] = FilterSelf(**table, reference_keys[slot], (*hits)[q], k);
   }
   return out;
+}
+
+size_t FeatureStore::ann_cache_size() const {
+  std::shared_lock lock(ann_mu_);
+  return ann_cache_.size();
 }
 
 StatusOr<int> FeatureStore::RegisterModel(ModelRecord record) {

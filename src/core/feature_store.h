@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -104,9 +105,21 @@ class FeatureStore {
                                             const std::string& key) const;
 
   /// k nearest entities of `reference_key` under the latest version (ANN
-  /// index built and cached per version).
+  /// index built and cached per version). The index build happens outside
+  /// the cache lock with once-per-version semantics: concurrent callers on
+  /// the same version share one build, and a slow build on one embedding
+  /// never blocks lookups on another.
   StatusOr<std::vector<std::pair<std::string, float>>> NearestEntities(
       const std::string& name, const std::string& reference_key, size_t k);
+
+  /// Batched NearestEntities: entry i is reference_keys[i]'s neighbors.
+  /// One index resolve + one AnnIndex::BatchSearch for the whole batch;
+  /// entries fail independently (an unknown reference key NotFounds only
+  /// its own slot).
+  std::vector<StatusOr<std::vector<std::pair<std::string, float>>>>
+  NearestEntitiesBatch(const std::string& name,
+                       const std::vector<std::string>& reference_keys,
+                       size_t k);
 
   // --- Models & version skew (paper §2.2.2, §4) ------------------------------
 
@@ -135,6 +148,10 @@ class FeatureStore {
   FreshnessReport CheckFreshness(const std::string& feature,
                                  const std::vector<Value>& entity_keys) const;
 
+  /// Number of cached ANN indexes (bounded: superseded unpinned versions
+  /// are evicted on insert).
+  size_t ann_cache_size() const;
+
   // --- Durability -------------------------------------------------------------
 
   /// Writes a full checkpoint (offline tables, online cells, feature
@@ -160,12 +177,32 @@ class FeatureStore {
   FeatureServer server_;
   std::vector<std::unique_ptr<StreamPipeline>> pipelines_;
 
+  /// One cached (or in-flight) ANN index build for "name@vK". Entries are
+  /// inserted under ann_mu_ but *built* outside it via the once flag, so a
+  /// slow HNSW build never holds the cache lock; build_status records a
+  /// failed build for every sharer.
   struct CachedIndex {
     EmbeddingTablePtr table;  // Keeps the indexed buffer alive.
+    std::once_flag built;
     std::unique_ptr<AnnIndex> index;
+    Status build_status;
   };
-  std::mutex ann_mu_;
-  std::map<std::string, CachedIndex> ann_cache_;  // Key: "name@vK".
+
+  /// Cached (building if needed) index for `table`'s version. Evicts
+  /// superseded versions of the same name on insert — only the latest
+  /// version plus versions still pinned by registered models stay cached,
+  /// so re-registering an embedding N times cannot pin N full tables.
+  StatusOr<std::shared_ptr<CachedIndex>> GetOrBuildAnnIndex(
+      const EmbeddingTablePtr& table);
+
+  /// Drops cached indexes of `name` with a version below `version`, except
+  /// versions pinned by a latest registered model. Caller holds ann_mu_
+  /// exclusively.
+  void EvictSupersededAnnLocked(const std::string& name, int version);
+
+  mutable std::shared_mutex ann_mu_;
+  // Key: "name@vK".
+  std::map<std::string, std::shared_ptr<CachedIndex>> ann_cache_;
 };
 
 }  // namespace mlfs

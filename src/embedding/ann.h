@@ -10,6 +10,8 @@
 
 namespace mlfs {
 
+class ThreadPool;
+
 /// One nearest-neighbor hit.
 struct Neighbor {
   float distance = 0.0f;  // Under the index metric (smaller = closer).
@@ -34,8 +36,23 @@ class AnnIndex {
   virtual StatusOr<std::vector<Neighbor>> Search(const float* query,
                                                  size_t k) const = 0;
 
+  /// Batched search: `queries` is `nq` row-major vectors of the indexed
+  /// dimension; entry i of the result is query i's neighbors, identical to
+  /// what Search(queries + i * dim, k) returns. The base implementation
+  /// loops Search; indexes override it to amortize per-query costs
+  /// (brute force: blocked scans that reuse each data block across the
+  /// whole batch; HNSW: a reusable epoch-stamped visited pool). When
+  /// `pool` is non-null, implementations may fan queries out across it;
+  /// results are ordered by query either way. Thread-safe after Build.
+  virtual StatusOr<std::vector<std::vector<Neighbor>>> BatchSearch(
+      const float* queries, size_t nq, size_t k,
+      ThreadPool* pool = nullptr) const;
+
   virtual std::string name() const = 0;
   virtual Metric metric() const = 0;
+  /// Dimension of the indexed vectors (0 before Build). Doubles as the
+  /// row stride of a BatchSearch query buffer.
+  virtual size_t dim() const = 0;
 };
 
 /// Exact scan. The recall-1.0 baseline every approximate index is judged

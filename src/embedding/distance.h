@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <string_view>
 
 namespace mlfs {
@@ -16,33 +17,29 @@ enum class Metric : uint8_t {
 
 std::string_view MetricToString(Metric metric);
 
+/// Portable reference kernels (always compiled, no ISA requirements).
+/// These are the semantics every SIMD specialization must agree with to
+/// within normal float re-association error; tests pin the tolerance.
+float DotProductScalar(const float* a, const float* b, size_t dim);
+float L2SquaredScalar(const float* a, const float* b, size_t dim);
+
+namespace simd {
+using KernelFn = float (*)(const float*, const float*, size_t);
+/// Active kernels. Constant-initialized to the scalar reference kernels,
+/// upgraded once at load time to the widest ISA the CPU reports (AVX2+FMA
+/// on x86, NEON on aarch64) — callers never pay a feature check per call.
+extern KernelFn dot_product;
+extern KernelFn l2_squared;
+/// Name of the dispatched implementation: "avx2+fma", "neon", or "scalar".
+std::string_view LevelName();
+}  // namespace simd
+
 inline float DotProduct(const float* a, const float* b, size_t dim) {
-  float s0 = 0, s1 = 0, s2 = 0, s3 = 0;
-  size_t j = 0;
-  for (; j + 4 <= dim; j += 4) {
-    s0 += a[j] * b[j];
-    s1 += a[j + 1] * b[j + 1];
-    s2 += a[j + 2] * b[j + 2];
-    s3 += a[j + 3] * b[j + 3];
-  }
-  for (; j < dim; ++j) s0 += a[j] * b[j];
-  return s0 + s1 + s2 + s3;
+  return simd::dot_product(a, b, dim);
 }
 
 inline float L2Squared(const float* a, const float* b, size_t dim) {
-  float s0 = 0, s1 = 0;
-  size_t j = 0;
-  for (; j + 2 <= dim; j += 2) {
-    float d0 = a[j] - b[j];
-    float d1 = a[j + 1] - b[j + 1];
-    s0 += d0 * d0;
-    s1 += d1 * d1;
-  }
-  for (; j < dim; ++j) {
-    float d = a[j] - b[j];
-    s0 += d * d;
-  }
-  return s0 + s1;
+  return simd::l2_squared(a, b, dim);
 }
 
 inline float L2Norm(const float* a, size_t dim) {

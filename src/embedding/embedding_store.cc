@@ -18,15 +18,21 @@ StatusOr<int> EmbeddingStore::Register(const EmbeddingTablePtr& table,
   int version = versions.empty()
                     ? 1
                     : versions.back()->metadata().version + 1;
-  if (!versions.empty() &&
-      versions.back()->dim() != table->dim()) {
-    // Allowed (e.g. re-train at a new dim) but it must be deliberate;
-    // record it in the notes so lineage explains the change.
-  }
   // Tables are immutable: clone with stamped metadata.
   EmbeddingTableMetadata metadata = table->metadata();
   metadata.version = version;
   if (metadata.created_at == 0) metadata.created_at = registered_at;
+  if (!versions.empty() && versions.back()->dim() != table->dim()) {
+    // Allowed (e.g. re-train at a new dim) but it must be deliberate;
+    // record it in the notes so lineage explains the change.
+    const EmbeddingTablePtr& prev = versions.back();
+    std::string note = "dim changed " + std::to_string(prev->size()) + "x" +
+                       std::to_string(prev->dim()) + " -> " +
+                       std::to_string(table->size()) + "x" +
+                       std::to_string(table->dim());
+    if (!metadata.notes.empty()) metadata.notes += "; ";
+    metadata.notes += note;
+  }
   MLFS_ASSIGN_OR_RETURN(
       EmbeddingTablePtr stamped,
       EmbeddingTable::Create(std::move(metadata), table->keys(),
@@ -67,9 +73,11 @@ StatusOr<EmbeddingTablePtr> EmbeddingStore::Resolve(
   std::string version_text = reference.substr(at + 2);
   char* end = nullptr;
   long version = std::strtol(version_text.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0' || version_text.empty() || version <= 0) {
-    return Status::InvalidArgument("bad embedding reference '" + reference +
-                                   "'");
+  if (end == nullptr || *end != '\0' || version_text.empty() || version <= 0 ||
+      name.empty()) {
+    // Not a version suffix after all (e.g. a bare name like "user@vip"):
+    // treat the whole reference as a name rather than rejecting it.
+    return GetLatest(reference);
   }
   return GetVersion(name, static_cast<int>(version));
 }

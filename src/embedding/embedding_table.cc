@@ -58,6 +58,16 @@ StatusOr<const float*> EmbeddingTable::Get(const std::string& key) const {
   return row(it->second);
 }
 
+std::vector<const float*> EmbeddingTable::MultiGet(
+    const std::vector<std::string>& keys) const {
+  std::vector<const float*> out(keys.size(), nullptr);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto it = index_.find(keys[i]);
+    if (it != index_.end()) out[i] = row(it->second);
+  }
+  return out;
+}
+
 StatusOr<std::vector<float>> EmbeddingTable::GetVector(
     const std::string& key) const {
   MLFS_ASSIGN_OR_RETURN(const float* r, Get(key));

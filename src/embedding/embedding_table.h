@@ -55,6 +55,12 @@ class EmbeddingTable {
   /// Pointer to the vector of `key`, or NotFound.
   StatusOr<const float*> Get(const std::string& key) const;
 
+  /// Batched lookup: entry i points at `keys[i]`'s vector, or is null for
+  /// a missing key. One output allocation for the whole batch — the unit
+  /// embedding-feature hydration and batched ANN queries are built on.
+  std::vector<const float*> MultiGet(
+      const std::vector<std::string>& keys) const;
+
   /// Vector copy (convenience for Value::Embedding interop).
   StatusOr<std::vector<float>> GetVector(const std::string& key) const;
 

@@ -4,10 +4,43 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/threadpool.h"
 #include "embedding/ann.h"
 
 namespace mlfs {
 namespace {
+
+/// Epoch-stamped visited set: marking every node unvisited is one epoch
+/// bump instead of an O(n) allocation + clear per query. The stamp array
+/// is allocated once and reused across queries — during Build this turns
+/// the insert loop from effectively quadratic (n queries x O(n) clears)
+/// into linear bookkeeping, and during serving it keeps the search
+/// allocation-free.
+class VisitedPool {
+ public:
+  /// Starts a new query over `n` nodes.
+  void BeginQuery(size_t n) {
+    if (stamps_.size() < n) {
+      stamps_.assign(n, 0);
+      epoch_ = 0;
+    }
+    if (++epoch_ == 0) {  // Stamp wraparound: one O(n) clear every 2^32.
+      std::fill(stamps_.begin(), stamps_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  /// Marks `id` visited; returns true on first visit this query.
+  bool Visit(uint32_t id) {
+    if (stamps_[id] == epoch_) return false;
+    stamps_[id] = epoch_;
+    return true;
+  }
+
+ private:
+  std::vector<uint32_t> stamps_;
+  uint32_t epoch_ = 0;
+};
 
 /// Hierarchical Navigable Small World graph (Malkov & Yashunin, 2018):
 /// multi-layer proximity graph with greedy descent. Neighbor selection
@@ -41,7 +74,9 @@ class HnswIndex final : public AnnIndex {
       nodes_[i].links.resize(level + 1);
     }
     entry_ = 0;
-    for (size_t i = 0; i < n; ++i) Insert(i);
+    // Build is single-threaded; one pool serves every insert.
+    VisitedPool pool;
+    for (size_t i = 0; i < n; ++i) Insert(i, &pool);
     return Status::OK();
   }
 
@@ -53,18 +88,29 @@ class HnswIndex final : public AnnIndex {
     if (query == nullptr || k == 0) {
       return Status::InvalidArgument("bad query");
     }
-    size_t ep = entry_;
-    for (int level = TopLevel(entry_); level > 0; --level) {
-      ep = GreedyClosest(query, ep, level);
+    return SearchWithPool(query, k, &LocalPool());
+  }
+
+  /// Batched search: one visited pool per worker (thread-local), queries
+  /// fanned out over `pool` when provided. Results are identical to the
+  /// per-query loop — the pool only changes bookkeeping, not traversal.
+  StatusOr<std::vector<std::vector<Neighbor>>> BatchSearch(
+      const float* queries, size_t nq, size_t k,
+      ThreadPool* pool) const override {
+    if (data_ == nullptr) {
+      return Status::FailedPrecondition("index not built");
     }
-    auto candidates =
-        SearchLayer(query, ep, std::max(options_.ef_search, k), 0);
-    std::sort(candidates.begin(), candidates.end());
-    size_t take = std::min(k, candidates.size());
-    std::vector<Neighbor> out;
-    out.reserve(take);
-    for (size_t i = 0; i < take; ++i) {
-      out.push_back({candidates[i].first, candidates[i].second});
+    if ((queries == nullptr && nq > 0) || k == 0) {
+      return Status::InvalidArgument("bad query batch");
+    }
+    std::vector<std::vector<Neighbor>> out(nq);
+    auto search_one = [&](size_t i) {
+      out[i] = SearchWithPool(queries + i * dim_, k, &LocalPool());
+    };
+    if (pool != nullptr && nq > 1) {
+      ParallelFor(pool, 0, nq, search_one);
+    } else {
+      for (size_t i = 0; i < nq; ++i) search_one(i);
     }
     return out;
   }
@@ -74,12 +120,21 @@ class HnswIndex final : public AnnIndex {
            ",ef=" + std::to_string(options_.ef_search) + ")";
   }
   Metric metric() const override { return options_.metric; }
+  size_t dim() const override { return dim_; }
 
  private:
   struct Node {
     // links[level] = neighbor ids at that level.
     std::vector<std::vector<uint32_t>> links;
   };
+
+  /// Per-thread visited pool: Search stays thread-safe and allocation-free
+  /// after warmup. Shared across HnswIndex instances on a thread, which is
+  /// fine — BeginQuery re-sizes and re-stamps as needed.
+  static VisitedPool& LocalPool() {
+    thread_local VisitedPool pool;
+    return pool;
+  }
 
   int TopLevel(size_t id) const {
     return static_cast<int>(nodes_[id].links.size()) - 1;
@@ -89,6 +144,24 @@ class HnswIndex final : public AnnIndex {
     return Distance(options_.metric, a, b, dim_);
   }
   const float* Vec(size_t id) const { return data_ + id * dim_; }
+
+  std::vector<Neighbor> SearchWithPool(const float* query, size_t k,
+                                       VisitedPool* pool) const {
+    size_t ep = entry_;
+    for (int level = TopLevel(entry_); level > 0; --level) {
+      ep = GreedyClosest(query, ep, level);
+    }
+    auto candidates =
+        SearchLayer(query, ep, std::max(options_.ef_search, k), 0, pool);
+    std::sort(candidates.begin(), candidates.end());
+    size_t take = std::min(k, candidates.size());
+    std::vector<Neighbor> out;
+    out.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      out.push_back({candidates[i].first, candidates[i].second});
+    }
+    return out;
+  }
 
   size_t GreedyClosest(const float* query, size_t start, int level) const {
     size_t current = start;
@@ -111,8 +184,9 @@ class HnswIndex final : public AnnIndex {
   // Best-first search returning up to `ef` (distance, id) pairs.
   std::vector<std::pair<float, uint32_t>> SearchLayer(const float* query,
                                                       size_t entry, size_t ef,
-                                                      int level) const {
-    std::vector<bool> visited(n_, false);
+                                                      int level,
+                                                      VisitedPool* pool) const {
+    pool->BeginQuery(n_);
     // Min-heap of candidates to expand; max-heap of current best.
     using DistId = std::pair<float, uint32_t>;
     std::priority_queue<DistId, std::vector<DistId>, std::greater<>>
@@ -121,14 +195,24 @@ class HnswIndex final : public AnnIndex {
     float d0 = Dist(query, Vec(entry));
     candidates.emplace(d0, static_cast<uint32_t>(entry));
     best.emplace(d0, static_cast<uint32_t>(entry));
-    visited[entry] = true;
+    pool->Visit(static_cast<uint32_t>(entry));
     while (!candidates.empty()) {
       auto [d, id] = candidates.top();
       if (d > best.top().first && best.size() >= ef) break;
       candidates.pop();
-      for (uint32_t neighbor : nodes_[id].links[level]) {
-        if (visited[neighbor]) continue;
-        visited[neighbor] = true;
+      const std::vector<uint32_t>& links = nodes_[id].links[level];
+      // The neighbor vectors are the cache misses of this loop: pull the
+      // next few in while the current distance computes.
+      constexpr size_t kLookahead = 4;
+      for (size_t i = 0; i < links.size() && i < kLookahead; ++i) {
+        __builtin_prefetch(Vec(links[i]));
+      }
+      for (size_t i = 0; i < links.size(); ++i) {
+        if (i + kLookahead < links.size()) {
+          __builtin_prefetch(Vec(links[i + kLookahead]));
+        }
+        uint32_t neighbor = links[i];
+        if (!pool->Visit(neighbor)) continue;
         float dn = Dist(query, Vec(neighbor));
         if (best.size() < ef || dn < best.top().first) {
           candidates.emplace(dn, neighbor);
@@ -145,7 +229,7 @@ class HnswIndex final : public AnnIndex {
     return out;
   }
 
-  void Insert(size_t id) {
+  void Insert(size_t id, VisitedPool* pool) {
     if (id == 0) return;  // Node 0 is the initial entry point.
     const float* x = Vec(id);
     const int node_level = TopLevel(id);
@@ -155,7 +239,8 @@ class HnswIndex final : public AnnIndex {
       ep = GreedyClosest(x, ep, level);
     }
     for (int level = std::min(node_level, max_level); level >= 0; --level) {
-      auto candidates = SearchLayer(x, ep, options_.ef_construction, level);
+      auto candidates =
+          SearchLayer(x, ep, options_.ef_construction, level, pool);
       std::sort(candidates.begin(), candidates.end());
       const size_t max_degree = level == 0 ? options_.m * 2 : options_.m;
       size_t take = std::min(options_.m, candidates.size());

@@ -78,6 +78,7 @@ class IvfIndex final : public AnnIndex {
            ",nprobe=" + std::to_string(options_.nprobe) + ")";
   }
   Metric metric() const override { return Metric::kL2; }
+  size_t dim() const override { return dim_; }
 
  private:
   IvfOptions options_;

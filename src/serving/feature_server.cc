@@ -41,11 +41,24 @@ size_t ThreadStripeSeed() {
 }  // namespace
 
 FeatureServer::FeatureServer(const OnlineStore* store,
-                             FeatureServerOptions options)
-    : store_(store), options_(options), metrics_(kMetricsStripes) {
+                             FeatureServerOptions options,
+                             const EmbeddingStore* embeddings)
+    : store_(store),
+      embeddings_(embeddings),
+      options_(options),
+      metrics_(kMetricsStripes) {
   if (options_.batch_parallelism > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.batch_parallelism);
   }
+}
+
+EmbeddingTablePtr FeatureServer::ResolveEmbeddingFeature(
+    const std::string& feature) const {
+  // Online views win: a materialized view named like an embedding keeps
+  // its pre-hydration behavior.
+  if (embeddings_ == nullptr || store_->HasView(feature)) return nullptr;
+  auto table = embeddings_->Resolve(feature);
+  return table.ok() ? *table : nullptr;
 }
 
 FeatureServer::~FeatureServer() = default;
@@ -69,6 +82,29 @@ StatusOr<FeatureVector> FeatureServer::GetFeatures(
   out.names = features;
   out.values.reserve(features.size());
   for (const std::string& feature : features) {
+    if (EmbeddingTablePtr table = ResolveEmbeddingFeature(feature)) {
+      const float* vec = nullptr;
+      if (entity_key.type() == FeatureType::kString) {
+        auto lookup = table->Get(entity_key.string_value());
+        if (lookup.ok()) vec = *lookup;
+      }
+      if (vec == nullptr) {
+        if (options_.missing_policy == MissingFeaturePolicy::kError) {
+          retries_.fetch_add(retries, std::memory_order_relaxed);
+          return Status::NotFound("feature '" + feature +
+                                  "' unavailable: no embedding for entity " +
+                                  entity_key.ToString());
+        }
+        out.values.push_back(Value::Null());
+        ++out.missing;
+        continue;
+      }
+      out.values.push_back(
+          Value::Embedding(std::vector<float>(vec, vec + table->dim())));
+      out.oldest_event_time =
+          std::min(out.oldest_event_time, table->metadata().created_at);
+      continue;
+    }
     StatusOr<Row> row = store_->Get(feature, entity_key, now);
     for (uint32_t attempt = 1;
          !row.ok() && IsTransient(row.status()) && attempt < max_attempts;
@@ -133,7 +169,29 @@ std::vector<StatusOr<FeatureVector>> FeatureServer::GetFeaturesBatch(
   // {value, event_time} field indices per view, from its first live row;
   // {-1, -1} when the view never produced a row in this batch.
   std::vector<std::pair<int, int>> layout(num_views, {-1, -1});
+  // Views that hydrate straight from an embedding table: one
+  // EmbeddingTable::MultiGet per view, no online-store traffic. A null
+  // table means view j goes through the online path.
+  struct EmbeddingColumn {
+    EmbeddingTablePtr table;
+    std::vector<const float*> rows;  // Null = missing key.
+  };
+  std::vector<EmbeddingColumn> emb_columns(num_views);
   auto fetch_view = [&](size_t j) {
+    if (EmbeddingTablePtr table = ResolveEmbeddingFeature(features[j])) {
+      EmbeddingColumn& emb = emb_columns[j];
+      emb.table = std::move(table);
+      std::vector<std::string> string_keys(n);
+      for (size_t i = 0; i < n; ++i) {
+        if (entity_keys[i].type() == FeatureType::kString) {
+          string_keys[i] = entity_keys[i].string_value();
+        }
+        // Non-string keys keep "", which no table key matches (embedding
+        // keys are non-empty by construction) — a plain miss.
+      }
+      emb.rows = emb.table->MultiGet(string_keys);
+      return;
+    }
     std::vector<StatusOr<Row>>& column = columns[j];
     column = store_->MultiGet(features[j], entity_keys, now);
     uint64_t retries = 0;
@@ -184,6 +242,27 @@ std::vector<StatusOr<FeatureVector>> FeatureServer::GetFeaturesBatch(
     fv.values.reserve(num_views);
     Status entity_error;
     for (size_t j = 0; j < num_views; ++j) {
+      if (emb_columns[j].table != nullptr) {
+        const EmbeddingColumn& emb = emb_columns[j];
+        const float* vec = emb.rows[i];
+        if (vec == nullptr) {
+          if (options_.missing_policy == MissingFeaturePolicy::kError) {
+            entity_error = Status::NotFound(
+                "feature '" + features[j] +
+                "' unavailable: no embedding for entity " +
+                entity_keys[i].ToString());
+            break;
+          }
+          fv.values.push_back(Value::Null());
+          ++fv.missing;
+          continue;
+        }
+        fv.values.push_back(Value::Embedding(
+            std::vector<float>(vec, vec + emb.table->dim())));
+        fv.oldest_event_time = std::min(fv.oldest_event_time,
+                                        emb.table->metadata().created_at);
+        continue;
+      }
       const StatusOr<Row>& cell = columns[j][i];
       if (!cell.ok()) {
         const bool transient = IsTransient(cell.status());

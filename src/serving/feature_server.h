@@ -10,6 +10,7 @@
 #include "common/histogram.h"
 #include "common/row.h"
 #include "common/status.h"
+#include "embedding/embedding_store.h"
 #include "storage/online_store.h"
 
 namespace mlfs {
@@ -80,6 +81,14 @@ struct FeatureVector {
 /// view fetches out over an internal thread pool. Results are per-entity:
 /// one entity failing under kError does not fail its batch-mates.
 ///
+/// When constructed with an EmbeddingStore, a requested feature that is
+/// not an online view but names a registered embedding (bare name or
+/// "name@vK") hydrates straight from the embedding table — one
+/// EmbeddingTable::MultiGet per view per batch — so embedding features
+/// ride the batched serving path without being copied row-by-row into the
+/// online store first. Entity keys must be strings for embedding
+/// hydration (embedding tables key by string); other key types miss.
+///
 /// Thread-safe. Latency of every request is recorded (wall-clock
 /// microseconds) in latency_histogram() — the one place MLFS uses real
 /// time, because serving latency is a measurement, not simulation state.
@@ -87,8 +96,11 @@ struct FeatureVector {
 /// on read, so latency recording never serializes concurrent requests.
 class FeatureServer {
  public:
+  /// `embeddings` (optional, not owned) enables direct embedding-feature
+  /// hydration for feature names that resolve in it.
   explicit FeatureServer(const OnlineStore* store,
-                         FeatureServerOptions options = {});
+                         FeatureServerOptions options = {},
+                         const EmbeddingStore* embeddings = nullptr);
   ~FeatureServer();
 
   FeatureServer(const FeatureServer&) = delete;
@@ -128,7 +140,12 @@ class FeatureServer {
 
   void RecordLatency(double micros, uint64_t num_requests) const;
 
-  const OnlineStore* store_;  // Not owned.
+  /// Resolved embedding table for a requested feature name, or null when
+  /// the name should go through the online-view path.
+  EmbeddingTablePtr ResolveEmbeddingFeature(const std::string& feature) const;
+
+  const OnlineStore* store_;            // Not owned.
+  const EmbeddingStore* embeddings_;    // Not owned; may be null.
   FeatureServerOptions options_;
   /// Workers for parallel per-view batch assembly; null when
   /// options_.batch_parallelism <= 1.

@@ -55,6 +55,17 @@ TEST(EmbeddingTableTest, FromTokenEmbeddings) {
       EmbeddingTable::FromTokenEmbeddings(metadata, emb, {"x"}).ok());
 }
 
+TEST(EmbeddingTableTest, MultiGet) {
+  auto table = SmallTable();
+  auto rows = table->MultiGet({"c", "missing", "a", "c"});
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0], table->Get("c").value());
+  EXPECT_EQ(rows[1], nullptr);
+  EXPECT_EQ(rows[2], table->Get("a").value());
+  EXPECT_EQ(rows[3], rows[0]);  // Duplicate keys resolve identically.
+  EXPECT_TRUE(table->MultiGet({}).empty());
+}
+
 TEST(EmbeddingStoreTest, VersioningAndResolve) {
   EmbeddingStore store;
   EXPECT_EQ(store.Register(SmallTable(), Hours(1)).value(), 1);
@@ -71,6 +82,53 @@ TEST(EmbeddingStoreTest, VersioningAndResolve) {
   EXPECT_EQ(store.Names(), (std::vector<std::string>{"emb"}));
   EXPECT_EQ(store.Versions("emb").value().size(), 2u);
   EXPECT_EQ(store.num_tables(), 1u);
+}
+
+TEST(EmbeddingStoreTest, ResolveFallsBackToLatestForNonVersionSuffix) {
+  // Bare names that merely contain "@v" (e.g. "user@vip") must resolve as
+  // names, not be rejected as malformed version references.
+  EmbeddingStore store;
+  EmbeddingTableMetadata metadata;
+  metadata.name = "user@vip";
+  auto table =
+      EmbeddingTable::Create(metadata, {"a", "b"}, {1, 0, 0, 1}, 2).value();
+  ASSERT_TRUE(store.Register(table, Hours(1)).ok());
+  ASSERT_TRUE(store.Register(table, Hours(2)).ok());
+  auto resolved = store.Resolve("user@vip");
+  ASSERT_TRUE(resolved.ok()) << resolved.status();
+  EXPECT_EQ((*resolved)->metadata().version, 2);
+  // Negative / zero / trailing-garbage suffixes also fall back (and then
+  // NotFound, since no such bare name exists).
+  EXPECT_TRUE(store.Resolve("user@v0").status().IsNotFound());
+  EXPECT_TRUE(store.Resolve("user@v-1").status().IsNotFound());
+  EXPECT_TRUE(store.Resolve("user@v2x").status().IsNotFound());
+  // A well-formed reference to a missing version stays NotFound.
+  EXPECT_TRUE(store.Resolve("user@vip@v9").status().IsNotFound());
+  // And a well-formed reference still resolves the version, not a name.
+  EXPECT_EQ(store.Resolve("user@vip@v1").value()->metadata().version, 1);
+}
+
+TEST(EmbeddingStoreTest, RegisterRecordsDimChangeInNotes) {
+  EmbeddingStore store;
+  EmbeddingTableMetadata metadata;
+  metadata.name = "emb";
+  metadata.notes = "trained on corpus A";
+  auto v1 =
+      EmbeddingTable::Create(metadata, {"a", "b"}, {1, 0, 0, 1}, 2).value();
+  ASSERT_TRUE(store.Register(v1, Hours(1)).ok());
+  // Re-train at a new dimension: the stamped metadata must say so.
+  auto v2 = EmbeddingTable::Create(metadata, {"a", "b"},
+                                   {1, 0, 0, 0, 1, 0, 0, 0}, 4)
+                .value();
+  ASSERT_TRUE(store.Register(v2, Hours(2)).ok());
+  const std::string& notes = store.GetVersion("emb", 2).value()
+                                 ->metadata().notes;
+  EXPECT_NE(notes.find("dim changed 2x2 -> 2x4"), std::string::npos) << notes;
+  EXPECT_NE(notes.find("trained on corpus A"), std::string::npos) << notes;
+  // Same-dim registration stays untouched.
+  ASSERT_TRUE(store.Register(v2, Hours(3)).ok());
+  EXPECT_EQ(store.GetVersion("emb", 3).value()->metadata().notes,
+            "trained on corpus A");
 }
 
 TEST(EmbeddingStoreTest, LineageChain) {

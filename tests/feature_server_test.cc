@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/failpoint.h"
+#include "embedding/embedding_store.h"
 
 namespace mlfs {
 namespace {
@@ -325,6 +326,106 @@ TEST_F(FeatureServerTest, EmptyBatchIsEmpty) {
   FeatureServer server(&store_);
   EXPECT_TRUE(server.GetFeaturesBatch({}, {"f1"}, Hours(4)).empty());
   EXPECT_EQ(server.requests(), 0u);
+}
+
+/// Embedding-feature hydration: a requested feature that is not an online
+/// view but resolves in the EmbeddingStore is served straight from the
+/// embedding table.
+class FeatureServerEmbeddingTest : public FeatureServerTest {
+ protected:
+  void SetUp() override {
+    FeatureServerTest::SetUp();
+    EmbeddingTableMetadata metadata;
+    metadata.name = "user_emb";
+    auto table = EmbeddingTable::Create(metadata, {"u1", "u2"},
+                                        {1, 2, 3, 4, 5, 6}, 3)
+                     .value();
+    ASSERT_TRUE(embeddings_.Register(table, Hours(5)).ok());
+  }
+
+  EmbeddingStore embeddings_;
+};
+
+TEST_F(FeatureServerEmbeddingTest, HydratesUnmaterializedEmbedding) {
+  FeatureServer server(&store_, {}, &embeddings_);
+  auto fv = server.GetFeatures(Value::String("u2"), {"user_emb"}, Hours(6));
+  ASSERT_TRUE(fv.ok()) << fv.status();
+  EXPECT_EQ(fv->values[0].type(), FeatureType::kEmbedding);
+  EXPECT_EQ(fv->values[0].embedding_value(), (std::vector<float>{4, 5, 6}));
+  EXPECT_EQ(fv->missing, 0u);
+  // Embedding freshness is its registration time.
+  EXPECT_EQ(fv->oldest_event_time, Hours(5));
+  // Versioned references hydrate too.
+  auto pinned =
+      server.GetFeatures(Value::String("u1"), {"user_emb@v1"}, Hours(6));
+  ASSERT_TRUE(pinned.ok()) << pinned.status();
+  EXPECT_EQ(pinned->values[0].embedding_value(),
+            (std::vector<float>{1, 2, 3}));
+}
+
+TEST_F(FeatureServerEmbeddingTest, MissingEntityFollowsPolicy) {
+  FeatureServer null_server(&store_, {}, &embeddings_);
+  auto fv = null_server.GetFeatures(Value::String("ghost"), {"user_emb"},
+                                    Hours(6));
+  ASSERT_TRUE(fv.ok());
+  EXPECT_TRUE(fv->values[0].is_null());
+  EXPECT_EQ(fv->missing, 1u);
+  EXPECT_EQ(fv->degraded, 0u);  // A missing embedding key is not a fault.
+  // Non-string entity keys cannot match an embedding key: also a miss.
+  auto non_string =
+      null_server.GetFeatures(Value::Int64(1), {"user_emb"}, Hours(6));
+  ASSERT_TRUE(non_string.ok());
+  EXPECT_TRUE(non_string->values[0].is_null());
+
+  FeatureServerOptions options;
+  options.missing_policy = MissingFeaturePolicy::kError;
+  FeatureServer error_server(&store_, options, &embeddings_);
+  EXPECT_TRUE(error_server.GetFeatures(Value::String("ghost"), {"user_emb"},
+                                       Hours(6))
+                  .status().IsNotFound());
+}
+
+TEST_F(FeatureServerEmbeddingTest, OnlineViewTakesPrecedence) {
+  // Materialize a view with the same name as the embedding: the online
+  // value must win, keeping pre-hydration behavior.
+  ASSERT_TRUE(store_.CreateView("user_emb", view_schema_).ok());
+  Put("user_emb", 7, Hours(1), 0.25);
+  FeatureServer server(&store_, {}, &embeddings_);
+  auto fv = server.GetFeatures(Value::Int64(7), {"user_emb"}, Hours(4));
+  ASSERT_TRUE(fv.ok()) << fv.status();
+  EXPECT_EQ(fv->values[0], Value::Double(0.25));
+}
+
+TEST_F(FeatureServerEmbeddingTest, BatchMatchesPerEntityHydration) {
+  FeatureServer server(&store_, {}, &embeddings_);
+  std::vector<Value> entities = {Value::String("u1"), Value::String("ghost"),
+                                 Value::String("u2"), Value::Int64(1)};
+  auto batch = server.GetFeaturesBatch(entities, {"user_emb"}, Hours(6));
+  ASSERT_EQ(batch.size(), entities.size());
+  for (size_t i = 0; i < entities.size(); ++i) {
+    auto single = server.GetFeatures(entities[i], {"user_emb"}, Hours(6));
+    ASSERT_TRUE(batch[i].ok());
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(batch[i]->values, single->values) << i;
+    EXPECT_EQ(batch[i]->missing, single->missing) << i;
+    EXPECT_EQ(batch[i]->oldest_event_time, single->oldest_event_time) << i;
+  }
+  // Mixed embedding + tabular columns in one batch request.
+  auto mixed = server.GetFeaturesBatch({Value::Int64(1)}, {"f1", "user_emb"},
+                                       Hours(6));
+  ASSERT_TRUE(mixed[0].ok()) << mixed[0].status();
+  EXPECT_EQ(mixed[0]->values[0], Value::Double(0.5));
+  EXPECT_TRUE(mixed[0]->values[1].is_null());  // Int64 key, string-keyed emb.
+}
+
+TEST_F(FeatureServerEmbeddingTest, BatchErrorPolicyFailsOnlyMissingEntity) {
+  FeatureServerOptions options;
+  options.missing_policy = MissingFeaturePolicy::kError;
+  FeatureServer server(&store_, options, &embeddings_);
+  auto batch = server.GetFeaturesBatch(
+      {Value::String("u1"), Value::String("ghost")}, {"user_emb"}, Hours(6));
+  ASSERT_TRUE(batch[0].ok()) << batch[0].status();
+  EXPECT_TRUE(batch[1].status().IsNotFound());
 }
 
 }  // namespace

@@ -210,6 +210,79 @@ TEST_F(FeatureStoreTest, NearestEntitiesTracksLatestVersion) {
   (void)before;
 }
 
+TEST_F(FeatureStoreTest, NearestEntitiesBatchMatchesLoop) {
+  Rng rng(7);
+  std::vector<std::string> keys;
+  std::vector<float> vectors;
+  for (int i = 0; i < 80; ++i) {
+    keys.push_back("e" + std::to_string(i));
+    for (int j = 0; j < 6; ++j) {
+      vectors.push_back(static_cast<float>(rng.Gaussian()));
+    }
+  }
+  EmbeddingTableMetadata metadata;
+  metadata.name = "emb";
+  ASSERT_TRUE(store_.RegisterEmbedding(
+      EmbeddingTable::Create(metadata, keys, vectors, 6).value()).ok());
+
+  std::vector<std::string> refs = {"e5", "nope", "e0", "e79", "e5"};
+  auto batch = store_.NearestEntitiesBatch("emb", refs, 4);
+  ASSERT_EQ(batch.size(), refs.size());
+  // Unknown reference key fails only its own slot.
+  EXPECT_TRUE(batch[1].status().IsNotFound());
+  for (size_t i : {0u, 2u, 3u, 4u}) {
+    ASSERT_TRUE(batch[i].ok()) << i << ": " << batch[i].status();
+    auto loop = store_.NearestEntities("emb", refs[i], 4).value();
+    ASSERT_EQ(batch[i]->size(), loop.size()) << refs[i];
+    for (size_t r = 0; r < loop.size(); ++r) {
+      EXPECT_EQ((*batch[i])[r].first, loop[r].first) << refs[i];
+      EXPECT_FLOAT_EQ((*batch[i])[r].second, loop[r].second) << refs[i];
+    }
+  }
+  // Missing embedding fails every slot; empty batch is empty.
+  auto missing = store_.NearestEntitiesBatch("ghost", {"a", "b"}, 2);
+  ASSERT_EQ(missing.size(), 2u);
+  EXPECT_TRUE(missing[0].status().IsNotFound());
+  EXPECT_TRUE(missing[1].status().IsNotFound());
+  EXPECT_TRUE(store_.NearestEntitiesBatch("emb", {}, 2).empty());
+}
+
+TEST_F(FeatureStoreTest, AnnCacheStaysBoundedAcrossReregistrations) {
+  EmbeddingTableMetadata metadata;
+  metadata.name = "emb";
+  auto table = EmbeddingTable::Create(metadata, {"a", "b", "c"},
+                                      {1, 0, 0, 1, 2, 0}, 2)
+                   .value();
+  // Register N versions, querying each so every version's index would be
+  // cached without eviction.
+  const int n = 8;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(store_.RegisterEmbedding(table).ok());
+    ASSERT_TRUE(store_.NearestEntities("emb", "a", 1).ok());
+    EXPECT_LE(store_.ann_cache_size(), 1u) << "after version " << (i + 1);
+  }
+
+  // A model pinning an older version keeps that version cached alongside
+  // the latest, but nothing else accumulates.
+  ModelRecord model;
+  model.name = "ranker";
+  model.embedding_refs = {"emb@v" + std::to_string(n)};
+  ASSERT_TRUE(store_.RegisterModel(model).ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(store_.RegisterEmbedding(table).ok());
+    ASSERT_TRUE(store_.NearestEntities("emb", "a", 1).ok());
+  }
+  EXPECT_LE(store_.ann_cache_size(), 2u);  // Latest + pinned v8 only.
+  // An unrelated embedding gets its own cache slot.
+  EmbeddingTableMetadata other;
+  other.name = "other";
+  ASSERT_TRUE(store_.RegisterEmbedding(
+      EmbeddingTable::Create(other, {"x", "y"}, {1, 0, 0, 1}, 2).value())
+          .ok());
+  ASSERT_TRUE(store_.NearestEntities("other", "x", 1).ok());
+  EXPECT_LE(store_.ann_cache_size(), 3u);
+}
+
 TEST_F(FeatureStoreTest, VersionSkewDetectionAndAlerts) {
   EmbeddingTableMetadata metadata;
   metadata.name = "user_emb";

@@ -17,6 +17,7 @@
 #include "common/failpoint.h"
 #include "common/rng.h"
 #include "common/threadpool.h"
+#include "core/feature_store.h"
 #include "serving/feature_server.h"
 #include "storage/offline_store.h"
 #include "storage/online_store.h"
@@ -365,6 +366,97 @@ TEST_F(StressTest, SnapshotAndEvictionRaceWriters) {
   OnlineStore restored;
   ASSERT_TRUE(restored.Restore(final_snap).ok());
   EXPECT_EQ(restored.stats().num_cells, s.num_cells);
+}
+
+// Concurrent NearestEntities/NearestEntitiesBatch across two embeddings
+// while a registrar thread publishes new versions: certifies under TSan
+// that (a) ANN index builds happen outside ann_mu_ with once-per-version
+// semantics, so a slow build on one embedding never blocks lookups on the
+// other, (b) eviction of superseded versions races safely with readers
+// holding the evicted index, and (c) the cache stays bounded throughout.
+TEST_F(StressTest, ConcurrentNearestEntitiesAcrossEmbeddings) {
+  constexpr int kEmbKeys = 256;
+  constexpr int kDim = 16;
+  constexpr int kAnnReaders = 4;
+  constexpr int kLookupsPerReader = 200;
+  constexpr int kReregistrations = 24;
+
+  FeatureStore store;
+  std::vector<std::string> keys;
+  keys.reserve(kEmbKeys);
+  for (int i = 0; i < kEmbKeys; ++i) keys.push_back("k" + std::to_string(i));
+  auto make_table = [&keys](const std::string& name, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<float> vectors;
+    vectors.reserve(keys.size() * kDim);
+    for (size_t i = 0; i < keys.size() * kDim; ++i) {
+      vectors.push_back(static_cast<float>(rng.Gaussian()));
+    }
+    EmbeddingTableMetadata metadata;
+    metadata.name = name;
+    return EmbeddingTable::Create(metadata, keys, vectors, kDim).value();
+  };
+  ASSERT_TRUE(store.RegisterEmbedding(make_table("emb_a", 1)).ok());
+  ASSERT_TRUE(store.RegisterEmbedding(make_table("emb_b", 2)).ok());
+
+  ThreadPool pool(kAnnReaders + 1);
+  std::atomic<uint64_t> lookups{0};
+  for (int r = 0; r < kAnnReaders; ++r) {
+    pool.Submit([&store, &keys, &lookups, r] {
+      // Readers alternate embeddings so both indexes are always under
+      // concurrent load from multiple threads.
+      const std::string name = (r % 2 == 0) ? "emb_a" : "emb_b";
+      Rng rng(7000 + r);
+      for (int i = 0; i < kLookupsPerReader; ++i) {
+        const std::string& ref = keys[rng.Uniform(keys.size())];
+        if (i % 4 == 0) {
+          std::vector<std::string> refs;
+          for (int b = 0; b < 8; ++b) {
+            refs.push_back(keys[rng.Uniform(keys.size())]);
+          }
+          auto batch = store.NearestEntitiesBatch(name, refs, 5);
+          ASSERT_EQ(batch.size(), refs.size());
+          for (size_t s = 0; s < batch.size(); ++s) {
+            ASSERT_TRUE(batch[s].ok()) << batch[s].status();
+            ASSERT_LE(batch[s]->size(), 5u);
+            for (const auto& [key, dist] : *batch[s]) {
+              ASSERT_NE(key, refs[s]);  // Self excluded.
+            }
+          }
+          lookups.fetch_add(refs.size(), std::memory_order_relaxed);
+        } else {
+          auto neighbors = store.NearestEntities(name, ref, 5);
+          ASSERT_TRUE(neighbors.ok()) << neighbors.status();
+          ASSERT_LE(neighbors->size(), 5u);
+          for (size_t s = 1; s < neighbors->size(); ++s) {
+            ASSERT_LE((*neighbors)[s - 1].second, (*neighbors)[s].second);
+          }
+          lookups.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  pool.Submit([&store, &make_table] {
+    // Registrar: keeps publishing fresh versions of emb_a, so readers race
+    // index builds and eviction of the versions they are still using.
+    for (int i = 0; i < kReregistrations; ++i) {
+      ASSERT_TRUE(
+          store.RegisterEmbedding(make_table("emb_a", 100 + i)).ok());
+      ASSERT_TRUE(store.NearestEntities("emb_a", "k0", 3).ok());
+      std::this_thread::yield();
+    }
+  });
+  pool.Wait();
+
+  // Per reader: every 4th iteration is a batch of 8, the rest are singles.
+  constexpr uint64_t kPerReader =
+      (kLookupsPerReader / 4) * 8 +
+      (kLookupsPerReader - kLookupsPerReader / 4);
+  EXPECT_EQ(lookups.load(), static_cast<uint64_t>(kAnnReaders) * kPerReader);
+  // Bounded cache: nothing pinned, so only the latest version per name may
+  // remain (in-flight builds of just-superseded versions may briefly add
+  // one more, but all traffic has drained by now).
+  EXPECT_LE(store.ann_cache_size(), 2u);
 }
 
 // Soak the streaming materialization path against injected faults: a fired
