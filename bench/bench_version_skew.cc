@@ -1,25 +1,141 @@
-// E11 — Stale consumers of updated embeddings (paper §4).
+// Version-skew detection at registry scale, plus the E11 experiment.
 //
-// Claim: "if an embedding gets updated but a model that uses it does not,
-// the dot product of the embedding with model parameters can lose meaning
-// which leads to incorrect model predictions."
+//   1. Benchmarks (BM_*): graph-backed CheckEmbeddingSkew over a fixture
+//      of 10k registered models pinning 1k embeddings (x2 versions), and
+//      the raw LineageGraph::ImpactSet closure query it is built on. The
+//      fixture self-verifies against ground truth (the exact set of
+//      models left pinned to v1) before any timing runs.
+//   2. The E11 accuracy experiment from the paper's §4 claim — "if an
+//      embedding gets updated but a model that uses it does not, the dot
+//      product ... can lose meaning" (run with --e11).
 //
-// Reproduces: accuracy of a model trained on embedding v1 when served
-// vectors from (a) v1, (b) v2 = benign retrain of the same space (new
-// seed), (c) v2 after retraining the model — plus the registry's skew
-// detector flagging the stale consumer before the damage ships.
+// Regenerate the committed results with:
+//   cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release
+//   cmake --build build-rel -j --target bench_version_skew
+//   ./build-rel/bench/bench_version_skew --benchmark_repetitions=3
+//       --benchmark_report_aggregates_only=true --benchmark_format=json
+//       > bench/BENCH_version_skew.json
+
+#include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
 
 #include "core/feature_store.h"
 #include "datagen/kb.h"
 #include "embedding/align.h"
 #include "embedding/quality.h"
+#include "lineage/lineage_graph.h"
 #include "ml/metrics.h"
 #include "ml/sgns.h"
 
 namespace mlfs {
 namespace {
+
+// --- Registry-scale skew fixture (BM_*) -----------------------------------
+
+constexpr size_t kEmbeddings = 1000;
+constexpr size_t kModels = 10000;
+
+EmbeddingTablePtr TinyTable(const std::string& name) {
+  EmbeddingTableMetadata metadata;
+  metadata.name = name;
+  return EmbeddingTable::Create(metadata, {"a", "b"}, {1, 0, 0, 1}, 2)
+      .value();
+}
+
+/// 1k embeddings at v2, 10k models: every third model is still pinned to
+/// v1 of its embedding (the ground-truth skewed set), the rest to v2.
+struct SkewFixture {
+  LineageGraph graph;
+  EmbeddingStore embeddings{&graph};
+  ModelRegistry models{&graph};
+  std::set<std::string> expected_skewed;  // Model versioned names.
+
+  SkewFixture() {
+    for (size_t e = 0; e < kEmbeddings; ++e) {
+      const std::string name = "emb_" + std::to_string(e);
+      MLFS_CHECK_OK(embeddings.Register(TinyTable(name), Hours(1)).status());
+      MLFS_CHECK_OK(embeddings.Register(TinyTable(name), Hours(2)).status());
+    }
+    for (size_t m = 0; m < kModels; ++m) {
+      const std::string emb = "emb_" + std::to_string(m % kEmbeddings);
+      const bool stale = m % 3 == 0;
+      ModelRecord record;
+      record.name = "model_" + std::to_string(m);
+      record.task = "bench";
+      record.embedding_refs = {emb + (stale ? "@v1" : "@v2")};
+      MLFS_CHECK_OK(models.Register(std::move(record), Hours(3)).status());
+      if (stale) expected_skewed.insert("model_" + std::to_string(m) + "@v1");
+    }
+    Verify();
+  }
+
+  /// The benchmark is worthless if the closure query is wrong: compare the
+  /// flagged set against ground truth once, before timing.
+  void Verify() const {
+    VersionSkewReport report = models.CheckEmbeddingSkew(embeddings).value();
+    MLFS_CHECK(report.dangling.empty());
+    std::set<std::string> flagged;
+    for (const VersionSkew& skew : report.skews) {
+      MLFS_CHECK(skew.pinned_version == 1 && skew.latest_version == 2);
+      flagged.insert(skew.model);
+    }
+    MLFS_CHECK(flagged == expected_skewed)
+        << "skew detector flagged " << flagged.size() << " models, expected "
+        << expected_skewed.size();
+  }
+};
+
+SkewFixture& Fixture() {
+  static auto* fixture = new SkewFixture();
+  return *fixture;
+}
+
+void BM_CheckEmbeddingSkew(benchmark::State& state) {
+  auto& fixture = Fixture();
+  size_t found = 0;
+  for (auto _ : state) {
+    VersionSkewReport report = fixture.models.CheckEmbeddingSkew(fixture.embeddings)
+                            .value();
+    found = report.skews.size();
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["models"] = static_cast<double>(kModels);
+  state.counters["skewed"] = static_cast<double>(found);
+  state.SetItemsProcessed(state.iterations() * kModels);
+}
+BENCHMARK(BM_CheckEmbeddingSkew)->Unit(benchmark::kMillisecond);
+
+void BM_ImpactSet(benchmark::State& state) {
+  auto& fixture = Fixture();
+  size_t e = 0;
+  for (auto _ : state) {
+    auto impacted = fixture.graph.ImpactSet(
+        EmbeddingArtifact("emb_" + std::to_string(e), 1));
+    benchmark::DoNotOptimize(impacted);
+    e = (e + 1) % kEmbeddings;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ImpactSet);
+
+void BM_ConsumersOfEmbedding(benchmark::State& state) {
+  auto& fixture = Fixture();
+  size_t e = 0;
+  for (auto _ : state) {
+    auto consumers = fixture.models.ConsumersOfEmbedding(
+        "emb_" + std::to_string(e));
+    benchmark::DoNotOptimize(consumers);
+    e = (e + 1) % kEmbeddings;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConsumersOfEmbedding);
+
+// --- E11: stale consumers of updated embeddings (--e11) -------------------
 
 EmbeddingTablePtr TrainVersion(const SyntheticKb& kb,
                                const std::vector<std::vector<int>>& corpus,
@@ -48,11 +164,7 @@ double EvalWith(const SoftmaxClassifier& model, const EmbeddingTable& table,
   return Accuracy(data.labels, preds).value();
 }
 
-}  // namespace
-}  // namespace mlfs
-
-int main() {
-  using namespace mlfs;
+int RunE11() {
   FeatureStore store;
 
   SyntheticKbConfig kb_config;
@@ -113,7 +225,7 @@ int main() {
   // The store-side guard: register v2 and detect the stale consumer
   // *before* rollout.
   MLFS_CHECK_OK(store.RegisterEmbedding(v2).status());
-  auto skews = store.CheckEmbeddingVersionSkew().value();
+  auto skews = store.CheckEmbeddingVersionSkew().value().skews;
   std::printf("\nskew detector: %zu stale consumer(s)\n", skews.size());
   for (const auto& skew : skews) {
     std::printf("  %s pins %s@v%d, latest v%d (lag %d)\n",
@@ -126,5 +238,25 @@ int main() {
   std::printf("\n(shape to expect: the mismatched row collapses toward "
               "chance even though v2 is a *good* embedding — retraining "
               "restores accuracy; the registry catches the hazard)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mlfs
+
+int main(int argc, char** argv) {
+  bool e11 = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--e11") == 0) {
+      e11 = true;
+      // Hide the flag from the benchmark library's argument parsing.
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  if (e11) return mlfs::RunE11();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

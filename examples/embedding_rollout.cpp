@@ -94,7 +94,7 @@ int main() {
               100.0 * instability.prediction_churn);
 
   // 4. Who breaks if we roll out without retraining?
-  auto skews = store.CheckEmbeddingVersionSkew().value();
+  auto skews = store.CheckEmbeddingVersionSkew().value().skews;
   for (const VersionSkew& skew : skews) {
     std::printf("STALE CONSUMER: %s pins %s@v%d (latest v%d)\n",
                 skew.model.c_str(), skew.embedding.c_str(),

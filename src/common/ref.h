@@ -1,0 +1,64 @@
+#ifndef MLFS_COMMON_REF_H_
+#define MLFS_COMMON_REF_H_
+
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+namespace mlfs {
+
+/// A parsed "name@vK" artifact reference — the one convention every catalog
+/// in MLFS (features, embeddings, models) uses to pin a specific version of
+/// a named artifact. version 0 means "unpinned": the reference names the
+/// artifact without committing to a version (consumers resolve to latest).
+///
+/// Parsing is deliberately forgiving: a trailing "@v<non-digits>" (e.g. the
+/// literal name "user@vip") is *not* a version suffix, so the whole string
+/// is treated as a bare name. This mirrors what EmbeddingStore::Resolve and
+/// ModelRegistry historically did in three private copies.
+struct VersionedRef {
+  std::string name;
+  int version = 0;
+
+  bool pinned() const { return version > 0; }
+
+  /// "name@vK" when pinned, bare "name" otherwise.
+  std::string ToString() const {
+    return version > 0 ? name + "@v" + std::to_string(version) : name;
+  }
+
+  friend bool operator==(const VersionedRef& a, const VersionedRef& b) {
+    return a.version == b.version && a.name == b.name;
+  }
+};
+
+/// Canonical "name@vK" formatting (K > 0); bare name when version <= 0.
+inline std::string FormatVersionedRef(const std::string& name, int version) {
+  return version > 0 ? name + "@v" + std::to_string(version) : name;
+}
+
+/// Parses "name@vK" into {name, K}. Returns {reference, 0} when there is no
+/// "@v" suffix, when the suffix is not a positive integer ("user@vip",
+/// "emb@vx", "emb@v0"), or when the name part would be empty ("@v3").
+inline VersionedRef ParseVersionedRef(std::string_view reference) {
+  VersionedRef ref;
+  size_t at = reference.rfind("@v");
+  if (at == std::string_view::npos || at == 0) {
+    ref.name = std::string(reference);
+    return ref;
+  }
+  std::string version_text(reference.substr(at + 2));
+  char* end = nullptr;
+  long version = std::strtol(version_text.c_str(), &end, 10);
+  if (version_text.empty() || end == nullptr || *end != '\0' || version <= 0) {
+    ref.name = std::string(reference);
+    return ref;
+  }
+  ref.name = std::string(reference.substr(0, at));
+  ref.version = static_cast<int>(version);
+  return ref;
+}
+
+}  // namespace mlfs
+
+#endif  // MLFS_COMMON_REF_H_

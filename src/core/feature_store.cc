@@ -13,10 +13,28 @@ FeatureStore::FeatureStore(FeatureStoreOptions options)
     : options_(std::move(options)),
       clock_(options_.start_time),
       online_(options_.online),
-      registry_(&offline_),
-      materializer_(&online_, &offline_),
+      registry_(&offline_, &lineage_),
+      materializer_(&online_, &offline_, &lineage_),
       orchestrator_(&registry_, &materializer_),
-      server_(&online_, options_.serving, &embedding_store_) {}
+      embedding_store_(&lineage_),
+      model_registry_(&lineage_),
+      server_(&online_, options_.serving, &embedding_store_, &lineage_) {
+  // Surface every staleness fan-out on the alert bus. Routine supersedes
+  // (a new version landed) are informational; deprecations and drift mean
+  // downstream consumers are actively at risk.
+  lineage_.Subscribe([this](const StalenessEvent& event) {
+    const AlertSeverity severity =
+        event.reason == StalenessReason::kSuperseded ? AlertSeverity::kInfo
+                                                     : AlertSeverity::kWarning;
+    std::string message = StalenessInfo{event.reason, event.at, event.source,
+                                        event.detail}
+                              .ToString();
+    message += "; impacted: " + std::to_string(event.impacted.size()) +
+               " downstream artifact(s)";
+    alerts_.Emit({event.at, "staleness:" + event.source.ToString(), severity,
+                  std::move(message)});
+  });
+}
 
 Status FeatureStore::CreateSourceTable(OfflineTableOptions options) {
   return offline_.CreateTable(std::move(options));
@@ -261,10 +279,10 @@ StatusOr<int> FeatureStore::RegisterModel(ModelRecord record) {
   return model_registry_.Register(std::move(record), clock_.now());
 }
 
-StatusOr<std::vector<VersionSkew>> FeatureStore::CheckEmbeddingVersionSkew() {
-  MLFS_ASSIGN_OR_RETURN(std::vector<VersionSkew> skews,
+StatusOr<VersionSkewReport> FeatureStore::CheckEmbeddingVersionSkew() {
+  MLFS_ASSIGN_OR_RETURN(VersionSkewReport report,
                         model_registry_.CheckEmbeddingSkew(embedding_store_));
-  for (const VersionSkew& skew : skews) {
+  for (const VersionSkew& skew : report.skews) {
     alerts_.Emit({clock_.now(), "version_skew:" + skew.model,
                   AlertSeverity::kCritical,
                   "model pins " + skew.embedding + "@v" +
@@ -274,7 +292,26 @@ StatusOr<std::vector<VersionSkew>> FeatureStore::CheckEmbeddingVersionSkew() {
                       " — dot products against the new space are "
                       "meaningless; retrain or hold the rollout"});
   }
-  return skews;
+  for (const DanglingRef& dangling : report.dangling) {
+    alerts_.Emit({clock_.now(), "dangling_ref:" + dangling.model,
+                  AlertSeverity::kWarning,
+                  "embedding ref '" + dangling.ref +
+                      "' cannot be skew-checked: " + dangling.detail});
+  }
+  return report;
+}
+
+std::vector<ArtifactId> FeatureStore::ImpactOf(
+    const ArtifactId& artifact) const {
+  return lineage_.ImpactSet(artifact);
+}
+
+Status FeatureStore::DeprecateFeature(const std::string& name) {
+  return registry_.Deprecate(name, clock_.now());
+}
+
+Status FeatureStore::DeprecateEmbedding(const std::string& name) {
+  return embedding_store_.Deprecate(name, clock_.now());
 }
 
 StatusOr<DriftReport> FeatureStore::CheckFeatureDrift(
@@ -309,6 +346,14 @@ StatusOr<DriftReport> FeatureStore::CheckFeatureDrift(
   if (report.drifted) {
     alerts_.Emit({clock_.now(), "drift:" + feature, AlertSeverity::kWarning,
                   report.ToString()});
+    // Propagate: the feature's current version (and everything serving or
+    // consuming it) is now suspect.
+    auto latest = registry_.Get(feature);
+    if (latest.ok()) {
+      (void)lineage_.MarkStale(FeatureArtifact(feature, latest->version),
+                               StalenessReason::kDrift, clock_.now(),
+                               report.ToString());
+    }
   }
   return report;
 }
@@ -324,6 +369,11 @@ StatusOr<EmbeddingDriftReport> FeatureStore::CheckEmbeddingUpdateDrift(
   if (report.drifted) {
     alerts_.Emit({clock_.now(), "embedding_drift:" + name,
                   AlertSeverity::kWarning, report.ToString()});
+    // The old version's geometry no longer matches the space being rolled
+    // out: consumers still pinned to it are the ones at risk.
+    (void)lineage_.MarkStale(EmbeddingArtifact(name, from_version),
+                             StalenessReason::kDrift, clock_.now(),
+                             report.ToString());
   }
   return report;
 }
@@ -343,6 +393,8 @@ Status FeatureStore::Checkpoint(const std::string& dir) const {
                                        embedding_store_.Snapshot()));
   MLFS_RETURN_IF_ERROR(WriteFileAtomic(dir + "/models.mlfs",
                                        model_registry_.Snapshot()));
+  MLFS_RETURN_IF_ERROR(WriteFileAtomic(dir + "/lineage.mlfs",
+                                       lineage_.Snapshot()));
   Encoder enc;
   enc.PutFixed64(static_cast<uint64_t>(clock_.now()));
   return WriteFileAtomic(dir + "/clock.mlfs", enc.buffer());
@@ -351,6 +403,12 @@ Status FeatureStore::Checkpoint(const std::string& dir) const {
 Status FeatureStore::RestoreCheckpoint(const std::string& dir) {
   MLFS_RETURN_IF_ERROR(RestoreOfflineStore(&offline_, dir));
   MLFS_RETURN_IF_ERROR(RestoreOnlineStore(&online_, dir));
+  // Lineage first: it carries staleness annotations and the event log the
+  // silo restores cannot reconstruct; their re-recorded edges then land as
+  // idempotent no-ops.
+  MLFS_ASSIGN_OR_RETURN(std::string lineage_data,
+                        ReadFile(dir + "/lineage.mlfs"));
+  MLFS_RETURN_IF_ERROR(lineage_.Restore(lineage_data));
   MLFS_ASSIGN_OR_RETURN(std::string registry_data,
                         ReadFile(dir + "/registry.mlfs"));
   MLFS_RETURN_IF_ERROR(registry_.Restore(registry_data));

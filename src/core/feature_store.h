@@ -13,6 +13,7 @@
 #include "embedding/ann.h"
 #include "embedding/embedding_drift.h"
 #include "embedding/embedding_store.h"
+#include "lineage/lineage_graph.h"
 #include "modelstore/model_registry.h"
 #include "monitoring/alerting.h"
 #include "quality/drift.h"
@@ -44,6 +45,11 @@ struct FeatureStoreOptions {
 /// of Embedding Ecosystems" (VLDB 2021).
 ///
 /// All time is logical (clock()); the store never reads the wall clock.
+///
+/// All components share one LineageGraph (lineage()): every publish,
+/// embedding registration, model registration, and materialization run is
+/// recorded there, staleness events fan out to the AlertBus, and served
+/// responses carry staleness annotations (FeatureVector::stale).
 class FeatureStore {
  public:
   explicit FeatureStore(FeatureStoreOptions options = {});
@@ -58,6 +64,8 @@ class FeatureStore {
   ModelRegistry& models() { return model_registry_; }
   AlertBus& alerts() { return alerts_; }
   FeatureServer& server() { return server_; }
+  LineageGraph& lineage() { return lineage_; }
+  const LineageGraph& lineage() const { return lineage_; }
 
   // --- Tabular feature workflow (paper §2.2) -------------------------------
 
@@ -127,8 +135,23 @@ class FeatureStore {
   StatusOr<int> RegisterModel(ModelRecord record);
 
   /// Latest models pinned to outdated embedding versions; emits a
-  /// CRITICAL alert per skewed consumer ("dot product loses meaning").
-  StatusOr<std::vector<VersionSkew>> CheckEmbeddingVersionSkew();
+  /// CRITICAL alert per skewed consumer ("dot product loses meaning") and
+  /// a WARNING per dangling (unpinned/unresolvable) reference.
+  StatusOr<VersionSkewReport> CheckEmbeddingVersionSkew();
+
+  // --- Lineage & staleness (paper §2.2.2, §4) --------------------------------
+
+  /// Transitive downstream consumers impacted by a change to `artifact` —
+  /// "what breaks if this changes?" across every layer.
+  std::vector<ArtifactId> ImpactOf(const ArtifactId& artifact) const;
+
+  /// Deprecates the latest version of feature `name`: the kDeprecated
+  /// StalenessEvent fans out to its consumers (alerts + serving
+  /// annotations).
+  Status DeprecateFeature(const std::string& name);
+
+  /// Deprecates the latest version of embedding `name`; same fan-out.
+  Status DeprecateEmbedding(const std::string& name);
 
   // --- Monitoring (paper §2.2.3, §3.1.3) ------------------------------------
 
@@ -155,7 +178,8 @@ class FeatureStore {
   // --- Durability -------------------------------------------------------------
 
   /// Writes a full checkpoint (offline tables, online cells, feature
-  /// registry, embedding store, model registry, logical clock) into `dir`.
+  /// registry, embedding store, model registry, lineage graph, logical
+  /// clock) into `dir`.
   Status Checkpoint(const std::string& dir) const;
 
   /// Restores a Checkpoint() into this *fresh* store (no tables, views,
@@ -168,6 +192,9 @@ class FeatureStore {
   SimClock clock_;
   OfflineStore offline_;
   OnlineStore online_;
+  /// Shared cross-layer artifact graph; declared before every component
+  /// that records into it (construction and destruction order).
+  LineageGraph lineage_;
   FeatureRegistry registry_;
   Materializer materializer_;
   Orchestrator orchestrator_;

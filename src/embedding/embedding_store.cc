@@ -1,11 +1,18 @@
 #include "embedding/embedding_store.h"
 
-#include <cstdlib>
-
 #include "common/serde.h"
 #include "common/string_util.h"
 
 namespace mlfs {
+
+EmbeddingStore::EmbeddingStore(LineageGraph* lineage) {
+  if (lineage == nullptr) {
+    owned_lineage_ = std::make_unique<LineageGraph>();
+    lineage_ = owned_lineage_.get();
+  } else {
+    lineage_ = lineage;
+  }
+}
 
 StatusOr<int> EmbeddingStore::Register(const EmbeddingTablePtr& table,
                                        Timestamp registered_at) {
@@ -13,32 +20,71 @@ StatusOr<int> EmbeddingStore::Register(const EmbeddingTablePtr& table,
     return Status::InvalidArgument("cannot register null table");
   }
   const std::string& name = table->metadata().name;
-  std::lock_guard lock(mu_);
-  auto& versions = tables_[name];
-  int version = versions.empty()
-                    ? 1
-                    : versions.back()->metadata().version + 1;
-  // Tables are immutable: clone with stamped metadata.
-  EmbeddingTableMetadata metadata = table->metadata();
-  metadata.version = version;
-  if (metadata.created_at == 0) metadata.created_at = registered_at;
-  if (!versions.empty() && versions.back()->dim() != table->dim()) {
-    // Allowed (e.g. re-train at a new dim) but it must be deliberate;
-    // record it in the notes so lineage explains the change.
-    const EmbeddingTablePtr& prev = versions.back();
-    std::string note = "dim changed " + std::to_string(prev->size()) + "x" +
-                       std::to_string(prev->dim()) + " -> " +
-                       std::to_string(table->size()) + "x" +
-                       std::to_string(table->dim());
-    if (!metadata.notes.empty()) metadata.notes += "; ";
-    metadata.notes += note;
+  EmbeddingTableMetadata stamped_metadata;
+  int version = 0;
+  {
+    std::lock_guard lock(mu_);
+    auto& versions = tables_[name];
+    version = versions.empty() ? 1 : versions.back()->metadata().version + 1;
+    // Tables are immutable: clone with stamped metadata.
+    EmbeddingTableMetadata metadata = table->metadata();
+    metadata.version = version;
+    if (metadata.created_at == 0) metadata.created_at = registered_at;
+    if (!versions.empty() && versions.back()->dim() != table->dim()) {
+      // Allowed (e.g. re-train at a new dim) but it must be deliberate;
+      // record it in the notes so lineage explains the change.
+      const EmbeddingTablePtr& prev = versions.back();
+      std::string note = "dim changed " + std::to_string(prev->size()) + "x" +
+                         std::to_string(prev->dim()) + " -> " +
+                         std::to_string(table->size()) + "x" +
+                         std::to_string(table->dim());
+      if (!metadata.notes.empty()) metadata.notes += "; ";
+      metadata.notes += note;
+    }
+    // An unpinned parent reference resolves against the store as of now.
+    if (!metadata.parent.empty()) {
+      VersionedRef parent = ParseVersionedRef(metadata.parent);
+      if (!parent.pinned()) {
+        auto it = tables_.find(parent.name);
+        if (it != tables_.end() && !it->second.empty()) {
+          parent.version = it->second.back()->metadata().version;
+        }
+        metadata.parent = parent.ToString();
+      }
+    }
+    MLFS_ASSIGN_OR_RETURN(
+        EmbeddingTablePtr stamped,
+        EmbeddingTable::Create(metadata, table->keys(), table->raw(),
+                               table->dim()));
+    versions.push_back(std::move(stamped));
+    stamped_metadata = std::move(metadata);
   }
-  MLFS_ASSIGN_OR_RETURN(
-      EmbeddingTablePtr stamped,
-      EmbeddingTable::Create(std::move(metadata), table->keys(),
-                             table->raw(), table->dim()));
-  versions.push_back(std::move(stamped));
+  // Lineage recording and staleness fan-out run outside mu_ so listeners
+  // (alerting bridges) can call back into the store.
+  RecordLineage(stamped_metadata, version - 1);
+  if (version > 1) {
+    (void)lineage_->MarkStale(
+        EmbeddingArtifact(name, version - 1), StalenessReason::kSuperseded,
+        registered_at, "superseded by " + stamped_metadata.VersionedName());
+  }
   return version;
+}
+
+void EmbeddingStore::RecordLineage(const EmbeddingTableMetadata& metadata,
+                                   int /*previous_version*/) {
+  const ArtifactId self = EmbeddingArtifact(metadata.name, metadata.version);
+  (void)lineage_->AddArtifact(self);
+  if (!metadata.parent.empty()) {
+    const VersionedRef parent = ParseVersionedRef(metadata.parent);
+    const EdgeKind kind = metadata.patched ? EdgeKind::kPatchedInto
+                                           : EdgeKind::kDerivedFrom;
+    (void)lineage_->AddEdge(self, kind,
+                            EmbeddingArtifact(parent.name, parent.version));
+  }
+  if (!metadata.training_source.empty()) {
+    (void)lineage_->AddEdge(self, EdgeKind::kTrainedOn,
+                            TableArtifact(metadata.training_source));
+  }
 }
 
 StatusOr<EmbeddingTablePtr> EmbeddingStore::GetLatest(
@@ -67,19 +113,11 @@ StatusOr<EmbeddingTablePtr> EmbeddingStore::GetVersion(
 
 StatusOr<EmbeddingTablePtr> EmbeddingStore::Resolve(
     const std::string& reference) const {
-  size_t at = reference.rfind("@v");
-  if (at == std::string::npos) return GetLatest(reference);
-  std::string name = reference.substr(0, at);
-  std::string version_text = reference.substr(at + 2);
-  char* end = nullptr;
-  long version = std::strtol(version_text.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0' || version_text.empty() || version <= 0 ||
-      name.empty()) {
-    // Not a version suffix after all (e.g. a bare name like "user@vip"):
-    // treat the whole reference as a name rather than rejecting it.
-    return GetLatest(reference);
-  }
-  return GetVersion(name, static_cast<int>(version));
+  const VersionedRef ref = ParseVersionedRef(reference);
+  // A reference that does not parse as "name@vK" (e.g. a bare name like
+  // "user@vip") is treated as a whole name rather than rejected.
+  if (!ref.pinned()) return GetLatest(reference);
+  return GetVersion(ref.name, ref.version);
 }
 
 std::vector<std::string> EmbeddingStore::Names() const {
@@ -102,15 +140,39 @@ StatusOr<std::vector<EmbeddingTablePtr>> EmbeddingStore::Versions(
 
 StatusOr<std::vector<std::string>> EmbeddingStore::Lineage(
     const std::string& reference) const {
+  MLFS_ASSIGN_OR_RETURN(EmbeddingTablePtr table, Resolve(reference));
+  // Walk ancestry edges in the shared graph — the only record of parent
+  // chains (per-silo parent maps were removed with the graph refactor).
   std::vector<std::string> chain;
-  std::string current = reference;
+  ArtifactId current = EmbeddingArtifact(table->metadata().name,
+                                         table->metadata().version);
   for (int depth = 0; depth < 64; ++depth) {
-    MLFS_ASSIGN_OR_RETURN(EmbeddingTablePtr table, Resolve(current));
-    chain.push_back(table->metadata().VersionedName());
-    if (table->metadata().parent.empty()) return chain;
-    current = table->metadata().parent;
+    chain.push_back(FormatVersionedRef(current.name, current.version));
+    const ArtifactId* parent = nullptr;
+    std::vector<LineageEdge> edges = lineage_->OutEdges(current);
+    for (const LineageEdge& edge : edges) {
+      if (edge.to.kind != ArtifactKind::kEmbedding) continue;
+      if (edge.kind != EdgeKind::kDerivedFrom &&
+          edge.kind != EdgeKind::kPatchedInto) {
+        continue;
+      }
+      parent = &edge.to;
+      break;
+    }
+    if (parent == nullptr) return chain;
+    current = *parent;
   }
   return Status::Internal("lineage chain too deep (cycle?)");
+}
+
+Status EmbeddingStore::Deprecate(const std::string& name, Timestamp now) {
+  MLFS_ASSIGN_OR_RETURN(EmbeddingTablePtr latest, GetLatest(name));
+  return lineage_
+      ->MarkStale(
+          EmbeddingArtifact(name, latest->metadata().version),
+          StalenessReason::kDeprecated, now,
+          latest->metadata().VersionedName() + " deprecated by operator")
+      .status();
 }
 
 size_t EmbeddingStore::num_tables() const {
@@ -127,6 +189,7 @@ void PutMetadata(Encoder* enc, const EmbeddingTableMetadata& metadata) {
   enc->PutFixed64(static_cast<uint64_t>(metadata.created_at));
   enc->PutString(metadata.training_source);
   enc->PutString(metadata.parent);
+  enc->PutU8(metadata.patched ? 1 : 0);
   enc->PutString(metadata.notes);
 }
 
@@ -139,6 +202,8 @@ StatusOr<EmbeddingTableMetadata> GetMetadata(Decoder* dec) {
   metadata.created_at = static_cast<Timestamp>(created_at);
   MLFS_ASSIGN_OR_RETURN(metadata.training_source, dec->GetString());
   MLFS_ASSIGN_OR_RETURN(metadata.parent, dec->GetString());
+  MLFS_ASSIGN_OR_RETURN(uint8_t patched, dec->GetU8());
+  metadata.patched = patched != 0;
   MLFS_ASSIGN_OR_RETURN(metadata.notes, dec->GetString());
   return metadata;
 }
@@ -177,34 +242,44 @@ Status EmbeddingStore::Restore(std::string_view snapshot) {
     return Status::Corruption("bad embedding snapshot magic");
   }
   MLFS_ASSIGN_OR_RETURN(uint64_t total, dec.GetVarint64());
-  std::lock_guard lock(mu_);
-  for (uint64_t t = 0; t < total; ++t) {
-    MLFS_ASSIGN_OR_RETURN(EmbeddingTableMetadata metadata, GetMetadata(&dec));
-    MLFS_ASSIGN_OR_RETURN(uint64_t n, dec.GetVarint64());
-    MLFS_ASSIGN_OR_RETURN(uint64_t dim, dec.GetVarint64());
-    if (dim == 0 || dim > (1ULL << 24) || n > (1ULL << 32)) {
-      return Status::Corruption("implausible embedding shape");
+  std::vector<EmbeddingTableMetadata> restored;
+  {
+    std::lock_guard lock(mu_);
+    for (uint64_t t = 0; t < total; ++t) {
+      MLFS_ASSIGN_OR_RETURN(EmbeddingTableMetadata metadata, GetMetadata(&dec));
+      MLFS_ASSIGN_OR_RETURN(uint64_t n, dec.GetVarint64());
+      MLFS_ASSIGN_OR_RETURN(uint64_t dim, dec.GetVarint64());
+      if (dim == 0 || dim > (1ULL << 24) || n > (1ULL << 32)) {
+        return Status::Corruption("implausible embedding shape");
+      }
+      std::vector<std::string> keys;
+      keys.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        MLFS_ASSIGN_OR_RETURN(std::string key, dec.GetString());
+        keys.push_back(std::move(key));
+      }
+      std::vector<float> vectors(n * dim);
+      for (auto& x : vectors) {
+        MLFS_ASSIGN_OR_RETURN(x, dec.GetFloat());
+      }
+      MLFS_ASSIGN_OR_RETURN(
+          EmbeddingTablePtr table,
+          EmbeddingTable::Create(std::move(metadata), std::move(keys),
+                                 std::move(vectors), dim));
+      auto& versions = tables_[table->metadata().name];
+      if (!versions.empty() &&
+          versions.back()->metadata().version >= table->metadata().version) {
+        return Status::Corruption("snapshot versions out of order");
+      }
+      restored.push_back(table->metadata());
+      versions.push_back(std::move(table));
     }
-    std::vector<std::string> keys;
-    keys.reserve(n);
-    for (uint64_t i = 0; i < n; ++i) {
-      MLFS_ASSIGN_OR_RETURN(std::string key, dec.GetString());
-      keys.push_back(std::move(key));
-    }
-    std::vector<float> vectors(n * dim);
-    for (auto& x : vectors) {
-      MLFS_ASSIGN_OR_RETURN(x, dec.GetFloat());
-    }
-    MLFS_ASSIGN_OR_RETURN(
-        EmbeddingTablePtr table,
-        EmbeddingTable::Create(std::move(metadata), std::move(keys),
-                               std::move(vectors), dim));
-    auto& versions = tables_[table->metadata().name];
-    if (!versions.empty() &&
-        versions.back()->metadata().version >= table->metadata().version) {
-      return Status::Corruption("snapshot versions out of order");
-    }
-    versions.push_back(std::move(table));
+  }
+  // Re-record graph structure (idempotent when the graph itself was also
+  // restored from its snapshot); staleness events are the graph's state,
+  // not re-emitted here.
+  for (const EmbeddingTableMetadata& metadata : restored) {
+    RecordLineage(metadata, metadata.version - 1);
   }
   return Status::OK();
 }

@@ -2,12 +2,14 @@
 #define MLFS_EMBEDDING_EMBEDDING_STORE_H_
 
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "embedding/embedding_table.h"
+#include "lineage/lineage_graph.h"
 
 namespace mlfs {
 
@@ -19,8 +21,20 @@ namespace mlfs {
 /// Tables are immutable; "updating" an embedding means registering a new
 /// version. Consumers pin versions (see ModelRegistry), which is what makes
 /// version skew detectable.
+///
+/// Every registration is recorded in a LineageGraph: the table itself as an
+/// `embedding` artifact, its metadata().parent as a `derived_from` (or
+/// `patched_into`, for PatchEmbedding outputs) edge, and its
+/// training_source as a `trained_on` edge. Registering version K also marks
+/// version K-1 superseded, fanning a StalenessEvent out to its transitive
+/// consumers. Lineage() is a walk over that graph; parent chains have no
+/// second, private representation.
 class EmbeddingStore {
  public:
+  /// `lineage` (not owned) is the shared cross-layer graph; when null the
+  /// store owns a private graph (standalone use in tests/tools).
+  explicit EmbeddingStore(LineageGraph* lineage = nullptr);
+
   /// Registers `table` under its metadata().name; assigns and returns the
   /// new version number. `registered_at` stamps metadata().created_at if
   /// unset.
@@ -41,23 +55,38 @@ class EmbeddingStore {
   StatusOr<std::vector<EmbeddingTablePtr>> Versions(
       const std::string& name) const;
 
-  /// Chain of parents starting at "name@vK" (inclusive), following
-  /// metadata().parent until a root table.
+  /// Chain of ancestors starting at "name@vK" (inclusive), following
+  /// `derived_from`/`patched_into` lineage edges up to the root table.
   StatusOr<std::vector<std::string>> Lineage(
       const std::string& reference) const;
 
+  /// Marks the latest version of `name` deprecated: emits a kDeprecated
+  /// StalenessEvent fanned out to its transitive downstream consumers.
+  Status Deprecate(const std::string& name, Timestamp now);
+
   size_t num_tables() const;
+
+  /// The lineage graph this store records into (shared or owned).
+  LineageGraph& lineage_graph() { return *lineage_; }
+  const LineageGraph& lineage_graph() const { return *lineage_; }
 
   /// Serializes every version of every table (metadata, keys, vectors).
   std::string Snapshot() const;
 
   /// Restores a Snapshot() into this (empty) store, preserving version
-  /// numbers.
+  /// numbers and re-recording lineage edges (without re-emitting
+  /// staleness events — restore the graph's own snapshot for those).
   Status Restore(std::string_view snapshot);
 
  private:
+  /// Records `table` (already version-stamped) into the lineage graph.
+  void RecordLineage(const EmbeddingTableMetadata& metadata,
+                     int previous_version);
+
   mutable std::mutex mu_;
   std::map<std::string, std::vector<EmbeddingTablePtr>> tables_;
+  std::unique_ptr<LineageGraph> owned_lineage_;
+  LineageGraph* lineage_;  // Shared (not owned) or owned_lineage_.get().
 };
 
 }  // namespace mlfs

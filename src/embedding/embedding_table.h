@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/ref.h"
 #include "common/status.h"
 #include "common/timestamp.h"
 #include "ml/sgns.h"
@@ -24,10 +25,14 @@ struct EmbeddingTableMetadata {
   /// "name@vK" of the table this one was derived from (compression,
   /// patching, retraining); empty for from-scratch tables.
   std::string parent;
+  /// True when this table is a slice patch of `parent` (PatchEmbedding);
+  /// the lineage graph records the provenance as `patched_into` instead of
+  /// the generic `derived_from`.
+  bool patched = false;
   std::string notes;
 
   std::string VersionedName() const {
-    return name + "@v" + std::to_string(version);
+    return FormatVersionedRef(name, version);
   }
 };
 

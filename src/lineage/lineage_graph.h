@@ -1,0 +1,246 @@
+#ifndef MLFS_LINEAGE_LINEAGE_GRAPH_H_
+#define MLFS_LINEAGE_LINEAGE_GRAPH_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/ref.h"
+#include "common/status.h"
+#include "common/timestamp.h"
+
+namespace mlfs {
+
+/// Cross-layer artifact lineage (paper §2.2.2, §3.1.3, §4): one typed,
+/// versioned DAG covering every artifact the feature store manages — source
+/// tables and columns, feature definitions, embedding tables, models, and
+/// materialized online views — so transitive questions ("what is impacted
+/// if user_emb@v3 is deprecated?") have one answer instead of four
+/// per-silo approximations. FeatureRegistry, EmbeddingStore, ModelRegistry,
+/// and the Materializer all record into (and query from) this graph.
+
+enum class ArtifactKind : uint8_t {
+  kSourceTable = 0,
+  kSourceColumn = 1,  // name is "table.column".
+  kFeature = 2,
+  kEmbedding = 3,
+  kModel = 4,
+  kView = 5,  // A materialized online view (unversioned; name = view name).
+};
+
+std::string_view ArtifactKindToString(ArtifactKind kind);
+
+/// Identity of one node in the graph. version 0 = unversioned (tables,
+/// columns, views) or an unpinned reference.
+struct ArtifactId {
+  ArtifactKind kind = ArtifactKind::kSourceTable;
+  std::string name;
+  int version = 0;
+
+  /// "embedding:user_emb@v3", "table:activity", "view:user_trip_rate".
+  std::string ToString() const;
+
+  friend bool operator==(const ArtifactId& a, const ArtifactId& b) {
+    return a.kind == b.kind && a.version == b.version && a.name == b.name;
+  }
+  friend bool operator!=(const ArtifactId& a, const ArtifactId& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const ArtifactId& a, const ArtifactId& b) {
+    if (a.kind != b.kind) return a.kind < b.kind;
+    if (a.name != b.name) return a.name < b.name;
+    return a.version < b.version;
+  }
+};
+
+inline ArtifactId TableArtifact(std::string name) {
+  return {ArtifactKind::kSourceTable, std::move(name), 0};
+}
+inline ArtifactId ColumnArtifact(const std::string& table,
+                                 const std::string& column) {
+  return {ArtifactKind::kSourceColumn, table + "." + column, 0};
+}
+inline ArtifactId FeatureArtifact(std::string name, int version) {
+  return {ArtifactKind::kFeature, std::move(name), version};
+}
+inline ArtifactId EmbeddingArtifact(std::string name, int version) {
+  return {ArtifactKind::kEmbedding, std::move(name), version};
+}
+inline ArtifactId ModelArtifact(std::string name, int version) {
+  return {ArtifactKind::kModel, std::move(name), version};
+}
+inline ArtifactId ViewArtifact(std::string name) {
+  return {ArtifactKind::kView, std::move(name), 0};
+}
+
+/// Edges always point from the *downstream* artifact to the *upstream*
+/// dependency it was built from:
+///   kDerivedFrom   feature -> source column, embedding vK -> parent,
+///                  column -> its table.
+///   kTrainedOn     embedding -> the corpus/table it was trained on.
+///   kPins          model -> the exact feature/embedding version it uses.
+///   kPatchedInto   patched embedding -> the version the patch was applied
+///                  to (the upstream was "patched into" the downstream).
+///   kMaterializes  online view -> the feature/embedding version whose
+///                  values it currently serves.
+enum class EdgeKind : uint8_t {
+  kDerivedFrom = 0,
+  kTrainedOn = 1,
+  kPins = 2,
+  kPatchedInto = 3,
+  kMaterializes = 4,
+};
+
+std::string_view EdgeKindToString(EdgeKind kind);
+
+struct LineageEdge {
+  ArtifactId from;  // Downstream (depends on `to`).
+  EdgeKind kind = EdgeKind::kDerivedFrom;
+  ArtifactId to;  // Upstream dependency.
+};
+
+/// Why an artifact went stale.
+enum class StalenessReason : uint8_t {
+  kSuperseded = 0,  // A newer version of an upstream artifact exists.
+  kDeprecated = 1,  // An upstream artifact was explicitly deprecated.
+  kDrift = 2,       // A drift monitor fired on an upstream artifact.
+};
+
+std::string_view StalenessReasonToString(StalenessReason reason);
+
+/// Per-artifact staleness annotation: which upstream change tainted it.
+struct StalenessInfo {
+  StalenessReason reason = StalenessReason::kSuperseded;
+  Timestamp at = 0;
+  ArtifactId source;  // The artifact the event originated at.
+  std::string detail;
+
+  /// "embedding:user_emb@v1 superseded (<detail>)".
+  std::string ToString() const;
+};
+
+/// One propagation event: an upstream change fanned out to its transitive
+/// downstream consumers. Emitted by MarkStale, recorded in Events(), and
+/// pushed to every Subscribe()d listener (e.g. the AlertBus bridge).
+struct StalenessEvent {
+  ArtifactId source;
+  StalenessReason reason = StalenessReason::kSuperseded;
+  Timestamp at = 0;
+  std::string detail;
+  /// Transitive downstream consumers (sorted; excludes `source` itself and
+  /// other versions of the same artifact — a retrain derived from the stale
+  /// version is its replacement, not a consumer).
+  std::vector<ArtifactId> impacted;
+};
+
+/// Thread-safe versioned artifact DAG with transitive closure queries,
+/// cycle rejection, staleness propagation, and snapshot/restore serde.
+class LineageGraph {
+ public:
+  using StalenessListener = std::function<void(const StalenessEvent&)>;
+
+  LineageGraph() = default;
+  LineageGraph(const LineageGraph&) = delete;
+  LineageGraph& operator=(const LineageGraph&) = delete;
+
+  /// Registers a node; idempotent.
+  Status AddArtifact(const ArtifactId& id);
+
+  /// Adds `from` --kind--> `to` (auto-registering both nodes). Identical
+  /// duplicate edges are no-ops. Self-edges and edges that would close a
+  /// cycle are rejected with FailedPrecondition.
+  Status AddEdge(const ArtifactId& from, EdgeKind kind, const ArtifactId& to);
+
+  bool HasArtifact(const ArtifactId& id) const;
+  size_t num_artifacts() const;
+  size_t num_edges() const;
+
+  /// Dependency edges out of `id` (upstream); empty for unknown nodes.
+  std::vector<LineageEdge> OutEdges(const ArtifactId& id) const;
+  /// Dependent edges into `id` (downstream); empty for unknown nodes.
+  std::vector<LineageEdge> InEdges(const ArtifactId& id) const;
+  /// All registered versions of (kind, name), ascending.
+  std::vector<ArtifactId> VersionsOf(ArtifactKind kind,
+                                     const std::string& name) const;
+
+  /// Everything `id` transitively depends on (excludes `id`; sorted).
+  std::vector<ArtifactId> UpstreamClosure(const ArtifactId& id) const;
+  /// Everything transitively depending on `id` (excludes `id`; sorted).
+  std::vector<ArtifactId> DownstreamClosure(const ArtifactId& id) const;
+  /// DownstreamClosure that refuses to traverse *through or into* other
+  /// versions of `id`'s own (kind, name): the consumers impacted by a
+  /// change to `id`. A successor version derived from `id` (and anything
+  /// reachable only via that successor) is a replacement, not a consumer.
+  std::vector<ArtifactId> ImpactSet(const ArtifactId& id) const;
+
+  /// Marks `source` and its ImpactSet stale, records the event, and
+  /// notifies listeners (outside the graph lock). NotFound if `source` was
+  /// never registered. Later events overwrite earlier annotations.
+  StatusOr<StalenessEvent> MarkStale(const ArtifactId& source,
+                                     StalenessReason reason, Timestamp at,
+                                     std::string detail);
+
+  /// Removes the staleness annotation of `id` (only this node).
+  void ClearStale(const ArtifactId& id);
+
+  /// The staleness annotation of `id`, if any.
+  std::optional<StalenessInfo> StalenessOf(const ArtifactId& id) const;
+
+  /// All MarkStale events, oldest first.
+  std::vector<StalenessEvent> Events() const;
+  size_t num_events() const;
+
+  /// Registers a listener invoked (outside the graph lock) on every
+  /// MarkStale. Subscribe before concurrent use; listeners are never
+  /// removed.
+  void Subscribe(StalenessListener listener);
+
+  /// Records a (re-)materialization run: adds `view` --materializes-->
+  /// `target` and recomputes the view's staleness from the target — a fresh
+  /// run of a healthy target clears a previously stale view, while a stale
+  /// target taints the view it fills. No event is emitted.
+  Status RecordMaterialization(const ArtifactId& view,
+                               const ArtifactId& target);
+
+  /// Serializes nodes, edges, staleness annotations, and the event log.
+  std::string Snapshot() const;
+
+  /// Restores a Snapshot() into this (empty) graph.
+  Status Restore(std::string_view snapshot);
+
+ private:
+  struct Node {
+    ArtifactId id;
+    std::vector<std::pair<uint32_t, EdgeKind>> out;  // Upstream deps.
+    std::vector<std::pair<uint32_t, EdgeKind>> in;   // Downstream users.
+  };
+
+  size_t InternLocked(const ArtifactId& id);
+  /// True when `goal` is reachable from `start` along out-edges.
+  bool ReachesLocked(uint32_t start, uint32_t goal) const;
+  /// BFS closure from `start`; follows in-edges when `downstream`, out
+  /// otherwise. `skip_same_name` refuses to visit other versions of
+  /// `start`'s (kind, name). Excludes `start`.
+  std::vector<uint32_t> ClosureLocked(uint32_t start, bool downstream,
+                                      bool skip_same_name) const;
+  std::vector<ArtifactId> IdsOfLocked(const std::vector<uint32_t>& nodes) const;
+  void NotifyListeners(const StalenessEvent& event) const;
+
+  mutable std::shared_mutex mu_;
+  std::map<ArtifactId, uint32_t> index_;
+  std::vector<Node> nodes_;
+  size_t num_edges_ = 0;
+  std::map<uint32_t, StalenessInfo> stale_;
+  std::vector<StalenessEvent> events_;
+
+  mutable std::mutex listeners_mu_;
+  std::vector<StalenessListener> listeners_;
+};
+
+}  // namespace mlfs
+
+#endif  // MLFS_LINEAGE_LINEAGE_GRAPH_H_

@@ -1,23 +1,20 @@
 #include "modelstore/model_registry.h"
 
-#include <cstdlib>
+#include <algorithm>
+#include <set>
 
 #include "common/hash.h"
 #include "common/serde.h"
 
 namespace mlfs {
 
-std::pair<std::string, int> SplitVersionedRef(const std::string& reference) {
-  size_t at = reference.rfind("@v");
-  if (at == std::string::npos) return {reference, 0};
-  std::string name = reference.substr(0, at);
-  const char* digits = reference.c_str() + at + 2;
-  char* end = nullptr;
-  long version = std::strtol(digits, &end, 10);
-  if (end == digits || *end != '\0' || version <= 0) {
-    return {reference, 0};
+ModelRegistry::ModelRegistry(LineageGraph* lineage) {
+  if (lineage == nullptr) {
+    owned_lineage_ = std::make_unique<LineageGraph>();
+    lineage_ = owned_lineage_.get();
+  } else {
+    lineage_ = lineage;
   }
-  return {name, static_cast<int>(version)};
 }
 
 StatusOr<int> ModelRegistry::Register(ModelRecord record, Timestamp now) {
@@ -30,11 +27,37 @@ StatusOr<int> ModelRegistry::Register(ModelRecord record, Timestamp now) {
         Fnv1a64(record.weights.data(),
                 record.weights.size() * sizeof(double));
   }
-  std::lock_guard lock(mu_);
-  auto& versions = models_[record.name];
-  record.version = versions.empty() ? 1 : versions.back().version + 1;
-  versions.push_back(std::move(record));
-  return versions.back().version;
+  int version = 0;
+  ModelRecord stamped;
+  {
+    std::lock_guard lock(mu_);
+    auto& versions = models_[record.name];
+    record.version = versions.empty() ? 1 : versions.back().version + 1;
+    version = record.version;
+    versions.push_back(std::move(record));
+    stamped = versions.back();
+  }
+  RecordLineage(stamped);
+  return version;
+}
+
+void ModelRegistry::RecordLineage(const ModelRecord& record) {
+  const ArtifactId self = ModelArtifact(record.name, record.version);
+  (void)lineage_->AddArtifact(self);
+  // One deduplicated pins edge per pinned reference; unpinned refs have no
+  // version to pin and surface later as dangling findings.
+  for (const std::string& ref : record.embedding_refs) {
+    const VersionedRef parsed = ParseVersionedRef(ref);
+    if (!parsed.pinned()) continue;
+    (void)lineage_->AddEdge(self, EdgeKind::kPins,
+                            EmbeddingArtifact(parsed.name, parsed.version));
+  }
+  for (const std::string& ref : record.feature_refs) {
+    const VersionedRef parsed = ParseVersionedRef(ref);
+    if (!parsed.pinned()) continue;
+    (void)lineage_->AddEdge(self, EdgeKind::kPins,
+                            FeatureArtifact(parsed.name, parsed.version));
+  }
 }
 
 StatusOr<ModelRecord> ModelRegistry::Get(const std::string& name) const {
@@ -70,40 +93,86 @@ std::vector<ModelRecord> ModelRegistry::ListLatest() const {
   return out;
 }
 
-StatusOr<std::vector<VersionSkew>> ModelRegistry::CheckEmbeddingSkew(
+StatusOr<VersionSkewReport> ModelRegistry::CheckEmbeddingSkew(
     const EmbeddingStore& embeddings) const {
-  std::vector<VersionSkew> out;
+  VersionSkewReport report;
+
+  // Unresolvable refs become findings, never aborts: one model's typo must
+  // not hide real skew elsewhere. Repeated refs are deduplicated.
+  std::map<std::string, int> latest_models;
   for (const ModelRecord& record : ListLatest()) {
+    latest_models[record.name] = record.version;
+    std::set<std::string> seen;
     for (const std::string& ref : record.embedding_refs) {
-      auto [name, pinned] = SplitVersionedRef(ref);
-      if (pinned == 0) {
-        return Status::InvalidArgument(
-            "model '" + record.VersionedName() +
-            "' has unpinned embedding ref '" + ref + "'");
+      if (!seen.insert(ref).second) continue;
+      const VersionedRef parsed = ParseVersionedRef(ref);
+      if (!parsed.pinned()) {
+        report.dangling.push_back(
+            {record.VersionedName(), ref, "unpinned embedding reference"});
+        continue;
       }
-      MLFS_ASSIGN_OR_RETURN(EmbeddingTablePtr latest,
-                            embeddings.GetLatest(name));
-      int latest_version = latest->metadata().version;
-      if (latest_version > pinned) {
-        out.push_back(VersionSkew{record.VersionedName(), name, pinned,
-                                  latest_version});
+      if (!embeddings.GetVersion(parsed.name, parsed.version).ok()) {
+        report.dangling.push_back({record.VersionedName(), ref,
+                                   "pinned version not in embedding store"});
       }
     }
   }
-  return out;
+
+  // Skew is a lineage question: for every superseded embedding version the
+  // graph knows of, its impact set names the consumers left behind. The
+  // direct `pins` edge pins down which stale version each model holds.
+  for (const std::string& name : embeddings.Names()) {
+    auto latest = embeddings.GetLatest(name);
+    if (!latest.ok()) continue;
+    const int latest_version = latest.value()->metadata().version;
+    for (const ArtifactId& stale :
+         lineage_->VersionsOf(ArtifactKind::kEmbedding, name)) {
+      if (stale.version <= 0 || stale.version >= latest_version) continue;
+      for (const ArtifactId& impacted : lineage_->ImpactSet(stale)) {
+        if (impacted.kind != ArtifactKind::kModel) continue;
+        auto it = latest_models.find(impacted.name);
+        if (it == latest_models.end() || it->second != impacted.version) {
+          continue;  // Superseded models are not actionable consumers.
+        }
+        bool pins_directly = false;
+        for (const LineageEdge& edge : lineage_->OutEdges(impacted)) {
+          if (edge.kind == EdgeKind::kPins && edge.to == stale) {
+            pins_directly = true;
+            break;
+          }
+        }
+        if (!pins_directly) continue;
+        report.skews.push_back(
+            VersionSkew{FormatVersionedRef(impacted.name, impacted.version),
+                        name, stale.version, latest_version});
+      }
+    }
+  }
+  return report;
 }
 
 std::vector<std::string> ModelRegistry::ConsumersOfEmbedding(
     const std::string& embedding_name) const {
-  std::vector<std::string> out;
+  // Reverse pins edges over every known version of the embedding.
+  std::map<std::string, int> latest_models;
   for (const ModelRecord& record : ListLatest()) {
-    for (const std::string& ref : record.embedding_refs) {
-      if (SplitVersionedRef(ref).first == embedding_name) {
-        out.push_back(record.VersionedName());
-        break;
+    latest_models[record.name] = record.version;
+  }
+  std::vector<std::string> out;
+  for (const ArtifactId& version :
+       lineage_->VersionsOf(ArtifactKind::kEmbedding, embedding_name)) {
+    for (const LineageEdge& edge : lineage_->InEdges(version)) {
+      if (edge.kind != EdgeKind::kPins) continue;
+      if (edge.from.kind != ArtifactKind::kModel) continue;
+      auto it = latest_models.find(edge.from.name);
+      if (it == latest_models.end() || it->second != edge.from.version) {
+        continue;
       }
+      out.push_back(FormatVersionedRef(edge.from.name, edge.from.version));
     }
   }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 
@@ -152,7 +221,7 @@ std::string ModelRegistry::Snapshot() const {
 }
 
 Status ModelRegistry::Restore(std::string_view snapshot) {
-  std::lock_guard lock(mu_);
+  std::unique_lock lock(mu_);
   if (!models_.empty()) {
     return Status::FailedPrecondition("Restore requires an empty registry");
   }
@@ -200,6 +269,14 @@ Status ModelRegistry::Restore(std::string_view snapshot) {
     }
     models_[record.name].push_back(std::move(record));
   }
+  // Re-record graph structure (idempotent when the graph itself was also
+  // restored); no staleness events are re-emitted.
+  std::vector<ModelRecord> restored;
+  for (const auto& [name, versions] : models_) {
+    restored.insert(restored.end(), versions.begin(), versions.end());
+  }
+  lock.unlock();
+  for (const ModelRecord& record : restored) RecordLineage(record);
   return Status::OK();
 }
 

@@ -2,13 +2,16 @@
 #define MLFS_MODELSTORE_MODEL_REGISTRY_H_
 
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/ref.h"
 #include "common/status.h"
 #include "common/timestamp.h"
 #include "embedding/embedding_store.h"
+#include "lineage/lineage_graph.h"
 
 namespace mlfs {
 
@@ -32,7 +35,7 @@ struct ModelRecord {
   std::vector<double> weights;
 
   std::string VersionedName() const {
-    return name + "@v" + std::to_string(version);
+    return FormatVersionedRef(name, version);
   }
 };
 
@@ -46,11 +49,35 @@ struct VersionSkew {
   int lag() const { return latest_version - pinned_version; }
 };
 
+/// A model reference the skew check could not resolve: either unpinned
+/// (no "@vK" suffix) or pinned to a version the store does not have. These
+/// are findings, not errors — one bad ref must not hide real skew.
+struct DanglingRef {
+  std::string model;  // "name@vK".
+  std::string ref;    // The embedding reference as written.
+  std::string detail;
+};
+
+/// Result of CheckEmbeddingSkew: real version skews plus the refs that
+/// could not be checked.
+struct VersionSkewReport {
+  std::vector<VersionSkew> skews;
+  std::vector<DanglingRef> dangling;
+};
+
 /// Versioned model catalog with embedding-skew detection: the mechanism
 /// behind the paper's §4 warning that "if an embedding gets updated but a
 /// model that uses it does not, the dot product ... can lose meaning".
+///
+/// Every registration records the model into a LineageGraph with one
+/// deduplicated `pins` edge per pinned feature/embedding reference; skew
+/// and consumer queries are closure queries over those edges.
 class ModelRegistry {
  public:
+  /// `lineage` (not owned) is the shared cross-layer graph; when null the
+  /// registry owns a private graph (standalone use in tests/tools).
+  explicit ModelRegistry(LineageGraph* lineage = nullptr);
+
   /// Registers a model; assigns and returns the version. Computes
   /// weights_checksum from `record.weights` when unset.
   StatusOr<int> Register(ModelRecord record, Timestamp now);
@@ -62,16 +89,24 @@ class ModelRegistry {
 
   /// Latest models whose pinned embedding versions are older than the
   /// store's latest — the consumers that must be retrained (or the rollout
-  /// held) after an embedding update.
-  StatusOr<std::vector<VersionSkew>> CheckEmbeddingSkew(
+  /// held) after an embedding update. Skews are found by walking the
+  /// lineage graph's impact sets of superseded embedding versions; refs
+  /// that cannot be resolved are reported as `dangling` findings rather
+  /// than aborting the whole check.
+  StatusOr<VersionSkewReport> CheckEmbeddingSkew(
       const EmbeddingStore& embeddings) const;
 
   /// Models (latest versions) consuming any version of `embedding_name` —
-  /// the blast radius of an embedding change.
+  /// the blast radius of an embedding change, read off the graph's
+  /// reverse `pins` edges.
   std::vector<std::string> ConsumersOfEmbedding(
       const std::string& embedding_name) const;
 
   size_t num_models() const;
+
+  /// The lineage graph this registry records into (shared or owned).
+  LineageGraph& lineage_graph() { return *lineage_; }
+  const LineageGraph& lineage_graph() const { return *lineage_; }
 
   /// Serializes every version of every model record.
   std::string Snapshot() const;
@@ -80,12 +115,14 @@ class ModelRegistry {
   Status Restore(std::string_view snapshot);
 
  private:
+  /// Records `record` (already version-stamped) into the lineage graph.
+  void RecordLineage(const ModelRecord& record);
+
   mutable std::mutex mu_;
   std::map<std::string, std::vector<ModelRecord>> models_;
+  std::unique_ptr<LineageGraph> owned_lineage_;
+  LineageGraph* lineage_;  // Shared (not owned) or owned_lineage_.get().
 };
-
-/// Parses "name@vK" into (name, K); version 0 when no suffix.
-std::pair<std::string, int> SplitVersionedRef(const std::string& reference);
 
 }  // namespace mlfs
 

@@ -108,6 +108,7 @@ StatusOr<EmbeddingTablePtr> PatchEmbedding(
   EmbeddingTableMetadata metadata = table.metadata();
   metadata.parent = table.metadata().VersionedName();
   metadata.version = 0;
+  metadata.patched = true;  // Registering records a patched_into edge.
   metadata.notes = "patched " + std::to_string(patched_count) +
                    " slice keys (alpha=" + std::to_string(options.alpha) +
                    ", repel=" + std::to_string(options.repel) + ")";

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/ref.h"
 #include "common/timestamp.h"
 #include "common/value.h"
 
@@ -44,7 +45,7 @@ struct RegisteredFeature {
 
   /// "name@vN".
   std::string VersionedName() const {
-    return def.name + "@v" + std::to_string(version);
+    return FormatVersionedRef(def.name, version);
   }
 };
 

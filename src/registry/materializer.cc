@@ -65,6 +65,13 @@ StatusOr<MaterializationResult> Materializer::Materialize(
     MLFS_RETURN_IF_ERROR(log_table->Append(out_row));
     ++result.entities_updated;
   }
+  if (lineage_ != nullptr) {
+    // Stamp which feature version this view now serves; a re-run against a
+    // fresh version clears the view's staleness annotation.
+    MLFS_RETURN_IF_ERROR(lineage_->RecordMaterialization(
+        ViewArtifact(view), FeatureArtifact(feature.def.name,
+                                            feature.version)));
+  }
   return result;
 }
 

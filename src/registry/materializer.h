@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "lineage/lineage_graph.h"
 #include "registry/feature_def.h"
 #include "storage/offline_store.h"
 #include "storage/online_store.h"
@@ -29,8 +30,12 @@ struct MaterializationResult {
 /// reflects data age, not materialization age.
 class Materializer {
  public:
-  Materializer(OnlineStore* online, OfflineStore* offline)
-      : online_(online), offline_(offline) {}
+  /// `lineage` may be null (no lineage stamping — standalone use); when
+  /// set, every run records view --materializes--> feature@vK and refreshes
+  /// the view's staleness annotation from the feature's.
+  Materializer(OnlineStore* online, OfflineStore* offline,
+               LineageGraph* lineage = nullptr)
+      : online_(online), offline_(offline), lineage_(lineage) {}
 
   /// Materializes `feature` as of logical time `now`.
   StatusOr<MaterializationResult> Materialize(const RegisteredFeature& feature,
@@ -44,6 +49,7 @@ class Materializer {
  private:
   OnlineStore* online_;    // Not owned.
   OfflineStore* offline_;  // Not owned.
+  LineageGraph* lineage_;  // Not owned; may be null.
 };
 
 }  // namespace mlfs

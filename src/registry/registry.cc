@@ -8,6 +8,17 @@
 
 namespace mlfs {
 
+FeatureRegistry::FeatureRegistry(const OfflineStore* offline,
+                                 LineageGraph* lineage)
+    : offline_(offline) {
+  if (lineage == nullptr) {
+    owned_lineage_ = std::make_unique<LineageGraph>();
+    lineage_ = owned_lineage_.get();
+  } else {
+    lineage_ = lineage;
+  }
+}
+
 StatusOr<int> FeatureRegistry::Publish(const FeatureDefinition& def,
                                        Timestamp now) {
   if (def.name.empty()) {
@@ -37,11 +48,39 @@ StatusOr<int> FeatureRegistry::Publish(const FeatureDefinition& def,
   reg.output_type = output_type;
   reg.input_columns = expr->ReferencedColumns();
 
-  std::lock_guard lock(mu_);
-  auto& versions = features_[def.name];
-  reg.version = versions.empty() ? 1 : versions.back().version + 1;
-  versions.push_back(std::move(reg));
-  return versions.back().version;
+  int version = 0;
+  {
+    std::lock_guard lock(mu_);
+    auto& versions = features_[def.name];
+    reg.version = versions.empty() ? 1 : versions.back().version + 1;
+    version = reg.version;
+    versions.push_back(reg);
+  }
+  // Lineage recording and staleness fan-out run outside mu_ so listeners
+  // (alerting bridges) can call back into the registry.
+  RecordLineage(reg);
+  if (version > 1) {
+    (void)lineage_->MarkStale(
+        FeatureArtifact(def.name, version - 1), StalenessReason::kSuperseded,
+        now, "superseded by " + reg.VersionedName());
+  }
+  return version;
+}
+
+void FeatureRegistry::RecordLineage(const RegisteredFeature& reg) {
+  const ArtifactId self = FeatureArtifact(reg.def.name, reg.version);
+  (void)lineage_->AddArtifact(self);
+  for (const std::string& column : reg.input_columns) {
+    const ArtifactId col = ColumnArtifact(reg.def.source_table, column);
+    (void)lineage_->AddEdge(self, EdgeKind::kDerivedFrom, col);
+    (void)lineage_->AddEdge(col, EdgeKind::kDerivedFrom,
+                            TableArtifact(reg.def.source_table));
+  }
+  if (reg.input_columns.empty() && !reg.def.source_table.empty()) {
+    // Constant expressions still depend on the table existing.
+    (void)lineage_->AddEdge(self, EdgeKind::kDerivedFrom,
+                            TableArtifact(reg.def.source_table));
+  }
 }
 
 StatusOr<RegisteredFeature> FeatureRegistry::Get(
@@ -87,26 +126,46 @@ std::vector<RegisteredFeature> FeatureRegistry::ListByEntity(
   return out;
 }
 
-Status FeatureRegistry::Deprecate(const std::string& name) {
-  std::lock_guard lock(mu_);
-  auto it = features_.find(name);
-  if (it == features_.end()) {
-    return Status::NotFound("feature '" + name + "' not registered");
+Status FeatureRegistry::Deprecate(const std::string& name, Timestamp now) {
+  int version = 0;
+  std::string versioned;
+  {
+    std::lock_guard lock(mu_);
+    auto it = features_.find(name);
+    if (it == features_.end()) {
+      return Status::NotFound("feature '" + name + "' not registered");
+    }
+    it->second.back().deprecated = true;
+    version = it->second.back().version;
+    versioned = it->second.back().VersionedName();
   }
-  it->second.back().deprecated = true;
-  return Status::OK();
+  return lineage_
+      ->MarkStale(FeatureArtifact(name, version), StalenessReason::kDeprecated,
+                  now, versioned + " deprecated by operator")
+      .status();
 }
 
 std::vector<std::string> FeatureRegistry::FeaturesReadingColumn(
     const std::string& source_table, const std::string& column) const {
+  // Reverse lineage edges: who declared a dependency on this column? Only
+  // a feature's *latest* version counts — superseded versions no longer
+  // break when the column changes.
   std::vector<std::string> out;
-  for (const auto& reg : ListLatest()) {
-    if (reg.def.source_table != source_table) continue;
-    if (std::find(reg.input_columns.begin(), reg.input_columns.end(),
-                  column) != reg.input_columns.end()) {
-      out.push_back(reg.def.name);
+  const std::vector<LineageEdge> readers =
+      lineage_->InEdges(ColumnArtifact(source_table, column));
+  std::lock_guard lock(mu_);
+  for (const LineageEdge& edge : readers) {
+    if (edge.from.kind != ArtifactKind::kFeature) continue;
+    if (edge.kind != EdgeKind::kDerivedFrom) continue;
+    auto it = features_.find(edge.from.name);
+    if (it == features_.end() ||
+        it->second.back().version != edge.from.version) {
+      continue;
     }
+    out.push_back(edge.from.name);
   }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 
@@ -148,7 +207,7 @@ std::string FeatureRegistry::Snapshot() const {
 }
 
 Status FeatureRegistry::Restore(std::string_view snapshot) {
-  std::lock_guard lock(mu_);
+  std::unique_lock lock(mu_);
   if (!features_.empty()) {
     return Status::FailedPrecondition("Restore requires an empty registry");
   }
@@ -188,6 +247,14 @@ Status FeatureRegistry::Restore(std::string_view snapshot) {
     reg.deprecated = deprecated != 0;
     features_[reg.def.name].push_back(std::move(reg));
   }
+  // Re-record graph structure (idempotent when the graph itself was also
+  // restored); no staleness events are re-emitted.
+  std::vector<RegisteredFeature> restored;
+  for (const auto& [name, versions] : features_) {
+    restored.insert(restored.end(), versions.begin(), versions.end());
+  }
+  lock.unlock();
+  for (const RegisteredFeature& reg : restored) RecordLineage(reg);
   return Status::OK();
 }
 

@@ -2,11 +2,13 @@
 #define MLFS_REGISTRY_REGISTRY_H_
 
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "lineage/lineage_graph.h"
 #include "registry/feature_def.h"
 #include "storage/offline_store.h"
 
@@ -21,10 +23,20 @@ namespace mlfs {
 /// (unknown columns and type errors are rejected at publish time, not at
 /// serving time). Re-publishing an existing name creates a new version;
 /// old versions remain queryable for reproducibility.
+///
+/// Every publish is recorded in a LineageGraph: the feature version as a
+/// `feature` artifact with `derived_from` edges to the source columns its
+/// expression reads (and each column to its table), so column-level impact
+/// questions are closure queries over the shared graph. Publishing version
+/// K marks version K-1 superseded; Deprecate fans a kDeprecated
+/// StalenessEvent to the feature's transitive consumers.
 class FeatureRegistry {
  public:
-  /// `offline` is used to resolve and validate source tables; not owned.
-  explicit FeatureRegistry(const OfflineStore* offline) : offline_(offline) {}
+  /// `offline` resolves and validates source tables; `lineage` (both not
+  /// owned) is the shared cross-layer graph — when null the registry owns a
+  /// private graph (standalone use in tests/tools).
+  explicit FeatureRegistry(const OfflineStore* offline,
+                           LineageGraph* lineage = nullptr);
 
   /// Publishes a definition; returns the assigned version.
   StatusOr<int> Publish(const FeatureDefinition& def, Timestamp now);
@@ -42,15 +54,21 @@ class FeatureRegistry {
   /// All features (latest version) describing `entity`.
   std::vector<RegisteredFeature> ListByEntity(const std::string& entity) const;
 
-  /// Marks the latest version of `name` deprecated.
-  Status Deprecate(const std::string& name);
+  /// Marks the latest version of `name` deprecated and emits a kDeprecated
+  /// StalenessEvent fanned out to its transitive downstream consumers.
+  Status Deprecate(const std::string& name, Timestamp now = 0);
 
-  /// Names of features whose lineage includes `source_table`.`column` —
-  /// "which features break if this column changes?".
+  /// Names of features whose latest version reads `source_table`.`column` —
+  /// "which features break if this column changes?". Answered from the
+  /// lineage graph's reverse edges.
   std::vector<std::string> FeaturesReadingColumn(
       const std::string& source_table, const std::string& column) const;
 
   size_t num_features() const;
+
+  /// The lineage graph this registry records into (shared or owned).
+  LineageGraph& lineage_graph() { return *lineage_; }
+  const LineageGraph& lineage_graph() const { return *lineage_; }
 
   /// Serializes every version of every definition.
   std::string Snapshot() const;
@@ -61,10 +79,15 @@ class FeatureRegistry {
   Status Restore(std::string_view snapshot);
 
  private:
+  /// Records `reg` (already version-stamped) into the lineage graph.
+  void RecordLineage(const RegisteredFeature& reg);
+
   const OfflineStore* offline_;  // Not owned.
   mutable std::mutex mu_;
   // name -> all versions, ascending.
   std::map<std::string, std::vector<RegisteredFeature>> features_;
+  std::unique_ptr<LineageGraph> owned_lineage_;
+  LineageGraph* lineage_;  // Shared (not owned) or owned_lineage_.get().
 };
 
 }  // namespace mlfs

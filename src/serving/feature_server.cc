@@ -42,9 +42,11 @@ size_t ThreadStripeSeed() {
 
 FeatureServer::FeatureServer(const OnlineStore* store,
                              FeatureServerOptions options,
-                             const EmbeddingStore* embeddings)
+                             const EmbeddingStore* embeddings,
+                             const LineageGraph* lineage)
     : store_(store),
       embeddings_(embeddings),
+      lineage_(lineage),
       options_(options),
       metrics_(kMetricsStripes) {
   if (options_.batch_parallelism > 1) {
@@ -59,6 +61,18 @@ EmbeddingTablePtr FeatureServer::ResolveEmbeddingFeature(
   if (embeddings_ == nullptr || store_->HasView(feature)) return nullptr;
   auto table = embeddings_->Resolve(feature);
   return table.ok() ? *table : nullptr;
+}
+
+std::string FeatureServer::StaleNote(const std::string& feature,
+                                     const EmbeddingTablePtr& table) const {
+  if (lineage_ == nullptr) return "";
+  const ArtifactId artifact =
+      table != nullptr ? EmbeddingArtifact(table->metadata().name,
+                                           table->metadata().version)
+                       : ViewArtifact(feature);
+  std::optional<StalenessInfo> info = lineage_->StalenessOf(artifact);
+  if (!info.has_value()) return "";
+  return feature + ": " + info->ToString();
 }
 
 FeatureServer::~FeatureServer() = default;
@@ -83,6 +97,9 @@ StatusOr<FeatureVector> FeatureServer::GetFeatures(
   out.values.reserve(features.size());
   for (const std::string& feature : features) {
     if (EmbeddingTablePtr table = ResolveEmbeddingFeature(feature)) {
+      if (std::string note = StaleNote(feature, table); !note.empty()) {
+        out.stale.push_back(std::move(note));
+      }
       const float* vec = nullptr;
       if (entity_key.type() == FeatureType::kString) {
         auto lookup = table->Get(entity_key.string_value());
@@ -104,6 +121,9 @@ StatusOr<FeatureVector> FeatureServer::GetFeatures(
       out.oldest_event_time =
           std::min(out.oldest_event_time, table->metadata().created_at);
       continue;
+    }
+    if (std::string note = StaleNote(feature, nullptr); !note.empty()) {
+      out.stale.push_back(std::move(note));
     }
     StatusOr<Row> row = store_->Get(feature, entity_key, now);
     for (uint32_t attempt = 1;
@@ -177,10 +197,13 @@ std::vector<StatusOr<FeatureVector>> FeatureServer::GetFeaturesBatch(
     std::vector<const float*> rows;  // Null = missing key.
   };
   std::vector<EmbeddingColumn> emb_columns(num_views);
+  // Per-view staleness annotation, shared by every entity in the batch.
+  std::vector<std::string> stale_notes(num_views);
   auto fetch_view = [&](size_t j) {
     if (EmbeddingTablePtr table = ResolveEmbeddingFeature(features[j])) {
       EmbeddingColumn& emb = emb_columns[j];
       emb.table = std::move(table);
+      stale_notes[j] = StaleNote(features[j], emb.table);
       std::vector<std::string> string_keys(n);
       for (size_t i = 0; i < n; ++i) {
         if (entity_keys[i].type() == FeatureType::kString) {
@@ -192,6 +215,7 @@ std::vector<StatusOr<FeatureVector>> FeatureServer::GetFeaturesBatch(
       emb.rows = emb.table->MultiGet(string_keys);
       return;
     }
+    stale_notes[j] = StaleNote(features[j], nullptr);
     std::vector<StatusOr<Row>>& column = columns[j];
     column = store_->MultiGet(features[j], entity_keys, now);
     uint64_t retries = 0;
@@ -240,6 +264,9 @@ std::vector<StatusOr<FeatureVector>> FeatureServer::GetFeaturesBatch(
     FeatureVector fv;
     fv.names = features;
     fv.values.reserve(num_views);
+    for (size_t j = 0; j < num_views; ++j) {
+      if (!stale_notes[j].empty()) fv.stale.push_back(stale_notes[j]);
+    }
     Status entity_error;
     for (size_t j = 0; j < num_views; ++j) {
       if (emb_columns[j].table != nullptr) {

@@ -11,6 +11,7 @@
 #include "common/row.h"
 #include "common/status.h"
 #include "embedding/embedding_store.h"
+#include "lineage/lineage_graph.h"
 #include "storage/online_store.h"
 
 namespace mlfs {
@@ -59,6 +60,10 @@ struct FeatureVector {
   /// Subset of `missing` that was NULL-filled after exhausting retries on
   /// a transient store error (graceful degradation), rather than a miss.
   uint64_t degraded = 0;
+  /// Staleness annotations, one "<feature>: <why>" entry per requested
+  /// feature whose serving artifact (online view or embedding table) is
+  /// marked stale in the lineage graph. Empty = everything served fresh.
+  std::vector<std::string> stale;
 };
 
 /// Low-latency online feature serving: assembles per-entity feature
@@ -97,10 +102,14 @@ struct FeatureVector {
 class FeatureServer {
  public:
   /// `embeddings` (optional, not owned) enables direct embedding-feature
-  /// hydration for feature names that resolve in it.
+  /// hydration for feature names that resolve in it. `lineage` (optional,
+  /// not owned) enables per-response staleness annotations: a feature
+  /// whose view/embedding artifact is marked stale in the graph is still
+  /// served, but the response says so (FeatureVector::stale).
   explicit FeatureServer(const OnlineStore* store,
                          FeatureServerOptions options = {},
-                         const EmbeddingStore* embeddings = nullptr);
+                         const EmbeddingStore* embeddings = nullptr,
+                         const LineageGraph* lineage = nullptr);
   ~FeatureServer();
 
   FeatureServer(const FeatureServer&) = delete;
@@ -144,8 +153,15 @@ class FeatureServer {
   /// the name should go through the online-view path.
   EmbeddingTablePtr ResolveEmbeddingFeature(const std::string& feature) const;
 
+  /// "<feature>: <why>" when the serving artifact behind `feature` is
+  /// marked stale in the lineage graph ("" otherwise). `table` is the
+  /// resolved embedding table, or null for the online-view path.
+  std::string StaleNote(const std::string& feature,
+                        const EmbeddingTablePtr& table) const;
+
   const OnlineStore* store_;            // Not owned.
   const EmbeddingStore* embeddings_;    // Not owned; may be null.
+  const LineageGraph* lineage_;         // Not owned; may be null.
   FeatureServerOptions options_;
   /// Workers for parallel per-view batch assembly; null when
   /// options_.batch_parallelism <= 1.

@@ -185,7 +185,7 @@ TEST_F(CheckpointTest, FullFeatureStoreCheckpointRestore) {
   EXPECT_EQ(ts->rows[0].ValueByName("trips_x2").value(), Value::Int64(100));
   // Version-skew machinery still works on the restored state.
   ASSERT_TRUE(restored.RegisterEmbedding(table).ok());
-  EXPECT_EQ(restored.CheckEmbeddingVersionSkew().value().size(), 1u);
+  EXPECT_EQ(restored.CheckEmbeddingVersionSkew().value().skews.size(), 1u);
 }
 
 }  // namespace

@@ -295,13 +295,14 @@ TEST_F(FeatureStoreTest, VersionSkewDetectionAndAlerts) {
   model.name = "ranker";
   model.embedding_refs = {"user_emb@v1"};
   ASSERT_TRUE(store_.RegisterModel(model).ok());
-  EXPECT_TRUE(store_.CheckEmbeddingVersionSkew().value().empty());
+  EXPECT_TRUE(store_.CheckEmbeddingVersionSkew().value().skews.empty());
 
   // New embedding version; model is now skewed.
   ASSERT_TRUE(store_.RegisterEmbedding(table).ok());
-  auto skews = store_.CheckEmbeddingVersionSkew().value();
-  ASSERT_EQ(skews.size(), 1u);
-  EXPECT_EQ(skews[0].lag(), 1);
+  auto report = store_.CheckEmbeddingVersionSkew().value();
+  ASSERT_EQ(report.skews.size(), 1u);
+  EXPECT_TRUE(report.dangling.empty());
+  EXPECT_EQ(report.skews[0].lag(), 1);
   EXPECT_EQ(store_.alerts().CountAtLeast(AlertSeverity::kCritical), 1u);
 }
 

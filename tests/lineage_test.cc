@@ -1,0 +1,480 @@
+#include "lineage/lineage_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/ref.h"
+#include "core/feature_store.h"
+
+namespace mlfs {
+namespace {
+
+bool Contains(const std::vector<ArtifactId>& ids, const ArtifactId& id) {
+  return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+
+TEST(VersionedRefTest, FormatAndParse) {
+  EXPECT_EQ(FormatVersionedRef("emb", 3), "emb@v3");
+  EXPECT_EQ(FormatVersionedRef("emb", 0), "emb");
+  EXPECT_EQ(FormatVersionedRef("emb", -1), "emb");
+  EXPECT_EQ(ParseVersionedRef("emb@v3"), (VersionedRef{"emb", 3}));
+  EXPECT_TRUE(ParseVersionedRef("emb@v3").pinned());
+  EXPECT_EQ(ParseVersionedRef("emb"), (VersionedRef{"emb", 0}));
+  EXPECT_FALSE(ParseVersionedRef("emb").pinned());
+  // "@v" followed by non-digits is part of the name, not a version pin:
+  // a user named "user@vip" must not parse as version 0 of "user".
+  EXPECT_EQ(ParseVersionedRef("user@vip"), (VersionedRef{"user@vip", 0}));
+  EXPECT_FALSE(ParseVersionedRef("user@vip").pinned());
+  EXPECT_EQ(ParseVersionedRef("emb@v0"), (VersionedRef{"emb@v0", 0}));
+  EXPECT_EQ(ParseVersionedRef("emb@v-2"), (VersionedRef{"emb@v-2", 0}));
+  EXPECT_EQ(ParseVersionedRef("a@v1@v2"), (VersionedRef{"a@v1", 2}));
+  // Round trip.
+  EXPECT_EQ(ParseVersionedRef(VersionedRef{"f", 7}.ToString()),
+            (VersionedRef{"f", 7}));
+}
+
+TEST(LineageGraphTest, ArtifactIdsAndToString) {
+  EXPECT_EQ(EmbeddingArtifact("user_emb", 3).ToString(),
+            "embedding:user_emb@v3");
+  EXPECT_EQ(TableArtifact("activity").ToString(), "table:activity");
+  EXPECT_EQ(ColumnArtifact("activity", "trips").ToString(),
+            "column:activity.trips");
+  EXPECT_EQ(ViewArtifact("trip_rate").ToString(), "view:trip_rate");
+  EXPECT_EQ(FeatureArtifact("f", 1).ToString(), "feature:f@v1");
+  EXPECT_EQ(ModelArtifact("m", 2).ToString(), "model:m@v2");
+  EXPECT_LT(FeatureArtifact("f", 1), FeatureArtifact("f", 2));
+  EXPECT_NE(FeatureArtifact("f", 1), EmbeddingArtifact("f", 1));
+}
+
+TEST(LineageGraphTest, AddEdgeAutoRegistersAndDeduplicates) {
+  LineageGraph graph;
+  EXPECT_TRUE(graph.AddArtifact(TableArtifact("t")).ok());
+  EXPECT_TRUE(graph.AddArtifact(TableArtifact("t")).ok());  // Idempotent.
+  EXPECT_EQ(graph.num_artifacts(), 1u);
+
+  ASSERT_TRUE(graph.AddEdge(FeatureArtifact("f", 1), EdgeKind::kDerivedFrom,
+                            ColumnArtifact("t", "c")).ok());
+  EXPECT_EQ(graph.num_artifacts(), 3u);  // Feature + column auto-registered.
+  EXPECT_EQ(graph.num_edges(), 1u);
+  // Identical duplicate is a no-op.
+  ASSERT_TRUE(graph.AddEdge(FeatureArtifact("f", 1), EdgeKind::kDerivedFrom,
+                            ColumnArtifact("t", "c")).ok());
+  EXPECT_EQ(graph.num_edges(), 1u);
+  // Same endpoints, different kind: a distinct edge.
+  ASSERT_TRUE(graph.AddEdge(FeatureArtifact("f", 1), EdgeKind::kPins,
+                            ColumnArtifact("t", "c")).ok());
+  EXPECT_EQ(graph.num_edges(), 2u);
+
+  EXPECT_TRUE(graph.HasArtifact(ColumnArtifact("t", "c")));
+  EXPECT_FALSE(graph.HasArtifact(ColumnArtifact("t", "nope")));
+  ASSERT_EQ(graph.OutEdges(FeatureArtifact("f", 1)).size(), 2u);
+  EXPECT_EQ(graph.OutEdges(FeatureArtifact("f", 1))[0].to,
+            ColumnArtifact("t", "c"));
+  ASSERT_EQ(graph.InEdges(ColumnArtifact("t", "c")).size(), 2u);
+  EXPECT_TRUE(graph.OutEdges(ModelArtifact("ghost", 1)).empty());
+}
+
+TEST(LineageGraphTest, RejectsSelfEdgesAndCycles) {
+  LineageGraph graph;
+  EXPECT_TRUE(graph.AddEdge(FeatureArtifact("f", 1), EdgeKind::kDerivedFrom,
+                            FeatureArtifact("f", 1))
+                  .IsFailedPrecondition());
+
+  ASSERT_TRUE(graph.AddEdge(EmbeddingArtifact("a", 1), EdgeKind::kDerivedFrom,
+                            EmbeddingArtifact("b", 1)).ok());
+  ASSERT_TRUE(graph.AddEdge(EmbeddingArtifact("b", 1), EdgeKind::kDerivedFrom,
+                            EmbeddingArtifact("c", 1)).ok());
+  // c -> a would close a cycle.
+  EXPECT_TRUE(graph.AddEdge(EmbeddingArtifact("c", 1), EdgeKind::kDerivedFrom,
+                            EmbeddingArtifact("a", 1))
+                  .IsFailedPrecondition());
+  EXPECT_EQ(graph.num_edges(), 2u);
+  // The reverse *kind* along existing direction is still fine (no cycle).
+  EXPECT_TRUE(graph.AddEdge(EmbeddingArtifact("a", 1), EdgeKind::kTrainedOn,
+                            EmbeddingArtifact("c", 1)).ok());
+}
+
+TEST(LineageGraphTest, VersionsOfAndClosures) {
+  LineageGraph graph;
+  // feature f@v1, f@v2 both read column t.c; model m pins f@v2.
+  ASSERT_TRUE(graph.AddEdge(FeatureArtifact("f", 1), EdgeKind::kDerivedFrom,
+                            ColumnArtifact("t", "c")).ok());
+  ASSERT_TRUE(graph.AddEdge(FeatureArtifact("f", 2), EdgeKind::kDerivedFrom,
+                            ColumnArtifact("t", "c")).ok());
+  ASSERT_TRUE(graph.AddEdge(ColumnArtifact("t", "c"), EdgeKind::kDerivedFrom,
+                            TableArtifact("t")).ok());
+  ASSERT_TRUE(graph.AddEdge(ModelArtifact("m", 1), EdgeKind::kPins,
+                            FeatureArtifact("f", 2)).ok());
+
+  auto versions = graph.VersionsOf(ArtifactKind::kFeature, "f");
+  ASSERT_EQ(versions.size(), 2u);
+  EXPECT_EQ(versions[0].version, 1);
+  EXPECT_EQ(versions[1].version, 2);
+  EXPECT_TRUE(graph.VersionsOf(ArtifactKind::kFeature, "ghost").empty());
+
+  auto up = graph.UpstreamClosure(ModelArtifact("m", 1));
+  EXPECT_EQ(up.size(), 3u);  // f@v2, t.c, t — not itself, not f@v1.
+  EXPECT_TRUE(Contains(up, FeatureArtifact("f", 2)));
+  EXPECT_TRUE(Contains(up, TableArtifact("t")));
+  EXPECT_FALSE(Contains(up, FeatureArtifact("f", 1)));
+
+  auto down = graph.DownstreamClosure(TableArtifact("t"));
+  EXPECT_EQ(down.size(), 4u);  // t.c, f@v1, f@v2, m@v1.
+  EXPECT_TRUE(Contains(down, ModelArtifact("m", 1)));
+}
+
+TEST(LineageGraphTest, ImpactSetExcludesSuccessorVersions) {
+  LineageGraph graph;
+  // emb@v2 derived from emb@v1; model_old pins v1, model_new pins v2.
+  ASSERT_TRUE(graph.AddEdge(EmbeddingArtifact("emb", 2),
+                            EdgeKind::kDerivedFrom,
+                            EmbeddingArtifact("emb", 1)).ok());
+  ASSERT_TRUE(graph.AddEdge(ModelArtifact("old", 1), EdgeKind::kPins,
+                            EmbeddingArtifact("emb", 1)).ok());
+  ASSERT_TRUE(graph.AddEdge(ModelArtifact("new", 1), EdgeKind::kPins,
+                            EmbeddingArtifact("emb", 2)).ok());
+
+  // Everything downstream of v1 includes the successor and its consumer...
+  auto down = graph.DownstreamClosure(EmbeddingArtifact("emb", 1));
+  EXPECT_TRUE(Contains(down, EmbeddingArtifact("emb", 2)));
+  EXPECT_TRUE(Contains(down, ModelArtifact("new", 1)));
+
+  // ...but the *impact* of changing v1 must not: v2 is its replacement,
+  // and model_new consumes the replacement, not v1.
+  auto impact = graph.ImpactSet(EmbeddingArtifact("emb", 1));
+  ASSERT_EQ(impact.size(), 1u);
+  EXPECT_EQ(impact[0], ModelArtifact("old", 1));
+}
+
+TEST(LineageGraphTest, MarkStalePropagatesAndNotifies) {
+  LineageGraph graph;
+  ASSERT_TRUE(graph.AddEdge(ModelArtifact("m", 1), EdgeKind::kPins,
+                            EmbeddingArtifact("emb", 1)).ok());
+  ASSERT_TRUE(graph.AddEdge(ViewArtifact("emb"), EdgeKind::kMaterializes,
+                            EmbeddingArtifact("emb", 1)).ok());
+
+  std::vector<StalenessEvent> heard;
+  graph.Subscribe([&heard](const StalenessEvent& e) { heard.push_back(e); });
+
+  EXPECT_TRUE(graph.MarkStale(EmbeddingArtifact("ghost", 1),
+                              StalenessReason::kDeprecated, Hours(1), "x")
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(heard.empty());
+
+  auto event = graph.MarkStale(EmbeddingArtifact("emb", 1),
+                               StalenessReason::kDeprecated, Hours(2),
+                               "manual deprecation");
+  ASSERT_TRUE(event.ok()) << event.status();
+  EXPECT_EQ(event->impacted.size(), 2u);  // m@v1 and view:emb.
+  EXPECT_TRUE(Contains(event->impacted, ModelArtifact("m", 1)));
+  EXPECT_TRUE(Contains(event->impacted, ViewArtifact("emb")));
+
+  // Source and impacted all carry the annotation.
+  auto info = graph.StalenessOf(ModelArtifact("m", 1));
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->reason, StalenessReason::kDeprecated);
+  EXPECT_EQ(info->source, EmbeddingArtifact("emb", 1));
+  EXPECT_NE(info->ToString().find("deprecated"), std::string::npos);
+  EXPECT_TRUE(graph.StalenessOf(EmbeddingArtifact("emb", 1)).has_value());
+
+  // Event log + listener agree.
+  ASSERT_EQ(graph.num_events(), 1u);
+  EXPECT_EQ(graph.Events()[0].detail, "manual deprecation");
+  ASSERT_EQ(heard.size(), 1u);
+  EXPECT_EQ(heard[0].source, EmbeddingArtifact("emb", 1));
+  EXPECT_EQ(heard[0].at, Hours(2));
+
+  graph.ClearStale(ModelArtifact("m", 1));
+  EXPECT_FALSE(graph.StalenessOf(ModelArtifact("m", 1)).has_value());
+  EXPECT_TRUE(graph.StalenessOf(ViewArtifact("emb")).has_value());
+}
+
+TEST(LineageGraphTest, RecordMaterializationTracksTargetStaleness) {
+  LineageGraph graph;
+  ASSERT_TRUE(graph.AddArtifact(FeatureArtifact("f", 1)).ok());
+  ASSERT_TRUE(graph.RecordMaterialization(ViewArtifact("f"),
+                                          FeatureArtifact("f", 1)).ok());
+  EXPECT_FALSE(graph.StalenessOf(ViewArtifact("f")).has_value());
+
+  // Target goes stale -> a fresh materialization run of it taints the view.
+  ASSERT_TRUE(graph.MarkStale(FeatureArtifact("f", 1),
+                              StalenessReason::kDrift, Hours(1), "psi").ok());
+  ASSERT_TRUE(graph.StalenessOf(ViewArtifact("f")).has_value());
+  ASSERT_TRUE(graph.RecordMaterialization(ViewArtifact("f"),
+                                          FeatureArtifact("f", 1)).ok());
+  EXPECT_TRUE(graph.StalenessOf(ViewArtifact("f")).has_value());
+
+  // Re-pointing the view at a healthy successor clears it.
+  ASSERT_TRUE(graph.AddArtifact(FeatureArtifact("f", 2)).ok());
+  ASSERT_TRUE(graph.RecordMaterialization(ViewArtifact("f"),
+                                          FeatureArtifact("f", 2)).ok());
+  EXPECT_FALSE(graph.StalenessOf(ViewArtifact("f")).has_value());
+  EXPECT_EQ(graph.num_events(), 1u);  // RecordMaterialization emits none.
+}
+
+TEST(LineageGraphTest, SnapshotRestoreRoundTrip) {
+  LineageGraph graph;
+  ASSERT_TRUE(graph.AddEdge(FeatureArtifact("f", 1), EdgeKind::kDerivedFrom,
+                            ColumnArtifact("t", "c")).ok());
+  ASSERT_TRUE(graph.AddEdge(ModelArtifact("m", 1), EdgeKind::kPins,
+                            FeatureArtifact("f", 1)).ok());
+  ASSERT_TRUE(graph.RecordMaterialization(ViewArtifact("f"),
+                                          FeatureArtifact("f", 1)).ok());
+  ASSERT_TRUE(graph.MarkStale(FeatureArtifact("f", 1),
+                              StalenessReason::kDrift, Hours(3), "psi=0.4")
+                  .ok());
+
+  LineageGraph restored;
+  ASSERT_TRUE(restored.Restore(graph.Snapshot()).ok());
+  EXPECT_EQ(restored.num_artifacts(), graph.num_artifacts());
+  EXPECT_EQ(restored.num_edges(), graph.num_edges());
+  EXPECT_EQ(restored.DownstreamClosure(ColumnArtifact("t", "c")),
+            graph.DownstreamClosure(ColumnArtifact("t", "c")));
+  auto info = restored.StalenessOf(ModelArtifact("m", 1));
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->reason, StalenessReason::kDrift);
+  EXPECT_EQ(info->at, Hours(3));
+  EXPECT_EQ(info->detail, "psi=0.4");
+  ASSERT_EQ(restored.num_events(), 1u);
+  EXPECT_EQ(restored.Events()[0].impacted, graph.Events()[0].impacted);
+
+  // Restore only into an empty graph; garbage rejected.
+  EXPECT_FALSE(restored.Restore(graph.Snapshot()).ok());
+  LineageGraph junk;
+  EXPECT_FALSE(junk.Restore("not a snapshot").ok());
+  LineageGraph empty_ok;
+  EXPECT_TRUE(empty_ok.Restore(LineageGraph().Snapshot()).ok());
+}
+
+// --- Silos recording into one shared graph --------------------------------
+
+TEST(LineageIntegrationTest, EmbeddingStoreRecordsVersionChains) {
+  LineageGraph graph;
+  EmbeddingStore store(&graph);
+  EmbeddingTableMetadata metadata;
+  metadata.name = "emb";
+  metadata.training_source = "clicks";
+  auto v1 = EmbeddingTable::Create(metadata, {"a"}, {1, 2}, 2).value();
+  ASSERT_TRUE(store.Register(v1, Hours(1)).ok());
+  metadata.parent = "emb";  // Unpinned: resolved to the in-store latest.
+  auto v2 = EmbeddingTable::Create(metadata, {"a"}, {3, 4}, 2).value();
+  ASSERT_TRUE(store.Register(v2, Hours(2)).ok());
+
+  // Registering v2 superseded v1 -> event + annotation.
+  ASSERT_EQ(graph.num_events(), 1u);
+  EXPECT_EQ(graph.Events()[0].source, EmbeddingArtifact("emb", 1));
+  EXPECT_EQ(graph.Events()[0].reason, StalenessReason::kSuperseded);
+  // Version chain and training source are edges now.
+  EXPECT_EQ(store.Lineage("emb@v2").value(),
+            (std::vector<std::string>{"emb@v2", "emb@v1"}));
+  auto out = graph.OutEdges(EmbeddingArtifact("emb", 1));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, EdgeKind::kTrainedOn);
+  EXPECT_EQ(out[0].to, TableArtifact("clicks"));
+
+  ASSERT_TRUE(store.Deprecate("emb", Hours(3)).ok());
+  auto info = graph.StalenessOf(EmbeddingArtifact("emb", 2));
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->reason, StalenessReason::kDeprecated);
+  EXPECT_TRUE(store.Deprecate("ghost", Hours(3)).IsNotFound());
+}
+
+TEST(LineageIntegrationTest, RegistryAnswersColumnImpactFromGraph) {
+  OfflineStore offline;
+  OfflineTableOptions options;
+  options.name = "src";
+  options.schema = Schema::Create({{"e", FeatureType::kInt64, false},
+                                   {"t", FeatureType::kTimestamp, false},
+                                   {"a", FeatureType::kDouble, true},
+                                   {"b", FeatureType::kDouble, true}})
+                       .value();
+  options.entity_column = "e";
+  options.time_column = "t";
+  ASSERT_TRUE(offline.CreateTable(options).ok());
+
+  LineageGraph graph;
+  FeatureRegistry registry(&offline, &graph);
+  FeatureDefinition def;
+  def.name = "fa";
+  def.entity = "user";
+  def.source_table = "src";
+  def.expression = "a * 2";
+  def.cadence = Hours(1);
+  ASSERT_TRUE(registry.Publish(def, Hours(1)).ok());
+  def.name = "fab";
+  def.expression = "a + b";
+  ASSERT_TRUE(registry.Publish(def, Hours(1)).ok());
+
+  EXPECT_EQ(registry.FeaturesReadingColumn("src", "a"),
+            (std::vector<std::string>{"fa", "fab"}));
+  EXPECT_EQ(registry.FeaturesReadingColumn("src", "b"),
+            (std::vector<std::string>{"fab"}));
+  EXPECT_TRUE(registry.FeaturesReadingColumn("src", "t").empty());
+
+  // Publishing fa v2 supersedes v1: v1 drops out of the column answer
+  // (only latest versions are live readers), and an event is recorded.
+  def.name = "fa";
+  def.expression = "a * 3";
+  ASSERT_TRUE(registry.Publish(def, Hours(2)).ok());
+  EXPECT_EQ(registry.FeaturesReadingColumn("src", "a"),
+            (std::vector<std::string>{"fa", "fab"}));
+  EXPECT_EQ(graph.Events().back().source, FeatureArtifact("fa", 1));
+
+  // The graph holds the full derivation: feature -> column -> table.
+  auto up = graph.UpstreamClosure(FeatureArtifact("fab", 1));
+  EXPECT_TRUE(Contains(up, ColumnArtifact("src", "a")));
+  EXPECT_TRUE(Contains(up, ColumnArtifact("src", "b")));
+  EXPECT_TRUE(Contains(up, TableArtifact("src")));
+
+  ASSERT_TRUE(registry.Deprecate("fab", Hours(3)).ok());
+  EXPECT_TRUE(graph.StalenessOf(FeatureArtifact("fab", 1)).has_value());
+}
+
+// --- End-to-end: deprecate -> alert + annotated serving --------------------
+
+class LineageE2ETest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = Schema::Create({{"user_id", FeatureType::kInt64, false},
+                              {"event_time", FeatureType::kTimestamp, false},
+                              {"trips", FeatureType::kInt64, true}})
+                  .value();
+    OfflineTableOptions opt;
+    opt.name = "activity";
+    opt.schema = schema_;
+    opt.entity_column = "user_id";
+    opt.time_column = "event_time";
+    ASSERT_TRUE(store_.CreateSourceTable(opt).ok());
+    ASSERT_TRUE(store_
+                    .Ingest("activity",
+                            {Row::Create(schema_, {Value::Int64(1),
+                                                   Value::Time(Hours(1)),
+                                                   Value::Int64(10)})
+                                 .value()})
+                    .ok());
+    FeatureDefinition def;
+    def.name = "trips_x2";
+    def.entity = "user";
+    def.source_table = "activity";
+    def.expression = "trips * 2";
+    def.cadence = Hours(1);
+    ASSERT_TRUE(store_.PublishFeature(def).ok());
+    ASSERT_TRUE(store_.RunMaterialization().ok());
+
+    EmbeddingTableMetadata metadata;
+    metadata.name = "user_emb";
+    auto table = EmbeddingTable::Create(metadata, {"1", "2"},
+                                        {1, 0, 0, 1}, 2).value();
+    ASSERT_TRUE(store_.RegisterEmbedding(table).ok());
+  }
+
+  FeatureStore store_;
+  SchemaPtr schema_;
+};
+
+TEST_F(LineageE2ETest, DeprecationReachesAlertsAndServedResponses) {
+  // Fresh: no annotations anywhere.
+  auto fv = store_.ServeFeatures(Value::Int64(1), {"trips_x2"}).value();
+  EXPECT_TRUE(fv.stale.empty());
+  auto ev = store_.ServeFeatures(Value::String("1"), {"user_emb"}).value();
+  EXPECT_TRUE(ev.stale.empty());
+
+  // Deprecating the embedding annotates embedding-hydrated responses and
+  // lands on the alert bus.
+  ASSERT_TRUE(store_.DeprecateEmbedding("user_emb").ok());
+  ev = store_.ServeFeatures(Value::String("1"), {"user_emb"}).value();
+  ASSERT_EQ(ev.stale.size(), 1u);
+  EXPECT_NE(ev.stale[0].find("user_emb"), std::string::npos);
+  EXPECT_NE(ev.stale[0].find("deprecated"), std::string::npos);
+  EXPECT_EQ(ev.values[0].type(), FeatureType::kEmbedding);  // Still served.
+  EXPECT_EQ(store_.alerts()
+                .WithPrefix("staleness:embedding:user_emb@v1").size(), 1u);
+
+  // Deprecating the feature taints its online view via the materializes
+  // edge, so tabular serving is annotated too.
+  ASSERT_TRUE(store_.DeprecateFeature("trips_x2").ok());
+  fv = store_.ServeFeatures(Value::Int64(1), {"trips_x2"}).value();
+  ASSERT_EQ(fv.stale.size(), 1u);
+  EXPECT_NE(fv.stale[0].find("trips_x2"), std::string::npos);
+  EXPECT_EQ(fv.values[0], Value::Int64(20));  // Value unchanged.
+  EXPECT_GE(store_.alerts().WithPrefix("staleness:feature:trips_x2").size(),
+            1u);
+
+  // ImpactOf answers the cross-layer question directly.
+  auto impact = store_.ImpactOf(FeatureArtifact("trips_x2", 1));
+  ASSERT_EQ(impact.size(), 1u);
+  EXPECT_EQ(impact[0], ViewArtifact("trips_x2"));
+  EXPECT_TRUE(store_.DeprecateFeature("ghost").IsNotFound());
+  EXPECT_TRUE(store_.DeprecateEmbedding("ghost").IsNotFound());
+}
+
+TEST_F(LineageE2ETest, SupersedingRefreshClearsViewTaint) {
+  // v1 deprecated -> view tainted; publishing v2 and re-materializing
+  // re-points the view at the healthy successor.
+  ASSERT_TRUE(store_.DeprecateFeature("trips_x2").ok());
+  ASSERT_TRUE(
+      store_.lineage().StalenessOf(ViewArtifact("trips_x2")).has_value());
+
+  FeatureDefinition def;
+  def.name = "trips_x2";
+  def.entity = "user";
+  def.source_table = "activity";
+  def.expression = "trips * 2 + 1";
+  def.cadence = Hours(1);
+  ASSERT_TRUE(store_.PublishFeature(def).ok());
+  store_.clock().AdvanceTo(Hours(5));
+  ASSERT_TRUE(store_.RunMaterialization().ok());
+  EXPECT_FALSE(
+      store_.lineage().StalenessOf(ViewArtifact("trips_x2")).has_value());
+  auto fv = store_.ServeFeatures(Value::Int64(1), {"trips_x2"}).value();
+  EXPECT_TRUE(fv.stale.empty());
+}
+
+TEST_F(LineageE2ETest, DriftMarksArtifactStale) {
+  // A drifted embedding update taints the *old* version (its geometry no
+  // longer matches what consumers trained against).
+  EmbeddingTableMetadata metadata;
+  metadata.name = "user_emb";
+  auto flipped = EmbeddingTable::Create(metadata, {"1", "2"},
+                                        {-1, 0, 0, -1}, 2).value();
+  ASSERT_TRUE(store_.RegisterEmbedding(flipped).ok());
+  auto report = store_.CheckEmbeddingUpdateDrift("user_emb", 1, 2);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_TRUE(report->drifted);
+  auto info = store_.lineage().StalenessOf(EmbeddingArtifact("user_emb", 1));
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->reason, StalenessReason::kDrift);
+  // Both the supersede (registration) and drift events are in the log.
+  bool saw_drift = false;
+  for (const auto& event : store_.lineage().Events()) {
+    saw_drift |= event.reason == StalenessReason::kDrift;
+  }
+  EXPECT_TRUE(saw_drift);
+}
+
+TEST_F(LineageE2ETest, ModelPinsShowUpInImpact) {
+  ModelRecord model;
+  model.name = "ranker";
+  model.embedding_refs = {"user_emb@v1"};
+  model.feature_refs = {"trips_x2@v1"};
+  ASSERT_TRUE(store_.RegisterModel(std::move(model)).ok());
+
+  auto impact = store_.ImpactOf(EmbeddingArtifact("user_emb", 1));
+  EXPECT_TRUE(Contains(impact, ModelArtifact("ranker", 1)));
+  impact = store_.ImpactOf(TableArtifact("activity"));
+  EXPECT_TRUE(Contains(impact, FeatureArtifact("trips_x2", 1)));
+  EXPECT_TRUE(Contains(impact, ModelArtifact("ranker", 1)));
+  EXPECT_TRUE(Contains(impact, ViewArtifact("trips_x2")));
+
+  // Deprecation fan-out counts its consumers in the alert message.
+  ASSERT_TRUE(store_.DeprecateEmbedding("user_emb").ok());
+  auto alerts = store_.alerts().WithPrefix("staleness:embedding:user_emb");
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_NE(alerts[0].message.find("impacted: 1 downstream"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mlfs

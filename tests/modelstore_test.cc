@@ -45,11 +45,12 @@ TEST(ModelRegistryTest, RegisterVersionsAndChecksum) {
   EXPECT_EQ(registry.num_models(), 1u);
 }
 
-TEST(ModelRegistryTest, SplitVersionedRef) {
-  EXPECT_EQ(SplitVersionedRef("emb@v3"), (std::pair<std::string, int>{"emb", 3}));
-  EXPECT_EQ(SplitVersionedRef("emb"), (std::pair<std::string, int>{"emb", 0}));
-  EXPECT_EQ(SplitVersionedRef("emb@vx"),
-            (std::pair<std::string, int>{"emb@vx", 0}));
+TEST(ModelRegistryTest, VersionedRefParsing) {
+  EXPECT_EQ(ParseVersionedRef("emb@v3"), (VersionedRef{"emb", 3}));
+  EXPECT_EQ(ParseVersionedRef("emb"), (VersionedRef{"emb", 0}));
+  EXPECT_EQ(ParseVersionedRef("emb@vx"), (VersionedRef{"emb@vx", 0}));
+  EXPECT_TRUE(ParseVersionedRef("emb@v3").pinned());
+  EXPECT_FALSE(ParseVersionedRef("emb").pinned());
 }
 
 TEST(ModelRegistryTest, DetectsEmbeddingVersionSkew) {
@@ -60,30 +61,69 @@ TEST(ModelRegistryTest, DetectsEmbeddingVersionSkew) {
   ASSERT_TRUE(registry.Register(BasicModel("ranker", "emb@v1"), Hours(1))
                   .ok());
   // No skew yet.
-  EXPECT_TRUE(registry.CheckEmbeddingSkew(embeddings).value().empty());
+  EXPECT_TRUE(registry.CheckEmbeddingSkew(embeddings).value().skews.empty());
 
   // Embedding updated; model still pinned to v1.
   ASSERT_TRUE(embeddings.Register(TinyTable("emb"), Hours(2)).ok());
-  auto skew = registry.CheckEmbeddingSkew(embeddings).value();
-  ASSERT_EQ(skew.size(), 1u);
-  EXPECT_EQ(skew[0].model, "ranker@v1");
-  EXPECT_EQ(skew[0].embedding, "emb");
-  EXPECT_EQ(skew[0].pinned_version, 1);
-  EXPECT_EQ(skew[0].latest_version, 2);
-  EXPECT_EQ(skew[0].lag(), 1);
+  auto report = registry.CheckEmbeddingSkew(embeddings).value();
+  ASSERT_EQ(report.skews.size(), 1u);
+  EXPECT_TRUE(report.dangling.empty());
+  EXPECT_EQ(report.skews[0].model, "ranker@v1");
+  EXPECT_EQ(report.skews[0].embedding, "emb");
+  EXPECT_EQ(report.skews[0].pinned_version, 1);
+  EXPECT_EQ(report.skews[0].latest_version, 2);
+  EXPECT_EQ(report.skews[0].lag(), 1);
 
   // Retraining against v2 clears the skew.
   ASSERT_TRUE(registry.Register(BasicModel("ranker", "emb@v2"), Hours(3))
                   .ok());
-  EXPECT_TRUE(registry.CheckEmbeddingSkew(embeddings).value().empty());
+  EXPECT_TRUE(registry.CheckEmbeddingSkew(embeddings).value().skews.empty());
 }
 
-TEST(ModelRegistryTest, SkewRejectsUnpinnedRefs) {
+TEST(ModelRegistryTest, SkewReportsUnpinnedRefsAsDangling) {
+  // An unpinned ref is a finding, not an error aborting the whole scan:
+  // skew elsewhere must still be detected.
+  EmbeddingStore embeddings;
+  ASSERT_TRUE(embeddings.Register(TinyTable("emb"), Hours(1)).ok());
+  ASSERT_TRUE(embeddings.Register(TinyTable("emb"), Hours(2)).ok());
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Register(BasicModel("ranker", "emb"), Hours(1)).ok());
+  ASSERT_TRUE(registry.Register(BasicModel("fraud", "emb@v1"), Hours(1)).ok());
+  auto report = registry.CheckEmbeddingSkew(embeddings).value();
+  ASSERT_EQ(report.dangling.size(), 1u);
+  EXPECT_EQ(report.dangling[0].model, "ranker@v1");
+  EXPECT_EQ(report.dangling[0].ref, "emb");
+  ASSERT_EQ(report.skews.size(), 1u);
+  EXPECT_EQ(report.skews[0].model, "fraud@v1");
+}
+
+TEST(ModelRegistryTest, SkewReportsUnresolvableRefsAsDangling) {
   EmbeddingStore embeddings;
   ASSERT_TRUE(embeddings.Register(TinyTable("emb"), Hours(1)).ok());
   ModelRegistry registry;
-  ASSERT_TRUE(registry.Register(BasicModel("ranker", "emb"), Hours(1)).ok());
-  EXPECT_FALSE(registry.CheckEmbeddingSkew(embeddings).ok());
+  // Pinned to a version the store never had, and to a name it doesn't know.
+  ASSERT_TRUE(registry.Register(BasicModel("ranker", "emb@v9"), Hours(1)).ok());
+  ASSERT_TRUE(registry.Register(BasicModel("eta", "ghost@v1"), Hours(1)).ok());
+  auto report = registry.CheckEmbeddingSkew(embeddings).value();
+  EXPECT_TRUE(report.skews.empty());
+  ASSERT_EQ(report.dangling.size(), 2u);
+}
+
+TEST(ModelRegistryTest, SkewDeduplicatesRepeatedRefs) {
+  // A model listing the same pinned ref twice (e.g. two towers sharing an
+  // embedding) must produce one skew row, not two.
+  EmbeddingStore embeddings;
+  ASSERT_TRUE(embeddings.Register(TinyTable("emb"), Hours(1)).ok());
+  ASSERT_TRUE(embeddings.Register(TinyTable("emb"), Hours(2)).ok());
+  ModelRegistry registry;
+  ModelRecord record = BasicModel("ranker", "emb@v1");
+  record.embedding_refs = {"emb@v1", "emb@v1", "emb"};
+  ASSERT_TRUE(registry.Register(std::move(record), Hours(1)).ok());
+  auto report = registry.CheckEmbeddingSkew(embeddings).value();
+  ASSERT_EQ(report.skews.size(), 1u);
+  EXPECT_EQ(report.skews[0].pinned_version, 1);
+  ASSERT_EQ(report.dangling.size(), 1u);  // "emb" once, despite the dup scan.
+  EXPECT_EQ(report.dangling[0].ref, "emb");
 }
 
 TEST(ModelRegistryTest, ConsumersOfEmbedding) {

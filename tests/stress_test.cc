@@ -523,5 +523,130 @@ TEST_F(StressTest, StreamPipelineMaterializationSurvivesFaults) {
   EXPECT_EQ(online_rows, static_cast<uint64_t>(kUsers));
 }
 
+// One LineageGraph shared by an EmbeddingStore and a ModelRegistry under
+// concurrent registration (graph writes + MarkStale fan-out), closure
+// readers, and a subscribed staleness listener. Certifies the graph's
+// shared_mutex discipline and the listeners-notified-outside-the-lock
+// contract under TSan:
+//   - every MarkStale event reaches both the event log and the listener
+//     (no event dropped or double-delivered)
+//   - closure/skew queries taken mid-churn never see torn state
+//   - final version chains and version counts are exact.
+TEST_F(StressTest, ConcurrentLineageRecordingAndClosureQueries) {
+  constexpr int kEmbWriters = 3;
+  constexpr int kVersionsPerWriter = 40;
+  constexpr int kModelWriters = 2;
+  constexpr int kModelsPerWriter = 150;
+  constexpr int kLineageReaders = 3;
+  constexpr int kQueriesPerReader = 400;
+
+  LineageGraph graph;
+  EmbeddingStore embeddings(&graph);
+  ModelRegistry models(&graph);
+
+  std::atomic<uint64_t> heard{0};
+  graph.Subscribe([&heard](const StalenessEvent& event) {
+    // Listeners run outside the graph lock: re-entering the graph from a
+    // listener must not deadlock.
+    (void)event.impacted.size();
+    heard.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  std::atomic<bool> done{false};
+  ThreadPool pool(kEmbWriters + kModelWriters + kLineageReaders);
+
+  for (int w = 0; w < kEmbWriters; ++w) {
+    pool.Submit([&embeddings, w] {
+      const std::string name = "emb_w" + std::to_string(w);
+      EmbeddingTableMetadata metadata;
+      metadata.name = name;
+      for (int v = 0; v < kVersionsPerWriter; ++v) {
+        if (v > 0) metadata.parent = name;  // Chain onto the latest.
+        auto table = EmbeddingTable::Create(
+            metadata, {"a", "b"}, {1.f * v, 0, 0, 1.f * v}, 2).value();
+        ASSERT_TRUE(embeddings.Register(table, Seconds(v + 1)).ok());
+      }
+    });
+  }
+  for (int w = 0; w < kModelWriters; ++w) {
+    pool.Submit([&models, w] {
+      Rng rng(77 + w);
+      for (int i = 0; i < kModelsPerWriter; ++i) {
+        ModelRecord record;
+        record.name = "model_w" + std::to_string(w) + "_" +
+                      std::to_string(i % 10);
+        record.task = "stress";
+        record.embedding_refs = {
+            "emb_w" + std::to_string(rng.Uniform(kEmbWriters)) + "@v" +
+            std::to_string(1 + rng.Uniform(kVersionsPerWriter))};
+        ASSERT_TRUE(models.Register(std::move(record), Seconds(i)).ok());
+      }
+    });
+  }
+  for (int r = 0; r < kLineageReaders; ++r) {
+    pool.Submit([&graph, &embeddings, &models, &done, r] {
+      Rng rng(5000 + r);
+      for (int i = 0; i < kQueriesPerReader && !done.load(); ++i) {
+        const std::string name =
+            "emb_w" + std::to_string(rng.Uniform(kEmbWriters));
+        auto versions = graph.VersionsOf(ArtifactKind::kEmbedding, name);
+        // Versions appear strictly ascending; a reader never sees dups or
+        // disorder. (Gaps are possible mid-flight: a model's pin edge can
+        // intern a version node before the store registers it.)
+        for (size_t v = 1; v < versions.size(); ++v) {
+          ASSERT_LT(versions[v - 1].version, versions[v].version);
+        }
+        if (!versions.empty()) {
+          size_t pick = rng.Uniform(versions.size());
+          (void)graph.ImpactSet(versions[pick]);
+          (void)graph.StalenessOf(versions[pick]);
+          auto chain = embeddings.Lineage(name);
+          if (chain.ok() && chain->size() > 1) {
+            // A multi-hop chain is contiguous: each hop steps one version
+            // down (a just-registered head may briefly lack its parent
+            // edge, giving a single-element chain — never a torn one).
+            ASSERT_EQ(chain->size(),
+                      static_cast<size_t>(
+                          ParseVersionedRef(chain->front()).version));
+          }
+        }
+        (void)models.CheckEmbeddingSkew(embeddings);
+      }
+    });
+  }
+  pool.Wait();
+  done.store(true);
+
+  // Exactly one supersede event per non-initial registration, each heard
+  // exactly once.
+  const uint64_t expected_events =
+      static_cast<uint64_t>(kEmbWriters) * (kVersionsPerWriter - 1);
+  EXPECT_EQ(graph.num_events(), expected_events);
+  EXPECT_EQ(heard.load(), expected_events);
+  for (int w = 0; w < kEmbWriters; ++w) {
+    const std::string name = "emb_w" + std::to_string(w);
+    EXPECT_EQ(graph.VersionsOf(ArtifactKind::kEmbedding, name).size(),
+              static_cast<size_t>(kVersionsPerWriter));
+    // Full parent chain survives: latest walks back to v1.
+    EXPECT_EQ(embeddings.Lineage(name).value().size(),
+              static_cast<size_t>(kVersionsPerWriter));
+    // All but the latest version were superseded (annotated stale).
+    for (int v = 1; v < kVersionsPerWriter; ++v) {
+      EXPECT_TRUE(graph.StalenessOf(EmbeddingArtifact(name, v)).has_value())
+          << name << " v" << v;
+    }
+    EXPECT_FALSE(
+        graph.StalenessOf(EmbeddingArtifact(name, kVersionsPerWriter))
+            .has_value());
+  }
+  // The graph agrees with the model registry about consumers.
+  auto skews = models.CheckEmbeddingSkew(embeddings).value();
+  EXPECT_TRUE(skews.dangling.empty());
+  for (const VersionSkew& skew : skews.skews) {
+    EXPECT_LT(skew.pinned_version, skew.latest_version);
+    EXPECT_EQ(skew.latest_version, kVersionsPerWriter);
+  }
+}
+
 }  // namespace
 }  // namespace mlfs
