@@ -4,12 +4,21 @@
 // leakage-free; without them (naive latest-value join) a large fraction of
 // training cells silently contain future information.
 //
-// Reproduces: (a) leakage count of the naive join vs the PIT join across
-// spine positions, (b) join throughput.
+// Reproduces: (a) training-set generation throughput of the batched
+// sort-merge join engine vs the row-at-a-time reference across spine sizes
+// (1k / 100k), source counts (1 / 4) and the thread knob (1 / 2 / 4), on a
+// fixture of 4 sources x 260k rows (1.04M rows over ~32 daily partitions,
+// 5k entities); (b) with --leakage, the leakage count of the naive join vs
+// the PIT join across spine positions.
+//
+// Medians are committed as bench/BENCH_pit_join.json:
+//   ./bench_pit_join --benchmark_repetitions=5
+//       --benchmark_report_aggregates_only=true --benchmark_format=json
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 
 #include "common/rng.h"
 #include "serving/point_in_time.h"
@@ -18,77 +27,137 @@
 namespace mlfs {
 namespace {
 
+constexpr size_t kEntities = 5000;
+constexpr size_t kNumSources = 4;
+constexpr size_t kRowsPerSource = 260000;  // 4 x 260k = 1.04M rows total.
+constexpr size_t kSpineRows = 100000;
+constexpr Timestamp kSpan = Days(32);  // >=30 daily partitions per source.
+
 struct JoinFixture {
   OfflineStore store;
-  OfflineTable* table = nullptr;
+  std::vector<const OfflineTable*> tables;
   SchemaPtr feature_schema;
   SchemaPtr spine_schema;
   std::vector<Row> spine;
 
-  JoinFixture(size_t entities, size_t snapshots, size_t spine_rows,
-              uint64_t seed) {
+  JoinFixture() {
     feature_schema =
         Schema::Create({{"entity", FeatureType::kInt64, false},
                         {"event_time", FeatureType::kTimestamp, false},
                         {"x", FeatureType::kDouble, true}})
             .value();
-    OfflineTableOptions options;
-    options.name = "features";
-    options.schema = feature_schema;
-    options.entity_column = "entity";
-    options.time_column = "event_time";
-    MLFS_CHECK_OK(store.CreateTable(options));
-    table = store.GetTable("features").value();
-    Rng rng(seed);
-    std::vector<Row> rows;
-    for (size_t e = 0; e < entities; ++e) {
-      for (size_t s = 0; s < snapshots; ++s) {
+    Rng rng(1);
+    for (size_t s = 0; s < kNumSources; ++s) {
+      OfflineTableOptions options;
+      options.name = "features_" + std::to_string(s);
+      options.schema = feature_schema;
+      options.entity_column = "entity";
+      options.time_column = "event_time";
+      MLFS_CHECK_OK(store.CreateTable(options));
+      OfflineTable* table = store.GetTable(options.name).value();
+      std::vector<Row> rows;
+      rows.reserve(kRowsPerSource);
+      for (size_t i = 0; i < kRowsPerSource; ++i) {
         rows.push_back(Row::CreateUnsafe(
             feature_schema,
-            {Value::Int64(static_cast<int64_t>(e)),
-             Value::Time(static_cast<Timestamp>(rng.Uniform(Days(30)))),
+            {Value::Int64(static_cast<int64_t>(rng.Uniform(kEntities))),
+             Value::Time(static_cast<Timestamp>(rng.Uniform(kSpan))),
              Value::Double(rng.Gaussian())}));
       }
+      MLFS_CHECK_OK(table->AppendBatch(rows));
+      tables.push_back(table);
     }
-    MLFS_CHECK_OK(table->AppendBatch(rows));
     spine_schema = Schema::Create({{"entity", FeatureType::kInt64, false},
                                    {"ts", FeatureType::kTimestamp, false}})
                        .value();
-    for (size_t i = 0; i < spine_rows; ++i) {
+    spine.reserve(kSpineRows);
+    for (size_t i = 0; i < kSpineRows; ++i) {
       spine.push_back(Row::CreateUnsafe(
           spine_schema,
-          {Value::Int64(static_cast<int64_t>(rng.Uniform(entities))),
-           Value::Time(static_cast<Timestamp>(rng.Uniform(Days(30))))}));
+          {Value::Int64(static_cast<int64_t>(rng.Uniform(kEntities))),
+           Value::Time(static_cast<Timestamp>(rng.Uniform(kSpan)))}));
     }
+  }
+
+  std::vector<JoinSource> Sources(size_t n) const {
+    std::vector<JoinSource> sources;
+    for (size_t s = 0; s < n; ++s) {
+      JoinSource source;
+      source.table = tables[s];
+      source.columns = {"x"};
+      source.output_columns = {"x" + std::to_string(s)};
+      sources.push_back(std::move(source));
+    }
+    return sources;
+  }
+
+  std::vector<Row> Spine(size_t n) const {
+    return std::vector<Row>(spine.begin(), spine.begin() + n);
   }
 };
 
 JoinFixture& Fixture() {
-  static auto* fixture = new JoinFixture(5000, 10, 20000, 1);
+  static auto* fixture = new JoinFixture();
   return *fixture;
 }
 
-void BM_PointInTimeJoin(benchmark::State& state) {
+// Row-at-a-time baseline: one locked OfflineTable::AsOf per spine row per
+// source.
+void BM_ReferenceJoin(benchmark::State& state) {
   auto& fixture = Fixture();
+  const std::vector<Row> spine =
+      fixture.Spine(static_cast<size_t>(state.range(0)));
+  const std::vector<JoinSource> sources =
+      fixture.Sources(static_cast<size_t>(state.range(1)));
   for (auto _ : state) {
-    auto result = PointInTimeJoin(fixture.spine, "entity", "ts",
-                                  {{fixture.table, {"x"}, "", 0, {}}});
+    auto result = PointInTimeJoinReference(spine, "entity", "ts", sources);
+    MLFS_CHECK_OK(result.status());
     benchmark::DoNotOptimize(result);
   }
-  state.SetItemsProcessed(state.iterations() * fixture.spine.size());
+  state.SetItemsProcessed(state.iterations() * spine.size());
 }
-BENCHMARK(BM_PointInTimeJoin)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ReferenceJoin)
+    ->ArgNames({"spine", "sources"})
+    ->ArgsProduct({{1000, 100000}, {1, 4}})
+    ->Unit(benchmark::kMillisecond);
+
+// Batched sort-merge engine; threads drives JoinOptions::max_threads.
+void BM_MergeJoin(benchmark::State& state) {
+  auto& fixture = Fixture();
+  const std::vector<Row> spine =
+      fixture.Spine(static_cast<size_t>(state.range(0)));
+  const std::vector<JoinSource> sources =
+      fixture.Sources(static_cast<size_t>(state.range(1)));
+  JoinOptions options;
+  options.max_threads = static_cast<uint32_t>(state.range(2));
+  for (auto _ : state) {
+    auto result = PointInTimeJoin(spine, "entity", "ts", sources, options);
+    MLFS_CHECK_OK(result.status());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * spine.size());
+}
+BENCHMARK(BM_MergeJoin)
+    ->ArgNames({"spine", "sources", "threads"})
+    ->ArgsProduct({{1000, 100000}, {1, 4}, {1, 2, 4}})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_NaiveLatestJoin(benchmark::State& state) {
   auto& fixture = Fixture();
+  const std::vector<Row> spine =
+      fixture.Spine(static_cast<size_t>(state.range(0)));
+  const std::vector<JoinSource> sources = fixture.Sources(kNumSources);
   for (auto _ : state) {
-    auto result = NaiveLatestJoin(fixture.spine, "entity", "ts",
-                                  {{fixture.table, {"x"}, "", 0, {}}});
+    auto result = NaiveLatestJoin(spine, "entity", "ts", sources);
+    MLFS_CHECK_OK(result.status());
     benchmark::DoNotOptimize(result);
   }
-  state.SetItemsProcessed(state.iterations() * fixture.spine.size());
+  state.SetItemsProcessed(state.iterations() * spine.size());
 }
-BENCHMARK(BM_NaiveLatestJoin)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NaiveLatestJoin)
+    ->ArgNames({"spine"})
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
 
 void PrintLeakageTable() {
   std::printf("\n[E2] training-data leakage: naive latest-join vs "
@@ -96,25 +165,22 @@ void PrintLeakageTable() {
   std::printf("%-22s %12s %14s %14s\n", "spine position", "spine rows",
               "leaked cells", "leak rate");
   auto& fixture = Fixture();
+  const std::vector<JoinSource> sources = fixture.Sources(1);
   // Partition the spine by how early in history the label falls: early
   // labels leak more because more of the feature history is "the future".
   for (auto [name, lo, hi] :
        {std::tuple<const char*, Timestamp, Timestamp>{"early (day 0-10)", 0,
                                                       Days(10)},
         {"mid (day 10-20)", Days(10), Days(20)},
-        {"late (day 20-30)", Days(20), Days(30)}}) {
+        {"late (day 20-32)", Days(20), Days(32)}}) {
     std::vector<Row> part;
     for (const Row& row : fixture.spine) {
       Timestamp t = row.value(1).time_value();
       if (t >= lo && t < hi) part.push_back(row);
     }
     if (part.empty()) continue;
-    auto correct = PointInTimeJoin(part, "entity", "ts",
-                                   {{fixture.table, {"x"}, "", 0, {}}})
-                       .value();
-    auto naive = NaiveLatestJoin(part, "entity", "ts",
-                                 {{fixture.table, {"x"}, "", 0, {}}})
-                     .value();
+    auto correct = PointInTimeJoin(part, "entity", "ts", sources).value();
+    auto naive = NaiveLatestJoin(part, "entity", "ts", sources).value();
     uint64_t leaked = CountDivergentCells(correct, naive).value();
     std::printf("%-22s %12zu %14llu %13.1f%%\n", name, part.size(),
                 static_cast<unsigned long long>(leaked),
@@ -129,9 +195,22 @@ void PrintLeakageTable() {
 }  // namespace mlfs
 
 int main(int argc, char** argv) {
+  // The leakage table is opt-in (--leakage): it joins the full 100k spine
+  // three times outside the timed sections, which would double the runtime
+  // of every benchmark invocation (including CTest smoke runs).
+  bool leakage = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--leakage") == 0) {
+      leakage = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  mlfs::PrintLeakageTable();
+  if (leakage) mlfs::PrintLeakageTable();
   benchmark::Shutdown();
   return 0;
 }

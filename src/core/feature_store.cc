@@ -64,7 +64,8 @@ StatusOr<FeatureVector> FeatureStore::ServeFeatures(
 StatusOr<TrainingSet> FeatureStore::BuildTrainingSet(
     const std::vector<Row>& spine, const std::string& spine_entity_column,
     const std::string& spine_time_column,
-    const std::vector<std::string>& features, Timestamp max_age) {
+    const std::vector<std::string>& features, Timestamp max_age,
+    const JoinOptions& join_options) {
   std::vector<JoinSource> sources;
   sources.reserve(features.size());
   for (const std::string& feature : features) {
@@ -81,7 +82,7 @@ StatusOr<TrainingSet> FeatureStore::BuildTrainingSet(
     sources.push_back(std::move(source));
   }
   return PointInTimeJoin(spine, spine_entity_column, spine_time_column,
-                         sources);
+                         sources, join_options);
 }
 
 StatusOr<StreamPipeline*> FeatureStore::CreateStreamPipeline(

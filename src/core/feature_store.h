@@ -87,11 +87,13 @@ class FeatureStore {
 
   /// Leakage-free training set: point-in-time joins each feature's
   /// materialization log onto the spine; output columns carry the feature
-  /// names. `max_age` 0 disables age filtering.
+  /// names. `max_age` 0 disables age filtering. `join_options` fans the
+  /// merge-join out across sources/entity shards for large spines.
   StatusOr<TrainingSet> BuildTrainingSet(
       const std::vector<Row>& spine, const std::string& spine_entity_column,
       const std::string& spine_time_column,
-      const std::vector<std::string>& features, Timestamp max_age = 0);
+      const std::vector<std::string>& features, Timestamp max_age = 0,
+      const JoinOptions& join_options = {});
 
   /// Creates a streaming feature view materializing into both stores.
   /// The returned pipeline is owned by the store.

@@ -51,7 +51,13 @@ StatusOr<MaterializationResult> Materializer::Materialize(
 
   MaterializationResult result;
   result.ran_at = now;
-  for (const Row& source_row : source->LatestPerEntityAsOf(now)) {
+  const std::vector<Row> latest = source->LatestPerEntityAsOf(now);
+  // Buffer the feature-log rows and flush them in one AppendBatch (one
+  // exclusive lock for the run) instead of taking the log table's write
+  // lock once per entity.
+  std::vector<Row> log_rows;
+  log_rows.reserve(latest.size());
+  for (const Row& source_row : latest) {
     MLFS_ASSIGN_OR_RETURN(Value value, compiled.Eval(source_row));
     if (value.is_null()) ++result.null_values;
     Timestamp event_time = source_row.value(time_idx).time_value();
@@ -62,9 +68,11 @@ StatusOr<MaterializationResult> Materializer::Materialize(
     MLFS_RETURN_IF_ERROR(online_->Put(view, source_row.value(entity_idx),
                                       out_row, event_time, now,
                                       feature.def.online_ttl));
-    MLFS_RETURN_IF_ERROR(log_table->Append(out_row));
+    log_rows.push_back(std::move(out_row));
     ++result.entities_updated;
   }
+  MLFS_RETURN_IF_ERROR(log_table->AppendBatch(log_rows));
+  result.rows_written = log_rows.size();
   if (lineage_ != nullptr) {
     // Stamp which feature version this view now serves; a re-run against a
     // fresh version clears the view's staleness annotation.

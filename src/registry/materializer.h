@@ -17,6 +17,9 @@ struct MaterializationResult {
   /// Rows whose expression evaluated to NULL (still written; NULL is a
   /// legal feature value the quality layer tracks).
   uint64_t null_values = 0;
+  /// Rows flushed to the offline feature log (one AppendBatch per run,
+  /// not one exclusive-locked Append per entity).
+  uint64_t rows_written = 0;
   Timestamp ran_at = 0;
 };
 

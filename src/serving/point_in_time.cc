@@ -1,7 +1,11 @@
 #include "serving/point_in_time.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <memory>
 
+#include "common/threadpool.h"
 #include "storage/entity_key.h"
 
 namespace mlfs {
@@ -84,14 +88,13 @@ StatusOr<std::pair<SchemaPtr, std::vector<ResolvedSource>>> PrepareJoin(
   return std::make_pair(std::move(out_schema), std::move(resolved));
 }
 
-using AsOfFn = StatusOr<Row> (*)(const ResolvedSource&, const Value&,
-                                 Timestamp);
-
-StatusOr<TrainingSet> JoinImpl(const std::vector<Row>& spine,
-                               const std::string& spine_entity_column,
-                               const std::string& spine_time_column,
-                               const std::vector<JoinSource>& sources,
-                               bool point_in_time) {
+// Row-at-a-time oracle: one locked AsOf per spine row per source. Kept as
+// the reference the merge-join engine must reproduce byte-for-byte.
+StatusOr<TrainingSet> ReferenceJoinImpl(const std::vector<Row>& spine,
+                                        const std::string& spine_entity_column,
+                                        const std::string& spine_time_column,
+                                        const std::vector<JoinSource>& sources,
+                                        bool point_in_time) {
   MLFS_ASSIGN_OR_RETURN(auto prepared,
                         PrepareJoin(spine, spine_entity_column,
                                     spine_time_column, sources));
@@ -138,22 +141,243 @@ StatusOr<TrainingSet> JoinImpl(const std::vector<Row>& spine,
   return out;
 }
 
+// First (up to) 8 key bytes packed big-endian, so a single integer compare
+// resolves most key orderings before falling back to byte-wise compare.
+// prefix(a) < prefix(b) implies a < b lexicographically; equality falls
+// through to the full comparison.
+uint64_t KeyPrefix(const std::string& key) {
+  unsigned char buf[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  std::memcpy(buf, key.data(), std::min<size_t>(key.size(), 8));
+  uint64_t p = 0;
+  for (int i = 0; i < 8; ++i) p = (p << 8) | buf[i];
+  return p;
+}
+
+// Batched sort-merge as-of join (see point_in_time.h). Produces output
+// identical to ReferenceJoinImpl; the pit_merge property suite pins it.
+StatusOr<TrainingSet> MergeJoinImpl(const std::vector<Row>& spine,
+                                    const std::string& spine_entity_column,
+                                    const std::string& spine_time_column,
+                                    const std::vector<JoinSource>& sources,
+                                    bool point_in_time,
+                                    const JoinOptions& options) {
+  MLFS_ASSIGN_OR_RETURN(auto prepared,
+                        PrepareJoin(spine, spine_entity_column,
+                                    spine_time_column, sources));
+  SchemaPtr out_schema = std::move(prepared.first);
+  std::vector<ResolvedSource> resolved = std::move(prepared.second);
+  const SchemaPtr& spine_schema = spine.front().schema();
+  const int spine_entity_idx = spine_schema->FieldIndex(spine_entity_column);
+  const int spine_time_idx = spine_schema->FieldIndex(spine_time_column);
+  const size_t n = spine.size();
+
+  // 1. Validate the spine and canonicalize every entity key exactly once.
+  //    A key that is not INT64/STRING is not an error (the reference path
+  //    treats the per-row AsOf failure as a miss): the row simply misses
+  //    every source.
+  std::vector<std::string> keys(n);
+  std::vector<Timestamp> times(n, 0);
+  constexpr uint32_t kNoRequest = UINT32_MAX;
+  std::vector<uint32_t> pos_of_row(n, kNoRequest);
+  // Value-packed sort entries: the prefix and query timestamp travel with
+  // the index so most comparisons stay inside the 24-byte struct instead
+  // of chasing three side arrays per compare.
+  struct SortEntry {
+    uint64_t prefix;
+    Timestamp query_ts;
+    uint32_t row;
+  };
+  std::vector<SortEntry> ents;
+  ents.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Row& spine_row = spine[i];
+    if (spine_row.schema() == nullptr ||
+        !(*spine_row.schema() == *spine_schema)) {
+      return Status::InvalidArgument("spine rows have mixed schemas");
+    }
+    times[i] = spine_row.value(spine_time_idx).time_value();
+    StatusOr<std::string> key =
+        EntityKeyToString(spine_row.value(spine_entity_idx));
+    if (!key.ok()) continue;
+    keys[i] = std::move(*key);
+    ents.push_back({KeyPrefix(keys[i]),
+                    point_in_time ? times[i] : kMaxTimestamp,
+                    static_cast<uint32_t>(i)});
+  }
+
+  // 2. Sort by (key, query ts). The key order itself is irrelevant — the
+  //    batch contract only needs equal keys contiguous with ascending
+  //    timestamps — so the integer prefix carries almost every comparison;
+  //    only prefix ties fall back to the full byte-wise key compare.
+  std::sort(ents.begin(), ents.end(),
+            [&](const SortEntry& a, const SortEntry& b) {
+              if (a.prefix != b.prefix) return a.prefix < b.prefix;
+              const int c = keys[a.row].compare(keys[b.row]);
+              if (c != 0) return c < 0;
+              return a.query_ts < b.query_ts;
+            });
+  const size_t m = ents.size();
+  std::vector<AsOfRequest> requests(m);
+  for (size_t p = 0; p < m; ++p) {
+    requests[p] = {keys[ents[p].row], ents[p].query_ts};
+    pos_of_row[ents[p].row] = static_cast<uint32_t>(p);
+  }
+
+  // 3. Fan out: sources × entity-range shards of the sorted request array
+  //    (shards cut at key boundaries so no entity's run is split).
+  std::unique_ptr<ThreadPool> local_pool;
+  ThreadPool* pool = options.pool;
+  if (pool == nullptr && options.max_threads > 1) {
+    local_pool = std::make_unique<ThreadPool>(options.max_threads);
+    pool = local_pool.get();
+  }
+  std::vector<std::pair<size_t, size_t>> shards;
+  {
+    const size_t want = pool != nullptr ? pool->num_threads() * 2 : 1;
+    const size_t target = m == 0 ? 0 : (m + want - 1) / want;
+    size_t start = 0;
+    while (start < m) {
+      size_t stop = std::min(m, start + target);
+      while (stop < m && requests[stop].key == requests[stop - 1].key) ++stop;
+      shards.emplace_back(start, stop);
+      start = stop;
+    }
+  }
+  std::vector<std::vector<Row>> source_rows(resolved.size());
+  for (auto& rows : source_rows) rows.resize(m);
+  const size_t num_tasks = resolved.size() * shards.size();
+  std::vector<Status> task_status(num_tasks);
+  ParallelFor(pool, 0, num_tasks, [&](size_t task) {
+    const size_t s = task / shards.size();
+    const auto [start, stop] = shards[task % shards.size()];
+    task_status[task] = resolved[s].table->AsOfBatch(
+        std::span<const AsOfRequest>(requests.data() + start, stop - start),
+        std::span<Row>(source_rows[s].data() + start, stop - start));
+  });
+  for (Status& s : task_status) {
+    MLFS_RETURN_IF_ERROR(std::move(s));
+  }
+
+  // 4. Assemble output rows in spine order: reserve the full output width
+  //    once per row instead of copy-and-growing from the spine values.
+  TrainingSet out;
+  out.schema = out_schema;
+  out.rows.assign(n, Row());
+  const size_t out_width = out_schema->num_fields();
+  std::atomic<uint64_t> missing{0};
+  const size_t num_sources = resolved.size();
+  const auto assemble = [&](size_t r) {
+    // The source rows for spine row r sit at a position that is random
+    // with respect to r (the batch answered them in sorted key order), so
+    // reading them chases three dependent allocations per row — the Row
+    // object, its shared buffer header, and the buffer's element storage.
+    // A three-stage prefetch pipeline overlaps the misses: objects three
+    // stages ahead, headers two ahead, element data one ahead.
+    constexpr size_t kFetch = 8;
+    if (r + 3 * kFetch < n) {
+      const uint32_t p3 = pos_of_row[r + 3 * kFetch];
+      if (p3 != kNoRequest) {
+        for (size_t s = 0; s < num_sources; ++s) {
+          __builtin_prefetch(&source_rows[s][p3]);
+        }
+      }
+    }
+    if (r + 2 * kFetch < n) {
+      const uint32_t p2 = pos_of_row[r + 2 * kFetch];
+      if (p2 != kNoRequest) {
+        for (size_t s = 0; s < num_sources; ++s) {
+          __builtin_prefetch(source_rows[s][p2].payload_address());
+        }
+      }
+    }
+    if (r + kFetch < n) {
+      const uint32_t p1 = pos_of_row[r + kFetch];
+      if (p1 != kNoRequest) {
+        for (size_t s = 0; s < num_sources; ++s) {
+          const Row& ahead = source_rows[s][p1];
+          if (ahead.schema() != nullptr &&
+              !resolved[s].column_indices.empty()) {
+            __builtin_prefetch(ahead.values().data() +
+                               resolved[s].column_indices.front());
+          }
+        }
+      }
+    }
+    std::vector<Value> values;
+    values.reserve(out_width);
+    const std::vector<Value>& spine_values = spine[r].values();
+    values.insert(values.end(), spine_values.begin(), spine_values.end());
+    uint64_t row_missing = 0;
+    const uint32_t pos = pos_of_row[r];
+    for (size_t s = 0; s < resolved.size(); ++s) {
+      const ResolvedSource& rs = resolved[s];
+      const Row* src = nullptr;
+      if (pos != kNoRequest && source_rows[s][pos].schema() != nullptr) {
+        src = &source_rows[s][pos];
+      }
+      bool usable = src != nullptr;
+      if (usable && point_in_time && rs.max_age > 0) {
+        Timestamp event_time = src->value(rs.time_idx).time_value();
+        usable = event_time >= times[r] - rs.max_age;
+      }
+      if (usable) {
+        for (int idx : rs.column_indices) values.push_back(src->value(idx));
+      } else {
+        values.insert(values.end(), rs.column_indices.size(), Value::Null());
+        row_missing += rs.column_indices.size();
+      }
+    }
+    out.rows[r] = Row::CreateUnsafe(out_schema, std::move(values));
+    if (row_missing != 0) {
+      missing.fetch_add(row_missing, std::memory_order_relaxed);
+    }
+  };
+  if (pool == nullptr) {
+    // Serial fast path: calling the lambda directly (instead of through
+    // ParallelFor's std::function) lets the compiler inline the row body
+    // into the loop and hoist the per-source invariants.
+    for (size_t r = 0; r < n; ++r) assemble(r);
+  } else {
+    ParallelFor(pool, 0, n, assemble);
+  }
+  out.missing_cells = missing.load(std::memory_order_relaxed);
+  return out;
+}
+
 }  // namespace
 
 StatusOr<TrainingSet> PointInTimeJoin(const std::vector<Row>& spine,
                                       const std::string& spine_entity_column,
                                       const std::string& spine_time_column,
-                                      const std::vector<JoinSource>& sources) {
-  return JoinImpl(spine, spine_entity_column, spine_time_column, sources,
-                  /*point_in_time=*/true);
+                                      const std::vector<JoinSource>& sources,
+                                      const JoinOptions& options) {
+  return MergeJoinImpl(spine, spine_entity_column, spine_time_column, sources,
+                       /*point_in_time=*/true, options);
 }
 
 StatusOr<TrainingSet> NaiveLatestJoin(const std::vector<Row>& spine,
                                       const std::string& spine_entity_column,
                                       const std::string& spine_time_column,
-                                      const std::vector<JoinSource>& sources) {
-  return JoinImpl(spine, spine_entity_column, spine_time_column, sources,
-                  /*point_in_time=*/false);
+                                      const std::vector<JoinSource>& sources,
+                                      const JoinOptions& options) {
+  return MergeJoinImpl(spine, spine_entity_column, spine_time_column, sources,
+                       /*point_in_time=*/false, options);
+}
+
+StatusOr<TrainingSet> PointInTimeJoinReference(
+    const std::vector<Row>& spine, const std::string& spine_entity_column,
+    const std::string& spine_time_column,
+    const std::vector<JoinSource>& sources) {
+  return ReferenceJoinImpl(spine, spine_entity_column, spine_time_column,
+                           sources, /*point_in_time=*/true);
+}
+
+StatusOr<TrainingSet> NaiveLatestJoinReference(
+    const std::vector<Row>& spine, const std::string& spine_entity_column,
+    const std::string& spine_time_column,
+    const std::vector<JoinSource>& sources) {
+  return ReferenceJoinImpl(spine, spine_entity_column, spine_time_column,
+                           sources, /*point_in_time=*/false);
 }
 
 StatusOr<uint64_t> CountDivergentCells(const TrainingSet& reference,

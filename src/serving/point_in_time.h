@@ -10,6 +10,8 @@
 
 namespace mlfs {
 
+class ThreadPool;
+
 /// One feature source to join onto the spine.
 struct JoinSource {
   /// Historical table to read from (not owned; must outlive the join).
@@ -37,6 +39,17 @@ struct TrainingSet {
   uint64_t missing_cells = 0;
 };
 
+/// Execution knobs for the batched join engine. Mirrors FeatureServer's
+/// view fan-out: work splits across sources and, within a source, across
+/// entity-range shards of the sorted request array.
+struct JoinOptions {
+  /// External worker pool (not owned). Takes precedence over max_threads.
+  ThreadPool* pool = nullptr;
+  /// When `pool` is null and max_threads > 1, the join runs on an internal
+  /// pool of this many workers; 1 keeps everything on the calling thread.
+  uint32_t max_threads = 1;
+};
+
 /// Point-in-time (as-of) join: for each spine row (entity, t, labels...),
 /// attaches each source's latest values with event time <= t. This is the
 /// feature-store primitive that makes training sets *leakage-free* — a
@@ -48,10 +61,19 @@ struct TrainingSet {
 /// (INT64/STRING) and `spine_time_column` (TIMESTAMP). Output columns are
 /// the spine columns followed by each source's projected columns (all
 /// nullable, NULL when no history qualifies).
+///
+/// Executes as a batched sort-merge as-of join: spine entity keys are
+/// canonicalized once, an index permutation of the spine is sorted by
+/// (key, ts), and each source is answered with OfflineTable::AsOfBatch
+/// calls — one shared-lock acquisition per shard instead of one per spine
+/// row per source. `options` fans work out across sources and entity-range
+/// shards. Output is identical to the retained row-at-a-time reference
+/// (PointInTimeJoinReference), which a property test enforces.
 StatusOr<TrainingSet> PointInTimeJoin(const std::vector<Row>& spine,
                                       const std::string& spine_entity_column,
                                       const std::string& spine_time_column,
-                                      const std::vector<JoinSource>& sources);
+                                      const std::vector<JoinSource>& sources,
+                                      const JoinOptions& options = {});
 
 /// Deliberately *incorrect* baseline: joins each source's globally latest
 /// value per entity, ignoring the spine timestamp. This is what ad-hoc
@@ -60,7 +82,22 @@ StatusOr<TrainingSet> PointInTimeJoin(const std::vector<Row>& spine,
 StatusOr<TrainingSet> NaiveLatestJoin(const std::vector<Row>& spine,
                                       const std::string& spine_entity_column,
                                       const std::string& spine_time_column,
-                                      const std::vector<JoinSource>& sources);
+                                      const std::vector<JoinSource>& sources,
+                                      const JoinOptions& options = {});
+
+/// Row-at-a-time reference implementations: one locked OfflineTable::AsOf
+/// per spine row per source. Retained as the correctness oracle for the
+/// merge-join property suite and as the baseline in bench_pit_join; not a
+/// serving path.
+StatusOr<TrainingSet> PointInTimeJoinReference(
+    const std::vector<Row>& spine, const std::string& spine_entity_column,
+    const std::string& spine_time_column,
+    const std::vector<JoinSource>& sources);
+
+StatusOr<TrainingSet> NaiveLatestJoinReference(
+    const std::vector<Row>& spine, const std::string& spine_entity_column,
+    const std::string& spine_time_column,
+    const std::vector<JoinSource>& sources);
 
 /// Counts cells in `candidate` whose value differs from the leakage-free
 /// reference join (same shape required): a measure of silent training bias.

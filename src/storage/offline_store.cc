@@ -1,6 +1,7 @@
 #include "storage/offline_store.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/failpoint.h"
 #include "common/serde.h"
@@ -71,7 +72,8 @@ Status OfflineTable::AppendLocked(const Row& row) {
     return Status::InvalidArgument("event time is null");
   }
   Timestamp ts = tvalue.time_value();
-  Partition& part = partitions_[PartitionIdFor(ts)];
+  const int64_t pid = PartitionIdFor(ts);
+  Partition& part = partitions_[pid];
   size_t idx = part.rows.size();
   part.rows.push_back(row);
   auto& postings = part.index[key];
@@ -81,6 +83,16 @@ Status OfflineTable::AppendLocked(const Row& row) {
       postings.begin(), postings.end(), ts,
       [](Timestamp t, const IndexEntry& e) { return t < e.ts; });
   postings.insert(pos, IndexEntry{ts, idx});
+  // Mirror the insert into the key directory's merged stream. upper_bound
+  // places equal timestamps after existing ones — the same
+  // most-recently-appended tie-break as the per-partition postings — and
+  // partitions cover disjoint time ranges, so ts order alone keeps the
+  // merged stream consistent with a partition-ordered walk.
+  std::vector<GlobalPosting>& merged = key_directory_[key];
+  auto gpos = std::upper_bound(
+      merged.begin(), merged.end(), ts,
+      [](Timestamp t, const GlobalPosting& g) { return t < g.ts; });
+  merged.insert(gpos, GlobalPosting{ts, idx, &part});
   ++num_rows_;
   max_event_time_ = std::max(max_event_time_, ts);
   return Status::OK();
@@ -112,13 +124,13 @@ std::vector<Row> OfflineTable::ScanIf(
   std::vector<Row> out;
   if (lo >= hi) return out;
   // Partitions wholly outside [lo, hi) are skipped without touching rows.
-  int64_t lo_part = (lo == kMinTimestamp) ? INT64_MIN : PartitionIdFor(lo);
+  const int64_t lo_part =
+      (lo == kMinTimestamp) ? INT64_MIN : PartitionIdFor(lo);
+  const int64_t hi_part =
+      (hi == kMaxTimestamp) ? INT64_MAX : PartitionIdFor(hi);
   for (auto it = partitions_.lower_bound(lo_part); it != partitions_.end();
        ++it) {
-    if (hi != kMaxTimestamp &&
-        it->first > PartitionIdFor(hi)) {
-      break;
-    }
+    if (it->first > hi_part) break;
     for (const Row& row : it->second.rows) {
       Timestamp ts = row.value(time_idx_).time_value();
       if (ts < lo || ts >= hi) continue;
@@ -154,40 +166,94 @@ StatusOr<Row> OfflineTable::AsOf(const Value& entity_key, Timestamp ts) const {
                           FormatTimestamp(ts));
 }
 
-std::vector<Row> OfflineTable::LatestPerEntityAsOf(Timestamp ts) const {
+Status OfflineTable::AsOfBatch(std::span<const AsOfRequest> requests,
+                               std::span<Row> results) const {
+  MLFS_FAILPOINT("offline_store.as_of");
+  if (results.size() != requests.size()) {
+    return Status::InvalidArgument("AsOfBatch results/requests size mismatch");
+  }
+  for (size_t i = 1; i < requests.size(); ++i) {
+    const AsOfRequest& prev = requests[i - 1];
+    const AsOfRequest& cur = requests[i];
+    if (cur.key < prev.key ||
+        (cur.key == prev.key && cur.ts < prev.ts)) {
+      return Status::InvalidArgument(
+          "AsOfBatch requests must be sorted by (key, ts)");
+    }
+  }
   std::shared_lock lock(mu_);
-  std::unordered_map<std::string, std::pair<Timestamp, const Row*>> best;
-  for (auto it = partitions_.begin(); it != partitions_.end(); ++it) {
-    if (ts != kMaxTimestamp && it->first > PartitionIdFor(ts)) break;
-    const Partition& part = it->second;
-    for (const auto& [key, postings] : part.index) {
-      auto bit = std::upper_bound(
-          postings.begin(), postings.end(), ts,
-          [](Timestamp t, const IndexEntry& e) { return t < e.ts; });
-      if (bit == postings.begin()) continue;
-      --bit;
-      auto [bestit, inserted] =
-          best.try_emplace(key, bit->ts, &part.rows[bit->row_index]);
-      if (!inserted && bit->ts > bestit->second.first) {
-        bestit->second = {bit->ts, &part.rows[bit->row_index]};
+  const size_t n = requests.size();
+  // Pass 1: resolve every request to the address of its matched row (or
+  // null). The key directory holds each entity's merged posting stream
+  // already sorted by ts: one hash probe per *entity*, then one flat
+  // forward cursor answers the entity's whole ascending request run. Row
+  // addresses stay stable for the duration of the shared lock (appends
+  // are excluded), so they can be dereferenced in pass 2.
+  std::vector<const Row*> hits(n, nullptr);
+  size_t i = 0;
+  while (i < n) {
+    const std::string_view key = requests[i].key;
+    size_t run_end = i + 1;
+    while (run_end < n && requests[run_end].key == key) ++run_end;
+    auto dit = key_directory_.find(key);
+    if (dit == key_directory_.end()) {
+      i = run_end;  // Absent entity: every request in the run misses.
+      continue;
+    }
+    const std::vector<GlobalPosting>& postings = dit->second;
+    const size_t num_postings = postings.size();
+    size_t pos = 0;
+    for (; i < run_end; ++i) {
+      const Timestamp ts = requests[i].ts;
+      while (pos < num_postings && postings[pos].ts <= ts) ++pos;
+      if (pos > 0) {
+        // Rightmost posting with ts <= request: max event time, with the
+        // most-recently-appended row winning equal-timestamp ties.
+        const GlobalPosting& g = postings[pos - 1];
+        hits[i] = &g.part->rows[g.row_index];
       }
     }
   }
+  // Pass 2: copy the matched rows out. The copies are refcount bumps on
+  // control blocks scattered across the partitions, so the loop is
+  // latency-bound on cache misses; prefetching the Row object one stage
+  // ahead and its shared value buffer a second stage ahead overlaps them.
+  constexpr size_t kFetch = 8;
+  for (i = 0; i < n; ++i) {
+    if (i + 2 * kFetch < n && hits[i + 2 * kFetch] != nullptr) {
+      __builtin_prefetch(hits[i + 2 * kFetch]);
+    }
+    if (i + kFetch < n && hits[i + kFetch] != nullptr) {
+      __builtin_prefetch(hits[i + kFetch]->payload_address());
+    }
+    if (hits[i] != nullptr) results[i] = *hits[i];
+  }
+  return Status::OK();
+}
+
+std::vector<Row> OfflineTable::LatestPerEntityAsOf(Timestamp ts) const {
+  std::shared_lock lock(mu_);
   std::vector<Row> out;
-  out.reserve(best.size());
-  for (auto& [key, entry] : best) out.push_back(*entry.second);
+  out.reserve(key_directory_.size());
+  // Each entity settles with one binary search over its merged posting
+  // stream: the rightmost posting with ts <= the cutoff is its latest row.
+  for (const auto& [key, merged] : key_directory_) {
+    auto it = std::upper_bound(
+        merged.begin(), merged.end(), ts,
+        [](Timestamp t, const GlobalPosting& g) { return t < g.ts; });
+    if (it == merged.begin()) continue;
+    --it;
+    out.push_back(it->part->rows[it->row_index]);
+  }
   return out;
 }
 
 std::vector<std::string> OfflineTable::EntityKeys() const {
   std::shared_lock lock(mu_);
-  std::unordered_map<std::string, bool> seen;
-  for (const auto& [pid, part] : partitions_) {
-    for (const auto& [key, postings] : part.index) seen.emplace(key, true);
-  }
+  // The key directory holds every distinct key exactly once.
   std::vector<std::string> out;
-  out.reserve(seen.size());
-  for (auto& [key, unused] : seen) out.push_back(key);
+  out.reserve(key_directory_.size());
+  for (const auto& [key, runs] : key_directory_) out.push_back(key);
   std::sort(out.begin(), out.end());
   return out;
 }

@@ -6,16 +6,27 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/row.h"
 #include "common/schema.h"
 #include "common/status.h"
 #include "common/timestamp.h"
 
 namespace mlfs {
+
+/// One point-in-time read in an AsOfBatch call: the *canonical* entity key
+/// (EntityKeyToString form) and the as-of timestamp. The key bytes must
+/// outlive the call.
+struct AsOfRequest {
+  std::string_view key;
+  Timestamp ts = 0;
+};
 
 /// Configuration for one offline (historical) table.
 struct OfflineTableOptions {
@@ -60,6 +71,25 @@ class OfflineTable {
   /// (point-in-time read). NotFound if the entity has no history at ts.
   StatusOr<Row> AsOf(const Value& entity_key, Timestamp ts) const;
 
+  /// Batched point-in-time reads: the offline half of the training hot
+  /// path. `requests` must be sorted ascending by (key, ts); the call
+  /// acquires the shared lock **once**, walks each entity's per-partition
+  /// postings with a single forward merged cursor (partitions cover
+  /// disjoint time ranges, so the merged stream is their concatenation in
+  /// partition order), and answers all of an entity's requests in one
+  /// pass. `results[i]` receives the matched row for `requests[i]`, or is
+  /// left a default (schema-less) Row when no history qualifies — callers
+  /// test `results[i].schema() != nullptr`. Tie-break matches AsOf: for
+  /// equal event times the most recently appended row wins.
+  ///
+  /// InvalidArgument if `results.size() != requests.size()` or the
+  /// requests are not sorted. The `offline_store.as_of` failpoint is
+  /// evaluated once per call; unlike the per-row path (whose callers have
+  /// historically NULL-filled on error), a batch failure is surfaced to
+  /// the caller.
+  Status AsOfBatch(std::span<const AsOfRequest> requests,
+                   std::span<Row> results) const;
+
   /// Latest row per entity as of `ts` — the materialization query that
   /// loads the online store.
   std::vector<Row> LatestPerEntityAsOf(Timestamp ts) const;
@@ -92,11 +122,34 @@ class OfflineTable {
     Timestamp ts;
     size_t row_index;
   };
+  /// Transparent hash/eq so batch reads can probe the index with
+  /// string_view keys without materializing a std::string per lookup.
+  struct KeyHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const { return HashBytes(s); }
+  };
+  struct KeyEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
   struct Partition {
     std::vector<Row> rows;
     // Per-entity (ts, row) postings, kept sorted by ts at insert time so
-    // concurrent readers never need to mutate the index.
-    std::unordered_map<std::string, std::vector<IndexEntry>> index;
+    // concurrent readers never need to mutate the index. Equal timestamps
+    // keep append order (later appends later), which is what gives as-of
+    // reads their most-recently-appended tie-break.
+    std::unordered_map<std::string, std::vector<IndexEntry>, KeyHash, KeyEq>
+        index;
+  };
+  /// One row reference in the cross-partition key directory. The Partition
+  /// pointer is node-stable (std::map node); the row is addressed by index
+  /// because Partition::rows reallocates as it grows.
+  struct GlobalPosting {
+    Timestamp ts;
+    size_t row_index;
+    const Partition* part;
   };
 
   explicit OfflineTable(OfflineTableOptions options);
@@ -111,6 +164,14 @@ class OfflineTable {
   mutable std::shared_mutex mu_;
   // Ordered so as-of reads can walk partitions newest-first.
   std::map<int64_t, Partition> partitions_;
+  // Key directory: entity key -> the entity's full posting stream merged
+  // across partitions, globally sorted by ts with equal timestamps in
+  // append order (the same tie-break the per-partition postings keep).
+  // Maintained on append (under the exclusive lock) so AsOfBatch answers a
+  // key's whole request run with one hash probe and one flat, sequential
+  // cursor walk — no per-partition probing or pointer chasing.
+  std::unordered_map<std::string, std::vector<GlobalPosting>, KeyHash, KeyEq>
+      key_directory_;
   size_t num_rows_ = 0;
   Timestamp max_event_time_ = kMinTimestamp;
 };

@@ -176,6 +176,91 @@ TEST(OfflineTableTest, LatestPerEntityAsOf) {
   EXPECT_TRUE(table->LatestPerEntityAsOf(0).empty());
 }
 
+TEST(OfflineTableTest, AsOfBatchMatchesAsOf) {
+  auto table = OfflineTable::Create(TestOptions()).value();
+  auto schema = TestSchema();
+  Rng rng(7);
+  // Out-of-order arrivals spread over many partitions, plus duplicate
+  // timestamps so the append-order tie-break is exercised.
+  for (int i = 0; i < 500; ++i) {
+    int64_t user = static_cast<int64_t>(rng.Uniform(12));
+    Timestamp ts = Hours(static_cast<int64_t>(rng.Uniform(24 * 40)));
+    ASSERT_TRUE(table->Append(MakeRow(schema, user, ts, i, 0.0)).ok());
+  }
+  // Sorted (key, ts) request batch covering present and absent entities.
+  struct Probe {
+    std::string key;
+    Timestamp ts;
+  };
+  std::vector<Probe> probes;
+  for (int64_t user = 0; user < 15; ++user) {
+    for (Timestamp ts : {Hours(0), Days(3), Days(17), Days(33), Days(50),
+                         kMaxTimestamp}) {
+      probes.push_back({std::to_string(user), ts});
+    }
+  }
+  std::sort(probes.begin(), probes.end(), [](const Probe& a, const Probe& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.ts < b.ts;
+  });
+  std::vector<AsOfRequest> requests;
+  requests.reserve(probes.size());
+  for (const Probe& p : probes) requests.push_back({p.key, p.ts});
+  std::vector<Row> results(requests.size());
+  ASSERT_TRUE(table->AsOfBatch(requests, results).ok());
+  for (size_t i = 0; i < probes.size(); ++i) {
+    auto oracle = table->AsOf(Value::Int64(std::stoll(probes[i].key)),
+                              probes[i].ts);
+    if (oracle.ok()) {
+      ASSERT_NE(results[i].schema(), nullptr) << "probe " << i;
+      EXPECT_EQ(results[i], *oracle) << "probe " << i;
+    } else {
+      EXPECT_EQ(results[i].schema(), nullptr) << "probe " << i;
+    }
+  }
+}
+
+TEST(OfflineTableTest, AsOfBatchEqualTimestampTieBreak) {
+  auto table = OfflineTable::Create(TestOptions()).value();
+  auto schema = TestSchema();
+  // Three rows for one entity at the identical event time: the most
+  // recently appended must win, matching AsOf.
+  ASSERT_TRUE(table->Append(MakeRow(schema, 1, Hours(5), 10, 0.0)).ok());
+  ASSERT_TRUE(table->Append(MakeRow(schema, 1, Hours(5), 11, 0.0)).ok());
+  ASSERT_TRUE(table->Append(MakeRow(schema, 1, Hours(5), 12, 0.0)).ok());
+  std::vector<AsOfRequest> requests = {{"1", Hours(5)}, {"1", Hours(6)}};
+  std::vector<Row> results(2);
+  ASSERT_TRUE(table->AsOfBatch(requests, results).ok());
+  ASSERT_NE(results[0].schema(), nullptr);
+  EXPECT_EQ(results[0].value(2).int64_value(), 12);
+  EXPECT_EQ(results[1].value(2).int64_value(), 12);
+  EXPECT_EQ(table->AsOf(Value::Int64(1), Hours(5))->value(2).int64_value(),
+            12);
+}
+
+TEST(OfflineTableTest, AsOfBatchValidatesInput) {
+  auto table = OfflineTable::Create(TestOptions()).value();
+  auto schema = TestSchema();
+  ASSERT_TRUE(table->Append(MakeRow(schema, 1, Hours(1), 1, 0.0)).ok());
+
+  // Empty batch is fine.
+  EXPECT_TRUE(table->AsOfBatch({}, {}).ok());
+
+  // Size mismatch.
+  std::vector<AsOfRequest> requests = {{"1", Hours(2)}};
+  std::vector<Row> too_small;
+  EXPECT_TRUE(table->AsOfBatch(requests, too_small).IsInvalidArgument());
+
+  // Unsorted keys.
+  std::vector<AsOfRequest> bad_keys = {{"2", Hours(1)}, {"1", Hours(1)}};
+  std::vector<Row> results(2);
+  EXPECT_TRUE(table->AsOfBatch(bad_keys, results).IsInvalidArgument());
+
+  // Unsorted timestamps within a key.
+  std::vector<AsOfRequest> bad_ts = {{"1", Hours(3)}, {"1", Hours(1)}};
+  EXPECT_TRUE(table->AsOfBatch(bad_ts, results).IsInvalidArgument());
+}
+
 TEST(OfflineTableTest, EntityKeysSorted) {
   auto table = OfflineTable::Create(TestOptions()).value();
   auto schema = TestSchema();

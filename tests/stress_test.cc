@@ -16,9 +16,11 @@
 
 #include "common/failpoint.h"
 #include "common/rng.h"
+#include "common/serde.h"
 #include "common/threadpool.h"
 #include "core/feature_store.h"
 #include "serving/feature_server.h"
+#include "serving/point_in_time.h"
 #include "storage/offline_store.h"
 #include "storage/online_store.h"
 #include "streaming/stream_pipeline.h"
@@ -646,6 +648,139 @@ TEST_F(StressTest, ConcurrentLineageRecordingAndClosureQueries) {
     EXPECT_LT(skew.pinned_version, skew.latest_version);
     EXPECT_EQ(skew.latest_version, kVersionsPerWriter);
   }
+}
+
+// The batched sort-merge PointInTimeJoin racing AppendBatch writers on the
+// same offline tables: AsOfBatch holds one shared lock per shard while
+// writers take the exclusive lock for out-of-order batches. Certifies under
+// TSan that the shared/exclusive discipline holds across the whole batch
+// sweep, and that every mid-churn join is internally consistent: correct
+// shape, and leakage-free (every joined value's event time <= the spine
+// timestamp — each source row carries an et_copy column duplicating its
+// event time so the invariant is checkable from the output alone). After
+// the writers drain, the merge join must agree byte-for-byte with the
+// row-at-a-time reference on the final table state.
+TEST_F(StressTest, ConcurrentPointInTimeJoinRacesAppendBatch) {
+  constexpr int kJoinWriters = 2;
+  constexpr int kBatchesPerWriter = 150;
+  constexpr size_t kRowsPerBatch = 24;
+  constexpr int kJoinsPerReader = 60;
+  constexpr int64_t kJoinKeys = 16;
+  constexpr Timestamp kHorizon = Hours(24 * 20);  // ~20 daily partitions.
+
+  OfflineStore offline;
+  SchemaPtr source_schema =
+      Schema::Create({{"key", FeatureType::kInt64, false},
+                      {"event_time", FeatureType::kTimestamp, false},
+                      {"et_copy", FeatureType::kInt64, true}})
+          .value();
+  for (const char* name : {"pit_s0", "pit_s1"}) {
+    OfflineTableOptions opt;
+    opt.name = name;
+    opt.schema = source_schema;
+    opt.entity_column = "key";
+    opt.time_column = "event_time";
+    ASSERT_TRUE(offline.CreateTable(std::move(opt)).ok());
+  }
+  OfflineTable* s0 = offline.GetTable("pit_s0").value();
+  OfflineTable* s1 = offline.GetTable("pit_s1").value();
+
+  SchemaPtr spine_schema =
+      Schema::Create({{"key", FeatureType::kInt64, false},
+                      {"ts", FeatureType::kTimestamp, false}})
+          .value();
+  std::vector<Row> spine;
+  {
+    Rng rng(0x791e);
+    for (int i = 0; i < 200; ++i) {
+      spine.push_back(Row::CreateUnsafe(
+          spine_schema,
+          {Value::Int64(static_cast<int64_t>(rng.Uniform(kJoinKeys))),
+           Value::Time(Seconds(1) +
+                       static_cast<Timestamp>(rng.Uniform(kHorizon)))}));
+    }
+  }
+  std::vector<JoinSource> sources(2);
+  sources[0].table = s0;
+  sources[0].prefix = "s0__";
+  sources[1].table = s1;
+  sources[1].prefix = "s1__";
+  sources[1].max_age = Hours(24 * 5);
+
+  ThreadPool pool(kJoinWriters + 2);
+  for (int w = 0; w < kJoinWriters; ++w) {
+    OfflineTable* table = (w % 2 == 0) ? s0 : s1;
+    pool.Submit([table, source_schema, w] {
+      Rng rng(0xa9 + w);
+      for (int b = 0; b < kBatchesPerWriter; ++b) {
+        std::vector<Row> batch;
+        batch.reserve(kRowsPerBatch);
+        for (size_t i = 0; i < kRowsPerBatch; ++i) {
+          // Random event times: perpetually late/out-of-order arrivals.
+          Timestamp et = Seconds(1) +
+                         static_cast<Timestamp>(rng.Uniform(kHorizon));
+          batch.push_back(Row::CreateUnsafe(
+              source_schema,
+              {Value::Int64(static_cast<int64_t>(rng.Uniform(kJoinKeys))),
+               Value::Time(et), Value::Int64(static_cast<int64_t>(et))}));
+        }
+        ASSERT_TRUE(table->AppendBatch(batch).ok());
+      }
+    });
+  }
+  // Two reader threads: one serial merge join, one sharded over an
+  // internal pool, both validating every mid-churn result.
+  for (int r = 0; r < 2; ++r) {
+    pool.Submit([&spine, &sources, r] {
+      JoinOptions options;
+      options.max_threads = (r == 0) ? 1 : 3;
+      for (int i = 0; i < kJoinsPerReader; ++i) {
+        auto ts = PointInTimeJoin(spine, "key", "ts", sources, options);
+        ASSERT_TRUE(ts.ok()) << ts.status();
+        ASSERT_EQ(ts->rows.size(), spine.size());
+        ASSERT_EQ(ts->schema->num_fields(), 4);  // key, ts, 2x et_copy.
+        uint64_t nulls = 0;
+        for (size_t row = 0; row < ts->rows.size(); ++row) {
+          const Timestamp spine_ts = ts->rows[row].value(1).time_value();
+          for (int col = 2; col < 4; ++col) {
+            const Value& v = ts->rows[row].value(col);
+            if (v.is_null()) {
+              ++nulls;
+              continue;
+            }
+            // Leakage-free: joined history never postdates the spine.
+            ASSERT_LE(v.int64_value(), static_cast<int64_t>(spine_ts));
+            if (col == 3) {  // s1 carries max_age.
+              ASSERT_GE(v.int64_value(),
+                        static_cast<int64_t>(spine_ts - sources[1].max_age));
+            }
+          }
+        }
+        ASSERT_EQ(ts->missing_cells, nulls);
+      }
+    });
+  }
+  pool.Wait();
+
+  // Quiesced: the merge engine and the row-at-a-time reference must agree
+  // exactly on the final table state.
+  auto reference = PointInTimeJoinReference(spine, "key", "ts", sources);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  JoinOptions parallel;
+  parallel.max_threads = 3;
+  auto merged = PointInTimeJoin(spine, "key", "ts", sources, parallel);
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  auto bytes = [](const TrainingSet& ts) {
+    Encoder enc;
+    enc.PutSchema(*ts.schema);
+    enc.PutVarint64(ts.missing_cells);
+    for (const Row& row : ts.rows) enc.PutRow(row);
+    return enc.Release();
+  };
+  EXPECT_EQ(bytes(*merged), bytes(*reference));
+  EXPECT_EQ(s0->num_rows() + s1->num_rows(),
+            static_cast<uint64_t>(kJoinWriters) * kBatchesPerWriter *
+                kRowsPerBatch);
 }
 
 }  // namespace
