@@ -45,9 +45,11 @@ uint64_t Rng::Uniform(uint64_t n) {
 
 int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
   MLFS_DCHECK(lo <= hi);
-  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  // Unsigned arithmetic throughout: hi - lo overflows int64 for spans wider
+  // than INT64_MAX, and wraparound is only defined for unsigned types.
+  uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
   if (span == 0) return static_cast<int64_t>(Next());  // Full range.
-  return lo + static_cast<int64_t>(Uniform(span));
+  return static_cast<int64_t>(static_cast<uint64_t>(lo) + Uniform(span));
 }
 
 double Rng::UniformDouble() {

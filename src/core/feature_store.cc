@@ -61,11 +61,8 @@ StatusOr<FeatureVector> FeatureStore::ServeFeatures(
   return server_.GetFeatures(entity_key, features, clock_.now());
 }
 
-StatusOr<TrainingSet> FeatureStore::BuildTrainingSet(
-    const std::vector<Row>& spine, const std::string& spine_entity_column,
-    const std::string& spine_time_column,
-    const std::vector<std::string>& features, Timestamp max_age,
-    const JoinOptions& join_options) {
+StatusOr<std::vector<JoinSource>> FeatureStore::ResolveFeatureSources(
+    const std::vector<std::string>& features, Timestamp max_age) {
   std::vector<JoinSource> sources;
   sources.reserve(features.size());
   for (const std::string& feature : features) {
@@ -81,8 +78,26 @@ StatusOr<TrainingSet> FeatureStore::BuildTrainingSet(
     source.max_age = max_age;
     sources.push_back(std::move(source));
   }
+  return sources;
+}
+
+StatusOr<TrainingSet> FeatureStore::BuildTrainingSet(
+    const std::vector<Row>& spine, const std::string& spine_entity_column,
+    const std::string& spine_time_column,
+    const std::vector<std::string>& features, Timestamp max_age,
+    const JoinOptions& join_options) {
+  MLFS_ASSIGN_OR_RETURN(std::vector<JoinSource> sources,
+                        ResolveFeatureSources(features, max_age));
   return PointInTimeJoin(spine, spine_entity_column, spine_time_column,
                          sources, join_options);
+}
+
+StatusOr<TrainingSet> FeatureStore::BuildTrainingSet(
+    const SpineIndex& spine, const std::vector<std::string>& features,
+    Timestamp max_age, const JoinOptions& join_options) {
+  MLFS_ASSIGN_OR_RETURN(std::vector<JoinSource> sources,
+                        ResolveFeatureSources(features, max_age));
+  return PointInTimeJoin(spine, sources, join_options);
 }
 
 StatusOr<StreamPipeline*> FeatureStore::CreateStreamPipeline(

@@ -95,6 +95,13 @@ class FeatureStore {
       const std::vector<std::string>& features, Timestamp max_age = 0,
       const JoinOptions& join_options = {});
 
+  /// As above with a prebuilt SpineIndex, so pipelines that join the same
+  /// label spine against several feature sets canonicalize and sort it
+  /// once instead of per call.
+  StatusOr<TrainingSet> BuildTrainingSet(
+      const SpineIndex& spine, const std::vector<std::string>& features,
+      Timestamp max_age = 0, const JoinOptions& join_options = {});
+
   /// Creates a streaming feature view materializing into both stores.
   /// The returned pipeline is owned by the store.
   StatusOr<StreamPipeline*> CreateStreamPipeline(
@@ -190,6 +197,10 @@ class FeatureStore {
   Status RestoreCheckpoint(const std::string& dir);
 
  private:
+  /// Maps registered feature names to JoinSources over their log tables.
+  StatusOr<std::vector<JoinSource>> ResolveFeatureSources(
+      const std::vector<std::string>& features, Timestamp max_age);
+
   FeatureStoreOptions options_;
   SimClock clock_;
   OfflineStore offline_;

@@ -72,6 +72,10 @@ StatusOr<MaterializationResult> Materializer::Materialize(
     ++result.entities_updated;
   }
   MLFS_RETURN_IF_ERROR(log_table->AppendBatch(log_rows));
+  // A materialization run is the natural tier boundary: the rows just
+  // written are the batch's cold edge, so seal/compact/spill now instead
+  // of leaving the work to a mid-query maintenance pass.
+  MLFS_RETURN_IF_ERROR(log_table->RunMaintenance());
   result.rows_written = log_rows.size();
   if (lineage_ != nullptr) {
     // Stamp which feature version this view now serves; a re-run against a

@@ -14,31 +14,22 @@ namespace {
 struct ResolvedSource {
   const OfflineTable* table;
   std::vector<int> column_indices;  // Into the source schema.
-  int time_idx;
+  int time_idx;                     // Into the source schema.
   Timestamp max_age;
+  // Projected read plan for the merge engine: the unique source columns
+  // actually gathered (output columns plus, under max_age, the event-time
+  // column), the schema those projected rows conform to, and the remaps
+  // from output column / time column into the projected row.
+  std::vector<int> proj;
+  SchemaPtr proj_schema;
+  std::vector<int> out_pos;  // Parallel to column_indices.
+  int time_pos = -1;
 };
 
-// Validates sources and computes the output schema.
+// Validates sources and computes the output schema. `spine_schema` must
+// already be validated (SpineIndex::Build does).
 StatusOr<std::pair<SchemaPtr, std::vector<ResolvedSource>>> PrepareJoin(
-    const std::vector<Row>& spine, const std::string& spine_entity_column,
-    const std::string& spine_time_column,
-    const std::vector<JoinSource>& sources) {
-  if (spine.empty()) {
-    return Status::InvalidArgument("spine is empty");
-  }
-  const SchemaPtr& spine_schema = spine.front().schema();
-  if (spine_schema == nullptr) {
-    return Status::InvalidArgument("spine rows have no schema");
-  }
-  int spine_entity_idx = spine_schema->FieldIndex(spine_entity_column);
-  int spine_time_idx = spine_schema->FieldIndex(spine_time_column);
-  if (spine_entity_idx < 0 || spine_time_idx < 0) {
-    return Status::InvalidArgument("spine is missing entity/time column");
-  }
-  if (spine_schema->field(spine_time_idx).type != FeatureType::kTimestamp) {
-    return Status::InvalidArgument("spine time column is not a TIMESTAMP");
-  }
-
+    const SchemaPtr& spine_schema, const std::vector<JoinSource>& sources) {
   std::vector<FieldSpec> out_fields = spine_schema->fields();
   std::vector<ResolvedSource> resolved;
   resolved.reserve(sources.size());
@@ -66,6 +57,13 @@ StatusOr<std::pair<SchemaPtr, std::vector<ResolvedSource>>> PrepareJoin(
       return Status::InvalidArgument(
           "output_columns must match projected column count");
     }
+    const auto proj_position = [&rs](int idx) {
+      for (size_t p = 0; p < rs.proj.size(); ++p) {
+        if (rs.proj[p] == idx) return static_cast<int>(p);
+      }
+      rs.proj.push_back(idx);
+      return static_cast<int>(rs.proj.size() - 1);
+    };
     for (size_t ci = 0; ci < columns.size(); ++ci) {
       const std::string& column = columns[ci];
       int idx = schema->FieldIndex(column);
@@ -74,6 +72,7 @@ StatusOr<std::pair<SchemaPtr, std::vector<ResolvedSource>>> PrepareJoin(
                                        "' has no column '" + column + "'");
       }
       rs.column_indices.push_back(idx);
+      rs.out_pos.push_back(proj_position(idx));
       std::string out_name = source.output_columns.empty()
                                  ? source.prefix + column
                                  : source.output_columns[ci];
@@ -81,6 +80,17 @@ StatusOr<std::pair<SchemaPtr, std::vector<ResolvedSource>>> PrepareJoin(
       out_fields.push_back({std::move(out_name), schema->field(idx).type,
                             true});
     }
+    // The max_age check reads the matched row's event time, so it rides
+    // along in the projection; an empty projection still gathers it so the
+    // batch read has a concrete column list.
+    if (rs.max_age > 0 || rs.proj.empty()) {
+      rs.time_pos = proj_position(rs.time_idx);
+    }
+    std::vector<FieldSpec> proj_fields;
+    proj_fields.reserve(rs.proj.size());
+    for (int idx : rs.proj) proj_fields.push_back(schema->field(idx));
+    MLFS_ASSIGN_OR_RETURN(rs.proj_schema,
+                          Schema::Create(std::move(proj_fields)));
     resolved.push_back(std::move(rs));
   }
   MLFS_ASSIGN_OR_RETURN(SchemaPtr out_schema,
@@ -95,9 +105,24 @@ StatusOr<TrainingSet> ReferenceJoinImpl(const std::vector<Row>& spine,
                                         const std::string& spine_time_column,
                                         const std::vector<JoinSource>& sources,
                                         bool point_in_time) {
+  if (spine.empty()) {
+    return Status::InvalidArgument("spine is empty");
+  }
+  if (spine.front().schema() == nullptr) {
+    return Status::InvalidArgument("spine rows have no schema");
+  }
+  {
+    int eidx = spine.front().schema()->FieldIndex(spine_entity_column);
+    int tidx = spine.front().schema()->FieldIndex(spine_time_column);
+    if (eidx < 0 || tidx < 0) {
+      return Status::InvalidArgument("spine is missing entity/time column");
+    }
+    if (spine.front().schema()->field(tidx).type != FeatureType::kTimestamp) {
+      return Status::InvalidArgument("spine time column is not a TIMESTAMP");
+    }
+  }
   MLFS_ASSIGN_OR_RETURN(auto prepared,
-                        PrepareJoin(spine, spine_entity_column,
-                                    spine_time_column, sources));
+                        PrepareJoin(spine.front().schema(), sources));
   SchemaPtr out_schema = std::move(prepared.first);
   std::vector<ResolvedSource> resolved = std::move(prepared.second);
   const SchemaPtr& spine_schema = spine.front().schema();
@@ -154,76 +179,35 @@ uint64_t KeyPrefix(const std::string& key) {
 }
 
 // Batched sort-merge as-of join (see point_in_time.h). Produces output
-// identical to ReferenceJoinImpl; the pit_merge property suite pins it.
-StatusOr<TrainingSet> MergeJoinImpl(const std::vector<Row>& spine,
-                                    const std::string& spine_entity_column,
-                                    const std::string& spine_time_column,
+// identical to ReferenceJoinImpl; the pit_merge and columnar property
+// suites pin it.
+StatusOr<TrainingSet> MergeJoinImpl(const SpineIndex& spine_index,
                                     const std::vector<JoinSource>& sources,
                                     bool point_in_time,
                                     const JoinOptions& options) {
   MLFS_ASSIGN_OR_RETURN(auto prepared,
-                        PrepareJoin(spine, spine_entity_column,
-                                    spine_time_column, sources));
+                        PrepareJoin(spine_index.schema(), sources));
   SchemaPtr out_schema = std::move(prepared.first);
   std::vector<ResolvedSource> resolved = std::move(prepared.second);
-  const SchemaPtr& spine_schema = spine.front().schema();
-  const int spine_entity_idx = spine_schema->FieldIndex(spine_entity_column);
-  const int spine_time_idx = spine_schema->FieldIndex(spine_time_column);
+  const std::vector<Row>& spine = spine_index.rows();
+  const std::vector<std::string>& keys = spine_index.keys();
+  const std::vector<Timestamp>& times = spine_index.times();
+  const std::vector<uint32_t>& sorted = spine_index.sorted_rows();
+  const std::vector<uint32_t>& pos_of_row = spine_index.pos_of_row();
+  constexpr uint32_t kNoRequest = SpineIndex::kNoRequest;
   const size_t n = spine.size();
+  const size_t m = sorted.size();
 
-  // 1. Validate the spine and canonicalize every entity key exactly once.
-  //    A key that is not INT64/STRING is not an error (the reference path
-  //    treats the per-row AsOf failure as a miss): the row simply misses
-  //    every source.
-  std::vector<std::string> keys(n);
-  std::vector<Timestamp> times(n, 0);
-  constexpr uint32_t kNoRequest = UINT32_MAX;
-  std::vector<uint32_t> pos_of_row(n, kNoRequest);
-  // Value-packed sort entries: the prefix and query timestamp travel with
-  // the index so most comparisons stay inside the 24-byte struct instead
-  // of chasing three side arrays per compare.
-  struct SortEntry {
-    uint64_t prefix;
-    Timestamp query_ts;
-    uint32_t row;
-  };
-  std::vector<SortEntry> ents;
-  ents.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    const Row& spine_row = spine[i];
-    if (spine_row.schema() == nullptr ||
-        !(*spine_row.schema() == *spine_schema)) {
-      return Status::InvalidArgument("spine rows have mixed schemas");
-    }
-    times[i] = spine_row.value(spine_time_idx).time_value();
-    StatusOr<std::string> key =
-        EntityKeyToString(spine_row.value(spine_entity_idx));
-    if (!key.ok()) continue;
-    keys[i] = std::move(*key);
-    ents.push_back({KeyPrefix(keys[i]),
-                    point_in_time ? times[i] : kMaxTimestamp,
-                    static_cast<uint32_t>(i)});
-  }
-
-  // 2. Sort by (key, query ts). The key order itself is irrelevant — the
-  //    batch contract only needs equal keys contiguous with ascending
-  //    timestamps — so the integer prefix carries almost every comparison;
-  //    only prefix ties fall back to the full byte-wise key compare.
-  std::sort(ents.begin(), ents.end(),
-            [&](const SortEntry& a, const SortEntry& b) {
-              if (a.prefix != b.prefix) return a.prefix < b.prefix;
-              const int c = keys[a.row].compare(keys[b.row]);
-              if (c != 0) return c < 0;
-              return a.query_ts < b.query_ts;
-            });
-  const size_t m = ents.size();
+  // 1. Lay out the batch requests in the index's (key, ts) order. The
+  //    naive join asks for each entity's globally latest row, so every
+  //    request degenerates to ts = +inf (still sorted).
   std::vector<AsOfRequest> requests(m);
   for (size_t p = 0; p < m; ++p) {
-    requests[p] = {keys[ents[p].row], ents[p].query_ts};
-    pos_of_row[ents[p].row] = static_cast<uint32_t>(p);
+    requests[p] = {keys[sorted[p]],
+                   point_in_time ? times[sorted[p]] : kMaxTimestamp};
   }
 
-  // 3. Fan out: sources × entity-range shards of the sorted request array
+  // 2. Fan out: sources × entity-range shards of the sorted request array
   //    (shards cut at key boundaries so no entity's run is split).
   std::unique_ptr<ThreadPool> local_pool;
   ThreadPool* pool = options.pool;
@@ -247,18 +231,38 @@ StatusOr<TrainingSet> MergeJoinImpl(const std::vector<Row>& spine,
   for (auto& rows : source_rows) rows.resize(m);
   const size_t num_tasks = resolved.size() * shards.size();
   std::vector<Status> task_status(num_tasks);
+  // Each task fills a private miss bitmap for its shard (bitmap words at
+  // shard boundaries would be shared between tasks otherwise); the shard
+  // bitmaps are stitched into one per-source bitmap after the barrier.
+  std::vector<std::vector<uint64_t>> task_miss(num_tasks);
   ParallelFor(pool, 0, num_tasks, [&](size_t task) {
     const size_t s = task / shards.size();
     const auto [start, stop] = shards[task % shards.size()];
+    AsOfReadOptions read_options;
+    read_options.columns = resolved[s].proj;
+    read_options.projected_schema = resolved[s].proj_schema;
+    read_options.miss_bitmap = &task_miss[task];
     task_status[task] = resolved[s].table->AsOfBatch(
         std::span<const AsOfRequest>(requests.data() + start, stop - start),
-        std::span<Row>(source_rows[s].data() + start, stop - start));
+        std::span<Row>(source_rows[s].data() + start, stop - start),
+        read_options);
   });
   for (Status& s : task_status) {
     MLFS_RETURN_IF_ERROR(std::move(s));
   }
+  std::vector<std::vector<uint64_t>> source_miss(
+      resolved.size(), std::vector<uint64_t>((m + 63) / 64, 0));
+  for (size_t task = 0; task < num_tasks; ++task) {
+    const size_t s = task / shards.size();
+    const auto [start, stop] = shards[task % shards.size()];
+    for (size_t i = start; i < stop; ++i) {
+      if (MissBitmapTest(task_miss[task], i - start)) {
+        source_miss[s][i >> 6] |= uint64_t{1} << (i & 63);
+      }
+    }
+  }
 
-  // 4. Assemble output rows in spine order: reserve the full output width
+  // 3. Assemble output rows in spine order: reserve the full output width
   //    once per row instead of copy-and-growing from the spine values.
   TrainingSet out;
   out.schema = out_schema;
@@ -295,10 +299,9 @@ StatusOr<TrainingSet> MergeJoinImpl(const std::vector<Row>& spine,
       if (p1 != kNoRequest) {
         for (size_t s = 0; s < num_sources; ++s) {
           const Row& ahead = source_rows[s][p1];
-          if (ahead.schema() != nullptr &&
-              !resolved[s].column_indices.empty()) {
+          if (ahead.schema() != nullptr && !resolved[s].out_pos.empty()) {
             __builtin_prefetch(ahead.values().data() +
-                               resolved[s].column_indices.front());
+                               resolved[s].out_pos.front());
           }
         }
       }
@@ -311,20 +314,20 @@ StatusOr<TrainingSet> MergeJoinImpl(const std::vector<Row>& spine,
     const uint32_t pos = pos_of_row[r];
     for (size_t s = 0; s < resolved.size(); ++s) {
       const ResolvedSource& rs = resolved[s];
-      const Row* src = nullptr;
-      if (pos != kNoRequest && source_rows[s][pos].schema() != nullptr) {
-        src = &source_rows[s][pos];
-      }
-      bool usable = src != nullptr;
+      // A miss never materialized a result row — the batch read reported
+      // it through the bitmap instead, and the null-fill happens here.
+      bool usable =
+          pos != kNoRequest && !MissBitmapTest(source_miss[s], pos);
+      const Row* src = usable ? &source_rows[s][pos] : nullptr;
       if (usable && point_in_time && rs.max_age > 0) {
-        Timestamp event_time = src->value(rs.time_idx).time_value();
+        Timestamp event_time = src->value(rs.time_pos).time_value();
         usable = event_time >= times[r] - rs.max_age;
       }
       if (usable) {
-        for (int idx : rs.column_indices) values.push_back(src->value(idx));
+        for (int p : rs.out_pos) values.push_back(src->value(p));
       } else {
-        values.insert(values.end(), rs.column_indices.size(), Value::Null());
-        row_missing += rs.column_indices.size();
+        values.insert(values.end(), rs.out_pos.size(), Value::Null());
+        row_missing += rs.out_pos.size();
       }
     }
     out.rows[r] = Row::CreateUnsafe(out_schema, std::move(values));
@@ -346,13 +349,93 @@ StatusOr<TrainingSet> MergeJoinImpl(const std::vector<Row>& spine,
 
 }  // namespace
 
+StatusOr<SpineIndex> SpineIndex::Build(std::vector<Row> spine,
+                                       const std::string& entity_column,
+                                       const std::string& time_column) {
+  if (spine.empty()) {
+    return Status::InvalidArgument("spine is empty");
+  }
+  SpineIndex index;
+  index.schema_ = spine.front().schema();
+  if (index.schema_ == nullptr) {
+    return Status::InvalidArgument("spine rows have no schema");
+  }
+  index.entity_idx_ = index.schema_->FieldIndex(entity_column);
+  index.time_idx_ = index.schema_->FieldIndex(time_column);
+  if (index.entity_idx_ < 0 || index.time_idx_ < 0) {
+    return Status::InvalidArgument("spine is missing entity/time column");
+  }
+  if (index.schema_->field(index.time_idx_).type != FeatureType::kTimestamp) {
+    return Status::InvalidArgument("spine time column is not a TIMESTAMP");
+  }
+  index.rows_ = std::move(spine);
+  const size_t n = index.rows_.size();
+  index.keys_.resize(n);
+  index.times_.assign(n, 0);
+  index.pos_of_row_.assign(n, kNoRequest);
+
+  // Canonicalize every entity key exactly once. A key that is not
+  // INT64/STRING is not an error (the row-at-a-time reference treats the
+  // per-row AsOf failure as a miss): the row simply misses every source.
+  // Value-packed sort entries: the key prefix and timestamp travel with
+  // the index so most comparisons stay inside the 24-byte struct instead
+  // of chasing side arrays per compare.
+  struct SortEntry {
+    uint64_t prefix;
+    Timestamp ts;
+    uint32_t row;
+  };
+  std::vector<SortEntry> ents;
+  ents.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Row& spine_row = index.rows_[i];
+    if (spine_row.schema() == nullptr ||
+        !(*spine_row.schema() == *index.schema_)) {
+      return Status::InvalidArgument("spine rows have mixed schemas");
+    }
+    index.times_[i] = spine_row.value(index.time_idx_).time_value();
+    StatusOr<std::string> key =
+        EntityKeyToString(spine_row.value(index.entity_idx_));
+    if (!key.ok()) continue;
+    index.keys_[i] = std::move(*key);
+    ents.push_back({KeyPrefix(index.keys_[i]), index.times_[i],
+                    static_cast<uint32_t>(i)});
+  }
+
+  // Sort by (key, ts). The key order itself is irrelevant — the batch
+  // contract only needs equal keys contiguous with ascending timestamps —
+  // so the integer prefix carries almost every comparison; only prefix
+  // ties fall back to the full byte-wise key compare.
+  std::sort(ents.begin(), ents.end(),
+            [&index](const SortEntry& a, const SortEntry& b) {
+              if (a.prefix != b.prefix) return a.prefix < b.prefix;
+              const int c = index.keys_[a.row].compare(index.keys_[b.row]);
+              if (c != 0) return c < 0;
+              return a.ts < b.ts;
+            });
+  index.sorted_.resize(ents.size());
+  for (size_t p = 0; p < ents.size(); ++p) {
+    index.sorted_[p] = ents[p].row;
+    index.pos_of_row_[ents[p].row] = static_cast<uint32_t>(p);
+  }
+  return index;
+}
+
 StatusOr<TrainingSet> PointInTimeJoin(const std::vector<Row>& spine,
                                       const std::string& spine_entity_column,
                                       const std::string& spine_time_column,
                                       const std::vector<JoinSource>& sources,
                                       const JoinOptions& options) {
-  return MergeJoinImpl(spine, spine_entity_column, spine_time_column, sources,
-                       /*point_in_time=*/true, options);
+  MLFS_ASSIGN_OR_RETURN(
+      SpineIndex index,
+      SpineIndex::Build(spine, spine_entity_column, spine_time_column));
+  return MergeJoinImpl(index, sources, /*point_in_time=*/true, options);
+}
+
+StatusOr<TrainingSet> PointInTimeJoin(const SpineIndex& spine,
+                                      const std::vector<JoinSource>& sources,
+                                      const JoinOptions& options) {
+  return MergeJoinImpl(spine, sources, /*point_in_time=*/true, options);
 }
 
 StatusOr<TrainingSet> NaiveLatestJoin(const std::vector<Row>& spine,
@@ -360,8 +443,16 @@ StatusOr<TrainingSet> NaiveLatestJoin(const std::vector<Row>& spine,
                                       const std::string& spine_time_column,
                                       const std::vector<JoinSource>& sources,
                                       const JoinOptions& options) {
-  return MergeJoinImpl(spine, spine_entity_column, spine_time_column, sources,
-                       /*point_in_time=*/false, options);
+  MLFS_ASSIGN_OR_RETURN(
+      SpineIndex index,
+      SpineIndex::Build(spine, spine_entity_column, spine_time_column));
+  return MergeJoinImpl(index, sources, /*point_in_time=*/false, options);
+}
+
+StatusOr<TrainingSet> NaiveLatestJoin(const SpineIndex& spine,
+                                      const std::vector<JoinSource>& sources,
+                                      const JoinOptions& options) {
+  return MergeJoinImpl(spine, sources, /*point_in_time=*/false, options);
 }
 
 StatusOr<TrainingSet> PointInTimeJoinReference(

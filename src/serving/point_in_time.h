@@ -50,6 +50,54 @@ struct JoinOptions {
   uint32_t max_threads = 1;
 };
 
+/// A spine prepared for joining: entity keys canonicalized once, the
+/// (key, ts) sort permutation computed once. Training pipelines typically
+/// join the *same* label spine against several feature sets (model
+/// variants, ablations); building the index once and passing it to
+/// repeated PointInTimeJoin/NaiveLatestJoin/BuildTrainingSet calls skips
+/// the canonicalize+sort step on every call after the first. The spine
+/// rows are held by copy (cheap copy-on-write reference bumps), so the
+/// index stays valid independent of the caller's vector.
+class SpineIndex {
+ public:
+  /// Marker in pos_of_row() for spine rows that issue no batch request
+  /// (their entity key is not INT64/STRING; they miss every source).
+  static constexpr uint32_t kNoRequest = UINT32_MAX;
+
+  /// Validates the spine (non-empty, uniform schema, entity/time columns
+  /// present, time column TIMESTAMP) and builds the index.
+  static StatusOr<SpineIndex> Build(std::vector<Row> spine,
+                                    const std::string& entity_column,
+                                    const std::string& time_column);
+
+  const std::vector<Row>& rows() const { return rows_; }
+  const SchemaPtr& schema() const { return schema_; }
+  int entity_idx() const { return entity_idx_; }
+  int time_idx() const { return time_idx_; }
+  /// Canonical entity key per spine row (empty for unjoinable keys).
+  const std::vector<std::string>& keys() const { return keys_; }
+  /// Spine timestamp per spine row.
+  const std::vector<Timestamp>& times() const { return times_; }
+  /// Spine row indices in (canonical key, ts) order — the order batch
+  /// requests are issued in. Unjoinable rows are absent.
+  const std::vector<uint32_t>& sorted_rows() const { return sorted_; }
+  /// Inverse permutation: spine row -> its slot in sorted_rows(), or
+  /// kNoRequest.
+  const std::vector<uint32_t>& pos_of_row() const { return pos_of_row_; }
+
+ private:
+  SpineIndex() = default;
+
+  std::vector<Row> rows_;
+  SchemaPtr schema_;
+  int entity_idx_ = -1;
+  int time_idx_ = -1;
+  std::vector<std::string> keys_;
+  std::vector<Timestamp> times_;
+  std::vector<uint32_t> sorted_;
+  std::vector<uint32_t> pos_of_row_;
+};
+
 /// Point-in-time (as-of) join: for each spine row (entity, t, labels...),
 /// attaches each source's latest values with event time <= t. This is the
 /// feature-store primitive that makes training sets *leakage-free* — a
@@ -75,6 +123,13 @@ StatusOr<TrainingSet> PointInTimeJoin(const std::vector<Row>& spine,
                                       const std::vector<JoinSource>& sources,
                                       const JoinOptions& options = {});
 
+/// As above, but reusing a prebuilt SpineIndex (see SpineIndex for when
+/// that pays off). Output is identical to the by-rows overload on the same
+/// spine.
+StatusOr<TrainingSet> PointInTimeJoin(const SpineIndex& spine,
+                                      const std::vector<JoinSource>& sources,
+                                      const JoinOptions& options = {});
+
 /// Deliberately *incorrect* baseline: joins each source's globally latest
 /// value per entity, ignoring the spine timestamp. This is what ad-hoc
 /// training pipelines without a feature store typically do; benchmarks use
@@ -82,6 +137,10 @@ StatusOr<TrainingSet> PointInTimeJoin(const std::vector<Row>& spine,
 StatusOr<TrainingSet> NaiveLatestJoin(const std::vector<Row>& spine,
                                       const std::string& spine_entity_column,
                                       const std::string& spine_time_column,
+                                      const std::vector<JoinSource>& sources,
+                                      const JoinOptions& options = {});
+
+StatusOr<TrainingSet> NaiveLatestJoin(const SpineIndex& spine,
                                       const std::vector<JoinSource>& sources,
                                       const JoinOptions& options = {});
 

@@ -1,11 +1,15 @@
 #include "storage/offline_store.h"
 
 #include <algorithm>
-#include <unordered_set>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <utility>
 
 #include "common/failpoint.h"
 #include "common/serde.h"
 #include "storage/entity_key.h"
+#include "storage/persistence.h"
 
 namespace mlfs {
 
@@ -13,7 +17,13 @@ OfflineTable::OfflineTable(OfflineTableOptions options)
     : options_(std::move(options)) {
   entity_idx_ = options_.schema->FieldIndex(options_.entity_column);
   time_idx_ = options_.schema->FieldIndex(options_.time_column);
+  all_columns_.resize(options_.schema->num_fields());
+  for (size_t i = 0; i < all_columns_.size(); ++i) {
+    all_columns_[i] = static_cast<int>(i);
+  }
 }
+
+OfflineTable::~OfflineTable() { StopMaintenance(); }
 
 StatusOr<std::unique_ptr<OfflineTable>> OfflineTable::Create(
     OfflineTableOptions options) {
@@ -49,6 +59,10 @@ StatusOr<std::unique_ptr<OfflineTable>> OfflineTable::Create(
     return Status::InvalidArgument(
         "time column must be TIMESTAMP NOT NULL");
   }
+  if (options.memory_budget_bytes > 0 && options.spill_dir.empty()) {
+    return Status::InvalidArgument(
+        "memory_budget_bytes requires a spill_dir");
+  }
   return std::unique_ptr<OfflineTable>(new OfflineTable(std::move(options)));
 }
 
@@ -58,6 +72,46 @@ int64_t OfflineTable::PartitionIdFor(Timestamp ts) const {
   int64_t q = ts / g;
   if (ts % g != 0 && ts < 0) --q;
   return q;
+}
+
+OfflineTable::RowLoc OfflineTable::Resolve(const Partition& part,
+                                           size_t ordinal) {
+  RowLoc loc;
+  if (ordinal >= part.head_base) {
+    loc.head = &part.head_rows[ordinal - part.head_base];
+    return loc;
+  }
+  // Rightmost segment whose base is <= ordinal.
+  auto it = std::upper_bound(part.segment_base.begin(),
+                             part.segment_base.end(), ordinal);
+  size_t si = static_cast<size_t>(it - part.segment_base.begin()) - 1;
+  loc.seg = part.segments[si].get();
+  loc.seg_row = ordinal - part.segment_base[si];
+  return loc;
+}
+
+Row OfflineTable::MaterializeRow(const RowLoc& loc) const {
+  if (loc.head != nullptr) return *loc.head;
+  std::vector<Value> values;
+  values.reserve(all_columns_.size());
+  loc.seg->AppendProjected(loc.seg_row, all_columns_, &values);
+  return Row::CreateUnsafe(options_.schema, std::move(values));
+}
+
+Status OfflineTable::SealPartitionLocked(int64_t pid, Partition& part) {
+  if (part.head_rows.empty()) return Status::OK();
+  MLFS_ASSIGN_OR_RETURN(
+      std::string blob,
+      Segment::Encode(options_.schema, pid, entity_idx_, time_idx_,
+                      std::span<const Row>(part.head_rows)));
+  MLFS_ASSIGN_OR_RETURN(SegmentPtr seg, Segment::FromBytes(std::move(blob)));
+  // The head's ordinal range [head_base, head_base + n) moves into the
+  // segment verbatim; no index entry changes.
+  part.segments.push_back(std::move(seg));
+  part.segment_base.push_back(part.head_base);
+  part.head_base += part.head_rows.size();
+  part.head_rows.clear();
+  return Status::OK();
 }
 
 Status OfflineTable::AppendLocked(const Row& row) {
@@ -74,15 +128,15 @@ Status OfflineTable::AppendLocked(const Row& row) {
   Timestamp ts = tvalue.time_value();
   const int64_t pid = PartitionIdFor(ts);
   Partition& part = partitions_[pid];
-  size_t idx = part.rows.size();
-  part.rows.push_back(row);
+  const size_t ordinal = part.head_base + part.head_rows.size();
+  part.head_rows.push_back(row);
   auto& postings = part.index[key];
   // Insert in ts order (stable for equal timestamps: later insert wins by
   // being placed after, so as-of picks the most recently appended row).
   auto pos = std::upper_bound(
       postings.begin(), postings.end(), ts,
       [](Timestamp t, const IndexEntry& e) { return t < e.ts; });
-  postings.insert(pos, IndexEntry{ts, idx});
+  postings.insert(pos, IndexEntry{ts, ordinal});
   // Mirror the insert into the key directory's merged stream. upper_bound
   // places equal timestamps after existing ones — the same
   // most-recently-appended tie-break as the per-partition postings — and
@@ -92,9 +146,15 @@ Status OfflineTable::AppendLocked(const Row& row) {
   auto gpos = std::upper_bound(
       merged.begin(), merged.end(), ts,
       [](Timestamp t, const GlobalPosting& g) { return t < g.ts; });
-  merged.insert(gpos, GlobalPosting{ts, idx, &part});
+  merged.insert(gpos, GlobalPosting{ts, ordinal, &part});
   ++num_rows_;
   max_event_time_ = std::max(max_event_time_, ts);
+  // Auto-seal a full head under the same exclusive lock. No failpoint
+  // here: the row is already appended and indexed, so fault injection on
+  // the seal path belongs to the explicit maintenance entry points.
+  if (options_.seal_rows > 0 && part.head_rows.size() >= options_.seal_rows) {
+    MLFS_RETURN_IF_ERROR(SealPartitionLocked(pid, part));
+  }
   return Status::OK();
 }
 
@@ -131,7 +191,20 @@ std::vector<Row> OfflineTable::ScanIf(
   for (auto it = partitions_.lower_bound(lo_part); it != partitions_.end();
        ++it) {
     if (it->first > hi_part) break;
-    for (const Row& row : it->second.rows) {
+    const Partition& part = it->second;
+    // Segments then head is exactly per-partition append order, which is
+    // the order the legacy row engine scanned — scans stay byte-identical.
+    for (const SegmentPtr& seg : part.segments) {
+      if (seg->max_ts() < lo || seg->min_ts() >= hi) continue;
+      for (size_t r = 0; r < seg->num_rows(); ++r) {
+        Timestamp ts = seg->ts(r);
+        if (ts < lo || ts >= hi) continue;
+        Row row = MaterializeRow(RowLoc{nullptr, seg.get(), r});
+        if (pred && !pred(row)) continue;
+        out.push_back(std::move(row));
+      }
+    }
+    for (const Row& row : part.head_rows) {
       Timestamp ts = row.value(time_idx_).time_value();
       if (ts < lo || ts >= hi) continue;
       if (pred && !pred(row)) continue;
@@ -141,37 +214,112 @@ std::vector<Row> OfflineTable::ScanIf(
   return out;
 }
 
+Status OfflineTable::ValidateReadOptions(
+    const AsOfReadOptions& options) const {
+  if (options.columns.empty()) {
+    if (options.projected_schema != nullptr) {
+      return Status::InvalidArgument(
+          "projected_schema set without a column projection");
+    }
+    return Status::OK();
+  }
+  if (options.projected_schema == nullptr) {
+    return Status::InvalidArgument(
+        "column projection requires projected_schema");
+  }
+  if (options.projected_schema->num_fields() != options.columns.size()) {
+    return Status::InvalidArgument(
+        "projected_schema width does not match projection");
+  }
+  for (size_t i = 0; i < options.columns.size(); ++i) {
+    int col = options.columns[i];
+    if (col < 0 || static_cast<size_t>(col) >= options_.schema->num_fields()) {
+      return Status::InvalidArgument("projection column index out of range");
+    }
+    const FieldSpec& src = options_.schema->field(col);
+    const FieldSpec& dst = options.projected_schema->field(i);
+    if (src.type != dst.type) {
+      return Status::InvalidArgument("projection type mismatch for column '" +
+                                     src.name + "'");
+    }
+    if (src.nullable && !dst.nullable) {
+      return Status::InvalidArgument(
+          "projection drops nullability of column '" + src.name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<Row>> OfflineTable::ScanColumns(
+    Timestamp lo, Timestamp hi, const AsOfReadOptions& options) const {
+  if (options.columns.empty()) {
+    return Status::InvalidArgument("ScanColumns requires a projection");
+  }
+  MLFS_RETURN_IF_ERROR(ValidateReadOptions(options));
+  std::shared_lock lock(mu_);
+  std::vector<Row> out;
+  if (lo >= hi) return out;
+  const int64_t lo_part =
+      (lo == kMinTimestamp) ? INT64_MIN : PartitionIdFor(lo);
+  const int64_t hi_part =
+      (hi == kMaxTimestamp) ? INT64_MAX : PartitionIdFor(hi);
+  std::vector<Value> values;
+  for (auto it = partitions_.lower_bound(lo_part); it != partitions_.end();
+       ++it) {
+    if (it->first > hi_part) break;
+    const Partition& part = it->second;
+    for (const SegmentPtr& seg : part.segments) {
+      if (seg->max_ts() < lo || seg->min_ts() >= hi) continue;
+      for (size_t r = 0; r < seg->num_rows(); ++r) {
+        Timestamp ts = seg->ts(r);
+        if (ts < lo || ts >= hi) continue;
+        values.clear();
+        // Columnar fast path: only the projected columns are decoded;
+        // unrequested columns are never touched.
+        seg->AppendProjected(r, options.columns, &values);
+        out.push_back(Row::CreateUnsafe(options.projected_schema, values));
+      }
+    }
+    for (const Row& row : part.head_rows) {
+      Timestamp ts = row.value(time_idx_).time_value();
+      if (ts < lo || ts >= hi) continue;
+      values.clear();
+      for (int col : options.columns) values.push_back(row.value(col));
+      out.push_back(Row::CreateUnsafe(options.projected_schema, values));
+    }
+  }
+  return out;
+}
+
 StatusOr<Row> OfflineTable::AsOf(const Value& entity_key, Timestamp ts) const {
   MLFS_FAILPOINT("offline_store.as_of");
   MLFS_ASSIGN_OR_RETURN(std::string key, EntityKeyToString(entity_key));
   std::shared_lock lock(mu_);
-  // Walk partitions from the one containing ts backwards in time.
-  auto it = partitions_.upper_bound(
-      ts == kMaxTimestamp ? INT64_MAX : PartitionIdFor(ts));
-  while (it != partitions_.begin()) {
-    --it;
-    const Partition& part = it->second;
-    auto pit = part.index.find(key);
-    if (pit == part.index.end()) continue;
-    const auto& postings = pit->second;
-    // Rightmost posting with posting.ts <= ts.
+  auto dit = key_directory_.find(key);
+  if (dit != key_directory_.end()) {
+    const std::vector<GlobalPosting>& merged = dit->second;
+    // Rightmost posting with posting.ts <= ts: max event time, with the
+    // most-recently-appended row winning equal-timestamp ties.
     auto bit = std::upper_bound(
-        postings.begin(), postings.end(), ts,
-        [](Timestamp t, const IndexEntry& e) { return t < e.ts; });
-    if (bit == postings.begin()) continue;
-    --bit;
-    return part.rows[bit->row_index];
+        merged.begin(), merged.end(), ts,
+        [](Timestamp t, const GlobalPosting& g) { return t < g.ts; });
+    if (bit != merged.begin()) {
+      --bit;
+      return MaterializeRow(Resolve(*bit->part, bit->ordinal));
+    }
   }
   return Status::NotFound("no row for entity '" + key + "' as of " +
                           FormatTimestamp(ts));
 }
 
 Status OfflineTable::AsOfBatch(std::span<const AsOfRequest> requests,
-                               std::span<Row> results) const {
+                               std::span<Row> results,
+                               const AsOfReadOptions& options) const {
   MLFS_FAILPOINT("offline_store.as_of");
   if (results.size() != requests.size()) {
     return Status::InvalidArgument("AsOfBatch results/requests size mismatch");
   }
+  MLFS_RETURN_IF_ERROR(ValidateReadOptions(options));
   for (size_t i = 1; i < requests.size(); ++i) {
     const AsOfRequest& prev = requests[i - 1];
     const AsOfRequest& cur = requests[i];
@@ -181,15 +329,18 @@ Status OfflineTable::AsOfBatch(std::span<const AsOfRequest> requests,
           "AsOfBatch requests must be sorted by (key, ts)");
     }
   }
-  std::shared_lock lock(mu_);
   const size_t n = requests.size();
-  // Pass 1: resolve every request to the address of its matched row (or
-  // null). The key directory holds each entity's merged posting stream
-  // already sorted by ts: one hash probe per *entity*, then one flat
-  // forward cursor answers the entity's whole ascending request run. Row
-  // addresses stay stable for the duration of the shared lock (appends
-  // are excluded), so they can be dereferenced in pass 2.
-  std::vector<const Row*> hits(n, nullptr);
+  if (options.miss_bitmap != nullptr) {
+    options.miss_bitmap->assign((n + 63) / 64, 0);
+  }
+  std::shared_lock lock(mu_);
+  // Pass 1: resolve every request to its matched posting (or null). The
+  // key directory holds each entity's merged posting stream already sorted
+  // by ts: one hash probe per *entity*, then one flat forward cursor
+  // answers the entity's whole ascending request run. Postings and row
+  // storage stay stable for the duration of the shared lock (appends and
+  // maintenance are excluded), so they can be dereferenced in pass 2.
+  std::vector<const GlobalPosting*> hits(n, nullptr);
   size_t i = 0;
   while (i < n) {
     const std::string_view key = requests[i].key;
@@ -209,41 +360,79 @@ Status OfflineTable::AsOfBatch(std::span<const AsOfRequest> requests,
       if (pos > 0) {
         // Rightmost posting with ts <= request: max event time, with the
         // most-recently-appended row winning equal-timestamp ties.
-        const GlobalPosting& g = postings[pos - 1];
-        hits[i] = &g.part->rows[g.row_index];
+        hits[i] = &postings[pos - 1];
       }
     }
   }
-  // Pass 2: copy the matched rows out. The copies are refcount bumps on
-  // control blocks scattered across the partitions, so the loop is
+  // Pass 2: materialize. Misses only mark the bitmap — results[i] is left
+  // untouched, no empty row is built. Segment hits (and projected head
+  // hits) gather the requested cells; full-width head hits are deferred to
+  // the prefetch-pipelined copy loop below, which is the hot shape on the
+  // training path (fresh rows still in the mutable head).
+  const bool projected = !options.columns.empty();
+  std::vector<const Row*> head_hits(n, nullptr);
+  std::vector<Value> values;
+  for (i = 0; i < n; ++i) {
+    const GlobalPosting* g = hits[i];
+    if (g == nullptr) {
+      if (options.miss_bitmap != nullptr) {
+        (*options.miss_bitmap)[i >> 6] |= uint64_t{1} << (i & 63);
+      }
+      continue;
+    }
+    RowLoc loc = Resolve(*g->part, g->ordinal);
+    if (loc.head != nullptr && !projected) {
+      head_hits[i] = loc.head;
+      continue;
+    }
+    values.clear();
+    if (loc.head != nullptr) {
+      for (int col : options.columns) values.push_back(loc.head->value(col));
+    } else {
+      loc.seg->AppendProjected(
+          loc.seg_row, projected ? options.columns : all_columns_, &values);
+    }
+    results[i] = Row::CreateUnsafe(
+        projected ? options.projected_schema : options_.schema, values);
+  }
+  // Pass 3: copy full-width head hits out. The copies are refcount bumps
+  // on control blocks scattered across the partitions, so the loop is
   // latency-bound on cache misses; prefetching the Row object one stage
   // ahead and its shared value buffer a second stage ahead overlaps them.
   constexpr size_t kFetch = 8;
   for (i = 0; i < n; ++i) {
-    if (i + 2 * kFetch < n && hits[i + 2 * kFetch] != nullptr) {
-      __builtin_prefetch(hits[i + 2 * kFetch]);
+    if (i + 2 * kFetch < n && head_hits[i + 2 * kFetch] != nullptr) {
+      __builtin_prefetch(head_hits[i + 2 * kFetch]);
     }
-    if (i + kFetch < n && hits[i + kFetch] != nullptr) {
-      __builtin_prefetch(hits[i + kFetch]->payload_address());
+    if (i + kFetch < n && head_hits[i + kFetch] != nullptr) {
+      __builtin_prefetch(head_hits[i + kFetch]->payload_address());
     }
-    if (hits[i] != nullptr) results[i] = *hits[i];
+    if (head_hits[i] != nullptr) results[i] = *head_hits[i];
   }
   return Status::OK();
 }
 
 std::vector<Row> OfflineTable::LatestPerEntityAsOf(Timestamp ts) const {
   std::shared_lock lock(mu_);
-  std::vector<Row> out;
-  out.reserve(key_directory_.size());
   // Each entity settles with one binary search over its merged posting
   // stream: the rightmost posting with ts <= the cutoff is its latest row.
+  // Emitted in encoded-key order so the result is independent of hash-map
+  // insertion history (a snapshot restore replays rows segment-first).
+  std::vector<std::pair<const std::string*, const GlobalPosting*>> hits;
+  hits.reserve(key_directory_.size());
   for (const auto& [key, merged] : key_directory_) {
     auto it = std::upper_bound(
         merged.begin(), merged.end(), ts,
         [](Timestamp t, const GlobalPosting& g) { return t < g.ts; });
     if (it == merged.begin()) continue;
-    --it;
-    out.push_back(it->part->rows[it->row_index]);
+    hits.emplace_back(&key, &*--it);
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const auto& a, const auto& b) { return *a.first < *b.first; });
+  std::vector<Row> out;
+  out.reserve(hits.size());
+  for (const auto& [key, posting] : hits) {
+    out.push_back(MaterializeRow(Resolve(*posting->part, posting->ordinal)));
   }
   return out;
 }
@@ -273,38 +462,338 @@ Timestamp OfflineTable::max_event_time() const {
   return max_event_time_;
 }
 
+OfflineStorageStats OfflineTable::storage_stats() const {
+  std::shared_lock lock(mu_);
+  OfflineStorageStats stats;
+  for (const auto& [pid, part] : partitions_) {
+    stats.head_rows += part.head_rows.size();
+    for (const SegmentPtr& seg : part.segments) {
+      ++stats.sealed_segments;
+      stats.sealed_rows += seg->num_rows();
+      if (seg->spilled()) {
+        ++stats.spilled_segments;
+        stats.spilled_bytes += seg->encoded_size();
+      } else {
+        stats.resident_segment_bytes += seg->encoded_size();
+      }
+    }
+  }
+  stats.maintenance_errors =
+      maintenance_errors_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+// --- Tier maintenance ----------------------------------------------------
+
+Status OfflineTable::SealHeadsInner(size_t min_rows) {
+  MLFS_FAILPOINT("offline_store.seal");
+  std::unique_lock lock(mu_);
+  for (auto& [pid, part] : partitions_) {
+    if (part.head_rows.size() < std::max<size_t>(min_rows, 1)) continue;
+    MLFS_RETURN_IF_ERROR(SealPartitionLocked(pid, part));
+  }
+  return Status::OK();
+}
+
+Status OfflineTable::SealHeads() {
+  std::lock_guard m(maintenance_mu_);
+  return SealHeadsInner(1);
+}
+
+Status OfflineTable::CompactPartition(int64_t pid) {
+  // Capture the partition's current immutable segment list under the
+  // shared lock. Appends may grow the head (and auto-seal may append NEW
+  // segments) while we merge, but captured segments themselves can only be
+  // replaced by another maintenance pass — and maintenance_mu_ (held by
+  // the caller) serializes those.
+  std::vector<SegmentPtr> captured;
+  {
+    std::shared_lock lock(mu_);
+    auto it = partitions_.find(pid);
+    if (it == partitions_.end()) return Status::OK();
+    captured = it->second.segments;
+  }
+  if (captured.size() < 2) return Status::OK();
+  // Merge off-lock: concatenating segments in order is ordinal order, so
+  // the merged segment covers the contiguous range starting at the first
+  // captured base and the append-order tie-break is untouched.
+  std::vector<Row> rows;
+  size_t total = 0;
+  for (const SegmentPtr& seg : captured) total += seg->num_rows();
+  rows.reserve(total);
+  std::vector<Value> values;
+  for (const SegmentPtr& seg : captured) {
+    for (size_t r = 0; r < seg->num_rows(); ++r) {
+      values.clear();
+      seg->AppendProjected(r, all_columns_, &values);
+      rows.push_back(Row::CreateUnsafe(options_.schema, values));
+    }
+  }
+  MLFS_ASSIGN_OR_RETURN(
+      std::string blob,
+      Segment::Encode(options_.schema, pid, entity_idx_, time_idx_,
+                      std::span<const Row>(rows)));
+  MLFS_ASSIGN_OR_RETURN(SegmentPtr merged, Segment::FromBytes(std::move(blob)));
+  // Swap under the exclusive lock, after verifying the captured prefix is
+  // still in place (it must be — see above — but a pointer check is cheap
+  // insurance against a future locking regression).
+  std::unique_lock lock(mu_);
+  auto it = partitions_.find(pid);
+  if (it == partitions_.end()) {
+    return Status::Internal("partition vanished during compaction");
+  }
+  Partition& part = it->second;
+  if (part.segments.size() < captured.size()) {
+    return Status::Internal("segment list shrank during compaction");
+  }
+  for (size_t s = 0; s < captured.size(); ++s) {
+    if (part.segments[s] != captured[s]) {
+      return Status::Internal("segment list changed during compaction");
+    }
+  }
+  const size_t base = part.segment_base.front();
+  part.segments.erase(part.segments.begin(),
+                      part.segments.begin() + captured.size());
+  part.segments.insert(part.segments.begin(), std::move(merged));
+  part.segment_base.erase(part.segment_base.begin(),
+                          part.segment_base.begin() + captured.size());
+  part.segment_base.insert(part.segment_base.begin(), base);
+  return Status::OK();
+}
+
+Status OfflineTable::CompactInner(size_t min_segments) {
+  MLFS_FAILPOINT("offline_store.compact");
+  std::vector<int64_t> candidates;
+  {
+    std::shared_lock lock(mu_);
+    for (const auto& [pid, part] : partitions_) {
+      if (part.segments.size() >= std::max<size_t>(min_segments, 2)) {
+        candidates.push_back(pid);
+      }
+    }
+  }
+  for (int64_t pid : candidates) {
+    MLFS_RETURN_IF_ERROR(CompactPartition(pid));
+  }
+  return Status::OK();
+}
+
+Status OfflineTable::CompactPartitions() {
+  std::lock_guard m(maintenance_mu_);
+  return CompactInner(2);
+}
+
+Status OfflineTable::EnforceBudgetInner() {
+  if (options_.memory_budget_bytes == 0 || options_.spill_dir.empty()) {
+    return Status::OK();
+  }
+  MLFS_FAILPOINT("offline_store.spill");
+  // Pick victims under the shared lock: coldest (oldest partition) first,
+  // oldest segment within a partition first.
+  struct Victim {
+    int64_t pid;
+    SegmentPtr seg;
+  };
+  std::vector<Victim> victims;
+  {
+    std::shared_lock lock(mu_);
+    size_t resident = 0;
+    for (const auto& [pid, part] : partitions_) {
+      for (const SegmentPtr& seg : part.segments) {
+        if (!seg->spilled()) resident += seg->encoded_size();
+      }
+    }
+    for (const auto& [pid, part] : partitions_) {
+      if (resident <= options_.memory_budget_bytes) break;
+      for (const SegmentPtr& seg : part.segments) {
+        if (seg->spilled()) continue;
+        victims.push_back(Victim{pid, seg});
+        resident -= seg->encoded_size();
+        if (resident <= options_.memory_budget_bytes) break;
+      }
+    }
+  }
+  if (victims.empty()) return Status::OK();
+  std::error_code ec;
+  std::filesystem::create_directories(options_.spill_dir, ec);
+  for (Victim& v : victims) {
+    const std::string path =
+        options_.spill_dir + "/" + options_.name + "_p" +
+        std::to_string(v.pid) + "_" + std::to_string(spill_seq_++) + ".seg";
+    // Write + map + validate off-lock; readers keep using the resident
+    // blob until the swap below, and on any failure the resident segment
+    // simply stays resident — the table is never degraded by a spill
+    // fault.
+    MLFS_RETURN_IF_ERROR(WriteFileAtomic(path, v.seg->encoded()));
+    auto mapped = Segment::FromFile(path, /*remove_file_on_destroy=*/true);
+    if (!mapped.ok()) {
+      std::filesystem::remove(path, ec);
+      return mapped.status();
+    }
+    std::unique_lock lock(mu_);
+    auto it = partitions_.find(v.pid);
+    if (it == partitions_.end()) continue;
+    Partition& part = it->second;
+    for (size_t s = 0; s < part.segments.size(); ++s) {
+      if (part.segments[s] == v.seg) {
+        // Same bytes, different backing store; ordinals (and therefore
+        // every index posting) are untouched. The old resident blob is
+        // freed when in-flight readers drop their reference.
+        part.segments[s] = *mapped;
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status OfflineTable::EnforceMemoryBudget() {
+  std::lock_guard m(maintenance_mu_);
+  return EnforceBudgetInner();
+}
+
+Status OfflineTable::RunMaintenance() {
+  std::lock_guard m(maintenance_mu_);
+  if (options_.seal_rows > 0) {
+    MLFS_RETURN_IF_ERROR(SealHeadsInner(options_.seal_rows));
+  }
+  MLFS_RETURN_IF_ERROR(CompactInner(options_.compact_min_segments));
+  return EnforceBudgetInner();
+}
+
+Status OfflineTable::StartMaintenance(int64_t period_millis) {
+  if (period_millis <= 0) {
+    return Status::InvalidArgument("maintenance period must be positive");
+  }
+  std::lock_guard lock(bg_mu_);
+  if (bg_thread_.joinable()) {
+    return Status::FailedPrecondition("maintenance thread already running");
+  }
+  bg_stop_ = false;
+  bg_thread_ = std::thread([this, period_millis] {
+    std::unique_lock lock(bg_mu_);
+    while (!bg_stop_) {
+      bg_cv_.wait_for(lock, std::chrono::milliseconds(period_millis),
+                      [this] { return bg_stop_; });
+      if (bg_stop_) break;
+      lock.unlock();
+      Status s = RunMaintenance();
+      if (!s.ok()) {
+        maintenance_errors_.fetch_add(1, std::memory_order_relaxed);
+      }
+      lock.lock();
+    }
+  });
+  return Status::OK();
+}
+
+void OfflineTable::StopMaintenance() {
+  std::thread t;
+  {
+    std::lock_guard lock(bg_mu_);
+    bg_stop_ = true;
+    t = std::move(bg_thread_);
+  }
+  bg_cv_.notify_all();
+  if (t.joinable()) t.join();
+}
+
+// --- Snapshots -----------------------------------------------------------
+
 namespace {
+// Legacy (PR <= 5) row-stream snapshot.
 constexpr uint32_t kSnapshotMagic = 0x4d4c4653;  // "MLFS"
+// Segment-carrying snapshot: sealed segments are embedded verbatim
+// (checksums and all) and only the mutable heads travel as a row stream.
+constexpr uint32_t kSnapshotMagicV2 = 0x4d4c4632;  // "MLF2"
 }  // namespace
 
 std::string OfflineTable::Snapshot() const {
   std::shared_lock lock(mu_);
   Encoder enc;
-  enc.PutFixed32(kSnapshotMagic);
+  enc.PutFixed32(kSnapshotMagicV2);
   enc.PutString(options_.name);
   enc.PutString(options_.entity_column);
   enc.PutString(options_.time_column);
   enc.PutFixed64(static_cast<uint64_t>(options_.partition_granularity));
   enc.PutSchema(*options_.schema);
-  enc.PutVarint64(num_rows_);
+  size_t num_segments = 0;
+  size_t head_rows = 0;
   for (const auto& [pid, part] : partitions_) {
-    for (const Row& row : part.rows) enc.PutRow(row);
+    num_segments += part.segments.size();
+    head_rows += part.head_rows.size();
+  }
+  enc.PutVarint64(num_segments);
+  for (const auto& [pid, part] : partitions_) {
+    for (const SegmentPtr& seg : part.segments) enc.PutString(seg->encoded());
+  }
+  enc.PutVarint64(head_rows);
+  for (const auto& [pid, part] : partitions_) {
+    for (const Row& row : part.head_rows) enc.PutRow(row);
   }
   return enc.Release();
+}
+
+Status OfflineTable::AdoptSegmentLocked(const SegmentPtr& seg) {
+  if (!(*seg->schema() == *options_.schema)) {
+    return Status::Corruption("snapshot segment schema does not match table");
+  }
+  if (seg->entity_idx() != entity_idx_ || seg->time_idx() != time_idx_) {
+    return Status::Corruption("snapshot segment column indices do not match");
+  }
+  Partition& part = partitions_[seg->partition_id()];
+  if (!part.head_rows.empty()) {
+    return Status::Corruption("snapshot interleaves segments and head rows");
+  }
+  const size_t base = part.head_base;
+  // Validate partition assignment before adopting: a corrupt-but-checksum-
+  // valid snapshot must not be able to put rows where scans skip them.
+  for (size_t r = 0; r < seg->num_rows(); ++r) {
+    if (PartitionIdFor(seg->ts(r)) != seg->partition_id()) {
+      return Status::Corruption(
+          "snapshot segment row outside its partition's time range");
+    }
+  }
+  part.segments.push_back(seg);
+  part.segment_base.push_back(base);
+  part.head_base += seg->num_rows();
+  // Rebuild index postings. Rows are visited in ordinal order and segments
+  // are adopted in ordinal order, so upper_bound reproduces the original
+  // append-order tie-break for equal timestamps.
+  for (size_t r = 0; r < seg->num_rows(); ++r) {
+    MLFS_ASSIGN_OR_RETURN(std::string key,
+                          EntityKeyToString(seg->value(entity_idx_, r)));
+    const Timestamp ts = seg->ts(r);
+    const size_t ordinal = base + r;
+    auto& postings = part.index[key];
+    auto pos = std::upper_bound(
+        postings.begin(), postings.end(), ts,
+        [](Timestamp t, const IndexEntry& e) { return t < e.ts; });
+    postings.insert(pos, IndexEntry{ts, ordinal});
+    std::vector<GlobalPosting>& merged = key_directory_[key];
+    auto gpos = std::upper_bound(
+        merged.begin(), merged.end(), ts,
+        [](Timestamp t, const GlobalPosting& g) { return t < g.ts; });
+    merged.insert(gpos, GlobalPosting{ts, ordinal, &part});
+    ++num_rows_;
+    max_event_time_ = std::max(max_event_time_, ts);
+  }
+  return Status::OK();
 }
 
 namespace {
 
 struct SnapshotHeader {
+  uint32_t magic = 0;
   OfflineTableOptions options;
 };
 
 StatusOr<SnapshotHeader> ReadSnapshotHeader(Decoder* dec) {
-  MLFS_ASSIGN_OR_RETURN(uint32_t magic, dec->GetFixed32());
-  if (magic != kSnapshotMagic) {
+  SnapshotHeader header;
+  MLFS_ASSIGN_OR_RETURN(header.magic, dec->GetFixed32());
+  if (header.magic != kSnapshotMagic && header.magic != kSnapshotMagicV2) {
     return Status::Corruption("bad snapshot magic");
   }
-  SnapshotHeader header;
   MLFS_ASSIGN_OR_RETURN(header.options.name, dec->GetString());
   MLFS_ASSIGN_OR_RETURN(header.options.entity_column, dec->GetString());
   MLFS_ASSIGN_OR_RETURN(header.options.time_column, dec->GetString());
@@ -320,7 +809,7 @@ StatusOr<SnapshotHeader> ReadSnapshotHeader(Decoder* dec) {
 Status OfflineTable::Restore(std::string_view snapshot) {
   {
     std::shared_lock lock(mu_);
-    if (num_rows_ != 0) {
+    if (num_rows_ != 0 || !partitions_.empty()) {
       return Status::FailedPrecondition("Restore requires an empty table");
     }
   }
@@ -333,8 +822,17 @@ Status OfflineTable::Restore(std::string_view snapshot) {
   if (!(*header.options.schema == *options_.schema)) {
     return Status::InvalidArgument("snapshot schema does not match table");
   }
-  MLFS_ASSIGN_OR_RETURN(uint64_t n, dec.GetVarint64());
   std::unique_lock lock(mu_);
+  if (header.magic == kSnapshotMagicV2) {
+    MLFS_ASSIGN_OR_RETURN(uint64_t num_segments, dec.GetVarint64());
+    for (uint64_t s = 0; s < num_segments; ++s) {
+      MLFS_ASSIGN_OR_RETURN(std::string blob, dec.GetString());
+      MLFS_ASSIGN_OR_RETURN(SegmentPtr seg,
+                            Segment::FromBytes(std::move(blob)));
+      MLFS_RETURN_IF_ERROR(AdoptSegmentLocked(seg));
+    }
+  }
+  MLFS_ASSIGN_OR_RETURN(uint64_t n, dec.GetVarint64());
   for (uint64_t i = 0; i < n; ++i) {
     MLFS_ASSIGN_OR_RETURN(Row row, dec.GetRow(options_.schema));
     MLFS_RETURN_IF_ERROR(AppendLocked(row));
@@ -344,16 +842,10 @@ Status OfflineTable::Restore(std::string_view snapshot) {
 
 StatusOr<std::unique_ptr<OfflineTable>> OfflineTable::FromSnapshot(
     std::string_view snapshot) {
-  Decoder dec(snapshot);
-  MLFS_ASSIGN_OR_RETURN(SnapshotHeader header, ReadSnapshotHeader(&dec));
+  Decoder probe(snapshot);
+  MLFS_ASSIGN_OR_RETURN(SnapshotHeader header, ReadSnapshotHeader(&probe));
   MLFS_ASSIGN_OR_RETURN(auto table, Create(std::move(header.options)));
-  MLFS_ASSIGN_OR_RETURN(uint64_t n, dec.GetVarint64());
-  std::unique_lock lock(table->mu_);
-  for (uint64_t i = 0; i < n; ++i) {
-    MLFS_ASSIGN_OR_RETURN(Row row, dec.GetRow(table->options_.schema));
-    MLFS_RETURN_IF_ERROR(table->AppendLocked(row));
-  }
-  lock.unlock();
+  MLFS_RETURN_IF_ERROR(table->Restore(snapshot));
   return table;
 }
 

@@ -1,6 +1,7 @@
 #ifndef MLFS_STORAGE_OFFLINE_STORE_H_
 #define MLFS_STORAGE_OFFLINE_STORE_H_
 
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
@@ -9,6 +10,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -17,6 +19,7 @@
 #include "common/schema.h"
 #include "common/status.h"
 #include "common/timestamp.h"
+#include "storage/segment.h"
 
 namespace mlfs {
 
@@ -27,6 +30,30 @@ struct AsOfRequest {
   std::string_view key;
   Timestamp ts = 0;
 };
+
+/// Optional knobs for batched reads (AsOfBatch / ScanColumns).
+struct AsOfReadOptions {
+  /// Projection: indices into the table schema to gather, in output order.
+  /// Empty means full width. With columnar segments the projection is
+  /// resolved *before* the gather — unrequested columns are never
+  /// materialized, not copied and dropped.
+  std::span<const int> columns;
+  /// Schema of the projected output rows; must have one field per entry in
+  /// `columns` with matching types. Required iff `columns` is non-empty
+  /// (callers build it once and reuse it so every result row shares one
+  /// schema object).
+  SchemaPtr projected_schema;
+  /// When set, receives one bit per request (bit i of word i/64): 1 means
+  /// the request missed (no history at its timestamp). Missed slots of
+  /// `results` are left untouched — no empty row is materialized — so
+  /// callers null-fill from the bitmap instead of probing result rows.
+  std::vector<uint64_t>* miss_bitmap = nullptr;
+};
+
+/// Tests bit `i` of a miss bitmap produced by AsOfBatch.
+inline bool MissBitmapTest(const std::vector<uint64_t>& bitmap, size_t i) {
+  return (bitmap[i >> 6] >> (i & 63)) & 1;
+}
 
 /// Configuration for one offline (historical) table.
 struct OfflineTableOptions {
@@ -39,6 +66,38 @@ struct OfflineTableOptions {
   /// Rows are grouped into partitions of this width (default: daily), the
   /// standard feature-store layout for time-based joins.
   Timestamp partition_granularity = kMicrosPerDay;
+
+  // --- Columnar / tiered storage knobs ---------------------------------
+  /// A partition's mutable row head seals into an immutable columnar
+  /// segment once it holds this many rows (checked on append, under the
+  /// same exclusive lock). 0 disables automatic sealing; heads then seal
+  /// only through SealHeads()/RunMaintenance().
+  size_t seal_rows = 8192;
+  /// Soft cap on encoded segment bytes kept resident in RAM; 0 means
+  /// unlimited. Over-budget segments spill to `spill_dir` during
+  /// EnforceMemoryBudget()/RunMaintenance() (coldest partition first),
+  /// after which they are served through a read-only file mapping.
+  size_t memory_budget_bytes = 0;
+  /// Directory for spilled segment files; empty disables spilling.
+  std::string spill_dir;
+  /// RunMaintenance() compacts a partition once it accumulates this many
+  /// sealed segments (explicit CompactPartitions() compacts at >= 2).
+  size_t compact_min_segments = 4;
+};
+
+/// Storage-tier counters for one table (see storage_stats()).
+struct OfflineStorageStats {
+  size_t head_rows = 0;
+  size_t sealed_rows = 0;
+  size_t sealed_segments = 0;
+  size_t spilled_segments = 0;
+  /// Encoded bytes of sealed segments held in RAM (what the memory budget
+  /// caps). Spilled segments keep only their decoded time index resident.
+  size_t resident_segment_bytes = 0;
+  /// Encoded bytes of spilled segment files on disk.
+  size_t spilled_bytes = 0;
+  /// RunMaintenance() failures observed by the background thread.
+  uint64_t maintenance_errors = 0;
 };
 
 /// Append-only, time-partitioned table of historical feature rows: the
@@ -46,12 +105,26 @@ struct OfflineTableOptions {
 /// §2.2.2, e.g. a SQL warehouse). Serves full scans for training-set
 /// construction and per-entity *as-of* (point-in-time) reads.
 ///
-/// Thread-safe: appends take an exclusive lock; reads take a shared lock.
+/// Storage is tiered (PR 6): each partition is a mutable row-oriented head
+/// that seals into immutable column-major segments (dictionary strings,
+/// delta-packed timestamps, raw fixed-width numerics; checksummed), which
+/// background maintenance compacts and — past the memory budget — spills
+/// to memory-mapped files so backfills larger than RAM work. Rows keep a
+/// stable per-partition ordinal across seal/compact/spill, so the key
+/// directory built at append time never needs rewriting. The never-sealed
+/// configuration (seal_rows = 0) is exactly the legacy all-in-RAM row
+/// engine and serves as the differential-testing oracle.
+///
+/// Thread-safe: appends and structural changes take an exclusive lock;
+/// reads take a shared lock (sealed segments are immutable, so readers
+/// never observe a segment mid-build).
 class OfflineTable {
  public:
   /// Validates options (columns exist with the required types).
   static StatusOr<std::unique_ptr<OfflineTable>> Create(
       OfflineTableOptions options);
+
+  ~OfflineTable();
 
   /// Appends one row; rows may arrive in any time order (late data is
   /// supported and lands in the partition of its event time).
@@ -67,28 +140,34 @@ class OfflineTable {
   std::vector<Row> ScanIf(Timestamp lo, Timestamp hi,
                           const std::function<bool(const Row&)>& pred) const;
 
+  /// Projected scan: materializes only `options.columns` (required), in
+  /// rows conforming to `options.projected_schema`. On sealed segments the
+  /// unrequested columns are never touched.
+  StatusOr<std::vector<Row>> ScanColumns(Timestamp lo, Timestamp hi,
+                                         const AsOfReadOptions& options) const;
+
   /// The most recent row for `entity_key` with event_time <= ts
   /// (point-in-time read). NotFound if the entity has no history at ts.
   StatusOr<Row> AsOf(const Value& entity_key, Timestamp ts) const;
 
   /// Batched point-in-time reads: the offline half of the training hot
   /// path. `requests` must be sorted ascending by (key, ts); the call
-  /// acquires the shared lock **once**, walks each entity's per-partition
-  /// postings with a single forward merged cursor (partitions cover
-  /// disjoint time ranges, so the merged stream is their concatenation in
-  /// partition order), and answers all of an entity's requests in one
-  /// pass. `results[i]` receives the matched row for `requests[i]`, or is
-  /// left a default (schema-less) Row when no history qualifies — callers
-  /// test `results[i].schema() != nullptr`. Tie-break matches AsOf: for
-  /// equal event times the most recently appended row wins.
+  /// acquires the shared lock **once**, probes the key directory once per
+  /// entity, and answers all of an entity's requests with one flat forward
+  /// cursor walk. `results[i]` receives the matched row — a head-row copy
+  /// or a columnar gather — or is left untouched on a miss: callers either
+  /// pass `options.miss_bitmap` or test `results[i].schema() != nullptr`
+  /// against default-constructed inputs. Tie-break matches AsOf: for equal
+  /// event times the most recently appended row wins. With
+  /// `options.columns` set, results conform to `options.projected_schema`
+  /// and only those columns are gathered.
   ///
-  /// InvalidArgument if `results.size() != requests.size()` or the
-  /// requests are not sorted. The `offline_store.as_of` failpoint is
-  /// evaluated once per call; unlike the per-row path (whose callers have
-  /// historically NULL-filled on error), a batch failure is surfaced to
-  /// the caller.
+  /// InvalidArgument if `results.size() != requests.size()`, the requests
+  /// are not sorted, or the projection is malformed. The
+  /// `offline_store.as_of` failpoint is evaluated once per call.
   Status AsOfBatch(std::span<const AsOfRequest> requests,
-                   std::span<Row> results) const;
+                   std::span<Row> results,
+                   const AsOfReadOptions& options = {}) const;
 
   /// Latest row per entity as of `ts` — the materialization query that
   /// loads the online store.
@@ -96,6 +175,39 @@ class OfflineTable {
 
   /// All distinct entity keys (canonical string form).
   std::vector<std::string> EntityKeys() const;
+
+  // --- Tier maintenance -------------------------------------------------
+
+  /// Seals every partition's non-empty mutable head into a columnar
+  /// segment. The `offline_store.seal` failpoint fires once per call.
+  Status SealHeads();
+
+  /// Merges every partition with >= 2 sealed segments into one segment per
+  /// partition. Runs the merge off the table lock (segments are immutable)
+  /// and swaps under the exclusive lock. `offline_store.compact` failpoint.
+  Status CompactPartitions();
+
+  /// Spills the coldest resident segments to `spill_dir` until resident
+  /// segment bytes fit `memory_budget_bytes` (no-op when unconfigured).
+  /// File writes run off the table lock; the resident blob is swapped for
+  /// the validated file mapping under the exclusive lock.
+  /// `offline_store.spill` failpoint.
+  Status EnforceMemoryBudget();
+
+  /// SealHeads (only heads at/above seal_rows) + CompactPartitions (only
+  /// partitions at/above compact_min_segments) + EnforceMemoryBudget — the
+  /// periodic maintenance step the background thread runs.
+  Status RunMaintenance();
+
+  /// Starts a background maintenance thread running RunMaintenance() every
+  /// `period_millis`. FailedPrecondition if already running. Errors are
+  /// counted in storage_stats().maintenance_errors, never fatal.
+  Status StartMaintenance(int64_t period_millis);
+
+  /// Stops and joins the background maintenance thread (idempotent).
+  void StopMaintenance();
+
+  OfflineStorageStats storage_stats() const;
 
   const OfflineTableOptions& options() const { return options_; }
   const std::string& name() const { return options_.name; }
@@ -105,12 +217,14 @@ class OfflineTable {
   Timestamp max_event_time() const;
 
   /// Serializes the table: options (name, key/time columns, granularity),
-  /// schema, and all rows. Self-contained: FromSnapshot() reconstructs the
-  /// table without external metadata.
+  /// schema, sealed segments (encoded blobs, checksums and all) and the
+  /// mutable heads' rows. Self-contained: FromSnapshot() reconstructs the
+  /// table — including its sealed tier — without external metadata.
   std::string Snapshot() const;
 
-  /// Restores rows from `Snapshot()` output into this (empty) table; the
-  /// snapshot's name and schema must match.
+  /// Restores from `Snapshot()` output into this (empty) table; the
+  /// snapshot's name and schema must match. Understands both the current
+  /// segment-carrying format and the legacy row-stream format.
   Status Restore(std::string_view snapshot);
 
   /// Reconstructs a table (options + data) from `Snapshot()` output.
@@ -120,7 +234,7 @@ class OfflineTable {
  private:
   struct IndexEntry {
     Timestamp ts;
-    size_t row_index;
+    size_t ordinal;
   };
   /// Transparent hash/eq so batch reads can probe the index with
   /// string_view keys without materializing a std::string per lookup.
@@ -134,32 +248,61 @@ class OfflineTable {
       return a == b;
     }
   };
+  /// One partition: sealed columnar segments (ordinal ranges
+  /// [segment_base[i], segment_base[i] + segments[i]->num_rows())) followed
+  /// by the mutable row head at [head_base, head_base + head_rows.size()).
+  /// Ordinals are assigned at append time and never change: sealing moves
+  /// the head's ordinal range into a segment, compaction concatenates
+  /// adjacent segments' ranges, spilling only swaps a segment's backing
+  /// store — so index postings survive every tier transition untouched.
   struct Partition {
-    std::vector<Row> rows;
-    // Per-entity (ts, row) postings, kept sorted by ts at insert time so
-    // concurrent readers never need to mutate the index. Equal timestamps
-    // keep append order (later appends later), which is what gives as-of
-    // reads their most-recently-appended tie-break.
+    std::vector<SegmentPtr> segments;
+    std::vector<size_t> segment_base;  // Parallel to `segments`.
+    size_t head_base = 0;
+    std::vector<Row> head_rows;
+    // Per-entity (ts, ordinal) postings, kept sorted by ts at insert time
+    // so concurrent readers never need to mutate the index. Equal
+    // timestamps keep append order (later appends later), which is what
+    // gives as-of reads their most-recently-appended tie-break.
     std::unordered_map<std::string, std::vector<IndexEntry>, KeyHash, KeyEq>
         index;
   };
   /// One row reference in the cross-partition key directory. The Partition
-  /// pointer is node-stable (std::map node); the row is addressed by index
-  /// because Partition::rows reallocates as it grows.
+  /// pointer is node-stable (std::map node); the row is addressed by its
+  /// stable ordinal (see Partition).
   struct GlobalPosting {
     Timestamp ts;
-    size_t row_index;
+    size_t ordinal;
     const Partition* part;
+  };
+  /// A resolved ordinal: either a head row or a (segment, local row) pair.
+  struct RowLoc {
+    const Row* head = nullptr;
+    const Segment* seg = nullptr;
+    size_t seg_row = 0;
   };
 
   explicit OfflineTable(OfflineTableOptions options);
 
   Status AppendLocked(const Row& row);
+  /// Seals `part`'s head into a segment (caller holds the exclusive lock).
+  Status SealPartitionLocked(int64_t pid, Partition& part);
+  /// Adopts a restored segment as the next ordinal range of its partition
+  /// and rebuilds its index postings (caller holds the exclusive lock).
+  Status AdoptSegmentLocked(const SegmentPtr& seg);
+  Status CompactPartition(int64_t pid);
+  Status SealHeadsInner(size_t min_rows);
+  Status CompactInner(size_t min_segments);
+  Status EnforceBudgetInner();
+  Status ValidateReadOptions(const AsOfReadOptions& options) const;
+  static RowLoc Resolve(const Partition& part, size_t ordinal);
+  Row MaterializeRow(const RowLoc& loc) const;
   int64_t PartitionIdFor(Timestamp ts) const;
 
   OfflineTableOptions options_;
   int entity_idx_ = -1;
   int time_idx_ = -1;
+  std::vector<int> all_columns_;  // 0..num_fields-1, for full-width gathers.
 
   mutable std::shared_mutex mu_;
   // Ordered so as-of reads can walk partitions newest-first.
@@ -174,6 +317,17 @@ class OfflineTable {
       key_directory_;
   size_t num_rows_ = 0;
   Timestamp max_event_time_ = kMinTimestamp;
+
+  // Serializes compaction/spill passes so their off-lock work never
+  // targets a segment another maintenance pass is replacing.
+  std::mutex maintenance_mu_;
+  uint64_t spill_seq_ = 0;  // Guarded by maintenance_mu_.
+  std::atomic<uint64_t> maintenance_errors_{0};
+
+  std::mutex bg_mu_;
+  std::condition_variable bg_cv_;
+  std::thread bg_thread_;
+  bool bg_stop_ = false;
 };
 
 /// Named collection of offline tables.

@@ -1,0 +1,634 @@
+#include "storage/segment.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <unordered_map>
+
+#include "common/failpoint.h"
+#include "common/hash.h"
+#include "common/serde.h"
+
+namespace mlfs {
+namespace {
+
+constexpr uint32_t kSegmentMagic = 0x47534c4d;  // "MLSG"
+constexpr uint32_t kSegmentVersion = 1;
+// magic + version + body_len up front, body hash behind the body.
+constexpr size_t kPreludeSize = 4 + 4 + 8;
+constexpr size_t kTrailerSize = 8;
+
+// Raw little-endian-host loads/stores. The column buffers use memcpy'd host
+// integers (like FastHash64) rather than the serde byte-by-byte codec: the
+// sections are accessed in place through the file mapping, so load cost is
+// what matters. Segments are scratch + checkpoint artifacts for one host,
+// not a cross-architecture interchange format.
+uint64_t LoadU64(const unsigned char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+uint32_t LoadU32(const unsigned char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+void AppendU64(std::string* buf, uint64_t v) {
+  buf->append(reinterpret_cast<const char*>(&v), 8);
+}
+
+void AppendU32(std::string* buf, uint32_t v) {
+  buf->append(reinterpret_cast<const char*>(&v), 4);
+}
+
+void AppendVarint(std::string* buf, uint64_t v) {
+  while (v >= 0x80) {
+    buf->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  buf->push_back(static_cast<char>(v));
+}
+
+uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t ZigzagDecode(uint64_t u) {
+  return static_cast<int64_t>((u >> 1) ^ (0 - (u & 1)));
+}
+
+// Reads one varint from [p, end); advances *p. False on overrun/overlong.
+bool ReadVarint(const unsigned char** p, const unsigned char* end,
+                uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (*p < end && shift < 64) {
+    unsigned char byte = **p;
+    ++*p;
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+ColumnEncoding EncodingFor(FeatureType type) {
+  switch (type) {
+    case FeatureType::kNull:
+      return ColumnEncoding::kNullOnly;
+    case FeatureType::kBool:
+      return ColumnEncoding::kBool;
+    case FeatureType::kInt64:
+      return ColumnEncoding::kRaw64;
+    case FeatureType::kDouble:
+      return ColumnEncoding::kRaw64;
+    case FeatureType::kString:
+      return ColumnEncoding::kDictionary;
+    case FeatureType::kTimestamp:
+      return ColumnEncoding::kDeltaTimestamp;
+    case FeatureType::kEmbedding:
+      return ColumnEncoding::kFloatList;
+  }
+  return ColumnEncoding::kNullOnly;
+}
+
+}  // namespace
+
+StatusOr<std::string> Segment::Encode(const SchemaPtr& schema,
+                                      int64_t partition_id, int entity_idx,
+                                      int time_idx,
+                                      std::span<const Row> rows) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("segment needs a schema");
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("cannot seal an empty segment");
+  }
+  const size_t n = rows.size();
+  const size_t ncols = schema->num_fields();
+  if (entity_idx < 0 || static_cast<size_t>(entity_idx) >= ncols ||
+      time_idx < 0 || static_cast<size_t>(time_idx) >= ncols) {
+    return Status::InvalidArgument("segment entity/time index out of range");
+  }
+  if (schema->field(time_idx).type != FeatureType::kTimestamp) {
+    return Status::InvalidArgument("segment time column is not a timestamp");
+  }
+  for (const Row& row : rows) {
+    if (row.schema() == nullptr || !(*row.schema() == *schema)) {
+      return Status::InvalidArgument("segment rows have mixed schemas");
+    }
+  }
+  Timestamp min_ts = kMaxTimestamp;
+  Timestamp max_ts = kMinTimestamp;
+  for (const Row& row : rows) {
+    const Value& tv = row.value(time_idx);
+    if (tv.is_null()) {
+      return Status::InvalidArgument("segment row has null event time");
+    }
+    min_ts = std::min(min_ts, tv.time_value());
+    max_ts = std::max(max_ts, tv.time_value());
+  }
+
+  std::vector<std::string> col_bufs(ncols);
+  for (size_t c = 0; c < ncols; ++c) {
+    const FeatureType type = schema->field(c).type;
+    const ColumnEncoding enc = EncodingFor(type);
+    std::string& buf = col_bufs[c];
+    bool has_nulls = false;
+    for (const Row& row : rows) {
+      if (row.value(c).is_null()) {
+        has_nulls = true;
+        break;
+      }
+    }
+    buf.push_back(has_nulls ? 1 : 0);
+    if (has_nulls) {
+      std::string bitmap((n + 7) / 8, '\0');
+      for (size_t r = 0; r < n; ++r) {
+        if (rows[r].value(c).is_null()) {
+          bitmap[r >> 3] |= static_cast<char>(1u << (r & 7));
+        }
+      }
+      buf.append(bitmap);
+    }
+    switch (enc) {
+      case ColumnEncoding::kNullOnly:
+        for (size_t r = 0; r < n; ++r) {
+          if (!rows[r].value(c).is_null()) {
+            return Status::InvalidArgument(
+                "non-null value in a NULL-typed column");
+          }
+        }
+        break;
+      case ColumnEncoding::kRaw64:
+        for (size_t r = 0; r < n; ++r) {
+          const Value& v = rows[r].value(c);
+          uint64_t bits = 0;
+          if (!v.is_null()) {
+            if (type == FeatureType::kInt64) {
+              bits = static_cast<uint64_t>(v.int64_value());
+            } else {
+              double d = v.double_value();
+              std::memcpy(&bits, &d, 8);
+            }
+          }
+          AppendU64(&buf, bits);
+        }
+        break;
+      case ColumnEncoding::kBool:
+        for (size_t r = 0; r < n; ++r) {
+          const Value& v = rows[r].value(c);
+          buf.push_back(!v.is_null() && v.bool_value() ? 1 : 0);
+        }
+        break;
+      case ColumnEncoding::kDeltaTimestamp: {
+        // Null cells repeat the previous value (delta 0); the bitmap is
+        // what makes them NULL on read.
+        Timestamp prev = 0;
+        for (size_t r = 0; r < n; ++r) {
+          const Value& v = rows[r].value(c);
+          Timestamp t = v.is_null() ? prev : v.time_value();
+          AppendVarint(&buf, ZigzagEncode(t - prev));
+          prev = t;
+        }
+        break;
+      }
+      case ColumnEncoding::kDictionary: {
+        // Dictionary in first-appearance order; null cells take code 0.
+        std::unordered_map<std::string_view, uint32_t> dict;
+        std::vector<std::string_view> dict_order;
+        std::vector<uint32_t> codes(n, 0);
+        for (size_t r = 0; r < n; ++r) {
+          const Value& v = rows[r].value(c);
+          if (v.is_null()) continue;
+          std::string_view s = v.string_value();
+          auto [it, inserted] =
+              dict.emplace(s, static_cast<uint32_t>(dict_order.size()));
+          if (inserted) dict_order.push_back(s);
+          codes[r] = it->second;
+        }
+        AppendU32(&buf, static_cast<uint32_t>(dict_order.size()));
+        for (uint32_t code : codes) AppendU32(&buf, code);
+        uint32_t offset = 0;
+        AppendU32(&buf, 0);
+        for (std::string_view s : dict_order) {
+          if (s.size() > UINT32_MAX - offset) {
+            return Status::InvalidArgument("dictionary blob exceeds 4 GiB");
+          }
+          offset += static_cast<uint32_t>(s.size());
+          AppendU32(&buf, offset);
+        }
+        for (std::string_view s : dict_order) buf.append(s);
+        break;
+      }
+      case ColumnEncoding::kFloatList: {
+        uint64_t fence = 0;
+        AppendU64(&buf, 0);
+        for (size_t r = 0; r < n; ++r) {
+          const Value& v = rows[r].value(c);
+          if (!v.is_null()) fence += v.embedding_value().size();
+          AppendU64(&buf, fence);
+        }
+        for (size_t r = 0; r < n; ++r) {
+          const Value& v = rows[r].value(c);
+          if (v.is_null()) continue;
+          const std::vector<float>& e = v.embedding_value();
+          buf.append(reinterpret_cast<const char*>(e.data()),
+                     e.size() * sizeof(float));
+        }
+        break;
+      }
+    }
+  }
+
+  Encoder header;
+  header.PutFixed64(static_cast<uint64_t>(partition_id));
+  header.PutVarint64(static_cast<uint64_t>(entity_idx));
+  header.PutVarint64(static_cast<uint64_t>(time_idx));
+  header.PutSchema(*schema);
+  header.PutVarint64(n);
+  header.PutFixed64(static_cast<uint64_t>(min_ts));
+  header.PutFixed64(static_cast<uint64_t>(max_ts));
+  header.PutVarint64(ncols);
+  for (size_t c = 0; c < ncols; ++c) {
+    header.PutU8(static_cast<uint8_t>(EncodingFor(schema->field(c).type)));
+    header.PutFixed64(HashBytes(col_bufs[c]));
+    header.PutVarint64(col_bufs[c].size());
+  }
+
+  std::string body = header.Release();
+  for (const std::string& buf : col_bufs) body.append(buf);
+
+  Encoder out;
+  out.PutFixed32(kSegmentMagic);
+  out.PutFixed32(kSegmentVersion);
+  out.PutFixed64(body.size());
+  std::string blob = out.Release();
+  blob.append(body);
+  const uint64_t body_hash = HashBytes(body);
+  blob.append(reinterpret_cast<const char*>(&body_hash), 8);
+  return blob;
+}
+
+Status Segment::Parse() {
+  if (data_.size() < kPreludeSize + kTrailerSize) {
+    return Status::Corruption("segment: blob shorter than prelude");
+  }
+  Decoder prelude(data_);
+  MLFS_ASSIGN_OR_RETURN(uint32_t magic, prelude.GetFixed32());
+  if (magic != kSegmentMagic) {
+    return Status::Corruption("segment: bad magic");
+  }
+  MLFS_ASSIGN_OR_RETURN(uint32_t version, prelude.GetFixed32());
+  if (version != kSegmentVersion) {
+    return Status::Corruption("segment: unsupported version " +
+                              std::to_string(version));
+  }
+  MLFS_ASSIGN_OR_RETURN(uint64_t body_len, prelude.GetFixed64());
+  if (data_.size() - kPreludeSize - kTrailerSize != body_len) {
+    return Status::Corruption("segment: body length mismatch (header says " +
+                              std::to_string(body_len) + ", blob holds " +
+                              std::to_string(data_.size() - kPreludeSize -
+                                             kTrailerSize) +
+                              ")");
+  }
+  const std::string_view body = data_.substr(kPreludeSize, body_len);
+  const uint64_t want_hash = LoadU64(reinterpret_cast<const unsigned char*>(
+      data_.data() + kPreludeSize + body_len));
+  if (HashBytes(body) != want_hash) {
+    return Status::Corruption("segment: body checksum mismatch");
+  }
+
+  Decoder dec(body);
+  MLFS_ASSIGN_OR_RETURN(uint64_t pid_bits, dec.GetFixed64());
+  partition_id_ = static_cast<int64_t>(pid_bits);
+  MLFS_ASSIGN_OR_RETURN(uint64_t eidx, dec.GetVarint64());
+  MLFS_ASSIGN_OR_RETURN(uint64_t tidx, dec.GetVarint64());
+  MLFS_ASSIGN_OR_RETURN(schema_, dec.GetSchema());
+  MLFS_ASSIGN_OR_RETURN(uint64_t n, dec.GetVarint64());
+  MLFS_ASSIGN_OR_RETURN(uint64_t min_bits, dec.GetFixed64());
+  MLFS_ASSIGN_OR_RETURN(uint64_t max_bits, dec.GetFixed64());
+  min_ts_ = static_cast<Timestamp>(min_bits);
+  max_ts_ = static_cast<Timestamp>(max_bits);
+  MLFS_ASSIGN_OR_RETURN(uint64_t ncols, dec.GetVarint64());
+  if (n == 0) return Status::Corruption("segment: zero rows");
+  if (ncols != schema_->num_fields()) {
+    return Status::Corruption("segment: column count does not match schema");
+  }
+  if (eidx >= ncols || tidx >= ncols) {
+    return Status::Corruption("segment: entity/time index out of range");
+  }
+  entity_idx_ = static_cast<int>(eidx);
+  time_idx_ = static_cast<int>(tidx);
+  const FieldSpec& efield = schema_->field(entity_idx_);
+  if (efield.type != FeatureType::kInt64 &&
+      efield.type != FeatureType::kString) {
+    return Status::Corruption("segment: entity column is not INT64/STRING");
+  }
+  if (schema_->field(time_idx_).type != FeatureType::kTimestamp) {
+    return Status::Corruption("segment: time column is not TIMESTAMP");
+  }
+  num_rows_ = n;
+
+  struct ColMeta {
+    ColumnEncoding enc;
+    uint64_t hash;
+    uint64_t len;
+  };
+  std::vector<ColMeta> metas;
+  metas.reserve(ncols);
+  uint64_t cols_total = 0;
+  for (size_t c = 0; c < ncols; ++c) {
+    MLFS_ASSIGN_OR_RETURN(uint8_t enc_byte, dec.GetU8());
+    if (enc_byte > static_cast<uint8_t>(ColumnEncoding::kFloatList)) {
+      return Status::Corruption("segment: unknown column encoding");
+    }
+    MLFS_ASSIGN_OR_RETURN(uint64_t hash, dec.GetFixed64());
+    MLFS_ASSIGN_OR_RETURN(uint64_t len, dec.GetVarint64());
+    metas.push_back({static_cast<ColumnEncoding>(enc_byte), hash, len});
+    cols_total += len;
+  }
+  if (dec.remaining() != cols_total) {
+    return Status::Corruption("segment: column sections do not fill the body");
+  }
+
+  const unsigned char* cursor =
+      reinterpret_cast<const unsigned char*>(body.data()) +
+      (body.size() - dec.remaining());
+  cols_.resize(ncols);
+  delta_cols_.assign(ncols, {});
+  const size_t bitmap_bytes = (n + 7) / 8;
+  for (size_t c = 0; c < ncols; ++c) {
+    const ColMeta& meta = metas[c];
+    if (meta.enc != EncodingFor(schema_->field(c).type)) {
+      return Status::Corruption(
+          "segment: column encoding does not match schema type");
+    }
+    const unsigned char* buf = cursor;
+    cursor += meta.len;
+    if (HashBytes(std::string_view(reinterpret_cast<const char*>(buf),
+                                   meta.len)) != meta.hash) {
+      return Status::Corruption("segment: column " + std::to_string(c) +
+                                " checksum mismatch");
+    }
+    Column& col = cols_[c];
+    col.enc = meta.enc;
+    if (meta.len < 1) {
+      return Status::Corruption("segment: column section truncated");
+    }
+    const bool has_nulls = buf[0] != 0;
+    size_t pos = 1;
+    if (has_nulls) {
+      if (meta.len < pos + bitmap_bytes) {
+        return Status::Corruption("segment: null bitmap truncated");
+      }
+      col.nulls = buf + pos;
+      pos += bitmap_bytes;
+    }
+    col.data = buf + pos;
+    col.data_len = meta.len - pos;
+    const auto data_end = col.data + col.data_len;
+    switch (col.enc) {
+      case ColumnEncoding::kNullOnly:
+        if (col.data_len != 0) {
+          return Status::Corruption("segment: NULL column carries data");
+        }
+        if (!has_nulls) {
+          return Status::Corruption("segment: NULL column without null bits");
+        }
+        for (size_t r = 0; r < n; ++r) {
+          if (!NullBit(col, r)) {
+            return Status::Corruption(
+                "segment: NULL column has a non-null row");
+          }
+        }
+        break;
+      case ColumnEncoding::kRaw64:
+        if (col.data_len != 8 * n) {
+          return Status::Corruption("segment: raw64 column has wrong size");
+        }
+        break;
+      case ColumnEncoding::kBool:
+        if (col.data_len != n) {
+          return Status::Corruption("segment: bool column has wrong size");
+        }
+        for (size_t r = 0; r < n; ++r) {
+          if (col.data[r] > 1) {
+            return Status::Corruption("segment: bool column byte not 0/1");
+          }
+        }
+        break;
+      case ColumnEncoding::kDeltaTimestamp: {
+        std::vector<Timestamp>& decoded = delta_cols_[c];
+        decoded.reserve(n);
+        const unsigned char* p = col.data;
+        Timestamp prev = 0;
+        for (size_t r = 0; r < n; ++r) {
+          uint64_t u;
+          if (!ReadVarint(&p, data_end, &u)) {
+            return Status::Corruption("segment: timestamp stream truncated");
+          }
+          prev += ZigzagDecode(u);
+          decoded.push_back(prev);
+        }
+        if (p != data_end) {
+          return Status::Corruption(
+              "segment: timestamp stream has trailing bytes");
+        }
+        break;
+      }
+      case ColumnEncoding::kDictionary: {
+        if (col.data_len < 4) {
+          return Status::Corruption("segment: dictionary header truncated");
+        }
+        col.dict_count = LoadU32(col.data);
+        const uint64_t fixed =
+            4 + 4 * static_cast<uint64_t>(n) +
+            4 * (static_cast<uint64_t>(col.dict_count) + 1);
+        if (col.data_len < fixed) {
+          return Status::Corruption("segment: dictionary sections truncated");
+        }
+        col.codes = col.data + 4;
+        col.dict_offsets = col.codes + 4 * n;
+        col.dict_blob = col.dict_offsets + 4 * (col.dict_count + 1);
+        const uint64_t blob_len = col.data_len - fixed;
+        if (LoadU32(col.dict_offsets) != 0) {
+          return Status::Corruption(
+              "segment: dictionary offsets do not start at 0");
+        }
+        for (uint32_t d = 0; d < col.dict_count; ++d) {
+          if (LoadU32(col.dict_offsets + 4 * d) >
+              LoadU32(col.dict_offsets + 4 * (d + 1))) {
+            return Status::Corruption(
+                "segment: dictionary offsets not monotonic");
+          }
+        }
+        if (LoadU32(col.dict_offsets + 4 * col.dict_count) != blob_len) {
+          return Status::Corruption(
+              "segment: dictionary blob length mismatch");
+        }
+        for (size_t r = 0; r < n; ++r) {
+          if (NullBit(col, r)) continue;
+          if (LoadU32(col.codes + 4 * r) >= col.dict_count) {
+            return Status::Corruption(
+                "segment: dictionary code out of range");
+          }
+        }
+        break;
+      }
+      case ColumnEncoding::kFloatList: {
+        const uint64_t fences_len = 8 * (static_cast<uint64_t>(n) + 1);
+        if (col.data_len < fences_len) {
+          return Status::Corruption("segment: float fences truncated");
+        }
+        col.fences = col.data;
+        col.floats = col.data + fences_len;
+        const uint64_t floats_len = col.data_len - fences_len;
+        if (floats_len % 4 != 0) {
+          return Status::Corruption("segment: float blob misaligned");
+        }
+        if (LoadU64(col.fences) != 0) {
+          return Status::Corruption("segment: float fences not zero-based");
+        }
+        for (size_t r = 0; r < n; ++r) {
+          if (LoadU64(col.fences + 8 * r) > LoadU64(col.fences + 8 * r + 8)) {
+            return Status::Corruption("segment: float fences not monotonic");
+          }
+        }
+        if (LoadU64(col.fences + 8 * n) != floats_len / 4) {
+          return Status::Corruption("segment: float blob length mismatch");
+        }
+        break;
+      }
+    }
+  }
+
+  // The time column must be delta-encoded (verified above via EncodingFor)
+  // and its decoded stream must agree with the header's min/max.
+  const std::vector<Timestamp>& ts = delta_cols_[time_idx_];
+  Timestamp lo = kMaxTimestamp;
+  Timestamp hi = kMinTimestamp;
+  for (Timestamp t : ts) {
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  if (lo != min_ts_ || hi != max_ts_) {
+    return Status::Corruption("segment: min/max event time mismatch");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::shared_ptr<const Segment>> Segment::FromBytes(
+    std::string bytes) {
+  std::shared_ptr<Segment> seg(new Segment());
+  seg->bytes_ = std::move(bytes);
+  seg->data_ = seg->bytes_;
+  MLFS_RETURN_IF_ERROR(seg->Parse());
+  return std::shared_ptr<const Segment>(std::move(seg));
+}
+
+StatusOr<std::shared_ptr<const Segment>> Segment::FromFile(
+    std::string path, bool remove_file_on_destroy) {
+  MLFS_FAILPOINT("segment.open");
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("cannot open segment file '" + path + "'");
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    return Status::Corruption("cannot stat segment file '" + path + "'");
+  }
+  void* map = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
+                     MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    return Status::Internal("mmap failed for segment file '" + path + "'");
+  }
+  std::shared_ptr<Segment> seg(new Segment());
+  seg->map_data_ = map;
+  seg->map_len_ = static_cast<size_t>(st.st_size);
+  seg->path_ = std::move(path);
+  seg->remove_file_on_destroy_ = remove_file_on_destroy;
+  seg->data_ = std::string_view(static_cast<const char*>(map), seg->map_len_);
+  MLFS_RETURN_IF_ERROR(seg->Parse());
+  return std::shared_ptr<const Segment>(std::move(seg));
+}
+
+Segment::~Segment() {
+  if (map_data_ != nullptr) {
+    ::munmap(map_data_, map_len_);
+    if (remove_file_on_destroy_) {
+      std::error_code ec;
+      std::filesystem::remove(path_, ec);
+    }
+  }
+}
+
+size_t Segment::resident_bytes() const {
+  size_t total = spilled() ? 0 : bytes_.size();
+  for (const std::vector<Timestamp>& d : delta_cols_) {
+    total += d.size() * sizeof(Timestamp);
+  }
+  return total;
+}
+
+bool Segment::is_null(size_t col, size_t row) const {
+  MLFS_DCHECK(col < cols_.size() && row < num_rows_);
+  return NullBit(cols_[col], row);
+}
+
+Value Segment::value(size_t col, size_t row) const {
+  MLFS_DCHECK(col < cols_.size() && row < num_rows_);
+  const Column& c = cols_[col];
+  if (NullBit(c, row)) return Value::Null();
+  switch (c.enc) {
+    case ColumnEncoding::kNullOnly:
+      return Value::Null();
+    case ColumnEncoding::kRaw64: {
+      const uint64_t bits = LoadU64(c.data + 8 * row);
+      if (schema_->field(col).type == FeatureType::kInt64) {
+        return Value::Int64(static_cast<int64_t>(bits));
+      }
+      double d;
+      std::memcpy(&d, &bits, 8);
+      return Value::Double(d);
+    }
+    case ColumnEncoding::kBool:
+      return Value::Bool(c.data[row] != 0);
+    case ColumnEncoding::kDeltaTimestamp:
+      return Value::Time(delta_cols_[col][row]);
+    case ColumnEncoding::kDictionary: {
+      const uint32_t code = LoadU32(c.codes + 4 * row);
+      const uint32_t beg = LoadU32(c.dict_offsets + 4 * code);
+      const uint32_t end = LoadU32(c.dict_offsets + 4 * (code + 1));
+      return Value::String(
+          std::string(reinterpret_cast<const char*>(c.dict_blob) + beg,
+                      end - beg));
+    }
+    case ColumnEncoding::kFloatList: {
+      const uint64_t beg = LoadU64(c.fences + 8 * row);
+      const uint64_t end = LoadU64(c.fences + 8 * row + 8);
+      std::vector<float> floats(end - beg);
+      std::memcpy(floats.data(), c.floats + 4 * beg, 4 * (end - beg));
+      return Value::Embedding(std::move(floats));
+    }
+  }
+  return Value::Null();
+}
+
+void Segment::AppendProjected(size_t row, std::span<const int> cols,
+                              std::vector<Value>* out) const {
+  for (int c : cols) out->push_back(value(static_cast<size_t>(c), row));
+}
+
+}  // namespace mlfs

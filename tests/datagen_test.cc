@@ -143,9 +143,9 @@ TEST(TabularGeneratorTest, SchemaAndRanges) {
     Timestamp t = row.ValueByName("event_time").value().time_value();
     EXPECT_GE(t, 0);
     EXPECT_LT(t, Days(1));
-    const Value& fare = row.ValueByName("fare").value();
+    const Value fare = row.ValueByName("fare").value();
     nulls += fare.is_null();
-    const Value& city = row.ValueByName("city").value();
+    const Value city = row.ValueByName("city").value();
     if (!city.is_null()) {
       ++named;
       sf += city.string_value() == "sf";

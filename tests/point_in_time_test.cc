@@ -186,7 +186,7 @@ TEST_F(PitTest, RandomizedNoLeakageProperty) {
     Timestamp t = spine[r].ValueByName("ts").value().time_value();
     Value entity = spine[r].ValueByName("user_id").value();
     auto oracle = table_->AsOf(entity, t);
-    const Value& joined = ts->rows[r].ValueByName("trips").value();
+    const Value joined = ts->rows[r].ValueByName("trips").value();
     if (oracle.ok()) {
       EXPECT_EQ(joined, oracle->ValueByName("trips").value());
     } else {
