@@ -1,19 +1,28 @@
-// E12 — Feature-definition evaluation overhead (paper §2.2.1).
+// E12 — Feature-definition evaluation (paper §2.2.1).
 //
-// Reproduces: per-row cost of the transformation DSL — interpreted AST vs
-// schema-bound compiled form — across expression complexities, including
-// embedding-valued expressions (embeddings as first-class citizens).
+// Reproduces: cost of the transformation DSL across its three engines —
+// the tree-walking interpreter, the compiled program's row interpreter,
+// and the vectorized bytecode VM — at batch sizes 1/64/1024, plus the two
+// pipelines the VM feeds: batch materialization over sealed columnar
+// segments and predicate pushdown into columnar scans (ScanIf with a
+// compiled predicate vs materialize-then-filter).
 
 #include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
 
 #include "common/rng.h"
 #include "expr/evaluator.h"
 #include "expr/parser.h"
+#include "storage/offline_store.h"
 
 namespace mlfs {
 namespace {
 
-SchemaPtr BenchSchema() {
+constexpr size_t kEmbeddingDim = 32;
+
+SchemaPtr ExprSchema() {
   static SchemaPtr schema =
       Schema::Create({{"a", FeatureType::kInt64, true},
                       {"b", FeatureType::kInt64, true},
@@ -23,20 +32,6 @@ SchemaPtr BenchSchema() {
                       {"e2", FeatureType::kEmbedding, true}})
           .value();
   return schema;
-}
-
-Row BenchRow() {
-  Rng rng(1);
-  std::vector<float> v1(64), v2(64);
-  for (size_t i = 0; i < 64; ++i) {
-    v1[i] = static_cast<float>(rng.Gaussian());
-    v2[i] = static_cast<float>(rng.Gaussian());
-  }
-  return Row::Create(BenchSchema(),
-                     {Value::Int64(6), Value::Int64(4), Value::Double(2.5),
-                      Value::String("hello"), Value::Embedding(v1),
-                      Value::Embedding(v2)})
-      .value();
 }
 
 const char* Expression(int complexity) {
@@ -53,41 +48,237 @@ const char* Expression(int complexity) {
   }
 }
 
-void BM_Interpreted(benchmark::State& state) {
+// One shared batch of rows; every engine reads the same representation.
+const std::vector<Row>& ExprRows() {
+  static const std::vector<Row>* rows = [] {
+    Rng rng(1);
+    auto* out = new std::vector<Row>();
+    out->reserve(1024);
+    for (size_t i = 0; i < 1024; ++i) {
+      std::vector<float> v1(kEmbeddingDim), v2(kEmbeddingDim);
+      for (size_t j = 0; j < kEmbeddingDim; ++j) {
+        v1[j] = static_cast<float>(rng.Gaussian());
+        v2[j] = static_cast<float>(rng.Gaussian());
+      }
+      out->push_back(Row::CreateUnsafe(
+          ExprSchema(),
+          {rng.Bernoulli(0.05) ? Value::Null()
+                               : Value::Int64(rng.UniformInt(0, 12)),
+           Value::Int64(rng.UniformInt(0, 8)), Value::Double(rng.Gaussian()),
+           Value::String("row_" + std::to_string(i)),
+           Value::Embedding(std::move(v1)), Value::Embedding(std::move(v2))}));
+    }
+    return out;
+  }();
+  return *rows;
+}
+
+void BM_TreeWalk(benchmark::State& state) {
   auto expr = ParseExpr(Expression(static_cast<int>(state.range(0)))).value();
-  Row row = BenchRow();
+  const std::vector<Row>& rows = ExprRows();
+  const size_t batch = static_cast<size_t>(state.range(1));
   for (auto _ : state) {
-    auto v = EvalExpr(*expr, row);
-    benchmark::DoNotOptimize(v);
+    for (size_t r = 0; r < batch; ++r) {
+      auto v = EvalExpr(*expr, rows[r]);
+      benchmark::DoNotOptimize(v);
+    }
   }
-  state.SetItemsProcessed(state.iterations());
+  state.SetItemsProcessed(state.iterations() * batch);
   state.SetLabel(Expression(static_cast<int>(state.range(0))));
 }
-BENCHMARK(BM_Interpreted)->DenseRange(0, 3);
+BENCHMARK(BM_TreeWalk)
+    ->ArgNames({"expr", "batch"})
+    ->ArgsProduct({{0, 1, 2, 3}, {1, 64, 1024}});
 
-void BM_Compiled(benchmark::State& state) {
+void BM_RowCompiled(benchmark::State& state) {
   auto compiled =
       CompiledExpr::Compile(Expression(static_cast<int>(state.range(0))),
-                            BenchSchema())
+                            ExprSchema())
           .value();
-  Row row = BenchRow();
+  const std::vector<Row>& rows = ExprRows();
+  const size_t batch = static_cast<size_t>(state.range(1));
+  ExprScratch scratch;
   for (auto _ : state) {
-    auto v = compiled.Eval(row);
-    benchmark::DoNotOptimize(v);
+    for (size_t r = 0; r < batch; ++r) {
+      auto v = compiled.Eval(rows[r], &scratch);
+      benchmark::DoNotOptimize(v);
+    }
   }
-  state.SetItemsProcessed(state.iterations());
+  state.SetItemsProcessed(state.iterations() * batch);
   state.SetLabel(Expression(static_cast<int>(state.range(0))));
 }
-BENCHMARK(BM_Compiled)->DenseRange(0, 3);
+BENCHMARK(BM_RowCompiled)
+    ->ArgNames({"expr", "batch"})
+    ->ArgsProduct({{0, 1, 2, 3}, {1, 64, 1024}});
+
+void BM_BatchVM(benchmark::State& state) {
+  auto compiled =
+      CompiledExpr::Compile(Expression(static_cast<int>(state.range(0))),
+                            ExprSchema())
+          .value();
+  const std::vector<Row>& rows = ExprRows();
+  const size_t batch = static_cast<size_t>(state.range(1));
+  RowBatchSource src(ExprSchema(), std::span<const Row>(rows.data(), batch));
+  ExprScratch scratch;
+  const ColumnVector* res = nullptr;
+  for (auto _ : state) {
+    Status s = compiled.EvalBatch(src, &scratch, &res);
+    benchmark::DoNotOptimize(s);
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+  state.SetLabel(Expression(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_BatchVM)
+    ->ArgNames({"expr", "batch"})
+    ->ArgsProduct({{0, 1, 2, 3}, {1, 64, 1024}});
 
 void BM_ParseAndCompile(benchmark::State& state) {
   for (auto _ : state) {
-    auto compiled = CompiledExpr::Compile(Expression(2), BenchSchema());
+    auto compiled = CompiledExpr::Compile(Expression(2), ExprSchema());
     benchmark::DoNotOptimize(compiled);
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ParseAndCompile);
+
+// ---------------------------------------------------------------------------
+// End-to-end: materialization and scan pushdown over a sealed table.
+// ---------------------------------------------------------------------------
+
+constexpr size_t kStoreRows = 60000;
+constexpr size_t kStoreEntities = 4000;
+constexpr Timestamp kStoreSpan = 4 * kMicrosPerDay;
+
+// clamp()/sqrt() mix, DOUBLE-typed — a typical derived scalar feature.
+constexpr const char* kFeatureExpr =
+    "clamp(metric / (score + 2), -1, 1) + sqrt(abs(metric))";
+// Moderate selectivity; rejected rows should never materialize the
+// embedding column on the pushdown path.
+constexpr const char* kPredicateExpr = "metric > 0.5 and flag";
+
+struct StoreFixture {
+  OfflineStore store;
+  OfflineTable* table = nullptr;
+
+  StoreFixture() {
+    auto schema =
+        Schema::Create({{"entity", FeatureType::kInt64, false},
+                        {"event_time", FeatureType::kTimestamp, false},
+                        {"metric", FeatureType::kDouble, true},
+                        {"score", FeatureType::kDouble, true},
+                        {"flag", FeatureType::kBool, true},
+                        {"embedding", FeatureType::kEmbedding, true}})
+            .value();
+    Rng rng(7);
+    std::vector<Row> rows;
+    rows.reserve(kStoreRows);
+    for (size_t i = 0; i < kStoreRows; ++i) {
+      std::vector<float> vec(kEmbeddingDim);
+      for (float& f : vec) f = static_cast<float>(rng.Gaussian());
+      rows.push_back(Row::CreateUnsafe(
+          schema,
+          {Value::Int64(static_cast<int64_t>(rng.Uniform(kStoreEntities))),
+           Value::Time(static_cast<Timestamp>(rng.Uniform(kStoreSpan))),
+           Value::Double(rng.Gaussian()), Value::Double(rng.Gaussian(3, 1)),
+           Value::Bool(rng.Bernoulli(0.5)),
+           Value::Embedding(std::move(vec))}));
+    }
+    OfflineTableOptions options;
+    options.name = "events";
+    options.schema = schema;
+    options.entity_column = "entity";
+    options.time_column = "event_time";
+    options.seal_rows = 8192;
+    MLFS_CHECK_OK(store.CreateTable(options));
+    table = store.GetTable(options.name).value();
+    MLFS_CHECK_OK(table->AppendBatch(rows));
+    MLFS_CHECK_OK(table->SealHeads());
+    MLFS_CHECK_OK(table->CompactPartitions());
+  }
+};
+
+StoreFixture& Fixture() {
+  static StoreFixture* fixture = new StoreFixture();
+  return *fixture;
+}
+
+// Reference path: materialize every latest row, then evaluate row-wise.
+void BM_MaterializeRowAtATime(benchmark::State& state) {
+  StoreFixture& f = Fixture();
+  auto compiled =
+      CompiledExpr::Compile(kFeatureExpr, f.table->options().schema).value();
+  ExprScratch scratch;
+  for (auto _ : state) {
+    std::vector<Row> latest = f.table->LatestPerEntityAsOf(kMaxTimestamp);
+    size_t nulls = 0;
+    for (const Row& row : latest) {
+      auto v = compiled.Eval(row, &scratch);
+      nulls += v.ok() && v->is_null();
+      benchmark::DoNotOptimize(v);
+    }
+    benchmark::DoNotOptimize(nulls);
+    state.counters["entities"] = static_cast<double>(latest.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kStoreEntities));
+}
+BENCHMARK(BM_MaterializeRowAtATime);
+
+// Batch path: sealed segments evaluate column-at-a-time; no full-width
+// row materialization.
+void BM_MaterializeBatch(benchmark::State& state) {
+  StoreFixture& f = Fixture();
+  auto compiled =
+      CompiledExpr::Compile(kFeatureExpr, f.table->options().schema).value();
+  for (auto _ : state) {
+    auto cells = f.table->EvalLatestPerEntityAsOf(kMaxTimestamp, compiled);
+    MLFS_CHECK_OK(cells.status());
+    benchmark::DoNotOptimize(cells->size());
+    state.counters["entities"] = static_cast<double>(cells->size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kStoreEntities));
+}
+BENCHMARK(BM_MaterializeBatch);
+
+// Reference path: every row (embedding included) materializes, then the
+// predicate runs row-wise.
+void BM_FilterMaterialized(benchmark::State& state) {
+  StoreFixture& f = Fixture();
+  auto pred =
+      CompiledExpr::Compile(kPredicateExpr, f.table->options().schema).value();
+  ExprScratch scratch;
+  for (auto _ : state) {
+    std::vector<Row> out =
+        f.table->ScanIf(kMinTimestamp, kMaxTimestamp, [&](const Row& row) {
+          auto v = pred.Eval(row, &scratch);
+          return v.ok() && !v->is_null() && v->bool_value();
+        });
+    benchmark::DoNotOptimize(out.size());
+    state.counters["rows_out"] = static_cast<double>(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kStoreRows));
+}
+BENCHMARK(BM_FilterMaterialized);
+
+// Pushdown path: the predicate evaluates over segment column buffers and
+// only survivors materialize.
+void BM_FilterPushdown(benchmark::State& state) {
+  StoreFixture& f = Fixture();
+  auto pred =
+      CompiledExpr::Compile(kPredicateExpr, f.table->options().schema).value();
+  for (auto _ : state) {
+    auto out = f.table->ScanIf(kMinTimestamp, kMaxTimestamp, pred);
+    MLFS_CHECK_OK(out.status());
+    benchmark::DoNotOptimize(out->size());
+    state.counters["rows_out"] = static_cast<double>(out->size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kStoreRows));
+}
+BENCHMARK(BM_FilterPushdown);
 
 }  // namespace
 }  // namespace mlfs

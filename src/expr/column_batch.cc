@@ -1,0 +1,196 @@
+#include "expr/column_batch.h"
+
+#include <cstring>
+
+namespace mlfs {
+
+namespace {
+size_t NullWords(size_t n) { return (n + 63) / 64; }
+}  // namespace
+
+void ColumnVector::Reset(FeatureType type, size_t n) {
+  type_ = type;
+  variant_ = false;
+  n_ = n;
+  nulls_.assign(NullWords(n),
+                type == FeatureType::kNull ? ~uint64_t{0} : uint64_t{0});
+  i64_.clear();
+  f64_.clear();
+  b8_.clear();
+  str_blob_.clear();
+  str_offsets_.clear();
+  emb_blob_.clear();
+  emb_fences_.clear();
+  values_.clear();
+  switch (type) {
+    case FeatureType::kNull:
+      break;
+    case FeatureType::kBool:
+      b8_.assign(n, 0);
+      break;
+    case FeatureType::kInt64:
+    case FeatureType::kTimestamp:
+      i64_.assign(n, 0);
+      break;
+    case FeatureType::kDouble:
+      f64_.assign(n, 0.0);
+      break;
+    case FeatureType::kString:
+      str_offsets_.reserve(n + 1);
+      str_offsets_.push_back(0);
+      break;
+    case FeatureType::kEmbedding:
+      emb_fences_.reserve(n + 1);
+      emb_fences_.push_back(0);
+      break;
+  }
+}
+
+void ColumnVector::ResetVariant(size_t n) {
+  Reset(FeatureType::kNull, n);
+  variant_ = true;
+  values_.assign(n, Value::Null());
+}
+
+void ColumnVector::OrNullWords(const ColumnVector& a, const ColumnVector& b) {
+  const size_t words = nulls_.size();
+  const uint64_t* wa = a.nulls_.data();
+  const uint64_t* wb = b.nulls_.data();
+  uint64_t* out = nulls_.data();
+  for (size_t i = 0; i < words; ++i) out[i] = wa[i] | wb[i];
+}
+
+void ColumnVector::CopyNullWords(const ColumnVector& a) {
+  std::memcpy(nulls_.data(), a.nulls_.data(),
+              nulls_.size() * sizeof(uint64_t));
+}
+
+void ColumnVector::AppendString(std::string_view s) {
+  str_blob_.insert(str_blob_.end(), s.begin(), s.end());
+  str_offsets_.push_back(static_cast<uint32_t>(str_blob_.size()));
+}
+
+void ColumnVector::AppendEmbedding(std::span<const float> e) {
+  emb_blob_.insert(emb_blob_.end(), e.begin(), e.end());
+  emb_fences_.push_back(emb_blob_.size());
+}
+
+void ColumnVector::AppendEmbeddingBytes(const void* data, size_t num_floats) {
+  const size_t old = emb_blob_.size();
+  emb_blob_.resize(old + num_floats);
+  std::memcpy(emb_blob_.data() + old, data, num_floats * sizeof(float));
+  emb_fences_.push_back(emb_blob_.size());
+}
+
+void ColumnVector::ReserveBlob(size_t bytes) {
+  if (type_ == FeatureType::kString) {
+    str_blob_.reserve(bytes);
+  } else if (type_ == FeatureType::kEmbedding) {
+    emb_blob_.reserve(bytes / sizeof(float));
+  }
+}
+
+void ColumnVector::AppendNullCell() {
+  if (type_ == FeatureType::kString) {
+    str_offsets_.push_back(static_cast<uint32_t>(str_blob_.size()));
+    SetNull(str_offsets_.size() - 2);
+  } else if (type_ == FeatureType::kEmbedding) {
+    emb_fences_.push_back(emb_blob_.size());
+    SetNull(emb_fences_.size() - 2);
+  }
+}
+
+Value ColumnVector::GetValue(size_t row) const {
+  if (variant_) return values_[row];
+  if (IsNull(row)) return Value::Null();
+  switch (type_) {
+    case FeatureType::kNull:
+      return Value::Null();
+    case FeatureType::kBool:
+      return Value::Bool(b8_[row] != 0);
+    case FeatureType::kInt64:
+      return Value::Int64(i64_[row]);
+    case FeatureType::kTimestamp:
+      return Value::Time(i64_[row]);
+    case FeatureType::kDouble:
+      return Value::Double(f64_[row]);
+    case FeatureType::kString:
+      return Value::String(std::string(StringAt(row)));
+    case FeatureType::kEmbedding: {
+      auto e = EmbeddingAt(row);
+      return Value::Embedding(std::vector<float>(e.begin(), e.end()));
+    }
+  }
+  return Value::Null();
+}
+
+namespace expr_internal {
+
+void LoadRowCell(const Value& v, FeatureType type, size_t row,
+                 ColumnVector* out) {
+  if (v.is_null()) {
+    if (type == FeatureType::kString || type == FeatureType::kEmbedding) {
+      out->AppendNullCell();
+    } else {
+      out->SetNull(row);
+    }
+    return;
+  }
+  switch (type) {
+    case FeatureType::kNull:
+      break;
+    case FeatureType::kBool:
+      out->b8()[row] = v.bool_value() ? 1 : 0;
+      break;
+    case FeatureType::kInt64:
+      out->i64()[row] = v.int64_value();
+      break;
+    case FeatureType::kTimestamp:
+      out->i64()[row] = v.time_value();
+      break;
+    case FeatureType::kDouble:
+      out->f64()[row] = v.double_value();
+      break;
+    case FeatureType::kString:
+      out->AppendString(v.string_value());
+      break;
+    case FeatureType::kEmbedding:
+      out->AppendEmbedding(v.embedding_value());
+      break;
+  }
+}
+
+}  // namespace expr_internal
+
+namespace {
+
+template <typename GetRow>
+Status LoadFromRows(const Schema& schema, size_t n, int col,
+                    const GetRow& get_row, ColumnVector* out) {
+  if (col < 0 || static_cast<size_t>(col) >= schema.num_fields()) {
+    return Status::InvalidArgument("batch column index out of range");
+  }
+  const FeatureType type = schema.field(static_cast<size_t>(col)).type;
+  out->Reset(type, n);
+  for (size_t r = 0; r < n; ++r) {
+    expr_internal::LoadRowCell(get_row(r).value(static_cast<size_t>(col)),
+                               type, r, out);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RowPtrBatchSource::LoadColumn(int col, ColumnVector* out) const {
+  return LoadFromRows(
+      *schema_, rows_.size(), col,
+      [this](size_t r) -> const Row& { return *rows_[r]; }, out);
+}
+
+Status RowBatchSource::LoadColumn(int col, ColumnVector* out) const {
+  return LoadFromRows(
+      *schema_, rows_.size(), col,
+      [this](size_t r) -> const Row& { return rows_[r]; }, out);
+}
+
+}  // namespace mlfs

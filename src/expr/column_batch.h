@@ -1,0 +1,180 @@
+#ifndef MLFS_EXPR_COLUMN_BATCH_H_
+#define MLFS_EXPR_COLUMN_BATCH_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/row.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace mlfs {
+
+/// One column of a batch: a contiguous typed vector plus a null bitmap
+/// (bit set => NULL). This is the register format of the bytecode VM — a
+/// ColumnVector is reset and refilled for every batch, so its buffers are
+/// reused allocation-free across batches.
+///
+/// Storage by type:
+///  - BOOL            -> b8 (one byte per row, 0/1)
+///  - INT64/TIMESTAMP -> i64
+///  - DOUBLE          -> f64
+///  - STRING          -> flat char blob + n+1 offsets (sequential append)
+///  - EMBEDDING       -> flat float blob + n+1 fences (sequential append)
+///  - NULL            -> no data (every cell NULL)
+///
+/// NULL cells hold a defined zero/empty payload so vector kernels can
+/// compute every lane unconditionally and let the bitmap decide validity.
+///
+/// A ColumnVector can also be *variant*: per-row dynamically typed `Value`
+/// cells. Variant registers appear when an expression's dynamic result type
+/// can differ per row (mixed-type `coalesce`/`if` and anything computed
+/// from them); kernels downstream of a variant operand fall back to per-row
+/// evaluation, which keeps the VM bit-identical with the tree-walking
+/// interpreter even on those expressions.
+class ColumnVector {
+ public:
+  ColumnVector() = default;
+
+  /// Resets to `n` rows of `type` with no nulls and zeroed payloads.
+  /// STRING/EMBEDDING columns are reset empty: their cells must then be
+  /// appended in row order (AppendString/AppendEmbedding/AppendNullCell).
+  /// `type == kNull` marks every row NULL.
+  void Reset(FeatureType type, size_t n);
+
+  /// Resets to `n` NULL `Value` cells of dynamic per-row type.
+  void ResetVariant(size_t n);
+
+  FeatureType type() const { return type_; }
+  bool is_variant() const { return variant_; }
+  size_t size() const { return n_; }
+
+  // --- Null bitmap ---------------------------------------------------------
+  bool IsNull(size_t row) const {
+    if (variant_) return values_[row].is_null();
+    if (type_ == FeatureType::kNull) return true;
+    return (nulls_[row >> 6] >> (row & 63)) & 1;
+  }
+  void SetNull(size_t row) { nulls_[row >> 6] |= uint64_t{1} << (row & 63); }
+  uint64_t* null_words() { return nulls_.data(); }
+  const uint64_t* null_words() const { return nulls_.data(); }
+  size_t num_null_words() const { return nulls_.size(); }
+  /// out.nulls = a.nulls | b.nulls, word at a time.
+  void OrNullWords(const ColumnVector& a, const ColumnVector& b);
+  void CopyNullWords(const ColumnVector& a);
+
+  // --- Typed payloads ------------------------------------------------------
+  int64_t* i64() { return i64_.data(); }
+  const int64_t* i64() const { return i64_.data(); }
+  double* f64() { return f64_.data(); }
+  const double* f64() const { return f64_.data(); }
+  uint8_t* b8() { return b8_.data(); }
+  const uint8_t* b8() const { return b8_.data(); }
+
+  /// Sequential builders for STRING/EMBEDDING columns (call exactly once
+  /// per row, in row order). AppendNullCell appends an empty payload and
+  /// sets the row's null bit.
+  void AppendString(std::string_view s);
+  void AppendEmbedding(std::span<const float> e);
+  /// As AppendEmbedding, from a possibly-unaligned raw float buffer (e.g.
+  /// a memory-mapped segment column).
+  void AppendEmbeddingBytes(const void* data, size_t num_floats);
+  /// Reserves blob space ahead of a bulk string/embedding fill.
+  void ReserveBlob(size_t bytes);
+  void AppendNullCell();
+
+  std::string_view StringAt(size_t row) const {
+    return std::string_view(str_blob_.data() + str_offsets_[row],
+                            str_offsets_[row + 1] - str_offsets_[row]);
+  }
+  std::span<const float> EmbeddingAt(size_t row) const {
+    return std::span<const float>(emb_blob_.data() + emb_fences_[row],
+                                  emb_fences_[row + 1] - emb_fences_[row]);
+  }
+
+  // --- Variant payload -----------------------------------------------------
+  Value* values() { return values_.data(); }
+  const Value* values() const { return values_.data(); }
+
+  /// Materializes one cell as a Value (allocates for STRING/EMBEDDING).
+  Value GetValue(size_t row) const;
+
+  /// Tri-state read of a BOOL-or-NULL cell: -1 NULL, 0 false, 1 true.
+  /// Valid on BOOL, NULL and variant columns (the forms a predicate result
+  /// can take).
+  int TriBool(size_t row) const {
+    if (IsNull(row)) return -1;
+    if (variant_) return values_[row].bool_value() ? 1 : 0;
+    return b8_[row] ? 1 : 0;
+  }
+
+ private:
+  FeatureType type_ = FeatureType::kNull;
+  bool variant_ = false;
+  size_t n_ = 0;
+  std::vector<uint64_t> nulls_;  // bit set => NULL
+  std::vector<int64_t> i64_;
+  std::vector<double> f64_;
+  std::vector<uint8_t> b8_;
+  std::vector<char> str_blob_;
+  std::vector<uint32_t> str_offsets_;  // n+1 once fully appended
+  std::vector<float> emb_blob_;
+  std::vector<uint64_t> emb_fences_;  // n+1 once fully appended
+  std::vector<Value> values_;
+};
+
+/// A batch of rows the VM can load columns from. Implementations exist over
+/// in-memory Row spans (here) and directly over sealed segment column
+/// buffers (storage/segment.h), which is what lets materialization and
+/// predicate pushdown skip row materialization entirely.
+class BatchSource {
+ public:
+  virtual ~BatchSource() = default;
+
+  virtual size_t num_rows() const = 0;
+
+  /// Fills `out` (including Reset) with schema column `col` of every row.
+  /// `out` must present cells that are NULL or exactly the schema type.
+  virtual Status LoadColumn(int col, ColumnVector* out) const = 0;
+};
+
+/// BatchSource over a span of row pointers (scatter/filter results).
+class RowPtrBatchSource final : public BatchSource {
+ public:
+  RowPtrBatchSource(SchemaPtr schema, std::span<const Row* const> rows)
+      : schema_(std::move(schema)), rows_(rows) {}
+
+  size_t num_rows() const override { return rows_.size(); }
+  Status LoadColumn(int col, ColumnVector* out) const override;
+
+ private:
+  SchemaPtr schema_;
+  std::span<const Row* const> rows_;
+};
+
+/// BatchSource over a contiguous span of rows.
+class RowBatchSource final : public BatchSource {
+ public:
+  RowBatchSource(SchemaPtr schema, std::span<const Row> rows)
+      : schema_(std::move(schema)), rows_(rows) {}
+
+  size_t num_rows() const override { return rows_.size(); }
+  Status LoadColumn(int col, ColumnVector* out) const override;
+
+ private:
+  SchemaPtr schema_;
+  std::span<const Row> rows_;
+};
+
+namespace expr_internal {
+/// Shared cell loader for the Row-backed sources.
+void LoadRowCell(const Value& v, FeatureType type, size_t row,
+                 ColumnVector* out);
+}  // namespace expr_internal
+
+}  // namespace mlfs
+
+#endif  // MLFS_EXPR_COLUMN_BATCH_H_

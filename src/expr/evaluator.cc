@@ -7,22 +7,49 @@
 
 #include "common/hash.h"
 #include "common/string_util.h"
+#include "expr/fn_runtime.h"
 #include "expr/parser.h"
 
 namespace mlfs {
+namespace expr_internal {
 namespace {
 
 bool IsNumericType(FeatureType t) { return IsNumeric(t); }
 
+// Signed arithmetic wraps on overflow (two's complement, like the
+// vectorized kernels) so results are defined — and identical across both
+// engines — for every input.
+int64_t WrapAdd(int64_t x, int64_t y) {
+  return static_cast<int64_t>(static_cast<uint64_t>(x) +
+                              static_cast<uint64_t>(y));
+}
+int64_t WrapSub(int64_t x, int64_t y) {
+  return static_cast<int64_t>(static_cast<uint64_t>(x) -
+                              static_cast<uint64_t>(y));
+}
+int64_t WrapMul(int64_t x, int64_t y) {
+  return static_cast<int64_t>(static_cast<uint64_t>(x) *
+                              static_cast<uint64_t>(y));
+}
+int64_t WrapNeg(int64_t x) {
+  return static_cast<int64_t>(uint64_t{0} - static_cast<uint64_t>(x));
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
-// Runtime operator application (shared by interpreter and compiled form).
+// Runtime operator application — the single implementation shared by the
+// tree-walking interpreter, the compiled row path and the VM's generic
+// kernels.
 // ---------------------------------------------------------------------------
 
 StatusOr<Value> ApplyUnary(UnaryOp op, const Value& v) {
   switch (op) {
     case UnaryOp::kNeg:
       if (v.is_null()) return Value::Null();
-      if (v.type() == FeatureType::kInt64) return Value::Int64(-v.int64_value());
+      if (v.type() == FeatureType::kInt64) {
+        return Value::Int64(WrapNeg(v.int64_value()));
+      }
       if (v.type() == FeatureType::kDouble)
         return Value::Double(-v.double_value());
       return Status::InvalidArgument("operator '-' needs a numeric operand");
@@ -33,6 +60,8 @@ StatusOr<Value> ApplyUnary(UnaryOp op, const Value& v) {
   }
   return Status::Internal("bad unary op");
 }
+
+namespace {
 
 StatusOr<Value> ApplyArithmetic(BinaryOp op, const Value& a, const Value& b) {
   if (a.is_null() || b.is_null()) return Value::Null();
@@ -47,16 +76,17 @@ StatusOr<Value> ApplyArithmetic(BinaryOp op, const Value& a, const Value& b) {
         b.type() == FeatureType::kInt64 &&
         (op == BinaryOp::kAdd || op == BinaryOp::kSub)) {
       int64_t delta = b.int64_value();
-      return Value::Time(op == BinaryOp::kAdd ? a.time_value() + delta
-                                              : a.time_value() - delta);
+      return Value::Time(op == BinaryOp::kAdd
+                             ? WrapAdd(a.time_value(), delta)
+                             : WrapSub(a.time_value(), delta));
     }
     if (a.type() == FeatureType::kInt64 &&
         b.type() == FeatureType::kTimestamp && op == BinaryOp::kAdd) {
-      return Value::Time(a.int64_value() + b.time_value());
+      return Value::Time(WrapAdd(a.int64_value(), b.time_value()));
     }
     if (a.type() == FeatureType::kTimestamp &&
         b.type() == FeatureType::kTimestamp && op == BinaryOp::kSub) {
-      return Value::Int64(a.time_value() - b.time_value());
+      return Value::Int64(WrapSub(a.time_value(), b.time_value()));
     }
     return Status::InvalidArgument(
         std::string("operator '") + std::string(BinaryOpToString(op)) +
@@ -77,15 +107,16 @@ StatusOr<Value> ApplyArithmetic(BinaryOp op, const Value& a, const Value& b) {
       return Status::InvalidArgument("operator '%' needs INT64 operands");
     }
     if (b.int64_value() == 0) return Value::Null();
+    if (b.int64_value() == -1) return Value::Int64(0);  // INT64_MIN % -1
     return Value::Int64(a.int64_value() % b.int64_value());
   }
   if (both_int) {
     int64_t x = a.int64_value();
     int64_t y = b.int64_value();
     switch (op) {
-      case BinaryOp::kAdd: return Value::Int64(x + y);
-      case BinaryOp::kSub: return Value::Int64(x - y);
-      case BinaryOp::kMul: return Value::Int64(x * y);
+      case BinaryOp::kAdd: return Value::Int64(WrapAdd(x, y));
+      case BinaryOp::kSub: return Value::Int64(WrapSub(x, y));
+      case BinaryOp::kMul: return Value::Int64(WrapMul(x, y));
       default: break;
     }
   }
@@ -160,6 +191,8 @@ StatusOr<Value> ApplyLogical(BinaryOp op, const Value& a, const Value& b) {
   return Value::Bool(false);
 }
 
+}  // namespace
+
 StatusOr<Value> ApplyBinary(BinaryOp op, const Value& a, const Value& b) {
   switch (op) {
     case BinaryOp::kAdd:
@@ -186,16 +219,7 @@ StatusOr<Value> ApplyBinary(BinaryOp op, const Value& a, const Value& b) {
 // Builtin functions.
 // ---------------------------------------------------------------------------
 
-struct FunctionSpec {
-  size_t min_args;
-  size_t max_args;  // SIZE_MAX for variadic.
-  // Result type given argument types (validation happens here).
-  std::function<StatusOr<FeatureType>(const std::vector<FeatureType>&)> infer;
-  // Runtime application. NULL propagation is handled by the caller for
-  // functions with propagate_nulls == true.
-  std::function<StatusOr<Value>(const std::vector<Value>&)> apply;
-  bool propagate_nulls = true;
-};
+namespace {
 
 Status NeedNumeric(const std::string& fn, FeatureType t) {
   if (!IsNumericType(t)) {
@@ -203,16 +227,6 @@ Status NeedNumeric(const std::string& fn, FeatureType t) {
                                    std::string(FeatureTypeToString(t)));
   }
   return Status::OK();
-}
-
-StatusOr<FeatureType> CommonType(FeatureType a, FeatureType b) {
-  if (a == b) return a;
-  if (a == FeatureType::kNull) return b;
-  if (b == FeatureType::kNull) return a;
-  if (IsNumericType(a) && IsNumericType(b)) return FeatureType::kDouble;
-  return Status::InvalidArgument(
-      "no common type between " + std::string(FeatureTypeToString(a)) +
-      " and " + std::string(FeatureTypeToString(b)));
 }
 
 double UnaryMath(const std::string& name, double x) {
@@ -240,7 +254,8 @@ const std::map<std::string, FunctionSpec>& FunctionTable() {
         },
         [](const std::vector<Value>& v) -> StatusOr<Value> {
           if (v[0].type() == FeatureType::kInt64) {
-            return Value::Int64(std::abs(v[0].int64_value()));
+            int64_t x = v[0].int64_value();
+            return Value::Int64(x < 0 ? WrapNeg(x) : x);
           }
           return Value::Double(std::abs(v[0].AsDouble().value()));
         }};
@@ -505,6 +520,18 @@ const std::map<std::string, FunctionSpec>& FunctionTable() {
   return *table;
 }
 
+}  // namespace
+
+StatusOr<FeatureType> CommonType(FeatureType a, FeatureType b) {
+  if (a == b) return a;
+  if (a == FeatureType::kNull) return b;
+  if (b == FeatureType::kNull) return a;
+  if (IsNumericType(a) && IsNumericType(b)) return FeatureType::kDouble;
+  return Status::InvalidArgument(
+      "no common type between " + std::string(FeatureTypeToString(a)) +
+      " and " + std::string(FeatureTypeToString(b)));
+}
+
 StatusOr<const FunctionSpec*> LookupFunction(const std::string& name,
                                              size_t num_args) {
   const auto& table = FunctionTable();
@@ -547,20 +574,16 @@ StatusOr<Value> ApplyCall(const FunctionSpec& spec,
 // Type inference.
 // ---------------------------------------------------------------------------
 
-StatusOr<FeatureType> InferTypeImpl(const Expr& expr, const Schema& schema) {
+StatusOr<FeatureType> InferNodeType(const Expr& expr,
+                                    const std::vector<FeatureType>& child_types,
+                                    FeatureType column_type) {
   switch (expr.kind()) {
     case Expr::Kind::kLiteral:
       return expr.literal().type();
-    case Expr::Kind::kColumn: {
-      int idx = schema.FieldIndex(expr.name());
-      if (idx < 0) {
-        return Status::NotFound("unknown column '" + expr.name() + "'");
-      }
-      return schema.field(static_cast<size_t>(idx)).type;
-    }
+    case Expr::Kind::kColumn:
+      return column_type;
     case Expr::Kind::kUnary: {
-      MLFS_ASSIGN_OR_RETURN(FeatureType t,
-                            InferTypeImpl(*expr.args()[0], schema));
+      FeatureType t = child_types[0];
       if (expr.unary_op() == UnaryOp::kNeg) {
         if (t == FeatureType::kNull) return FeatureType::kNull;
         if (!IsNumericType(t)) {
@@ -575,10 +598,8 @@ StatusOr<FeatureType> InferTypeImpl(const Expr& expr, const Schema& schema) {
       return FeatureType::kBool;
     }
     case Expr::Kind::kBinary: {
-      MLFS_ASSIGN_OR_RETURN(FeatureType a,
-                            InferTypeImpl(*expr.args()[0], schema));
-      MLFS_ASSIGN_OR_RETURN(FeatureType b,
-                            InferTypeImpl(*expr.args()[1], schema));
+      FeatureType a = child_types[0];
+      FeatureType b = child_types[1];
       BinaryOp op = expr.binary_op();
       auto numeric_or_null = [](FeatureType t) {
         return IsNumericType(t) || t == FeatureType::kNull;
@@ -656,18 +677,34 @@ StatusOr<FeatureType> InferTypeImpl(const Expr& expr, const Schema& schema) {
       return Status::Internal("bad binary op");
     }
     case Expr::Kind::kCall: {
-      std::vector<FeatureType> arg_types;
-      arg_types.reserve(expr.args().size());
-      for (const auto& arg : expr.args()) {
-        MLFS_ASSIGN_OR_RETURN(FeatureType t, InferTypeImpl(*arg, schema));
-        arg_types.push_back(t);
-      }
       MLFS_ASSIGN_OR_RETURN(const FunctionSpec* spec,
-                            LookupFunction(expr.name(), arg_types.size()));
-      return spec->infer(arg_types);
+                            LookupFunction(expr.name(), child_types.size()));
+      return spec->infer(child_types);
     }
   }
   return Status::Internal("bad expr kind");
+}
+
+}  // namespace expr_internal
+
+namespace {
+
+StatusOr<FeatureType> InferTypeImpl(const Expr& expr, const Schema& schema) {
+  FeatureType column_type = FeatureType::kNull;
+  if (expr.kind() == Expr::Kind::kColumn) {
+    int idx = schema.FieldIndex(expr.name());
+    if (idx < 0) {
+      return Status::NotFound("unknown column '" + expr.name() + "'");
+    }
+    column_type = schema.field(static_cast<size_t>(idx)).type;
+  }
+  std::vector<FeatureType> child_types;
+  child_types.reserve(expr.args().size());
+  for (const auto& arg : expr.args()) {
+    MLFS_ASSIGN_OR_RETURN(FeatureType t, InferTypeImpl(*arg, schema));
+    child_types.push_back(t);
+  }
+  return expr_internal::InferNodeType(expr, child_types, column_type);
 }
 
 }  // namespace
@@ -684,12 +721,12 @@ StatusOr<Value> EvalExpr(const Expr& expr, const Row& row) {
       return row.ValueByName(expr.name());
     case Expr::Kind::kUnary: {
       MLFS_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.args()[0], row));
-      return ApplyUnary(expr.unary_op(), v);
+      return expr_internal::ApplyUnary(expr.unary_op(), v);
     }
     case Expr::Kind::kBinary: {
       MLFS_ASSIGN_OR_RETURN(Value a, EvalExpr(*expr.args()[0], row));
       MLFS_ASSIGN_OR_RETURN(Value b, EvalExpr(*expr.args()[1], row));
-      return ApplyBinary(expr.binary_op(), a, b);
+      return expr_internal::ApplyBinary(expr.binary_op(), a, b);
     }
     case Expr::Kind::kCall: {
       std::vector<Value> args;
@@ -698,97 +735,19 @@ StatusOr<Value> EvalExpr(const Expr& expr, const Row& row) {
         MLFS_ASSIGN_OR_RETURN(Value v, EvalExpr(*arg, row));
         args.push_back(std::move(v));
       }
-      MLFS_ASSIGN_OR_RETURN(const FunctionSpec* spec,
-                            LookupFunction(expr.name(), args.size()));
-      return ApplyCall(*spec, args);
+      MLFS_ASSIGN_OR_RETURN(const expr_internal::FunctionSpec* spec,
+                            expr_internal::LookupFunction(expr.name(),
+                                                          args.size()));
+      return expr_internal::ApplyCall(*spec, args);
     }
   }
   return Status::Internal("bad expr kind");
 }
-
-namespace {
-
-// Recursively compiles `expr` into a closure with column indices bound.
-StatusOr<CompiledExpr::EvalFn> CompileNode(const Expr& expr,
-                                           const Schema& schema);
-
-StatusOr<std::vector<CompiledExpr::EvalFn>> CompileArgs(
-    const Expr& expr, const Schema& schema) {
-  std::vector<CompiledExpr::EvalFn> fns;
-  fns.reserve(expr.args().size());
-  for (const auto& arg : expr.args()) {
-    MLFS_ASSIGN_OR_RETURN(auto fn, CompileNode(*arg, schema));
-    fns.push_back(std::move(fn));
-  }
-  return fns;
-}
-
-StatusOr<CompiledExpr::EvalFn> CompileNode(const Expr& expr,
-                                           const Schema& schema) {
-  switch (expr.kind()) {
-    case Expr::Kind::kLiteral: {
-      Value v = expr.literal();
-      return CompiledExpr::EvalFn(
-          [v](const Row&) -> StatusOr<Value> { return v; });
-    }
-    case Expr::Kind::kColumn: {
-      int idx = schema.FieldIndex(expr.name());
-      if (idx < 0) {
-        return Status::NotFound("unknown column '" + expr.name() + "'");
-      }
-      size_t i = static_cast<size_t>(idx);
-      return CompiledExpr::EvalFn(
-          [i](const Row& row) -> StatusOr<Value> { return row.value(i); });
-    }
-    case Expr::Kind::kUnary: {
-      MLFS_ASSIGN_OR_RETURN(auto operand, CompileNode(*expr.args()[0], schema));
-      UnaryOp op = expr.unary_op();
-      return CompiledExpr::EvalFn(
-          [op, operand](const Row& row) -> StatusOr<Value> {
-            MLFS_ASSIGN_OR_RETURN(Value v, operand(row));
-            return ApplyUnary(op, v);
-          });
-    }
-    case Expr::Kind::kBinary: {
-      MLFS_ASSIGN_OR_RETURN(auto lhs, CompileNode(*expr.args()[0], schema));
-      MLFS_ASSIGN_OR_RETURN(auto rhs, CompileNode(*expr.args()[1], schema));
-      BinaryOp op = expr.binary_op();
-      return CompiledExpr::EvalFn(
-          [op, lhs, rhs](const Row& row) -> StatusOr<Value> {
-            MLFS_ASSIGN_OR_RETURN(Value a, lhs(row));
-            MLFS_ASSIGN_OR_RETURN(Value b, rhs(row));
-            return ApplyBinary(op, a, b);
-          });
-    }
-    case Expr::Kind::kCall: {
-      MLFS_ASSIGN_OR_RETURN(auto fns, CompileArgs(expr, schema));
-      MLFS_ASSIGN_OR_RETURN(const FunctionSpec* spec,
-                            LookupFunction(expr.name(), fns.size()));
-      return CompiledExpr::EvalFn(
-          [spec, fns](const Row& row) -> StatusOr<Value> {
-            std::vector<Value> args;
-            args.reserve(fns.size());
-            for (const auto& fn : fns) {
-              MLFS_ASSIGN_OR_RETURN(Value v, fn(row));
-              args.push_back(std::move(v));
-            }
-            return ApplyCall(*spec, args);
-          });
-    }
-  }
-  return Status::Internal("bad expr kind");
-}
-
-}  // namespace
 
 StatusOr<CompiledExpr> CompiledExpr::Compile(const Expr& expr,
                                              SchemaPtr schema) {
-  if (schema == nullptr) {
-    return Status::InvalidArgument("CompiledExpr needs a schema");
-  }
-  MLFS_ASSIGN_OR_RETURN(FeatureType out_type, InferType(expr, *schema));
-  MLFS_ASSIGN_OR_RETURN(EvalFn fn, CompileNode(expr, *schema));
-  return CompiledExpr(std::move(fn), out_type, std::move(schema));
+  MLFS_ASSIGN_OR_RETURN(auto program, Program::Lower(expr, std::move(schema)));
+  return CompiledExpr(std::move(program));
 }
 
 StatusOr<CompiledExpr> CompiledExpr::Compile(std::string_view source,
@@ -797,9 +756,16 @@ StatusOr<CompiledExpr> CompiledExpr::Compile(std::string_view source,
   return Compile(*expr, std::move(schema));
 }
 
+StatusOr<Value> CompiledExpr::Eval(const Row& row) const {
+  thread_local ExprScratch scratch;
+  return program_->EvalRow(row, &scratch);
+}
+
 std::vector<std::string> BuiltinFunctionNames() {
   std::vector<std::string> names;
-  for (const auto& [name, spec] : FunctionTable()) names.push_back(name);
+  for (const auto& [name, spec] : expr_internal::FunctionTable()) {
+    names.push_back(name);
+  }
   return names;
 }
 

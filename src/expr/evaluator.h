@@ -1,7 +1,7 @@
 #ifndef MLFS_EXPR_EVALUATOR_H_
 #define MLFS_EXPR_EVALUATOR_H_
 
-#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -9,6 +9,8 @@
 #include "common/schema.h"
 #include "common/status.h"
 #include "expr/ast.h"
+#include "expr/bytecode.h"
+#include "expr/column_batch.h"
 
 namespace mlfs {
 
@@ -27,17 +29,21 @@ namespace mlfs {
 ///    `dim(a)`, `at(a,i)` operate on EMBEDDING values.
 StatusOr<FeatureType> InferType(const Expr& expr, const Schema& schema);
 
-/// Interprets `expr` against `row`, resolving columns by name.
-/// Prefer CompiledExpr on hot paths.
+/// Interprets `expr` against `row`, resolving columns by name. This is the
+/// reference implementation (and the differential oracle for the compiled
+/// engine); prefer CompiledExpr on hot paths.
 StatusOr<Value> EvalExpr(const Expr& expr, const Row& row);
 
-/// An expression type-checked and bound to a schema: column references are
-/// resolved to indices once, so per-row evaluation does no name lookups.
+/// An expression type-checked against a schema and lowered to flat register
+/// bytecode (expr/bytecode.h): column references are resolved to indices,
+/// literal-only subtrees are constant-folded, and repeated column loads /
+/// common subexpressions are deduplicated. Evaluate row-at-a-time with
+/// Eval, or a column batch at a time with EvalBatch — the vectorized path
+/// used by materialization, windowed aggregation, slice monitoring and
+/// columnar scan pushdown.
 class CompiledExpr {
  public:
-  using EvalFn = std::function<StatusOr<Value>(const Row&)>;
-
-  /// Type-checks `expr` against `schema` and binds column indices.
+  /// Type-checks `expr` against `schema` and lowers it to bytecode.
   static StatusOr<CompiledExpr> Compile(const Expr& expr, SchemaPtr schema);
 
   /// Convenience: parse + compile.
@@ -45,20 +51,29 @@ class CompiledExpr {
                                         SchemaPtr schema);
 
   /// Evaluates against a row of the bound schema.
-  StatusOr<Value> Eval(const Row& row) const { return fn_(row); }
+  StatusOr<Value> Eval(const Row& row) const;
 
-  FeatureType output_type() const { return output_type_; }
-  const SchemaPtr& schema() const { return schema_; }
+  /// As above, with caller-owned scratch (avoids the thread-local).
+  StatusOr<Value> Eval(const Row& row, ExprScratch* scratch) const {
+    return program_->EvalRow(row, scratch);
+  }
+
+  /// Evaluates every row of `src` in one vectorized pass; see
+  /// Program::EvalBatch for the result/error contract.
+  Status EvalBatch(const BatchSource& src, ExprScratch* scratch,
+                   const ColumnVector** out) const {
+    return program_->EvalBatch(src, scratch, out);
+  }
+
+  FeatureType output_type() const { return program_->output_type(); }
+  const SchemaPtr& schema() const { return program_->schema(); }
+  const std::shared_ptr<const Program>& program() const { return program_; }
 
  private:
-  CompiledExpr(EvalFn fn, FeatureType output_type, SchemaPtr schema)
-      : fn_(std::move(fn)),
-        output_type_(output_type),
-        schema_(std::move(schema)) {}
+  explicit CompiledExpr(std::shared_ptr<const Program> program)
+      : program_(std::move(program)) {}
 
-  EvalFn fn_;
-  FeatureType output_type_;
-  SchemaPtr schema_;
+  std::shared_ptr<const Program> program_;
 };
 
 /// Names of all builtin functions (for documentation/introspection).

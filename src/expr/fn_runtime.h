@@ -1,0 +1,50 @@
+#ifndef MLFS_EXPR_FN_RUNTIME_H_
+#define MLFS_EXPR_FN_RUNTIME_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "expr/ast.h"
+
+// Shared expression runtime: the single set of operator/builtin
+// implementations behind the tree-walking interpreter, the compiled row
+// path and the vectorized VM's generic (per-row) kernels. Keeping one
+// implementation is what makes the interpreter usable as a differential
+// oracle for the VM.
+namespace mlfs::expr_internal {
+
+struct FunctionSpec {
+  size_t min_args;
+  size_t max_args;  // SIZE_MAX for variadic.
+  // Result type given argument types (validation happens here).
+  std::function<StatusOr<FeatureType>(const std::vector<FeatureType>&)> infer;
+  // Runtime application. NULL propagation is handled by the caller for
+  // functions with propagate_nulls == true.
+  std::function<StatusOr<Value>(const std::vector<Value>&)> apply;
+  bool propagate_nulls = true;
+};
+
+StatusOr<const FunctionSpec*> LookupFunction(const std::string& name,
+                                             size_t num_args);
+
+StatusOr<Value> ApplyUnary(UnaryOp op, const Value& v);
+StatusOr<Value> ApplyBinary(BinaryOp op, const Value& a, const Value& b);
+StatusOr<Value> ApplyCall(const FunctionSpec& spec,
+                          const std::vector<Value>& args);
+
+StatusOr<FeatureType> CommonType(FeatureType a, FeatureType b);
+
+/// Type of `node` given already-inferred child types (one entry per
+/// `node.args()` element; empty for leaves). Column nodes are resolved via
+/// `column_type`, the type of the referenced column (kNull-invalid never —
+/// the caller resolves the index and reports unknown columns itself).
+StatusOr<FeatureType> InferNodeType(const Expr& node,
+                                    const std::vector<FeatureType>& child_types,
+                                    FeatureType column_type);
+
+}  // namespace mlfs::expr_internal
+
+#endif  // MLFS_EXPR_FN_RUNTIME_H_

@@ -24,6 +24,23 @@ StatusOr<bool> Slice::Matches(const Row& metadata) const {
   return v.bool_value();
 }
 
+Status Slice::MatchesBatch(std::span<const Row> metadata,
+                           std::vector<uint8_t>* out) const {
+  constexpr size_t kChunkRows = 1024;
+  out->assign(metadata.size(), 0);
+  ExprScratch scratch;
+  const ColumnVector* res = nullptr;
+  for (size_t off = 0; off < metadata.size(); off += kChunkRows) {
+    const size_t len = std::min(kChunkRows, metadata.size() - off);
+    RowBatchSource src(predicate_.schema(), metadata.subspan(off, len));
+    MLFS_RETURN_IF_ERROR(predicate_.EvalBatch(src, &scratch, &res));
+    for (size_t i = 0; i < len; ++i) {
+      (*out)[off + i] = res->TriBool(i) == 1 ? 1 : 0;
+    }
+  }
+  return Status::OK();
+}
+
 std::string SliceMetrics::ToString() const {
   char buf[192];
   std::snprintf(buf, sizeof(buf),
@@ -53,14 +70,15 @@ StatusOr<std::vector<SliceMetrics>> EvaluateSlices(
 
   std::vector<SliceMetrics> out;
   out.reserve(slices.size());
+  std::vector<uint8_t> in_slice;
   for (const Slice& slice : slices) {
     SliceMetrics metrics;
     metrics.slice = slice.name();
     metrics.population_accuracy = population_accuracy;
     size_t correct = 0;
+    MLFS_RETURN_IF_ERROR(slice.MatchesBatch(metadata, &in_slice));
     for (size_t i = 0; i < metadata.size(); ++i) {
-      MLFS_ASSIGN_OR_RETURN(bool in_slice, slice.Matches(metadata[i]));
-      if (!in_slice) continue;
+      if (!in_slice[i]) continue;
       ++metrics.size;
       correct += truth[i] == predictions[i];
     }

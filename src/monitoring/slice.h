@@ -1,7 +1,9 @@
 #ifndef MLFS_MONITORING_SLICE_H_
 #define MLFS_MONITORING_SLICE_H_
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -27,6 +29,12 @@ class Slice {
 
   /// True when `metadata` belongs to the slice (NULL predicate = false).
   StatusOr<bool> Matches(const Row& metadata) const;
+
+  /// Batch equivalent of Matches over each row: sets `out` to one byte per
+  /// row, nonzero iff that row belongs to the slice (NULL = not in the
+  /// slice). The predicate evaluates vector-at-a-time in 1024-row chunks.
+  Status MatchesBatch(std::span<const Row> metadata,
+                      std::vector<uint8_t>* out) const;
 
   const std::string& name() const { return spec_.name; }
   const SliceSpec& spec() const { return spec_; }

@@ -12,7 +12,6 @@ StatusOr<MaterializationResult> Materializer::Materialize(
   const OfflineTableOptions& source_options = source->options();
   int entity_idx = source_options.schema->FieldIndex(
       source_options.entity_column);
-  int time_idx = source_options.schema->FieldIndex(source_options.time_column);
   FeatureType entity_type =
       source_options.schema->field(entity_idx).type;
 
@@ -51,22 +50,24 @@ StatusOr<MaterializationResult> Materializer::Materialize(
 
   MaterializationResult result;
   result.ran_at = now;
-  const std::vector<Row> latest = source->LatestPerEntityAsOf(now);
+  // Batch read: the source table evaluates the compiled expression over its
+  // sealed segments column-at-a-time, so the run never materializes
+  // full-width source rows — only (entity, event_time, value) cells.
+  MLFS_ASSIGN_OR_RETURN(std::vector<MaterializedCell> cells,
+                        source->EvalLatestPerEntityAsOf(now, compiled));
   // Buffer the feature-log rows and flush them in one AppendBatch (one
   // exclusive lock for the run) instead of taking the log table's write
   // lock once per entity.
   std::vector<Row> log_rows;
-  log_rows.reserve(latest.size());
-  for (const Row& source_row : latest) {
-    MLFS_ASSIGN_OR_RETURN(Value value, compiled.Eval(source_row));
-    if (value.is_null()) ++result.null_values;
-    Timestamp event_time = source_row.value(time_idx).time_value();
+  log_rows.reserve(cells.size());
+  for (MaterializedCell& cell : cells) {
+    if (cell.value.is_null()) ++result.null_values;
     MLFS_ASSIGN_OR_RETURN(
         Row out_row,
-        Row::Create(out_schema, {source_row.value(entity_idx),
-                                 Value::Time(event_time), std::move(value)}));
-    MLFS_RETURN_IF_ERROR(online_->Put(view, source_row.value(entity_idx),
-                                      out_row, event_time, now,
+        Row::Create(out_schema, {cell.entity, Value::Time(cell.event_time),
+                                 std::move(cell.value)}));
+    MLFS_RETURN_IF_ERROR(online_->Put(view, cell.entity, out_row,
+                                      cell.event_time, now,
                                       feature.def.online_ttl));
     log_rows.push_back(std::move(out_row));
     ++result.entities_updated;

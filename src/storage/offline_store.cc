@@ -10,8 +10,16 @@
 #include "common/serde.h"
 #include "storage/entity_key.h"
 #include "storage/persistence.h"
+#include "storage/segment_batch.h"
 
 namespace mlfs {
+
+namespace {
+/// Rows per vectorized predicate/materialization batch. Large enough to
+/// amortize the per-batch dispatch, small enough that every register of a
+/// typical program stays cache-resident.
+constexpr size_t kEvalBatchRows = 1024;
+}  // namespace
 
 OfflineTable::OfflineTable(OfflineTableOptions options)
     : options_(std::move(options)) {
@@ -212,6 +220,123 @@ std::vector<Row> OfflineTable::ScanIf(
     }
   }
   return out;
+}
+
+Status OfflineTable::ValidateCompiled(const CompiledExpr& expr,
+                                      bool need_bool) const {
+  if (expr.schema() == nullptr || !(*expr.schema() == *options_.schema)) {
+    return Status::InvalidArgument(
+        "expression was not compiled against table '" + options_.name + "'");
+  }
+  if (need_bool && expr.output_type() != FeatureType::kBool &&
+      expr.output_type() != FeatureType::kNull) {
+    return Status::InvalidArgument("scan predicate must be BOOL, got " +
+                                   std::string(FeatureTypeToString(
+                                       expr.output_type())));
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<Row>> OfflineTable::ScanPushdown(
+    Timestamp lo, Timestamp hi, const CompiledExpr& pred,
+    const AsOfReadOptions* proj) const {
+  MLFS_RETURN_IF_ERROR(ValidateCompiled(pred, /*need_bool=*/true));
+  if (proj != nullptr) {
+    if (proj->columns.empty()) {
+      return Status::InvalidArgument("ScanColumns requires a projection");
+    }
+    MLFS_RETURN_IF_ERROR(ValidateReadOptions(*proj));
+  }
+  std::shared_lock lock(mu_);
+  std::vector<Row> out;
+  if (lo >= hi) return out;
+  const int64_t lo_part =
+      (lo == kMinTimestamp) ? INT64_MIN : PartitionIdFor(lo);
+  const int64_t hi_part =
+      (hi == kMaxTimestamp) ? INT64_MAX : PartitionIdFor(hi);
+  ExprScratch scratch;
+  const ColumnVector* res = nullptr;
+  std::vector<Value> values;
+  // Sealed path: candidate row ids (time-filtered) accumulate per segment
+  // and evaluate in kEvalBatchRows chunks directly over the segment's
+  // column buffers; only surviving rows materialize cells.
+  std::vector<uint32_t> cand;
+  cand.reserve(kEvalBatchRows);
+  auto flush_segment = [&](const Segment* seg) -> Status {
+    if (cand.empty()) return Status::OK();
+    SegmentBatchSource src(seg, cand);
+    MLFS_RETURN_IF_ERROR(pred.EvalBatch(src, &scratch, &res));
+    for (size_t i = 0; i < cand.size(); ++i) {
+      if (res->TriBool(i) != 1) continue;  // false and NULL both drop.
+      values.clear();
+      seg->AppendProjected(
+          cand[i], proj != nullptr ? proj->columns : std::span<const int>(all_columns_),
+          &values);
+      out.push_back(Row::CreateUnsafe(
+          proj != nullptr ? proj->projected_schema : options_.schema, values));
+    }
+    cand.clear();
+    return Status::OK();
+  };
+  // Head path: surviving head rows either copy whole (full width) or
+  // gather their projected cells.
+  std::vector<const Row*> head_cand;
+  head_cand.reserve(kEvalBatchRows);
+  auto flush_head = [&]() -> Status {
+    if (head_cand.empty()) return Status::OK();
+    RowPtrBatchSource src(options_.schema, head_cand);
+    MLFS_RETURN_IF_ERROR(pred.EvalBatch(src, &scratch, &res));
+    for (size_t i = 0; i < head_cand.size(); ++i) {
+      if (res->TriBool(i) != 1) continue;
+      if (proj == nullptr) {
+        out.push_back(*head_cand[i]);
+        continue;
+      }
+      values.clear();
+      for (int col : proj->columns) values.push_back(head_cand[i]->value(col));
+      out.push_back(Row::CreateUnsafe(proj->projected_schema, values));
+    }
+    head_cand.clear();
+    return Status::OK();
+  };
+  for (auto it = partitions_.lower_bound(lo_part); it != partitions_.end();
+       ++it) {
+    if (it->first > hi_part) break;
+    const Partition& part = it->second;
+    for (const SegmentPtr& seg : part.segments) {
+      if (seg->max_ts() < lo || seg->min_ts() >= hi) continue;
+      for (size_t r = 0; r < seg->num_rows(); ++r) {
+        Timestamp ts = seg->ts(r);
+        if (ts < lo || ts >= hi) continue;
+        cand.push_back(static_cast<uint32_t>(r));
+        if (cand.size() == kEvalBatchRows) {
+          MLFS_RETURN_IF_ERROR(flush_segment(seg.get()));
+        }
+      }
+      MLFS_RETURN_IF_ERROR(flush_segment(seg.get()));
+    }
+    for (const Row& row : part.head_rows) {
+      Timestamp ts = row.value(time_idx_).time_value();
+      if (ts < lo || ts >= hi) continue;
+      head_cand.push_back(&row);
+      if (head_cand.size() == kEvalBatchRows) {
+        MLFS_RETURN_IF_ERROR(flush_head());
+      }
+    }
+    MLFS_RETURN_IF_ERROR(flush_head());
+  }
+  return out;
+}
+
+StatusOr<std::vector<Row>> OfflineTable::ScanIf(Timestamp lo, Timestamp hi,
+                                                const CompiledExpr& pred) const {
+  return ScanPushdown(lo, hi, pred, nullptr);
+}
+
+StatusOr<std::vector<Row>> OfflineTable::ScanColumns(
+    Timestamp lo, Timestamp hi, const AsOfReadOptions& options,
+    const CompiledExpr& pred) const {
+  return ScanPushdown(lo, hi, pred, &options);
 }
 
 Status OfflineTable::ValidateReadOptions(
@@ -437,14 +562,93 @@ std::vector<Row> OfflineTable::LatestPerEntityAsOf(Timestamp ts) const {
   return out;
 }
 
+StatusOr<std::vector<MaterializedCell>> OfflineTable::EvalLatestPerEntityAsOf(
+    Timestamp ts, const CompiledExpr& expr) const {
+  MLFS_RETURN_IF_ERROR(ValidateCompiled(expr, /*need_bool=*/false));
+  std::shared_lock lock(mu_);
+  // Row selection is identical to LatestPerEntityAsOf: rightmost posting
+  // with ts <= cutoff per entity, emitted in canonical key order.
+  std::vector<std::pair<const std::string*, const GlobalPosting*>> hits;
+  hits.reserve(key_directory_.size());
+  for (const auto& [key, merged] : key_directory_) {
+    auto it = std::upper_bound(
+        merged.begin(), merged.end(), ts,
+        [](Timestamp t, const GlobalPosting& g) { return t < g.ts; });
+    if (it == merged.begin()) continue;
+    hits.emplace_back(&key, &*--it);
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const auto& a, const auto& b) { return *a.first < *b.first; });
+  const size_t n = hits.size();
+  std::vector<MaterializedCell> out(n);
+  // Group the matched rows by residence so each group evaluates as column
+  // batches: segment rows load straight off the encoded buffers, head rows
+  // go through a row-pointer source. Only the entity cell and the result
+  // are ever materialized as Values.
+  struct SegGroup {
+    const Segment* seg;
+    std::vector<uint32_t> rows;
+    std::vector<size_t> slots;  // Index into `out`, parallel to `rows`.
+  };
+  std::vector<SegGroup> groups;
+  std::unordered_map<const Segment*, size_t> group_of;
+  std::vector<const Row*> head_rows;
+  std::vector<size_t> head_slots;
+  for (size_t i = 0; i < n; ++i) {
+    out[i].event_time = hits[i].second->ts;
+    RowLoc loc = Resolve(*hits[i].second->part, hits[i].second->ordinal);
+    if (loc.head != nullptr) {
+      out[i].entity = loc.head->value(entity_idx_);
+      head_rows.push_back(loc.head);
+      head_slots.push_back(i);
+      continue;
+    }
+    out[i].entity = loc.seg->value(entity_idx_, loc.seg_row);
+    auto [git, inserted] = group_of.emplace(loc.seg, groups.size());
+    if (inserted) groups.push_back(SegGroup{loc.seg, {}, {}});
+    SegGroup& g = groups[git->second];
+    g.rows.push_back(static_cast<uint32_t>(loc.seg_row));
+    g.slots.push_back(i);
+  }
+  ExprScratch scratch;
+  const ColumnVector* res = nullptr;
+  for (const SegGroup& g : groups) {
+    for (size_t off = 0; off < g.rows.size(); off += kEvalBatchRows) {
+      const size_t len = std::min(kEvalBatchRows, g.rows.size() - off);
+      SegmentBatchSource src(g.seg,
+                             std::span<const uint32_t>(g.rows).subspan(off, len));
+      MLFS_RETURN_IF_ERROR(expr.EvalBatch(src, &scratch, &res));
+      for (size_t j = 0; j < len; ++j) {
+        out[g.slots[off + j]].value = res->GetValue(j);
+      }
+    }
+  }
+  for (size_t off = 0; off < head_rows.size(); off += kEvalBatchRows) {
+    const size_t len = std::min(kEvalBatchRows, head_rows.size() - off);
+    RowPtrBatchSource src(
+        options_.schema,
+        std::span<const Row* const>(head_rows).subspan(off, len));
+    MLFS_RETURN_IF_ERROR(expr.EvalBatch(src, &scratch, &res));
+    for (size_t j = 0; j < len; ++j) {
+      out[head_slots[off + j]].value = res->GetValue(j);
+    }
+  }
+  return out;
+}
+
 std::vector<std::string> OfflineTable::EntityKeys() const {
   std::shared_lock lock(mu_);
-  // The key directory holds every distinct key exactly once.
-  std::vector<std::string> out;
-  out.reserve(key_directory_.size());
-  for (const auto& [key, runs] : key_directory_) out.push_back(key);
-  std::sort(out.begin(), out.end());
-  return out;
+  std::lock_guard cache_lock(keys_mu_);
+  // The key directory holds every distinct key exactly once, and keys are
+  // never removed — so the sorted cache is current iff the sizes match,
+  // and the sort runs once per batch of new keys instead of once per call.
+  if (keys_cache_.size() != key_directory_.size()) {
+    keys_cache_.clear();
+    keys_cache_.reserve(key_directory_.size());
+    for (const auto& [key, runs] : key_directory_) keys_cache_.push_back(key);
+    std::sort(keys_cache_.begin(), keys_cache_.end());
+  }
+  return keys_cache_;
 }
 
 size_t OfflineTable::num_rows() const {

@@ -19,6 +19,7 @@
 #include "common/schema.h"
 #include "common/status.h"
 #include "common/timestamp.h"
+#include "expr/evaluator.h"
 #include "storage/segment.h"
 
 namespace mlfs {
@@ -54,6 +55,14 @@ struct AsOfReadOptions {
 inline bool MissBitmapTest(const std::vector<uint64_t>& bitmap, size_t i) {
   return (bitmap[i >> 6] >> (i & 63)) & 1;
 }
+
+/// One entity's result from a batch materialization read
+/// (OfflineTable::EvalLatestPerEntityAsOf).
+struct MaterializedCell {
+  Value entity;
+  Timestamp event_time = 0;
+  Value value;
+};
 
 /// Configuration for one offline (historical) table.
 struct OfflineTableOptions {
@@ -140,6 +149,22 @@ class OfflineTable {
   std::vector<Row> ScanIf(Timestamp lo, Timestamp hi,
                           const std::function<bool(const Row&)>& pred) const;
 
+  /// Scans with a compiled predicate pushed down into the columnar tier:
+  /// sealed rows evaluate batch-wise directly over segment column buffers
+  /// (no Row materialization for rejected rows) and head rows batch
+  /// through a row source. Rows whose predicate result is NULL are dropped
+  /// (SQL WHERE semantics). The predicate must be compiled against the
+  /// table schema with BOOL output.
+  StatusOr<std::vector<Row>> ScanIf(Timestamp lo, Timestamp hi,
+                                    const CompiledExpr& pred) const;
+
+  /// ScanColumns with predicate pushdown: the predicate runs over full-
+  /// schema segment columns first and only surviving rows gather their
+  /// projected cells.
+  StatusOr<std::vector<Row>> ScanColumns(Timestamp lo, Timestamp hi,
+                                         const AsOfReadOptions& options,
+                                         const CompiledExpr& pred) const;
+
   /// Projected scan: materializes only `options.columns` (required), in
   /// rows conforming to `options.projected_schema`. On sealed segments the
   /// unrequested columns are never touched.
@@ -172,6 +197,16 @@ class OfflineTable {
   /// Latest row per entity as of `ts` — the materialization query that
   /// loads the online store.
   std::vector<Row> LatestPerEntityAsOf(Timestamp ts) const;
+
+  /// Batch materialization read: selects the same rows as
+  /// LatestPerEntityAsOf and evaluates `expr` over them vectorized —
+  /// segment-resident rows straight over columnar buffers, head rows
+  /// through a batched row source — without materializing full-width rows
+  /// on the sealed path. Results are in canonical entity-key order (the
+  /// order LatestPerEntityAsOf emits). `expr` must be compiled against the
+  /// table schema.
+  StatusOr<std::vector<MaterializedCell>> EvalLatestPerEntityAsOf(
+      Timestamp ts, const CompiledExpr& expr) const;
 
   /// All distinct entity keys (canonical string form).
   std::vector<std::string> EntityKeys() const;
@@ -295,6 +330,14 @@ class OfflineTable {
   Status CompactInner(size_t min_segments);
   Status EnforceBudgetInner();
   Status ValidateReadOptions(const AsOfReadOptions& options) const;
+  /// Checks `expr` was compiled against this table's schema (and, when
+  /// `need_bool`, that it is a predicate).
+  Status ValidateCompiled(const CompiledExpr& expr, bool need_bool) const;
+  /// Shared engine under both pushdown scans; `proj` is null for
+  /// full-width output.
+  StatusOr<std::vector<Row>> ScanPushdown(Timestamp lo, Timestamp hi,
+                                          const CompiledExpr& pred,
+                                          const AsOfReadOptions* proj) const;
   static RowLoc Resolve(const Partition& part, size_t ordinal);
   Row MaterializeRow(const RowLoc& loc) const;
   int64_t PartitionIdFor(Timestamp ts) const;
@@ -317,6 +360,13 @@ class OfflineTable {
       key_directory_;
   size_t num_rows_ = 0;
   Timestamp max_event_time_ = kMinTimestamp;
+
+  // EntityKeys() result cache. Keys are only ever added, so the cache is
+  // current iff its size matches the key directory's; appends invalidate
+  // it implicitly by growing the directory. Guarded by keys_mu_ (acquired
+  // after mu_, never the other way around).
+  mutable std::mutex keys_mu_;
+  mutable std::vector<std::string> keys_cache_;
 
   // Serializes compaction/spill passes so their off-lock work never
   // targets a segment another maintenance pass is replacing.

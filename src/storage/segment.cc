@@ -12,6 +12,7 @@
 #include "common/failpoint.h"
 #include "common/hash.h"
 #include "common/serde.h"
+#include "expr/column_batch.h"
 
 namespace mlfs {
 namespace {
@@ -629,6 +630,76 @@ Value Segment::value(size_t col, size_t row) const {
 void Segment::AppendProjected(size_t row, std::span<const int> cols,
                               std::vector<Value>* out) const {
   for (int c : cols) out->push_back(value(static_cast<size_t>(c), row));
+}
+
+void Segment::LoadColumn(size_t col, std::span<const uint32_t> rows,
+                         ColumnVector* out) const {
+  MLFS_DCHECK(col < cols_.size());
+  const Column& c = cols_[col];
+  const FeatureType type = schema_->field(col).type;
+  const size_t n = rows.size();
+  out->Reset(type, n);
+  switch (c.enc) {
+    case ColumnEncoding::kNullOnly:
+      break;  // Reset(kNull) already marked every cell NULL.
+    case ColumnEncoding::kRaw64: {
+      if (type == FeatureType::kInt64) {
+        int64_t* o = out->i64();
+        for (size_t i = 0; i < n; ++i) {
+          o[i] = static_cast<int64_t>(LoadU64(c.data + 8 * rows[i]));
+        }
+      } else {
+        double* o = out->f64();
+        for (size_t i = 0; i < n; ++i) {
+          const uint64_t bits = LoadU64(c.data + 8 * rows[i]);
+          std::memcpy(&o[i], &bits, 8);
+        }
+      }
+      break;
+    }
+    case ColumnEncoding::kBool: {
+      uint8_t* o = out->b8();
+      for (size_t i = 0; i < n; ++i) o[i] = c.data[rows[i]] != 0;
+      break;
+    }
+    case ColumnEncoding::kDeltaTimestamp: {
+      const std::vector<Timestamp>& ts = delta_cols_[col];
+      int64_t* o = out->i64();
+      for (size_t i = 0; i < n; ++i) o[i] = ts[rows[i]];
+      break;
+    }
+    case ColumnEncoding::kDictionary: {
+      for (size_t i = 0; i < n; ++i) {
+        if (NullBit(c, rows[i])) {
+          out->AppendNullCell();
+          continue;
+        }
+        const uint32_t code = LoadU32(c.codes + 4 * rows[i]);
+        const uint32_t beg = LoadU32(c.dict_offsets + 4 * code);
+        const uint32_t end = LoadU32(c.dict_offsets + 4 * (code + 1));
+        out->AppendString(std::string_view(
+            reinterpret_cast<const char*>(c.dict_blob) + beg, end - beg));
+      }
+      return;  // Null bits were set cell-by-cell above.
+    }
+    case ColumnEncoding::kFloatList: {
+      for (size_t i = 0; i < n; ++i) {
+        if (NullBit(c, rows[i])) {
+          out->AppendNullCell();
+          continue;
+        }
+        const uint64_t beg = LoadU64(c.fences + 8 * rows[i]);
+        const uint64_t end = LoadU64(c.fences + 8 * rows[i] + 8);
+        out->AppendEmbeddingBytes(c.floats + 4 * beg, end - beg);
+      }
+      return;
+    }
+  }
+  if (c.nulls != nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      if (NullBit(c, rows[i])) out->SetNull(i);
+    }
+  }
 }
 
 }  // namespace mlfs

@@ -15,6 +15,8 @@
 
 namespace mlfs {
 
+class ColumnVector;
+
 /// Per-column encoding inside a sealed segment. The encoding is chosen from
 /// the schema field type at seal time; every encoding supports O(1) random
 /// access directly on the encoded bytes (so a memory-mapped spilled segment
@@ -112,6 +114,13 @@ class Segment {
   /// `out` — the projected gather primitive under AsOfBatch/ScanColumns.
   void AppendProjected(size_t row, std::span<const int> cols,
                        std::vector<Value>* out) const;
+
+  /// Gathers column `col` of the listed rows into `out` (including its
+  /// Reset) straight off the encoded column buffers — no per-cell Value is
+  /// materialized. This is the batch-load primitive behind vectorized
+  /// predicate pushdown and batch materialization (expr/column_batch.h).
+  void LoadColumn(size_t col, std::span<const uint32_t> rows,
+                  ColumnVector* out) const;
 
  private:
   struct Column {

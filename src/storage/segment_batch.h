@@ -1,0 +1,39 @@
+#ifndef MLFS_STORAGE_SEGMENT_BATCH_H_
+#define MLFS_STORAGE_SEGMENT_BATCH_H_
+
+#include <span>
+
+#include "expr/column_batch.h"
+#include "storage/segment.h"
+
+namespace mlfs {
+
+/// BatchSource over a subset of one sealed segment's rows: column loads go
+/// straight from the encoded (possibly memory-mapped) column buffers into
+/// the VM's typed registers, so expressions evaluate over sealed data with
+/// no Row or Value materialization. `rows` lists segment-local row indices
+/// (e.g. the survivors of a time-range filter) and must outlive the source.
+class SegmentBatchSource final : public BatchSource {
+ public:
+  SegmentBatchSource(const Segment* segment, std::span<const uint32_t> rows)
+      : segment_(segment), rows_(rows) {}
+
+  size_t num_rows() const override { return rows_.size(); }
+
+  Status LoadColumn(int col, ColumnVector* out) const override {
+    if (col < 0 ||
+        static_cast<size_t>(col) >= segment_->schema()->num_fields()) {
+      return Status::InvalidArgument("batch column index out of range");
+    }
+    segment_->LoadColumn(static_cast<size_t>(col), rows_, out);
+    return Status::OK();
+  }
+
+ private:
+  const Segment* segment_;
+  std::span<const uint32_t> rows_;
+};
+
+}  // namespace mlfs
+
+#endif  // MLFS_STORAGE_SEGMENT_BATCH_H_

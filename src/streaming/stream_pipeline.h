@@ -2,6 +2,7 @@
 #define MLFS_STREAMING_STREAM_PIPELINE_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,10 @@ class StreamPipeline {
 
   /// Processes one raw event and materializes any windows it finalized.
   Status Ingest(const Row& event);
+
+  /// Processes a batch of raw events (aggregation inputs evaluate
+  /// vector-at-a-time) and materializes any windows the batch finalized.
+  Status IngestBatch(std::span<const Row> events);
 
   /// Forces all windows ending at or before `watermark` to finalize and
   /// materialize (use at end of stream or on a timer tick).

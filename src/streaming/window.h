@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -67,6 +68,16 @@ class WindowedAggregator {
   /// watermark, which may finalize older windows.
   Status ProcessEvent(const Row& event);
 
+  /// Batch equivalent of calling ProcessEvent on each row in order:
+  /// aggregation-input expressions evaluate vector-at-a-time over each
+  /// chunk of surviving (non-late) events, late-event drops follow the
+  /// same prefix-max watermark the one-at-a-time path would have seen,
+  /// and finalization is deferred to chunk boundaries (observably
+  /// identical — a window past the watermark can never receive events).
+  /// Chunks that would error fall back to the row path so failure
+  /// positions match exactly.
+  Status ProcessEvents(std::span<const Row> events);
+
   /// Finalized results since the last poll, ordered by (window_end, entity).
   std::vector<WindowResult> PollResults();
 
@@ -96,6 +107,8 @@ class WindowedAggregator {
 
   void MaybeFinalize();
   Timestamp FirstWindowStartFor(Timestamp t) const;
+  Status ProcessChunk(std::span<const Row> chunk);
+  Status FallbackRowPath(std::span<const Row> chunk);
 
   SchemaPtr schema_;
   int entity_idx_;
@@ -104,6 +117,9 @@ class WindowedAggregator {
   std::vector<WindowAggSpec> aggs_;
   // Parallel to aggs_; null entry means "count the event itself".
   std::vector<std::unique_ptr<CompiledExpr>> inputs_;
+  // Parallel to inputs_: per-input VM scratch, so each input's result
+  // vector stays live while the others evaluate over the same chunk.
+  std::vector<ExprScratch> scratch_;
   Timestamp allowed_lateness_;
 
   WindowMap open_;
