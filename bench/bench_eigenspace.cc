@@ -102,8 +102,9 @@ int main() {
     double eos = EigenspaceOverlapScore(*full, *compressed).value();
     double mse = ReconstructionMse(*full, *compressed).value();
     double accuracy = accuracy_of(*compressed);
-    std::printf("%6d %9.0fx %12.4f %14.3e %12.3f\n", bits,
-                CompressionRatio(bits), eos, mse, accuracy);
+    std::printf("%6d %9.1fx %12.4f %14.3e %12.3f\n", bits,
+                CompressionRatio(bits, full->size(), full->dim()), eos, mse,
+                accuracy);
     eos_series.push_back(eos);
     accuracy_series.push_back(accuracy);
   }

@@ -106,8 +106,9 @@ int main() {
   MLFS_CHECK_OK(store.RegisterEmbedding(compressed).status());
   double eos_compressed =
       EigenspaceOverlapScore(*v2_table, *compressed).value();
-  std::printf("8-bit serving copy: EOS vs v2 = %.4f (ratio %.0fx)\n",
-              eos_compressed, CompressionRatio(8));
+  std::printf("8-bit serving copy: EOS vs v2 = %.4f (ratio %.1fx)\n",
+              eos_compressed,
+              CompressionRatio(8, v2_table->size(), v2_table->dim()));
   auto lineage = store.embeddings().Lineage("item_emb@v3").value();
   std::printf("lineage of item_emb@v3:");
   for (const auto& ref : lineage) std::printf(" %s", ref.c_str());

@@ -16,7 +16,7 @@ FeatureStore::FeatureStore(FeatureStoreOptions options)
       registry_(&offline_, &lineage_),
       materializer_(&online_, &offline_, &lineage_),
       orchestrator_(&registry_, &materializer_),
-      embedding_store_(&lineage_),
+      embedding_store_(&lineage_, options_.embedding_tiering),
       model_registry_(&lineage_),
       server_(&online_, options_.serving, &embedding_store_, &lineage_) {
   // Surface every staleness fan-out on the alert bus. Routine supersedes
@@ -128,8 +128,8 @@ Status FeatureStore::MaterializeEmbedding(const std::string& name) {
   const Timestamp event_time =
       table->metadata().created_at > 0 ? table->metadata().created_at : now;
   for (size_t i = 0; i < table->size(); ++i) {
-    const float* row = table->row(i);
-    std::vector<float> vec(row, row + table->dim());
+    std::vector<float> vec(table->dim());
+    table->CopyRow(i, vec.data());
     MLFS_ASSIGN_OR_RETURN(
         Row out,
         Row::Create(schema, {Value::String(table->key(i)),
@@ -174,11 +174,29 @@ FeatureStore::GetOrBuildAnnIndex(const EmbeddingTablePtr& table) {
   // callers of this same version (who share its result via the once flag),
   // never lookups on other embeddings or versions.
   std::call_once(entry->built, [&] {
-    entry->index = options_.ann_index == "brute" ? MakeBruteForceIndex()
-                                                 : MakeHnswIndex();
-    entry->build_status = entry->index->Build(
-        entry->table->raw().data(), entry->table->size(),
-        entry->table->dim());
+    if (entry->table->tiered() && options_.ann_index == "brute") {
+      // Stays out-of-core: the index streams tier blocks per search
+      // instead of holding a second resident copy of the vectors.
+      entry->index = MakeTieredBruteForceIndex(entry->table);
+      entry->build_status = entry->index->Build(nullptr, 0, 0);
+    } else {
+      if (entry->table->tiered()) {
+        // HNSW needs stable row pointers for its whole lifetime, which a
+        // tiered table cannot give; index a resident copy (the documented
+        // RAM cost of graph indexes over spilled versions).
+        StatusOr<EmbeddingTablePtr> resident = entry->table->Materialize();
+        if (!resident.ok()) {
+          entry->build_status = resident.status();
+          return;
+        }
+        entry->table = *std::move(resident);
+      }
+      entry->index = options_.ann_index == "brute" ? MakeBruteForceIndex()
+                                                   : MakeHnswIndex();
+      entry->build_status = entry->index->Build(
+          entry->table->raw().data(), entry->table->size(),
+          entry->table->dim());
+    }
     if (!entry->build_status.ok()) entry->index.reset();
   });
   if (!entry->build_status.ok()) return entry->build_status;

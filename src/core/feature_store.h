@@ -35,6 +35,11 @@ struct FeatureStoreOptions {
   Timestamp start_time = 0;
   /// ANN index used by NearestNeighbors: "hnsw" or "brute".
   std::string ann_index = "hnsw";
+  /// Out-of-core policy for registered embeddings: with a
+  /// memory_budget_bytes, versions that do not fit spill to packed
+  /// quantized tier files (see EmbeddingTierPolicy). Default: disabled,
+  /// everything stays resident.
+  EmbeddingTierPolicy embedding_tiering;
 };
 
 /// The integrated system this repository reproduces: a feature store that

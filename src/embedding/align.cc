@@ -14,6 +14,19 @@ StatusOr<AlignmentResult> AlignToReference(
         std::to_string(source.dim()) + " vs " +
         std::to_string(reference.dim()));
   }
+  // Procrustes wants stable whole-matrix access (and holds Get pointers
+  // across further lookups, which the tiered pin contract forbids).
+  if (source.tiered() || reference.tiered()) {
+    EmbeddingTablePtr rs, rr;
+    if (source.tiered()) {
+      MLFS_ASSIGN_OR_RETURN(rs, source.Materialize());
+    }
+    if (reference.tiered()) {
+      MLFS_ASSIGN_OR_RETURN(rr, reference.Materialize());
+    }
+    return AlignToReference(rs ? *rs : source, rr ? *rr : reference,
+                            anchor_keys);
+  }
   const size_t d = source.dim();
 
   std::vector<std::string> anchors = anchor_keys;

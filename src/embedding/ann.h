@@ -59,6 +59,15 @@ class AnnIndex {
 /// against.
 std::unique_ptr<AnnIndex> MakeBruteForceIndex(Metric metric = Metric::kL2);
 
+class EmbeddingTable;
+/// Exact scan over a *tiered* embedding table: blocks stream out of the
+/// tier (hot arena or dequantize-on-read, never promoting), so search
+/// works within the tier's memory budget instead of materializing the
+/// matrix. Build(nullptr, 0, 0) — the data comes from `table`. Results
+/// are bitwise-identical to MakeBruteForceIndex over the served vectors.
+std::unique_ptr<AnnIndex> MakeTieredBruteForceIndex(
+    std::shared_ptr<const EmbeddingTable> table, Metric metric = Metric::kL2);
+
 struct IvfOptions {
   size_t nlist = 64;    // Number of coarse cells.
   size_t nprobe = 8;    // Cells visited per query.

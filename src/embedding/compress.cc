@@ -4,54 +4,183 @@
 #include <cmath>
 
 namespace mlfs {
+namespace {
 
-StatusOr<EmbeddingTablePtr> QuantizeUniform(const EmbeddingTable& table,
-                                            int bits) {
+/// Writes `code` as dimension `j` of the packed row at `row`. The row
+/// buffer must be zero-initialized; codes never straddle more than three
+/// bytes (bits <= 16, shift <= 7).
+inline void PutPackedCode(uint8_t* row, size_t j, int bits, uint32_t code) {
+  const size_t bitpos = j * static_cast<size_t>(bits);
+  const size_t byte = bitpos >> 3;
+  const int shift = static_cast<int>(bitpos & 7);
+  const uint32_t v = code << shift;
+  row[byte] |= static_cast<uint8_t>(v & 0xff);
+  if (shift + bits > 8) row[byte + 1] |= static_cast<uint8_t>((v >> 8) & 0xff);
+  if (shift + bits > 16) {
+    row[byte + 2] |= static_cast<uint8_t>((v >> 16) & 0xff);
+  }
+}
+
+}  // namespace
+
+uint32_t PackedCodeAt(const uint8_t* row, size_t j, int bits) {
+  const size_t bitpos = j * static_cast<size_t>(bits);
+  const size_t byte = bitpos >> 3;
+  const int shift = static_cast<int>(bitpos & 7);
+  uint32_t v = row[byte];
+  if (shift + bits > 8) v |= static_cast<uint32_t>(row[byte + 1]) << 8;
+  if (shift + bits > 16) v |= static_cast<uint32_t>(row[byte + 2]) << 16;
+  return (v >> shift) & ((1u << bits) - 1u);
+}
+
+PackedDecodeTables MakeDecodeTables(int bits, const std::vector<float>& lo,
+                                    const std::vector<float>& hi) {
+  PackedDecodeTables tables;
+  const size_t dim = lo.size();
+  const double levels = static_cast<double>((1 << bits) - 1);
+  tables.lo.resize(dim);
+  tables.step.resize(dim);
+  for (size_t j = 0; j < dim; ++j) {
+    tables.lo[j] = static_cast<double>(lo[j]);
+    // The range is computed in double: hi - lo can overflow *float* to
+    // +inf for extreme ranges (e.g. ±FLT_MAX), which would make the step
+    // infinite and collapse the dimension to lo. Double holds any
+    // difference of two finite floats exactly enough.
+    const double range = static_cast<double>(hi[j]) - static_cast<double>(lo[j]);
+    tables.step[j] = bits > 0 && range > 0 ? range / levels : 0.0;
+  }
+  return tables;
+}
+
+PackedCodesView ViewOf(const PackedCodes& packed,
+                       const PackedDecodeTables& tables) {
+  PackedCodesView view;
+  view.bits = packed.bits;
+  view.n = packed.n;
+  view.dim = packed.dim;
+  view.row_bytes = packed.row_bytes;
+  view.lo = tables.lo.data();
+  view.step = tables.step.data();
+  view.codes = packed.codes.data();
+  return view;
+}
+
+StatusOr<PackedCodes> PackUniform(const float* data, size_t n, size_t dim,
+                                  int bits) {
   if (bits < 1 || bits > 16) {
     return Status::InvalidArgument("bits must be in [1, 16]");
   }
+  if (data == nullptr || n == 0 || dim == 0) {
+    return Status::InvalidArgument("cannot quantize an empty matrix");
+  }
+  PackedCodes packed;
+  packed.bits = bits;
+  packed.n = n;
+  packed.dim = dim;
+  packed.row_bytes = (dim * static_cast<size_t>(bits) + 7) / 8;
+
+  // Per-dimension ranges over *finite* values only: a single NaN/inf cell
+  // must not poison its whole dimension's range.
+  packed.lo.assign(dim, 0.0f);
+  packed.hi.assign(dim, 0.0f);
+  std::vector<bool> seen(dim, false);
+  for (size_t i = 0; i < n; ++i) {
+    const float* r = data + i * dim;
+    for (size_t j = 0; j < dim; ++j) {
+      if (!std::isfinite(r[j])) continue;
+      if (!seen[j]) {
+        packed.lo[j] = packed.hi[j] = r[j];
+        seen[j] = true;
+      } else {
+        packed.lo[j] = std::min(packed.lo[j], r[j]);
+        packed.hi[j] = std::max(packed.hi[j], r[j]);
+      }
+    }
+  }
+
+  const PackedDecodeTables tables = MakeDecodeTables(bits, packed.lo,
+                                                     packed.hi);
+  const double top = static_cast<double>((1 << bits) - 1);
+  packed.codes.assign(n * packed.row_bytes, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const float* r = data + i * dim;
+    uint8_t* row = packed.codes.data() + i * packed.row_bytes;
+    for (size_t j = 0; j < dim; ++j) {
+      uint32_t code = 0;
+      if (tables.step[j] > 0) {
+        const double x = static_cast<double>(r[j]);
+        // Saturating non-finite handling: NaN pins to the lo end, ±inf
+        // clamp to the range bounds. The clamp runs in double *before*
+        // any integer conversion, so std::lround never sees a NaN/inf
+        // (UB) and the long -> int narrowing overflow of the old
+        // cast-then-clamp order cannot happen.
+        double q = std::isnan(x) ? 0.0 : (x - tables.lo[j]) / tables.step[j];
+        q = std::clamp(std::isnan(q) ? 0.0 : q, 0.0, top);
+        code = static_cast<uint32_t>(std::lround(q));
+      }
+      if (code != 0) PutPackedCode(row, j, bits, code);
+    }
+  }
+  return packed;
+}
+
+void DequantizeRange(const PackedCodesView& view, size_t row0, size_t nrows,
+                     float* out) {
+  const size_t dim = view.dim;
+  for (size_t r = 0; r < nrows; ++r) {
+    const uint8_t* row = view.codes + (row0 + r) * view.row_bytes;
+    float* dst = out + r * dim;
+    if (view.bits == 8) {
+      for (size_t j = 0; j < dim; ++j) {
+        dst[j] = static_cast<float>(view.lo[j] + row[j] * view.step[j]);
+      }
+    } else {
+      for (size_t j = 0; j < dim; ++j) {
+        const uint32_t code = PackedCodeAt(row, j, view.bits);
+        dst[j] = static_cast<float>(view.lo[j] + code * view.step[j]);
+      }
+    }
+  }
+}
+
+double CompressionRatio(int bits, size_t n, size_t dim) {
+  if (bits < 1 || n == 0 || dim == 0) return 0.0;
+  const double raw = static_cast<double>(n) * dim * 4.0;
+  const size_t row_bytes = (dim * static_cast<size_t>(bits) + 7) / 8;
+  // Codes plus the per-dimension min/max floats the codec must retain to
+  // dequantize (the storage QuantizeUniform's old 32/bits doc ignored).
+  const double packed = static_cast<double>(n) * row_bytes + dim * 8.0;
+  return raw / packed;
+}
+
+StatusOr<EmbeddingTablePtr> QuantizeUniform(const EmbeddingTable& table,
+                                            int bits) {
   const size_t n = table.size();
   const size_t d = table.dim();
   if (n == 0) {
     return Status::InvalidArgument("cannot quantize an empty table");
   }
-  const int levels = 1 << bits;
-
-  // Per-dimension ranges.
-  std::vector<float> lo(d, 0.0f), hi(d, 0.0f);
-  for (size_t j = 0; j < d; ++j) {
-    lo[j] = hi[j] = table.row(0)[j];
+  std::vector<float> source;
+  const float* data = nullptr;
+  if (table.tiered()) {
+    source.resize(n * d);
+    for (size_t i = 0; i < n; ++i) table.CopyRow(i, source.data() + i * d);
+    data = source.data();
+  } else {
+    data = table.raw().data();
   }
-  for (size_t i = 1; i < n; ++i) {
-    const float* r = table.row(i);
-    for (size_t j = 0; j < d; ++j) {
-      lo[j] = std::min(lo[j], r[j]);
-      hi[j] = std::max(hi[j], r[j]);
-    }
-  }
-
+  MLFS_ASSIGN_OR_RETURN(PackedCodes packed, PackUniform(data, n, d, bits));
+  const PackedDecodeTables tables = MakeDecodeTables(bits, packed.lo,
+                                                     packed.hi);
   std::vector<float> out(n * d);
-  for (size_t j = 0; j < d; ++j) {
-    const float range = hi[j] - lo[j];
-    if (range == 0.0f) {
-      for (size_t i = 0; i < n; ++i) out[i * d + j] = lo[j];
-      continue;
-    }
-    const float step = range / static_cast<float>(levels - 1);
-    for (size_t i = 0; i < n; ++i) {
-      float x = table.row(i)[j];
-      int q = static_cast<int>(std::lround((x - lo[j]) / step));
-      q = std::clamp(q, 0, levels - 1);
-      out[i * d + j] = lo[j] + static_cast<float>(q) * step;
-    }
-  }
+  DequantizeRange(ViewOf(packed, tables), 0, n, out.data());
 
   EmbeddingTableMetadata metadata = table.metadata();
   metadata.parent = table.metadata().VersionedName();
   metadata.version = 0;  // Unregistered derivative.
   metadata.notes = "uniform quantization to " + std::to_string(bits) +
                    " bits (ratio " +
-                   std::to_string(CompressionRatio(bits)) + "x)";
+                   std::to_string(CompressionRatio(bits, n, d)) + "x)";
   return table.WithVectors(std::move(metadata), std::move(out), d);
 }
 
@@ -61,12 +190,14 @@ StatusOr<double> ReconstructionMse(const EmbeddingTable& a,
     return Status::InvalidArgument("tables have different shapes");
   }
   if (a.size() == 0) return 0.0;
+  const size_t dim = a.dim();
+  std::vector<float> row_a(dim), row_b(dim);
   double total = 0.0;
   for (size_t i = 0; i < a.size(); ++i) {
-    const float* ra = a.row(i);
-    const float* rb = b.row(i);
-    for (size_t j = 0; j < a.dim(); ++j) {
-      double diff = static_cast<double>(ra[j]) - rb[j];
+    a.CopyRow(i, row_a.data());
+    b.CopyRow(i, row_b.data());
+    for (size_t j = 0; j < dim; ++j) {
+      double diff = static_cast<double>(row_a[j]) - row_b[j];
       total += diff * diff;
     }
   }

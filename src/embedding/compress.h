@@ -1,24 +1,99 @@
 #ifndef MLFS_EMBEDDING_COMPRESS_H_
 #define MLFS_EMBEDDING_COMPRESS_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "common/status.h"
 #include "embedding/embedding_table.h"
 
 namespace mlfs {
 
-/// Uniform scalar quantization of an embedding table to `bits` per
-/// dimension (1..16), per-dimension min/max ranges — the compression family
-/// studied by May et al. [18], whose downstream effect the eigenspace
-/// overlap score predicts (paper §3.1.2). Returns a new (unregistered)
-/// table holding the *dequantized* float vectors, with parent lineage set
-/// to the source table.
+/// Uniform scalar quantization of embedding matrices to `bits` per
+/// dimension (1..16) with per-dimension min/max ranges — the compression
+/// family studied by May et al. [18], whose downstream effect the
+/// eigenspace overlap score predicts (paper §3.1.2).
+///
+/// Two forms share one codec:
+///   - PackUniform produces *packed* codes (`bits` bits per dimension,
+///     rows padded to a byte boundary) plus the per-dimension ranges —
+///     the storage format of the out-of-core embedding tier.
+///   - QuantizeUniform returns a new float32 table holding the
+///     *dequantized* vectors (the historical API). It is implemented as
+///     PackUniform + DequantizeRange, so its output is byte-identical to
+///     what a packed cold tier serves at the same bit width.
+///
+/// Edge-case contract (pinned by tests/compress_codec_test.cc):
+///   - Ranges are computed over *finite* values only; a dimension with no
+///     finite value gets the empty range [0, 0].
+///   - Non-finite inputs saturate: +inf encodes as the top code, -inf as
+///     code 0, NaN as code 0 (the lo end). Quantization never propagates
+///     NaN/inf into the dequantized output.
+///   - The step and all rounding run in double, so extreme float ranges
+///     (hi - lo overflowing float to +inf) and the int narrowing UB of a
+///     float-domain lround are both impossible by construction.
+
+/// Per-dimension codes packed LSB-first: dimension j of a row occupies
+/// bits [j*bits, (j+1)*bits) of that row's `row_bytes`-byte code string.
+struct PackedCodes {
+  int bits = 0;
+  size_t n = 0;
+  size_t dim = 0;
+  size_t row_bytes = 0;           // (dim * bits + 7) / 8
+  std::vector<float> lo, hi;      // Per-dimension finite ranges.
+  std::vector<uint8_t> codes;     // n * row_bytes.
+};
+
+/// Borrowed view of a packed matrix plus the precomputed double-domain
+/// decode tables; what the dequantize kernels and the mmap'd tier operate
+/// on (the codes may live in a memory-mapped file).
+struct PackedCodesView {
+  int bits = 0;
+  size_t n = 0;
+  size_t dim = 0;
+  size_t row_bytes = 0;
+  const double* lo = nullptr;    // dim entries (lo widened to double).
+  const double* step = nullptr;  // dim entries; 0 for empty-range dims.
+  const uint8_t* codes = nullptr;
+};
+
+/// Decode tables for a PackedCodes/tier file: lo widened to double and
+/// step = (hi - lo) / (2^bits - 1) computed in double per dimension.
+struct PackedDecodeTables {
+  std::vector<double> lo, step;
+};
+PackedDecodeTables MakeDecodeTables(int bits, const std::vector<float>& lo,
+                                    const std::vector<float>& hi);
+
+/// Packs `data` (n x dim row-major) to `bits`-bit codes.
+StatusOr<PackedCodes> PackUniform(const float* data, size_t n, size_t dim,
+                                  int bits);
+
+/// View over an owned PackedCodes (tables must outlive the view).
+PackedCodesView ViewOf(const PackedCodes& packed,
+                       const PackedDecodeTables& tables);
+
+/// Dequantizes rows [row0, row0 + nrows) into `out` (nrows * dim floats).
+void DequantizeRange(const PackedCodesView& view, size_t row0, size_t nrows,
+                     float* out);
+
+/// Code of dimension `j` in the packed row starting at `row` (test hook).
+uint32_t PackedCodeAt(const uint8_t* row, size_t j, int bits);
+
+/// Returns a new (unregistered) table holding the dequantized float
+/// vectors, with parent lineage set to the source table.
 StatusOr<EmbeddingTablePtr> QuantizeUniform(const EmbeddingTable& table,
                                             int bits);
 
-/// Compression ratio of `bits`-bit quantization vs float32.
-inline double CompressionRatio(int bits) { return 32.0 / bits; }
+/// Compression ratio of `bits`-bit packed quantization vs float32 for an
+/// n x dim matrix, counting the per-dimension min/max range storage (two
+/// float32 per dimension) and the per-row byte padding that a packed tier
+/// actually pays — not the bare 32/bits code ratio.
+double CompressionRatio(int bits, size_t n, size_t dim);
 
 /// Mean squared reconstruction error between two same-shape tables.
+/// Tier-aware: cold rows of a tiered table are compared at their served
+/// (dequantized) values.
 StatusOr<double> ReconstructionMse(const EmbeddingTable& a,
                                    const EmbeddingTable& b);
 

@@ -24,6 +24,19 @@ std::string EmbeddingDriftReport::ToString() const {
 StatusOr<EmbeddingDriftReport> CheckEmbeddingDrift(
     const EmbeddingTable& a, const EmbeddingTable& b, size_t k,
     size_t max_keys, EmbeddingDriftThresholds thresholds) {
+  // Drift math wants whole-matrix access; tiered versions are compared at
+  // their served (dequantized-where-cold) values.
+  if (a.tiered() || b.tiered()) {
+    EmbeddingTablePtr ra, rb;
+    if (a.tiered()) {
+      MLFS_ASSIGN_OR_RETURN(ra, a.Materialize());
+    }
+    if (b.tiered()) {
+      MLFS_ASSIGN_OR_RETURN(rb, b.Materialize());
+    }
+    return CheckEmbeddingDrift(ra ? *ra : a, rb ? *rb : b, k, max_keys,
+                               thresholds);
+  }
   EmbeddingDriftReport report;
 
   // Tabular-style signal 1: broken cells in the new version.

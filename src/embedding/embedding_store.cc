@@ -1,16 +1,116 @@
 #include "embedding/embedding_store.h"
 
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+
 #include "common/serde.h"
 #include "common/string_util.h"
+#include "embedding/compress.h"
 
 namespace mlfs {
+namespace {
 
-EmbeddingStore::EmbeddingStore(LineageGraph* lineage) {
+std::string SanitizeFileStem(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out.empty() ? "emb" : out;
+}
+
+std::string DefaultSpillDir() {
+  std::error_code ec;
+  std::filesystem::path tmp = std::filesystem::temp_directory_path(ec);
+  if (ec) tmp = ".";
+  return (tmp / "mlfs_emb").string();
+}
+
+}  // namespace
+
+EmbeddingStore::EmbeddingStore(LineageGraph* lineage,
+                               EmbeddingTierPolicy tier_policy)
+    : tier_policy_(std::move(tier_policy)) {
   if (lineage == nullptr) {
     owned_lineage_ = std::make_unique<LineageGraph>();
     lineage_ = owned_lineage_.get();
   } else {
     lineage_ = lineage;
+  }
+  spill_dir_ = tier_policy_.spill_dir.empty() ? DefaultSpillDir()
+                                              : tier_policy_.spill_dir;
+}
+
+EmbeddingTierOptions EmbeddingStore::TierOptionsLocked(
+    const EmbeddingTableMetadata& metadata, size_t hot_budget) const {
+  EmbeddingTierOptions options;
+  options.memory_budget_bytes = hot_budget;
+  options.bits = tier_policy_.bits;
+  options.block_rows = tier_policy_.block_rows;
+  options.dir = spill_dir_;
+  options.file_stem = SanitizeFileStem(metadata.name) + "_v" +
+                      std::to_string(metadata.version);
+  options.remove_file_on_destroy = true;
+  return options;
+}
+
+void EmbeddingStore::ApplyTierBudgetLocked(Timestamp /*now*/) {
+  if (tier_policy_.memory_budget_bytes == 0) return;
+  // Superseded versions go fully cold: history is for lineage walks and
+  // occasional drift checks, not the serving hot path, so it keeps only
+  // its packed codes (registration already emitted the staleness event).
+  for (auto& [name, versions] : tables_) {
+    for (size_t i = 0; i + 1 < versions.size(); ++i) {
+      EmbeddingTablePtr& slot = versions[i];
+      if (slot->size() == 0) continue;
+      if (slot->tiered()) {
+        if (slot->tier()->hot_limit_blocks() > 0) slot->tier()->SetHotLimit(0);
+        continue;
+      }
+      StatusOr<EmbeddingTablePtr> tiered = EmbeddingTable::CreateTiered(
+          *slot, TierOptionsLocked(slot->metadata(), 0));
+      if (!tiered.ok()) {
+        // Degrade, never drop: the version stays resident and the next
+        // registration retries the spill.
+        ++spill_errors_;
+        continue;
+      }
+      slot = std::move(tiered).value();
+    }
+  }
+  // Latest versions share the budget, names in ascending order: a table
+  // that fits in the remainder stays resident (exact floats); one that
+  // does not is tiered with the remainder as its hot arena.
+  size_t remaining = tier_policy_.memory_budget_bytes;
+  for (auto& [name, versions] : tables_) {
+    if (versions.empty()) continue;
+    EmbeddingTablePtr& slot = versions.back();
+    if (slot->size() == 0) continue;
+    const size_t row_bytes = slot->dim() * sizeof(float);
+    if (slot->tiered()) {
+      const size_t arena = slot->tier()->hot_limit_blocks() *
+                           slot->tier()->block_rows() * row_bytes;
+      remaining -= std::min(remaining, arena);
+      continue;
+    }
+    const size_t cost = slot->size() * row_bytes;
+    if (cost <= remaining) {
+      remaining -= cost;
+      continue;
+    }
+    StatusOr<EmbeddingTablePtr> tiered = EmbeddingTable::CreateTiered(
+        *slot, TierOptionsLocked(slot->metadata(), remaining));
+    if (!tiered.ok()) {
+      ++spill_errors_;
+      continue;
+    }
+    slot = std::move(tiered).value();
+    const size_t arena = slot->tier()->hot_limit_blocks() *
+                         slot->tier()->block_rows() * row_bytes;
+    remaining -= std::min(remaining, arena);
   }
 }
 
@@ -52,12 +152,24 @@ StatusOr<int> EmbeddingStore::Register(const EmbeddingTablePtr& table,
         metadata.parent = parent.ToString();
       }
     }
+    // A tiered input is cloned through its served values (the store's
+    // copy re-tiers under its own policy below).
+    std::vector<float> vectors;
+    if (table->tiered()) {
+      vectors.resize(table->size() * table->dim());
+      for (size_t i = 0; i < table->size(); ++i) {
+        table->CopyRow(i, vectors.data() + i * table->dim());
+      }
+    } else {
+      vectors = table->raw();
+    }
     MLFS_ASSIGN_OR_RETURN(
         EmbeddingTablePtr stamped,
-        EmbeddingTable::Create(metadata, table->keys(), table->raw(),
+        EmbeddingTable::Create(metadata, table->keys(), std::move(vectors),
                                table->dim()));
     versions.push_back(std::move(stamped));
     stamped_metadata = std::move(metadata);
+    ApplyTierBudgetLocked(registered_at);
   }
   // Lineage recording and staleness fan-out run outside mu_ so listeners
   // (alerting bridges) can call back into the store.
@@ -180,8 +292,44 @@ size_t EmbeddingStore::num_tables() const {
   return tables_.size();
 }
 
+EmbeddingStoreTierStats EmbeddingStore::TierStats() const {
+  std::lock_guard lock(mu_);
+  EmbeddingStoreTierStats out;
+  out.spill_errors = spill_errors_;
+  out.restore_fallbacks = restore_fallbacks_;
+  for (const auto& [name, versions] : tables_) {
+    for (const auto& table : versions) {
+      if (!table->tiered()) {
+        ++out.resident_tables;
+        continue;
+      }
+      ++out.tiered_tables;
+      const EmbeddingTierStats s = table->tier()->stats();
+      out.tier.hot_hits += s.hot_hits;
+      out.tier.cold_misses += s.cold_misses;
+      out.tier.promotions += s.promotions;
+      out.tier.demotions += s.demotions;
+      out.tier.scans += s.scans;
+      out.tier.scan_cold_blocks += s.scan_cold_blocks;
+      out.tier.load_faults += s.load_faults;
+      out.tier.hot_blocks += s.hot_blocks;
+      out.tier.total_blocks += s.total_blocks;
+      out.tier.hot_limit_blocks += s.hot_limit_blocks;
+      out.tier.resident_bytes += s.resident_bytes;
+      out.tier.packed_bytes += s.packed_bytes;
+    }
+  }
+  return out;
+}
+
 namespace {
-constexpr uint32_t kEmbeddingSnapshotMagic = 0x4d4c4542;  // "MLEB"
+// Legacy resident-only snapshots ("MLEB") are still readable; snapshots
+// are written in the v2 format ("MLE2") that adds a per-table mode byte
+// and a tiered payload (packed codes + exact hot blocks).
+constexpr uint32_t kEmbeddingSnapshotMagic = 0x4d4c4542;    // "MLEB"
+constexpr uint32_t kEmbeddingSnapshotMagicV2 = 0x4d4c4532;  // "MLE2"
+constexpr uint8_t kSnapshotModeResident = 0;
+constexpr uint8_t kSnapshotModeTiered = 1;
 
 void PutMetadata(Encoder* enc, const EmbeddingTableMetadata& metadata) {
   enc->PutString(metadata.name);
@@ -213,7 +361,7 @@ StatusOr<EmbeddingTableMetadata> GetMetadata(Decoder* dec) {
 std::string EmbeddingStore::Snapshot() const {
   std::lock_guard lock(mu_);
   Encoder enc;
-  enc.PutFixed32(kEmbeddingSnapshotMagic);
+  enc.PutFixed32(kEmbeddingSnapshotMagicV2);
   uint64_t total = 0;
   for (const auto& [name, versions] : tables_) total += versions.size();
   enc.PutVarint64(total);
@@ -223,7 +371,31 @@ std::string EmbeddingStore::Snapshot() const {
       enc.PutVarint64(table->size());
       enc.PutVarint64(table->dim());
       for (const auto& key : table->keys()) enc.PutString(key);
-      for (float x : table->raw()) enc.PutFloat(x);
+      if (!table->tiered()) {
+        enc.PutU8(kSnapshotModeResident);
+        for (float x : table->raw()) enc.PutFloat(x);
+        continue;
+      }
+      const EmbeddingTier* tier = table->tier();
+      enc.PutU8(kSnapshotModeTiered);
+      enc.PutVarint64(static_cast<uint64_t>(tier->bits()));
+      enc.PutVarint64(tier->block_rows());
+      enc.PutVarint64(tier->hot_limit_blocks());
+      for (float x : tier->lo()) enc.PutFloat(x);
+      for (float x : tier->hi()) enc.PutFloat(x);
+      enc.PutString(std::string_view(
+          reinterpret_cast<const char*>(tier->codes()),
+          tier->n() * tier->row_bytes()));
+      // Exact hot blocks make the restored table serve byte-identical
+      // vectors, not a dequantized approximation of its hot set.
+      const auto hot = tier->HotBlocksSnapshot();
+      enc.PutVarint64(hot.size());
+      for (const auto& [block, rows] : hot) {
+        enc.PutVarint64(block);
+        enc.PutString(std::string_view(
+            reinterpret_cast<const char*>(rows.data()),
+            rows.size() * sizeof(float)));
+      }
     }
   }
   return enc.Release();
@@ -238,7 +410,8 @@ Status EmbeddingStore::Restore(std::string_view snapshot) {
   }
   Decoder dec(snapshot);
   MLFS_ASSIGN_OR_RETURN(uint32_t magic, dec.GetFixed32());
-  if (magic != kEmbeddingSnapshotMagic) {
+  const bool v2 = magic == kEmbeddingSnapshotMagicV2;
+  if (!v2 && magic != kEmbeddingSnapshotMagic) {
     return Status::Corruption("bad embedding snapshot magic");
   }
   MLFS_ASSIGN_OR_RETURN(uint64_t total, dec.GetVarint64());
@@ -258,14 +431,96 @@ Status EmbeddingStore::Restore(std::string_view snapshot) {
         MLFS_ASSIGN_OR_RETURN(std::string key, dec.GetString());
         keys.push_back(std::move(key));
       }
-      std::vector<float> vectors(n * dim);
-      for (auto& x : vectors) {
-        MLFS_ASSIGN_OR_RETURN(x, dec.GetFloat());
+      uint8_t mode = kSnapshotModeResident;
+      if (v2) {
+        MLFS_ASSIGN_OR_RETURN(mode, dec.GetU8());
       }
-      MLFS_ASSIGN_OR_RETURN(
-          EmbeddingTablePtr table,
-          EmbeddingTable::Create(std::move(metadata), std::move(keys),
-                                 std::move(vectors), dim));
+      EmbeddingTablePtr table;
+      if (mode == kSnapshotModeResident) {
+        std::vector<float> vectors(n * dim);
+        for (auto& x : vectors) {
+          MLFS_ASSIGN_OR_RETURN(x, dec.GetFloat());
+        }
+        MLFS_ASSIGN_OR_RETURN(
+            table, EmbeddingTable::Create(std::move(metadata),
+                                          std::move(keys), std::move(vectors),
+                                          dim));
+      } else if (mode == kSnapshotModeTiered) {
+        MLFS_ASSIGN_OR_RETURN(uint64_t bits, dec.GetVarint64());
+        MLFS_ASSIGN_OR_RETURN(uint64_t block_rows, dec.GetVarint64());
+        MLFS_ASSIGN_OR_RETURN(uint64_t hot_limit, dec.GetVarint64());
+        if (bits < 1 || bits > 16 || block_rows == 0) {
+          return Status::Corruption("implausible tier geometry");
+        }
+        PackedCodes packed;
+        packed.bits = static_cast<int>(bits);
+        packed.n = n;
+        packed.dim = dim;
+        packed.row_bytes = (dim * bits + 7) / 8;
+        packed.lo.resize(dim);
+        packed.hi.resize(dim);
+        for (auto& x : packed.lo) {
+          MLFS_ASSIGN_OR_RETURN(x, dec.GetFloat());
+        }
+        for (auto& x : packed.hi) {
+          MLFS_ASSIGN_OR_RETURN(x, dec.GetFloat());
+        }
+        MLFS_ASSIGN_OR_RETURN(std::string codes, dec.GetString());
+        if (codes.size() != n * packed.row_bytes) {
+          return Status::Corruption("tier code section length mismatch");
+        }
+        packed.codes.assign(codes.begin(), codes.end());
+        MLFS_ASSIGN_OR_RETURN(uint64_t hot_count, dec.GetVarint64());
+        std::vector<std::pair<uint32_t, std::vector<float>>> hot;
+        hot.reserve(hot_count);
+        for (uint64_t h = 0; h < hot_count; ++h) {
+          MLFS_ASSIGN_OR_RETURN(uint64_t block, dec.GetVarint64());
+          MLFS_ASSIGN_OR_RETURN(std::string payload, dec.GetString());
+          if (payload.size() % sizeof(float) != 0) {
+            return Status::Corruption("tier hot block not float-sized");
+          }
+          std::vector<float> rows(payload.size() / sizeof(float));
+          std::memcpy(rows.data(), payload.data(), payload.size());
+          hot.emplace_back(static_cast<uint32_t>(block), std::move(rows));
+        }
+        const size_t hot_budget =
+            static_cast<size_t>(hot_limit) * block_rows * dim * sizeof(float);
+        // The snapshot's own geometry wins over the current policy: hot
+        // blocks were captured at the recorded block_rows, and bits are
+        // baked into the codes.
+        EmbeddingTierOptions options = TierOptionsLocked(metadata, hot_budget);
+        options.block_rows = block_rows;
+        StatusOr<EmbeddingTablePtr> tiered = EmbeddingTable::RestoreTiered(
+            metadata, keys, packed, hot, options);
+        if (tiered.ok()) {
+          table = std::move(tiered).value();
+        } else if (tiered.status().code() == StatusCode::kCorruption) {
+          return tiered.status();
+        } else {
+          // The spill failed (fault injection, full disk): fall back to a
+          // resident table serving the exact same values — dequantized
+          // codes with the exact hot blocks overlaid.
+          ++restore_fallbacks_;
+          const PackedDecodeTables tables =
+              MakeDecodeTables(packed.bits, packed.lo, packed.hi);
+          std::vector<float> vectors(n * dim);
+          DequantizeRange(ViewOf(packed, tables), 0, n, vectors.data());
+          for (const auto& [block, rows] : hot) {
+            const size_t row0 = static_cast<size_t>(block) * block_rows;
+            if (row0 * dim + rows.size() > vectors.size()) {
+              return Status::Corruption("tier hot block out of range");
+            }
+            std::copy(rows.begin(), rows.end(),
+                      vectors.begin() + row0 * dim);
+          }
+          MLFS_ASSIGN_OR_RETURN(
+              table, EmbeddingTable::Create(std::move(metadata),
+                                            std::move(keys),
+                                            std::move(vectors), dim));
+        }
+      } else {
+        return Status::Corruption("unknown embedding snapshot mode");
+      }
       auto& versions = tables_[table->metadata().name];
       if (!versions.empty() &&
           versions.back()->metadata().version >= table->metadata().version) {

@@ -1,0 +1,525 @@
+#include "embedding/tier.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <unordered_map>
+
+#include "common/failpoint.h"
+#include "common/hash.h"
+#include "storage/persistence.h"
+
+namespace mlfs {
+namespace {
+
+constexpr uint32_t kTierMagic = 0x4d4c4554;  // "MLET"
+constexpr uint32_t kTierVersion = 1;
+constexpr size_t kTierHeaderBytes = 16;   // magic + version + body_len.
+constexpr size_t kTierBodyFixedBytes = 28;  // bits + n + dim + block_rows.
+
+inline void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+inline void AppendU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+inline void AppendFloat(std::string* out, float v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+inline uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+inline uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+inline float LoadFloat(const uint8_t* p) {
+  float v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+/// Pointers returned by GetRow/MultiGetRows stay valid until the calling
+/// thread's next tiered read: each read clears the thread's previous pins
+/// and pins every block it serves from, so a block demoted by another
+/// thread cannot free storage someone is still reading.
+std::vector<std::shared_ptr<const std::vector<float>>>& ThreadPins() {
+  thread_local std::vector<std::shared_ptr<const std::vector<float>>> pins;
+  return pins;
+}
+
+std::atomic<uint64_t> g_tier_file_counter{0};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<EmbeddingTier>> EmbeddingTier::Build(
+    const float* data, size_t n, size_t dim, EmbeddingTierOptions options) {
+  if (data == nullptr || n == 0 || dim == 0) {
+    return Status::InvalidArgument("cannot build a tier over an empty matrix");
+  }
+  MLFS_ASSIGN_OR_RETURN(PackedCodes packed,
+                        PackUniform(data, n, dim, options.bits));
+  std::unique_ptr<EmbeddingTier> tier(new EmbeddingTier());
+  MLFS_RETURN_IF_ERROR(tier->WriteAndMap(packed, options));
+  // Seed the hot arena with the leading blocks that fit the budget,
+  // holding the *exact* source floats (not a dequantized round trip): a
+  // row that is never demoted serves byte-identical data.
+  const size_t seed = std::min(tier->hot_limit_, tier->blocks_count_);
+  for (size_t b = 0; b < seed; ++b) {
+    const size_t row0 = tier->BlockRow0(b);
+    const size_t nrows = tier->BlockRows(b);
+    tier->blocks_[b].data = std::make_shared<const std::vector<float>>(
+        data + row0 * dim, data + (row0 + nrows) * dim);
+    tier->blocks_[b].stamp = ++tier->tick_;
+    ++tier->hot_count_;
+  }
+  return tier;
+}
+
+StatusOr<std::unique_ptr<EmbeddingTier>> EmbeddingTier::Restore(
+    PackedCodes packed,
+    std::vector<std::pair<uint32_t, std::vector<float>>> hot_blocks,
+    EmbeddingTierOptions options) {
+  if (packed.bits < 1 || packed.bits > 16 || packed.n == 0 ||
+      packed.dim == 0 ||
+      packed.row_bytes !=
+          (packed.dim * static_cast<size_t>(packed.bits) + 7) / 8 ||
+      packed.lo.size() != packed.dim || packed.hi.size() != packed.dim ||
+      packed.codes.size() != packed.n * packed.row_bytes) {
+    return Status::Corruption("embedding tier snapshot: bad packed shape");
+  }
+  options.bits = packed.bits;
+  std::unique_ptr<EmbeddingTier> tier(new EmbeddingTier());
+  MLFS_RETURN_IF_ERROR(tier->WriteAndMap(packed, options));
+  for (auto& [b, rows] : hot_blocks) {
+    if (b >= tier->blocks_count_ ||
+        rows.size() != tier->BlockRows(b) * tier->dim_ ||
+        tier->blocks_[b].data != nullptr) {
+      return Status::Corruption("embedding tier snapshot: bad hot block");
+    }
+    tier->blocks_[b].data =
+        std::make_shared<const std::vector<float>>(std::move(rows));
+    tier->blocks_[b].stamp = ++tier->tick_;
+    ++tier->hot_count_;
+  }
+  tier->EvictOverLimitLocked();  // Restore under a smaller budget demotes.
+  return tier;
+}
+
+EmbeddingTier::~EmbeddingTier() {
+  if (map_ != nullptr) {
+    ::munmap(map_, map_len_);
+    if (remove_file_on_destroy_) {
+      std::error_code ec;
+      std::filesystem::remove(path_, ec);
+    }
+  }
+}
+
+Status EmbeddingTier::WriteAndMap(const PackedCodes& packed,
+                                  const EmbeddingTierOptions& options) {
+  MLFS_FAILPOINT("embedding.tier.spill");
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("embedding tier: dir is required");
+  }
+  if (options.block_rows == 0) {
+    return Status::InvalidArgument("embedding tier: block_rows must be > 0");
+  }
+
+  std::string body;
+  body.reserve(kTierBodyFixedBytes + 8 * packed.dim + packed.codes.size());
+  AppendU32(&body, static_cast<uint32_t>(packed.bits));
+  AppendU64(&body, packed.n);
+  AppendU64(&body, packed.dim);
+  AppendU64(&body, options.block_rows);
+  for (float v : packed.lo) AppendFloat(&body, v);
+  for (float v : packed.hi) AppendFloat(&body, v);
+  body.append(reinterpret_cast<const char*>(packed.codes.data()),
+              packed.codes.size());
+
+  std::string blob;
+  blob.reserve(kTierHeaderBytes + body.size() + 8);
+  AppendU32(&blob, kTierMagic);
+  AppendU32(&blob, kTierVersion);
+  AppendU64(&blob, body.size());
+  blob.append(body);
+  AppendU64(&blob, Fnv1a64(body.data(), body.size()));
+
+  std::error_code ec;
+  std::filesystem::create_directories(options.dir, ec);
+  const uint64_t id =
+      g_tier_file_counter.fetch_add(1, std::memory_order_relaxed);
+  std::string path = options.dir + "/" + options.file_stem + "_" +
+                     std::to_string(id) + ".emt";
+  MLFS_RETURN_IF_ERROR(WriteFileAtomic(path, blob));
+
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("cannot open tier file '" + path + "'");
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    return Status::Corruption("cannot stat tier file '" + path + "'");
+  }
+  void* map = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
+                     MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    return Status::Internal("mmap failed for tier file '" + path + "'");
+  }
+  map_ = map;
+  map_len_ = static_cast<size_t>(st.st_size);
+  path_ = std::move(path);
+  remove_file_on_destroy_ = options.remove_file_on_destroy;
+  MLFS_RETURN_IF_ERROR(OpenMapped());
+
+  const size_t block_bytes = block_rows_ * dim_ * sizeof(float);
+  hot_limit_ =
+      std::min(block_bytes == 0 ? size_t{0}
+                                : options.memory_budget_bytes / block_bytes,
+               blocks_count_);
+  blocks_.assign(blocks_count_, Block{});
+  return Status::OK();
+}
+
+Status EmbeddingTier::OpenMapped() {
+  const uint8_t* p = static_cast<const uint8_t*>(map_);
+  if (map_len_ < kTierHeaderBytes + kTierBodyFixedBytes + 8) {
+    return Status::Corruption("tier file truncated");
+  }
+  if (LoadU32(p) != kTierMagic) {
+    return Status::Corruption("tier file bad magic");
+  }
+  if (LoadU32(p + 4) != kTierVersion) {
+    return Status::Corruption("tier file unsupported version");
+  }
+  const uint64_t body_len = LoadU64(p + 8);
+  if (body_len != map_len_ - kTierHeaderBytes - 8) {
+    return Status::Corruption("tier file length mismatch");
+  }
+  const uint8_t* body = p + kTierHeaderBytes;
+  if (Fnv1a64(body, body_len) != LoadU64(body + body_len)) {
+    return Status::Corruption("tier file checksum mismatch");
+  }
+
+  const uint32_t bits = LoadU32(body);
+  const uint64_t n = LoadU64(body + 4);
+  const uint64_t dim = LoadU64(body + 12);
+  const uint64_t block_rows = LoadU64(body + 20);
+  if (bits < 1 || bits > 16 || n == 0 || dim == 0 || dim > (1u << 24) ||
+      block_rows == 0) {
+    return Status::Corruption("tier file bad shape");
+  }
+  bits_ = static_cast<int>(bits);
+  n_ = n;
+  dim_ = dim;
+  block_rows_ = block_rows;
+  row_bytes_ = (dim_ * static_cast<size_t>(bits_) + 7) / 8;
+  blocks_count_ = (n_ + block_rows_ - 1) / block_rows_;
+  if (body_len < kTierBodyFixedBytes + 8 * dim_) {
+    return Status::Corruption("tier file range table truncated");
+  }
+  const size_t codes_len = body_len - kTierBodyFixedBytes - 8 * dim_;
+  if (codes_len / row_bytes_ != n_ || codes_len % row_bytes_ != 0) {
+    return Status::Corruption("tier file code section length mismatch");
+  }
+  lo_f_.resize(dim_);
+  hi_f_.resize(dim_);
+  const uint8_t* ranges = body + kTierBodyFixedBytes;
+  for (size_t j = 0; j < dim_; ++j) {
+    lo_f_[j] = LoadFloat(ranges + 4 * j);
+    hi_f_[j] = LoadFloat(ranges + 4 * (dim_ + j));
+    if (!std::isfinite(lo_f_[j]) || !std::isfinite(hi_f_[j]) ||
+        lo_f_[j] > hi_f_[j]) {
+      return Status::Corruption("tier file non-finite or inverted range");
+    }
+  }
+  codes_ = ranges + 8 * dim_;
+  tables_ = MakeDecodeTables(bits_, lo_f_, hi_f_);
+  return Status::OK();
+}
+
+PackedCodesView EmbeddingTier::MapView() const {
+  PackedCodesView view;
+  view.bits = bits_;
+  view.n = n_;
+  view.dim = dim_;
+  view.row_bytes = row_bytes_;
+  view.lo = tables_.lo.data();
+  view.step = tables_.step.data();
+  view.codes = codes_;
+  return view;
+}
+
+std::vector<float> EmbeddingTier::LoadBlock(size_t b) const {
+  const size_t row0 = BlockRow0(b);
+  const size_t nrows = BlockRows(b);
+  std::vector<float> rows(nrows * dim_);
+  DequantizeRange(MapView(), row0, nrows, rows.data());
+  return rows;
+}
+
+void EmbeddingTier::EvictOverLimitLocked() const {
+  // Linear min-stamp scan: blocks_count_ is small (rows / block_rows) and
+  // eviction only runs on promotions past the budget.
+  while (hot_count_ > hot_limit_) {
+    size_t victim = blocks_.size();
+    uint64_t oldest = std::numeric_limits<uint64_t>::max();
+    for (size_t b = 0; b < blocks_.size(); ++b) {
+      if (blocks_[b].data != nullptr && blocks_[b].stamp < oldest) {
+        oldest = blocks_[b].stamp;
+        victim = b;
+      }
+    }
+    if (victim == blocks_.size()) break;
+    blocks_[victim].data.reset();
+    --hot_count_;
+    ++demotions_;
+  }
+}
+
+StatusOr<const float*> EmbeddingTier::GetRow(size_t row) const {
+  if (row >= n_) {
+    return Status::OutOfRange("embedding tier row out of range");
+  }
+  auto& pins = ThreadPins();
+  pins.clear();
+  const size_t b = row / block_rows_;
+  const size_t offset = (row - BlockRow0(b)) * dim_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Block& blk = blocks_[b];
+    if (blk.data != nullptr) {
+      ++hot_hits_;
+      blk.stamp = ++tick_;
+      pins.push_back(blk.data);
+      return blk.data->data() + offset;
+    }
+    ++cold_misses_;
+  }
+  if (FailpointRegistry::Instance().AnyArmed()) {
+    Status s = FailpointRegistry::Instance().Evaluate("embedding.tier.load");
+    if (!s.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++load_faults_;
+      return s;
+    }
+  }
+  BlockData loaded =
+      std::make_shared<const std::vector<float>>(LoadBlock(b));
+  const float* ptr = loaded->data() + offset;
+  pins.push_back(loaded);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Block& blk = blocks_[b];
+    blk.stamp = ++tick_;
+    // A concurrent reader may have promoted b already; our copy is
+    // byte-identical (same codes, same tables), so serving it is fine.
+    if (blk.data == nullptr && hot_limit_ > 0) {
+      blk.data = std::move(loaded);
+      ++hot_count_;
+      ++promotions_;
+      EvictOverLimitLocked();
+    }
+  }
+  return ptr;
+}
+
+void EmbeddingTier::MultiGetRows(std::span<const int64_t> rows,
+                                 std::vector<const float*>* out) const {
+  out->assign(rows.size(), nullptr);
+  auto& pins = ThreadPins();
+  pins.clear();
+  if (rows.empty()) return;
+
+  struct Need {
+    BlockData data;   // Null while cold.
+    bool cold = false;
+  };
+  std::unordered_map<size_t, Need> held;
+  std::vector<size_t> cold;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // One tick for the whole batch: a block counts one access no matter
+    // how many batch rows it serves (batch-aware promotion).
+    const uint64_t stamp = ++tick_;
+    for (int64_t r : rows) {
+      if (r < 0 || static_cast<size_t>(r) >= n_) continue;
+      const size_t b = static_cast<size_t>(r) / block_rows_;
+      auto [it, inserted] = held.try_emplace(b);
+      if (!inserted) continue;
+      Block& blk = blocks_[b];
+      blk.stamp = stamp;
+      it->second.data = blk.data;
+      it->second.cold = blk.data == nullptr;
+      if (it->second.cold) cold.push_back(b);
+    }
+    for (int64_t r : rows) {
+      if (r < 0 || static_cast<size_t>(r) >= n_) continue;
+      const size_t b = static_cast<size_t>(r) / block_rows_;
+      if (held[b].cold) {
+        ++cold_misses_;
+      } else {
+        ++hot_hits_;
+      }
+    }
+  }
+
+  bool faulted = false;
+  if (!cold.empty() && FailpointRegistry::Instance().AnyArmed()) {
+    Status s = FailpointRegistry::Instance().Evaluate("embedding.tier.load");
+    if (!s.ok()) {
+      faulted = true;  // Cold slots degrade to misses (stay null).
+      std::lock_guard<std::mutex> lock(mu_);
+      ++load_faults_;
+    }
+  }
+  if (!faulted && !cold.empty()) {
+    for (size_t b : cold) {
+      held[b].data = std::make_shared<const std::vector<float>>(LoadBlock(b));
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t b : cold) {
+      Block& blk = blocks_[b];
+      if (blk.data == nullptr && hot_limit_ > 0) {
+        blk.data = held[b].data;
+        ++hot_count_;
+        ++promotions_;
+      }
+    }
+    EvictOverLimitLocked();
+  }
+
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const int64_t r = rows[i];
+    if (r < 0 || static_cast<size_t>(r) >= n_) continue;
+    const size_t b = static_cast<size_t>(r) / block_rows_;
+    const Need& need = held[b];
+    if (need.data == nullptr) continue;  // Fault-injected cold block.
+    (*out)[i] =
+        need.data->data() + (static_cast<size_t>(r) - BlockRow0(b)) * dim_;
+  }
+  for (auto& [b, need] : held) {
+    if (need.data != nullptr) pins.push_back(std::move(need.data));
+  }
+}
+
+void EmbeddingTier::CopyRow(size_t row, float* out) const {
+  MLFS_DCHECK(row < n_);
+  const size_t b = row / block_rows_;
+  BlockData local;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    local = blocks_[b].data;
+  }
+  if (local != nullptr) {
+    std::memcpy(out, local->data() + (row - BlockRow0(b)) * dim_,
+                dim_ * sizeof(float));
+  } else {
+    DequantizeRange(MapView(), row, 1, out);
+  }
+}
+
+Status EmbeddingTier::ScanBlocks(
+    const std::function<void(size_t row0, size_t nrows, const float* rows)>&
+        fn) const {
+  if (FailpointRegistry::Instance().AnyArmed()) {
+    Status s = FailpointRegistry::Instance().Evaluate("embedding.tier.load");
+    if (!s.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++load_faults_;
+      return s;
+    }
+  }
+  uint64_t stamp;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++scans_;
+    stamp = ++tick_;
+  }
+  std::vector<float> scratch;
+  for (size_t b = 0; b < blocks_count_; ++b) {
+    const size_t row0 = BlockRow0(b);
+    const size_t nrows = BlockRows(b);
+    BlockData local;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      Block& blk = blocks_[b];
+      if (blk.data != nullptr) {
+        // Refresh so a scan keeps the hot set warm, but never promote: a
+        // full ANN pass must not flush the point-lookup working set.
+        blk.stamp = stamp;
+        local = blk.data;
+      } else {
+        ++scan_cold_blocks_;
+      }
+    }
+    if (local != nullptr) {
+      fn(row0, nrows, local->data());
+    } else {
+      scratch.resize(nrows * dim_);
+      DequantizeRange(MapView(), row0, nrows, scratch.data());
+      fn(row0, nrows, scratch.data());
+    }
+  }
+  return Status::OK();
+}
+
+void EmbeddingTier::SetHotLimit(size_t blocks) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  hot_limit_ = std::min(blocks, blocks_count_);
+  EvictOverLimitLocked();
+}
+
+EmbeddingTierStats EmbeddingTier::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  EmbeddingTierStats s;
+  s.hot_hits = hot_hits_;
+  s.cold_misses = cold_misses_;
+  s.promotions = promotions_;
+  s.demotions = demotions_;
+  s.scans = scans_;
+  s.scan_cold_blocks = scan_cold_blocks_;
+  s.load_faults = load_faults_;
+  s.hot_blocks = hot_count_;
+  s.total_blocks = blocks_count_;
+  s.hot_limit_blocks = hot_limit_;
+  s.packed_bytes = map_len_;
+  for (const Block& b : blocks_) {
+    if (b.data != nullptr) s.resident_bytes += b.data->size() * sizeof(float);
+  }
+  return s;
+}
+
+std::vector<std::pair<uint32_t, std::vector<float>>>
+EmbeddingTier::HotBlocksSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<uint32_t, std::vector<float>>> hot;
+  hot.reserve(hot_count_);
+  for (size_t b = 0; b < blocks_.size(); ++b) {
+    if (blocks_[b].data != nullptr) {
+      hot.emplace_back(static_cast<uint32_t>(b), *blocks_[b].data);
+    }
+  }
+  return hot;
+}
+
+}  // namespace mlfs

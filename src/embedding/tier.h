@@ -1,0 +1,214 @@
+#ifndef MLFS_EMBEDDING_TIER_H_
+#define MLFS_EMBEDDING_TIER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "embedding/compress.h"
+
+namespace mlfs {
+
+/// Configuration of one table's cold tier.
+struct EmbeddingTierOptions {
+  /// Budget for the hot float32 arena (the only RAM the tier manages; the
+  /// packed file is memory-mapped and the key index stays resident either
+  /// way). 0 means no hot blocks: every read dequantizes.
+  size_t memory_budget_bytes = 0;
+  /// Bits per dimension in the packed cold tier (1..16).
+  int bits = 8;
+  /// Rows per block — the promotion/demotion and dequantization unit.
+  size_t block_rows = 256;
+  /// Directory the packed tier file is written into (required).
+  std::string dir;
+  /// Stem of the tier file name (a unique suffix is always appended).
+  std::string file_stem = "tier";
+  /// Tier files are scratch by default: deleted when the tier is
+  /// destroyed. Snapshots embed the packed codes, not the file path.
+  bool remove_file_on_destroy = true;
+};
+
+/// Monotonic tier counters plus a point-in-time occupancy snapshot.
+struct EmbeddingTierStats {
+  uint64_t hot_hits = 0;      // Rows served from the hot arena.
+  uint64_t cold_misses = 0;   // Rows that needed a cold block.
+  uint64_t promotions = 0;    // Cold blocks dequantized into the hot arena.
+  uint64_t demotions = 0;     // Hot blocks evicted back to codes-only.
+  uint64_t scans = 0;         // ScanBlocks passes (ANN scans).
+  uint64_t scan_cold_blocks = 0;  // Blocks dequantized into scan scratch.
+  uint64_t load_faults = 0;   // Injected embedding.tier.load failures.
+  size_t hot_blocks = 0;
+  size_t total_blocks = 0;
+  size_t hot_limit_blocks = 0;
+  size_t resident_bytes = 0;  // Hot arena bytes right now.
+  size_t packed_bytes = 0;    // Size of the mmap'd tier file.
+};
+
+/// The out-of-core half of a tiered EmbeddingTable (MLKV-style): every row
+/// lives scalar-quantized in a checksummed, memory-mapped file; a bounded
+/// set of "hot" blocks additionally holds float32 rows in RAM. Reads are
+/// served from the hot arena when possible and dequantized from the mapped
+/// codes otherwise, with batch-aware promotion: all rows a MultiGet batch
+/// touches in one block count as a single access, so one burst cannot
+/// monopolize the LRU clock, and full scans (ScanBlocks) refresh hot
+/// stamps without growing the hot set (scan-resistant — a brute-force ANN
+/// pass must not evict the point-lookup working set).
+///
+/// File format ("MLET"):
+///   [u32 magic][u32 version][u64 body_len][body][u64 fnv1a64(body)]
+///   body: u32 bits, u64 n, u64 dim, u64 block_rows,
+///         float lo[dim], float hi[dim], codes[n * row_bytes]
+/// Everything is validated at open (magic, length, checksum, shape
+/// arithmetic, finite ranges) so a truncated or bit-flipped file surfaces
+/// as Status::Corruption, never UB. Written with WriteFileAtomic and
+/// reopened via mmap — the same spill discipline as storage/segment.cc.
+///
+/// Pointer lifetime: pointers handed out by GetRow/MultiGetRows stay
+/// valid until the *calling thread's* next GetRow/MultiGetRows on any
+/// tier (a thread-local pin set keeps the backing blocks alive across
+/// concurrent demotion); copy before issuing another read. Hot demotion
+/// therefore never invalidates a pointer another thread just obtained.
+///
+/// Failpoints: "embedding.tier.spill" fires before the tier file is
+/// written (Build/Restore fail cleanly); "embedding.tier.load" fires when
+/// a read or scan needs a cold block (GetRow/ScanBlocks propagate the
+/// injected status; MultiGetRows degrades the affected rows to misses).
+///
+/// Thread-safe; all mutable state is behind one mutex, dequantization
+/// runs outside it.
+class EmbeddingTier {
+ public:
+  /// Packs `data` (n x dim row-major float32), writes + maps the tier
+  /// file, and seeds the hot arena with the first blocks that fit the
+  /// budget, holding *exact* copies of `data` (a never-demoted row serves
+  /// byte-identical floats; only demoted/cold rows pay quantization
+  /// error).
+  static StatusOr<std::unique_ptr<EmbeddingTier>> Build(
+      const float* data, size_t n, size_t dim, EmbeddingTierOptions options);
+
+  /// Rebuilds a tier from snapshot parts: the packed codes and the hot
+  /// blocks (block id -> exact float rows) captured by HotBlocksSnapshot.
+  static StatusOr<std::unique_ptr<EmbeddingTier>> Restore(
+      PackedCodes packed,
+      std::vector<std::pair<uint32_t, std::vector<float>>> hot_blocks,
+      EmbeddingTierOptions options);
+
+  ~EmbeddingTier();
+  EmbeddingTier(const EmbeddingTier&) = delete;
+  EmbeddingTier& operator=(const EmbeddingTier&) = delete;
+
+  /// Row pointer (hot arena or freshly promoted block); see the pointer
+  /// lifetime contract above.
+  StatusOr<const float*> GetRow(size_t row) const;
+
+  /// Batched lookup: out[i] points at rows[i]'s vector, or is null when
+  /// rows[i] < 0 or its cold load was fault-injected. Each distinct block
+  /// counts one access regardless of how many batch rows it serves.
+  void MultiGetRows(std::span<const int64_t> rows,
+                    std::vector<const float*>* out) const;
+
+  /// Copies one row into `out` (dim floats) without promoting or pinning.
+  void CopyRow(size_t row, float* out) const;
+
+  /// Streams every row block-wise in ascending row order:
+  /// fn(row0, nrows, rows) where `rows` is nrows x dim floats — the hot
+  /// arena directly, or a per-call scratch for dequantized cold blocks.
+  /// Refreshes hot stamps, never promotes.
+  Status ScanBlocks(
+      const std::function<void(size_t row0, size_t nrows, const float* rows)>&
+          fn) const;
+
+  size_t n() const { return n_; }
+  size_t dim() const { return dim_; }
+  int bits() const { return bits_; }
+  size_t block_rows() const { return block_rows_; }
+  size_t row_bytes() const { return row_bytes_; }
+  size_t num_blocks() const { return blocks_count_; }
+  size_t hot_limit_blocks() const { return hot_limit_; }
+  const std::vector<float>& lo() const { return lo_f_; }
+  const std::vector<float>& hi() const { return hi_f_; }
+  /// The packed code section (n * row_bytes bytes, mmap-backed).
+  const uint8_t* codes() const { return codes_; }
+  const std::string& path() const { return path_; }
+
+  /// Adjusts the hot arena capacity in blocks (cache policy, not data):
+  /// shrinking demotes excess blocks immediately; growing lets future
+  /// promotions fill the new room. The store uses this to take the arena
+  /// away from superseded versions without rewriting tier files.
+  void SetHotLimit(size_t blocks) const;
+
+  EmbeddingTierStats stats() const;
+
+  /// Current hot blocks as (block id, exact float rows) pairs — the
+  /// mutable half of a snapshot (the immutable half is codes()/lo()/hi()).
+  std::vector<std::pair<uint32_t, std::vector<float>>> HotBlocksSnapshot()
+      const;
+
+ private:
+  using BlockData = std::shared_ptr<const std::vector<float>>;
+  struct Block {
+    BlockData data;      // Null = cold.
+    uint64_t stamp = 0;  // Batch-granular LRU clock tick of last access.
+  };
+
+  EmbeddingTier() = default;
+
+  /// Encodes the packed matrix into the checksummed blob, writes it via
+  /// WriteFileAtomic, and memory-maps it back into this tier.
+  Status WriteAndMap(const PackedCodes& packed, const EmbeddingTierOptions&
+                     options);
+  /// Validates the mapped blob and wires up codes_/lo/hi/steps.
+  Status OpenMapped();
+
+  /// Borrowed codec view over the mapped code section.
+  PackedCodesView MapView() const;
+
+  size_t BlockRow0(size_t b) const { return b * block_rows_; }
+  size_t BlockRows(size_t b) const {
+    return std::min(block_rows_, n_ - BlockRow0(b));
+  }
+  /// Dequantizes block `b` into a fresh buffer (no locks needed: the
+  /// mapped codes are immutable).
+  std::vector<float> LoadBlock(size_t b) const;
+  /// Caller holds mu_. Evicts lowest-stamp hot blocks until the hot count
+  /// is back under the limit.
+  void EvictOverLimitLocked() const;
+
+  // Codec geometry (immutable after open).
+  int bits_ = 0;
+  size_t n_ = 0;
+  size_t dim_ = 0;
+  size_t block_rows_ = 0;
+  size_t row_bytes_ = 0;
+  size_t blocks_count_ = 0;
+  std::vector<float> lo_f_, hi_f_;
+  PackedDecodeTables tables_;
+  const uint8_t* codes_ = nullptr;
+
+  // Mapped file.
+  void* map_ = nullptr;
+  size_t map_len_ = 0;
+  std::string path_;
+  bool remove_file_on_destroy_ = false;
+
+  // Hot arena + counters (all under mu_ after construction).
+  mutable std::mutex mu_;
+  mutable size_t hot_limit_ = 0;
+  mutable std::vector<Block> blocks_;
+  mutable size_t hot_count_ = 0;
+  mutable uint64_t tick_ = 0;
+  mutable uint64_t hot_hits_ = 0, cold_misses_ = 0, promotions_ = 0,
+                   demotions_ = 0, scans_ = 0, scan_cold_blocks_ = 0,
+                   load_faults_ = 0;
+};
+
+}  // namespace mlfs
+
+#endif  // MLFS_EMBEDDING_TIER_H_

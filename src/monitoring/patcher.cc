@@ -35,6 +35,12 @@ StatusOr<EmbeddingTablePtr> PatchEmbedding(
   if (task.keys.size() != task.labels.size()) {
     return Status::InvalidArgument("task keys/labels misaligned");
   }
+  // Patching rewrites the whole matrix; tiered tables are patched at their
+  // served values (metadata, and thus the patched_into parent, carry over).
+  if (table.tiered()) {
+    MLFS_ASSIGN_OR_RETURN(EmbeddingTablePtr resident, table.Materialize());
+    return PatchEmbedding(*resident, task, slice_keys, options);
+  }
   const size_t d = table.dim();
 
   // Class centroids from *non-slice* examples: the healthy region of the

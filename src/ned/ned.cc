@@ -95,6 +95,12 @@ StatusOr<NedReport> EvaluateImpl(const EmbeddingTable& table,
                                  const std::vector<MentionQuery>& queries,
                                  const std::unordered_set<size_t>* subset,
                                  const NedOptions& options) {
+  // The evaluation holds row/Get pointers across further lookups, which
+  // the tiered pin contract forbids; evaluate a resident copy instead.
+  if (table.tiered()) {
+    MLFS_ASSIGN_OR_RETURN(EmbeddingTablePtr resident, table.Materialize());
+    return EvaluateImpl(*resident, kb, aliases, queries, subset, options);
+  }
   const size_t d = table.dim();
   // Hubness prior: each entity's mean cosine to random probe entities.
   std::vector<double> prior(kb.num_entities(), 0.0);

@@ -1,5 +1,6 @@
 #include "serving/feature_server.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -195,6 +196,10 @@ std::vector<StatusOr<FeatureVector>> FeatureServer::GetFeaturesBatch(
   struct EmbeddingColumn {
     EmbeddingTablePtr table;
     std::vector<const float*> rows;  // Null = missing key.
+    /// Owned copies of the found rows when `table` is tiered: tier
+    /// pointers only survive until the serving thread's next tiered read,
+    /// and assembly (stage 2) runs after other views' fetches.
+    std::vector<float> storage;
   };
   std::vector<EmbeddingColumn> emb_columns(num_views);
   // Per-view staleness annotation, shared by every entity in the batch.
@@ -213,6 +218,16 @@ std::vector<StatusOr<FeatureVector>> FeatureServer::GetFeaturesBatch(
         // keys are non-empty by construction) — a plain miss.
       }
       emb.rows = emb.table->MultiGet(string_keys);
+      if (emb.table->tiered()) {
+        const size_t dim = emb.table->dim();
+        emb.storage.resize(n * dim);
+        for (size_t i = 0; i < n; ++i) {
+          if (emb.rows[i] == nullptr) continue;
+          float* dst = emb.storage.data() + i * dim;
+          std::copy(emb.rows[i], emb.rows[i] + dim, dst);
+          emb.rows[i] = dst;
+        }
+      }
       return;
     }
     stale_notes[j] = StaleNote(features[j], nullptr);

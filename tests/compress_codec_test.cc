@@ -1,0 +1,245 @@
+#include "embedding/compress.h"
+
+#include <gtest/gtest.h>
+
+#include <cfloat>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mlfs {
+namespace {
+
+constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+/// Packs and dequantizes `data` in one go.
+std::vector<float> RoundTrip(const std::vector<float>& data, size_t n,
+                             size_t dim, int bits) {
+  PackedCodes packed = PackUniform(data.data(), n, dim, bits).value();
+  PackedDecodeTables tables = MakeDecodeTables(bits, packed.lo, packed.hi);
+  std::vector<float> out(n * dim);
+  DequantizeRange(ViewOf(packed, tables), 0, n, out.data());
+  return out;
+}
+
+TEST(PackedCodecTest, Validation) {
+  std::vector<float> data = {1.0f, 2.0f};
+  EXPECT_FALSE(PackUniform(data.data(), 2, 1, 0).ok());
+  EXPECT_FALSE(PackUniform(data.data(), 2, 1, 17).ok());
+  EXPECT_FALSE(PackUniform(nullptr, 2, 1, 8).ok());
+  EXPECT_FALSE(PackUniform(data.data(), 0, 1, 8).ok());
+  EXPECT_FALSE(PackUniform(data.data(), 2, 0, 8).ok());
+  EXPECT_TRUE(PackUniform(data.data(), 2, 1, 1).ok());
+  EXPECT_TRUE(PackUniform(data.data(), 2, 1, 16).ok());
+}
+
+TEST(PackedCodecTest, RowsAreByteAligned) {
+  // dim * bits = 9 bits -> 2 bytes per row, rows never share bytes.
+  std::vector<float> data = {0, 1, 2, 3, 4, 5};
+  PackedCodes packed = PackUniform(data.data(), 2, 3, 3).value();
+  EXPECT_EQ(packed.row_bytes, 2u);
+  EXPECT_EQ(packed.codes.size(), 4u);
+}
+
+TEST(PackedCodecTest, CodesStraddleBytes) {
+  // Odd widths exercise the 2- and 3-byte straddles of PutPackedCode /
+  // PackedCodeAt: every written code must read back exactly.
+  Rng rng(7);
+  for (int bits : {1, 3, 5, 7, 11, 13, 16}) {
+    const size_t dim = 9;
+    std::vector<uint8_t> row((dim * bits + 7) / 8, 0);
+    const uint32_t top = (1u << bits) - 1u;
+    // Write via the codec's own packer: pack a synthetic row whose codes
+    // we can predict (lo=0, hi=top, integer values -> exact codes).
+    std::vector<float> data;
+    std::vector<uint32_t> want;
+    for (size_t j = 0; j < dim; ++j) {
+      want.push_back(static_cast<uint32_t>(rng.Uniform(top + 1)));
+    }
+    // Two rows pin the range to [0, top] regardless of the random codes.
+    for (size_t j = 0; j < dim; ++j) data.push_back(0.0f);
+    for (size_t j = 0; j < dim; ++j) {
+      data.push_back(static_cast<float>(top));
+    }
+    for (uint32_t code : want) data.push_back(static_cast<float>(code));
+    PackedCodes packed = PackUniform(data.data(), 3, dim, bits).value();
+    const uint8_t* third = packed.codes.data() + 2 * packed.row_bytes;
+    for (size_t j = 0; j < dim; ++j) {
+      EXPECT_EQ(PackedCodeAt(third, j, bits), want[j])
+          << "bits=" << bits << " j=" << j;
+    }
+  }
+}
+
+TEST(PackedCodecTest, NanEncodesAsLo) {
+  std::vector<float> data = {1.0f, kNan, 3.0f};
+  PackedCodes packed = PackUniform(data.data(), 3, 1, 8).value();
+  // The range is over finite values only; the NaN cell pins to lo.
+  EXPECT_FLOAT_EQ(packed.lo[0], 1.0f);
+  EXPECT_FLOAT_EQ(packed.hi[0], 3.0f);
+  EXPECT_EQ(PackedCodeAt(packed.codes.data() + packed.row_bytes, 0, 8), 0u);
+  std::vector<float> out = RoundTrip(data, 3, 1, 8);
+  EXPECT_FLOAT_EQ(out[1], 1.0f);  // Never NaN.
+  EXPECT_TRUE(std::isfinite(out[0]) && std::isfinite(out[2]));
+}
+
+TEST(PackedCodecTest, InfinitiesSaturate) {
+  std::vector<float> data = {kInf, -kInf, 0.0f, 10.0f};
+  std::vector<float> out = RoundTrip(data, 4, 1, 8);
+  EXPECT_FLOAT_EQ(out[0], 10.0f);   // +inf -> hi.
+  EXPECT_FLOAT_EQ(out[1], 0.0f);    // -inf -> lo.
+  for (float x : out) EXPECT_TRUE(std::isfinite(x));
+}
+
+TEST(PackedCodecTest, AllNonFiniteDimensionIsEmptyRange) {
+  // Column 1 has no finite value at all: range [0, 0], every code 0,
+  // served as 0.0 — not NaN, not UB.
+  std::vector<float> data = {1.0f, kNan, 2.0f, kInf};
+  PackedCodes packed = PackUniform(data.data(), 2, 2, 8).value();
+  EXPECT_FLOAT_EQ(packed.lo[1], 0.0f);
+  EXPECT_FLOAT_EQ(packed.hi[1], 0.0f);
+  std::vector<float> out = RoundTrip(data, 2, 2, 8);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);
+  EXPECT_FLOAT_EQ(out[3], 0.0f);
+}
+
+TEST(PackedCodecTest, ConstantDimensionRoundTripsExactly) {
+  std::vector<float> data = {5.5f, 5.5f, 5.5f};
+  std::vector<float> out = RoundTrip(data, 3, 1, 4);
+  for (float x : out) EXPECT_FLOAT_EQ(x, 5.5f);
+}
+
+TEST(PackedCodecTest, DenormalsSurvive) {
+  const float denorm = std::numeric_limits<float>::denorm_min();
+  std::vector<float> data = {0.0f, denorm, 2 * denorm, 3 * denorm};
+  // 16 bits over a denormal-wide range: the step is a tiny *double*, far
+  // below FLT_MIN — the all-double codec must not flush it to zero.
+  std::vector<float> out = RoundTrip(data, 4, 1, 16);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[3], 3 * denorm);
+  EXPECT_GT(out[2], out[1]);
+}
+
+TEST(PackedCodecTest, ExtremeRangeDoesNotOverflowToInf) {
+  // hi - lo = 2 * FLT_MAX overflows *float* to +inf; the double-domain
+  // step must keep both ends finite and exactly representable.
+  std::vector<float> data = {-FLT_MAX, FLT_MAX, 0.0f};
+  for (int bits : {1, 8, 16}) {
+    std::vector<float> out = RoundTrip(data, 3, 1, bits);
+    EXPECT_FLOAT_EQ(out[0], -FLT_MAX) << bits;
+    EXPECT_FLOAT_EQ(out[1], FLT_MAX) << bits;
+    EXPECT_TRUE(std::isfinite(out[2])) << bits;
+  }
+}
+
+TEST(PackedCodecTest, OneBitIsASignSplit) {
+  std::vector<float> data = {-4.0f, 4.0f, -3.9f, 3.9f, -0.1f};
+  PackedCodes packed = PackUniform(data.data(), 5, 1, 1).value();
+  std::vector<uint32_t> codes;
+  for (size_t i = 0; i < 5; ++i) {
+    codes.push_back(PackedCodeAt(packed.codes.data() + i, 0, 1));
+  }
+  EXPECT_EQ(codes, (std::vector<uint32_t>{0, 1, 0, 1, 0}));
+  std::vector<float> out = RoundTrip(data, 5, 1, 1);
+  for (float x : out) {
+    EXPECT_TRUE(x == -4.0f || x == 4.0f);
+  }
+}
+
+TEST(PackedCodecTest, SixteenBitUsesFullCodeSpace) {
+  std::vector<float> data = {0.0f, 65535.0f};
+  PackedCodes packed = PackUniform(data.data(), 2, 1, 16).value();
+  EXPECT_EQ(PackedCodeAt(packed.codes.data() + packed.row_bytes, 0, 16),
+            65535u);
+  std::vector<float> out = RoundTrip(data, 2, 1, 16);
+  EXPECT_FLOAT_EQ(out[1], 65535.0f);
+}
+
+TEST(PackedCodecTest, QuantizationErrorIsBoundedByHalfStep) {
+  Rng rng(11);
+  const size_t n = 64, dim = 7;
+  std::vector<float> data(n * dim);
+  for (float& x : data) {
+    x = static_cast<float>(rng.Gaussian(0.0, 100.0));
+  }
+  for (int bits : {2, 5, 8, 12, 16}) {
+    PackedCodes packed = PackUniform(data.data(), n, dim, bits).value();
+    PackedDecodeTables tables = MakeDecodeTables(bits, packed.lo, packed.hi);
+    std::vector<float> out(n * dim);
+    DequantizeRange(ViewOf(packed, tables), 0, n, out.data());
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < dim; ++j) {
+        const double err =
+            std::abs(static_cast<double>(data[i * dim + j]) - out[i * dim + j]);
+        EXPECT_LE(err, tables.step[j] * 0.5 + 1e-3)
+            << "bits=" << bits << " i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(PackedCodecTest, RandomizedPackIsDeterministicAndMatchesQuantize) {
+  // The packed codec and the table-level QuantizeUniform must stay
+  // byte-identical: the cold tier serves exactly what the historical
+  // compression API produced at the same bit width.
+  Rng rng(42);
+  for (int round = 0; round < 20; ++round) {
+    const size_t n = 1 + rng.Uniform(40);
+    const size_t dim = 1 + rng.Uniform(12);
+    const int bits = 1 + static_cast<int>(rng.Uniform(16));
+    std::vector<float> data(n * dim);
+    for (float& x : data) {
+      x = static_cast<float>(rng.Gaussian());
+      // Sprinkle hostile values.
+      const double roll = rng.UniformDouble();
+      if (roll < 0.02) x = kNan;
+      else if (roll < 0.03) x = kInf;
+      else if (roll < 0.04) x = -kInf;
+    }
+    PackedCodes a = PackUniform(data.data(), n, dim, bits).value();
+    PackedCodes b = PackUniform(data.data(), n, dim, bits).value();
+    ASSERT_EQ(a.codes, b.codes) << "pack must be deterministic";
+    ASSERT_EQ(a.lo, b.lo);
+    ASSERT_EQ(a.hi, b.hi);
+
+    PackedDecodeTables tables = MakeDecodeTables(bits, a.lo, a.hi);
+    std::vector<float> served(n * dim);
+    DequantizeRange(ViewOf(a, tables), 0, n, served.data());
+    for (float x : served) ASSERT_TRUE(std::isfinite(x));
+
+    EmbeddingTableMetadata metadata;
+    metadata.name = "rt";
+    std::vector<std::string> keys;
+    for (size_t i = 0; i < n; ++i) keys.push_back("k" + std::to_string(i));
+    auto table = EmbeddingTable::Create(metadata, keys, data, dim).value();
+    auto quantized = QuantizeUniform(*table, bits).value();
+    // Bit-exact, not approximate: memcmp-level equality of the floats.
+    ASSERT_EQ(quantized->raw().size(), served.size());
+    for (size_t i = 0; i < served.size(); ++i) {
+      uint32_t qa, qb;
+      static_assert(sizeof(float) == sizeof(uint32_t));
+      std::memcpy(&qa, &quantized->raw()[i], sizeof(qa));
+      std::memcpy(&qb, &served[i], sizeof(qb));
+      ASSERT_EQ(qa, qb) << "round=" << round << " cell=" << i;
+    }
+  }
+}
+
+TEST(PackedCodecTest, CompressionRatioAccountsForRangeStorage) {
+  // 8-bit packing of a big matrix approaches 4x but never reaches it: the
+  // per-dimension min/max floats are part of the deal.
+  EXPECT_LT(CompressionRatio(8, 1u << 20, 16), 4.0);
+  EXPECT_NEAR(CompressionRatio(8, 1u << 20, 16), 4.0, 0.01);
+  // Byte padding: 3 bits * 3 dims = 9 bits -> 2 bytes, not 1.125.
+  const double padded = CompressionRatio(3, 1u << 20, 3);
+  EXPECT_NEAR(padded, 12.0 / 2.0, 0.01);
+  EXPECT_EQ(CompressionRatio(0, 10, 10), 0.0);
+  EXPECT_EQ(CompressionRatio(8, 0, 10), 0.0);
+}
+
+}  // namespace
+}  // namespace mlfs

@@ -168,7 +168,10 @@ TEST(QuantizeTest, LowBitsIncreaseError) {
   EXPECT_LT(ReconstructionMse(*table, *fine).value(), 1e-8);
   EXPECT_FALSE(QuantizeUniform(*table, 0).ok());
   EXPECT_FALSE(QuantizeUniform(*table, 17).ok());
-  EXPECT_DOUBLE_EQ(CompressionRatio(4), 8.0);
+  // Packed 4-bit codes approach 8x as the per-dimension range overhead
+  // amortizes over rows; small tables pay it visibly.
+  EXPECT_NEAR(CompressionRatio(4, 1u << 20, 8), 8.0, 0.01);
+  EXPECT_LT(CompressionRatio(4, 10, 8), 8.0);
 }
 
 TEST(QuantizeTest, PreservesKeysAndShape) {
