@@ -18,6 +18,7 @@
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -57,13 +58,15 @@ struct ScanFixture {
   std::vector<OfflineTable*> tables;  // Indexed by Tier.
   std::vector<std::string> request_keys;
   std::vector<AsOfRequest> requests;
+  std::vector<Row> rows;  // Kept for the lazily-built cold-read tables.
+  std::string spill_dir;
+  std::map<int64_t, OfflineTable*> cold_tables;  // (budget_pct << 1) | ra.
 
   ScanFixture() {
     schema = WideSchema();
     projected_schema =
         Schema::Create({schema->field(1), schema->field(2)}).value();
     Rng rng(7);
-    std::vector<Row> rows;
     rows.reserve(kRows);
     for (size_t i = 0; i < kRows; ++i) {
       std::vector<float> vec(kEmbeddingDim);
@@ -79,7 +82,7 @@ struct ScanFixture {
            Value::Embedding(std::move(vec))}));
     }
 
-    const std::string spill_dir =
+    spill_dir =
         (std::filesystem::temp_directory_path() / "mlfs_bench_offline_scan")
             .string();
     for (int64_t tier : {kRowTier, kSealedTier, kSpilledTier}) {
@@ -124,6 +127,39 @@ struct ScanFixture {
       request_keys.push_back(std::move(key));
       requests.push_back({request_keys.back(), ts});
     }
+  }
+
+  /// A table with `budget_pct`% of the sealed tier's resident bytes as
+  /// its memory budget (the rest spills) and readahead on or off — the
+  /// cold-read regime where async prefetch should pay. Built lazily, one
+  /// per (budget, ra) combination.
+  OfflineTable* ColdTable(int64_t budget_pct, int64_t ra) {
+    const int64_t key = (budget_pct << 1) | ra;
+    auto it = cold_tables.find(key);
+    if (it != cold_tables.end()) return it->second;
+    const size_t sealed_bytes =
+        tables[kSealedTier]->storage_stats().resident_segment_bytes;
+    OfflineTableOptions options;
+    options.name = "events_cold_" + std::to_string(budget_pct) +
+                   (ra != 0 ? "_ra" : "");
+    options.schema = schema;
+    options.entity_column = "entity";
+    options.time_column = "event_time";
+    options.seal_rows = 8192;
+    options.memory_budget_bytes =
+        sealed_bytes * static_cast<size_t>(budget_pct) / 100;
+    options.spill_dir = spill_dir;
+    options.readahead.enabled = ra != 0;
+    options.readahead.max_in_flight = 4;
+    MLFS_CHECK_OK(store.CreateTable(options));
+    OfflineTable* table = store.GetTable(options.name).value();
+    MLFS_CHECK_OK(table->AppendBatch(rows));
+    MLFS_CHECK_OK(table->SealHeads());
+    MLFS_CHECK_OK(table->CompactPartitions());
+    MLFS_CHECK_OK(table->EnforceMemoryBudget());
+    MLFS_CHECK(table->storage_stats().spilled_segments > 0);
+    cold_tables[key] = table;
+    return table;
   }
 };
 
@@ -210,6 +246,37 @@ BENCHMARK(BM_AsOfBatchProjected)
     ->Arg(kRowTier)
     ->Arg(kSealedTier)
     ->Arg(kSpilledTier)
+    ->Unit(benchmark::kMillisecond);
+
+// The cold-read regime: most of the table lives in spilled segments and a
+// key-sorted batch walks several of them. With readahead on, the next
+// spilled segment's pages are faulted in on a worker thread while the
+// gather cursor drains the current one.
+void BM_AsOfBatchColdRead(benchmark::State& state) {
+  auto& fixture = Fixture();
+  OfflineTable* table = fixture.ColdTable(state.range(0), state.range(1));
+  std::vector<uint64_t> miss_bitmap;
+  AsOfReadOptions options;
+  options.miss_bitmap = &miss_bitmap;
+  for (auto _ : state) {
+    std::vector<Row> results(fixture.requests.size());
+    MLFS_CHECK_OK(table->AsOfBatch(fixture.requests, results, options));
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(state.iterations() * fixture.requests.size());
+  const ReadaheadStats ra = table->storage_stats().readahead;
+  state.counters["ra_issued"] = static_cast<double>(ra.issued);
+  state.counters["ra_hits"] = static_cast<double>(ra.hits);
+  state.counters["ra_wasted"] = static_cast<double>(ra.wasted);
+}
+BENCHMARK(BM_AsOfBatchColdRead)
+    ->ArgNames({"budget_pct", "ra"})
+    ->Args({10, 0})
+    ->Args({10, 1})
+    ->Args({25, 0})
+    ->Args({25, 1})
+    ->Args({50, 0})
+    ->Args({50, 1})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -54,6 +54,7 @@ EmbeddingTierOptions EmbeddingStore::TierOptionsLocked(
   options.file_stem = SanitizeFileStem(metadata.name) + "_v" +
                       std::to_string(metadata.version);
   options.remove_file_on_destroy = true;
+  options.readahead = tier_policy_.readahead;
   return options;
 }
 
@@ -70,8 +71,14 @@ void EmbeddingStore::ApplyTierBudgetLocked(Timestamp /*now*/) {
         if (slot->tier()->hot_limit_blocks() > 0) slot->tier()->SetHotLimit(0);
         continue;
       }
-      StatusOr<EmbeddingTablePtr> tiered = EmbeddingTable::CreateTiered(
-          *slot, TierOptionsLocked(slot->metadata(), 0));
+      EmbeddingTierOptions options = TierOptionsLocked(slot->metadata(), 0);
+      if (tier_policy_.superseded_bits > 0) {
+        // History tolerates coarser packing than the serving version: it
+        // is read for audits and drift checks, not ANN quality.
+        options.bits = tier_policy_.superseded_bits;
+      }
+      StatusOr<EmbeddingTablePtr> tiered =
+          EmbeddingTable::CreateTiered(*slot, options);
       if (!tiered.ok()) {
         // Degrade, never drop: the version stays resident and the next
         // registration retries the spill.
@@ -317,6 +324,15 @@ EmbeddingStoreTierStats EmbeddingStore::TierStats() const {
       out.tier.hot_limit_blocks += s.hot_limit_blocks;
       out.tier.resident_bytes += s.resident_bytes;
       out.tier.packed_bytes += s.packed_bytes;
+      out.tier.readahead.issued += s.readahead.issued;
+      out.tier.readahead.completed += s.readahead.completed;
+      out.tier.readahead.hits += s.readahead.hits;
+      out.tier.readahead.misses += s.readahead.misses;
+      out.tier.readahead.wasted += s.readahead.wasted;
+      out.tier.readahead.dropped += s.readahead.dropped;
+      out.tier.readahead.deduped += s.readahead.deduped;
+      out.tier.readahead.faults += s.readahead.faults;
+      out.tier.readahead.in_flight += s.readahead.in_flight;
     }
   }
   return out;

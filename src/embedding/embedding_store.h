@@ -24,11 +24,21 @@ struct EmbeddingTierPolicy {
   size_t memory_budget_bytes = 0;
   /// Bits per dimension for spilled tables (1..16).
   int bits = 8;
+  /// Bits per dimension for superseded versions demoted to fully-cold
+  /// tiers (1..16). Old versions are kept only for pinned consumers and
+  /// reproducibility audits, so they can tolerate coarser quantization
+  /// than the serving version. 0 keeps `bits` for superseded versions
+  /// too. Applies when a resident superseded version is demoted; tables
+  /// that were already tiered keep their original packing.
+  int superseded_bits = 0;
   /// Rows per tier block.
   size_t block_rows = 256;
   /// Where tier files are written; empty means
   /// <system temp dir>/mlfs_emb. Files are removed with their tables.
   std::string spill_dir;
+  /// Async cold-block readahead for every tier created under this policy
+  /// (see ReadaheadOptions; disabled by default).
+  ReadaheadOptions readahead;
 };
 
 /// Aggregate tiering counters across every table version in the store.

@@ -1,28 +1,19 @@
 #include "embedding/tier.h"
 
-#include <fcntl.h>
-#include <sys/mman.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
-#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstring>
 #include <filesystem>
-#include <limits>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/failpoint.h"
-#include "common/hash.h"
-#include "storage/persistence.h"
 
 namespace mlfs {
 namespace {
 
 constexpr uint32_t kTierMagic = 0x4d4c4554;  // "MLET"
 constexpr uint32_t kTierVersion = 1;
-constexpr size_t kTierHeaderBytes = 16;   // magic + version + body_len.
 constexpr size_t kTierBodyFixedBytes = 28;  // bits + n + dim + block_rows.
 
 inline void AppendU32(std::string* out, uint32_t v) {
@@ -56,15 +47,6 @@ inline float LoadFloat(const uint8_t* p) {
   return v;
 }
 
-/// Pointers returned by GetRow/MultiGetRows stay valid until the calling
-/// thread's next tiered read: each read clears the thread's previous pins
-/// and pins every block it serves from, so a block demoted by another
-/// thread cannot free storage someone is still reading.
-std::vector<std::shared_ptr<const std::vector<float>>>& ThreadPins() {
-  thread_local std::vector<std::shared_ptr<const std::vector<float>>> pins;
-  return pins;
-}
-
 std::atomic<uint64_t> g_tier_file_counter{0};
 
 }  // namespace
@@ -80,15 +62,18 @@ StatusOr<std::unique_ptr<EmbeddingTier>> EmbeddingTier::Build(
   MLFS_RETURN_IF_ERROR(tier->WriteAndMap(packed, options));
   // Seed the hot arena with the leading blocks that fit the budget,
   // holding the *exact* source floats (not a dequantized round trip): a
-  // row that is never demoted serves byte-identical data.
-  const size_t seed = std::min(tier->hot_limit_, tier->blocks_count_);
+  // row that is never demoted serves byte-identical data. Seeding is
+  // placement, not promotion, so it leaves the promotion counter alone.
+  const size_t seed =
+      std::min(tier->cache_->capacity(), tier->blocks_count_);
   for (size_t b = 0; b < seed; ++b) {
     const size_t row0 = tier->BlockRow0(b);
     const size_t nrows = tier->BlockRows(b);
-    tier->blocks_[b].data = std::make_shared<const std::vector<float>>(
-        data + row0 * dim, data + (row0 + nrows) * dim);
-    tier->blocks_[b].stamp = ++tier->tick_;
-    ++tier->hot_count_;
+    tier->cache_->Insert(b,
+                         std::make_shared<const std::vector<float>>(
+                             data + row0 * dim, data + (row0 + nrows) * dim),
+                         tier->BlockBytes(b), tier->cache_->BeginBatch(),
+                         /*count_promotion=*/false);
   }
   return tier;
 }
@@ -108,30 +93,25 @@ StatusOr<std::unique_ptr<EmbeddingTier>> EmbeddingTier::Restore(
   options.bits = packed.bits;
   std::unique_ptr<EmbeddingTier> tier(new EmbeddingTier());
   MLFS_RETURN_IF_ERROR(tier->WriteAndMap(packed, options));
+  // Seed in snapshot order: later blocks carry newer stamps, so a restore
+  // under a smaller budget keeps the same blocks a full seed + demotion
+  // pass would.
+  std::unordered_set<uint32_t> seen;
   for (auto& [b, rows] : hot_blocks) {
     if (b >= tier->blocks_count_ ||
         rows.size() != tier->BlockRows(b) * tier->dim_ ||
-        tier->blocks_[b].data != nullptr) {
+        !seen.insert(b).second) {
       return Status::Corruption("embedding tier snapshot: bad hot block");
     }
-    tier->blocks_[b].data =
-        std::make_shared<const std::vector<float>>(std::move(rows));
-    tier->blocks_[b].stamp = ++tier->tick_;
-    ++tier->hot_count_;
+    tier->cache_->Insert(
+        b, std::make_shared<const std::vector<float>>(std::move(rows)),
+        tier->BlockBytes(b), tier->cache_->BeginBatch(),
+        /*count_promotion=*/false);
   }
-  tier->EvictOverLimitLocked();  // Restore under a smaller budget demotes.
   return tier;
 }
 
-EmbeddingTier::~EmbeddingTier() {
-  if (map_ != nullptr) {
-    ::munmap(map_, map_len_);
-    if (remove_file_on_destroy_) {
-      std::error_code ec;
-      std::filesystem::remove(path_, ec);
-    }
-  }
-}
+EmbeddingTier::~EmbeddingTier() = default;
 
 Status EmbeddingTier::WriteAndMap(const PackedCodes& packed,
                                   const EmbeddingTierOptions& options) {
@@ -154,72 +134,37 @@ Status EmbeddingTier::WriteAndMap(const PackedCodes& packed,
   body.append(reinterpret_cast<const char*>(packed.codes.data()),
               packed.codes.size());
 
-  std::string blob;
-  blob.reserve(kTierHeaderBytes + body.size() + 8);
-  AppendU32(&blob, kTierMagic);
-  AppendU32(&blob, kTierVersion);
-  AppendU64(&blob, body.size());
-  blob.append(body);
-  AppendU64(&blob, Fnv1a64(body.data(), body.size()));
-
   std::error_code ec;
   std::filesystem::create_directories(options.dir, ec);
   const uint64_t id =
       g_tier_file_counter.fetch_add(1, std::memory_order_relaxed);
   std::string path = options.dir + "/" + options.file_stem + "_" +
                      std::to_string(id) + ".emt";
-  MLFS_RETURN_IF_ERROR(WriteFileAtomic(path, blob));
-
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    return Status::NotFound("cannot open tier file '" + path + "'");
-  }
-  struct stat st;
-  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
-    ::close(fd);
-    return Status::Corruption("cannot stat tier file '" + path + "'");
-  }
-  void* map = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
-                     MAP_PRIVATE, fd, 0);
-  ::close(fd);
-  if (map == MAP_FAILED) {
-    return Status::Internal("mmap failed for tier file '" + path + "'");
-  }
-  map_ = map;
-  map_len_ = static_cast<size_t>(st.st_size);
-  path_ = std::move(path);
-  remove_file_on_destroy_ = options.remove_file_on_destroy;
-  MLFS_RETURN_IF_ERROR(OpenMapped());
+  MLFS_ASSIGN_OR_RETURN(
+      file_, BlockFile::Spill(kTierMagic, kTierVersion,
+                              BlockFile::Seal(kTierMagic, kTierVersion, body),
+                              std::move(path), options.remove_file_on_destroy,
+                              "tier file"));
+  MLFS_RETURN_IF_ERROR(ParseBody());
 
   const size_t block_bytes = block_rows_ * dim_ * sizeof(float);
-  hot_limit_ =
+  const size_t hot_limit =
       std::min(block_bytes == 0 ? size_t{0}
                                 : options.memory_budget_bytes / block_bytes,
                blocks_count_);
-  blocks_.assign(blocks_count_, Block{});
+  cache_ = std::make_unique<BlockCache>(blocks_count_, hot_limit);
+  readahead_ = std::make_unique<ReadaheadScheduler>(options.readahead);
   return Status::OK();
 }
 
-Status EmbeddingTier::OpenMapped() {
-  const uint8_t* p = static_cast<const uint8_t*>(map_);
-  if (map_len_ < kTierHeaderBytes + kTierBodyFixedBytes + 8) {
+Status EmbeddingTier::ParseBody() {
+  // Envelope (magic, version, length, checksum) validated by BlockFile;
+  // this parses the tier-specific body shape.
+  const std::string_view body_view = file_->body();
+  const uint8_t* body = reinterpret_cast<const uint8_t*>(body_view.data());
+  if (body_view.size() < kTierBodyFixedBytes) {
     return Status::Corruption("tier file truncated");
   }
-  if (LoadU32(p) != kTierMagic) {
-    return Status::Corruption("tier file bad magic");
-  }
-  if (LoadU32(p + 4) != kTierVersion) {
-    return Status::Corruption("tier file unsupported version");
-  }
-  const uint64_t body_len = LoadU64(p + 8);
-  if (body_len != map_len_ - kTierHeaderBytes - 8) {
-    return Status::Corruption("tier file length mismatch");
-  }
-  const uint8_t* body = p + kTierHeaderBytes;
-  if (Fnv1a64(body, body_len) != LoadU64(body + body_len)) {
-    return Status::Corruption("tier file checksum mismatch");
-  }
-
   const uint32_t bits = LoadU32(body);
   const uint64_t n = LoadU64(body + 4);
   const uint64_t dim = LoadU64(body + 12);
@@ -234,10 +179,10 @@ Status EmbeddingTier::OpenMapped() {
   block_rows_ = block_rows;
   row_bytes_ = (dim_ * static_cast<size_t>(bits_) + 7) / 8;
   blocks_count_ = (n_ + block_rows_ - 1) / block_rows_;
-  if (body_len < kTierBodyFixedBytes + 8 * dim_) {
+  if (body_view.size() < kTierBodyFixedBytes + 8 * dim_) {
     return Status::Corruption("tier file range table truncated");
   }
-  const size_t codes_len = body_len - kTierBodyFixedBytes - 8 * dim_;
+  const size_t codes_len = body_view.size() - kTierBodyFixedBytes - 8 * dim_;
   if (codes_len / row_bytes_ != n_ || codes_len % row_bytes_ != 0) {
     return Status::Corruption("tier file code section length mismatch");
   }
@@ -277,161 +222,123 @@ std::vector<float> EmbeddingTier::LoadBlock(size_t b) const {
   return rows;
 }
 
-void EmbeddingTier::EvictOverLimitLocked() const {
-  // Linear min-stamp scan: blocks_count_ is small (rows / block_rows) and
-  // eviction only runs on promotions past the budget.
-  while (hot_count_ > hot_limit_) {
-    size_t victim = blocks_.size();
-    uint64_t oldest = std::numeric_limits<uint64_t>::max();
-    for (size_t b = 0; b < blocks_.size(); ++b) {
-      if (blocks_[b].data != nullptr && blocks_[b].stamp < oldest) {
-        oldest = blocks_[b].stamp;
-        victim = b;
-      }
-    }
-    if (victim == blocks_.size()) break;
-    blocks_[victim].data.reset();
-    --hot_count_;
-    ++demotions_;
-  }
-}
-
 StatusOr<const float*> EmbeddingTier::GetRow(size_t row) const {
   if (row >= n_) {
     return Status::OutOfRange("embedding tier row out of range");
   }
-  auto& pins = ThreadPins();
+  auto& pins = BlockCache::ThreadPins();
   pins.clear();
   const size_t b = row / block_rows_;
   const size_t offset = (row - BlockRow0(b)) * dim_;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    Block& blk = blocks_[b];
-    if (blk.data != nullptr) {
-      ++hot_hits_;
-      blk.stamp = ++tick_;
-      pins.push_back(blk.data);
-      return blk.data->data() + offset;
-    }
-    ++cold_misses_;
+  BlockCache::Payload hot = cache_->Touch(b, cache_->BeginBatch());
+  if (hot != nullptr) {
+    cache_->CountAccess(1, 0);
+    const float* ptr = BlockFloats(hot) + offset;
+    pins.push_back(std::move(hot));
+    return ptr;
   }
+  cache_->CountAccess(0, 1);
   if (FailpointRegistry::Instance().AnyArmed()) {
     Status s = FailpointRegistry::Instance().Evaluate("embedding.tier.load");
     if (!s.ok()) {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++load_faults_;
+      load_faults_.fetch_add(1, std::memory_order_relaxed);
       return s;
     }
   }
-  BlockData loaded =
-      std::make_shared<const std::vector<float>>(LoadBlock(b));
-  const float* ptr = loaded->data() + offset;
+  BlockCache::Payload loaded = LoadBlockPayload(b);
+  const float* ptr = BlockFloats(loaded) + offset;
   pins.push_back(loaded);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    Block& blk = blocks_[b];
-    blk.stamp = ++tick_;
-    // A concurrent reader may have promoted b already; our copy is
-    // byte-identical (same codes, same tables), so serving it is fine.
-    if (blk.data == nullptr && hot_limit_ > 0) {
-      blk.data = std::move(loaded);
-      ++hot_count_;
-      ++promotions_;
-      EvictOverLimitLocked();
-    }
-  }
+  // A concurrent reader may have promoted b already; our copy is
+  // byte-identical (same codes, same tables), so serving it is fine.
+  cache_->Insert(b, std::move(loaded), BlockBytes(b), cache_->BeginBatch());
   return ptr;
 }
 
 void EmbeddingTier::MultiGetRows(std::span<const int64_t> rows,
                                  std::vector<const float*>* out) const {
   out->assign(rows.size(), nullptr);
-  auto& pins = ThreadPins();
+  auto& pins = BlockCache::ThreadPins();
   pins.clear();
   if (rows.empty()) return;
 
-  struct Need {
-    BlockData data;   // Null while cold.
-    bool cold = false;
-  };
-  std::unordered_map<size_t, Need> held;
+  // One stamp for the whole batch: a block counts one access no matter
+  // how many batch rows it serves (batch-aware promotion).
+  const uint64_t stamp = cache_->BeginBatch();
+  std::unordered_map<size_t, BlockCache::Payload> held;
   std::vector<size_t> cold;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    // One tick for the whole batch: a block counts one access no matter
-    // how many batch rows it serves (batch-aware promotion).
-    const uint64_t stamp = ++tick_;
-    for (int64_t r : rows) {
-      if (r < 0 || static_cast<size_t>(r) >= n_) continue;
-      const size_t b = static_cast<size_t>(r) / block_rows_;
-      auto [it, inserted] = held.try_emplace(b);
-      if (!inserted) continue;
-      Block& blk = blocks_[b];
-      blk.stamp = stamp;
-      it->second.data = blk.data;
-      it->second.cold = blk.data == nullptr;
-      if (it->second.cold) cold.push_back(b);
-    }
-    for (int64_t r : rows) {
-      if (r < 0 || static_cast<size_t>(r) >= n_) continue;
-      const size_t b = static_cast<size_t>(r) / block_rows_;
-      if (held[b].cold) {
-        ++cold_misses_;
-      } else {
-        ++hot_hits_;
-      }
+  for (int64_t r : rows) {
+    if (r < 0 || static_cast<size_t>(r) >= n_) continue;
+    const size_t b = static_cast<size_t>(r) / block_rows_;
+    auto [it, inserted] = held.try_emplace(b);
+    if (!inserted) continue;
+    it->second = cache_->Touch(b, stamp);
+    if (it->second == nullptr) cold.push_back(b);
+  }
+  uint64_t row_hits = 0, row_misses = 0;
+  for (int64_t r : rows) {
+    if (r < 0 || static_cast<size_t>(r) >= n_) continue;
+    const size_t b = static_cast<size_t>(r) / block_rows_;
+    if (held[b] == nullptr) {
+      ++row_misses;
+    } else {
+      ++row_hits;
     }
   }
+  cache_->CountAccess(row_hits, row_misses);
 
   bool faulted = false;
   if (!cold.empty() && FailpointRegistry::Instance().AnyArmed()) {
     Status s = FailpointRegistry::Instance().Evaluate("embedding.tier.load");
     if (!s.ok()) {
       faulted = true;  // Cold slots degrade to misses (stay null).
-      std::lock_guard<std::mutex> lock(mu_);
-      ++load_faults_;
+      load_faults_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   if (!faulted && !cold.empty()) {
-    for (size_t b : cold) {
-      held[b].data = std::make_shared<const std::vector<float>>(LoadBlock(b));
-    }
-    std::lock_guard<std::mutex> lock(mu_);
-    for (size_t b : cold) {
-      Block& blk = blocks_[b];
-      if (blk.data == nullptr && hot_limit_ > 0) {
-        blk.data = held[b].data;
-        ++hot_count_;
-        ++promotions_;
+    // Overlap: hand the back half of the cold blocks to the readahead
+    // scheduler, dequantize the front half here, then collect. A dropped
+    // or disabled prefetch falls back to the demand load; either way the
+    // bytes are identical (dequantization is deterministic).
+    size_t split = cold.size();
+    if (readahead_->enabled() && cold.size() >= 2) {
+      split = cold.size() - cold.size() / 2;
+      for (size_t ci = split; ci < cold.size(); ++ci) {
+        const size_t b = cold[ci];
+        readahead_->Prefetch(b, [this, b] { return LoadBlockPayload(b); });
       }
     }
-    EvictOverLimitLocked();
+    for (size_t ci = 0; ci < cold.size(); ++ci) {
+      const size_t b = cold[ci];
+      BlockCache::Payload p;
+      if (ci >= split) p = readahead_->Consume(b);
+      if (p == nullptr) p = LoadBlockPayload(b);
+      held[b] = std::move(p);
+    }
+    for (size_t b : cold) {
+      cache_->Insert(b, held[b], BlockBytes(b), stamp);
+    }
   }
 
   for (size_t i = 0; i < rows.size(); ++i) {
     const int64_t r = rows[i];
     if (r < 0 || static_cast<size_t>(r) >= n_) continue;
     const size_t b = static_cast<size_t>(r) / block_rows_;
-    const Need& need = held[b];
-    if (need.data == nullptr) continue;  // Fault-injected cold block.
+    const BlockCache::Payload& p = held[b];
+    if (p == nullptr) continue;  // Fault-injected cold block.
     (*out)[i] =
-        need.data->data() + (static_cast<size_t>(r) - BlockRow0(b)) * dim_;
+        BlockFloats(p) + (static_cast<size_t>(r) - BlockRow0(b)) * dim_;
   }
-  for (auto& [b, need] : held) {
-    if (need.data != nullptr) pins.push_back(std::move(need.data));
+  for (auto& [b, p] : held) {
+    if (p != nullptr) pins.push_back(std::move(p));
   }
 }
 
 void EmbeddingTier::CopyRow(size_t row, float* out) const {
   MLFS_DCHECK(row < n_);
   const size_t b = row / block_rows_;
-  BlockData local;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    local = blocks_[b].data;
-  }
+  BlockCache::Payload local = cache_->Peek(b);
   if (local != nullptr) {
-    std::memcpy(out, local->data() + (row - BlockRow0(b)) * dim_,
+    std::memcpy(out, BlockFloats(local) + (row - BlockRow0(b)) * dim_,
                 dim_ * sizeof(float));
   } else {
     DequantizeRange(MapView(), row, 1, out);
@@ -444,36 +351,38 @@ Status EmbeddingTier::ScanBlocks(
   if (FailpointRegistry::Instance().AnyArmed()) {
     Status s = FailpointRegistry::Instance().Evaluate("embedding.tier.load");
     if (!s.ok()) {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++load_faults_;
+      load_faults_.fetch_add(1, std::memory_order_relaxed);
       return s;
     }
   }
-  uint64_t stamp;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++scans_;
-    stamp = ++tick_;
-  }
+  scans_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t stamp = cache_->BeginBatch();
+  // Sequential-scan readahead: while fn chews on block b, the scheduler
+  // dequantizes the next cold block. Peek keeps the probe from
+  // perturbing LRU order.
+  const bool ra = readahead_->enabled();
+  auto prefetch_next = [&](size_t next) {
+    if (!ra || next >= blocks_count_ || cache_->Peek(next) != nullptr) return;
+    readahead_->Prefetch(next,
+                         [this, next] { return LoadBlockPayload(next); });
+  };
+  prefetch_next(0);
   std::vector<float> scratch;
   for (size_t b = 0; b < blocks_count_; ++b) {
     const size_t row0 = BlockRow0(b);
     const size_t nrows = BlockRows(b);
-    BlockData local;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      Block& blk = blocks_[b];
-      if (blk.data != nullptr) {
-        // Refresh so a scan keeps the hot set warm, but never promote: a
-        // full ANN pass must not flush the point-lookup working set.
-        blk.stamp = stamp;
-        local = blk.data;
-      } else {
-        ++scan_cold_blocks_;
-      }
-    }
+    // Refresh so a scan keeps the hot set warm, but never promote: a
+    // full ANN pass must not flush the point-lookup working set.
+    BlockCache::Payload local = cache_->Touch(b, stamp);
+    prefetch_next(b + 1);
     if (local != nullptr) {
-      fn(row0, nrows, local->data());
+      fn(row0, nrows, BlockFloats(local));
+      continue;
+    }
+    scan_cold_blocks_.fetch_add(1, std::memory_order_relaxed);
+    BlockCache::Payload fetched = ra ? readahead_->Consume(b) : nullptr;
+    if (fetched != nullptr) {
+      fn(row0, nrows, BlockFloats(fetched));
     } else {
       scratch.resize(nrows * dim_);
       DequantizeRange(MapView(), row0, nrows, scratch.data());
@@ -484,40 +393,34 @@ Status EmbeddingTier::ScanBlocks(
 }
 
 void EmbeddingTier::SetHotLimit(size_t blocks) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  hot_limit_ = std::min(blocks, blocks_count_);
-  EvictOverLimitLocked();
+  cache_->SetCapacity(blocks);
 }
 
 EmbeddingTierStats EmbeddingTier::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const BlockCacheStats cs = cache_->stats();
   EmbeddingTierStats s;
-  s.hot_hits = hot_hits_;
-  s.cold_misses = cold_misses_;
-  s.promotions = promotions_;
-  s.demotions = demotions_;
-  s.scans = scans_;
-  s.scan_cold_blocks = scan_cold_blocks_;
-  s.load_faults = load_faults_;
-  s.hot_blocks = hot_count_;
-  s.total_blocks = blocks_count_;
-  s.hot_limit_blocks = hot_limit_;
-  s.packed_bytes = map_len_;
-  for (const Block& b : blocks_) {
-    if (b.data != nullptr) s.resident_bytes += b.data->size() * sizeof(float);
-  }
+  s.hot_hits = cs.hits;
+  s.cold_misses = cs.misses;
+  s.promotions = cs.promotions;
+  s.demotions = cs.evictions;
+  s.scans = scans_.load(std::memory_order_relaxed);
+  s.scan_cold_blocks = scan_cold_blocks_.load(std::memory_order_relaxed);
+  s.load_faults = load_faults_.load(std::memory_order_relaxed);
+  s.hot_blocks = cs.resident_blocks;
+  s.total_blocks = cs.num_blocks;
+  s.hot_limit_blocks = cs.capacity_blocks;
+  s.resident_bytes = cs.resident_bytes;
+  s.packed_bytes = file_->size();
+  s.readahead = readahead_->stats();
   return s;
 }
 
 std::vector<std::pair<uint32_t, std::vector<float>>>
 EmbeddingTier::HotBlocksSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::pair<uint32_t, std::vector<float>>> hot;
-  hot.reserve(hot_count_);
-  for (size_t b = 0; b < blocks_.size(); ++b) {
-    if (blocks_[b].data != nullptr) {
-      hot.emplace_back(static_cast<uint32_t>(b), *blocks_[b].data);
-    }
+  for (auto& [b, payload] : cache_->ResidentSnapshot()) {
+    hot.emplace_back(b,
+                     *static_cast<const std::vector<float>*>(payload.get()));
   }
   return hot;
 }

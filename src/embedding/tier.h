@@ -2,10 +2,10 @@
 #define MLFS_EMBEDDING_TIER_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <utility>
@@ -13,6 +13,9 @@
 
 #include "common/status.h"
 #include "embedding/compress.h"
+#include "io/block_cache.h"
+#include "io/block_file.h"
+#include "io/readahead.h"
 
 namespace mlfs {
 
@@ -33,6 +36,10 @@ struct EmbeddingTierOptions {
   /// Tier files are scratch by default: deleted when the tier is
   /// destroyed. Snapshots embed the packed codes, not the file path.
   bool remove_file_on_destroy = true;
+  /// Async cold-block prefetch (io/readahead.h). Default-disabled;
+  /// served bytes are identical either way (dequantization is
+  /// deterministic), readahead only moves it off the serving thread.
+  ReadaheadOptions readahead;
 };
 
 /// Monotonic tier counters plus a point-in-time occupancy snapshot.
@@ -49,6 +56,7 @@ struct EmbeddingTierStats {
   size_t hot_limit_blocks = 0;
   size_t resident_bytes = 0;  // Hot arena bytes right now.
   size_t packed_bytes = 0;    // Size of the mmap'd tier file.
+  ReadaheadStats readahead;   // Cold-block prefetch counters.
 };
 
 /// The out-of-core half of a tiered EmbeddingTable (MLKV-style): every row
@@ -61,28 +69,33 @@ struct EmbeddingTierStats {
 /// stamps without growing the hot set (scan-resistant — a brute-force ANN
 /// pass must not evict the point-lookup working set).
 ///
-/// File format ("MLET"):
-///   [u32 magic][u32 version][u64 body_len][body][u64 fnv1a64(body)]
+/// Storage plumbing is the shared io/ subsystem: the packed file is a
+/// BlockFile ("MLET" magic in the common envelope, spilled with the
+/// WriteFileAtomic + mmap-reopen discipline and fully validated at open),
+/// the hot arena is a BlockCache (batch-granular scan-resistant LRU with
+/// the shared thread-local pin set), and cold-block prefetch runs on a
+/// ReadaheadScheduler. This file owns only the quantization codec and the
+/// row-addressing geometry.
+///
 ///   body: u32 bits, u64 n, u64 dim, u64 block_rows,
 ///         float lo[dim], float hi[dim], codes[n * row_bytes]
-/// Everything is validated at open (magic, length, checksum, shape
-/// arithmetic, finite ranges) so a truncated or bit-flipped file surfaces
-/// as Status::Corruption, never UB. Written with WriteFileAtomic and
-/// reopened via mmap — the same spill discipline as storage/segment.cc.
 ///
 /// Pointer lifetime: pointers handed out by GetRow/MultiGetRows stay
 /// valid until the *calling thread's* next GetRow/MultiGetRows on any
-/// tier (a thread-local pin set keeps the backing blocks alive across
-/// concurrent demotion); copy before issuing another read. Hot demotion
-/// therefore never invalidates a pointer another thread just obtained.
+/// tier (the BlockCache thread-local pin set keeps the backing blocks
+/// alive across concurrent demotion); copy before issuing another read.
+/// Hot demotion therefore never invalidates a pointer another thread
+/// just obtained.
 ///
 /// Failpoints: "embedding.tier.spill" fires before the tier file is
 /// written (Build/Restore fail cleanly); "embedding.tier.load" fires when
 /// a read or scan needs a cold block (GetRow/ScanBlocks propagate the
-/// injected status; MultiGetRows degrades the affected rows to misses).
+/// injected status; MultiGetRows degrades the affected rows to misses);
+/// "io.load" (in BlockFile::Map) and "io.readahead" (in the scheduler)
+/// fire underneath.
 ///
-/// Thread-safe; all mutable state is behind one mutex, dequantization
-/// runs outside it.
+/// Thread-safe; the cache and scheduler carry their own locks,
+/// dequantization runs outside all of them.
 class EmbeddingTier {
  public:
   /// Packs `data` (n x dim row-major float32), writes + maps the tier
@@ -110,7 +123,9 @@ class EmbeddingTier {
 
   /// Batched lookup: out[i] points at rows[i]'s vector, or is null when
   /// rows[i] < 0 or its cold load was fault-injected. Each distinct block
-  /// counts one access regardless of how many batch rows it serves.
+  /// counts one access regardless of how many batch rows it serves. With
+  /// readahead enabled the back half of the batch's cold blocks
+  /// dequantize on the scheduler while this thread does the front half.
   void MultiGetRows(std::span<const int64_t> rows,
                     std::vector<const float*>* out) const;
 
@@ -120,7 +135,8 @@ class EmbeddingTier {
   /// Streams every row block-wise in ascending row order:
   /// fn(row0, nrows, rows) where `rows` is nrows x dim floats — the hot
   /// arena directly, or a per-call scratch for dequantized cold blocks.
-  /// Refreshes hot stamps, never promotes.
+  /// Refreshes hot stamps, never promotes. With readahead enabled the
+  /// next cold block dequantizes on the scheduler while fn runs.
   Status ScanBlocks(
       const std::function<void(size_t row0, size_t nrows, const float* rows)>&
           fn) const;
@@ -131,12 +147,12 @@ class EmbeddingTier {
   size_t block_rows() const { return block_rows_; }
   size_t row_bytes() const { return row_bytes_; }
   size_t num_blocks() const { return blocks_count_; }
-  size_t hot_limit_blocks() const { return hot_limit_; }
+  size_t hot_limit_blocks() const { return cache_->capacity(); }
   const std::vector<float>& lo() const { return lo_f_; }
   const std::vector<float>& hi() const { return hi_f_; }
   /// The packed code section (n * row_bytes bytes, mmap-backed).
   const uint8_t* codes() const { return codes_; }
-  const std::string& path() const { return path_; }
+  const std::string& path() const { return file_->path(); }
 
   /// Adjusts the hot arena capacity in blocks (cache policy, not data):
   /// shrinking demotes excess blocks immediately; growing lets future
@@ -153,19 +169,16 @@ class EmbeddingTier {
 
  private:
   using BlockData = std::shared_ptr<const std::vector<float>>;
-  struct Block {
-    BlockData data;      // Null = cold.
-    uint64_t stamp = 0;  // Batch-granular LRU clock tick of last access.
-  };
 
   EmbeddingTier() = default;
 
-  /// Encodes the packed matrix into the checksummed blob, writes it via
-  /// WriteFileAtomic, and memory-maps it back into this tier.
+  /// Encodes the packed matrix into the shared envelope, spills it via
+  /// BlockFile (atomic write + mmap reopen), and wires up the cache and
+  /// readahead scheduler.
   Status WriteAndMap(const PackedCodes& packed, const EmbeddingTierOptions&
                      options);
-  /// Validates the mapped blob and wires up codes_/lo/hi/steps.
-  Status OpenMapped();
+  /// Validates the mapped body and wires up codes_/lo/hi/steps.
+  Status ParseBody();
 
   /// Borrowed codec view over the mapped code section.
   PackedCodesView MapView() const;
@@ -174,12 +187,19 @@ class EmbeddingTier {
   size_t BlockRows(size_t b) const {
     return std::min(block_rows_, n_ - BlockRow0(b));
   }
+  size_t BlockBytes(size_t b) const {
+    return BlockRows(b) * dim_ * sizeof(float);
+  }
   /// Dequantizes block `b` into a fresh buffer (no locks needed: the
   /// mapped codes are immutable).
   std::vector<float> LoadBlock(size_t b) const;
-  /// Caller holds mu_. Evicts lowest-stamp hot blocks until the hot count
-  /// is back under the limit.
-  void EvictOverLimitLocked() const;
+  /// LoadBlock as a cache payload (what readahead jobs materialize).
+  BlockCache::Payload LoadBlockPayload(size_t b) const {
+    return std::make_shared<const std::vector<float>>(LoadBlock(b));
+  }
+  static const float* BlockFloats(const BlockCache::Payload& p) {
+    return static_cast<const std::vector<float>*>(p.get())->data();
+  }
 
   // Codec geometry (immutable after open).
   int bits_ = 0;
@@ -192,21 +212,16 @@ class EmbeddingTier {
   PackedDecodeTables tables_;
   const uint8_t* codes_ = nullptr;
 
-  // Mapped file.
-  void* map_ = nullptr;
-  size_t map_len_ = 0;
-  std::string path_;
-  bool remove_file_on_destroy_ = false;
+  // The mapped tier file; declared before the cache and scheduler so
+  // in-flight readahead jobs (which read the mapped codes) drain first.
+  BlockFilePtr file_;
+  std::unique_ptr<BlockCache> cache_;
+  std::unique_ptr<ReadaheadScheduler> readahead_;
 
-  // Hot arena + counters (all under mu_ after construction).
-  mutable std::mutex mu_;
-  mutable size_t hot_limit_ = 0;
-  mutable std::vector<Block> blocks_;
-  mutable size_t hot_count_ = 0;
-  mutable uint64_t tick_ = 0;
-  mutable uint64_t hot_hits_ = 0, cold_misses_ = 0, promotions_ = 0,
-                   demotions_ = 0, scans_ = 0, scan_cold_blocks_ = 0,
-                   load_faults_ = 0;
+  // Tier-specific counters (the cache and scheduler keep their own).
+  mutable std::atomic<uint64_t> scans_{0};
+  mutable std::atomic<uint64_t> scan_cold_blocks_{0};
+  mutable std::atomic<uint64_t> load_faults_{0};
 };
 
 }  // namespace mlfs

@@ -1,0 +1,119 @@
+#include "io/readahead.h"
+
+#include <utility>
+
+#include "common/failpoint.h"
+
+namespace mlfs {
+namespace {
+
+// Unconsumed results kept before the oldest ages out as wasted. Small on
+// purpose: a prefetch the gather cursor is more than a few runs away
+// from consuming was mispredicted.
+constexpr size_t kMaxReady = 64;
+
+}  // namespace
+
+ReadaheadScheduler::ReadaheadScheduler(ReadaheadOptions options)
+    : options_(options) {
+  if (!options_.enabled) return;
+  if (options_.pool != nullptr) {
+    pool_ = options_.pool;
+  } else {
+    owned_pool_ = std::make_unique<ThreadPool>(
+        options_.threads == 0 ? 1 : options_.threads);
+    pool_ = owned_pool_.get();
+  }
+}
+
+ReadaheadScheduler::~ReadaheadScheduler() {
+  Drain();
+  // A borrowed pool may still run nothing of ours after Drain; an owned
+  // pool joins its workers here.
+  owned_pool_.reset();
+}
+
+void ReadaheadScheduler::Prefetch(uint64_t key, std::function<Payload()> fn) {
+  if (pool_ == nullptr) return;
+  if (FailpointRegistry::Instance().AnyArmed()) {
+    Status s = FailpointRegistry::Instance().Evaluate("io.readahead");
+    if (!s.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++faults_;
+      return;  // Degrade to no readahead; the demand path is untouched.
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (in_flight_.count(key) != 0 || ready_.count(key) != 0) {
+      ++deduped_;
+      return;
+    }
+    if (in_flight_.size() >= options_.max_in_flight) {
+      ++dropped_;
+      return;
+    }
+    in_flight_.insert(key);
+    ++issued_;
+  }
+  pool_->Submit([this, key, fn = std::move(fn)] {
+    Complete(key, fn());
+  });
+}
+
+void ReadaheadScheduler::Complete(uint64_t key, Payload payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  in_flight_.erase(key);
+  ++completed_;
+  const uint64_t gen = ++ready_gen_;
+  ready_[key] = Ready{std::move(payload), gen};
+  ready_order_.emplace_back(key, gen);
+  while (ready_order_.size() > kMaxReady) {
+    const auto [old_key, old_gen] = ready_order_.front();
+    ready_order_.pop_front();
+    auto it = ready_.find(old_key);
+    if (it != ready_.end() && it->second.gen == old_gen) {
+      ready_.erase(it);
+      ++wasted_;
+    }
+  }
+  cv_.notify_all();
+}
+
+ReadaheadScheduler::Payload ReadaheadScheduler::Consume(uint64_t key) {
+  if (pool_ == nullptr) return nullptr;
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return in_flight_.count(key) == 0; });
+  auto it = ready_.find(key);
+  if (it == ready_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  Payload payload = std::move(it->second.payload);
+  ready_.erase(it);
+  ++hits_;
+  return payload;
+}
+
+void ReadaheadScheduler::Drain() {
+  if (pool_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return in_flight_.empty(); });
+}
+
+ReadaheadStats ReadaheadScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ReadaheadStats s;
+  s.issued = issued_;
+  s.completed = completed_;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.wasted = wasted_;
+  s.dropped = dropped_;
+  s.deduped = deduped_;
+  s.faults = faults_;
+  s.in_flight = in_flight_.size();
+  return s;
+}
+
+}  // namespace mlfs

@@ -29,6 +29,7 @@ OfflineTable::OfflineTable(OfflineTableOptions options)
   for (size_t i = 0; i < all_columns_.size(); ++i) {
     all_columns_[i] = static_cast<int>(i);
   }
+  readahead_ = std::make_unique<ReadaheadScheduler>(options_.readahead);
 }
 
 OfflineTable::~OfflineTable() { StopMaintenance(); }
@@ -497,6 +498,35 @@ Status OfflineTable::AsOfBatch(std::span<const AsOfRequest> requests,
   const bool projected = !options.columns.empty();
   std::vector<const Row*> head_hits(n, nullptr);
   std::vector<Value> values;
+  // Readahead plan: the gather below touches spilled segments in a
+  // deterministic first-touch order, so warm the next segment's pages
+  // (madvise + touch, off-thread) while the cursor works the current one.
+  // Keys are segment addresses — stable for the duration of the shared
+  // lock. ra_order[0] is being read immediately, so prefetching starts at
+  // ra_order[1].
+  std::vector<const Segment*> ra_order;
+  size_t ra_next = 1;
+  if (readahead_->enabled()) {
+    for (i = 0; i < n; ++i) {
+      if (hits[i] == nullptr) continue;
+      RowLoc loc = Resolve(*hits[i]->part, hits[i]->ordinal);
+      if (loc.seg != nullptr && loc.seg->spilled() &&
+          (ra_order.empty() || ra_order.back() != loc.seg) &&
+          std::find(ra_order.begin(), ra_order.end(), loc.seg) ==
+              ra_order.end()) {
+        ra_order.push_back(loc.seg);
+      }
+    }
+    if (ra_order.size() >= 2) {
+      const Segment* next = ra_order[1];
+      readahead_->Prefetch(
+          reinterpret_cast<uintptr_t>(next),
+          [next]() -> ReadaheadScheduler::Payload {
+            next->PrefetchSpill();
+            return nullptr;  // Page warming: nothing to park.
+          });
+    }
+  }
   for (i = 0; i < n; ++i) {
     const GlobalPosting* g = hits[i];
     if (g == nullptr) {
@@ -506,6 +536,21 @@ Status OfflineTable::AsOfBatch(std::span<const AsOfRequest> requests,
       continue;
     }
     RowLoc loc = Resolve(*g->part, g->ordinal);
+    // First touch of the next planned segment: claim its prefetch (hit
+    // accounting; pages are warm or warming) and schedule the one after.
+    if (ra_next < ra_order.size() && loc.seg == ra_order[ra_next]) {
+      readahead_->Consume(reinterpret_cast<uintptr_t>(loc.seg));
+      ++ra_next;
+      if (ra_next < ra_order.size()) {
+        const Segment* next = ra_order[ra_next];
+        readahead_->Prefetch(
+            reinterpret_cast<uintptr_t>(next),
+            [next]() -> ReadaheadScheduler::Payload {
+              next->PrefetchSpill();
+              return nullptr;
+            });
+      }
+    }
     if (loc.head != nullptr && !projected) {
       head_hits[i] = loc.head;
       continue;
@@ -684,6 +729,7 @@ OfflineStorageStats OfflineTable::storage_stats() const {
   }
   stats.maintenance_errors =
       maintenance_errors_.load(std::memory_order_relaxed);
+  stats.readahead = readahead_->stats();
   return stats;
 }
 
@@ -717,10 +763,15 @@ Status OfflineTable::CompactPartition(int64_t pid) {
     if (it == partitions_.end()) return Status::OK();
     captured = it->second.segments;
   }
+  return CompactRun(pid, std::move(captured));
+}
+
+Status OfflineTable::CompactRun(int64_t pid, std::vector<SegmentPtr> captured) {
   if (captured.size() < 2) return Status::OK();
-  // Merge off-lock: concatenating segments in order is ordinal order, so
-  // the merged segment covers the contiguous range starting at the first
-  // captured base and the append-order tie-break is untouched.
+  // Merge off-lock: adjacent segments cover adjacent ordinal ranges, so
+  // concatenating a captured run in order is ordinal order — the merged
+  // segment covers the contiguous range starting at the run's first base
+  // and the append-order tie-break is untouched.
   std::vector<Row> rows;
   size_t total = 0;
   for (const SegmentPtr& seg : captured) total += seg->num_rows();
@@ -738,46 +789,130 @@ Status OfflineTable::CompactPartition(int64_t pid) {
       Segment::Encode(options_.schema, pid, entity_idx_, time_idx_,
                       std::span<const Row>(rows)));
   MLFS_ASSIGN_OR_RETURN(SegmentPtr merged, Segment::FromBytes(std::move(blob)));
-  // Swap under the exclusive lock, after verifying the captured prefix is
+  // Swap under the exclusive lock, after verifying the captured run is
   // still in place (it must be — see above — but a pointer check is cheap
-  // insurance against a future locking regression).
+  // insurance against a future locking regression). Auto-seal may have
+  // appended segments after the run, never inside or before it.
   std::unique_lock lock(mu_);
   auto it = partitions_.find(pid);
   if (it == partitions_.end()) {
     return Status::Internal("partition vanished during compaction");
   }
   Partition& part = it->second;
-  if (part.segments.size() < captured.size()) {
-    return Status::Internal("segment list shrank during compaction");
+  const auto first = std::find(part.segments.begin(), part.segments.end(),
+                               captured.front());
+  const size_t at = static_cast<size_t>(first - part.segments.begin());
+  if (first == part.segments.end() ||
+      part.segments.size() - at < captured.size()) {
+    return Status::Internal("segment run vanished during compaction");
   }
   for (size_t s = 0; s < captured.size(); ++s) {
-    if (part.segments[s] != captured[s]) {
-      return Status::Internal("segment list changed during compaction");
+    if (part.segments[at + s] != captured[s]) {
+      return Status::Internal("segment run changed during compaction");
     }
   }
-  const size_t base = part.segment_base.front();
-  part.segments.erase(part.segments.begin(),
-                      part.segments.begin() + captured.size());
-  part.segments.insert(part.segments.begin(), std::move(merged));
-  part.segment_base.erase(part.segment_base.begin(),
-                          part.segment_base.begin() + captured.size());
-  part.segment_base.insert(part.segment_base.begin(), base);
+  const size_t base = part.segment_base[at];
+  part.segments.erase(part.segments.begin() + at,
+                      part.segments.begin() + at + captured.size());
+  part.segments.insert(part.segments.begin() + at, std::move(merged));
+  part.segment_base.erase(part.segment_base.begin() + at,
+                          part.segment_base.begin() + at + captured.size());
+  part.segment_base.insert(part.segment_base.begin() + at, base);
   return Status::OK();
 }
 
+namespace {
+
+/// log2 size bucket for size-tiered compaction: segments in the same
+/// bucket are "peers" worth merging (the merge graduates them together
+/// into the next bucket).
+int SizeBucket(const SegmentPtr& seg) {
+  int bucket = 0;
+  for (size_t size = seg->encoded_size() >> 12; size != 0; size >>= 1) {
+    ++bucket;  // 0: <4KiB, 1: <8KiB, ...
+  }
+  return bucket;
+}
+
+/// True when the two segments' event-time ranges intersect — fragments
+/// that interleave in time are where as-of probes pay for fragmentation,
+/// so overlapping runs merge first.
+bool TsOverlap(const SegmentPtr& a, const SegmentPtr& b) {
+  return a->min_ts() <= b->max_ts() && b->min_ts() <= a->max_ts();
+}
+
+/// Picks the best adjacent same-bucket run of >= 2 segments: most
+/// time-overlapping adjacent pairs, then longest, then earliest. Empty
+/// when every bucket neighbor pair differs — the caller falls back to
+/// merging the smallest adjacent pair so fragmentation always shrinks.
+std::vector<SegmentPtr> PickSizeTieredRun(
+    const std::vector<SegmentPtr>& segments) {
+  size_t best_at = 0, best_len = 0, best_overlap = 0;
+  size_t at = 0;
+  while (at < segments.size()) {
+    const int bucket = SizeBucket(segments[at]);
+    size_t end = at + 1, overlap = 0;
+    while (end < segments.size() && SizeBucket(segments[end]) == bucket) {
+      if (TsOverlap(segments[end - 1], segments[end])) ++overlap;
+      ++end;
+    }
+    const size_t len = end - at;
+    if (len >= 2 && (overlap > best_overlap ||
+                     (overlap == best_overlap && len > best_len))) {
+      best_at = at;
+      best_len = len;
+      best_overlap = overlap;
+    }
+    at = end;
+  }
+  if (best_len >= 2) {
+    return {segments.begin() + best_at, segments.begin() + best_at + best_len};
+  }
+  return {};
+}
+
+}  // namespace
+
 Status OfflineTable::CompactInner(size_t min_segments) {
   MLFS_FAILPOINT("offline_store.compact");
+  const bool size_tiered =
+      options_.compaction_policy == CompactionPolicy::kSizeTiered;
   std::vector<int64_t> candidates;
+  std::vector<std::vector<SegmentPtr>> runs;  // Parallel, size-tiered only.
   {
     std::shared_lock lock(mu_);
     for (const auto& [pid, part] : partitions_) {
-      if (part.segments.size() >= std::max<size_t>(min_segments, 2)) {
+      if (part.segments.size() < std::max<size_t>(min_segments, 2)) continue;
+      if (!size_tiered) {
         candidates.push_back(pid);
+        continue;
       }
+      std::vector<SegmentPtr> run = PickSizeTieredRun(part.segments);
+      if (run.empty()) {
+        // No same-bucket peers: merge the smallest adjacent pair so the
+        // partition still converges instead of fragmenting forever.
+        size_t smallest = 0;
+        size_t smallest_bytes = SIZE_MAX;
+        for (size_t s = 0; s + 1 < part.segments.size(); ++s) {
+          const size_t bytes = part.segments[s]->encoded_size() +
+                               part.segments[s + 1]->encoded_size();
+          if (bytes < smallest_bytes) {
+            smallest_bytes = bytes;
+            smallest = s;
+          }
+        }
+        run = {part.segments[smallest], part.segments[smallest + 1]};
+      }
+      candidates.push_back(pid);
+      runs.push_back(std::move(run));
     }
   }
-  for (int64_t pid : candidates) {
-    MLFS_RETURN_IF_ERROR(CompactPartition(pid));
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    if (size_tiered) {
+      MLFS_RETURN_IF_ERROR(CompactRun(candidates[c], std::move(runs[c])));
+    } else {
+      MLFS_RETURN_IF_ERROR(CompactPartition(candidates[c]));
+    }
   }
   return Status::OK();
 }
@@ -824,14 +959,14 @@ Status OfflineTable::EnforceBudgetInner() {
     const std::string path =
         options_.spill_dir + "/" + options_.name + "_p" +
         std::to_string(v.pid) + "_" + std::to_string(spill_seq_++) + ".seg";
-    // Write + map + validate off-lock; readers keep using the resident
-    // blob until the swap below, and on any failure the resident segment
-    // simply stays resident — the table is never degraded by a spill
-    // fault.
-    MLFS_RETURN_IF_ERROR(WriteFileAtomic(path, v.seg->encoded()));
-    auto mapped = Segment::FromFile(path, /*remove_file_on_destroy=*/true);
+    // Write + map + validate off-lock (Segment::SpillToFile: atomic write
+    // + mmap reopen, no file left behind on failure); readers keep using
+    // the resident blob until the swap below, and on any failure the
+    // resident segment simply stays resident — the table is never
+    // degraded by a spill fault.
+    auto mapped =
+        Segment::SpillToFile(*v.seg, path, /*remove_file_on_destroy=*/true);
     if (!mapped.ok()) {
-      std::filesystem::remove(path, ec);
       return mapped.status();
     }
     std::unique_lock lock(mu_);

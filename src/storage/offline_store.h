@@ -20,6 +20,7 @@
 #include "common/status.h"
 #include "common/timestamp.h"
 #include "expr/evaluator.h"
+#include "io/readahead.h"
 #include "storage/segment.h"
 
 namespace mlfs {
@@ -64,6 +65,23 @@ struct MaterializedCell {
   Value value;
 };
 
+/// How RunMaintenance() picks segments to merge (explicit
+/// CompactPartitions() always merges everything regardless of policy).
+enum class CompactionPolicy : uint8_t {
+  /// Merge every segment of a partition once the partition accumulates
+  /// compact_min_segments of them — the historical policy. Simple, but
+  /// each pass rewrites the partition's entire sealed history, so write
+  /// amplification grows with partition size.
+  kSegmentCount = 0,
+  /// Size-tiered: merge only an adjacent run of segments in the same
+  /// log2-size bucket (preferring runs whose event-time ranges overlap,
+  /// which is where as-of reads pay for fragmentation). Merged output
+  /// graduates to a bigger bucket and is not rewritten again until peers
+  /// of its own size accumulate — write amplification per row is
+  /// O(log n) instead of O(n / seal_rows).
+  kSizeTiered = 1,
+};
+
 /// Configuration for one offline (historical) table.
 struct OfflineTableOptions {
   std::string name;
@@ -92,6 +110,13 @@ struct OfflineTableOptions {
   /// RunMaintenance() compacts a partition once it accumulates this many
   /// sealed segments (explicit CompactPartitions() compacts at >= 2).
   size_t compact_min_segments = 4;
+  /// Segment-selection policy for RunMaintenance() compaction.
+  CompactionPolicy compaction_policy = CompactionPolicy::kSegmentCount;
+  /// Async spilled-segment prefetch for AsOfBatch (io/readahead.h): while
+  /// the gather cursor works one spilled segment, the scheduler faults in
+  /// the next one's pages off-thread. Default-disabled; results are
+  /// byte-identical either way.
+  ReadaheadOptions readahead;
 };
 
 /// Storage-tier counters for one table (see storage_stats()).
@@ -107,6 +132,8 @@ struct OfflineStorageStats {
   size_t spilled_bytes = 0;
   /// RunMaintenance() failures observed by the background thread.
   uint64_t maintenance_errors = 0;
+  /// Spilled-segment prefetch counters (zeros when readahead is off).
+  ReadaheadStats readahead;
 };
 
 /// Append-only, time-partitioned table of historical feature rows: the
@@ -326,6 +353,10 @@ class OfflineTable {
   /// and rebuilds its index postings (caller holds the exclusive lock).
   Status AdoptSegmentLocked(const SegmentPtr& seg);
   Status CompactPartition(int64_t pid);
+  /// Merges `captured` — a contiguous run of `pid`'s sealed segments,
+  /// captured under the shared lock — into one segment and swaps it in
+  /// place. Caller holds maintenance_mu_.
+  Status CompactRun(int64_t pid, std::vector<SegmentPtr> captured);
   Status SealHeadsInner(size_t min_rows);
   Status CompactInner(size_t min_segments);
   Status EnforceBudgetInner();
@@ -373,6 +404,10 @@ class OfflineTable {
   std::mutex maintenance_mu_;
   uint64_t spill_seq_ = 0;  // Guarded by maintenance_mu_.
   std::atomic<uint64_t> maintenance_errors_{0};
+
+  /// Spilled-segment prefetcher for AsOfBatch; always constructed (a
+  /// disabled scheduler no-ops), carries its own locks.
+  std::unique_ptr<ReadaheadScheduler> readahead_;
 
   std::mutex bg_mu_;
   std::condition_variable bg_cv_;

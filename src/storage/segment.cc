@@ -1,12 +1,6 @@
 #include "storage/segment.h"
 
-#include <fcntl.h>
-#include <sys/mman.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include <cstring>
-#include <filesystem>
 #include <unordered_map>
 
 #include "common/failpoint.h"
@@ -19,9 +13,6 @@ namespace {
 
 constexpr uint32_t kSegmentMagic = 0x47534c4d;  // "MLSG"
 constexpr uint32_t kSegmentVersion = 1;
-// magic + version + body_len up front, body hash behind the body.
-constexpr size_t kPreludeSize = 4 + 4 + 8;
-constexpr size_t kTrailerSize = 8;
 
 // Raw little-endian-host loads/stores. The column buffers use memcpy'd host
 // integers (like FastHash64) rather than the serde byte-by-byte codec: the
@@ -268,47 +259,16 @@ StatusOr<std::string> Segment::Encode(const SchemaPtr& schema,
 
   std::string body = header.Release();
   for (const std::string& buf : col_bufs) body.append(buf);
-
-  Encoder out;
-  out.PutFixed32(kSegmentMagic);
-  out.PutFixed32(kSegmentVersion);
-  out.PutFixed64(body.size());
-  std::string blob = out.Release();
-  blob.append(body);
-  const uint64_t body_hash = HashBytes(body);
-  blob.append(reinterpret_cast<const char*>(&body_hash), 8);
-  return blob;
+  // HashBytes(body) with the default seed is Fnv1a64(body) — exactly the
+  // envelope trailer Seal writes, so the blob bytes are unchanged from the
+  // pre-BlockFile format.
+  return BlockFile::Seal(kSegmentMagic, kSegmentVersion, body);
 }
 
 Status Segment::Parse() {
-  if (data_.size() < kPreludeSize + kTrailerSize) {
-    return Status::Corruption("segment: blob shorter than prelude");
-  }
-  Decoder prelude(data_);
-  MLFS_ASSIGN_OR_RETURN(uint32_t magic, prelude.GetFixed32());
-  if (magic != kSegmentMagic) {
-    return Status::Corruption("segment: bad magic");
-  }
-  MLFS_ASSIGN_OR_RETURN(uint32_t version, prelude.GetFixed32());
-  if (version != kSegmentVersion) {
-    return Status::Corruption("segment: unsupported version " +
-                              std::to_string(version));
-  }
-  MLFS_ASSIGN_OR_RETURN(uint64_t body_len, prelude.GetFixed64());
-  if (data_.size() - kPreludeSize - kTrailerSize != body_len) {
-    return Status::Corruption("segment: body length mismatch (header says " +
-                              std::to_string(body_len) + ", blob holds " +
-                              std::to_string(data_.size() - kPreludeSize -
-                                             kTrailerSize) +
-                              ")");
-  }
-  const std::string_view body = data_.substr(kPreludeSize, body_len);
-  const uint64_t want_hash = LoadU64(reinterpret_cast<const unsigned char*>(
-      data_.data() + kPreludeSize + body_len));
-  if (HashBytes(body) != want_hash) {
-    return Status::Corruption("segment: body checksum mismatch");
-  }
-
+  // The envelope (magic, version, length, body checksum) was validated by
+  // the BlockFile factory; everything here is body-internal structure.
+  const std::string_view body = file_->body();
   Decoder dec(body);
   MLFS_ASSIGN_OR_RETURN(uint64_t pid_bits, dec.GetFixed64());
   partition_id_ = static_cast<int64_t>(pid_bits);
@@ -528,55 +488,47 @@ Status Segment::Parse() {
   return Status::OK();
 }
 
-StatusOr<std::shared_ptr<const Segment>> Segment::FromBytes(
-    std::string bytes) {
+StatusOr<std::shared_ptr<const Segment>> Segment::FromBlockFile(
+    BlockFilePtr file) {
   std::shared_ptr<Segment> seg(new Segment());
-  seg->bytes_ = std::move(bytes);
-  seg->data_ = seg->bytes_;
+  seg->file_ = std::move(file);
+  seg->data_ = seg->file_->data();
   MLFS_RETURN_IF_ERROR(seg->Parse());
   return std::shared_ptr<const Segment>(std::move(seg));
+}
+
+StatusOr<std::shared_ptr<const Segment>> Segment::FromBytes(
+    std::string bytes) {
+  MLFS_ASSIGN_OR_RETURN(BlockFilePtr file,
+                        BlockFile::FromBytes(kSegmentMagic, kSegmentVersion,
+                                             std::move(bytes), "segment"));
+  return FromBlockFile(std::move(file));
 }
 
 StatusOr<std::shared_ptr<const Segment>> Segment::FromFile(
     std::string path, bool remove_file_on_destroy) {
   MLFS_FAILPOINT("segment.open");
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    return Status::NotFound("cannot open segment file '" + path + "'");
-  }
-  struct stat st;
-  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
-    ::close(fd);
-    return Status::Corruption("cannot stat segment file '" + path + "'");
-  }
-  void* map = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
-                     MAP_PRIVATE, fd, 0);
-  ::close(fd);
-  if (map == MAP_FAILED) {
-    return Status::Internal("mmap failed for segment file '" + path + "'");
-  }
-  std::shared_ptr<Segment> seg(new Segment());
-  seg->map_data_ = map;
-  seg->map_len_ = static_cast<size_t>(st.st_size);
-  seg->path_ = std::move(path);
-  seg->remove_file_on_destroy_ = remove_file_on_destroy;
-  seg->data_ = std::string_view(static_cast<const char*>(map), seg->map_len_);
-  MLFS_RETURN_IF_ERROR(seg->Parse());
-  return std::shared_ptr<const Segment>(std::move(seg));
+  MLFS_ASSIGN_OR_RETURN(
+      BlockFilePtr file,
+      BlockFile::Map(kSegmentMagic, kSegmentVersion, std::move(path),
+                     remove_file_on_destroy, "segment"));
+  return FromBlockFile(std::move(file));
 }
 
-Segment::~Segment() {
-  if (map_data_ != nullptr) {
-    ::munmap(map_data_, map_len_);
-    if (remove_file_on_destroy_) {
-      std::error_code ec;
-      std::filesystem::remove(path_, ec);
-    }
-  }
+StatusOr<std::shared_ptr<const Segment>> Segment::SpillToFile(
+    const Segment& seg, std::string path, bool remove_file_on_destroy) {
+  // Same fault surface as FromFile: a spill ends in a (re)open, and the
+  // fault suite arms "segment.open" to fail that reopen.
+  MLFS_FAILPOINT("segment.open");
+  MLFS_ASSIGN_OR_RETURN(
+      BlockFilePtr file,
+      BlockFile::Spill(kSegmentMagic, kSegmentVersion, seg.encoded(),
+                       std::move(path), remove_file_on_destroy, "segment"));
+  return FromBlockFile(std::move(file));
 }
 
 size_t Segment::resident_bytes() const {
-  size_t total = spilled() ? 0 : bytes_.size();
+  size_t total = spilled() ? 0 : data_.size();
   for (const std::vector<Timestamp>& d : delta_cols_) {
     total += d.size() * sizeof(Timestamp);
   }

@@ -12,6 +12,7 @@
 #include "common/schema.h"
 #include "common/status.h"
 #include "common/timestamp.h"
+#include "io/block_file.h"
 
 namespace mlfs {
 
@@ -46,18 +47,19 @@ enum class ColumnEncoding : uint8_t {
 /// and live either resident in RAM or spilled as a memory-mapped file; the
 /// read path is identical in both tiers.
 ///
-/// Blob layout:
+/// Blob layout: the shared BlockFile envelope
 ///   [u32 magic][u32 version][u64 body_len][body][u64 body_hash]
 /// Body: header (partition id, entity/time column indices, schema, row
 /// count, min/max event time, per-column {encoding, hash, length}) followed
 /// by the concatenated column buffers. Every column buffer starts with a
 /// has-nulls byte and an optional null bitmap.
 ///
-/// FromBytes/FromFile validate *everything* up front — magic, length, body
-/// hash, per-column hashes, every structural invariant (offset fences,
-/// dictionary code ranges, varint stream termination) — so cell accessors
-/// can run without per-access bounds checks and a truncated or bit-flipped
-/// blob surfaces as a Status error, never UB.
+/// FromBytes/FromFile validate *everything* up front — the envelope
+/// (magic, length, body hash) through io/block_file, then per-column
+/// hashes and every structural invariant (offset fences, dictionary code
+/// ranges, varint stream termination) — so cell accessors can run without
+/// per-access bounds checks and a truncated or bit-flipped blob surfaces
+/// as a Status error, never UB.
 class Segment {
  public:
   /// Encodes `rows` (all conforming to `schema`, all in partition
@@ -78,7 +80,13 @@ class Segment {
   static StatusOr<std::shared_ptr<const Segment>> FromFile(
       std::string path, bool remove_file_on_destroy);
 
-  ~Segment();
+  /// Writes `seg`'s encoded blob to `path` (atomic write + mmap reopen
+  /// via BlockFile::Spill) and returns the file-backed twin serving the
+  /// same bytes. On failure no file is left behind and `seg` is
+  /// untouched — the caller simply keeps the resident segment.
+  static StatusOr<std::shared_ptr<const Segment>> SpillToFile(
+      const Segment& seg, std::string path, bool remove_file_on_destroy);
+
   Segment(const Segment&) = delete;
   Segment& operator=(const Segment&) = delete;
 
@@ -89,8 +97,8 @@ class Segment {
   int time_idx() const { return time_idx_; }
   Timestamp min_ts() const { return min_ts_; }
   Timestamp max_ts() const { return max_ts_; }
-  bool spilled() const { return map_data_ != nullptr; }
-  const std::string& path() const { return path_; }
+  bool spilled() const { return file_->mapped(); }
+  const std::string& path() const { return file_->path(); }
 
   /// The full encoded blob (resident buffer or file mapping) — what a
   /// spill writes to disk and what a table snapshot embeds.
@@ -122,6 +130,15 @@ class Segment {
   void LoadColumn(size_t col, std::span<const uint32_t> rows,
                   ColumnVector* out) const;
 
+  /// Readahead hook: asks the kernel for the spilled file's pages
+  /// (madvise WILLNEED) and faults them in — run off the serving thread
+  /// one segment ahead of the gather cursor. No-op when resident.
+  void PrefetchSpill() const {
+    if (!file_->mapped()) return;
+    file_->AdviseWillNeed(0, file_->size());
+    file_->TouchPages(0, file_->size());
+  }
+
  private:
   struct Column {
     ColumnEncoding enc = ColumnEncoding::kNullOnly;
@@ -140,21 +157,21 @@ class Segment {
 
   Segment() = default;
 
-  /// Parses `data_` (set by the factories), filling every member and
-  /// validating all invariants.
+  /// Wraps an envelope-validated BlockFile in a parsed segment.
+  static StatusOr<std::shared_ptr<const Segment>> FromBlockFile(
+      BlockFilePtr file);
+
+  /// Parses the body of `file_` (set by the factories), filling every
+  /// member and validating all invariants.
   Status Parse();
 
   bool NullBit(const Column& c, size_t row) const {
     return c.nulls != nullptr && (c.nulls[row >> 3] >> (row & 7)) & 1;
   }
 
-  // Backing storage: exactly one of bytes_ (resident) or map_data_
-  // (spilled mmap) is active; data_ views whichever it is.
-  std::string bytes_;
-  void* map_data_ = nullptr;
-  size_t map_len_ = 0;
-  std::string path_;
-  bool remove_file_on_destroy_ = false;
+  // Backing storage (resident blob or validated file mapping); data_
+  // views the full envelope.
+  BlockFilePtr file_;
   std::string_view data_;
 
   SchemaPtr schema_;

@@ -326,5 +326,138 @@ TEST_F(SegmentFaultTest, CorruptSnapshotSegmentRejected) {
   EXPECT_FALSE(restored.ok());
 }
 
+// --- Compaction policy + spilled-segment readahead ----------------------
+
+// Size-tiered maintenance merges only the run of similarly-sized segments
+// (the big segment is left alone), while explicit CompactPartitions()
+// still collapses everything; the rows themselves never change.
+TEST(CompactionPolicyTest, SizeTieredMergesPeersAndLeavesTheBigSegment) {
+  OfflineTableOptions options;
+  options.name = "size_tiered";
+  options.schema = AllEncodingsSchema();
+  options.entity_column = "key";
+  options.time_column = "event_time";
+  options.seal_rows = 512;  // Above any append: only SealHeads() seals.
+  options.compact_min_segments = 3;
+  options.compaction_policy = CompactionPolicy::kSizeTiered;
+  auto table = OfflineTable::Create(options).value();
+  const SchemaPtr& schema = table->options().schema;
+
+  // One big segment (a higher log2-size bucket than the small ones)...
+  ASSERT_TRUE(table->AppendBatch(AllEncodingsRows(schema, 256)).ok());
+  ASSERT_TRUE(table->SealHeads().ok());
+  // ...then a run of three small peers.
+  for (int s = 0; s < 3; ++s) {
+    ASSERT_TRUE(table->AppendBatch(AllEncodingsRows(schema, 8)).ok());
+    ASSERT_TRUE(table->SealHeads().ok());
+  }
+  ASSERT_EQ(table->storage_stats().sealed_segments, 4u);
+  const std::string before = RowsBytes(table->Scan());
+
+  ASSERT_TRUE(table->RunMaintenance().ok());
+  EXPECT_EQ(table->storage_stats().sealed_segments, 2u);
+  EXPECT_EQ(RowsBytes(table->Scan()), before);
+
+  // Two segments in different buckets: below compact_min_segments, so
+  // maintenance leaves them; the explicit full merge still works.
+  ASSERT_TRUE(table->RunMaintenance().ok());
+  EXPECT_EQ(table->storage_stats().sealed_segments, 2u);
+  ASSERT_TRUE(table->CompactPartitions().ok());
+  EXPECT_EQ(table->storage_stats().sealed_segments, 1u);
+  EXPECT_EQ(RowsBytes(table->Scan()), before);
+}
+
+// When every neighbor pair sits in a different bucket the policy must
+// still make progress (smallest adjacent pair) or partitions would
+// fragment forever under a steady small-seal workload.
+TEST(CompactionPolicyTest, SizeTieredFallsBackToSmallestAdjacentPair) {
+  OfflineTableOptions options;
+  options.name = "fallback";
+  options.schema = AllEncodingsSchema();
+  options.entity_column = "key";
+  options.time_column = "event_time";
+  options.seal_rows = 512;  // Above any append: only SealHeads() seals.
+  options.compact_min_segments = 2;
+  options.compaction_policy = CompactionPolicy::kSizeTiered;
+  auto table = OfflineTable::Create(options).value();
+  const SchemaPtr& schema = table->options().schema;
+
+  for (size_t rows : {256, 8}) {  // Two segments, two distinct buckets.
+    ASSERT_TRUE(table->AppendBatch(AllEncodingsRows(schema, rows)).ok());
+    ASSERT_TRUE(table->SealHeads().ok());
+  }
+  ASSERT_EQ(table->storage_stats().sealed_segments, 2u);
+  const std::string before = RowsBytes(table->Scan());
+  ASSERT_TRUE(table->RunMaintenance().ok());
+  EXPECT_EQ(table->storage_stats().sealed_segments, 1u);
+  EXPECT_EQ(RowsBytes(table->Scan()), before);
+}
+
+// AsOfBatch over spilled segments issues prefetches for the segments the
+// gather cursor will reach next; every prefetch completes before the call
+// returns and the answers match the unprefetched AsOf path.
+TEST(SpilledReadaheadTest, AsOfBatchPrefetchesSpilledSegments) {
+  const std::string spill_dir =
+      (std::filesystem::path(::testing::TempDir()) / "mlfs_ra_spill")
+          .string();
+  OfflineTableOptions options;
+  options.name = "readahead";
+  options.schema = AllEncodingsSchema();
+  options.entity_column = "key";
+  options.time_column = "event_time";
+  options.seal_rows = 512;  // Above any append: only SealHeads() seals.
+  options.compact_min_segments = 100;  // Keep the segments distinct.
+  options.memory_budget_bytes = 1;     // Spill everything.
+  options.spill_dir = spill_dir;
+  options.readahead.enabled = true;
+  options.readahead.max_in_flight = 2;
+  auto table = OfflineTable::Create(options).value();
+  const SchemaPtr& schema = table->options().schema;
+
+  // Three segments with disjoint key prefixes, so a key-sorted request
+  // batch walks them one after another — the readahead pipeline shape.
+  for (const char* prefix : {"a_", "b_", "c_"}) {
+    std::vector<Row> rows;
+    for (const Row& row : AllEncodingsRows(schema, 16)) {
+      std::vector<Value> values(row.values().begin(), row.values().end());
+      values[0] = Value::String(prefix + values[0].string_value());
+      rows.push_back(Row::Create(schema, values).value());
+    }
+    ASSERT_TRUE(table->AppendBatch(rows).ok());
+    ASSERT_TRUE(table->SealHeads().ok());
+  }
+  ASSERT_TRUE(table->RunMaintenance().ok());
+  ASSERT_EQ(table->storage_stats().spilled_segments, 3u);
+
+  std::vector<std::string> keys;
+  for (const char* prefix : {"a_", "b_", "c_"}) {
+    for (int k = 0; k < 7; ++k) {
+      keys.push_back(std::string(prefix) + "key_" + std::to_string(k));
+    }
+  }
+  std::vector<AsOfRequest> requests;
+  for (const std::string& key : keys) {
+    requests.push_back({key, Hours(24)});
+  }
+  std::vector<Row> results(requests.size());
+  ASSERT_TRUE(table->AsOfBatch(requests, results).ok());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto want = table->AsOf(Value::String(keys[i]), Hours(24));
+    ASSERT_TRUE(want.ok()) << keys[i];
+    ASSERT_NE(results[i].schema(), nullptr) << keys[i];
+    EXPECT_EQ(RowsBytes({results[i]}), RowsBytes({*want})) << keys[i];
+  }
+
+  const ReadaheadStats ra = table->storage_stats().readahead;
+  EXPECT_GE(ra.issued, 1u);
+  EXPECT_EQ(ra.issued, ra.completed);  // All consumed before returning.
+  EXPECT_GE(ra.hits, 1u);
+  EXPECT_EQ(ra.in_flight, 0u);
+
+  table.reset();
+  std::error_code ec;
+  std::filesystem::remove_all(spill_dir, ec);
+}
+
 }  // namespace
 }  // namespace mlfs

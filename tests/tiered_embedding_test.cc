@@ -51,12 +51,18 @@ class TieredEmbeddingTest : public ::testing::Test {
   }
 
   EmbeddingTierOptions TierOptions(size_t budget_bytes, int bits = 8,
-                                   size_t block_rows = 64) {
+                                   size_t block_rows = 64,
+                                   bool readahead = false) {
     EmbeddingTierOptions options;
     options.memory_budget_bytes = budget_bytes;
     options.bits = bits;
     options.block_rows = block_rows;
     options.dir = dir_;
+    if (readahead) {
+      options.readahead.enabled = true;
+      options.readahead.threads = 2;
+      options.readahead.max_in_flight = 4;
+    }
     return options;
   }
 
@@ -324,13 +330,46 @@ TEST_F(TieredEmbeddingTest, SupersededVersionsGoFullyCold) {
   EXPECT_EQ(stats.resident_tables, 1u);
 }
 
+TEST_F(TieredEmbeddingTest, SupersededBitsDemoteHistoryToCoarserPacking) {
+  const size_t n = 256, dim = 8;
+  EmbeddingTierPolicy policy;
+  policy.memory_budget_bytes = n * dim * sizeof(float);  // Fits one table.
+  policy.spill_dir = dir_;
+  policy.block_rows = 64;
+  policy.bits = 8;
+  policy.superseded_bits = 4;  // History packs twice as tight.
+  EmbeddingStore store(nullptr, policy);
+  ASSERT_TRUE(store.Register(ResidentTable("emb", n, dim, 1), Hours(1)).ok());
+  ASSERT_TRUE(store.Register(ResidentTable("emb", n, dim, 2), Hours(2)).ok());
+
+  // v1 was resident when superseded: demoted straight to 4-bit codes.
+  auto v1 = store.GetVersion("emb", 1).value();
+  ASSERT_TRUE(v1->tiered());
+  EXPECT_EQ(v1->tier()->bits(), 4);
+  EXPECT_EQ(v1->tier()->hot_limit_blocks(), 0u);
+  EXPECT_FALSE(store.GetVersion("emb", 2).value()->tiered());
+  // Coarser codes still serve every row.
+  for (size_t i = 0; i < n; i += 17) {
+    EXPECT_TRUE(v1->Get("k" + std::to_string(i)).ok());
+  }
+
+  // v2 becomes history in turn; v1, already tiered, keeps its packing
+  // (no second quantization pass).
+  ASSERT_TRUE(store.Register(ResidentTable("emb", n, dim, 3), Hours(3)).ok());
+  EXPECT_EQ(store.GetVersion("emb", 2).value()->tier()->bits(), 4);
+  EXPECT_EQ(store.GetVersion("emb", 1).value()->tier()->bits(), 4);
+}
+
 TEST_F(TieredEmbeddingTest, TieredBruteMatchesResidentBruteBitwise) {
   const size_t n = 500, dim = 12, block_rows = 64;
   auto source = ResidentTable("emb", n, dim);
   const size_t budget = 3 * block_rows * dim * sizeof(float);  // 3/8 hot.
-  auto tiered =
-      EmbeddingTable::CreateTiered(*source, TierOptions(budget, 8, block_rows))
-          .value();
+  // Readahead must be invisible to results: identical output whether cold
+  // blocks are prefetched asynchronously or dequantized inline.
+  for (bool readahead : {false, true}) {
+  auto tiered = EmbeddingTable::CreateTiered(
+                    *source, TierOptions(budget, 8, block_rows, readahead))
+                    .value();
   // The reference: a resident brute-force index over the *served* values.
   auto served = tiered->Materialize().value();
   auto queries = GaussianData(40, dim, 99);
@@ -362,6 +401,13 @@ TEST_F(TieredEmbeddingTest, TieredBruteMatchesResidentBruteBitwise) {
     }
     // Searching must not have grown the hot set (scan resistance).
     EXPECT_EQ(tiered->tier()->stats().hot_blocks, 3u);
+  }
+  if (readahead) {
+    const ReadaheadStats ra = tiered->tier()->stats().readahead;
+    EXPECT_GE(ra.issued, 1u);
+    EXPECT_EQ(ra.issued, ra.completed);
+    EXPECT_EQ(ra.in_flight, 0u);
+  }
   }
 }
 
@@ -406,6 +452,10 @@ TEST_F(TieredEmbeddingTest, FeatureStoreDifferentialAllHotVsHalfCold) {
   half_cold.embedding_tiering.bits = 16;
   half_cold.embedding_tiering.block_rows = 16;
   half_cold.embedding_tiering.spill_dir = dir_;
+  // Cold blocks are prefetched asynchronously; served values must not
+  // change (every assertion below compares against the resident store).
+  half_cold.embedding_tiering.readahead.enabled = true;
+  half_cold.embedding_tiering.readahead.threads = 2;
   FeatureStore tiered_store(half_cold);
   ASSERT_TRUE(tiered_store.RegisterEmbedding(table).ok());
   ASSERT_TRUE(
@@ -462,6 +512,15 @@ TEST_F(TieredEmbeddingTest, FeatureStoreDifferentialAllHotVsHalfCold) {
   const std::vector<float>& v0 = servings[0]->values[0].embedding_value();
   auto expect0 = tiered_store.GetEmbedding("emb", table->key(0)).value();
   EXPECT_EQ(v0, expect0);
+
+  // The serving layer surfaces the tier + readahead I/O counters: an
+  // operator reading server stats sees the cold path behind requests.
+  FeatureServerStats server_stats = tiered_store.server().stats();
+  EXPECT_EQ(server_stats.embedding_tiers.tiered_tables, 1u);
+  EXPECT_GE(server_stats.embedding_tiers.tier.scans, stats.tier.scans);
+  const ReadaheadStats& ra = server_stats.embedding_tiers.tier.readahead;
+  EXPECT_EQ(ra.in_flight, 0u);
+  EXPECT_EQ(ra.issued, ra.completed + ra.in_flight);
 }
 
 TEST_F(TieredEmbeddingTest, CheckpointRestoreServesByteIdentical) {
