@@ -258,6 +258,7 @@ void BM_AsOfBatchColdRead(benchmark::State& state) {
   std::vector<uint64_t> miss_bitmap;
   AsOfReadOptions options;
   options.miss_bitmap = &miss_bitmap;
+  options.readahead_depth = static_cast<size_t>(state.range(2));
   for (auto _ : state) {
     std::vector<Row> results(fixture.requests.size());
     MLFS_CHECK_OK(table->AsOfBatch(fixture.requests, results, options));
@@ -269,14 +270,19 @@ void BM_AsOfBatchColdRead(benchmark::State& state) {
   state.counters["ra_hits"] = static_cast<double>(ra.hits);
   state.counters["ra_wasted"] = static_cast<double>(ra.wasted);
 }
+// The depth axis only matters with readahead on (ra:1): depth N keeps N
+// spilled segments warming ahead of the gather cursor instead of one.
 BENCHMARK(BM_AsOfBatchColdRead)
-    ->ArgNames({"budget_pct", "ra"})
-    ->Args({10, 0})
-    ->Args({10, 1})
-    ->Args({25, 0})
-    ->Args({25, 1})
-    ->Args({50, 0})
-    ->Args({50, 1})
+    ->ArgNames({"budget_pct", "ra", "depth"})
+    ->Args({10, 0, 1})
+    ->Args({10, 1, 1})
+    ->Args({10, 1, 4})
+    ->Args({25, 0, 1})
+    ->Args({25, 1, 1})
+    ->Args({25, 1, 4})
+    ->Args({50, 0, 1})
+    ->Args({50, 1, 1})
+    ->Args({50, 1, 4})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -18,7 +18,8 @@ FeatureStore::FeatureStore(FeatureStoreOptions options)
       orchestrator_(&registry_, &materializer_),
       embedding_store_(&lineage_, options_.embedding_tiering),
       model_registry_(&lineage_),
-      server_(&online_, options_.serving, &embedding_store_, &lineage_) {
+      server_(&online_, options_.serving, &embedding_store_, &lineage_,
+              &registry_) {
   // Surface every staleness fan-out on the alert bus. Routine supersedes
   // (a new version landed) are informational; deprecations and drift mean
   // downstream consumers are actively at risk.
@@ -45,6 +46,30 @@ Status FeatureStore::Ingest(const std::string& table,
   MLFS_ASSIGN_OR_RETURN(OfflineTable* offline_table, offline_.GetTable(table));
   MLFS_RETURN_IF_ERROR(offline_table->AppendBatch(rows));
   clock_.AdvanceTo(offline_table->max_event_time());
+  // Mirror each entity's latest raw row into the online store (full
+  // source schema, keyed by the table's entity column) so the server can
+  // evaluate registered features at request time over exactly the inputs
+  // the materializer would read. Event-time LWW with write order breaking
+  // ties matches the offline side's latest-ordinal-wins, so the mirror
+  // always holds the row EvalLatestPerEntityAsOf(now) would pick.
+  const OfflineTableOptions& opts = offline_table->options();
+  const int entity_idx = opts.schema->FieldIndex(opts.entity_column);
+  const int time_idx = opts.schema->FieldIndex(opts.time_column);
+  if (entity_idx < 0 || time_idx < 0) return Status::OK();
+  const std::string mirror = SourceMirrorViewName(table);
+  if (!online_.HasView(mirror)) {
+    MLFS_RETURN_IF_ERROR(online_.CreateView(mirror, opts.schema));
+    (void)lineage_.AddEdge(ViewArtifact(mirror), EdgeKind::kMaterializes,
+                           TableArtifact(table));
+  }
+  const Timestamp now = clock_.now();
+  for (const Row& row : rows) {
+    const Value& key = row.value(static_cast<size_t>(entity_idx));
+    const Value& ts = row.value(static_cast<size_t>(time_idx));
+    if (key.is_null() || ts.is_null()) continue;
+    MLFS_RETURN_IF_ERROR(
+        online_.Put(mirror, key, row, ts.time_value(), now));
+  }
   return Status::OK();
 }
 

@@ -9,6 +9,7 @@
 #include "common/timestamp.h"
 #include "expr/evaluator.h"
 #include "expr/fn_runtime.h"
+#include "expr/simd_kernels.h"
 
 namespace mlfs {
 
@@ -612,6 +613,23 @@ inline void NullCell(ColumnVector* out, size_t r) {
   }
 }
 
+inline vmsimd::CmpPred CmpPredOf(BinaryOp bop) {
+  switch (bop) {
+    case BinaryOp::kEq:
+      return vmsimd::CmpPred::kEq;
+    case BinaryOp::kNe:
+      return vmsimd::CmpPred::kNe;
+    case BinaryOp::kLt:
+      return vmsimd::CmpPred::kLt;
+    case BinaryOp::kLe:
+      return vmsimd::CmpPred::kLe;
+    case BinaryOp::kGt:
+      return vmsimd::CmpPred::kGt;
+    default:
+      return vmsimd::CmpPred::kGe;
+  }
+}
+
 // Copies the (non-NULL) payload of src[r] into out[r]; `t` is out's type.
 inline void CopyCell(FeatureType t, const ColumnVector& src, size_t r,
                      ColumnVector* out) {
@@ -752,10 +770,11 @@ Status Program::EvalBatch(const BatchSource& src, ExprScratch* scratch,
         const int64_t* y = B.i64();
         int64_t* o = out.i64();
         if (ins.kernel == VecKernel::kAddI64) {
-          for (size_t i = 0; i < n; ++i) o[i] = WrapAdd(x[i], y[i]);
+          vmsimd::add_i64(x, y, o, n);
         } else if (ins.kernel == VecKernel::kSubI64) {
-          for (size_t i = 0; i < n; ++i) o[i] = WrapSub(x[i], y[i]);
+          vmsimd::sub_i64(x, y, o, n);
         } else {
+          // No 64-bit vector multiply below AVX-512; the scalar loop it is.
           for (size_t i = 0; i < n; ++i) o[i] = WrapMul(x[i], y[i]);
         }
         break;
@@ -769,28 +788,20 @@ Status Program::EvalBatch(const BatchSource& src, ExprScratch* scratch,
         const double* y = B.f64();
         double* o = out.f64();
         if (ins.kernel == VecKernel::kAddF64) {
-          for (size_t i = 0; i < n; ++i) o[i] = x[i] + y[i];
+          vmsimd::add_f64(x, y, o, n);
         } else if (ins.kernel == VecKernel::kSubF64) {
-          for (size_t i = 0; i < n; ++i) o[i] = x[i] - y[i];
+          vmsimd::sub_f64(x, y, o, n);
         } else {
-          for (size_t i = 0; i < n; ++i) o[i] = x[i] * y[i];
+          vmsimd::mul_f64(x, y, o, n);
         }
         break;
       }
       case VecKernel::kDivF64: {
         out.Reset(FeatureType::kDouble, n);
         out.OrNullWords(A, B);
-        const double* x = A.f64();
-        const double* y = B.f64();
-        double* o = out.f64();
-        for (size_t i = 0; i < n; ++i) {
-          if (y[i] == 0.0) {
-            o[i] = 0.0;
-            out.SetNull(i);  // SQL-style: x/0 is NULL
-          } else {
-            o[i] = x[i] / y[i];
-          }
-        }
+        // SQL-style x/0 -> NULL: the kernel blends 0.0 into zero-divisor
+        // lanes and sets their null bits directly.
+        vmsimd::div_f64(A.f64(), B.f64(), out.f64(), out.null_words(), n);
         break;
       }
       case VecKernel::kModI64: {
@@ -815,30 +826,13 @@ Status Program::EvalBatch(const BatchSource& src, ExprScratch* scratch,
       case VecKernel::kCmpTs: {
         out.Reset(FeatureType::kBool, n);
         out.OrNullWords(A, B);
-        uint8_t* o = out.b8();
-        auto run = [&](const auto* x, const auto* y) {
-          // (x < y) ? -1 : (x > y) ? 1 : 0 — identical to the scalar
-          // runtime, including NaN comparing "equal".
-          auto loop = [&](auto pred) {
-            for (size_t i = 0; i < n; ++i) {
-              int c = (x[i] < y[i]) ? -1 : (x[i] > y[i]) ? 1 : 0;
-              o[i] = pred(c);
-            }
-          };
-          switch (ins.bop) {
-            case BinaryOp::kEq: loop([](int c) { return uint8_t(c == 0); }); break;
-            case BinaryOp::kNe: loop([](int c) { return uint8_t(c != 0); }); break;
-            case BinaryOp::kLt: loop([](int c) { return uint8_t(c < 0); }); break;
-            case BinaryOp::kLe: loop([](int c) { return uint8_t(c <= 0); }); break;
-            case BinaryOp::kGt: loop([](int c) { return uint8_t(c > 0); }); break;
-            case BinaryOp::kGe: loop([](int c) { return uint8_t(c >= 0); }); break;
-            default: break;
-          }
-        };
+        // The dispatched kernels reproduce the scalar runtime's three-way
+        // compare, including NaN comparing "equal".
+        const vmsimd::CmpPred pred = CmpPredOf(ins.bop);
         if (ins.kernel == VecKernel::kCmpF64) {
-          run(A.f64(), B.f64());
+          vmsimd::cmp_f64(pred, A.f64(), B.f64(), out.b8(), n);
         } else {
-          run(A.i64(), B.i64());
+          vmsimd::cmp_i64(pred, A.i64(), B.i64(), out.b8(), n);
         }
         break;
       }
@@ -846,20 +840,58 @@ Status Program::EvalBatch(const BatchSource& src, ExprScratch* scratch,
         out.Reset(FeatureType::kBool, n);
         out.OrNullWords(A, B);
         uint8_t* o = out.b8();
-        for (size_t i = 0; i < n; ++i) {
-          int cr = A.StringAt(i).compare(B.StringAt(i));
-          int c = (cr < 0) ? -1 : (cr > 0) ? 1 : 0;
-          bool v = false;
+        auto cmp_byte = [&ins](int cr) -> uint8_t {
+          const int c = (cr < 0) ? -1 : (cr > 0) ? 1 : 0;
           switch (ins.bop) {
-            case BinaryOp::kEq: v = c == 0; break;
-            case BinaryOp::kNe: v = c != 0; break;
-            case BinaryOp::kLt: v = c < 0; break;
-            case BinaryOp::kLe: v = c <= 0; break;
-            case BinaryOp::kGt: v = c > 0; break;
-            case BinaryOp::kGe: v = c >= 0; break;
-            default: break;
+            case BinaryOp::kEq: return c == 0;
+            case BinaryOp::kNe: return c != 0;
+            case BinaryOp::kLt: return c < 0;
+            case BinaryOp::kLe: return c <= 0;
+            case BinaryOp::kGt: return c > 0;
+            case BinaryOp::kGe: return c >= 0;
+            default: return 0;
           }
-          o[i] = v;
+        };
+        // Dictionary-aware fast path: when one operand is a dictionary
+        // view (a sealed segment's string column) and the other a string
+        // constant, decide the comparison once per distinct dictionary
+        // code into a code->0/1 table and reduce per-row work to a table
+        // gather. The table is rebuilt per EvalBatch call (dict_count
+        // compares per <=1024-row batch) rather than cached across calls:
+        // a freed segment's buffers can be reused at the same address, so
+        // a pointer-keyed cache could silently go stale.
+        const ColumnVector* dict = nullptr;
+        bool dict_is_lhs = false;
+        if (!scratch->disable_dict_fastpath_) {
+          if (A.is_dictionary() && instrs_[ins.b].kind == OpKind::kLoadConst &&
+              B.type() == FeatureType::kString && !B.is_variant()) {
+            dict = &A;
+            dict_is_lhs = true;
+          } else if (B.is_dictionary() &&
+                     instrs_[ins.a].kind == OpKind::kLoadConst &&
+                     A.type() == FeatureType::kString && !A.is_variant()) {
+            dict = &B;
+          }
+        }
+        // An empty dictionary means every row is NULL (codes all 0 with no
+        // table entry to index); the per-row path handles it via the
+        // DictString bounds guard.
+        if (dict != nullptr && dict->dict_count() > 0 && n > 0) {
+          const std::string_view cv =
+              dict_is_lhs ? B.StringAt(0) : A.StringAt(0);
+          std::vector<uint8_t>& table = scratch->dict_table_;
+          table.resize(dict->dict_count());
+          for (uint32_t code = 0; code < dict->dict_count(); ++code) {
+            const std::string_view ds = dict->DictString(code);
+            table[code] =
+                cmp_byte(dict_is_lhs ? ds.compare(cv) : cv.compare(ds));
+          }
+          const uint32_t* codes = dict->codes();
+          for (size_t i = 0; i < n; ++i) o[i] = table[codes[i]];
+          break;
+        }
+        for (size_t i = 0; i < n; ++i) {
+          o[i] = cmp_byte(A.StringAt(i).compare(B.StringAt(i)));
         }
         break;
       }

@@ -126,12 +126,19 @@ class ExprScratch {
   ExprScratch(const ExprScratch&) = delete;
   ExprScratch& operator=(const ExprScratch&) = delete;
 
+  /// Forces string comparisons against dictionary-coded columns down the
+  /// per-row path even when the once-per-distinct-code table would apply.
+  /// Only benchmarks and differential tests set this.
+  void set_disable_dict_fastpath(bool v) { disable_dict_fastpath_ = v; }
+
  private:
   friend class Program;
   const void* program_ = nullptr;
   std::vector<ColumnVector> regs_;
   std::vector<Value> slots_;
   std::vector<Value> call_args_;
+  std::vector<uint8_t> dict_table_;  // code -> comparison result, reused
+  bool disable_dict_fastpath_ = false;
 };
 
 /// A type-checked expression lowered to flat register bytecode, executable

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "expr/simd_kernels.h"
+
 namespace mlfs {
 
 namespace {
@@ -12,6 +14,10 @@ void ColumnVector::Reset(FeatureType type, size_t n) {
   type_ = type;
   variant_ = false;
   n_ = n;
+  codes_.clear();
+  dict_count_ = 0;
+  dict_offsets_ = nullptr;
+  dict_blob_ = nullptr;
   nulls_.assign(NullWords(n),
                 type == FeatureType::kNull ? ~uint64_t{0} : uint64_t{0});
   i64_.clear();
@@ -52,12 +58,28 @@ void ColumnVector::ResetVariant(size_t n) {
   values_.assign(n, Value::Null());
 }
 
+void ColumnVector::ResetDictionary(size_t n, uint32_t dict_count,
+                                   const unsigned char* dict_offsets,
+                                   const unsigned char* dict_blob) {
+  Reset(FeatureType::kString, n);
+  codes_.assign(n, 0);
+  dict_count_ = dict_count;
+  dict_offsets_ = dict_offsets;
+  dict_blob_ = dict_blob;
+}
+
+std::string_view ColumnVector::DictString(uint32_t code) const {
+  if (code >= dict_count_) return std::string_view();
+  uint32_t beg, end;
+  std::memcpy(&beg, dict_offsets_ + 4 * code, 4);
+  std::memcpy(&end, dict_offsets_ + 4 * (code + 1), 4);
+  return std::string_view(reinterpret_cast<const char*>(dict_blob_) + beg,
+                          end - beg);
+}
+
 void ColumnVector::OrNullWords(const ColumnVector& a, const ColumnVector& b) {
-  const size_t words = nulls_.size();
-  const uint64_t* wa = a.nulls_.data();
-  const uint64_t* wb = b.nulls_.data();
-  uint64_t* out = nulls_.data();
-  for (size_t i = 0; i < words; ++i) out[i] = wa[i] | wb[i];
+  vmsimd::or_words(a.nulls_.data(), b.nulls_.data(), nulls_.data(),
+                   nulls_.size());
 }
 
 void ColumnVector::CopyNullWords(const ColumnVector& a) {

@@ -48,6 +48,19 @@ class ColumnVector {
   /// Resets to `n` NULL `Value` cells of dynamic per-row type.
   void ResetVariant(size_t n);
 
+  /// Resets to an `n`-row dictionary-coded STRING view: per-row u32 codes
+  /// (owned; fill via codes()) indexing a *borrowed* dictionary of
+  /// `dict_count` strings laid out as a flat char blob plus `dict_count+1`
+  /// little-endian u32 offsets — exactly a sealed segment's dictionary
+  /// buffers, so loading a dictionary column copies 4 bytes per row
+  /// instead of every string. The dictionary must outlive every read of
+  /// this vector (segments are pinned for the duration of a scan); any
+  /// Reset drops the view. StringAt stays transparent, and the VM's
+  /// string-predicate kernel evaluates once per code instead of per row.
+  void ResetDictionary(size_t n, uint32_t dict_count,
+                       const unsigned char* dict_offsets,
+                       const unsigned char* dict_blob);
+
   FeatureType type() const { return type_; }
   bool is_variant() const { return variant_; }
   size_t size() const { return n_; }
@@ -87,9 +100,20 @@ class ColumnVector {
   void AppendNullCell();
 
   std::string_view StringAt(size_t row) const {
+    if (dict_offsets_ != nullptr) return DictString(codes_[row]);
     return std::string_view(str_blob_.data() + str_offsets_[row],
                             str_offsets_[row + 1] - str_offsets_[row]);
   }
+
+  // --- Dictionary view -----------------------------------------------------
+  bool is_dictionary() const { return dict_offsets_ != nullptr; }
+  uint32_t dict_count() const { return dict_count_; }
+  uint32_t* codes() { return codes_.data(); }
+  const uint32_t* codes() const { return codes_.data(); }
+  /// Dictionary entry `code`. NULL rows of a segment column carry code 0,
+  /// so an all-NULL column (empty dictionary) reads as "" rather than
+  /// indexing past the dictionary.
+  std::string_view DictString(uint32_t code) const;
   std::span<const float> EmbeddingAt(size_t row) const {
     return std::span<const float>(emb_blob_.data() + emb_fences_[row],
                                   emb_fences_[row + 1] - emb_fences_[row]);
@@ -121,6 +145,11 @@ class ColumnVector {
   std::vector<uint8_t> b8_;
   std::vector<char> str_blob_;
   std::vector<uint32_t> str_offsets_;  // n+1 once fully appended
+  // Dictionary view (is_dictionary()): owned codes, borrowed dictionary.
+  std::vector<uint32_t> codes_;
+  uint32_t dict_count_ = 0;
+  const unsigned char* dict_offsets_ = nullptr;  // dict_count+1 LE u32s.
+  const unsigned char* dict_blob_ = nullptr;
   std::vector<float> emb_blob_;
   std::vector<uint64_t> emb_fences_;  // n+1 once fully appended
   std::vector<Value> values_;

@@ -41,6 +41,10 @@ struct RegisteredFeature {
   FeatureType output_type = FeatureType::kNull;
   /// Source columns the expression references (lineage).
   std::vector<std::string> input_columns;
+  /// The source table's entity/time columns, captured at publish time so
+  /// serving-time evaluation can locate the inputs without the table.
+  std::string source_entity_column;
+  std::string source_time_column;
   bool deprecated = false;
 
   /// "name@vN".
@@ -48,6 +52,13 @@ struct RegisteredFeature {
     return FormatVersionedRef(def.name, version);
   }
 };
+
+/// Online view mirroring the latest row of offline table `table`, written
+/// by FeatureStore::Ingest and read by the serving-time computed-feature
+/// path. The "~" prefix keeps it out of the user view namespace.
+inline std::string SourceMirrorViewName(const std::string& table) {
+  return "~src/" + table;
+}
 
 }  // namespace mlfs
 

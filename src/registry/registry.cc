@@ -47,6 +47,8 @@ StatusOr<int> FeatureRegistry::Publish(const FeatureDefinition& def,
   reg.registered_at = now;
   reg.output_type = output_type;
   reg.input_columns = expr->ReferencedColumns();
+  reg.source_entity_column = table->options().entity_column;
+  reg.source_time_column = table->options().time_column;
 
   int version = 0;
   {
@@ -200,6 +202,8 @@ std::string FeatureRegistry::Snapshot() const {
       enc.PutU8(static_cast<uint8_t>(reg.output_type));
       enc.PutVarint64(reg.input_columns.size());
       for (const auto& column : reg.input_columns) enc.PutString(column);
+      enc.PutString(reg.source_entity_column);
+      enc.PutString(reg.source_time_column);
       enc.PutU8(reg.deprecated ? 1 : 0);
     }
   }
@@ -243,6 +247,8 @@ Status FeatureRegistry::Restore(std::string_view snapshot) {
       MLFS_ASSIGN_OR_RETURN(std::string column, dec.GetString());
       reg.input_columns.push_back(std::move(column));
     }
+    MLFS_ASSIGN_OR_RETURN(reg.source_entity_column, dec.GetString());
+    MLFS_ASSIGN_OR_RETURN(reg.source_time_column, dec.GetString());
     MLFS_ASSIGN_OR_RETURN(uint8_t deprecated, dec.GetU8());
     reg.deprecated = deprecated != 0;
     features_[reg.def.name].push_back(std::move(reg));

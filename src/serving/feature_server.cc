@@ -6,6 +6,9 @@
 
 #include "common/failpoint.h"
 #include "common/threadpool.h"
+#include "expr/bytecode.h"
+#include "expr/parser.h"
+#include "registry/registry.h"
 
 namespace mlfs {
 namespace {
@@ -44,10 +47,12 @@ size_t ThreadStripeSeed() {
 FeatureServer::FeatureServer(const OnlineStore* store,
                              FeatureServerOptions options,
                              const EmbeddingStore* embeddings,
-                             const LineageGraph* lineage)
+                             const LineageGraph* lineage,
+                             const FeatureRegistry* registry)
     : store_(store),
       embeddings_(embeddings),
       lineage_(lineage),
+      registry_(registry),
       options_(options),
       metrics_(kMetricsStripes) {
   if (options_.batch_parallelism > 1) {
@@ -64,16 +69,59 @@ EmbeddingTablePtr FeatureServer::ResolveEmbeddingFeature(
   return table.ok() ? *table : nullptr;
 }
 
-std::string FeatureServer::StaleNote(const std::string& feature,
-                                     const EmbeddingTablePtr& table) const {
+std::string FeatureServer::StaleNoteArtifact(const std::string& feature,
+                                             const ArtifactId& artifact) const {
   if (lineage_ == nullptr) return "";
-  const ArtifactId artifact =
-      table != nullptr ? EmbeddingArtifact(table->metadata().name,
-                                           table->metadata().version)
-                       : ViewArtifact(feature);
   std::optional<StalenessInfo> info = lineage_->StalenessOf(artifact);
   if (!info.has_value()) return "";
   return feature + ": " + info->ToString();
+}
+
+std::string FeatureServer::StaleNote(const std::string& feature,
+                                     const EmbeddingTablePtr& table) const {
+  return StaleNoteArtifact(
+      feature, table != nullptr ? EmbeddingArtifact(table->metadata().name,
+                                                    table->metadata().version)
+                                : ViewArtifact(feature));
+}
+
+std::optional<FeatureServer::ComputedFeature>
+FeatureServer::ResolveComputedFeature(const std::string& feature) const {
+  // Materialized views and embeddings win, preserving their pre-registry
+  // serving behavior; request-time evaluation only backs names that
+  // nothing else serves.
+  if (registry_ == nullptr || store_->HasView(feature)) return std::nullopt;
+  if (ResolveEmbeddingFeature(feature) != nullptr) return std::nullopt;
+  StatusOr<RegisteredFeature> reg = registry_->Get(feature);
+  if (!reg.ok()) return std::nullopt;
+  ComputedFeature out;
+  out.reg = std::move(*reg);
+  out.mirror_view = SourceMirrorViewName(out.reg.def.source_table);
+  out.program = CompiledProgramFor(out.reg);
+  return out;
+}
+
+std::shared_ptr<const Program> FeatureServer::CompiledProgramFor(
+    const RegisteredFeature& reg) const {
+  const std::string key = reg.VersionedName();
+  {
+    std::lock_guard lock(compile_mu_);
+    auto it = compile_cache_.find(key);
+    if (it != compile_cache_.end()) return it->second;
+  }
+  // The mirror view carries the source table's full schema; until the
+  // first ingest creates it there is nothing to evaluate against (every
+  // entity would miss anyway), so failure is not cached.
+  StatusOr<SchemaPtr> schema =
+      store_->ViewSchema(SourceMirrorViewName(reg.def.source_table));
+  if (!schema.ok()) return nullptr;
+  StatusOr<ExprPtr> expr = ParseExpr(reg.def.expression);
+  if (!expr.ok()) return nullptr;
+  StatusOr<std::shared_ptr<const Program>> program =
+      Program::Lower(**expr, *schema);
+  if (!program.ok()) return nullptr;
+  std::lock_guard lock(compile_mu_);
+  return compile_cache_.emplace(key, std::move(*program)).first->second;
 }
 
 FeatureServer::~FeatureServer() = default;
@@ -121,6 +169,59 @@ StatusOr<FeatureVector> FeatureServer::GetFeatures(
           Value::Embedding(std::vector<float>(vec, vec + table->dim())));
       out.oldest_event_time =
           std::min(out.oldest_event_time, table->metadata().created_at);
+      continue;
+    }
+    if (std::optional<ComputedFeature> comp = ResolveComputedFeature(feature)) {
+      if (std::string note = StaleNoteArtifact(
+              feature, FeatureArtifact(comp->reg.def.name, comp->reg.version));
+          !note.empty()) {
+        out.stale.push_back(std::move(note));
+      }
+      StatusOr<Row> row =
+          comp->program != nullptr
+              ? store_->Get(comp->mirror_view, entity_key, now)
+              : StatusOr<Row>(Status::NotFound("no source rows ingested for '" +
+                                               comp->reg.def.source_table +
+                                               "'"));
+      for (uint32_t attempt = 1;
+           !row.ok() && IsTransient(row.status()) && attempt < max_attempts;
+           ++attempt) {
+        if (options_.initial_backoff_micros > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              options_.initial_backoff_micros << (attempt - 1)));
+        }
+        ++retries;
+        row = store_->Get(comp->mirror_view, entity_key, now);
+      }
+      bool transient = false;
+      StatusOr<Value> value = [&]() -> StatusOr<Value> {
+        if (!row.ok()) {
+          transient = IsTransient(row.status());
+          return row.status();
+        }
+        ExprScratch scratch;
+        return comp->program->EvalRow(*row, &scratch);
+      }();
+      if (!value.ok()) {
+        if (options_.missing_policy == MissingFeaturePolicy::kError) {
+          retries_.fetch_add(retries, std::memory_order_relaxed);
+          return Status::NotFound("feature '" + feature +
+                                  "' unavailable: " + value.status().message());
+        }
+        out.values.push_back(Value::Null());
+        ++out.missing;
+        if (transient) ++out.degraded;  // Retries exhausted, not a miss.
+        continue;
+      }
+      // A NULL result of a live evaluation is the feature's value, not a
+      // miss — exactly what the materializer would have logged.
+      out.values.push_back(std::move(*value));
+      const int time_idx =
+          row->schema()->FieldIndex(comp->reg.source_time_column);
+      if (time_idx >= 0) {
+        out.oldest_event_time =
+            std::min(out.oldest_event_time, row->value(time_idx).time_value());
+      }
       continue;
     }
     if (std::string note = StaleNote(feature, nullptr); !note.empty()) {
@@ -204,7 +305,103 @@ std::vector<StatusOr<FeatureVector>> FeatureServer::GetFeaturesBatch(
   std::vector<EmbeddingColumn> emb_columns(num_views);
   // Per-view staleness annotation, shared by every entity in the batch.
   std::vector<std::string> stale_notes(num_views);
+
+  // Serving-time computed features: registered definitions with no
+  // materialized view evaluate here, over each entity's latest raw source
+  // row. One shard-grouped mirror-view MultiGet per distinct source table
+  // (shared across computed features of that table), then one vectorized
+  // EvalBatch per feature over the rows found. Mirror fetches and
+  // evaluation run before the parallel view stage.
+  struct ComputedColumn {
+    std::optional<ComputedFeature> comp;
+    std::vector<StatusOr<Value>> cells;  // Per entity: value or status.
+    std::vector<Timestamp> event_times;  // kMaxTimestamp where not found.
+  };
+  std::vector<ComputedColumn> computed(num_views);
+  std::unordered_map<std::string, std::vector<StatusOr<Row>>> mirror_columns;
+  if (registry_ != nullptr) {
+    for (size_t j = 0; j < num_views; ++j) {
+      computed[j].comp = ResolveComputedFeature(features[j]);
+      if (!computed[j].comp.has_value()) continue;
+      stale_notes[j] = StaleNoteArtifact(
+          features[j], FeatureArtifact(computed[j].comp->reg.def.name,
+                                       computed[j].comp->reg.version));
+      if (computed[j].comp->program != nullptr) {
+        mirror_columns.try_emplace(computed[j].comp->mirror_view);
+      }
+    }
+    for (auto& [view, column] : mirror_columns) {
+      column = store_->MultiGet(view, entity_keys, now);
+      uint64_t retries = 0;
+      for (size_t i = 0; i < n; ++i) {
+        StatusOr<Row>& cell = column[i];
+        for (uint32_t attempt = 1; !cell.ok() && IsTransient(cell.status()) &&
+                                   attempt < max_attempts;
+             ++attempt) {
+          if (options_.initial_backoff_micros > 0) {
+            std::this_thread::sleep_for(std::chrono::microseconds(
+                options_.initial_backoff_micros << (attempt - 1)));
+          }
+          ++retries;
+          cell = store_->Get(view, entity_keys[i], now);
+        }
+      }
+      if (retries) retries_.fetch_add(retries, std::memory_order_relaxed);
+    }
+    for (size_t j = 0; j < num_views; ++j) {
+      ComputedColumn& cc = computed[j];
+      if (!cc.comp.has_value()) continue;
+      const Program* program = cc.comp->program.get();
+      cc.cells.assign(
+          n, StatusOr<Value>(Status::NotFound(
+                 "no source rows ingested for '" +
+                 cc.comp->reg.def.source_table + "'")));
+      cc.event_times.assign(n, kMaxTimestamp);
+      if (program == nullptr) continue;  // Mirror view does not exist yet.
+      const std::vector<StatusOr<Row>>& mirror =
+          mirror_columns[cc.comp->mirror_view];
+      std::vector<const Row*> rows;
+      std::vector<size_t> row_index;
+      rows.reserve(n);
+      row_index.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        if (!mirror[i].ok()) {
+          cc.cells[i] = mirror[i].status();
+          continue;
+        }
+        rows.push_back(&*mirror[i]);
+        row_index.push_back(i);
+      }
+      if (rows.empty()) continue;
+      ExprScratch scratch;
+      RowPtrBatchSource batch_src(program->schema(), rows);
+      const ColumnVector* res = nullptr;
+      if (Status batch = program->EvalBatch(batch_src, &scratch, &res);
+          batch.ok()) {
+        for (size_t k = 0; k < rows.size(); ++k) {
+          cc.cells[row_index[k]] = res->GetValue(k);
+        }
+      } else {
+        // One failing row poisons the whole batch result; re-run the
+        // found rows one at a time so each entity carries its own status
+        // (bit-identical — EvalBatch reports what EvalRow would).
+        for (size_t k = 0; k < rows.size(); ++k) {
+          cc.cells[row_index[k]] = program->EvalRow(*rows[k], &scratch);
+        }
+      }
+      const int time_idx = program->schema()->FieldIndex(
+          cc.comp->reg.source_time_column);
+      if (time_idx >= 0) {
+        for (size_t k = 0; k < rows.size(); ++k) {
+          cc.event_times[row_index[k]] =
+              rows[k]->value(time_idx).time_value();
+        }
+      }
+    }
+  }
+
   auto fetch_view = [&](size_t j) {
+    if (computed[j].comp.has_value()) return;  // Evaluated above.
     if (EmbeddingTablePtr table = ResolveEmbeddingFeature(features[j])) {
       EmbeddingColumn& emb = emb_columns[j];
       emb.table = std::move(table);
@@ -303,6 +500,27 @@ std::vector<StatusOr<FeatureVector>> FeatureServer::GetFeaturesBatch(
             std::vector<float>(vec, vec + emb.table->dim())));
         fv.oldest_event_time = std::min(fv.oldest_event_time,
                                         emb.table->metadata().created_at);
+        continue;
+      }
+      if (computed[j].comp.has_value()) {
+        const StatusOr<Value>& cell = computed[j].cells[i];
+        if (!cell.ok()) {
+          const bool transient = IsTransient(cell.status());
+          if (options_.missing_policy == MissingFeaturePolicy::kError) {
+            entity_error =
+                Status::NotFound("feature '" + features[j] +
+                                 "' unavailable: " + cell.status().message());
+            break;
+          }
+          fv.values.push_back(Value::Null());
+          ++fv.missing;
+          if (transient) ++fv.degraded;
+          continue;
+        }
+        // A NULL evaluation result is the feature's value, not a miss.
+        fv.values.push_back(*cell);
+        fv.oldest_event_time =
+            std::min(fv.oldest_event_time, computed[j].event_times[i]);
         continue;
       }
       const StatusOr<Row>& cell = columns[j][i];

@@ -4,7 +4,9 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/histogram.h"
@@ -12,10 +14,13 @@
 #include "common/status.h"
 #include "embedding/embedding_store.h"
 #include "lineage/lineage_graph.h"
+#include "registry/feature_def.h"
 #include "storage/online_store.h"
 
 namespace mlfs {
 
+class FeatureRegistry;  // registry/registry.h
+class Program;          // expr/bytecode.h
 class ThreadPool;
 
 /// What Get does when a requested feature has no live online value.
@@ -98,6 +103,22 @@ struct FeatureVector {
 /// online store first. Entity keys must be strings for embedding
 /// hydration (embedding tables key by string); other key types miss.
 ///
+/// When constructed with a FeatureRegistry, a requested feature that is
+/// neither an online view nor an embedding but *is* registered evaluates
+/// its definition at request time: the server fetches each entity's
+/// latest raw source row from the table's mirror view (written by
+/// FeatureStore::Ingest; see SourceMirrorViewName) with the same
+/// shard-grouped MultiGet the view path uses, then runs the published
+/// expression through the bytecode VM vector-at-a-time over the found
+/// rows. Programs are compiled once per definition version and cached;
+/// mirror fetches for computed features sharing a source table are
+/// issued once per table per batch. NULL/error semantics match offline
+/// materialization exactly (the same compiled program evaluates both
+/// sides), so a served computed value is byte-identical to what the
+/// materializer would have logged for that input row. A feature whose
+/// latest version is marked stale in the lineage graph carries the same
+/// staleness annotation the view path produces.
+///
 /// Thread-safe. Latency of every request is recorded (wall-clock
 /// microseconds) in latency_histogram() — the one place MLFS uses real
 /// time, because serving latency is a measurement, not simulation state.
@@ -109,11 +130,14 @@ class FeatureServer {
   /// hydration for feature names that resolve in it. `lineage` (optional,
   /// not owned) enables per-response staleness annotations: a feature
   /// whose view/embedding artifact is marked stale in the graph is still
-  /// served, but the response says so (FeatureVector::stale).
+  /// served, but the response says so (FeatureVector::stale). `registry`
+  /// (optional, not owned) enables serving-time evaluation of registered
+  /// features that have no materialized online view.
   explicit FeatureServer(const OnlineStore* store,
                          FeatureServerOptions options = {},
                          const EmbeddingStore* embeddings = nullptr,
-                         const LineageGraph* lineage = nullptr);
+                         const LineageGraph* lineage = nullptr,
+                         const FeatureRegistry* registry = nullptr);
   ~FeatureServer();
 
   FeatureServer(const FeatureServer&) = delete;
@@ -157,16 +181,45 @@ class FeatureServer {
   /// the name should go through the online-view path.
   EmbeddingTablePtr ResolveEmbeddingFeature(const std::string& feature) const;
 
-  /// "<feature>: <why>" when the serving artifact behind `feature` is
-  /// marked stale in the lineage graph ("" otherwise). `table` is the
-  /// resolved embedding table, or null for the online-view path.
+  /// A feature served by evaluating its published definition at request
+  /// time against the source table's mirror view.
+  struct ComputedFeature {
+    RegisteredFeature reg;
+    std::string mirror_view;
+    /// Compiled against the mirror view's schema; null until the mirror
+    /// view exists (no ingest yet), in which case every entity misses.
+    std::shared_ptr<const Program> program;
+  };
+
+  /// Resolves `feature` as serving-time computed: registered in
+  /// `registry_`, not an online view, not an embedding. nullopt sends the
+  /// name down the other paths.
+  std::optional<ComputedFeature> ResolveComputedFeature(
+      const std::string& feature) const;
+
+  /// Cached (compiling on first use) program for `reg`, keyed "name@vN".
+  std::shared_ptr<const Program> CompiledProgramFor(
+      const RegisteredFeature& reg) const;
+
+  /// "<feature>: <why>" when `artifact` is marked stale ("" otherwise).
+  std::string StaleNoteArtifact(const std::string& feature,
+                                const ArtifactId& artifact) const;
+
+  /// As above for the view/embedding serving artifact behind `feature`.
+  /// `table` is the resolved embedding table, or null for the online-view
+  /// path.
   std::string StaleNote(const std::string& feature,
                         const EmbeddingTablePtr& table) const;
 
   const OnlineStore* store_;            // Not owned.
   const EmbeddingStore* embeddings_;    // Not owned; may be null.
   const LineageGraph* lineage_;         // Not owned; may be null.
+  const FeatureRegistry* registry_;     // Not owned; may be null.
   FeatureServerOptions options_;
+  /// Compiled programs for served computed features, keyed "name@vN".
+  mutable std::mutex compile_mu_;
+  mutable std::unordered_map<std::string, std::shared_ptr<const Program>>
+      compile_cache_;
   /// Workers for parallel per-view batch assembly; null when
   /// options_.batch_parallelism <= 1.
   std::unique_ptr<ThreadPool> pool_;

@@ -204,10 +204,17 @@ std::vector<Row> OfflineTable::ScanIf(
     // Segments then head is exactly per-partition append order, which is
     // the order the legacy row engine scanned — scans stay byte-identical.
     for (const SegmentPtr& seg : part.segments) {
-      if (seg->max_ts() < lo || seg->min_ts() >= hi) continue;
+      if (seg->max_ts() < lo || seg->min_ts() >= hi) {
+        scan_segments_skipped_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      // A segment fully inside the window needs no per-row time checks.
+      const bool contained = seg->min_ts() >= lo && seg->max_ts() < hi;
       for (size_t r = 0; r < seg->num_rows(); ++r) {
-        Timestamp ts = seg->ts(r);
-        if (ts < lo || ts >= hi) continue;
+        if (!contained) {
+          Timestamp ts = seg->ts(r);
+          if (ts < lo || ts >= hi) continue;
+        }
         Row row = MaterializeRow(RowLoc{nullptr, seg.get(), r});
         if (pred && !pred(row)) continue;
         out.push_back(std::move(row));
@@ -305,10 +312,18 @@ StatusOr<std::vector<Row>> OfflineTable::ScanPushdown(
     if (it->first > hi_part) break;
     const Partition& part = it->second;
     for (const SegmentPtr& seg : part.segments) {
-      if (seg->max_ts() < lo || seg->min_ts() >= hi) continue;
+      if (seg->max_ts() < lo || seg->min_ts() >= hi) {
+        scan_segments_skipped_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      // Full containment: every row is a candidate, so skip the per-row
+      // timestamp decode entirely.
+      const bool contained = seg->min_ts() >= lo && seg->max_ts() < hi;
       for (size_t r = 0; r < seg->num_rows(); ++r) {
-        Timestamp ts = seg->ts(r);
-        if (ts < lo || ts >= hi) continue;
+        if (!contained) {
+          Timestamp ts = seg->ts(r);
+          if (ts < lo || ts >= hi) continue;
+        }
         cand.push_back(static_cast<uint32_t>(r));
         if (cand.size() == kEvalBatchRows) {
           MLFS_RETURN_IF_ERROR(flush_segment(seg.get()));
@@ -395,10 +410,16 @@ StatusOr<std::vector<Row>> OfflineTable::ScanColumns(
     if (it->first > hi_part) break;
     const Partition& part = it->second;
     for (const SegmentPtr& seg : part.segments) {
-      if (seg->max_ts() < lo || seg->min_ts() >= hi) continue;
+      if (seg->max_ts() < lo || seg->min_ts() >= hi) {
+        scan_segments_skipped_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      const bool contained = seg->min_ts() >= lo && seg->max_ts() < hi;
       for (size_t r = 0; r < seg->num_rows(); ++r) {
-        Timestamp ts = seg->ts(r);
-        if (ts < lo || ts >= hi) continue;
+        if (!contained) {
+          Timestamp ts = seg->ts(r);
+          if (ts < lo || ts >= hi) continue;
+        }
         values.clear();
         // Columnar fast path: only the projected columns are decoded;
         // unrequested columns are never touched.
@@ -482,7 +503,21 @@ Status OfflineTable::AsOfBatch(std::span<const AsOfRequest> requests,
     size_t pos = 0;
     for (; i < run_end; ++i) {
       const Timestamp ts = requests[i].ts;
-      while (pos < num_postings && postings[pos].ts <= ts) ++pos;
+      if (options.prune_time_ranges) {
+        // Time-range pruning: the remaining postings are ts-sorted, so a
+        // binary search from the cursor lands directly past the last
+        // matchable posting — every row reference whose timestamp range
+        // cannot contain the request is skipped, never visited. Selects
+        // exactly the posting the linear walk below selects.
+        pos = static_cast<size_t>(
+            std::upper_bound(postings.begin() + pos, postings.end(), ts,
+                             [](Timestamp t, const GlobalPosting& g) {
+                               return t < g.ts;
+                             }) -
+            postings.begin());
+      } else {
+        while (pos < num_postings && postings[pos].ts <= ts) ++pos;
+      }
       if (pos > 0) {
         // Rightmost posting with ts <= request: max event time, with the
         // most-recently-appended row winning equal-timestamp ties.
@@ -499,13 +534,27 @@ Status OfflineTable::AsOfBatch(std::span<const AsOfRequest> requests,
   std::vector<const Row*> head_hits(n, nullptr);
   std::vector<Value> values;
   // Readahead plan: the gather below touches spilled segments in a
-  // deterministic first-touch order, so warm the next segment's pages
+  // deterministic first-touch order, so warm upcoming segments' pages
   // (madvise + touch, off-thread) while the cursor works the current one.
   // Keys are segment addresses — stable for the duration of the shared
   // lock. ra_order[0] is being read immediately, so prefetching starts at
-  // ra_order[1].
+  // ra_order[1]; options.readahead_depth segments are kept in flight
+  // ahead of the cursor.
   std::vector<const Segment*> ra_order;
   size_t ra_next = 1;
+  size_t ra_issued = 1;
+  const size_t ra_depth = std::max<size_t>(1, options.readahead_depth);
+  auto issue_prefetches_until = [&](size_t end) {
+    for (end = std::min(end, ra_order.size()); ra_issued < end; ++ra_issued) {
+      const Segment* next = ra_order[ra_issued];
+      readahead_->Prefetch(
+          reinterpret_cast<uintptr_t>(next),
+          [next]() -> ReadaheadScheduler::Payload {
+            next->PrefetchSpill();
+            return nullptr;  // Page warming: nothing to park.
+          });
+    }
+  };
   if (readahead_->enabled()) {
     for (i = 0; i < n; ++i) {
       if (hits[i] == nullptr) continue;
@@ -517,15 +566,7 @@ Status OfflineTable::AsOfBatch(std::span<const AsOfRequest> requests,
         ra_order.push_back(loc.seg);
       }
     }
-    if (ra_order.size() >= 2) {
-      const Segment* next = ra_order[1];
-      readahead_->Prefetch(
-          reinterpret_cast<uintptr_t>(next),
-          [next]() -> ReadaheadScheduler::Payload {
-            next->PrefetchSpill();
-            return nullptr;  // Page warming: nothing to park.
-          });
-    }
+    issue_prefetches_until(1 + ra_depth);
   }
   for (i = 0; i < n; ++i) {
     const GlobalPosting* g = hits[i];
@@ -537,19 +578,12 @@ Status OfflineTable::AsOfBatch(std::span<const AsOfRequest> requests,
     }
     RowLoc loc = Resolve(*g->part, g->ordinal);
     // First touch of the next planned segment: claim its prefetch (hit
-    // accounting; pages are warm or warming) and schedule the one after.
+    // accounting; pages are warm or warming) and top the pipeline back up
+    // to `ra_depth` segments in flight ahead of the cursor.
     if (ra_next < ra_order.size() && loc.seg == ra_order[ra_next]) {
       readahead_->Consume(reinterpret_cast<uintptr_t>(loc.seg));
       ++ra_next;
-      if (ra_next < ra_order.size()) {
-        const Segment* next = ra_order[ra_next];
-        readahead_->Prefetch(
-            reinterpret_cast<uintptr_t>(next),
-            [next]() -> ReadaheadScheduler::Payload {
-              next->PrefetchSpill();
-              return nullptr;
-            });
-      }
+      issue_prefetches_until(ra_next + ra_depth);
     }
     if (loc.head != nullptr && !projected) {
       head_hits[i] = loc.head;
@@ -729,6 +763,8 @@ OfflineStorageStats OfflineTable::storage_stats() const {
   }
   stats.maintenance_errors =
       maintenance_errors_.load(std::memory_order_relaxed);
+  stats.scan_segments_skipped =
+      scan_segments_skipped_.load(std::memory_order_relaxed);
   stats.readahead = readahead_->stats();
   return stats;
 }

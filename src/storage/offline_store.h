@@ -50,6 +50,19 @@ struct AsOfReadOptions {
   /// `results` are left untouched — no empty row is materialized — so
   /// callers null-fill from the bitmap instead of probing result rows.
   std::vector<uint64_t>* miss_bitmap = nullptr;
+  /// Time-range pruning of the posting cursor (default on): AsOfBatch
+  /// advances each entity's cursor with a binary search over the remaining
+  /// (ts-sorted) postings instead of stepping row references one at a
+  /// time, skipping every posting a request timestamp cannot match.
+  /// Results are byte-identical either way (pinned by a differential
+  /// test); the knob exists so that equivalence stays testable.
+  bool prune_time_ranges = true;
+  /// Spilled-segment prefetch pipeline depth for this call: AsOfBatch
+  /// keeps up to this many segments ahead of the gather cursor warming
+  /// concurrently (>= 1; meaningful only when the table's readahead is
+  /// enabled). Deeper pipelines help when per-segment gather time is
+  /// shorter than a segment's fault-in time.
+  size_t readahead_depth = 1;
 };
 
 /// Tests bit `i` of a miss bitmap produced by AsOfBatch.
@@ -132,6 +145,11 @@ struct OfflineStorageStats {
   size_t spilled_bytes = 0;
   /// RunMaintenance() failures observed by the background thread.
   uint64_t maintenance_errors = 0;
+  /// Sealed segments skipped *entirely* by a scan because their
+  /// [min_ts, max_ts] range was disjoint from the scan window (Scan /
+  /// ScanIf / ScanColumns / pushdown scans) — how much work the
+  /// segment-level time index saved.
+  uint64_t scan_segments_skipped = 0;
   /// Spilled-segment prefetch counters (zeros when readahead is off).
   ReadaheadStats readahead;
 };
@@ -398,6 +416,9 @@ class OfflineTable {
   // after mu_, never the other way around).
   mutable std::mutex keys_mu_;
   mutable std::vector<std::string> keys_cache_;
+
+  /// Sealed segments whose time range let a scan skip them whole.
+  mutable std::atomic<uint64_t> scan_segments_skipped_{0};
 
   // Serializes compaction/spill passes so their off-lock work never
   // targets a segment another maintenance pass is replacing.

@@ -621,18 +621,15 @@ void Segment::LoadColumn(size_t col, std::span<const uint32_t> rows,
       break;
     }
     case ColumnEncoding::kDictionary: {
-      for (size_t i = 0; i < n; ++i) {
-        if (NullBit(c, rows[i])) {
-          out->AppendNullCell();
-          continue;
-        }
-        const uint32_t code = LoadU32(c.codes + 4 * rows[i]);
-        const uint32_t beg = LoadU32(c.dict_offsets + 4 * code);
-        const uint32_t end = LoadU32(c.dict_offsets + 4 * (code + 1));
-        out->AppendString(std::string_view(
-            reinterpret_cast<const char*>(c.dict_blob) + beg, end - beg));
-      }
-      return;  // Null bits were set cell-by-cell above.
+      // Hand the VM a dictionary *view* — 4 bytes of code per row plus
+      // borrowed dictionary buffers (the segment outlives the scan) —
+      // instead of copying every string. String predicates then evaluate
+      // once per distinct code; per-cell reads go through StringAt
+      // transparently.
+      out->ResetDictionary(n, c.dict_count, c.dict_offsets, c.dict_blob);
+      uint32_t* codes = out->codes();
+      for (size_t i = 0; i < n; ++i) codes[i] = LoadU32(c.codes + 4 * rows[i]);
+      break;  // Null bits from the shared bitmap loop below.
     }
     case ColumnEncoding::kFloatList: {
       for (size_t i = 0; i < n; ++i) {
